@@ -1,0 +1,44 @@
+# DmRPC reproduction — standard workflows.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments experiments-full fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full suite: unit, property, invariant and paper-shape tests (~4 min).
+test:
+	$(GO) test ./...
+
+# Short mode skips the heavy simulation shape tests (~10 s).
+test-short:
+	$(GO) test -short ./...
+
+# One benchmark per paper table/figure plus package micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure as text tables (quick windows).
+experiments:
+	$(GO) run ./cmd/dmrpc-bench -experiment all -scale quick
+
+# Paper-scale windows; expect tens of minutes.
+experiments-full:
+	$(GO) run ./cmd/dmrpc-bench -experiment all -scale full
+
+# Brief fuzzing passes over every wire-facing decoder.
+fuzz:
+	$(GO) test ./internal/live -run='^$$' -fuzz=FuzzReadFrame -fuzztime=30s
+	$(GO) test ./internal/live -run='^$$' -fuzz=FuzzServerDispatch -fuzztime=30s
+	$(GO) test ./internal/transport -run='^$$' -fuzz=FuzzDecodeHeader -fuzztime=30s
+	$(GO) test ./internal/rpc -run='^$$' -fuzz=FuzzDec -fuzztime=30s
+	$(GO) test ./internal/dm -run='^$$' -fuzz=FuzzUnmarshalRef -fuzztime=30s
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,198 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the DmRPC paper's evaluation (§VI), one testing.B benchmark per
+// artifact. Each runs the corresponding experiment at Quick scale and
+// reports the headline quantity as custom benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. cmd/dmrpc-bench prints the full tables
+// (and supports -scale full for paper-scale windows).
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/msvc"
+)
+
+// run executes one registered experiment end to end (output discarded;
+// the numbers are visible via cmd/dmrpc-bench).
+func run(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.Find(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		e.Run(io.Discard, bench.Quick)
+	}
+}
+
+func BenchmarkFig5aNestedChainThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig5(bench.Quick)
+		if row, ok := r.Get(msvc.ModeDmNet, 7); ok {
+			b.ReportMetric(row.Throughput, "dmnet-req/s")
+		}
+		if row, ok := r.Get(msvc.ModeERPC, 7); ok {
+			b.ReportMetric(row.Throughput, "erpc-req/s")
+		}
+	}
+}
+
+func BenchmarkFig5bNestedChainLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig5(bench.Quick)
+		if row, ok := r.Get(msvc.ModeDmNet, 7); ok {
+			b.ReportMetric(float64(row.AvgLatency), "dmnet-ns")
+		}
+		if row, ok := r.Get(msvc.ModeERPC, 7); ok {
+			b.ReportMetric(float64(row.AvgLatency), "erpc-ns")
+		}
+	}
+}
+
+func BenchmarkFig6LoadBalancer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig6(bench.Quick)
+		if row, ok := r.Get(msvc.ModeDmNet, 32768); ok {
+			b.ReportMetric(row.Throughput, "dmnet-req/s")
+			b.ReportMetric(float64(row.LBMemBytesPerReq), "dmnet-LBmemB/req")
+		}
+		if row, ok := r.Get(msvc.ModeERPC, 32768); ok {
+			b.ReportMetric(float64(row.LBMemBytesPerReq), "erpc-LBmemB/req")
+		}
+	}
+}
+
+func BenchmarkFig7aCreateRefRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig7(bench.Quick)
+		if cow, ok := r.Get("DmRPC-CXL", 262144); ok {
+			b.ReportMetric(cow.Rate, "cxl-cow-req/s")
+		}
+		if cp, ok := r.Get("DmRPC-CXL-copy", 262144); ok {
+			b.ReportMetric(cp.Rate, "cxl-copy-req/s")
+		}
+	}
+}
+
+func BenchmarkFig7bCreateRefLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig7(bench.Quick)
+		if cow, ok := r.Get("DmRPC-net", 262144); ok {
+			b.ReportMetric(float64(cow.AvgLatency), "net-cow-ns")
+		}
+		if cp, ok := r.Get("DmRPC-net-copy", 262144); ok {
+			b.ReportMetric(float64(cp.AvgLatency), "net-copy-ns")
+		}
+	}
+}
+
+func BenchmarkFig7cMemTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig7(bench.Quick)
+		if cow, ok := r.Get("DmRPC-CXL", 262144); ok {
+			b.ReportMetric(float64(cow.TrafficPerReq), "cxl-cow-B/req")
+		}
+		if cp, ok := r.Get("DmRPC-CXL-copy", 262144); ok {
+			b.ReportMetric(float64(cp.TrafficPerReq), "cxl-copy-B/req")
+		}
+	}
+}
+
+func BenchmarkFig8aVsRaySparkThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig8(bench.Quick)
+		if row, ok := r.Get("DmRPC-CXL", 0); ok {
+			b.ReportMetric(row.Throughput, "cxl-req/s")
+		}
+		if row, ok := r.Get("Ray", 0); ok {
+			b.ReportMetric(row.Throughput, "ray-req/s")
+		}
+	}
+}
+
+func BenchmarkFig8bVsRaySparkLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig8(bench.Quick)
+		if row, ok := r.Get("DmRPC-net", 0); ok {
+			b.ReportMetric(float64(row.AvgLatency), "net-ns")
+		}
+		if row, ok := r.Get("Ray", 0); ok {
+			b.ReportMetric(float64(row.AvgLatency), "ray-ns")
+		}
+	}
+}
+
+func BenchmarkFig10aImageProcThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig10a(bench.Quick)
+		if row, ok := r.Get(msvc.ModeDmCXL, 32768); ok {
+			b.ReportMetric(row.Throughput, "cxl-req/s")
+		}
+		if row, ok := r.Get(msvc.ModeERPC, 32768); ok {
+			b.ReportMetric(row.Throughput, "erpc-req/s")
+		}
+	}
+}
+
+func BenchmarkFig10bImageProcLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig10b(bench.Quick)
+		if row, ok := r.Get(msvc.ModeDmNet); ok {
+			b.ReportMetric(row.Latency.Mean, "dmnet-avg-ns")
+		}
+		if row, ok := r.Get(msvc.ModeERPC); ok {
+			b.ReportMetric(row.Latency.Mean, "erpc-avg-ns")
+		}
+	}
+}
+
+func BenchmarkFig11DeathStarBench(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig11(bench.Quick)
+		b.ReportMetric(r.MaxUnsaturatedRate(msvc.ModeDmNet), "dmnet-maxrate")
+		b.ReportMetric(r.MaxUnsaturatedRate(msvc.ModeERPC), "erpc-maxrate")
+	}
+}
+
+func BenchmarkFig12aCXLLatencyMicro(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig12a(bench.Quick)
+		if n := len(r.Rows); n > 0 {
+			b.ReportMetric(r.Rows[n-1].Normalized, "worst-normalized")
+		}
+	}
+}
+
+func BenchmarkFig12bCXLLatencyImageProc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig12b(bench.Quick)
+		if n := len(r.Rows); n > 0 {
+			b.ReportMetric(r.Rows[n-1].Normalized, "worst-normalized")
+		}
+	}
+}
+
+func BenchmarkAblationTranslationOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.AblationTranslation(bench.Quick)
+		b.ReportMetric(r.SharePct, "translate-%")
+	}
+}
+
+func BenchmarkAblationSizeAwareThreshold(b *testing.B) {
+	run(b, "abl-sizeaware")
+}
+
+func BenchmarkAblationDMScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.AblationDMScale(bench.Quick)
+		if n := len(r.Rows); n > 0 && r.Rows[0].Throughput > 0 {
+			b.ReportMetric(r.Rows[n-1].Throughput/r.Rows[0].Throughput, "speedup-4srv")
+		}
+	}
+}

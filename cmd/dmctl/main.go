@@ -1,0 +1,129 @@
+// Command dmctl pokes a live DM server (cmd/dmserverd) from the command
+// line: stage data, read it back through a ref, and micro-benchmark the
+// real round-trip costs of the protocol.
+//
+// Usage:
+//
+//	dmctl -server localhost:7640 stage -text "hello disaggregated world"
+//	dmctl -server localhost:7640 bench -size 32768 -n 1000
+//	dmctl -server localhost:7640 roundtrip -size 65536
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/live"
+	"repro/internal/stats"
+)
+
+func main() {
+	server := flag.String("server", "localhost:7640", "DM server address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	cl, err := live.Dial(*server)
+	exitOn(err)
+	defer cl.Close()
+	exitOn(cl.Register())
+
+	switch args[0] {
+	case "stage":
+		cmdStage(cl, args[1:])
+	case "roundtrip":
+		cmdRoundtrip(cl, args[1:])
+	case "bench":
+		cmdBench(cl, args[1:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: dmctl [-server host:port] <command>
+commands:
+  stage     -text <s>           stage a string, print its ref
+  roundtrip -size <n>           stage n bytes, read them back, verify
+  bench     -size <n> -n <ops>  measure stage/readref/free latency`)
+	os.Exit(2)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmctl:", err)
+		os.Exit(1)
+	}
+}
+
+func cmdStage(cl *live.Client, args []string) {
+	fs := flag.NewFlagSet("stage", flag.ExitOnError)
+	text := fs.String("text", "hello", "payload to stage")
+	fs.Parse(args)
+	ref, err := cl.StageRef([]byte(*text))
+	exitOn(err)
+	fmt.Printf("staged %d bytes as %v (wire form %d bytes)\n", len(*text), ref, len(ref.Marshal()))
+}
+
+func cmdRoundtrip(cl *live.Client, args []string) {
+	fs := flag.NewFlagSet("roundtrip", flag.ExitOnError)
+	size := fs.Int("size", 65536, "payload size")
+	fs.Parse(args)
+	payload := make([]byte, *size)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	start := time.Now()
+	ref, err := cl.StageRef(payload)
+	exitOn(err)
+	staged := time.Since(start)
+
+	got := make([]byte, *size)
+	start = time.Now()
+	exitOn(cl.ReadRef(ref, 0, got))
+	read := time.Since(start)
+	for i := range got {
+		if got[i] != payload[i] {
+			exitOn(fmt.Errorf("verification failed at byte %d", i))
+		}
+	}
+	exitOn(cl.FreeRef(ref))
+	fmt.Printf("staged %s in %v, read back in %v, verified\n",
+		stats.Bytes(int64(*size)), staged, read)
+}
+
+func cmdBench(cl *live.Client, args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	size := fs.Int("size", 32768, "payload size")
+	n := fs.Int("n", 1000, "operations")
+	fs.Parse(args)
+	payload := make([]byte, *size)
+	var stage, read, free stats.Histogram
+	buf := make([]byte, *size)
+	total := time.Now()
+	for i := 0; i < *n; i++ {
+		t0 := time.Now()
+		ref, err := cl.StageRef(payload)
+		exitOn(err)
+		stage.Record(time.Since(t0).Nanoseconds())
+
+		t0 = time.Now()
+		exitOn(cl.ReadRef(ref, 0, buf))
+		read.Record(time.Since(t0).Nanoseconds())
+
+		t0 = time.Now()
+		exitOn(cl.FreeRef(ref))
+		free.Record(time.Since(t0).Nanoseconds())
+	}
+	elapsed := time.Since(total)
+	fmt.Printf("%d ops of %s over real TCP in %v (%.0f cycles/s)\n",
+		*n, stats.Bytes(int64(*size)), elapsed.Round(time.Millisecond),
+		float64(*n)/elapsed.Seconds())
+	fmt.Printf("stage:    %s\n", stage.Summarize())
+	fmt.Printf("read_ref: %s\n", read.Summarize())
+	fmt.Printf("free_ref: %s\n", free.Summarize())
+}

@@ -1,0 +1,115 @@
+// Command dmrpc-sim runs an ad-hoc microservice topology under a chosen
+// transfer backend and reports throughput and latency. It is the
+// kick-the-tires tool for exploring parameters outside the paper's fixed
+// experiment grid.
+//
+// Usage:
+//
+//	dmrpc-sim -app chain -mode dmnet -hops 5 -size 16384 -clients 16
+//	dmrpc-sim -app lb -mode erpc -size 32768
+//	dmrpc-sim -app blockstore -mode dmnet -size 65536
+//	dmrpc-sim -app imageproc -mode dmcxl -size 8192 -duration 50ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/msvc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", "chain", "application: chain | lb | imageproc | blockstore")
+	modeFlag := flag.String("mode", "dmnet", "backend: erpc | dmnet | dmcxl")
+	hops := flag.Int("hops", 4, "chain length (chain app)")
+	size := flag.Int("size", 4096, "payload size in bytes")
+	clients := flag.Int("clients", 16, "closed-loop client count")
+	duration := flag.Duration("duration", 20*time.Millisecond, "virtual measurement window")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	doTrace := flag.Bool("trace", false, "print per-service RPC telemetry after the run")
+	flag.Parse()
+
+	var mode msvc.Mode
+	switch *modeFlag {
+	case "erpc":
+		mode = msvc.ModeERPC
+	case "dmnet":
+		mode = msvc.ModeDmNet
+	case "dmcxl":
+		mode = msvc.ModeDmCXL
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+
+	cfg := msvc.DefaultConfig(mode)
+	cfg.Seed = *seed
+	pl := msvc.NewPlatform(cfg)
+	defer pl.Shutdown()
+
+	var op workload.Op
+	payload := make([]byte, *size)
+	switch *app {
+	case "chain":
+		ch := msvc.NewChain(pl, *hops)
+		op = func(p *sim.Proc) error {
+			_, err := ch.Do(p, payload)
+			return err
+		}
+	case "lb":
+		lb := msvc.NewLBApp(pl, 3, 3)
+		i := 0
+		op = func(p *sim.Proc) error {
+			i++
+			return lb.Do(p, i, payload)
+		}
+	case "imageproc":
+		ia := msvc.NewImageApp(pl, 2)
+		op = func(p *sim.Proc) error {
+			_, err := ia.Do(p, payload)
+			return err
+		}
+	case "blockstore":
+		bs := msvc.NewBlockStore(pl, 3, 2)
+		key := uint64(0)
+		op = func(p *sim.Proc) error {
+			key++
+			if key%4 == 0 {
+				_, err := bs.Read(p, key-1)
+				return err
+			}
+			return bs.Write(p, key%256, payload)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
+		os.Exit(2)
+	}
+	var col *trace.Collector
+	if *doTrace {
+		col = trace.New(0)
+		pl.AttachTracer(col)
+	}
+	pl.Start()
+
+	window := sim.Time(duration.Nanoseconds())
+	res := workload.RunClosed(pl.Eng, workload.ClosedConfig{
+		Clients: *clients,
+		Warmup:  window / 10,
+		Measure: window,
+	}, op)
+
+	fmt.Printf("app=%s mode=%s size=%s clients=%d window=%v\n",
+		*app, mode, stats.Bytes(int64(*size)), *clients, *duration)
+	fmt.Printf("throughput: %s   errors: %d\n", stats.Rate(res.Throughput()), res.Errors)
+	fmt.Printf("latency:    %s\n", res.Latency.Summarize())
+	if col != nil {
+		fmt.Println("\nper-service RPC telemetry (sorted by total time):")
+		col.Report(os.Stdout)
+	}
+}

@@ -1,0 +1,53 @@
+// Command dmserverd runs a live (real TCP) DmRPC-net disaggregated memory
+// server: the paper's page manager and address translator over an
+// in-process pinned page pool, speaking the internal/dmwire protocol.
+//
+// Usage:
+//
+//	dmserverd -listen :7640 -pages 65536 -pagesize 4096
+//
+// Clients connect with internal/live.Dial and use the Table II API
+// (ralloc/rfree/create_ref/map_ref/rread/rwrite plus stage/read-by-ref).
+// See examples/live for an end-to-end flow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+
+	"repro/internal/live"
+)
+
+func main() {
+	listen := flag.String("listen", ":7640", "TCP listen address")
+	pages := flag.Int("pages", 1<<16, "pool size in pages")
+	pageSize := flag.Int("pagesize", 4096, "page size in bytes")
+	flag.Parse()
+
+	cfg := live.ServerConfig{NumPages: *pages, PageSize: *pageSize}
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	srv := live.NewServer(cfg)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dmserverd: serving %d pages x %dB (%d MiB) on %s\n",
+		*pages, *pageSize, *pages**pageSize>>20, ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Println("dmserverd: shutting down")
+		srv.Close()
+	}()
+	if err := srv.Serve(ln); err != nil {
+		log.Fatal(err)
+	}
+}

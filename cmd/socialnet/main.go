@@ -1,0 +1,69 @@
+// Command socialnet runs the DeathStarBench-style social network (paper
+// §VI-F) standalone: prepopulates posts, offers a Poisson mixed workload
+// (60% read-home-timeline, 30% read-user-timeline, 10% compose-post) and
+// reports achieved rate and latency percentiles.
+//
+// Usage:
+//
+//	socialnet -mode dmnet -rate 200000 -duration 50ms -media 8192
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/msvc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	modeFlag := flag.String("mode", "dmnet", "backend: erpc | dmnet")
+	rate := flag.Float64("rate", 100_000, "offered request rate per second")
+	duration := flag.Duration("duration", 50*time.Millisecond, "virtual measurement window")
+	media := flag.Int("media", 8192, "post media size in bytes")
+	posts := flag.Int("posts", 64, "posts to prepopulate")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var mode msvc.Mode
+	switch *modeFlag {
+	case "erpc":
+		mode = msvc.ModeERPC
+	case "dmnet":
+		mode = msvc.ModeDmNet
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q (socialnet compares erpc and dmnet, like Fig 11)\n", *modeFlag)
+		os.Exit(2)
+	}
+
+	cfg := msvc.DefaultConfig(mode)
+	cfg.Seed = *seed
+	pl := msvc.NewPlatform(cfg)
+	defer pl.Shutdown()
+	sn := msvc.NewSocialNet(pl, msvc.SocialNetConfig{MediaSize: *media})
+	pl.Start()
+	if err := sn.Prepopulate(*posts); err != nil {
+		fmt.Fprintf(os.Stderr, "prepopulate: %v\n", err)
+		os.Exit(1)
+	}
+
+	window := sim.Time(duration.Nanoseconds())
+	res := workload.RunOpen(pl.Eng, workload.OpenConfig{
+		Rate:    *rate,
+		Warmup:  window / 10,
+		Measure: window,
+	}, sn.MixedOp())
+
+	s := res.Latency.Summarize()
+	fmt.Printf("mode=%s offered=%s media=%s posts(start)=%d\n",
+		mode, stats.Rate(*rate), stats.Bytes(int64(*media)), *posts)
+	fmt.Printf("achieved:  %s (errors %d, dropped %d)\n",
+		stats.Rate(res.Throughput()), res.Errors, res.Dropped)
+	fmt.Printf("latency:   avg=%s p50=%s p99=%s p99.9=%s max=%s\n",
+		stats.Dur(int64(s.Mean)), stats.Dur(s.P50), stats.Dur(s.P99), stats.Dur(s.P999), stats.Dur(s.Max))
+	fmt.Printf("posts now: %d\n", sn.Posts())
+}

@@ -1,0 +1,76 @@
+// Live demonstrates the real-network DmRPC-net implementation: it starts
+// a DM server on a loopback TCP port in-process, then runs the paper's
+// Listing 1 flow over actual sockets — producer stages data, only a
+// 20-byte Ref crosses the application protocol, the consumer maps the Ref,
+// and copy-on-write keeps a consumer write invisible to the producer.
+//
+//	go run ./examples/live
+package main
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/live"
+)
+
+func main() {
+	// In-process DM server on a loopback port (cmd/dmserverd runs the same
+	// thing standalone).
+	srv := live.NewServer(live.ServerConfig{NumPages: 4096, PageSize: 4096})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+	fmt.Printf("DM server on %s (%d pages)\n", addr, srv.FreePages())
+
+	// Two independent "microservices".
+	producer, err := live.Dial(addr)
+	check(err)
+	defer producer.Close()
+	check(producer.Register())
+	consumer, err := live.Dial(addr)
+	check(err)
+	defer consumer.Close()
+	check(consumer.Register())
+
+	// Producer stages 64 KiB and gets back a tiny Ref.
+	payload := make([]byte, 65536)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	ref, err := producer.StageRef(payload)
+	check(err)
+	wire := ref.Marshal()
+	fmt.Printf("staged %d bytes; the ref on the wire is %d bytes\n", len(payload), len(wire))
+
+	// The Ref is what an RPC would carry. The consumer maps it and reads.
+	mapped, err := consumer.MapRef(ref)
+	check(err)
+	got := make([]byte, len(payload))
+	check(consumer.Read(mapped, got))
+	for i := range got {
+		if got[i] != payload[i] {
+			panic("consumer read mismatch")
+		}
+	}
+	fmt.Println("consumer read the full payload through the ref")
+
+	// Consumer writes; copy-on-write isolates the producer's view.
+	check(consumer.Write(mapped, []byte("consumer-private-write")))
+	probe := make([]byte, 8)
+	check(producer.ReadRef(ref, 0, probe))
+	fmt.Printf("after consumer write, ref snapshot still starts %v (CoW held)\n", probe)
+
+	// Cleanup: consumer unmaps, producer releases the ref.
+	check(consumer.Free(mapped))
+	check(producer.FreeRef(ref))
+	fmt.Printf("all pages reclaimed: %d free\n", srv.FreePages())
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,43 @@
+// Socialnetwork runs the DeathStarBench-style social network (paper
+// §VI-F, Fig 11) under the eRPC baseline and DmRPC-net at the same offered
+// load, showing the data-mover effect: every request crosses 3-5 services
+// that only forward the post media.
+//
+//	go run ./examples/socialnetwork
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/msvc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	const mediaSize = 8192
+	const rate = 100_000
+	fmt.Printf("social network: 60%% read-home / 30%% read-user / 10%% compose, %s media, %s offered\n\n",
+		stats.Bytes(mediaSize), stats.Rate(rate))
+
+	for _, mode := range []msvc.Mode{msvc.ModeERPC, msvc.ModeDmNet} {
+		pl := msvc.NewPlatform(msvc.DefaultConfig(mode))
+		sn := msvc.NewSocialNet(pl, msvc.SocialNetConfig{MediaSize: mediaSize})
+		pl.Start()
+		if err := sn.Prepopulate(64); err != nil {
+			panic(err)
+		}
+		res := workload.RunOpen(pl.Eng, workload.OpenConfig{
+			Rate:    rate,
+			Warmup:  2 * sim.Millisecond,
+			Measure: 20 * sim.Millisecond,
+		}, sn.MixedOp())
+		s := res.Latency.Summarize()
+		fmt.Printf("%-10s achieved %-12s avg=%-10s p99=%-10s p99.9=%s\n",
+			mode, stats.Rate(res.Throughput()),
+			stats.Dur(int64(s.Mean)), stats.Dur(s.P99), stats.Dur(s.P999))
+		pl.Shutdown()
+	}
+	fmt.Println("\nDmRPC-net forwards refs through the data movers; eRPC re-ships the media at every hop")
+}

@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dm"
+	"repro/internal/dmnet"
+	"repro/internal/msvc"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TranslationResult quantifies the §V-A2 claim that the software-based
+// address translation accounts for a tiny share (paper: 0.17%) of a DM
+// access.
+type TranslationResult struct {
+	// AccessNs is the measured 4 KiB rread latency with translation on.
+	AccessNs sim.Time
+	// BaselineNs is the same access with TranslateTime forced to zero.
+	BaselineNs sim.Time
+	// SharePct is the translation share of the total access time.
+	SharePct float64
+}
+
+// AblationTranslation measures the software translation overhead by
+// differencing rread latency with and without the hash-table lookup cost.
+func AblationTranslation(scale Scale) TranslationResult {
+	warm, meas := scale.windows()
+	measure := func(translate sim.Time) sim.Time {
+		eng := sim.NewEngine(1)
+		defer eng.Shutdown()
+		net := simnet.New(eng, simnet.DefaultConfig())
+		scfg := dmnet.DefaultServerConfig()
+		scfg.TranslateTime = translate
+		srv := dmnet.NewServer(net.AddHost("dmserver"), 1, 0, scfg)
+		srv.Start()
+		node := rpc.NewNode(net.AddHost("client"), 1, "client", rpc.DefaultConfig())
+		node.Start()
+		cl := dmnet.NewClient(node, []simnet.Addr{srv.Addr()})
+		var addr dm.RemoteAddr
+		eng.Spawn("setup", func(p *sim.Proc) {
+			must(cl.Register(p))
+			a, err := cl.Alloc(p, 4096)
+			must(err)
+			must(cl.Write(p, a, make([]byte, 4096)))
+			addr = a
+		})
+		eng.Run()
+		buf := make([]byte, 4096)
+		r := workload.RunClosed(eng, workload.ClosedConfig{
+			Clients: 1, Warmup: warm, Measure: meas,
+		}, func(p *sim.Proc) error {
+			return cl.Read(p, addr, buf)
+		})
+		return sim.Time(r.Latency.Mean())
+	}
+	withT := measure(dmnet.DefaultServerConfig().TranslateTime)
+	withoutT := measure(0)
+	res := TranslationResult{AccessNs: withT, BaselineNs: withoutT}
+	if withT > 0 {
+		res.SharePct = float64(withT-withoutT) / float64(withT) * 100
+	}
+	return res
+}
+
+// Print writes the translation ablation.
+func (r TranslationResult) Print(w io.Writer) {
+	header(w, "sec5a2", "software address translation share of a 4KiB DM access")
+	fmt.Fprintf(w, "rread latency with translation:    %s\n", stats.Dur(r.AccessNs))
+	fmt.Fprintf(w, "rread latency without translation: %s\n", stats.Dur(r.BaselineNs))
+	fmt.Fprintf(w, "translation share:                 %.3f%% (paper: 0.17%%)\n", r.SharePct)
+}
+
+// SizeAwareRow is one (policy, payload size) throughput point for the
+// size-aware transfer ablation (§IV-B).
+type SizeAwareRow struct {
+	Policy     string
+	Payload    int
+	Throughput float64
+}
+
+// SizeAwareResult holds the ablation sweep.
+type SizeAwareResult struct {
+	Rows []SizeAwareRow
+}
+
+// AblationSizeAware sweeps payload sizes under three transfer policies on
+// a 3-hop chain over DmRPC-net: always pass by value, always pass by
+// reference, and the size-aware default. The crossover justifies the
+// paper's automatic mode selection.
+func AblationSizeAware(scale Scale) SizeAwareResult {
+	payloads := []int{256, 4096, 32768}
+	if scale == Full {
+		payloads = []int{64, 256, 1024, 4096, 16384, 65536}
+	}
+	warm, meas := scale.windows()
+	policies := []struct {
+		name string
+		core func() (cfgCore coreConfig)
+	}{
+		{"always-value", func() coreConfig { return coreConfig{forceInline: true} }},
+		{"always-ref", func() coreConfig { return coreConfig{threshold: -1} }},
+		{"size-aware", func() coreConfig { return coreConfig{} }},
+	}
+	var res SizeAwareResult
+	for _, pol := range policies {
+		for _, size := range payloads {
+			cfg := msvc.DefaultConfig(msvc.ModeDmNet)
+			cc := pol.core()
+			cfg.Core.ForceInline = cc.forceInline
+			cfg.Core.InlineThreshold = cc.threshold
+			if cc.forceInline {
+				// Keep the DM pool out of the picture entirely.
+				cfg.Mode = msvc.ModeERPC
+			}
+			pl := msvc.NewPlatform(cfg)
+			ch := msvc.NewChain(pl, 3)
+			pl.Start()
+			payload := make([]byte, size)
+			r := workload.RunClosed(pl.Eng, workload.ClosedConfig{
+				Clients: 16, Warmup: warm, Measure: meas,
+			}, func(p *sim.Proc) error {
+				_, err := ch.Do(p, payload)
+				return err
+			})
+			pl.Shutdown()
+			res.Rows = append(res.Rows, SizeAwareRow{
+				Policy: pol.name, Payload: size, Throughput: r.Throughput(),
+			})
+		}
+	}
+	return res
+}
+
+type coreConfig struct {
+	forceInline bool
+	threshold   int
+}
+
+// DMScaleRow is one pool-size point of the DM-server scaling ablation.
+type DMScaleRow struct {
+	Servers    int
+	Throughput float64 // staged args/s
+}
+
+// DMScaleResult holds the sweep.
+type DMScaleResult struct {
+	Rows []DMScaleRow
+}
+
+// AblationDMScale measures how round-robin distribution across memory
+// servers scales staging throughput (§VI-C: "Load-balanced distribution
+// across multiple memory servers ... routed in a round-robin fashion").
+// Many clients stage 32 KiB payloads against pools of 1, 2 and 4
+// single-core servers.
+func AblationDMScale(scale Scale) DMScaleResult {
+	warm, meas := scale.windows()
+	var res DMScaleResult
+	for _, servers := range []int{1, 2, 4} {
+		eng := sim.NewEngine(1)
+		net := simnet.New(eng, simnet.DefaultConfig())
+		var addrs []simnet.Addr
+		for i := 0; i < servers; i++ {
+			scfg := dmnet.DefaultServerConfig()
+			scfg.RPC.Workers = 1
+			scfg.Memory.NumPages = 1 << 14
+			srv := dmnet.NewServer(net.AddHost("dmserver"), 1, uint32(i), scfg)
+			srv.Start()
+			addrs = append(addrs, srv.Addr())
+		}
+		// Several client hosts so client NICs don't bottleneck the pool.
+		var clients []*dmnet.Client
+		for i := 0; i < 4; i++ {
+			node := rpc.NewNode(net.AddHost("client"), 1, "client", rpc.DefaultConfig())
+			node.Start()
+			clients = append(clients, dmnet.NewClient(node, addrs))
+		}
+		eng.Spawn("register", func(p *sim.Proc) {
+			for _, c := range clients {
+				must(c.Register(p))
+			}
+		})
+		eng.Run()
+		payload := make([]byte, 32768)
+		i := 0
+		r := workload.RunClosed(eng, workload.ClosedConfig{
+			Clients: 16, Warmup: warm, Measure: meas,
+		}, func(p *sim.Proc) error {
+			c := clients[i%len(clients)]
+			i++
+			ref, err := c.StageRef(p, payload)
+			if err != nil {
+				return err
+			}
+			return c.FreeRef(p, ref)
+		})
+		eng.Shutdown()
+		res.Rows = append(res.Rows, DMScaleRow{Servers: servers, Throughput: r.Throughput()})
+	}
+	return res
+}
+
+// Print writes the DM scaling table.
+func (r DMScaleResult) Print(w io.Writer) {
+	header(w, "abl-dmscale", "staging throughput vs DM pool size (32KiB, round-robin)")
+	t := stats.NewTable("DM servers", "throughput", "speedup")
+	base := 0.0
+	for i, row := range r.Rows {
+		if i == 0 {
+			base = row.Throughput
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = row.Throughput / base
+		}
+		t.AddRow(row.Servers, stats.Rate(row.Throughput), fmt.Sprintf("%.2fx", speedup))
+	}
+	io.WriteString(w, t.String())
+}
+
+// Print writes the size-aware ablation table.
+func (r SizeAwareResult) Print(w io.Writer) {
+	header(w, "abl-sizeaware", "size-aware transfer policy vs payload size (3-hop chain)")
+	t := stats.NewTable("policy", "payload", "throughput")
+	for _, row := range r.Rows {
+		t.AddRow(row.Policy, stats.Bytes(int64(row.Payload)), stats.Rate(row.Throughput))
+	}
+	io.WriteString(w, t.String())
+}
+
+// Get returns the row for (policy, payload).
+func (r SizeAwareResult) Get(policy string, payload int) (SizeAwareRow, bool) {
+	for _, row := range r.Rows {
+		if row.Policy == policy && row.Payload == payload {
+			return row, true
+		}
+	}
+	return SizeAwareRow{}, false
+}

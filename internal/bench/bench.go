@@ -1,0 +1,78 @@
+// Package bench is the experiment harness: one function per table/figure
+// of the paper's evaluation (§VI), each returning typed rows and able to
+// print itself in the paper's shape. The root bench_test.go exposes every
+// experiment as a testing.B benchmark; cmd/dmrpc-bench runs them with full
+// windows and regenerates EXPERIMENTS.md data.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Scale selects measurement windows.
+type Scale int
+
+const (
+	// Quick uses short windows: suitable for go test -bench and CI.
+	Quick Scale = iota
+	// Full uses paper-scale windows; used by cmd/dmrpc-bench.
+	Full
+)
+
+// windows returns (warmup, measure) for the scale.
+func (s Scale) windows() (sim.Time, sim.Time) {
+	if s == Full {
+		return 20 * sim.Millisecond, 200 * sim.Millisecond
+	}
+	return 2 * sim.Millisecond, 20 * sim.Millisecond
+}
+
+// Experiment identifies one reproducible artifact.
+type Experiment struct {
+	// ID is the figure/table id from DESIGN.md (e.g. "fig5a").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Run executes the experiment and writes its table to w.
+	Run func(w io.Writer, scale Scale)
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "fig5a", Title: "Nested RPC chain: throughput vs chain length", Run: func(w io.Writer, s Scale) { Fig5(s).Print(w) }},
+		{ID: "fig5b", Title: "Nested RPC chain: average latency vs chain length", Run: func(w io.Writer, s Scale) { Fig5(s).PrintLatency(w) }},
+		{ID: "fig6", Title: "Application-layer LB: throughput and memory bandwidth", Run: func(w io.Writer, s Scale) { Fig6(s).Print(w) }},
+		{ID: "fig7a", Title: "create_ref request rate: CoW vs unconditional copy", Run: func(w io.Writer, s Scale) { Fig7(s).PrintRate(w) }},
+		{ID: "fig7b", Title: "create_ref response time: CoW vs unconditional copy", Run: func(w io.Writer, s Scale) { Fig7(s).PrintLatency(w) }},
+		{ID: "fig7c", Title: "DM memory traffic per request", Run: func(w io.Writer, s Scale) { Fig7(s).PrintTraffic(w) }},
+		{ID: "fig8a", Title: "vs Ray/Spark: throughput vs write percentage", Run: func(w io.Writer, s Scale) { Fig8(s).PrintThroughput(w) }},
+		{ID: "fig8b", Title: "vs Ray/Spark: latency vs write percentage", Run: func(w io.Writer, s Scale) { Fig8(s).PrintLatency(w) }},
+		{ID: "fig10a", Title: "Cloud image processing: throughput vs image size", Run: func(w io.Writer, s Scale) { Fig10a(s).Print(w) }},
+		{ID: "fig10b", Title: "Cloud image processing: latency percentiles at 4KiB", Run: func(w io.Writer, s Scale) { Fig10b(s).Print(w) }},
+		{ID: "fig11", Title: "DeathStarBench social network: latency vs request rate", Run: func(w io.Writer, s Scale) { Fig11(s).Print(w) }},
+		{ID: "fig12a", Title: "DmRPC-CXL micro-benchmark vs CXL latency", Run: func(w io.Writer, s Scale) { Fig12a(s).Print(w) }},
+		{ID: "fig12b", Title: "DmRPC-CXL image processing vs CXL latency", Run: func(w io.Writer, s Scale) { Fig12b(s).Print(w) }},
+		{ID: "sec5a2", Title: "Ablation: software address translation share of DM access", Run: func(w io.Writer, s Scale) { AblationTranslation(s).Print(w) }},
+		{ID: "abl-sizeaware", Title: "Ablation: size-aware transfer threshold", Run: func(w io.Writer, s Scale) { AblationSizeAware(s).Print(w) }},
+		{ID: "abl-dmscale", Title: "Ablation: DM pool scaling (round-robin across memory servers)", Run: func(w io.Writer, s Scale) { AblationDMScale(s).Print(w) }},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// header prints a figure banner.
+func header(w io.Writer, id, title string) {
+	fmt.Fprintf(w, "\n=== %s: %s ===\n", id, title)
+}

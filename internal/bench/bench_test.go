@@ -1,0 +1,382 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/msvc"
+)
+
+// These tests assert the paper's qualitative shapes — who wins, in which
+// regime, and in roughly what direction — on Quick-scale runs. Absolute
+// numbers are not asserted (see EXPERIMENTS.md for the measured values).
+
+func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	r := Fig5(Quick)
+	get := func(m msvc.Mode, hops int) Fig5Row {
+		row, ok := r.Get(m, hops)
+		if !ok {
+			t.Fatalf("missing row %v/%d", m, hops)
+		}
+		return row
+	}
+	// At one hop, eRPC throughput beats DmRPC-net (pass by value wins for
+	// a single transfer; paper: "except for only 1 RPC call").
+	if get(msvc.ModeERPC, 1).Throughput < get(msvc.ModeDmNet, 1).Throughput {
+		t.Error("eRPC should win at 1 hop")
+	}
+	// For deeper chains DmRPC-net overtakes eRPC, and DmRPC-CXL leads.
+	for _, hops := range []int{5, 7} {
+		e, n, c := get(msvc.ModeERPC, hops), get(msvc.ModeDmNet, hops), get(msvc.ModeDmCXL, hops)
+		if n.Throughput <= e.Throughput {
+			t.Errorf("hops=%d: DmRPC-net %.0f <= eRPC %.0f", hops, n.Throughput, e.Throughput)
+		}
+		if c.Throughput <= n.Throughput {
+			t.Errorf("hops=%d: DmRPC-CXL %.0f <= DmRPC-net %.0f", hops, c.Throughput, n.Throughput)
+		}
+		// Latency ordering mirrors it (Fig 5b).
+		if n.AvgLatency >= e.AvgLatency {
+			t.Errorf("hops=%d: DmRPC-net latency %d >= eRPC %d", hops, n.AvgLatency, e.AvgLatency)
+		}
+		if c.AvgLatency >= n.AvgLatency {
+			t.Errorf("hops=%d: DmRPC-CXL latency %d >= DmRPC-net %d", hops, c.AvgLatency, n.AvgLatency)
+		}
+	}
+	// eRPC's relative decay with chain length is steeper than DmRPC-net's
+	// (the paper's "merely change" vs "decreases").
+	eDecay := get(msvc.ModeERPC, 1).Throughput / get(msvc.ModeERPC, 7).Throughput
+	nDecay := get(msvc.ModeDmNet, 1).Throughput / get(msvc.ModeDmNet, 7).Throughput
+	if eDecay < 1.3*nDecay {
+		t.Errorf("eRPC decay %.2fx not clearly steeper than DmRPC-net %.2fx", eDecay, nDecay)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	r := Fig6(Quick)
+	const size = 32768
+	e, _ := r.Get(msvc.ModeERPC, size)
+	n, _ := r.Get(msvc.ModeDmNet, size)
+	c, _ := r.Get(msvc.ModeDmCXL, size)
+	// DmRPC forwards refs: the LB's memory traffic per request is tiny;
+	// eRPC's scales with the payload.
+	if e.LBMemBytesPerReq < size {
+		t.Errorf("eRPC LB mem/req = %d, want >= %d", e.LBMemBytesPerReq, size)
+	}
+	if n.LBMemBytesPerReq > size/8 {
+		t.Errorf("DmRPC-net LB mem/req = %d, want tiny", n.LBMemBytesPerReq)
+	}
+	if c.LBMemBytesPerReq > size/8 {
+		t.Errorf("DmRPC-CXL LB mem/req = %d, want tiny", c.LBMemBytesPerReq)
+	}
+	// And the DmRPC LB sustains a higher request rate at large payloads.
+	if n.Throughput <= e.Throughput {
+		t.Errorf("DmRPC-net LB rate %.0f <= eRPC %.0f at 32KiB", n.Throughput, e.Throughput)
+	}
+	// eRPC LB memory traffic grows with request size (Fig 6b trend).
+	e4, _ := r.Get(msvc.ModeERPC, 4096)
+	if e.LBMemBytesPerReq <= e4.LBMemBytesPerReq {
+		t.Error("eRPC LB memory traffic should grow with request size")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	r := Fig7(Quick)
+	const big = 262144
+	for _, sys := range []string{"DmRPC-net", "DmRPC-CXL"} {
+		cow, ok1 := r.Get(sys, big)
+		cp, ok2 := r.Get(sys+"-copy", big)
+		if !ok1 || !ok2 {
+			t.Fatalf("missing rows for %s", sys)
+		}
+		// CoW create_ref must be several times faster than unconditional
+		// copy at large sizes (paper: up to 7.3x net / 22.8x CXL).
+		if cow.Rate < 3*cp.Rate {
+			t.Errorf("%s: CoW rate %.0f not >> copy rate %.0f", sys, cow.Rate, cp.Rate)
+		}
+		if cow.AvgLatency*3 > cp.AvgLatency {
+			t.Errorf("%s: CoW latency %d not << copy latency %d", sys, cow.AvgLatency, cp.AvgLatency)
+		}
+		// Fig 7c: memory traffic per request with CoW is orders of
+		// magnitude below the copy variant.
+		if cow.TrafficPerReq*100 > cp.TrafficPerReq {
+			t.Errorf("%s: CoW traffic %d not << copy traffic %d", sys, cow.TrafficPerReq, cp.TrafficPerReq)
+		}
+	}
+	// The advantage grows with request size.
+	for _, sys := range []string{"DmRPC-net", "DmRPC-CXL"} {
+		cowS, _ := r.Get(sys, 4096)
+		cpS, _ := r.Get(sys+"-copy", 4096)
+		cowL, _ := r.Get(sys, big)
+		cpL, _ := r.Get(sys+"-copy", big)
+		if cowL.Rate/cpL.Rate <= cowS.Rate/cpS.Rate {
+			t.Errorf("%s: CoW advantage should grow with size", sys)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	r := Fig8(Quick)
+	get := func(sys string, pct int) Fig8Row {
+		row, ok := r.Get(sys, pct)
+		if !ok {
+			t.Fatalf("missing row %s/%d", sys, pct)
+		}
+		return row
+	}
+	// DmRPC beats Ray beats Spark at every write percentage.
+	for _, pct := range []int{0, 50, 100} {
+		ray, spark := get("Ray", pct), get("Spark", pct)
+		if ray.Throughput <= spark.Throughput {
+			t.Errorf("pct=%d: Ray %.0f <= Spark %.0f", pct, ray.Throughput, spark.Throughput)
+		}
+		for _, sys := range []string{"DmRPC-net", "DmRPC-CXL"} {
+			if get(sys, pct).Throughput <= ray.Throughput {
+				t.Errorf("pct=%d: %s <= Ray", pct, sys)
+			}
+		}
+	}
+	// DmRPC throughput decreases with write percentage (CoW copies);
+	// Ray/Spark stay flat (unconditional copies regardless).
+	for _, sys := range []string{"DmRPC-net", "DmRPC-CXL"} {
+		if get(sys, 100).Throughput >= get(sys, 0).Throughput {
+			t.Errorf("%s: throughput should decay with write%%", sys)
+		}
+	}
+	rayVar := get("Ray", 100).Throughput / get("Ray", 0).Throughput
+	if rayVar < 0.9 || rayVar > 1.1 {
+		t.Errorf("Ray throughput should be flat across write%%, got ratio %.2f", rayVar)
+	}
+	// Headline margins: at 0%% writes the paper reports large gaps.
+	if get("DmRPC-CXL", 0).Throughput < 10*get("Ray", 0).Throughput {
+		t.Error("DmRPC-CXL should be >= 10x Ray at 0% writes")
+	}
+	if get("DmRPC-net", 0).Throughput < 4*get("Ray", 0).Throughput {
+		t.Error("DmRPC-net should be >= 4x Ray at 0% writes")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	ra := Fig10a(Quick)
+	const big = 32768
+	e, _ := ra.Get(msvc.ModeERPC, big)
+	n, _ := ra.Get(msvc.ModeDmNet, big)
+	c, _ := ra.Get(msvc.ModeDmCXL, big)
+	// At large images DmRPC-net and DmRPC-CXL clearly beat eRPC (paper:
+	// 4.2x and 8.3x).
+	if n.Throughput < 1.5*e.Throughput {
+		t.Errorf("DmRPC-net %.0f not >= 1.5x eRPC %.0f at 32KiB", n.Throughput, e.Throughput)
+	}
+	if c.Throughput < n.Throughput {
+		t.Errorf("DmRPC-CXL %.0f below DmRPC-net %.0f at 32KiB", c.Throughput, n.Throughput)
+	}
+	// DmRPC gains grow with image size.
+	n1, _ := ra.Get(msvc.ModeDmNet, 1024)
+	e1, _ := ra.Get(msvc.ModeERPC, 1024)
+	if n.Throughput/e.Throughput <= n1.Throughput/e1.Throughput {
+		t.Error("DmRPC-net advantage should grow with image size")
+	}
+
+	rb := Fig10b(Quick)
+	eb, _ := rb.Get(msvc.ModeERPC)
+	nb, _ := rb.Get(msvc.ModeDmNet)
+	cb, _ := rb.Get(msvc.ModeDmCXL)
+	// Latency ordering at 4KiB: CXL < net < eRPC (paper: 1.7x / 1.1x).
+	if nb.Latency.Mean >= eb.Latency.Mean {
+		t.Errorf("DmRPC-net avg %.0f >= eRPC %.0f", nb.Latency.Mean, eb.Latency.Mean)
+	}
+	if cb.Latency.Mean >= nb.Latency.Mean {
+		t.Errorf("DmRPC-CXL avg %.0f >= DmRPC-net %.0f", cb.Latency.Mean, nb.Latency.Mean)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	r := Fig11(Quick)
+	// DmRPC-net sustains a higher request rate than eRPC (paper: 3.1x).
+	eMax := r.MaxUnsaturatedRate(msvc.ModeERPC)
+	nMax := r.MaxUnsaturatedRate(msvc.ModeDmNet)
+	if nMax <= eMax {
+		t.Errorf("DmRPC-net max rate %.0f <= eRPC %.0f", nMax, eMax)
+	}
+	// At the lowest common offered rate, DmRPC-net latency is lower.
+	low := r.Rows[0].Offered
+	e, ok1 := r.Get(msvc.ModeERPC, low)
+	n, ok2 := r.Get(msvc.ModeDmNet, low)
+	if !ok1 || !ok2 {
+		t.Fatal("missing low-rate rows")
+	}
+	if n.AvgNs >= e.AvgNs {
+		t.Errorf("DmRPC-net avg %d >= eRPC %d at light load", n.AvgNs, e.AvgNs)
+	}
+	if n.P99Ns >= e.P99Ns {
+		t.Errorf("DmRPC-net p99 %d >= eRPC %d at light load", n.P99Ns, e.P99Ns)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	for _, r := range []Fig12Result{Fig12a(Quick), Fig12b(Quick)} {
+		if len(r.Rows) < 3 {
+			t.Fatalf("%s: too few rows", r.Title)
+		}
+		// Throughput decreases mildly and monotonically-ish with latency:
+		// the last point is below the first but not collapsed (paper:
+		// "slightly decreases").
+		first := r.Rows[0].Normalized
+		last := r.Rows[len(r.Rows)-1].Normalized
+		if first != 1 {
+			t.Errorf("%s: first point not normalized to 1", r.Title)
+		}
+		if last >= 1 {
+			t.Errorf("%s: no decrease across the latency sweep", r.Title)
+		}
+		if last < 0.4 {
+			t.Errorf("%s: collapse (%.2f) contradicts 'slightly decreases'", r.Title, last)
+		}
+	}
+}
+
+func TestAblationTranslationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	r := AblationTranslation(Quick)
+	// The paper reports 0.17%; anything clearly under a few percent
+	// supports the claim that software translation is negligible.
+	if r.SharePct < 0 || r.SharePct > 3 {
+		t.Errorf("translation share %.3f%%, want < 3%%", r.SharePct)
+	}
+	if r.AccessNs <= r.BaselineNs {
+		t.Error("translation must add nonzero time")
+	}
+}
+
+func TestAblationSizeAwareShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	r := AblationSizeAware(Quick)
+	// Small payloads: pass by value wins; large payloads: pass by
+	// reference wins; size-aware tracks the winner in both regimes.
+	small, large := 256, 32768
+	valS, _ := r.Get("always-value", small)
+	refS, _ := r.Get("always-ref", small)
+	awS, _ := r.Get("size-aware", small)
+	if valS.Throughput <= refS.Throughput {
+		t.Errorf("at %dB pass-by-value %.0f should beat pass-by-ref %.0f", small, valS.Throughput, refS.Throughput)
+	}
+	valL, _ := r.Get("always-value", large)
+	refL, _ := r.Get("always-ref", large)
+	awL, _ := r.Get("size-aware", large)
+	if refL.Throughput <= valL.Throughput {
+		t.Errorf("at %dB pass-by-ref %.0f should beat pass-by-value %.0f", large, refL.Throughput, valL.Throughput)
+	}
+	if awS.Throughput < 0.7*valS.Throughput {
+		t.Errorf("size-aware not tracking value winner at %dB", small)
+	}
+	if awL.Throughput < 0.7*refL.Throughput {
+		t.Errorf("size-aware not tracking ref winner at %dB", large)
+	}
+}
+
+func TestAblationDMScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	r := AblationDMScale(Quick)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// More memory servers must raise staging throughput meaningfully.
+	if r.Rows[1].Throughput < 1.3*r.Rows[0].Throughput {
+		t.Errorf("2 servers %.0f not >= 1.3x 1 server %.0f",
+			r.Rows[1].Throughput, r.Rows[0].Throughput)
+	}
+	if r.Rows[2].Throughput < r.Rows[1].Throughput {
+		t.Errorf("4 servers %.0f below 2 servers %.0f",
+			r.Rows[2].Throughput, r.Rows[1].Throughput)
+	}
+}
+
+// TestExperimentsAreDeterministic: the entire stack — engine, network,
+// transport, DM backends, workload generators — must give byte-identical
+// results across runs with the same seed.
+func TestExperimentsAreDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	a := Fig8(Quick)
+	b := Fig8(Quick)
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Fatalf("run diverged at row %d: %+v vs %+v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+}
+
+func TestAllExperimentsRegisteredAndPrintable(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig7c",
+		"fig8a", "fig8b", "fig10a", "fig10b", "fig11", "fig12a", "fig12b", "sec5a2",
+		"abl-sizeaware", "abl-dmscale"} {
+		if !ids[want] {
+			t.Errorf("experiment %s not registered", want)
+		}
+	}
+	if _, ok := Find("fig5a"); !ok {
+		t.Error("Find failed for fig5a")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find matched a nonexistent id")
+	}
+}
+
+func TestPrintersProduceTables(t *testing.T) {
+	// Printing should work on empty results without panicking.
+	var b strings.Builder
+	Fig5Result{}.Print(&b)
+	Fig5Result{}.PrintLatency(&b)
+	Fig6Result{}.Print(&b)
+	Fig7Result{}.PrintRate(&b)
+	Fig8Result{}.PrintThroughput(&b)
+	Fig10aResult{}.Print(&b)
+	Fig10bResult{}.Print(&b)
+	Fig11Result{}.Print(&b)
+	Fig12Result{}.Print(&b)
+	TranslationResult{}.Print(&b)
+	SizeAwareResult{}.Print(&b)
+	if !strings.Contains(b.String(), "fig5a") {
+		t.Error("banner missing")
+	}
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"io"
+
+	"repro/internal/msvc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig10aRow is one (mode, image size) throughput measurement of the 7-tier
+// cloud image processing application (§VI-E, Fig 10a).
+type Fig10aRow struct {
+	Mode       msvc.Mode
+	ImageSize  int
+	Throughput float64
+	// Gbps is application goodput (images in+out per second times size).
+	Gbps float64
+}
+
+// Fig10aResult holds the Fig 10a sweep.
+type Fig10aResult struct {
+	Rows []Fig10aRow
+}
+
+// Fig10a reproduces Fig 10a: end-to-end throughput versus image size for
+// eRPC, DmRPC-net and DmRPC-CXL.
+func Fig10a(scale Scale) Fig10aResult {
+	sizes := []int{1024, 4096, 32768}
+	if scale == Full {
+		// The paper's headline 4.2x/8.3x factors appear at the top of the
+		// size sweep, where eRPC's goodput has long plateaued and DmRPC's
+		// is still climbing.
+		sizes = []int{1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072, 262144}
+	}
+	warm, meas := scale.windows()
+	var res Fig10aResult
+	for _, mode := range []msvc.Mode{msvc.ModeERPC, msvc.ModeDmNet, msvc.ModeDmCXL} {
+		for _, size := range sizes {
+			pl := msvc.NewPlatform(msvc.DefaultConfig(mode))
+			app := msvc.NewImageApp(pl, 2)
+			pl.Start()
+			img := make([]byte, size)
+			r := workload.RunClosed(pl.Eng, workload.ClosedConfig{
+				Clients: 32, Warmup: warm, Measure: meas,
+			}, func(p *sim.Proc) error {
+				_, err := app.Do(p, img)
+				return err
+			})
+			res.Rows = append(res.Rows, Fig10aRow{
+				Mode:       mode,
+				ImageSize:  size,
+				Throughput: r.Throughput(),
+				Gbps:       r.Throughput() * float64(size) * 8 * 2 / 1e9,
+			})
+			pl.Shutdown()
+		}
+	}
+	return res
+}
+
+// Print writes the Fig 10a table.
+func (r Fig10aResult) Print(w io.Writer) {
+	header(w, "fig10a", "7-tier cloud image processing: throughput vs image size")
+	t := stats.NewTable("system", "image size", "throughput", "goodput")
+	for _, row := range r.Rows {
+		t.AddRow(row.Mode, stats.Bytes(int64(row.ImageSize)), stats.Rate(row.Throughput),
+			stats.Gbps(int64(row.Gbps*1e9/8), int64(sim.Second)))
+	}
+	io.WriteString(w, t.String())
+}
+
+// Get returns the row for (mode, size).
+func (r Fig10aResult) Get(mode msvc.Mode, size int) (Fig10aRow, bool) {
+	for _, row := range r.Rows {
+		if row.Mode == mode && row.ImageSize == size {
+			return row, true
+		}
+	}
+	return Fig10aRow{}, false
+}
+
+// Fig10bRow is one mode's latency distribution for 4 KiB images (Fig 10b).
+type Fig10bRow struct {
+	Mode    msvc.Mode
+	Latency stats.Summary
+}
+
+// Fig10bResult holds the Fig 10b measurements.
+type Fig10bResult struct {
+	Rows []Fig10bRow
+}
+
+// fig10bImageSize matches the paper ("The image size is fixed to 4 KB").
+const fig10bImageSize = 4096
+
+// Fig10b reproduces Fig 10b: average and tail latency of the pipeline at
+// 4 KiB images under the same load the throughput experiment applies —
+// the regime where pass-by-value's extra data movement turns into
+// queueing delay, which is what the paper's percentile plot captures.
+func Fig10b(scale Scale) Fig10bResult {
+	warm, meas := scale.windows()
+	var res Fig10bResult
+	for _, mode := range []msvc.Mode{msvc.ModeERPC, msvc.ModeDmNet, msvc.ModeDmCXL} {
+		pl := msvc.NewPlatform(msvc.DefaultConfig(mode))
+		app := msvc.NewImageApp(pl, 2)
+		pl.Start()
+		img := make([]byte, fig10bImageSize)
+		r := workload.RunClosed(pl.Eng, workload.ClosedConfig{
+			Clients: 32, Warmup: warm, Measure: meas,
+		}, func(p *sim.Proc) error {
+			_, err := app.Do(p, img)
+			return err
+		})
+		res.Rows = append(res.Rows, Fig10bRow{Mode: mode, Latency: r.Latency.Summarize()})
+		pl.Shutdown()
+	}
+	return res
+}
+
+// Print writes the Fig 10b table.
+func (r Fig10bResult) Print(w io.Writer) {
+	header(w, "fig10b", "7-tier cloud image processing: latency at 4KiB images")
+	t := stats.NewTable("system", "avg", "p99", "p99.5", "p99.9")
+	for _, row := range r.Rows {
+		t.AddRow(row.Mode, stats.Dur(int64(row.Latency.Mean)), stats.Dur(row.Latency.P99),
+			stats.Dur(row.Latency.P995), stats.Dur(row.Latency.P999))
+	}
+	io.WriteString(w, t.String())
+}
+
+// Get returns the row for mode.
+func (r Fig10bResult) Get(mode msvc.Mode) (Fig10bRow, bool) {
+	for _, row := range r.Rows {
+		if row.Mode == mode {
+			return row, true
+		}
+	}
+	return Fig10bRow{}, false
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"io"
+
+	"repro/internal/msvc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// fig12Latencies is the CXL pool access latency sweep (the paper tunes
+// uncore frequency to move this; §VI-G). 265 ns is the paper's default
+// emulation point.
+var fig12Latencies = []sim.Time{165, 265, 365, 465, 565}
+
+// Fig12Row is one latency point: absolute and normalized throughput.
+type Fig12Row struct {
+	LatencyNs  sim.Time
+	Throughput float64
+	Normalized float64 // relative to the first (lowest-latency) point
+}
+
+// Fig12Result holds one Fig 12 sweep.
+type Fig12Result struct {
+	Title string
+	Rows  []Fig12Row
+}
+
+// Fig12a reproduces Fig 12a: the Fig 8 micro-benchmark (write 50%)
+// throughput of DmRPC-CXL under increasing CXL memory access latency.
+func Fig12a(scale Scale) Fig12Result {
+	warm, meas := scale.windows()
+	lats := fig12Latencies
+	if scale == Quick {
+		lats = []sim.Time{165, 265, 565}
+	}
+	res := Fig12Result{Title: "micro-benchmark (32KiB, 50% writes)"}
+	for _, lat := range lats {
+		sys := setupFig8CXL(50, lat)
+		r := workload.RunClosed(sys.eng, workload.ClosedConfig{
+			Clients: 1, Warmup: warm, Measure: meas,
+		}, sys.op)
+		sys.shutdown()
+		res.Rows = append(res.Rows, Fig12Row{LatencyNs: lat, Throughput: r.Throughput()})
+	}
+	res.normalize()
+	return res
+}
+
+// Fig12b reproduces Fig 12b: the cloud image processing application
+// (4 KiB images) on DmRPC-CXL under the same latency sweep.
+func Fig12b(scale Scale) Fig12Result {
+	warm, meas := scale.windows()
+	lats := fig12Latencies
+	if scale == Quick {
+		lats = []sim.Time{165, 265, 565}
+	}
+	res := Fig12Result{Title: "cloud image processing (4KiB images)"}
+	for _, lat := range lats {
+		cfg := msvc.DefaultConfig(msvc.ModeDmCXL)
+		cfg.CXL.Memory.AccessLatency = lat
+		pl := msvc.NewPlatform(cfg)
+		app := msvc.NewImageApp(pl, 2)
+		pl.Start()
+		img := make([]byte, 4096)
+		r := workload.RunClosed(pl.Eng, workload.ClosedConfig{
+			Clients: 16, Warmup: warm, Measure: meas,
+		}, func(p *sim.Proc) error {
+			_, err := app.Do(p, img)
+			return err
+		})
+		pl.Shutdown()
+		res.Rows = append(res.Rows, Fig12Row{LatencyNs: lat, Throughput: r.Throughput()})
+	}
+	res.normalize()
+	return res
+}
+
+func (r *Fig12Result) normalize() {
+	if len(r.Rows) == 0 || r.Rows[0].Throughput == 0 {
+		return
+	}
+	base := r.Rows[0].Throughput
+	for i := range r.Rows {
+		r.Rows[i].Normalized = r.Rows[i].Throughput / base
+	}
+}
+
+// Print writes a Fig 12 table.
+func (r Fig12Result) Print(w io.Writer) {
+	header(w, "fig12", "DmRPC-CXL throughput vs CXL memory latency: "+r.Title)
+	t := stats.NewTable("CXL latency", "throughput", "normalized")
+	for _, row := range r.Rows {
+		t.AddRow(stats.Dur(row.LatencyNs), stats.Rate(row.Throughput),
+			float64(int(row.Normalized*1000))/1000)
+	}
+	io.WriteString(w, t.String())
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"io"
+
+	"repro/internal/msvc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig5Row is one (mode, chain length) measurement of the nested-RPC-calls
+// experiment (§VI-B): a 4 KiB array forwarded down a service chain and
+// aggregated at the end.
+type Fig5Row struct {
+	Mode       msvc.Mode
+	Hops       int
+	Throughput float64 // requests/s, pipelined closed loop
+	// AvgLatency is measured during the same loaded run, matching the
+	// paper's methodology of reporting throughput and latency from one
+	// experiment (data-movement pressure shows up as queueing delay).
+	AvgLatency sim.Time
+}
+
+// Fig5Result holds the Fig 5 sweep.
+type Fig5Result struct {
+	Rows []Fig5Row
+}
+
+const fig5Payload = 4096
+
+// Fig5 reproduces Fig 5a/5b: throughput and average latency of nested RPC
+// chains of increasing length for eRPC, DmRPC-net and DmRPC-CXL.
+func Fig5(scale Scale) Fig5Result {
+	hopsList := []int{1, 3, 5, 7}
+	if scale == Full {
+		hopsList = []int{1, 2, 3, 4, 5, 6, 7}
+	}
+	warm, meas := scale.windows()
+	var res Fig5Result
+	for _, mode := range []msvc.Mode{msvc.ModeERPC, msvc.ModeDmNet, msvc.ModeDmCXL} {
+		for _, hops := range hopsList {
+			pl := msvc.NewPlatform(msvc.DefaultConfig(mode))
+			ch := msvc.NewChain(pl, hops)
+			pl.Start()
+			payload := make([]byte, fig5Payload)
+			r := workload.RunClosed(pl.Eng, workload.ClosedConfig{
+				Clients: 16, Warmup: warm, Measure: meas,
+			}, func(p *sim.Proc) error {
+				_, err := ch.Do(p, payload)
+				return err
+			})
+			pl.Shutdown()
+			res.Rows = append(res.Rows, Fig5Row{
+				Mode:       mode,
+				Hops:       hops,
+				Throughput: r.Throughput(),
+				AvgLatency: sim.Time(r.Latency.Mean()),
+			})
+		}
+	}
+	return res
+}
+
+// Print writes the Fig 5a table (throughput).
+func (r Fig5Result) Print(w io.Writer) {
+	header(w, "fig5a", "nested RPC chain throughput (4KiB argument)")
+	t := stats.NewTable("system", "hops", "throughput")
+	for _, row := range r.Rows {
+		t.AddRow(row.Mode, row.Hops, stats.Rate(row.Throughput))
+	}
+	io.WriteString(w, t.String())
+}
+
+// PrintLatency writes the Fig 5b table (average latency).
+func (r Fig5Result) PrintLatency(w io.Writer) {
+	header(w, "fig5b", "nested RPC chain average latency (4KiB argument)")
+	t := stats.NewTable("system", "hops", "avg latency")
+	for _, row := range r.Rows {
+		t.AddRow(row.Mode, row.Hops, stats.Dur(row.AvgLatency))
+	}
+	io.WriteString(w, t.String())
+}
+
+// Get returns the row for (mode, hops), for shape assertions in tests.
+func (r Fig5Result) Get(mode msvc.Mode, hops int) (Fig5Row, bool) {
+	for _, row := range r.Rows {
+		if row.Mode == mode && row.Hops == hops {
+			return row, true
+		}
+	}
+	return Fig5Row{}, false
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/msvc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig6Row is one (mode, request size) measurement of the application-layer
+// load balancer experiment (§VI-B, Fig 6): 3 senders → LB → 3 receivers.
+type Fig6Row struct {
+	Mode       msvc.Mode
+	ReqSize    int
+	Throughput float64 // requests/s through the LB
+	// LBMemBytesPerReq is the LB server's memory-bus traffic per request —
+	// the "memory bandwidth occupation" of Fig 6b.
+	LBMemBytesPerReq int64
+	// LBMemGBps is the LB's memory-bus bandwidth averaged over the window.
+	LBMemGBps float64
+}
+
+// Fig6Result holds the Fig 6 sweep.
+type Fig6Result struct {
+	Rows []Fig6Row
+}
+
+// Fig6 reproduces Fig 6: LB throughput and LB memory bandwidth for request
+// sizes 4–32 KiB under eRPC, DmRPC-net and DmRPC-CXL.
+func Fig6(scale Scale) Fig6Result {
+	sizes := []int{4096, 32768}
+	if scale == Full {
+		sizes = []int{4096, 8192, 16384, 32768}
+	}
+	warm, meas := scale.windows()
+	var res Fig6Result
+	for _, mode := range []msvc.Mode{msvc.ModeERPC, msvc.ModeDmNet, msvc.ModeDmCXL} {
+		for _, size := range sizes {
+			pl := msvc.NewPlatform(msvc.DefaultConfig(mode))
+			app := msvc.NewLBApp(pl, 3, 3)
+			pl.Start()
+			payload := make([]byte, size)
+			memBefore := app.LB().Host.MemBytesMoved()
+			next := 0
+			r := workload.RunClosed(pl.Eng, workload.ClosedConfig{
+				Clients: 12, Warmup: warm, Measure: meas,
+			}, func(p *sim.Proc) error {
+				idx := next
+				next++
+				return app.Do(p, idx, payload)
+			})
+			memAfter := app.LB().Host.MemBytesMoved()
+			row := Fig6Row{Mode: mode, ReqSize: size, Throughput: r.Throughput()}
+			// Window accounting is approximate (warmup traffic included in
+			// the delta is amortized by the longer measure window).
+			total := float64(memAfter - memBefore)
+			if r.Ops > 0 {
+				row.LBMemBytesPerReq = int64(total / float64(r.Ops))
+			}
+			row.LBMemGBps = total / float64(warm+meas)
+			pl.Shutdown()
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+// Print writes the Fig 6 table.
+func (r Fig6Result) Print(w io.Writer) {
+	header(w, "fig6", "application-layer load balancer (3 senders -> LB -> 3 receivers)")
+	t := stats.NewTable("system", "req size", "LB throughput", "LB mem/req", "LB mem GB/s")
+	for _, row := range r.Rows {
+		t.AddRow(row.Mode, stats.Bytes(int64(row.ReqSize)), stats.Rate(row.Throughput),
+			stats.Bytes(row.LBMemBytesPerReq), fmt.Sprintf("%.2f", row.LBMemGBps))
+	}
+	io.WriteString(w, t.String())
+}
+
+// Get returns the row for (mode, size).
+func (r Fig6Result) Get(mode msvc.Mode, size int) (Fig6Row, bool) {
+	for _, row := range r.Rows {
+		if row.Mode == mode && row.ReqSize == size {
+			return row, true
+		}
+	}
+	return Fig6Row{}, false
+}

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cxlsim"
+	"repro/internal/dm"
+	"repro/internal/dmnet"
+	"repro/internal/memsim"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// Fig7Row is one (system, request size) measurement of the create_ref
+// micro-benchmark (§VI-C, Fig 7): the copy-on-write systems against their
+// unconditional-copy (-copy) counterparts.
+type Fig7Row struct {
+	System        string
+	ReqSize       int
+	Rate          float64  // create_ref/s
+	AvgLatency    sim.Time // create_ref response time
+	TrafficPerReq int64    // DM memory traffic per request (Fig 7c)
+}
+
+// Fig7Result holds the Fig 7 sweep.
+type Fig7Result struct {
+	Rows []Fig7Row
+}
+
+// fig7System is one configured system under test.
+type fig7System struct {
+	name     string
+	space    dm.Space
+	eng      *sim.Engine
+	dev      *memsim.Device
+	shutdown func()
+}
+
+// setupFig7Net builds a DmRPC-net system with a single-core memory server
+// ("we use one CPU core in a single memory server", §VI-C).
+func setupFig7Net(copyMode bool) *fig7System {
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng, simnet.DefaultConfig())
+	scfg := dmnet.DefaultServerConfig()
+	scfg.RPC.Workers = 1
+	scfg.Memory.NumPages = 1 << 14
+	scfg.UnconditionalCopy = copyMode
+	srv := dmnet.NewServer(net.AddHost("dmserver"), 1, 0, scfg)
+	srv.Start()
+	node := rpc.NewNode(net.AddHost("client"), 1, "client", rpc.DefaultConfig())
+	node.Start()
+	cl := dmnet.NewClient(node, []simnet.Addr{srv.Addr()})
+	eng.Spawn("register", func(p *sim.Proc) {
+		if err := cl.Register(p); err != nil {
+			panic(err)
+		}
+	})
+	eng.Run()
+	name := "DmRPC-net"
+	if copyMode {
+		name += "-copy"
+	}
+	return &fig7System{name: name, space: cl, eng: eng, dev: srv.Device(), shutdown: eng.Shutdown}
+}
+
+// setupFig7CXL builds a DmRPC-CXL system driven by one client thread.
+func setupFig7CXL(copyMode bool) *fig7System {
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng, simnet.DefaultConfig())
+	ccfg := cxlsim.DefaultConfig()
+	ccfg.Memory.NumPages = 1 << 14
+	ccfg.UnconditionalCopy = copyMode
+	gfam := cxlsim.NewGFAM(eng, 0, ccfg)
+	coord := cxlsim.NewCoordinator(net.AddHost("coord"), 1, gfam, rpc.DefaultConfig())
+	coord.Start()
+	hd := cxlsim.NewHostDM(net.AddHost("compute"), 1, gfam, coord.Addr(), rpc.DefaultConfig())
+	name := "DmRPC-CXL"
+	if copyMode {
+		name += "-copy"
+	}
+	return &fig7System{name: name, space: hd.NewSpace(), eng: eng, dev: gfam.Device(), shutdown: eng.Shutdown}
+}
+
+// Fig7 reproduces Fig 7a/7b/7c: create_ref rate, response time and DM
+// traffic per request, CoW vs unconditional copy, across request sizes.
+func Fig7(scale Scale) Fig7Result {
+	sizes := []int{4096, 65536, 262144}
+	if scale == Full {
+		sizes = []int{4096, 16384, 65536, 262144, 524288}
+	}
+	warm, meas := scale.windows()
+	var res Fig7Result
+	systems := []struct {
+		mk      func(bool) *fig7System
+		copyOn  bool
+		clients int
+	}{
+		{setupFig7Net, false, 8},
+		{setupFig7Net, true, 8},
+		{setupFig7CXL, false, 1},
+		{setupFig7CXL, true, 1},
+	}
+	for _, sys := range systems {
+		for _, size := range sizes {
+			s := sys.mk(sys.copyOn)
+			row := measureCreateRef(s, size, sys.clients, warm, meas)
+			s.shutdown()
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+// measureCreateRef stages a region of size bytes once, then drives
+// create_ref/free_ref cycles from the given number of client processes,
+// timing only the create_ref call.
+func measureCreateRef(s *fig7System, size, clients int, warm, meas sim.Time) Fig7Row {
+	row := Fig7Row{System: s.name, ReqSize: size}
+	// Stage the region once.
+	var addr dm.RemoteAddr
+	s.eng.Spawn("stage", func(p *sim.Proc) {
+		a, err := s.space.Alloc(p, int64(size))
+		if err != nil {
+			panic(err)
+		}
+		if err := s.space.Write(p, a, make([]byte, size)); err != nil {
+			panic(err)
+		}
+		addr = a
+	})
+	s.eng.Run()
+
+	start := s.eng.Now()
+	measFrom := start + warm
+	measTo := measFrom + meas
+	var hist stats.Histogram
+	var ops int64
+	s.eng.At(measFrom, func() { s.dev.ResetTraffic() })
+	for i := 0; i < clients; i++ {
+		s.eng.Spawn(fmt.Sprintf("cr-%d", i), func(p *sim.Proc) {
+			for {
+				if p.Now() >= measTo {
+					return
+				}
+				t0 := p.Now()
+				ref, err := s.space.CreateRef(p, addr, int64(size))
+				if err != nil {
+					panic(err)
+				}
+				t1 := p.Now()
+				if t1 >= measFrom && t1 < measTo {
+					ops++
+					hist.Record(t1 - t0)
+				}
+				if err := s.space.FreeRef(p, ref); err != nil {
+					panic(err)
+				}
+			}
+		})
+	}
+	s.eng.RunUntil(measTo)
+	row.Rate = float64(ops) * float64(sim.Second) / float64(meas)
+	row.AvgLatency = sim.Time(hist.Mean())
+	if ops > 0 {
+		row.TrafficPerReq = s.dev.Traffic().Total() / ops
+	}
+	return row
+}
+
+// PrintRate writes the Fig 7a table.
+func (r Fig7Result) PrintRate(w io.Writer) {
+	header(w, "fig7a", "create_ref request rate")
+	t := stats.NewTable("system", "req size", "rate")
+	for _, row := range r.Rows {
+		t.AddRow(row.System, stats.Bytes(int64(row.ReqSize)), stats.Rate(row.Rate))
+	}
+	io.WriteString(w, t.String())
+}
+
+// PrintLatency writes the Fig 7b table.
+func (r Fig7Result) PrintLatency(w io.Writer) {
+	header(w, "fig7b", "create_ref response time")
+	t := stats.NewTable("system", "req size", "avg latency")
+	for _, row := range r.Rows {
+		t.AddRow(row.System, stats.Bytes(int64(row.ReqSize)), stats.Dur(row.AvgLatency))
+	}
+	io.WriteString(w, t.String())
+}
+
+// PrintTraffic writes the Fig 7c table.
+func (r Fig7Result) PrintTraffic(w io.Writer) {
+	header(w, "fig7c", "average DM memory traffic per request")
+	t := stats.NewTable("system", "req size", "traffic/req")
+	for _, row := range r.Rows {
+		t.AddRow(row.System, stats.Bytes(int64(row.ReqSize)), stats.Bytes(row.TrafficPerReq))
+	}
+	io.WriteString(w, t.String())
+}
+
+// Get returns the row for (system, size).
+func (r Fig7Result) Get(system string, size int) (Fig7Row, bool) {
+	for _, row := range r.Rows {
+		if row.System == system && row.ReqSize == size {
+			return row, true
+		}
+	}
+	return Fig7Row{}, false
+}

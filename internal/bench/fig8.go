@@ -1,0 +1,278 @@
+package bench
+
+import (
+	"io"
+
+	"repro/internal/cxlsim"
+	"repro/internal/dm"
+	"repro/internal/dmnet"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// mFig8 is the callee-side method of the Fig 8 micro-benchmark.
+const mFig8 rpc.Method = 0x0500
+
+// fig8BlockSize is the raw data block size (§VI-D: 32 KiB).
+const fig8BlockSize = 32768
+
+// Fig8Row is one (system, write percentage) measurement of the Ray/Spark
+// comparison (§VI-D, Fig 8): share a 32 KiB block with a remote
+// microservice which writes a percentage of it. Single-threaded.
+type Fig8Row struct {
+	System     string
+	WritePct   int
+	Throughput float64
+	AvgLatency sim.Time
+}
+
+// Fig8Result holds the Fig 8 sweep.
+type Fig8Result struct {
+	Rows []Fig8Row
+}
+
+// fig8System is one configured system: op performs a full round.
+type fig8System struct {
+	name     string
+	eng      *sim.Engine
+	op       workload.Op
+	shutdown func()
+}
+
+// setupFig8DmNet wires caller/callee services over a DmRPC-net pool.
+func setupFig8DmNet(writePct int) *fig8System {
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng, simnet.DefaultConfig())
+	scfg := dmnet.DefaultServerConfig()
+	scfg.Memory.NumPages = 1 << 13
+	scfg.RPC.Workers = 4
+	srv := dmnet.NewServer(net.AddHost("dmserver"), 1, 0, scfg)
+	srv.Start()
+
+	an := rpc.NewNode(net.AddHost("caller"), 1, "caller", rpc.DefaultConfig())
+	bn := rpc.NewNode(net.AddHost("callee"), 1, "callee", rpc.DefaultConfig())
+	ac := dmnet.NewClient(an, []simnet.Addr{srv.Addr()})
+	bc := dmnet.NewClient(bn, []simnet.Addr{srv.Addr()})
+	registerFig8Callee(bn, bc, writePct)
+	an.Start()
+	bn.Start()
+
+	var addr dm.RemoteAddr
+	eng.Spawn("setup", func(p *sim.Proc) {
+		must(ac.Register(p))
+		must(bc.Register(p))
+		a, err := ac.Alloc(p, fig8BlockSize)
+		must(err)
+		must(ac.Write(p, a, make([]byte, fig8BlockSize)))
+		addr = a
+	})
+	eng.Run()
+	return &fig8System{
+		name: "DmRPC-net", eng: eng, shutdown: eng.Shutdown,
+		op: fig8DmOp(an, ac, bn.Addr(), &addr),
+	}
+}
+
+// setupFig8CXL wires caller/callee spaces over a CXL fabric with the given
+// pool access latency (also reused by the Fig 12a latency sweep).
+func setupFig8CXL(writePct int, latency sim.Time) *fig8System {
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng, simnet.DefaultConfig())
+	ccfg := cxlsim.DefaultConfig()
+	ccfg.Memory.NumPages = 1 << 13
+	ccfg.Memory.AccessLatency = latency
+	gfam := cxlsim.NewGFAM(eng, 0, ccfg)
+	coord := cxlsim.NewCoordinator(net.AddHost("coord"), 1, gfam, rpc.DefaultConfig())
+	coord.Start()
+
+	ah := net.AddHost("caller")
+	bh := net.AddHost("callee")
+	an := rpc.NewNode(ah, 1, "caller", rpc.DefaultConfig())
+	bn := rpc.NewNode(bh, 1, "callee", rpc.DefaultConfig())
+	as := cxlsim.NewHostDM(ah, 2, gfam, coord.Addr(), rpc.DefaultConfig()).NewSpace()
+	bs := cxlsim.NewHostDM(bh, 2, gfam, coord.Addr(), rpc.DefaultConfig()).NewSpace()
+	registerFig8Callee(bn, bs, writePct)
+	an.Start()
+	bn.Start()
+
+	var addr dm.RemoteAddr
+	eng.Spawn("setup", func(p *sim.Proc) {
+		a, err := as.Alloc(p, fig8BlockSize)
+		must(err)
+		must(as.Write(p, a, make([]byte, fig8BlockSize)))
+		addr = a
+	})
+	eng.Run()
+	return &fig8System{
+		name: "DmRPC-CXL", eng: eng, shutdown: eng.Shutdown,
+		op: fig8DmOp(an, as, bn.Addr(), &addr),
+	}
+}
+
+// registerFig8Callee installs the callee handler: map the ref, write the
+// requested percentage (prefix), unmap.
+func registerFig8Callee(node *rpc.Node, space dm.Space, writePct int) {
+	node.Handle(mFig8, func(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+		d := rpc.NewDec(body)
+		ref := dm.DecodeRef(d)
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		addr, err := space.MapRef(ctx.P, ref)
+		if err != nil {
+			return nil, err
+		}
+		n := int(ref.Size) * writePct / 100
+		if n > 0 {
+			if err := space.Write(ctx.P, addr, make([]byte, n)); err != nil {
+				return nil, err
+			}
+		}
+		if err := space.Free(ctx.P, addr); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+}
+
+// fig8DmOp returns the caller-side round: create_ref -> RPC -> free_ref.
+func fig8DmOp(an *rpc.Node, space dm.Space, callee simnet.Addr, addr *dm.RemoteAddr) workload.Op {
+	return func(p *sim.Proc) error {
+		ref, err := space.CreateRef(p, *addr, fig8BlockSize)
+		if err != nil {
+			return err
+		}
+		e := rpc.NewEnc(dm.EncodedRefSize)
+		ref.Encode(e)
+		if _, err := an.Call(p, callee, mFig8, e.Bytes()); err != nil {
+			return err
+		}
+		return space.FreeRef(p, ref)
+	}
+}
+
+// setupFig8Store wires the Ray- or Spark-style baseline: put a new object,
+// send its ref, callee fetches the whole object and mutates its heap copy.
+func setupFig8Store(name string, scfg store.Config, writePct int) *fig8System {
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng, simnet.DefaultConfig())
+	ah := net.AddHost("caller")
+	bh := net.AddHost("callee")
+	asn := store.NewNode(ah, 2, scfg)
+	bsn := store.NewNode(bh, 2, scfg)
+	asn.Start()
+	bsn.Start()
+	acl := store.NewClient(asn)
+	bcl := store.NewClient(bsn)
+
+	an := rpc.NewNode(ah, 1, "caller", rpc.DefaultConfig())
+	bn := rpc.NewNode(bh, 1, "callee", rpc.DefaultConfig())
+	bn.Handle(mFig8, func(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+		ref := store.DecodeObjectRef(rpc.NewDec(body))
+		obj, err := bcl.Get(ctx.P, ref)
+		if err != nil {
+			return nil, err
+		}
+		n := len(obj) * writePct / 100
+		if n > 0 {
+			// Mutate the private heap copy.
+			bh.Memcpy(ctx.P, n)
+			copy(obj[:n], make([]byte, n))
+		}
+		bcl.Delete(ref) // drop the cached replica
+		return nil, nil
+	})
+	an.Start()
+	bn.Start()
+
+	block := make([]byte, fig8BlockSize)
+	return &fig8System{
+		name: name, eng: eng, shutdown: eng.Shutdown,
+		op: func(p *sim.Proc) error {
+			ref, err := acl.Put(p, block)
+			if err != nil {
+				return err
+			}
+			e := rpc.NewEnc(24)
+			ref.Encode(e)
+			if _, err := an.Call(p, bn.Addr(), mFig8, e.Bytes()); err != nil {
+				return err
+			}
+			acl.Delete(ref)
+			return nil
+		},
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// Fig8 reproduces Fig 8a/8b: single-threaded throughput and latency of
+// sharing a 32 KiB block, versus the write percentage, for DmRPC-net,
+// DmRPC-CXL, Ray and Spark.
+func Fig8(scale Scale) Fig8Result {
+	pcts := []int{0, 50, 100}
+	if scale == Full {
+		pcts = []int{0, 25, 50, 75, 100}
+	}
+	warm, meas := scale.windows()
+	var res Fig8Result
+	for _, pct := range pcts {
+		systems := []*fig8System{
+			setupFig8DmNet(pct),
+			setupFig8CXL(pct, cxlsim.DefaultConfig().Memory.AccessLatency),
+			setupFig8Store("Ray", store.RayConfig(), pct),
+			setupFig8Store("Spark", store.SparkConfig(), pct),
+		}
+		for _, sys := range systems {
+			r := workload.RunClosed(sys.eng, workload.ClosedConfig{
+				Clients: 1, Warmup: warm, Measure: meas,
+			}, sys.op)
+			res.Rows = append(res.Rows, Fig8Row{
+				System:     sys.name,
+				WritePct:   pct,
+				Throughput: r.Throughput(),
+				AvgLatency: sim.Time(r.Latency.Mean()),
+			})
+			sys.shutdown()
+		}
+	}
+	return res
+}
+
+// PrintThroughput writes the Fig 8a table.
+func (r Fig8Result) PrintThroughput(w io.Writer) {
+	header(w, "fig8a", "32KiB block sharing throughput vs write percentage (single thread)")
+	t := stats.NewTable("system", "write%", "throughput")
+	for _, row := range r.Rows {
+		t.AddRow(row.System, row.WritePct, stats.Rate(row.Throughput))
+	}
+	io.WriteString(w, t.String())
+}
+
+// PrintLatency writes the Fig 8b table.
+func (r Fig8Result) PrintLatency(w io.Writer) {
+	header(w, "fig8b", "32KiB block sharing latency vs write percentage (single thread)")
+	t := stats.NewTable("system", "write%", "avg latency")
+	for _, row := range r.Rows {
+		t.AddRow(row.System, row.WritePct, stats.Dur(row.AvgLatency))
+	}
+	io.WriteString(w, t.String())
+}
+
+// Get returns the row for (system, pct).
+func (r Fig8Result) Get(system string, pct int) (Fig8Row, bool) {
+	for _, row := range r.Rows {
+		if row.System == system && row.WritePct == pct {
+			return row, true
+		}
+	}
+	return Fig8Row{}, false
+}

@@ -1,0 +1,349 @@
+// Package core is the DmRPC library itself (paper §IV): it combines the
+// datacenter RPC layer with a disaggregated-memory backend to give
+// microservices size-aware argument transfer —
+//
+//   - small objects pass by value inside the RPC message, exactly like a
+//     traditional RPC ("to avoid memory management overhead");
+//   - large objects pass by reference: the producer stages the bytes in
+//     disaggregated memory once, and only a small Ref travels down the RPC
+//     chain; consumers map the Ref when (and if) they actually touch the
+//     data, with page-granular copy-on-write keeping every party's view
+//     private ("users are not aware of the two different modes", §IV-B).
+//
+// The same Client API runs over three configurations used throughout the
+// reproduction's experiments:
+//
+//	eRPC baseline:  NewInlineClient (everything passes by value)
+//	DmRPC-net:      NewClient with a dmnet.Client space
+//	DmRPC-CXL:      NewClient with a cxlsim.Space
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dm"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// DefaultInlineThreshold is the size-aware transfer cutoff: argument
+// payloads at or below this many bytes pass by value.
+const DefaultInlineThreshold = 1024
+
+// Config tunes a DmRPC client.
+type Config struct {
+	// InlineThreshold is the size-aware cutoff in bytes. Zero means
+	// DefaultInlineThreshold; negative means "always pass by reference".
+	InlineThreshold int
+	// ForceInline disables pass-by-reference entirely, producing the eRPC
+	// pass-by-value baseline from the same application code.
+	ForceInline bool
+}
+
+func (c Config) threshold() int {
+	if c.ForceInline {
+		return int(^uint(0) >> 1) // MaxInt: everything inlines
+	}
+	if c.InlineThreshold == 0 {
+		return DefaultInlineThreshold
+	}
+	if c.InlineThreshold < 0 {
+		return -1
+	}
+	return c.InlineThreshold
+}
+
+// Client is one microservice's DmRPC handle: its RPC node plus its view of
+// the disaggregated memory pool.
+type Client struct {
+	node  *rpc.Node
+	space dm.Space
+	cfg   Config
+}
+
+// NewClient builds a DmRPC client over node and a DM backend.
+func NewClient(node *rpc.Node, space dm.Space, cfg Config) *Client {
+	if space == nil && !cfg.ForceInline {
+		panic("core: a DM space is required unless ForceInline is set")
+	}
+	return &Client{node: node, space: space, cfg: cfg}
+}
+
+// NewInlineClient builds the pass-by-value baseline client (no DM).
+func NewInlineClient(node *rpc.Node) *Client {
+	return &Client{node: node, cfg: Config{ForceInline: true}}
+}
+
+// Node returns the client's RPC node.
+func (c *Client) Node() *rpc.Node { return c.node }
+
+// Space returns the client's DM backend (nil for the inline baseline).
+func (c *Client) Space() dm.Space { return c.space }
+
+// Host returns the host this client runs on.
+func (c *Client) Host() *simnet.Host { return c.node.Host() }
+
+// Call proxies to the RPC node.
+func (c *Client) Call(p *sim.Proc, to simnet.Addr, m rpc.Method, body []byte) ([]byte, error) {
+	return c.node.Call(p, to, m, body)
+}
+
+// Arg is a size-aware RPC argument: either inline bytes or a Ref into
+// disaggregated memory. Args are small values meant to be embedded in RPC
+// message bodies via Encode/DecodeArg.
+type Arg struct {
+	isRef  bool
+	inline []byte
+	ref    dm.Ref
+}
+
+// IsRef reports whether the argument passes by reference.
+func (a Arg) IsRef() bool { return a.isRef }
+
+// Ref returns the underlying Ref; valid only when IsRef.
+func (a Arg) Ref() dm.Ref { return a.ref }
+
+// Inline returns the inline payload (nil for ref arguments). The slice is
+// aliased, not copied; treat it as read-only.
+func (a Arg) Inline() []byte {
+	if a.isRef {
+		return nil
+	}
+	return a.inline
+}
+
+// Size returns the argument's logical payload size.
+func (a Arg) Size() int64 {
+	if a.isRef {
+		return a.ref.Size
+	}
+	return int64(len(a.inline))
+}
+
+// WireSize returns how many bytes the argument occupies inside an RPC
+// message — the quantity the pass-by-reference design shrinks.
+func (a Arg) WireSize() int {
+	if a.isRef {
+		return 1 + dm.EncodedRefSize
+	}
+	return 1 + 4 + len(a.inline)
+}
+
+// Encode appends the argument to an RPC message.
+func (a Arg) Encode(e *rpc.Enc) {
+	if a.isRef {
+		e.U8(1)
+		a.ref.Encode(e)
+		return
+	}
+	e.U8(0)
+	e.Blob(a.inline)
+}
+
+// DecodeArg reads an Arg from an RPC message.
+func DecodeArg(d *rpc.Dec) Arg {
+	if d.U8() == 1 {
+		return Arg{isRef: true, ref: dm.DecodeRef(d)}
+	}
+	return Arg{inline: d.Blob()}
+}
+
+// InlineArg builds a pass-by-value argument from data without consulting
+// any threshold. The bytes are aliased, not copied.
+func InlineArg(data []byte) Arg { return Arg{inline: data} }
+
+// RefArg wraps an existing Ref as an argument (for data already staged in
+// DM).
+func RefArg(ref dm.Ref) Arg { return Arg{isRef: true, ref: ref} }
+
+// MakeArg stages data as an RPC argument using size-aware transfer: at or
+// below the threshold the bytes inline; above it they are staged in
+// disaggregated memory once and a Ref is created. Backends implementing
+// dm.RefStager stage in one fused operation (one round trip on the net
+// backend); otherwise this is Listing 1's ralloc+rwrite+create_ref+rfree
+// sequence. Either way the Ref's own hold keeps the pages alive.
+func (c *Client) MakeArg(p *sim.Proc, data []byte) (Arg, error) {
+	if len(data) <= c.cfg.threshold() {
+		return Arg{inline: data}, nil
+	}
+	if st, ok := c.space.(dm.RefStager); ok {
+		ref, err := st.StageRef(p, data)
+		if err != nil {
+			return Arg{}, err
+		}
+		return Arg{isRef: true, ref: ref}, nil
+	}
+	addr, err := c.space.Alloc(p, int64(len(data)))
+	if err != nil {
+		return Arg{}, err
+	}
+	if err := c.space.Write(p, addr, data); err != nil {
+		return Arg{}, err
+	}
+	ref, err := c.space.CreateRef(p, addr, int64(len(data)))
+	if err != nil {
+		return Arg{}, err
+	}
+	if err := c.space.Free(p, addr); err != nil {
+		return Arg{}, err
+	}
+	return Arg{isRef: true, ref: ref}, nil
+}
+
+// errInlineNoSpace is returned when ref operations hit an inline-only
+// client.
+var errInlineNoSpace = errors.New("core: pass-by-reference argument reached a client with no DM space")
+
+// Data is a consumer's opened view of an Arg. For inline args it is the
+// local bytes. For ref args, reads go directly through the ref (no
+// mapping) when the backend supports dm.RefReader; the first Write
+// establishes a private mapping (map_ref) so copy-on-write isolation
+// applies, after which all accesses go through the mapping.
+type Data struct {
+	c      *Client
+	isRef  bool
+	inline []byte
+	ref    dm.Ref
+	mapped bool
+	addr   dm.RemoteAddr
+	size   int64
+}
+
+// Open materializes an argument for access. Opening a ref argument is
+// free: no data moves (and no mapping is created) until Read or Write.
+// Callers that never touch the payload (pure forwarders) simply never call
+// Open — that is the entire point of pass by reference.
+func (c *Client) Open(p *sim.Proc, a Arg) (*Data, error) {
+	if !a.isRef {
+		return &Data{c: c, inline: a.inline, size: int64(len(a.inline))}, nil
+	}
+	if c.space == nil {
+		return nil, errInlineNoSpace
+	}
+	d := &Data{c: c, isRef: true, ref: a.ref, size: a.ref.Size}
+	if _, fast := c.space.(dm.RefReader); !fast {
+		if err := d.ensureMapped(p); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// ensureMapped lazily establishes this consumer's private mapping.
+func (d *Data) ensureMapped(p *sim.Proc) error {
+	if d.mapped {
+		return nil
+	}
+	addr, err := d.c.space.MapRef(p, d.ref)
+	if err != nil {
+		return err
+	}
+	d.addr = addr
+	d.mapped = true
+	return nil
+}
+
+// Size returns the payload length.
+func (d *Data) Size() int64 { return d.size }
+
+// Read copies len(dst) bytes starting at off into dst. Inline data charges
+// a local memcpy; unmapped ref data reads straight through the ref;
+// mapped data reads through this consumer's (possibly CoW-diverged) view.
+func (d *Data) Read(p *sim.Proc, off int64, dst []byte) error {
+	if off < 0 || off+int64(len(dst)) > d.size {
+		return dm.ErrOutOfRange
+	}
+	if !d.isRef {
+		d.c.Host().Memcpy(p, len(dst))
+		copy(dst, d.inline[off:])
+		return nil
+	}
+	if !d.mapped {
+		if rr, ok := d.c.space.(dm.RefReader); ok {
+			return rr.ReadRef(p, d.ref, off, dst)
+		}
+		if err := d.ensureMapped(p); err != nil {
+			return err
+		}
+	}
+	return d.c.space.Read(p, d.addr.Add(off), dst)
+}
+
+// Write stores src at off. Inline data mutates the local copy (pass by
+// value already isolated it); ref data maps first (if needed) and writes
+// through the DM path, triggering copy-on-write on shared pages.
+func (d *Data) Write(p *sim.Proc, off int64, src []byte) error {
+	if off < 0 || off+int64(len(src)) > d.size {
+		return dm.ErrOutOfRange
+	}
+	if !d.isRef {
+		d.c.Host().Memcpy(p, len(src))
+		copy(d.inline[off:], src)
+		return nil
+	}
+	if err := d.ensureMapped(p); err != nil {
+		return err
+	}
+	return d.c.space.Write(p, d.addr.Add(off), src)
+}
+
+// Bytes reads the whole payload into a fresh buffer.
+func (d *Data) Bytes(p *sim.Proc) ([]byte, error) {
+	buf := make([]byte, d.size)
+	if err := d.Read(p, 0, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Close releases the consumer's mapping (rfree). The Ref itself stays
+// valid for other consumers; release it with Client.Release.
+func (d *Data) Close(p *sim.Proc) error {
+	if !d.mapped {
+		return nil
+	}
+	d.mapped = false
+	return d.c.space.Free(p, d.addr)
+}
+
+// Release drops a ref argument's own hold on its pages; call it when no
+// further consumer will map the argument. Inline arguments need no
+// release.
+func (c *Client) Release(p *sim.Proc, a Arg) error {
+	if !a.isRef {
+		return nil
+	}
+	if c.space == nil {
+		return errInlineNoSpace
+	}
+	return c.space.FreeRef(p, a.ref)
+}
+
+// ReleaseAsync schedules Release off the critical path: reclamation is
+// deferred to a background process, the way production RPC stacks defer
+// buffer frees. Errors surface as panics (a failed free is a bug, not a
+// runtime condition).
+func (c *Client) ReleaseAsync(a Arg) {
+	if !a.isRef {
+		return
+	}
+	if c.space == nil {
+		panic(errInlineNoSpace)
+	}
+	eng := c.node.Host().Network().Engine()
+	eng.Spawn("release-ref", func(p *sim.Proc) {
+		if err := c.space.FreeRef(p, a.ref); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// String renders the argument for logs.
+func (a Arg) String() string {
+	if a.isRef {
+		return fmt.Sprintf("arg(ref %v)", a.ref)
+	}
+	return fmt.Sprintf("arg(inline %dB)", len(a.inline))
+}

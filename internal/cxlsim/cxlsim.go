@@ -1,0 +1,809 @@
+// Package cxlsim implements DmRPC-CXL (paper §V-B): a G-FAM
+// (Global Fabric-Attached Memory) device shared by all hosts in a CXL
+// fabric, a coordinator server managing free-page ownership, and a
+// per-compute-server DM layer providing allocation, page tables with
+// permission flags, page-fault handling and a *distributed* copy-on-write
+// built on ISA-style atomics against the fabric memory.
+//
+// Emulation note (paper §VI-A / §VI-G): there is no commodity CXL pool; the
+// paper itself emulates one with cross-socket NUMA throttled to 265 ns
+// (165 ns CXL memory + 100 ns switch). We emulate one level lower with a
+// memsim.Device at the same calibrated latency; SetAccessLatency drives the
+// Fig 12 latency sweep.
+package cxlsim
+
+import (
+	"fmt"
+
+	"repro/internal/dm"
+	"repro/internal/memsim"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Coordinator RPC methods (reliable network protocol, §V-B1).
+const (
+	MReserve rpc.Method = 0x0200 + iota
+	MReturn
+)
+
+// Config tunes the CXL fabric and every host DM layer attached to it.
+type Config struct {
+	// Memory is the G-FAM device: 265 ns effective latency by default.
+	Memory memsim.Config
+	// CopyBytesPerSecond is the effective bandwidth of one core doing a
+	// CPU-driven load/store copy through CXL (uncached), used for CoW and
+	// unconditional copies.
+	CopyBytesPerSecond int64
+	// PTETime is the cost of one local page-table update.
+	PTETime sim.Time
+	// FaultTime is the trap overhead of one page fault.
+	FaultTime sim.Time
+	// ReserveBatch is how many free pages a host pulls from the coordinator
+	// at once.
+	ReserveBatch int
+	// HighWater: a host returns pages above this to the coordinator.
+	HighWater int
+	// UnconditionalCopy makes CreateRef copy the region eagerly (the
+	// DmRPC-CXL-copy baseline of Fig 7).
+	UnconditionalCopy bool
+	// LDFam switches the device from G-FAM (one DPA space shared by all
+	// hosts, the paper's choice for DmRPC-CXL) to LD-FAM (§II-B2): the
+	// physical device is partitioned into up to MaxLogicalDevices logical
+	// devices, each exposed to a single host, so refs cannot be shared
+	// across hosts. Exists to demonstrate *why* the paper builds on G-FAM.
+	LDFam bool
+	// MaxLogicalDevices bounds LD-FAM partitioning (the spec allows 16).
+	// Zero means 16.
+	MaxLogicalDevices int
+}
+
+// DefaultConfig mirrors the paper's emulated CXL pool.
+func DefaultConfig() Config {
+	return Config{
+		Memory: memsim.Config{
+			NumPages:       1 << 16, // 256 MiB
+			PageSize:       4096,
+			AccessLatency:  265,            // ns: 165 CXL memory + 100 switch
+			BytesPerSecond: 64_000_000_000, // G-FAM device bandwidth
+		},
+		CopyBytesPerSecond: 6_000_000_000, // one core's uncached CXL copy rate
+		PTETime:            20,
+		FaultTime:          800, // kernel trap + handler entry/exit
+		ReserveBatch:       256,
+		HighWater:          1024,
+	}
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	if err := c.Memory.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.CopyBytesPerSecond <= 0:
+		return fmt.Errorf("cxlsim: CopyBytesPerSecond must be positive")
+	case c.PTETime < 0 || c.FaultTime < 0:
+		return fmt.Errorf("cxlsim: times must be non-negative")
+	case c.ReserveBatch <= 0:
+		return fmt.Errorf("cxlsim: ReserveBatch must be positive")
+	case c.HighWater < c.ReserveBatch:
+		return fmt.Errorf("cxlsim: HighWater must be >= ReserveBatch")
+	case c.MaxLogicalDevices < 0:
+		return fmt.Errorf("cxlsim: MaxLogicalDevices must be non-negative")
+	}
+	return nil
+}
+
+// maxLDs returns the LD-FAM partition bound.
+func (c Config) maxLDs() int {
+	if c.MaxLogicalDevices == 0 {
+		return 16
+	}
+	return c.MaxLogicalDevices
+}
+
+// GFAM is the fabric-attached memory device plus the shared-ref metadata
+// region. In hardware the ref metadata (the shared page list) lives inside
+// G-FAM itself; here it is a registry on the device object, charged one
+// device access per lookup/insert.
+type GFAM struct {
+	dev      *memsim.Device
+	cfg      Config
+	refs     map[uint64]*gfamRef
+	nextKey  uint64
+	deviceID uint32
+	nextHost uint32
+}
+
+type gfamRef struct {
+	frames []memsim.FrameID
+	size   int64
+	// owner is the creating host's logical-device id; in LD-FAM mode only
+	// that host may map or read the ref (§II-B2).
+	owner uint32
+}
+
+// NewGFAM creates the fabric memory device.
+func NewGFAM(eng *sim.Engine, deviceID uint32, cfg Config) *GFAM {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &GFAM{
+		dev:      memsim.New(eng, fmt.Sprintf("gfam%d", deviceID), cfg.Memory),
+		cfg:      cfg,
+		refs:     make(map[uint64]*gfamRef),
+		deviceID: deviceID,
+	}
+}
+
+// Device exposes the underlying memory device (traffic accounting,
+// latency sweeps).
+func (g *GFAM) Device() *memsim.Device { return g.dev }
+
+// DeviceID returns the fabric device identity carried in Refs.
+func (g *GFAM) DeviceID() uint32 { return g.deviceID }
+
+// LiveRefs returns the number of outstanding shared refs.
+func (g *GFAM) LiveRefs() int { return len(g.refs) }
+
+// metaAccess charges one fabric access for ref-metadata traffic.
+func (g *GFAM) metaAccess(p *sim.Proc) {
+	p.Sleep(g.cfg.Memory.AccessLatency)
+}
+
+// Coordinator manages free-page ownership across hosts (§V-B1). All pages
+// start owned by the coordinator; hosts reserve batches and return excess.
+type Coordinator struct {
+	node *rpc.Node
+	gfam *GFAM
+	free *memsim.FreeList
+
+	// parts holds per-host partitions in LD-FAM mode, carved lazily from
+	// free (each logical device gets NumPages/MaxLogicalDevices frames).
+	parts map[uint32]*memsim.FreeList
+
+	reserves stats64
+	returns  stats64
+}
+
+type stats64 struct{ n int64 }
+
+func (s *stats64) inc() { s.n++ }
+
+// NewCoordinator creates the coordinator service on host h.
+func NewCoordinator(h *simnet.Host, port int, gfam *GFAM, rpcCfg rpc.Config) *Coordinator {
+	c := &Coordinator{
+		node:  rpc.NewNode(h, port, "cxl-coordinator", rpcCfg),
+		gfam:  gfam,
+		free:  memsim.NewFreeList(gfam.cfg.Memory.NumPages),
+		parts: make(map[uint32]*memsim.FreeList),
+	}
+	c.node.Handle(MReserve, c.handleReserve)
+	c.node.Handle(MReturn, c.handleReturn)
+	return c
+}
+
+// Start launches the coordinator's RPC stack.
+func (c *Coordinator) Start() { c.node.Start() }
+
+// Addr returns the coordinator's RPC address.
+func (c *Coordinator) Addr() simnet.Addr { return c.node.Addr() }
+
+// FreePages returns how many pages the coordinator currently owns.
+func (c *Coordinator) FreePages() int { return c.free.Len() }
+
+// ReserveCalls returns how many reserve requests hosts have made.
+func (c *Coordinator) ReserveCalls() int64 { return c.reserves.n }
+
+// ReturnCalls returns how many return requests hosts have made.
+func (c *Coordinator) ReturnCalls() int64 { return c.returns.n }
+
+func (c *Coordinator) handleReserve(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+	d := rpc.NewDec(body)
+	n := int(d.U32())
+	host := d.U32()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	c.reserves.inc()
+	pool, err := c.pool(host)
+	if err != nil {
+		return nil, err
+	}
+	frames := pool.PopN(n)
+	if len(frames) == 0 {
+		return nil, &rpc.AppError{Status: 2, Msg: dm.ErrOutOfMemory.Error()}
+	}
+	e := rpc.NewEnc(4 + 4*len(frames))
+	e.U32(uint32(len(frames)))
+	for _, f := range frames {
+		e.U32(uint32(f))
+	}
+	return e.Bytes(), nil
+}
+
+func (c *Coordinator) handleReturn(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+	d := rpc.NewDec(body)
+	n := int(d.U32())
+	host := d.U32()
+	pool, err := c.pool(host)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		pool.Push(memsim.FrameID(d.U32()))
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	c.returns.inc()
+	return nil, nil
+}
+
+// pool resolves the free list a host draws from: the shared G-FAM pool, or
+// the host's logical-device partition in LD-FAM mode (carved lazily).
+func (c *Coordinator) pool(host uint32) (*memsim.FreeList, error) {
+	if !c.gfam.cfg.LDFam {
+		return c.free, nil
+	}
+	if p, ok := c.parts[host]; ok {
+		return p, nil
+	}
+	if len(c.parts) >= c.gfam.cfg.maxLDs() {
+		return nil, &rpc.AppError{Status: 1, Msg: "cxlsim: logical devices exhausted"}
+	}
+	size := c.gfam.cfg.Memory.NumPages / c.gfam.cfg.maxLDs()
+	p := memsim.NewEmptyFreeList()
+	p.PushAll(c.free.PopN(size))
+	c.parts[host] = p
+	return p, nil
+}
+
+// HostDM is one compute server's DM layer ("mainly runs in the kernel
+// space", §V-B1): it owns a local free-page FIFO, talks to the coordinator
+// for ownership, and backs the per-process Spaces on this host.
+type HostDM struct {
+	host  *simnet.Host
+	node  *rpc.Node
+	gfam  *GFAM
+	coord simnet.Addr
+	cfg   Config
+	local *memsim.FreeList
+	// id is this host's logical-device identity within the fabric.
+	id uint32
+
+	nextSpace uint32
+	spaces    map[uint32]*Space
+}
+
+// NewHostDM attaches a DM layer to host h, using port for coordinator
+// traffic.
+func NewHostDM(h *simnet.Host, port int, gfam *GFAM, coord simnet.Addr, rpcCfg rpc.Config) *HostDM {
+	hd := &HostDM{
+		host:   h,
+		node:   rpc.NewNode(h, port, h.Name()+"/cxl-dm", rpcCfg),
+		gfam:   gfam,
+		coord:  coord,
+		cfg:    gfam.cfg,
+		local:  memsim.NewEmptyFreeList(),
+		id:     gfam.nextHost,
+		spaces: make(map[uint32]*Space),
+	}
+	gfam.nextHost++
+	hd.node.Start()
+	return hd
+}
+
+// Host returns the compute server this DM layer runs on.
+func (hd *HostDM) Host() *simnet.Host { return hd.host }
+
+// LocalFreePages returns the size of the host's reserved free-page FIFO.
+func (hd *HostDM) LocalFreePages() int { return hd.local.Len() }
+
+// popFrame takes one free page, reserving a batch from the coordinator if
+// the local FIFO is empty.
+func (hd *HostDM) popFrame(p *sim.Proc) (memsim.FrameID, error) {
+	if f, ok := hd.local.Pop(); ok {
+		return f, nil
+	}
+	resp, err := hd.node.Call(p, hd.coord, MReserve,
+		rpc.NewEnc(8).U32(uint32(hd.cfg.ReserveBatch)).U32(hd.id).Bytes())
+	if err != nil {
+		ae, ok := err.(*rpc.AppError)
+		if ok && ae.Status == 2 {
+			return memsim.NoFrame, dm.ErrOutOfMemory
+		}
+		return memsim.NoFrame, err
+	}
+	d := rpc.NewDec(resp)
+	n := int(d.U32())
+	for i := 0; i < n; i++ {
+		hd.local.Push(memsim.FrameID(d.U32()))
+	}
+	if err := d.Err(); err != nil {
+		return memsim.NoFrame, err
+	}
+	f, ok := hd.local.Pop()
+	if !ok {
+		return memsim.NoFrame, dm.ErrOutOfMemory
+	}
+	return f, nil
+}
+
+// pushFrame returns one page to the local FIFO, giving a batch back to the
+// coordinator when the FIFO exceeds the high-water mark.
+func (hd *HostDM) pushFrame(p *sim.Proc, f memsim.FrameID) error {
+	hd.local.Push(f)
+	if hd.local.Len() <= hd.cfg.HighWater {
+		return nil
+	}
+	batch := hd.local.PopN(hd.cfg.ReserveBatch)
+	e := rpc.NewEnc(8 + 4*len(batch))
+	e.U32(uint32(len(batch)))
+	e.U32(hd.id)
+	for _, fr := range batch {
+		e.U32(uint32(fr))
+	}
+	_, err := hd.node.Call(p, hd.coord, MReturn, e.Bytes())
+	return err
+}
+
+// NewSpace creates a process address space on this host.
+func (hd *HostDM) NewSpace() *Space {
+	id := hd.nextSpace
+	hd.nextSpace++
+	s := &Space{
+		hd:  hd,
+		id:  id,
+		va:  dm.NewVAAllocator(hd.cfg.Memory.PageSize, 1<<16, 1<<40),
+		pte: make(map[uint64]pte),
+	}
+	hd.spaces[id] = s
+	return s
+}
+
+// pte is a page-table entry: the backing frame plus the permission flag
+// that drives copy-on-write (§V-B3).
+type pte struct {
+	frame    memsim.FrameID
+	writable bool
+}
+
+// Space is one process's CXL virtual address space; it implements
+// dm.Space. Read/Write model load/store instructions: they go straight to
+// the fabric device with no network hop.
+type Space struct {
+	hd  *HostDM
+	id  uint32
+	va  *dm.VAAllocator
+	pte map[uint64]pte
+
+	faults    int64
+	cowCopies int64
+}
+
+var (
+	_ dm.Space     = (*Space)(nil)
+	_ dm.RefStager = (*Space)(nil)
+	_ dm.RefReader = (*Space)(nil)
+)
+
+// Faults returns how many page faults this space took.
+func (s *Space) Faults() int64 { return s.faults }
+
+// CoWCopies returns how many copy-on-write page copies this space caused.
+func (s *Space) CoWCopies() int64 { return s.cowCopies }
+
+func (s *Space) pageSize() int64 { return int64(s.hd.cfg.Memory.PageSize) }
+
+// Alloc reserves a CXL virtual address range. No physical pages are mapped
+// ("At this time, no CXL physical pages are mapped to this virtual
+// address", §V-B2).
+func (s *Space) Alloc(p *sim.Proc, size int64) (dm.RemoteAddr, error) {
+	p.Sleep(s.hd.cfg.PTETime) // vma-tree update
+	return s.va.Alloc(size)
+}
+
+// Free releases the region at addr, dropping page references; pages whose
+// count reaches zero go to the host's free FIFO ("The process that frees
+// the page lastly is in charge of the reclamation", §V-B3).
+func (s *Space) Free(p *sim.Proc, addr dm.RemoteAddr) error {
+	size, err := s.va.Free(addr)
+	if err != nil {
+		return err
+	}
+	pages := dm.PageCount(size, int(s.pageSize()))
+	if pages == 0 {
+		pages = 1
+	}
+	base := uint64(addr) / uint64(s.pageSize())
+	var held []memsim.FrameID
+	for i := 0; i < pages; i++ {
+		vp := base + uint64(i)
+		if e, ok := s.pte[vp]; ok {
+			p.Sleep(s.hd.cfg.PTETime)
+			delete(s.pte, vp)
+			held = append(held, e.frame)
+		}
+	}
+	if len(held) == 0 {
+		return nil
+	}
+	counts := s.hd.gfam.dev.AddRefBatch(p, held, -1)
+	for i, f := range held {
+		if counts[i] == 0 {
+			if err := s.hd.pushFrame(p, f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkRange verifies [addr, addr+size) is inside one region's
+// page-rounded extent.
+func (s *Space) checkRange(addr dm.RemoteAddr, size int64) error {
+	base, regSize, err := s.va.Lookup(addr)
+	if err != nil {
+		return err
+	}
+	extent := int64(dm.PageCount(regSize, int(s.pageSize()))) * s.pageSize()
+	if extent == 0 {
+		extent = s.pageSize()
+	}
+	if int64(addr)-int64(base)+size > extent {
+		return dm.ErrOutOfRange
+	}
+	return nil
+}
+
+// materialize maps a fresh zeroed frame at vp if none is present (the
+// first-touch store fault, §V-B2 case 1) and returns the entry.
+func (s *Space) materialize(p *sim.Proc, vp uint64) (pte, error) {
+	if e, ok := s.pte[vp]; ok {
+		return e, nil
+	}
+	p.Sleep(s.hd.cfg.FaultTime)
+	s.faults++
+	f, err := s.hd.popFrame(p)
+	if err != nil {
+		return pte{}, err
+	}
+	s.hd.gfam.dev.ZeroFrame(p, f)
+	s.hd.gfam.dev.SetRef(f, 1)
+	e := pte{frame: f, writable: true}
+	p.Sleep(s.hd.cfg.PTETime)
+	s.pte[vp] = e
+	return e, nil
+}
+
+// Write models store instructions covering [addr, addr+len(src)),
+// running the three-case store protocol of §V-B3.
+func (s *Space) Write(p *sim.Proc, addr dm.RemoteAddr, src []byte) error {
+	if err := s.checkRange(addr, int64(len(src))); err != nil {
+		return err
+	}
+	size := int64(len(src))
+	off := int64(0)
+	for off < size {
+		vp := (uint64(addr) + uint64(off)) / uint64(s.pageSize())
+		pageOff := (int64(addr) + off) % s.pageSize()
+		n := s.pageSize() - pageOff
+		if n > size-off {
+			n = size - off
+		}
+		e, err := s.writableEntry(p, vp)
+		if err != nil {
+			return err
+		}
+		s.hd.gfam.dev.Write(p, e.frame, int(pageOff), src[off:off+n])
+		off += n
+	}
+	return nil
+}
+
+// writableEntry implements the store fault cases: unmapped → map fresh
+// page; read-only shared → CoW; read-only sole owner → flip writable.
+func (s *Space) writableEntry(p *sim.Proc, vp uint64) (pte, error) {
+	e, ok := s.pte[vp]
+	if !ok {
+		return s.materialize(p, vp)
+	}
+	if e.writable {
+		return e, nil
+	}
+	// Read-only: fault and consult the fabric refcount.
+	p.Sleep(s.hd.cfg.FaultTime)
+	s.faults++
+	dev := s.hd.gfam.dev
+	if dev.LoadRef(p, e.frame) > 1 {
+		nf, err := s.hd.popFrame(p)
+		if err != nil {
+			return pte{}, err
+		}
+		s.cowCopies++
+		dev.CopyFramesCPU(p, []memsim.FrameID{nf}, []memsim.FrameID{e.frame}, s.hd.cfg.CopyBytesPerSecond)
+		dev.SetRef(nf, 1)
+		dev.AddRef(p, e.frame, -1)
+		e = pte{frame: nf, writable: true}
+	} else {
+		e.writable = true
+	}
+	p.Sleep(s.hd.cfg.PTETime)
+	s.pte[vp] = e
+	return e, nil
+}
+
+// Read models load instructions; loads of unmapped pages fault once and
+// read as zeros without consuming a physical page.
+func (s *Space) Read(p *sim.Proc, addr dm.RemoteAddr, dst []byte) error {
+	if err := s.checkRange(addr, int64(len(dst))); err != nil {
+		return err
+	}
+	size := int64(len(dst))
+	off := int64(0)
+	for off < size {
+		vp := (uint64(addr) + uint64(off)) / uint64(s.pageSize())
+		pageOff := (int64(addr) + off) % s.pageSize()
+		n := s.pageSize() - pageOff
+		if n > size-off {
+			n = size - off
+		}
+		if e, ok := s.pte[vp]; ok {
+			s.hd.gfam.dev.Read(p, e.frame, int(pageOff), dst[off:off+n])
+		} else {
+			p.Sleep(s.hd.cfg.FaultTime)
+			for i := off; i < off+n; i++ {
+				dst[i] = 0
+			}
+		}
+		off += n
+	}
+	return nil
+}
+
+// CreateRef shares [addr, addr+size): refcounts rise atomically in fabric
+// memory and the creator's PTEs flip to read-only (§V-B3). In
+// UnconditionalCopy mode the region is physically copied instead (the
+// -copy baseline).
+func (s *Space) CreateRef(p *sim.Proc, addr dm.RemoteAddr, size int64) (dm.Ref, error) {
+	if size <= 0 {
+		return dm.Ref{}, dm.ErrOutOfRange
+	}
+	if err := s.checkRange(addr, size); err != nil {
+		return dm.Ref{}, err
+	}
+	basePage := uint64(addr) / uint64(s.pageSize())
+	pages := dm.PageCount(int64(uint64(addr)%uint64(s.pageSize()))+size, int(s.pageSize()))
+	frames := make([]memsim.FrameID, 0, pages)
+	for i := 0; i < pages; i++ {
+		e, err := s.materialize(p, basePage+uint64(i))
+		if err != nil {
+			return dm.Ref{}, err
+		}
+		frames = append(frames, e.frame)
+	}
+	dev := s.hd.gfam.dev
+	var refFrames []memsim.FrameID
+	if s.hd.cfg.UnconditionalCopy {
+		refFrames = make([]memsim.FrameID, pages)
+		for i := range refFrames {
+			f, err := s.hd.popFrame(p)
+			if err != nil {
+				return dm.Ref{}, err
+			}
+			refFrames[i] = f
+		}
+		dev.CopyFramesCPU(p, refFrames, frames, s.hd.cfg.CopyBytesPerSecond)
+		for _, f := range refFrames {
+			dev.SetRef(f, 1)
+		}
+	} else {
+		dev.AddRefBatch(p, frames, 1)
+		// Mark the creator's own view read-only so its next write CoWs.
+		for i := 0; i < pages; i++ {
+			vp := basePage + uint64(i)
+			e := s.pte[vp]
+			e.writable = false
+			p.Sleep(s.hd.cfg.PTETime)
+			s.pte[vp] = e
+		}
+		refFrames = frames
+	}
+	g := s.hd.gfam
+	g.metaAccess(p) // publish the page list into fabric metadata
+	key := g.nextKey
+	g.nextKey++
+	g.refs[key] = &gfamRef{frames: refFrames, size: size, owner: s.hd.id}
+	return dm.Ref{Server: g.deviceID, Key: key, Size: size}, nil
+}
+
+// MapRef maps the ref's pages read-only into this space (§V-B3).
+func (s *Space) MapRef(p *sim.Proc, ref dm.Ref) (dm.RemoteAddr, error) {
+	g := s.hd.gfam
+	if ref.Server != g.deviceID {
+		return 0, dm.ErrBadAddress
+	}
+	g.metaAccess(p)
+	ent, ok := g.refs[ref.Key]
+	if !ok {
+		return 0, dm.ErrBadRef
+	}
+	if g.cfg.LDFam && ent.owner != s.hd.id {
+		// LD-FAM exposes each logical device to exactly one host: foreign
+		// refs address a DPA space this host cannot reach.
+		return 0, dm.ErrBadAddress
+	}
+	addr, err := s.va.Alloc(ent.size)
+	if err != nil {
+		return 0, err
+	}
+	basePage := uint64(addr) / uint64(s.pageSize())
+	g.dev.AddRefBatch(p, ent.frames, 1)
+	for i, f := range ent.frames {
+		p.Sleep(s.hd.cfg.PTETime)
+		s.pte[basePage+uint64(i)] = pte{frame: f, writable: false}
+	}
+	return addr, nil
+}
+
+// StageRef writes data into fresh CXL pages and publishes a ref holding
+// them (see dm.RefStager). All work is local stores plus one metadata
+// publish — no VA region or extra fabric round trips.
+func (s *Space) StageRef(p *sim.Proc, data []byte) (dm.Ref, error) {
+	if len(data) == 0 {
+		return dm.Ref{}, dm.ErrOutOfRange
+	}
+	pages := dm.PageCount(int64(len(data)), int(s.pageSize()))
+	dev := s.hd.gfam.dev
+	frames := make([]memsim.FrameID, 0, pages)
+	for i := 0; i < pages; i++ {
+		f, err := s.hd.popFrame(p)
+		if err != nil {
+			for _, g := range frames {
+				s.hd.local.Push(g)
+			}
+			return dm.Ref{}, err
+		}
+		lo := i * int(s.pageSize())
+		hi := lo + int(s.pageSize())
+		if hi > len(data) {
+			hi = len(data)
+		}
+		dev.Write(p, f, 0, data[lo:hi])
+		dev.SetRef(f, 1)
+		frames = append(frames, f)
+	}
+	g := s.hd.gfam
+	g.metaAccess(p)
+	key := g.nextKey
+	g.nextKey++
+	g.refs[key] = &gfamRef{frames: frames, size: int64(len(data)), owner: s.hd.id}
+	return dm.Ref{Server: g.deviceID, Key: key, Size: int64(len(data))}, nil
+}
+
+// ReadRef loads [off, off+len(dst)) of the ref's snapshot through a
+// transient read-only view: page-table setup cost per page plus the fabric
+// loads, no refcount traffic (see dm.RefReader).
+func (s *Space) ReadRef(p *sim.Proc, ref dm.Ref, off int64, dst []byte) error {
+	g := s.hd.gfam
+	if ref.Server != g.deviceID {
+		return dm.ErrBadAddress
+	}
+	g.metaAccess(p)
+	ent, ok := g.refs[ref.Key]
+	if !ok {
+		return dm.ErrBadRef
+	}
+	if g.cfg.LDFam && ent.owner != s.hd.id {
+		return dm.ErrBadAddress
+	}
+	size := int64(len(dst))
+	if off < 0 || off+size > ent.size {
+		return dm.ErrOutOfRange
+	}
+	pos := int64(0)
+	for pos < size {
+		page := int((off + pos) / s.pageSize())
+		pageOff := (off + pos) % s.pageSize()
+		n := s.pageSize() - pageOff
+		if n > size-pos {
+			n = size - pos
+		}
+		p.Sleep(s.hd.cfg.PTETime)
+		g.dev.Read(p, ent.frames[page], int(pageOff), dst[pos:pos+n])
+		pos += n
+	}
+	return nil
+}
+
+// CheckInvariants validates fabric-wide bookkeeping across the
+// coordinator, every host's local FIFO, every space's page table and the
+// ref registry:
+//
+//  1. each frame's fabric refcount equals its PTE holds plus ref holds;
+//  2. no frame is simultaneously free (coordinator or host FIFO) and held;
+//  3. free + held frames account for every frame exactly once.
+//
+// For tests; takes no simulated time.
+func CheckInvariants(g *GFAM, coord *Coordinator, hosts []*HostDM) error {
+	holds := make(map[memsim.FrameID]int32)
+	for _, hd := range hosts {
+		for _, sp := range hd.spaces {
+			for _, e := range sp.pte {
+				holds[e.frame]++
+			}
+		}
+	}
+	for _, ref := range g.refs {
+		for _, f := range ref.frames {
+			holds[f]++
+		}
+	}
+	for f, want := range holds {
+		if got := g.dev.RefCount(f); got != want {
+			return fmt.Errorf("frame %d refcount %d, want %d holds", f, got, want)
+		}
+	}
+	free := make(map[memsim.FrameID]string)
+	collect := func(name string, fl *memsim.FreeList) error {
+		n := fl.Len()
+		for _, f := range fl.PopN(n) {
+			if prev, dup := free[f]; dup {
+				return fmt.Errorf("frame %d free in both %s and %s", f, prev, name)
+			}
+			free[f] = name
+			fl.Push(f)
+		}
+		return nil
+	}
+	if err := collect("coordinator", coord.free); err != nil {
+		return err
+	}
+	for host, p := range coord.parts {
+		if err := collect(fmt.Sprintf("ld%d", host), p); err != nil {
+			return err
+		}
+	}
+	for i, hd := range hosts {
+		if err := collect(fmt.Sprintf("host%d", i), hd.local); err != nil {
+			return err
+		}
+	}
+	for f := range holds {
+		if where, bad := free[f]; bad {
+			return fmt.Errorf("frame %d is held but also free in %s", f, where)
+		}
+	}
+	if len(free)+len(holds) != g.cfg.Memory.NumPages {
+		return fmt.Errorf("frames leak: %d free + %d held != %d total",
+			len(free), len(holds), g.cfg.Memory.NumPages)
+	}
+	return nil
+}
+
+// FreeRef drops the reference's own hold (repo extension, mirroring
+// dmnet.Client.FreeRef; see DESIGN.md).
+func (s *Space) FreeRef(p *sim.Proc, ref dm.Ref) error {
+	g := s.hd.gfam
+	if ref.Server != g.deviceID {
+		return dm.ErrBadAddress
+	}
+	g.metaAccess(p)
+	ent, ok := g.refs[ref.Key]
+	if !ok {
+		return dm.ErrBadRef
+	}
+	delete(g.refs, ref.Key)
+	counts := g.dev.AddRefBatch(p, ent.frames, -1)
+	for i, f := range ent.frames {
+		if counts[i] == 0 {
+			if err := s.hd.pushFrame(p, f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,832 @@
+package cxlsim
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dm"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// rig builds a fabric: coordinator + two compute hosts, one space each.
+type rig struct {
+	eng    *sim.Engine
+	net    *simnet.Network
+	gfam   *GFAM
+	coord  *Coordinator
+	hosts  []*HostDM
+	s1, s2 *Space
+}
+
+func newRig(t *testing.T, seed int64, mutate func(*Config)) *rig {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	net := simnet.New(eng, simnet.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Memory.NumPages = 2048
+	cfg.ReserveBatch = 16
+	cfg.HighWater = 64
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	gfam := NewGFAM(eng, 0, cfg)
+	coord := NewCoordinator(net.AddHost("coord"), 1, gfam, rpc.DefaultConfig())
+	coord.Start()
+	h1 := NewHostDM(net.AddHost("compute1"), 2, gfam, coord.Addr(), rpc.DefaultConfig())
+	h2 := NewHostDM(net.AddHost("compute2"), 2, gfam, coord.Addr(), rpc.DefaultConfig())
+	return &rig{
+		eng: eng, net: net, gfam: gfam, coord: coord,
+		hosts: []*HostDM{h1, h2},
+		s1:    h1.NewSpace(), s2: h2.NewSpace(),
+	}
+}
+
+func (r *rig) run(t *testing.T, fn func(p *sim.Proc) error) {
+	t.Helper()
+	var err error
+	r.eng.Spawn("test", func(p *sim.Proc) { err = fn(p) })
+	r.eng.Run()
+	r.eng.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (r *rig) checkInvariants(t *testing.T) {
+	t.Helper()
+	if err := CheckInvariants(r.gfam, r.coord, r.hosts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.CopyBytesPerSecond = 0 },
+		func(c *Config) { c.PTETime = -1 },
+		func(c *Config) { c.ReserveBatch = 0 },
+		func(c *Config) { c.HighWater = 0 },
+		func(c *Config) { c.Memory.NumPages = 0 },
+	}
+	for i, m := range bad {
+		c := DefaultConfig()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestAllocWriteReadRoundTrip(t *testing.T) {
+	r := newRig(t, 1, nil)
+	r.run(t, func(p *sim.Proc) error {
+		addr, err := r.s1.Alloc(p, 10000)
+		if err != nil {
+			return err
+		}
+		msg := bytes.Repeat([]byte("cxl"), 3000)
+		if err := r.s1.Write(p, addr, msg); err != nil {
+			return err
+		}
+		got := make([]byte, len(msg))
+		if err := r.s1.Read(p, addr, got); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, msg) {
+			t.Error("round trip corrupted")
+		}
+		return r.s1.Free(p, addr)
+	})
+	r.checkInvariants(t)
+}
+
+func TestLoadIsCheaperThanNetworkRPC(t *testing.T) {
+	// A 4 KiB CXL read should land in sub-µs territory (265ns + bus), far
+	// below any network RTT — the heart of the paper's CXL advantage.
+	r := newRig(t, 1, nil)
+	var dur sim.Time
+	r.run(t, func(p *sim.Proc) error {
+		addr, _ := r.s1.Alloc(p, 4096)
+		if err := r.s1.Write(p, addr, make([]byte, 4096)); err != nil {
+			return err
+		}
+		start := p.Now()
+		if err := r.s1.Read(p, addr, make([]byte, 4096)); err != nil {
+			return err
+		}
+		dur = p.Now() - start
+		return nil
+	})
+	if dur <= 0 || dur >= 2*sim.Microsecond {
+		t.Fatalf("4KiB CXL read took %dns, want sub-2µs", dur)
+	}
+}
+
+func TestCoordinatorBatchingAmortizesOwnership(t *testing.T) {
+	r := newRig(t, 1, nil)
+	r.run(t, func(p *sim.Proc) error {
+		// Touch 32 pages; with ReserveBatch=16 only 2 coordinator trips.
+		addr, _ := r.s1.Alloc(p, 32*4096)
+		if err := r.s1.Write(p, addr, make([]byte, 32*4096)); err != nil {
+			return err
+		}
+		return nil
+	})
+	if got := r.coord.ReserveCalls(); got != 2 {
+		t.Fatalf("ReserveCalls = %d, want 2 (batch of 16)", got)
+	}
+}
+
+func TestHighWaterReturnsPagesToCoordinator(t *testing.T) {
+	r := newRig(t, 1, func(c *Config) { c.ReserveBatch = 8; c.HighWater = 8 })
+	r.run(t, func(p *sim.Proc) error {
+		addr, _ := r.s1.Alloc(p, 20*4096)
+		if err := r.s1.Write(p, addr, make([]byte, 20*4096)); err != nil {
+			return err
+		}
+		return r.s1.Free(p, addr)
+	})
+	if r.coord.ReturnCalls() == 0 {
+		t.Fatal("no pages returned past high water")
+	}
+	if r.hosts[0].LocalFreePages() > 8 {
+		t.Fatalf("local FIFO %d pages, above high water 8", r.hosts[0].LocalFreePages())
+	}
+	r.checkInvariants(t)
+}
+
+func TestShareAcrossHostsViaRef(t *testing.T) {
+	r := newRig(t, 1, nil)
+	r.run(t, func(p *sim.Proc) error {
+		addr, _ := r.s1.Alloc(p, 8192)
+		if err := r.s1.Write(p, addr, []byte("fabric-shared")); err != nil {
+			return err
+		}
+		ref, err := r.s1.CreateRef(p, addr, 8192)
+		if err != nil {
+			return err
+		}
+		mapped, err := r.s2.MapRef(p, ref)
+		if err != nil {
+			return err
+		}
+		got := make([]byte, 13)
+		if err := r.s2.Read(p, mapped, got); err != nil {
+			return err
+		}
+		if string(got) != "fabric-shared" {
+			t.Errorf("host2 read %q", got)
+		}
+		return nil
+	})
+	r.checkInvariants(t)
+}
+
+func TestDistributedCoWIsolation(t *testing.T) {
+	r := newRig(t, 1, nil)
+	r.run(t, func(p *sim.Proc) error {
+		addr, _ := r.s1.Alloc(p, 4096)
+		if err := r.s1.Write(p, addr, []byte("original")); err != nil {
+			return err
+		}
+		ref, err := r.s1.CreateRef(p, addr, 4096)
+		if err != nil {
+			return err
+		}
+		mapped, err := r.s2.MapRef(p, ref)
+		if err != nil {
+			return err
+		}
+		if err := r.s2.Write(p, mapped, []byte("CLOBBER!")); err != nil {
+			return err
+		}
+		got1 := make([]byte, 8)
+		if err := r.s1.Read(p, addr, got1); err != nil {
+			return err
+		}
+		if string(got1) != "original" {
+			t.Errorf("creator sees %q", got1)
+		}
+		got2 := make([]byte, 8)
+		if err := r.s2.Read(p, mapped, got2); err != nil {
+			return err
+		}
+		if string(got2) != "CLOBBER!" {
+			t.Errorf("writer sees %q", got2)
+		}
+		if r.s2.CoWCopies() != 1 {
+			t.Errorf("CoWCopies = %d", r.s2.CoWCopies())
+		}
+		return nil
+	})
+	r.checkInvariants(t)
+}
+
+func TestCreatorWriteCoWsAfterCreateRef(t *testing.T) {
+	r := newRig(t, 1, nil)
+	r.run(t, func(p *sim.Proc) error {
+		addr, _ := r.s1.Alloc(p, 4096)
+		if err := r.s1.Write(p, addr, []byte("original")); err != nil {
+			return err
+		}
+		ref, err := r.s1.CreateRef(p, addr, 4096)
+		if err != nil {
+			return err
+		}
+		// Creator's PTE is now read-only; this write must CoW.
+		if err := r.s1.Write(p, addr, []byte("mutated!")); err != nil {
+			return err
+		}
+		if r.s1.CoWCopies() != 1 {
+			t.Errorf("creator CoWCopies = %d, want 1", r.s1.CoWCopies())
+		}
+		mapped, err := r.s2.MapRef(p, ref)
+		if err != nil {
+			return err
+		}
+		got := make([]byte, 8)
+		if err := r.s2.Read(p, mapped, got); err != nil {
+			return err
+		}
+		if string(got) != "original" {
+			t.Errorf("ref content %q", got)
+		}
+		return nil
+	})
+	r.checkInvariants(t)
+}
+
+func TestSoleOwnerWriteFlipsWritableWithoutCopy(t *testing.T) {
+	// create_ref, free the ref: the creator is sole owner again; its next
+	// write must NOT copy, only flip the permission flag (§V-B3 case 2b).
+	r := newRig(t, 1, nil)
+	r.run(t, func(p *sim.Proc) error {
+		addr, _ := r.s1.Alloc(p, 4096)
+		if err := r.s1.Write(p, addr, []byte("original")); err != nil {
+			return err
+		}
+		ref, err := r.s1.CreateRef(p, addr, 4096)
+		if err != nil {
+			return err
+		}
+		if err := r.s1.FreeRef(p, ref); err != nil {
+			return err
+		}
+		if err := r.s1.Write(p, addr, []byte("again")); err != nil {
+			return err
+		}
+		if r.s1.CoWCopies() != 0 {
+			t.Errorf("CoWCopies = %d, want 0 (sole owner)", r.s1.CoWCopies())
+		}
+		return nil
+	})
+	r.checkInvariants(t)
+}
+
+func TestPageGranularCoW(t *testing.T) {
+	r := newRig(t, 1, nil)
+	r.run(t, func(p *sim.Proc) error {
+		const pages = 8
+		addr, _ := r.s1.Alloc(p, pages*4096)
+		if err := r.s1.Write(p, addr, make([]byte, pages*4096)); err != nil {
+			return err
+		}
+		ref, err := r.s1.CreateRef(p, addr, pages*4096)
+		if err != nil {
+			return err
+		}
+		mapped, err := r.s2.MapRef(p, ref)
+		if err != nil {
+			return err
+		}
+		if err := r.s2.Write(p, mapped.Add(2*4096), []byte("x")); err != nil {
+			return err
+		}
+		if r.s2.CoWCopies() != 1 {
+			t.Errorf("CoWCopies = %d, want 1 of %d pages", r.s2.CoWCopies(), pages)
+		}
+		return nil
+	})
+	r.checkInvariants(t)
+}
+
+func TestUnconditionalCopyMode(t *testing.T) {
+	r := newRig(t, 1, func(c *Config) { c.UnconditionalCopy = true })
+	r.run(t, func(p *sim.Proc) error {
+		addr, _ := r.s1.Alloc(p, 4*4096)
+		if err := r.s1.Write(p, addr, bytes.Repeat([]byte("q"), 4*4096)); err != nil {
+			return err
+		}
+		ref, err := r.s1.CreateRef(p, addr, 4*4096)
+		if err != nil {
+			return err
+		}
+		if got := r.gfam.Device().Traffic().PageCopies; got != 4 {
+			t.Errorf("PageCopies = %d, want 4", got)
+		}
+		// Creator writes freely (no read-only flip in copy mode).
+		if err := r.s1.Write(p, addr, []byte("mutated")); err != nil {
+			return err
+		}
+		mapped, err := r.s2.MapRef(p, ref)
+		if err != nil {
+			return err
+		}
+		got := make([]byte, 4)
+		if err := r.s2.Read(p, mapped, got); err != nil {
+			return err
+		}
+		if string(got) != "qqqq" {
+			t.Errorf("snapshot %q", got)
+		}
+		return nil
+	})
+	r.checkInvariants(t)
+}
+
+func TestCreateRefCheaperThanCopy(t *testing.T) {
+	// The core Fig 7 claim, functionally: CoW create_ref over N pages must
+	// be much faster than -copy create_ref.
+	timeIt := func(uncond bool) sim.Time {
+		r := newRig(t, 1, func(c *Config) { c.UnconditionalCopy = uncond })
+		var dur sim.Time
+		r.run(t, func(p *sim.Proc) error {
+			const pages = 64
+			addr, _ := r.s1.Alloc(p, pages*4096)
+			if err := r.s1.Write(p, addr, make([]byte, pages*4096)); err != nil {
+				return err
+			}
+			start := p.Now()
+			if _, err := r.s1.CreateRef(p, addr, pages*4096); err != nil {
+				return err
+			}
+			dur = p.Now() - start
+			return nil
+		})
+		return dur
+	}
+	cow := timeIt(false)
+	cp := timeIt(true)
+	if cp < 5*cow {
+		t.Fatalf("copy create_ref %dns vs CoW %dns: want >= 5x gap", cp, cow)
+	}
+}
+
+func TestFullLifecycleNoLeak(t *testing.T) {
+	r := newRig(t, 1, nil)
+	start := r.coord.FreePages()
+	r.run(t, func(p *sim.Proc) error {
+		addr, _ := r.s1.Alloc(p, 3*4096)
+		if err := r.s1.Write(p, addr, make([]byte, 3*4096)); err != nil {
+			return err
+		}
+		ref, err := r.s1.CreateRef(p, addr, 3*4096)
+		if err != nil {
+			return err
+		}
+		mapped, err := r.s2.MapRef(p, ref)
+		if err != nil {
+			return err
+		}
+		if err := r.s2.Write(p, mapped, []byte("cow")); err != nil {
+			return err
+		}
+		if err := r.s1.Free(p, addr); err != nil {
+			return err
+		}
+		if err := r.s2.Free(p, mapped); err != nil {
+			return err
+		}
+		return r.s1.FreeRef(p, ref)
+	})
+	total := r.coord.FreePages() + r.hosts[0].LocalFreePages() + r.hosts[1].LocalFreePages()
+	if total != start {
+		t.Fatalf("page leak: %d free (coord+hosts), started %d", total, start)
+	}
+	if r.gfam.LiveRefs() != 0 {
+		t.Fatalf("LiveRefs = %d", r.gfam.LiveRefs())
+	}
+	r.checkInvariants(t)
+}
+
+func TestErrorPaths(t *testing.T) {
+	r := newRig(t, 1, nil)
+	r.run(t, func(p *sim.Proc) error {
+		if err := r.s1.Free(p, dm.RemoteAddr(0xABC000)); !errors.Is(err, dm.ErrBadAddress) {
+			t.Errorf("Free bad addr: %v", err)
+		}
+		if _, err := r.s1.MapRef(p, dm.Ref{Server: 0, Key: 77, Size: 1}); !errors.Is(err, dm.ErrBadRef) {
+			t.Errorf("MapRef unknown: %v", err)
+		}
+		if _, err := r.s1.MapRef(p, dm.Ref{Server: 5, Key: 0, Size: 1}); !errors.Is(err, dm.ErrBadAddress) {
+			t.Errorf("MapRef wrong device: %v", err)
+		}
+		addr, _ := r.s1.Alloc(p, 100)
+		if err := r.s1.Read(p, addr, make([]byte, 8192)); !errors.Is(err, dm.ErrOutOfRange) {
+			t.Errorf("Read out of range: %v", err)
+		}
+		if _, err := r.s1.CreateRef(p, addr, -1); !errors.Is(err, dm.ErrOutOfRange) {
+			t.Errorf("CreateRef bad size: %v", err)
+		}
+		if err := r.s1.FreeRef(p, dm.Ref{Server: 0, Key: 99, Size: 1}); !errors.Is(err, dm.ErrBadRef) {
+			t.Errorf("FreeRef unknown: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestFabricExhaustion(t *testing.T) {
+	r := newRig(t, 1, func(c *Config) {
+		c.Memory.NumPages = 8
+		c.ReserveBatch = 4
+		c.HighWater = 8
+	})
+	r.run(t, func(p *sim.Proc) error {
+		addr, err := r.s1.Alloc(p, 16*4096)
+		if err != nil {
+			return err
+		}
+		err = r.s1.Write(p, addr, make([]byte, 16*4096))
+		if !errors.Is(err, dm.ErrOutOfMemory) {
+			t.Errorf("err = %v, want ErrOutOfMemory", err)
+		}
+		return nil
+	})
+}
+
+func TestReadUnmappedReturnsZeros(t *testing.T) {
+	r := newRig(t, 1, nil)
+	r.run(t, func(p *sim.Proc) error {
+		addr, _ := r.s1.Alloc(p, 4096)
+		got := []byte{0xAA, 0xBB}
+		if err := r.s1.Read(p, addr.Add(100), got); err != nil {
+			return err
+		}
+		if got[0] != 0 || got[1] != 0 {
+			t.Errorf("unmapped read %v", got)
+		}
+		// No physical page consumed.
+		if r.hosts[0].LocalFreePages() != 0 && r.s1.Faults() > 1 {
+			t.Error("read fault consumed pages")
+		}
+		return nil
+	})
+}
+
+func TestStageRefAndReadRefCXL(t *testing.T) {
+	r := newRig(t, 1, nil)
+	r.run(t, func(p *sim.Proc) error {
+		data := bytes.Repeat([]byte("gfam"), 3000) // 12KB, 3 pages
+		ref, err := r.s1.StageRef(p, data)
+		if err != nil {
+			return err
+		}
+		// Another host reads straight through the ref.
+		got := make([]byte, 200)
+		if err := r.s2.ReadRef(p, ref, 4000, got); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, data[4000:4200]) {
+			t.Error("readref window corrupted")
+		}
+		// Error paths.
+		if _, err := r.s1.StageRef(p, nil); !errors.Is(err, dm.ErrOutOfRange) {
+			t.Errorf("empty stage: %v", err)
+		}
+		if err := r.s2.ReadRef(p, dm.Ref{Server: 0, Key: 999, Size: 1}, 0, got); !errors.Is(err, dm.ErrBadRef) {
+			t.Errorf("unknown readref: %v", err)
+		}
+		if err := r.s2.ReadRef(p, dm.Ref{Server: 7, Key: 0, Size: 1}, 0, got); !errors.Is(err, dm.ErrBadAddress) {
+			t.Errorf("wrong device readref: %v", err)
+		}
+		if err := r.s2.ReadRef(p, ref, ref.Size-10, got); !errors.Is(err, dm.ErrOutOfRange) {
+			t.Errorf("readref past end: %v", err)
+		}
+		return r.s1.FreeRef(p, ref)
+	})
+	r.checkInvariants(t)
+}
+
+func TestLDFamBlocksCrossHostSharing(t *testing.T) {
+	// §II-B2: LD-FAM exposes each logical device to a single host, so refs
+	// created on one host are unreachable from another — the reason DmRPC
+	// builds on G-FAM.
+	r := newRig(t, 1, func(c *Config) { c.LDFam = true })
+	r.run(t, func(p *sim.Proc) error {
+		addr, err := r.s1.Alloc(p, 4096)
+		if err != nil {
+			return err
+		}
+		if err := r.s1.Write(p, addr, []byte("mine")); err != nil {
+			return err
+		}
+		ref, err := r.s1.CreateRef(p, addr, 4096)
+		if err != nil {
+			return err
+		}
+		// Same host: fine.
+		same := r.hosts[0].NewSpace()
+		if _, err := same.MapRef(p, ref); err != nil {
+			t.Errorf("same-host map under LD-FAM failed: %v", err)
+		}
+		// Foreign host: rejected.
+		if _, err := r.s2.MapRef(p, ref); !errors.Is(err, dm.ErrBadAddress) {
+			t.Errorf("cross-host map under LD-FAM: %v", err)
+		}
+		if err := r.s2.ReadRef(p, ref, 0, make([]byte, 4)); !errors.Is(err, dm.ErrBadAddress) {
+			t.Errorf("cross-host readref under LD-FAM: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestLDFamPartitionsCapacity(t *testing.T) {
+	// Two logical devices over a 64-page device: each host owns 32 pages
+	// and cannot draw from the other's partition.
+	r := newRig(t, 1, func(c *Config) {
+		c.LDFam = true
+		c.MaxLogicalDevices = 2
+		c.Memory.NumPages = 64
+		c.ReserveBatch = 8
+		c.HighWater = 64
+	})
+	r.run(t, func(p *sim.Proc) error {
+		addr, err := r.s1.Alloc(p, 64*4096)
+		if err != nil {
+			return err
+		}
+		// Host 1 can fault at most its 32-page partition.
+		err = r.s1.Write(p, addr, make([]byte, 64*4096))
+		if !errors.Is(err, dm.ErrOutOfMemory) {
+			t.Errorf("partition overflow: %v", err)
+		}
+		// Host 2 still has its own partition available.
+		addr2, err := r.s2.Alloc(p, 8*4096)
+		if err != nil {
+			return err
+		}
+		if err := r.s2.Write(p, addr2, make([]byte, 8*4096)); err != nil {
+			t.Errorf("host2 partition unusable: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestLDFamGFamDefaultSharesGlobally(t *testing.T) {
+	// Sanity: without LDFam the same flow shares fine (covered elsewhere,
+	// asserted here as the direct contrast).
+	r := newRig(t, 1, nil)
+	r.run(t, func(p *sim.Proc) error {
+		ref, err := r.s1.StageRef(p, []byte("global"))
+		if err != nil {
+			return err
+		}
+		got := make([]byte, 6)
+		if err := r.s2.ReadRef(p, ref, 0, got); err != nil {
+			return err
+		}
+		if string(got) != "global" {
+			t.Errorf("got %q", got)
+		}
+		return nil
+	})
+}
+
+func TestAccessors(t *testing.T) {
+	r := newRig(t, 1, nil)
+	if r.gfam.DeviceID() != 0 {
+		t.Fatal("DeviceID wrong")
+	}
+	if r.hosts[0].Host().Name() != "compute1" {
+		t.Fatalf("Host() = %q", r.hosts[0].Host().Name())
+	}
+	r.run(t, func(p *sim.Proc) error {
+		addr, _ := r.s1.Alloc(p, 4096)
+		if err := r.s1.Write(p, addr, []byte("x")); err != nil {
+			return err
+		}
+		if r.s1.Faults() != 1 {
+			t.Errorf("Faults = %d", r.s1.Faults())
+		}
+		return nil
+	})
+}
+
+func TestNewGFAMPanicsOnBadConfig(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad config accepted")
+		}
+	}()
+	NewGFAM(eng, 0, Config{})
+}
+
+// TestAlternatePageSize runs the share/CoW flow at a 2 KiB page size.
+func TestAlternatePageSize(t *testing.T) {
+	r := newRig(t, 1, func(c *Config) {
+		c.Memory.PageSize = 2048
+		c.Memory.NumPages = 4096
+	})
+	r.run(t, func(p *sim.Proc) error {
+		addr, err := r.s1.Alloc(p, 5*2048)
+		if err != nil {
+			return err
+		}
+		if err := r.s1.Write(p, addr, bytes.Repeat([]byte("q"), 5*2048)); err != nil {
+			return err
+		}
+		ref, err := r.s1.CreateRef(p, addr, 5*2048)
+		if err != nil {
+			return err
+		}
+		mapped, err := r.s2.MapRef(p, ref)
+		if err != nil {
+			return err
+		}
+		if err := r.s2.Write(p, mapped.Add(3000), []byte("z")); err != nil {
+			return err
+		}
+		if r.s2.CoWCopies() != 1 {
+			t.Errorf("CoWCopies = %d, want 1", r.s2.CoWCopies())
+		}
+		got := make([]byte, 1)
+		if err := r.s1.Read(p, addr.Add(3000), got); err != nil {
+			return err
+		}
+		if got[0] != 'q' {
+			t.Errorf("creator view changed: %q", got)
+		}
+		return nil
+	})
+	r.checkInvariants(t)
+}
+
+// TestConcurrentSharersCoW: many processes across both hosts map the same
+// ref and write to it concurrently (interleaved by the engine); every
+// writer must end with a private view and the fabric bookkeeping intact
+// (§VI-C: concurrent requests handled by atomics on the client side).
+func TestConcurrentSharersCoW(t *testing.T) {
+	r := newRig(t, 3, nil)
+	const sharers = 6
+	var ref dm.Ref
+	var setupErr error
+	// Setup runs on the same engine lifetime as the sharers (rig.run would
+	// shut the engine down).
+	r.eng.Spawn("setup", func(p *sim.Proc) {
+		addr, err := r.s1.Alloc(p, 4*4096)
+		if err != nil {
+			setupErr = err
+			return
+		}
+		if err := r.s1.Write(p, addr, bytes.Repeat([]byte{0xEE}, 4*4096)); err != nil {
+			setupErr = err
+			return
+		}
+		ref, setupErr = r.s1.CreateRef(p, addr, 4*4096)
+	})
+	r.eng.Run()
+	if setupErr != nil {
+		t.Fatal(setupErr)
+	}
+	results := make([]byte, sharers)
+	errs := make([]error, sharers)
+	for i := 0; i < sharers; i++ {
+		i := i
+		hd := r.hosts[i%2]
+		sp := hd.NewSpace()
+		r.eng.Spawn("sharer", func(p *sim.Proc) {
+			mapped, err := sp.MapRef(p, ref)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			// Stagger writes so CoW faults interleave across sharers.
+			p.Sleep(sim.Time(i) * 100)
+			if err := sp.Write(p, mapped.Add(int64(i%4)*4096), []byte{byte(i)}); err != nil {
+				errs[i] = err
+				return
+			}
+			got := make([]byte, 1)
+			if err := sp.Read(p, mapped.Add(int64(i%4)*4096), got); err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = got[0]
+			errs[i] = sp.Free(p, mapped)
+		})
+	}
+	r.eng.Run()
+	r.eng.Shutdown()
+	for i := 0; i < sharers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("sharer %d: %v", i, errs[i])
+		}
+		if results[i] != byte(i) {
+			t.Fatalf("sharer %d read %d, want its own write", i, results[i])
+		}
+	}
+	r.checkInvariants(t)
+}
+
+// TestRandomOpsAgainstModel mirrors dmnet's model test for the CXL
+// backend: random cross-host DM traffic versus a pure-Go content model,
+// with fabric invariants checked throughout.
+func TestRandomOpsAgainstModel(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := newRig(t, seed, nil)
+		rng := rand.New(rand.NewSource(seed))
+		type region struct {
+			sp   *Space
+			addr dm.RemoteAddr
+			size int64
+			want []byte
+		}
+		var regions []*region
+		ok := true
+		fail := func(msg string, args ...any) {
+			if ok {
+				t.Logf("seed %d: "+msg, append([]any{seed}, args...)...)
+			}
+			ok = false
+		}
+		spaces := []*Space{r.s1, r.s2}
+		r.run(t, func(p *sim.Proc) error {
+			for step := 0; step < 100 && ok; step++ {
+				switch op := rng.Intn(10); {
+				case op < 3:
+					sp := spaces[rng.Intn(2)]
+					size := int64(rng.Intn(4*4096) + 1)
+					addr, err := sp.Alloc(p, size)
+					if err != nil {
+						continue
+					}
+					regions = append(regions, &region{sp: sp, addr: addr, size: size, want: make([]byte, size)})
+				case op < 6 && len(regions) > 0:
+					reg := regions[rng.Intn(len(regions))]
+					off := int64(rng.Intn(int(reg.size)))
+					n := int64(rng.Intn(int(reg.size-off)) + 1)
+					buf := make([]byte, n)
+					rng.Read(buf)
+					if err := reg.sp.Write(p, reg.addr.Add(off), buf); err != nil {
+						fail("write: %v", err)
+						continue
+					}
+					copy(reg.want[off:], buf)
+				case op < 8 && len(regions) > 0:
+					reg := regions[rng.Intn(len(regions))]
+					off := int64(rng.Intn(int(reg.size)))
+					n := int64(rng.Intn(int(reg.size-off)) + 1)
+					got := make([]byte, n)
+					if err := reg.sp.Read(p, reg.addr.Add(off), got); err != nil {
+						fail("read: %v", err)
+						continue
+					}
+					if !bytes.Equal(got, reg.want[off:off+n]) {
+						fail("step %d: read mismatch", step)
+					}
+				case op == 8 && len(regions) > 0:
+					reg := regions[rng.Intn(len(regions))]
+					ref, err := reg.sp.CreateRef(p, reg.addr, reg.size)
+					if err != nil {
+						continue
+					}
+					other := spaces[0]
+					if reg.sp == spaces[0] {
+						other = spaces[1]
+					}
+					mapped, err := other.MapRef(p, ref)
+					if err != nil {
+						fail("mapref: %v", err)
+						continue
+					}
+					snap := make([]byte, reg.size)
+					copy(snap, reg.want)
+					regions = append(regions, &region{sp: other, addr: mapped, size: reg.size, want: snap})
+				case op == 9 && len(regions) > 0:
+					i := rng.Intn(len(regions))
+					reg := regions[i]
+					if err := reg.sp.Free(p, reg.addr); err != nil {
+						fail("free: %v", err)
+					}
+					regions = append(regions[:i], regions[i+1:]...)
+				}
+				if err := CheckInvariants(r.gfam, r.coord, r.hosts); err != nil {
+					fail("step %d: %v", step, err)
+				}
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package dm defines the disaggregated-memory abstractions shared by the
+// DmRPC-net and DmRPC-CXL backends: DM virtual addresses, Ref objects
+// (paper §IV-B), the client-side Space interface implementing the paper's
+// programming API (Table II), and the per-process virtual-address
+// allocator (the paper's "VA allocation tree", §V-A1).
+package dm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/rpc"
+	"repro/internal/sim"
+)
+
+// RemoteAddr is a byte-granular DM virtual address within one process's
+// remote address space. Address arithmetic is explicit via Add.
+type RemoteAddr uint64
+
+// Add offsets the address by n bytes.
+func (a RemoteAddr) Add(n int64) RemoteAddr { return RemoteAddr(int64(a) + n) }
+
+func (a RemoteAddr) String() string { return fmt.Sprintf("dm:0x%x", uint64(a)) }
+
+// Ref is the small object passed along RPC chains on behalf of a large
+// shared region ("The Ref object is small (several bytes), and is
+// transferred along the RPC chain on behalf of the large data", §IV-B).
+type Ref struct {
+	// Server identifies the DM server (net) or G-FAM device (CXL) holding
+	// the pages.
+	Server uint32
+	// Key is the server-generated unique key naming the shared page set.
+	Key uint64
+	// Size is the shared region's length in bytes.
+	Size int64
+}
+
+// EncodedRefSize is the wire size of a Ref.
+const EncodedRefSize = 4 + 8 + 8
+
+// Encode appends the Ref to e.
+func (r Ref) Encode(e *rpc.Enc) { e.U32(r.Server).U64(r.Key).I64(r.Size) }
+
+// DecodeRef reads a Ref from d.
+func DecodeRef(d *rpc.Dec) Ref {
+	return Ref{Server: d.U32(), Key: d.U64(), Size: d.I64()}
+}
+
+// Marshal returns the Ref's wire form.
+func (r Ref) Marshal() []byte {
+	e := rpc.NewEnc(EncodedRefSize)
+	r.Encode(e)
+	return e.Bytes()
+}
+
+// UnmarshalRef parses a Ref from its wire form.
+func UnmarshalRef(b []byte) (Ref, error) {
+	d := rpc.NewDec(b)
+	r := DecodeRef(d)
+	if d.Err() != nil {
+		return Ref{}, d.Err()
+	}
+	return r, nil
+}
+
+func (r Ref) String() string {
+	return fmt.Sprintf("ref{srv=%d key=%d size=%d}", r.Server, r.Key, r.Size)
+}
+
+// Errors shared by DM backends.
+var (
+	// ErrOutOfMemory means the DM pool has no free pages.
+	ErrOutOfMemory = errors.New("dm: out of disaggregated memory")
+	// ErrBadAddress means the address does not name an allocated region.
+	ErrBadAddress = errors.New("dm: bad remote address")
+	// ErrBadRef means the Ref's key is unknown (or already reclaimed).
+	ErrBadRef = errors.New("dm: unknown ref")
+	// ErrOutOfRange means an access crosses the end of its region.
+	ErrOutOfRange = errors.New("dm: access out of region range")
+)
+
+// Space is the client-side DM programming interface, one per process. It
+// is the paper's Table II API: Alloc=ralloc, Free=rfree,
+// CreateRef=create_ref, MapRef=map_ref, Read=rread, Write=rwrite.
+//
+// For DmRPC-net, Read/Write are explicit network operations against the DM
+// server. For DmRPC-CXL they model load/store instructions over the CXL
+// link — same signature, radically different cost, exactly the paper's
+// split ("rwrite and rread only appear in DmRPC-net ... In DmRPC-CXL, the
+// user can directly operate on the disaggregated memory").
+type Space interface {
+	// Alloc reserves size bytes of disaggregated memory and returns its DM
+	// virtual base address.
+	Alloc(p *sim.Proc, size int64) (RemoteAddr, error)
+	// Free releases the region based at addr.
+	Free(p *sim.Proc, addr RemoteAddr) error
+	// CreateRef marks the region [addr, addr+size) read-only and returns a
+	// Ref naming its pages; subsequent writes by any sharer trigger
+	// copy-on-write.
+	CreateRef(p *sim.Proc, addr RemoteAddr, size int64) (Ref, error)
+	// MapRef maps the pages named by ref into this process's DM address
+	// space and returns the new base address.
+	MapRef(p *sim.Proc, ref Ref) (RemoteAddr, error)
+	// FreeRef releases the reference's own hold on its pages. This is a
+	// repo extension over the paper's Table II: without it the +1 taken by
+	// CreateRef could never be returned and pages would leak.
+	FreeRef(p *sim.Proc, ref Ref) error
+	// Write stores src at addr.
+	Write(p *sim.Proc, addr RemoteAddr, src []byte) error
+	// Read loads len(dst) bytes from addr into dst.
+	Read(p *sim.Proc, addr RemoteAddr, dst []byte) error
+}
+
+// RefStager is the fused staging fast path: produce a Ref holding data in
+// one operation (one round trip for network DM), equivalent to
+// Alloc+Write+CreateRef+Free but without intermediate round trips. Both
+// backends implement it; core.MakeArg uses it when present.
+type RefStager interface {
+	StageRef(p *sim.Proc, data []byte) (Ref, error)
+}
+
+// RefReader is the read fast path: read directly through a Ref without
+// establishing a mapping, for consumers that never write. Reads observe
+// the ref's shared snapshot, which is exactly what a fresh read-only
+// mapping would observe.
+type RefReader interface {
+	ReadRef(p *sim.Proc, ref Ref, off int64, dst []byte) error
+}
+
+// PageCount returns how many pages of pageSize cover size bytes.
+func PageCount(size int64, pageSize int) int {
+	if size <= 0 {
+		return 0
+	}
+	return int((size + int64(pageSize) - 1) / int64(pageSize))
+}
+
+// VAAllocator hands out non-overlapping page-aligned virtual address
+// ranges, modelling the per-process "VA allocation tree that records
+// allocated VA ranges, similar to the Linux vma tree" (§V-A1). First-fit
+// over a sorted region list.
+type VAAllocator struct {
+	pageSize int64
+	base     uint64
+	limit    uint64
+	regions  []vaRegion // sorted by start
+}
+
+type vaRegion struct {
+	start uint64
+	size  int64 // requested size in bytes (page-rounded extent derivable)
+}
+
+// NewVAAllocator returns an allocator over [base, limit) with the given
+// page size.
+func NewVAAllocator(pageSize int, base, limit uint64) *VAAllocator {
+	if pageSize <= 0 || base >= limit {
+		panic("dm: invalid VA allocator parameters")
+	}
+	return &VAAllocator{pageSize: int64(pageSize), base: base, limit: limit}
+}
+
+// extent returns the page-rounded length of a region holding size bytes.
+func (va *VAAllocator) extent(size int64) uint64 {
+	pages := (size + va.pageSize - 1) / va.pageSize
+	if pages == 0 {
+		pages = 1
+	}
+	return uint64(pages) * uint64(va.pageSize)
+}
+
+// Alloc finds the lowest free range fitting size bytes and records it.
+func (va *VAAllocator) Alloc(size int64) (RemoteAddr, error) {
+	if size < 0 {
+		return 0, ErrBadAddress
+	}
+	need := va.extent(size)
+	prev := va.base
+	for i, r := range va.regions {
+		if r.start-prev >= need {
+			va.insert(i, vaRegion{start: prev, size: size})
+			return RemoteAddr(prev), nil
+		}
+		prev = r.start + va.extent(r.size)
+	}
+	if va.limit-prev >= need {
+		va.insert(len(va.regions), vaRegion{start: prev, size: size})
+		return RemoteAddr(prev), nil
+	}
+	return 0, ErrOutOfMemory
+}
+
+func (va *VAAllocator) insert(i int, r vaRegion) {
+	va.regions = append(va.regions, vaRegion{})
+	copy(va.regions[i+1:], va.regions[i:])
+	va.regions[i] = r
+}
+
+// Free removes the region based exactly at addr and returns its size.
+func (va *VAAllocator) Free(addr RemoteAddr) (int64, error) {
+	i := sort.Search(len(va.regions), func(i int) bool {
+		return va.regions[i].start >= uint64(addr)
+	})
+	if i == len(va.regions) || va.regions[i].start != uint64(addr) {
+		return 0, ErrBadAddress
+	}
+	size := va.regions[i].size
+	va.regions = append(va.regions[:i], va.regions[i+1:]...)
+	return size, nil
+}
+
+// Lookup returns the region containing addr: its base and byte size.
+func (va *VAAllocator) Lookup(addr RemoteAddr) (base RemoteAddr, size int64, err error) {
+	i := sort.Search(len(va.regions), func(i int) bool {
+		return va.regions[i].start > uint64(addr)
+	})
+	if i == 0 {
+		return 0, 0, ErrBadAddress
+	}
+	r := va.regions[i-1]
+	if uint64(addr) >= r.start+va.extent(r.size) {
+		return 0, 0, ErrBadAddress
+	}
+	return RemoteAddr(r.start), r.size, nil
+}
+
+// NumRegions returns the number of live regions.
+func (va *VAAllocator) NumRegions() int { return len(va.regions) }
+
+// PageSize returns the allocator's page size.
+func (va *VAAllocator) PageSize() int { return int(va.pageSize) }

@@ -1,0 +1,228 @@
+package dm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rpc"
+)
+
+func TestRefMarshalRoundTrip(t *testing.T) {
+	r := Ref{Server: 3, Key: 0xDEADBEEF, Size: 1 << 20}
+	b := r.Marshal()
+	if len(b) != EncodedRefSize {
+		t.Fatalf("encoded size %d, want %d", len(b), EncodedRefSize)
+	}
+	got, err := UnmarshalRef(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("round trip %+v != %+v", got, r)
+	}
+}
+
+func TestRefUnmarshalShort(t *testing.T) {
+	if _, err := UnmarshalRef([]byte{1, 2}); err == nil {
+		t.Fatal("short ref accepted")
+	}
+}
+
+func TestRefEncodeIntoLargerMessage(t *testing.T) {
+	e := rpc.NewEnc(64)
+	e.U8(9)
+	Ref{Server: 1, Key: 2, Size: 3}.Encode(e)
+	e.Str("tail")
+	d := rpc.NewDec(e.Bytes())
+	if d.U8() != 9 {
+		t.Fatal("prefix lost")
+	}
+	if got := DecodeRef(d); got != (Ref{Server: 1, Key: 2, Size: 3}) {
+		t.Fatalf("ref %+v", got)
+	}
+	if d.Str() != "tail" {
+		t.Fatal("suffix lost")
+	}
+}
+
+func TestRefPropertyRoundTrip(t *testing.T) {
+	prop := func(srv uint32, key uint64, size int64) bool {
+		r := Ref{Server: srv, Key: key, Size: size}
+		got, err := UnmarshalRef(r.Marshal())
+		return err == nil && got == r
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageCount(t *testing.T) {
+	cases := []struct {
+		size int64
+		want int
+	}{
+		{0, 0}, {-1, 0}, {1, 1}, {4095, 1}, {4096, 1}, {4097, 2}, {8192, 2}, {12289, 4},
+	}
+	for _, c := range cases {
+		if got := PageCount(c.size, 4096); got != c.want {
+			t.Errorf("PageCount(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestRemoteAddrAdd(t *testing.T) {
+	a := RemoteAddr(0x1000)
+	if a.Add(16) != RemoteAddr(0x1010) {
+		t.Fatal("Add failed")
+	}
+	if a.String() != "dm:0x1000" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestVAAllocBasic(t *testing.T) {
+	va := NewVAAllocator(4096, 0x1000, 0x100000)
+	a, err := va.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 0x1000 {
+		t.Fatalf("first alloc at %v", a)
+	}
+	b, err := va.Alloc(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 0x2000 { // 100B rounds to one page
+		t.Fatalf("second alloc at %v, want 0x2000", b)
+	}
+	c, _ := va.Alloc(1)
+	if c != 0x4000 { // 5000B rounds to two pages
+		t.Fatalf("third alloc at %v, want 0x4000", c)
+	}
+}
+
+func TestVAAllocFreeReuse(t *testing.T) {
+	va := NewVAAllocator(4096, 0, 1<<20)
+	a, _ := va.Alloc(4096)
+	b, _ := va.Alloc(4096)
+	size, err := va.Free(a)
+	if err != nil || size != 4096 {
+		t.Fatalf("Free: %d, %v", size, err)
+	}
+	c, _ := va.Alloc(4096)
+	if c != a {
+		t.Fatalf("freed hole not reused: got %v want %v", c, a)
+	}
+	_ = b
+}
+
+func TestVAFreeUnknownAddr(t *testing.T) {
+	va := NewVAAllocator(4096, 0, 1<<20)
+	va.Alloc(4096)
+	if _, err := va.Free(RemoteAddr(0x999)); err != ErrBadAddress {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVALookup(t *testing.T) {
+	va := NewVAAllocator(4096, 0x1000, 1<<20)
+	a, _ := va.Alloc(6000) // two pages: [0x1000, 0x3000)
+	base, size, err := va.Lookup(a.Add(4500))
+	if err != nil || base != a || size != 6000 {
+		t.Fatalf("Lookup = %v,%d,%v", base, size, err)
+	}
+	if _, _, err := va.Lookup(RemoteAddr(0x3000)); err != ErrBadAddress {
+		t.Fatalf("lookup past end: %v", err)
+	}
+	if _, _, err := va.Lookup(RemoteAddr(0x0500)); err != ErrBadAddress {
+		t.Fatalf("lookup before base: %v", err)
+	}
+}
+
+func TestVAExhaustion(t *testing.T) {
+	va := NewVAAllocator(4096, 0, 3*4096)
+	for i := 0; i < 3; i++ {
+		if _, err := va.Alloc(4096); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, err := va.Alloc(1); err != ErrOutOfMemory {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestVANegativeSizeRejected(t *testing.T) {
+	va := NewVAAllocator(4096, 0, 1<<20)
+	if _, err := va.Alloc(-1); err == nil {
+		t.Fatal("negative alloc accepted")
+	}
+}
+
+func TestVAZeroSizeTakesOnePage(t *testing.T) {
+	va := NewVAAllocator(4096, 0, 1<<20)
+	a, err := va.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := va.Alloc(1)
+	if b != a.Add(4096) {
+		t.Fatalf("zero-size region extent wrong: next alloc at %v", b)
+	}
+}
+
+// Property: a random alloc/free workload never produces overlapping regions
+// and Lookup agrees with the allocation that produced an address.
+func TestVANoOverlapProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		va := NewVAAllocator(4096, 0, 1<<24)
+		type reg struct {
+			base RemoteAddr
+			size int64
+		}
+		var live []reg
+		for op := 0; op < 200; op++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(live))
+				if _, err := va.Free(live[i].base); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			size := int64(rng.Intn(20000) + 1)
+			a, err := va.Alloc(size)
+			if err != nil {
+				continue // pool exhausted is fine
+			}
+			// Overlap check against all live regions (page-rounded).
+			ext := func(s int64) uint64 {
+				p := (s + 4095) / 4096
+				if p == 0 {
+					p = 1
+				}
+				return uint64(p) * 4096
+			}
+			for _, r := range live {
+				aLo, aHi := uint64(a), uint64(a)+ext(size)
+				rLo, rHi := uint64(r.base), uint64(r.base)+ext(r.size)
+				if aLo < rHi && rLo < aHi {
+					return false
+				}
+			}
+			live = append(live, reg{a, size})
+		}
+		for _, r := range live {
+			base, size, err := va.Lookup(r.base.Add(r.size / 2))
+			if err != nil || base != r.base || size != r.size {
+				return false
+			}
+		}
+		return va.NumRegions() == len(live)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

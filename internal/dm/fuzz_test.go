@@ -1,0 +1,22 @@
+package dm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalRef hardens Ref parsing against arbitrary RPC payloads.
+func FuzzUnmarshalRef(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Ref{Server: 1, Key: 2, Size: 3}.Marshal())
+	f.Add(make([]byte, EncodedRefSize-1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalRef(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(r.Marshal(), data[:EncodedRefSize]) {
+			t.Fatal("re-marshal mismatch")
+		}
+	})
+}

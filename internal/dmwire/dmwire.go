@@ -1,0 +1,304 @@
+// Package dmwire defines the DmRPC-net DM protocol: method identifiers,
+// status codes and request/response body codecs. Two transports speak it —
+// the simulated backend (internal/dmnet over internal/transport) and the
+// live TCP implementation (internal/live) — so the protocol lives in one
+// place and cannot drift.
+package dmwire
+
+import (
+	"repro/internal/dm"
+	"repro/internal/rpc"
+)
+
+// Methods served by a DM server. Kept in a dedicated range so application
+// nodes can share a method space if they ever co-locate.
+const (
+	MRegister rpc.Method = 0x0100 + iota
+	MAlloc
+	MFree
+	MCreateRef
+	MMapRef
+	MFreeRef
+	MRead
+	MWrite
+	// MStage fuses ralloc+rwrite+create_ref+rfree into one round trip: the
+	// request carries the data, the response carries the ref key. The
+	// staged pages are held only by the ref.
+	MStage
+	// MReadRef reads through a ref key without a mapping (read-only
+	// consumers skip the map_ref round trip).
+	MReadRef
+)
+
+// Application error statuses returned by a DM server.
+const (
+	StatusOK      = 0
+	StatusErr     = 1
+	StatusOOM     = 2
+	StatusBadAddr = 3
+	StatusBadRef  = 4
+	StatusRange   = 5
+)
+
+// StatusOf maps the shared dm errors onto wire statuses.
+func StatusOf(err error) byte {
+	switch err {
+	case nil:
+		return StatusOK
+	case dm.ErrOutOfMemory:
+		return StatusOOM
+	case dm.ErrBadAddress:
+		return StatusBadAddr
+	case dm.ErrBadRef:
+		return StatusBadRef
+	case dm.ErrOutOfRange:
+		return StatusRange
+	default:
+		return StatusErr
+	}
+}
+
+// ErrOf maps a wire status back to the shared dm errors, so clients on
+// either transport can compare against dm.Err* sentinels.
+func ErrOf(status byte, msg string) error {
+	switch status {
+	case StatusOK:
+		return nil
+	case StatusOOM:
+		return dm.ErrOutOfMemory
+	case StatusBadAddr:
+		return dm.ErrBadAddress
+	case StatusBadRef:
+		return dm.ErrBadRef
+	case StatusRange:
+		return dm.ErrOutOfRange
+	default:
+		return &rpc.AppError{Status: status, Msg: msg}
+	}
+}
+
+// RegisterResp is the body of a successful MRegister response.
+type RegisterResp struct {
+	PID uint32
+}
+
+// Marshal encodes the response body.
+func (r RegisterResp) Marshal() []byte { return rpc.NewEnc(4).U32(r.PID).Bytes() }
+
+// UnmarshalRegisterResp decodes the response body.
+func UnmarshalRegisterResp(b []byte) (RegisterResp, error) {
+	d := rpc.NewDec(b)
+	r := RegisterResp{PID: d.U32()}
+	return r, d.Err()
+}
+
+// AllocReq is the body of an MAlloc request.
+type AllocReq struct {
+	PID  uint32
+	Size int64
+}
+
+// Marshal encodes the request body.
+func (r AllocReq) Marshal() []byte { return rpc.NewEnc(12).U32(r.PID).I64(r.Size).Bytes() }
+
+// UnmarshalAllocReq decodes the request body.
+func UnmarshalAllocReq(b []byte) (AllocReq, error) {
+	d := rpc.NewDec(b)
+	r := AllocReq{PID: d.U32(), Size: d.I64()}
+	return r, d.Err()
+}
+
+// AllocResp is the body of a successful MAlloc response.
+type AllocResp struct {
+	Addr dm.RemoteAddr
+}
+
+// Marshal encodes the response body.
+func (r AllocResp) Marshal() []byte { return rpc.NewEnc(8).U64(uint64(r.Addr)).Bytes() }
+
+// UnmarshalAllocResp decodes the response body.
+func UnmarshalAllocResp(b []byte) (AllocResp, error) {
+	d := rpc.NewDec(b)
+	r := AllocResp{Addr: dm.RemoteAddr(d.U64())}
+	return r, d.Err()
+}
+
+// FreeReq is the body of an MFree request.
+type FreeReq struct {
+	PID  uint32
+	Addr dm.RemoteAddr
+}
+
+// Marshal encodes the request body.
+func (r FreeReq) Marshal() []byte { return rpc.NewEnc(12).U32(r.PID).U64(uint64(r.Addr)).Bytes() }
+
+// UnmarshalFreeReq decodes the request body.
+func UnmarshalFreeReq(b []byte) (FreeReq, error) {
+	d := rpc.NewDec(b)
+	r := FreeReq{PID: d.U32(), Addr: dm.RemoteAddr(d.U64())}
+	return r, d.Err()
+}
+
+// CreateRefReq is the body of an MCreateRef request.
+type CreateRefReq struct {
+	PID  uint32
+	Addr dm.RemoteAddr
+	Size int64
+}
+
+// Marshal encodes the request body.
+func (r CreateRefReq) Marshal() []byte {
+	return rpc.NewEnc(20).U32(r.PID).U64(uint64(r.Addr)).I64(r.Size).Bytes()
+}
+
+// UnmarshalCreateRefReq decodes the request body.
+func UnmarshalCreateRefReq(b []byte) (CreateRefReq, error) {
+	d := rpc.NewDec(b)
+	r := CreateRefReq{PID: d.U32(), Addr: dm.RemoteAddr(d.U64()), Size: d.I64()}
+	return r, d.Err()
+}
+
+// RefKeyResp is the body of a successful MCreateRef or MStage response.
+type RefKeyResp struct {
+	Key uint64
+}
+
+// Marshal encodes the response body.
+func (r RefKeyResp) Marshal() []byte { return rpc.NewEnc(8).U64(r.Key).Bytes() }
+
+// UnmarshalRefKeyResp decodes the response body.
+func UnmarshalRefKeyResp(b []byte) (RefKeyResp, error) {
+	d := rpc.NewDec(b)
+	r := RefKeyResp{Key: d.U64()}
+	return r, d.Err()
+}
+
+// MapRefReq is the body of an MMapRef request.
+type MapRefReq struct {
+	PID uint32
+	Key uint64
+}
+
+// Marshal encodes the request body.
+func (r MapRefReq) Marshal() []byte { return rpc.NewEnc(12).U32(r.PID).U64(r.Key).Bytes() }
+
+// UnmarshalMapRefReq decodes the request body.
+func UnmarshalMapRefReq(b []byte) (MapRefReq, error) {
+	d := rpc.NewDec(b)
+	r := MapRefReq{PID: d.U32(), Key: d.U64()}
+	return r, d.Err()
+}
+
+// MapRefResp is the body of a successful MMapRef response.
+type MapRefResp struct {
+	Addr dm.RemoteAddr
+	Size int64
+}
+
+// Marshal encodes the response body.
+func (r MapRefResp) Marshal() []byte {
+	return rpc.NewEnc(16).U64(uint64(r.Addr)).I64(r.Size).Bytes()
+}
+
+// UnmarshalMapRefResp decodes the response body.
+func UnmarshalMapRefResp(b []byte) (MapRefResp, error) {
+	d := rpc.NewDec(b)
+	r := MapRefResp{Addr: dm.RemoteAddr(d.U64()), Size: d.I64()}
+	return r, d.Err()
+}
+
+// FreeRefReq is the body of an MFreeRef request.
+type FreeRefReq struct {
+	Key uint64
+}
+
+// Marshal encodes the request body.
+func (r FreeRefReq) Marshal() []byte { return rpc.NewEnc(8).U64(r.Key).Bytes() }
+
+// UnmarshalFreeRefReq decodes the request body.
+func UnmarshalFreeRefReq(b []byte) (FreeRefReq, error) {
+	d := rpc.NewDec(b)
+	r := FreeRefReq{Key: d.U64()}
+	return r, d.Err()
+}
+
+// ReadReq is the body of an MRead request.
+type ReadReq struct {
+	PID  uint32
+	Addr dm.RemoteAddr
+	Size uint32
+}
+
+// Marshal encodes the request body.
+func (r ReadReq) Marshal() []byte {
+	return rpc.NewEnc(16).U32(r.PID).U64(uint64(r.Addr)).U32(r.Size).Bytes()
+}
+
+// UnmarshalReadReq decodes the request body.
+func UnmarshalReadReq(b []byte) (ReadReq, error) {
+	d := rpc.NewDec(b)
+	r := ReadReq{PID: d.U32(), Addr: dm.RemoteAddr(d.U64()), Size: d.U32()}
+	return r, d.Err()
+}
+
+// WriteReq is the body of an MWrite request; Data aliases the message
+// buffer.
+type WriteReq struct {
+	PID  uint32
+	Addr dm.RemoteAddr
+	Data []byte
+}
+
+// Marshal encodes the request body.
+func (r WriteReq) Marshal() []byte {
+	e := rpc.NewEnc(12 + len(r.Data))
+	return e.U32(r.PID).U64(uint64(r.Addr)).Raw(r.Data).Bytes()
+}
+
+// UnmarshalWriteReq decodes the request body.
+func UnmarshalWriteReq(b []byte) (WriteReq, error) {
+	d := rpc.NewDec(b)
+	r := WriteReq{PID: d.U32(), Addr: dm.RemoteAddr(d.U64())}
+	r.Data = d.Remaining()
+	return r, d.Err()
+}
+
+// StageReq is the body of an MStage request; Data aliases the message
+// buffer.
+type StageReq struct {
+	PID  uint32
+	Data []byte
+}
+
+// Marshal encodes the request body.
+func (r StageReq) Marshal() []byte {
+	e := rpc.NewEnc(4 + len(r.Data))
+	return e.U32(r.PID).Raw(r.Data).Bytes()
+}
+
+// UnmarshalStageReq decodes the request body.
+func UnmarshalStageReq(b []byte) (StageReq, error) {
+	d := rpc.NewDec(b)
+	r := StageReq{PID: d.U32()}
+	r.Data = d.Remaining()
+	return r, d.Err()
+}
+
+// ReadRefReq is the body of an MReadRef request.
+type ReadRefReq struct {
+	Key  uint64
+	Off  uint32
+	Size uint32
+}
+
+// Marshal encodes the request body.
+func (r ReadRefReq) Marshal() []byte {
+	return rpc.NewEnc(16).U64(r.Key).U32(r.Off).U32(r.Size).Bytes()
+}
+
+// UnmarshalReadRefReq decodes the request body.
+func UnmarshalReadRefReq(b []byte) (ReadRefReq, error) {
+	d := rpc.NewDec(b)
+	r := ReadRefReq{Key: d.U64(), Off: d.U32(), Size: d.U32()}
+	return r, d.Err()
+}

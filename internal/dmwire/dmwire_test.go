@@ -1,0 +1,158 @@
+package dmwire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dm"
+	"repro/internal/rpc"
+)
+
+func TestStatusRoundTrip(t *testing.T) {
+	for _, err := range []error{dm.ErrOutOfMemory, dm.ErrBadAddress, dm.ErrBadRef, dm.ErrOutOfRange} {
+		status := StatusOf(err)
+		back := ErrOf(status, err.Error())
+		if !errors.Is(back, err) {
+			t.Errorf("round trip lost %v (status %d, got %v)", err, status, back)
+		}
+	}
+	if StatusOf(nil) != StatusOK {
+		t.Error("nil error should map to StatusOK")
+	}
+	if ErrOf(StatusOK, "") != nil {
+		t.Error("StatusOK should map to nil")
+	}
+	// Unknown errors survive as AppError with the message.
+	odd := errors.New("weird")
+	back := ErrOf(StatusOf(odd), odd.Error())
+	var ae *rpc.AppError
+	if !errors.As(back, &ae) || ae.Msg != "weird" {
+		t.Errorf("unknown error mapped to %v", back)
+	}
+}
+
+func TestBodyCodecsRoundTrip(t *testing.T) {
+	{
+		r, err := UnmarshalRegisterResp(RegisterResp{PID: 7}.Marshal())
+		if err != nil || r.PID != 7 {
+			t.Errorf("RegisterResp: %+v %v", r, err)
+		}
+	}
+	{
+		r, err := UnmarshalAllocReq(AllocReq{PID: 1, Size: 1 << 40}.Marshal())
+		if err != nil || r.PID != 1 || r.Size != 1<<40 {
+			t.Errorf("AllocReq: %+v %v", r, err)
+		}
+	}
+	{
+		r, err := UnmarshalAllocResp(AllocResp{Addr: 0xABC}.Marshal())
+		if err != nil || r.Addr != 0xABC {
+			t.Errorf("AllocResp: %+v %v", r, err)
+		}
+	}
+	{
+		r, err := UnmarshalFreeReq(FreeReq{PID: 2, Addr: 0x1000}.Marshal())
+		if err != nil || r.PID != 2 || r.Addr != 0x1000 {
+			t.Errorf("FreeReq: %+v %v", r, err)
+		}
+	}
+	{
+		r, err := UnmarshalCreateRefReq(CreateRefReq{PID: 3, Addr: 0x2000, Size: 555}.Marshal())
+		if err != nil || r.PID != 3 || r.Addr != 0x2000 || r.Size != 555 {
+			t.Errorf("CreateRefReq: %+v %v", r, err)
+		}
+	}
+	{
+		r, err := UnmarshalRefKeyResp(RefKeyResp{Key: 99}.Marshal())
+		if err != nil || r.Key != 99 {
+			t.Errorf("RefKeyResp: %+v %v", r, err)
+		}
+	}
+	{
+		r, err := UnmarshalMapRefReq(MapRefReq{PID: 4, Key: 88}.Marshal())
+		if err != nil || r.PID != 4 || r.Key != 88 {
+			t.Errorf("MapRefReq: %+v %v", r, err)
+		}
+	}
+	{
+		r, err := UnmarshalMapRefResp(MapRefResp{Addr: 0x3000, Size: 777}.Marshal())
+		if err != nil || r.Addr != 0x3000 || r.Size != 777 {
+			t.Errorf("MapRefResp: %+v %v", r, err)
+		}
+	}
+	{
+		r, err := UnmarshalFreeRefReq(FreeRefReq{Key: 66}.Marshal())
+		if err != nil || r.Key != 66 {
+			t.Errorf("FreeRefReq: %+v %v", r, err)
+		}
+	}
+	{
+		r, err := UnmarshalReadReq(ReadReq{PID: 5, Addr: 0x4000, Size: 4096}.Marshal())
+		if err != nil || r.PID != 5 || r.Addr != 0x4000 || r.Size != 4096 {
+			t.Errorf("ReadReq: %+v %v", r, err)
+		}
+	}
+	{
+		r, err := UnmarshalWriteReq(WriteReq{PID: 6, Addr: 0x5000, Data: []byte("abc")}.Marshal())
+		if err != nil || r.PID != 6 || r.Addr != 0x5000 || !bytes.Equal(r.Data, []byte("abc")) {
+			t.Errorf("WriteReq: %+v %v", r, err)
+		}
+	}
+	{
+		r, err := UnmarshalStageReq(StageReq{PID: 7, Data: []byte("xyz")}.Marshal())
+		if err != nil || r.PID != 7 || !bytes.Equal(r.Data, []byte("xyz")) {
+			t.Errorf("StageReq: %+v %v", r, err)
+		}
+	}
+	{
+		r, err := UnmarshalReadRefReq(ReadRefReq{Key: 9, Off: 100, Size: 200}.Marshal())
+		if err != nil || r.Key != 9 || r.Off != 100 || r.Size != 200 {
+			t.Errorf("ReadRefReq: %+v %v", r, err)
+		}
+	}
+}
+
+func TestShortBodiesRejected(t *testing.T) {
+	short := []byte{1, 2}
+	if _, err := UnmarshalAllocReq(short); err == nil {
+		t.Error("short AllocReq accepted")
+	}
+	if _, err := UnmarshalCreateRefReq(short); err == nil {
+		t.Error("short CreateRefReq accepted")
+	}
+	if _, err := UnmarshalMapRefResp(short); err == nil {
+		t.Error("short MapRefResp accepted")
+	}
+	if _, err := UnmarshalReadRefReq(short); err == nil {
+		t.Error("short ReadRefReq accepted")
+	}
+	if _, err := UnmarshalRegisterResp(nil); err == nil {
+		t.Error("empty RegisterResp accepted")
+	}
+}
+
+func TestWriteReqProperty(t *testing.T) {
+	prop := func(pid uint32, addr uint64, data []byte) bool {
+		r, err := UnmarshalWriteReq(WriteReq{PID: pid, Addr: dm.RemoteAddr(addr), Data: data}.Marshal())
+		return err == nil && r.PID == pid && uint64(r.Addr) == addr && bytes.Equal(r.Data, data)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMethodsAreDistinct(t *testing.T) {
+	seen := map[rpc.Method]bool{}
+	for _, m := range []rpc.Method{MRegister, MAlloc, MFree, MCreateRef, MMapRef,
+		MFreeRef, MRead, MWrite, MStage, MReadRef} {
+		if seen[m] {
+			t.Fatalf("duplicate method id %d", m)
+		}
+		seen[m] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("expected 10 methods, got %d", len(seen))
+	}
+}

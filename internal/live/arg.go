@@ -1,0 +1,125 @@
+package live
+
+import (
+	"repro/internal/core"
+	"repro/internal/dm"
+)
+
+// This file mirrors internal/core's size-aware argument layer for the live
+// backend, reusing core.Arg (a pure value type) so refs marshal
+// identically in both worlds: applications embed Args in their own RPC
+// messages and only the ~20-byte wire form crosses the application
+// protocol for large payloads.
+
+// DefaultInlineThreshold matches core.DefaultInlineThreshold.
+const DefaultInlineThreshold = core.DefaultInlineThreshold
+
+// MakeArg stages data size-aware: payloads at or below threshold inline
+// (threshold 0 means DefaultInlineThreshold; negative means always by
+// reference); larger payloads are staged into DM in one round trip.
+func (cl *Client) MakeArg(data []byte, threshold int) (core.Arg, error) {
+	switch {
+	case threshold == 0:
+		threshold = DefaultInlineThreshold
+	case threshold < 0:
+		threshold = -1
+	}
+	if threshold >= 0 && len(data) <= threshold {
+		return core.InlineArg(data), nil
+	}
+	ref, err := cl.StageRef(data)
+	if err != nil {
+		return core.Arg{}, err
+	}
+	return core.RefArg(ref), nil
+}
+
+// Data is a consumer's opened view of an Arg over the live backend:
+// inline bytes, or a ref read through ReadRef with a lazy private mapping
+// established on first write (copy-on-write underneath).
+type Data struct {
+	cl     *Client
+	isRef  bool
+	inline []byte
+	ref    dm.Ref
+	mapped bool
+	addr   dm.RemoteAddr
+	size   int64
+}
+
+// Open materializes an argument for access; opening a ref moves no data.
+func (cl *Client) Open(a core.Arg) (*Data, error) {
+	if !a.IsRef() {
+		// Inline args get a private copy, matching pass-by-value
+		// isolation.
+		buf := make([]byte, a.Size())
+		copy(buf, a.Inline())
+		return &Data{cl: cl, inline: buf, size: a.Size()}, nil
+	}
+	return &Data{cl: cl, isRef: true, ref: a.Ref(), size: a.Ref().Size}, nil
+}
+
+// Size returns the payload length.
+func (d *Data) Size() int64 { return d.size }
+
+// Read copies len(dst) bytes from offset off.
+func (d *Data) Read(off int64, dst []byte) error {
+	if off < 0 || off+int64(len(dst)) > d.size {
+		return dm.ErrOutOfRange
+	}
+	if !d.isRef {
+		copy(dst, d.inline[off:])
+		return nil
+	}
+	if d.mapped {
+		return d.cl.Read(d.addr.Add(off), dst)
+	}
+	return d.cl.ReadRef(d.ref, off, dst)
+}
+
+// Write stores src at offset off; the first write to a ref maps it so
+// copy-on-write isolates this consumer.
+func (d *Data) Write(off int64, src []byte) error {
+	if off < 0 || off+int64(len(src)) > d.size {
+		return dm.ErrOutOfRange
+	}
+	if !d.isRef {
+		copy(d.inline[off:], src)
+		return nil
+	}
+	if !d.mapped {
+		addr, err := d.cl.MapRef(d.ref)
+		if err != nil {
+			return err
+		}
+		d.addr = addr
+		d.mapped = true
+	}
+	return d.cl.Write(d.addr.Add(off), src)
+}
+
+// Bytes reads the whole payload.
+func (d *Data) Bytes() ([]byte, error) {
+	out := make([]byte, d.size)
+	if err := d.Read(0, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Close releases this consumer's mapping, if any.
+func (d *Data) Close() error {
+	if !d.mapped {
+		return nil
+	}
+	d.mapped = false
+	return d.cl.Free(d.addr)
+}
+
+// Release drops a ref argument's page hold (final consumer).
+func (cl *Client) Release(a core.Arg) error {
+	if !a.IsRef() {
+		return nil
+	}
+	return cl.FreeRef(a.Ref())
+}

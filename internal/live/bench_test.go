@@ -1,0 +1,95 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"testing"
+)
+
+// benchSetup starts a loopback server and registered client for real-time
+// benchmarking.
+func benchSetup(b *testing.B) (*Server, *Client) {
+	b.Helper()
+	srv := NewServer(ServerConfig{NumPages: 1 << 15, PageSize: 4096})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cl.Register(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		cl.Close()
+		srv.Close()
+	})
+	return srv, cl
+}
+
+// BenchmarkLiveStageFreeRef measures the fused stage+free cycle over real
+// loopback TCP at several payload sizes.
+func BenchmarkLiveStageFreeRef(b *testing.B) {
+	for _, size := range []int{4096, 32768, 262144} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			_, cl := benchSetup(b)
+			payload := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ref, err := cl.StageRef(payload)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := cl.FreeRef(ref); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLiveReadRef measures read-through-ref latency for a resident
+// 32 KiB object.
+func BenchmarkLiveReadRef(b *testing.B) {
+	_, cl := benchSetup(b)
+	ref, err := cl.StageRef(make([]byte, 32768))
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 32768)
+	b.SetBytes(32768)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.ReadRef(ref, 0, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveCoWWrite measures a map+write+unmap cycle against a shared
+// region (each iteration triggers one page copy).
+func BenchmarkLiveCoWWrite(b *testing.B) {
+	_, cl := benchSetup(b)
+	ref, err := cl.StageRef(make([]byte, 32768))
+	if err != nil {
+		b.Fatal(err)
+	}
+	small := []byte("dirty")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr, err := cl.MapRef(ref)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cl.Write(addr, small); err != nil {
+			b.Fatal(err)
+		}
+		if err := cl.Free(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/dm"
+	"repro/internal/dmwire"
+	"repro/internal/rpc"
+)
+
+// Client is a process's live handle on a DM server pool: the Table II API
+// over real TCP connections, with allocations round-robined across
+// servers, mirroring dmnet.Client. Methods are safe for concurrent use.
+type Client struct {
+	mu    sync.Mutex
+	node  *Node
+	addrs []string
+	pids  []uint32
+	ready bool
+	rr    int
+}
+
+// conn is one multiplexed TCP connection to a DM server.
+type conn struct {
+	c       net.Conn
+	wmu     sync.Mutex
+	pmu     sync.Mutex
+	pending map[uint64]chan response
+	nextID  uint64
+	dead    error
+}
+
+type response struct {
+	status byte
+	body   []byte
+}
+
+// Dial connects to every server address in order. The order must match
+// across processes sharing refs (Ref.Server is the pool index).
+func Dial(addrs ...string) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("live: need at least one server address")
+	}
+	cl := &Client{node: NewNode(), addrs: addrs, pids: make([]uint32, len(addrs))}
+	for _, a := range addrs {
+		if _, err := cl.node.peer(a); err != nil {
+			cl.Close()
+			return nil, err
+		}
+	}
+	return cl, nil
+}
+
+// Close tears down every connection.
+func (cl *Client) Close() error { return cl.node.Close() }
+
+// readLoop dispatches responses to waiting calls.
+func (c *conn) readLoop() {
+	for {
+		kind, reqID, payload, err := readFrame(c.c)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if kind != kindResponse || len(payload) < 1 {
+			c.fail(fmt.Errorf("live: malformed response frame"))
+			return
+		}
+		c.pmu.Lock()
+		ch, ok := c.pending[reqID]
+		delete(c.pending, reqID)
+		c.pmu.Unlock()
+		if ok {
+			ch <- response{status: payload[0], body: payload[1:]}
+		}
+	}
+}
+
+// fail poisons the connection and unblocks all waiters.
+func (c *conn) fail(err error) {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	c.dead = err
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+}
+
+// call performs one request/response exchange.
+func (c *conn) call(m rpc.Method, body []byte) ([]byte, error) {
+	ch := make(chan response, 1)
+	c.pmu.Lock()
+	if c.dead != nil {
+		c.pmu.Unlock()
+		return nil, fmt.Errorf("live: connection failed: %w", c.dead)
+	}
+	id := c.nextID
+	c.nextID++
+	c.pending[id] = ch
+	c.pmu.Unlock()
+
+	payload := make([]byte, 2+len(body))
+	binary.BigEndian.PutUint16(payload, uint16(m))
+	copy(payload[2:], body)
+
+	c.wmu.Lock()
+	err := writeFrame(c.c, kindRequest, id, payload)
+	c.wmu.Unlock()
+	if err != nil {
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		// A failed write means the connection is gone; poison it so the
+		// owning Node redials on the next call.
+		c.fail(err)
+		return nil, err
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		c.pmu.Lock()
+		err := c.dead
+		c.pmu.Unlock()
+		return nil, fmt.Errorf("live: connection failed: %w", err)
+	}
+	if resp.status != dmwire.StatusOK {
+		return nil, dmwire.ErrOf(resp.status, string(resp.body))
+	}
+	return resp.body, nil
+}
+
+// Register obtains a PID from every server; must complete before other
+// calls.
+func (cl *Client) Register() error {
+	for i, a := range cl.addrs {
+		body, err := cl.node.Call(a, dmwire.MRegister, nil)
+		if err != nil {
+			return err
+		}
+		r, err := dmwire.UnmarshalRegisterResp(body)
+		if err != nil {
+			return err
+		}
+		cl.pids[i] = r.PID
+	}
+	cl.mu.Lock()
+	cl.ready = true
+	cl.mu.Unlock()
+	return nil
+}
+
+// server picks the pool entry for index i.
+func (cl *Client) server(i int) (string, uint32, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if !cl.ready {
+		return "", 0, fmt.Errorf("live: client not registered")
+	}
+	if i < 0 || i >= len(cl.addrs) {
+		return "", 0, dm.ErrBadAddress
+	}
+	return cl.addrs[i], cl.pids[i], nil
+}
+
+// next round-robins the target server for allocations and staging.
+func (cl *Client) next() int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	i := cl.rr
+	cl.rr = (cl.rr + 1) % len(cl.addrs)
+	return i
+}
+
+// Address tagging matches dmnet: the pool index rides in the top byte.
+const serverShift = 56
+
+func tagAddr(server int, a dm.RemoteAddr) dm.RemoteAddr {
+	return dm.RemoteAddr(uint64(server)<<serverShift | uint64(a))
+}
+
+func splitAddr(a dm.RemoteAddr) (int, dm.RemoteAddr) {
+	return int(uint64(a) >> serverShift), dm.RemoteAddr(uint64(a) & (1<<serverShift - 1))
+}
+
+// Alloc reserves size bytes (ralloc).
+func (cl *Client) Alloc(size int64) (dm.RemoteAddr, error) {
+	idx := cl.next()
+	srv, pid, err := cl.server(idx)
+	if err != nil {
+		return 0, err
+	}
+	body, err := cl.node.Call(srv, dmwire.MAlloc, dmwire.AllocReq{PID: pid, Size: size}.Marshal())
+	if err != nil {
+		return 0, err
+	}
+	r, err := dmwire.UnmarshalAllocResp(body)
+	if err != nil {
+		return 0, err
+	}
+	return tagAddr(idx, r.Addr), nil
+}
+
+// Free releases the region at addr (rfree).
+func (cl *Client) Free(addr dm.RemoteAddr) error {
+	idx, raw := splitAddr(addr)
+	srv, pid, err := cl.server(idx)
+	if err != nil {
+		return err
+	}
+	_, err = cl.node.Call(srv, dmwire.MFree, dmwire.FreeReq{PID: pid, Addr: raw}.Marshal())
+	return err
+}
+
+// CreateRef shares [addr, addr+size) read-only (create_ref).
+func (cl *Client) CreateRef(addr dm.RemoteAddr, size int64) (dm.Ref, error) {
+	idx, raw := splitAddr(addr)
+	srv, pid, err := cl.server(idx)
+	if err != nil {
+		return dm.Ref{}, err
+	}
+	body, err := cl.node.Call(srv, dmwire.MCreateRef, dmwire.CreateRefReq{PID: pid, Addr: raw, Size: size}.Marshal())
+	if err != nil {
+		return dm.Ref{}, err
+	}
+	r, err := dmwire.UnmarshalRefKeyResp(body)
+	if err != nil {
+		return dm.Ref{}, err
+	}
+	return dm.Ref{Server: uint32(idx), Key: r.Key, Size: size}, nil
+}
+
+// MapRef maps a ref into this process's DM address space (map_ref).
+func (cl *Client) MapRef(ref dm.Ref) (dm.RemoteAddr, error) {
+	srv, pid, err := cl.server(int(ref.Server))
+	if err != nil {
+		return 0, err
+	}
+	body, err := cl.node.Call(srv, dmwire.MMapRef, dmwire.MapRefReq{PID: pid, Key: ref.Key}.Marshal())
+	if err != nil {
+		return 0, err
+	}
+	r, err := dmwire.UnmarshalMapRefResp(body)
+	if err != nil {
+		return 0, err
+	}
+	return tagAddr(int(ref.Server), r.Addr), nil
+}
+
+// FreeRef drops the ref's own page hold.
+func (cl *Client) FreeRef(ref dm.Ref) error {
+	srv, _, err := cl.server(int(ref.Server))
+	if err != nil {
+		return err
+	}
+	_, err = cl.node.Call(srv, dmwire.MFreeRef, dmwire.FreeRefReq{Key: ref.Key}.Marshal())
+	return err
+}
+
+// Write stores src at addr (rwrite).
+func (cl *Client) Write(addr dm.RemoteAddr, src []byte) error {
+	idx, raw := splitAddr(addr)
+	srv, pid, err := cl.server(idx)
+	if err != nil {
+		return err
+	}
+	_, err = cl.node.Call(srv, dmwire.MWrite, dmwire.WriteReq{PID: pid, Addr: raw, Data: src}.Marshal())
+	return err
+}
+
+// Read loads len(dst) bytes from addr (rread).
+func (cl *Client) Read(addr dm.RemoteAddr, dst []byte) error {
+	idx, raw := splitAddr(addr)
+	srv, pid, err := cl.server(idx)
+	if err != nil {
+		return err
+	}
+	body, err := cl.node.Call(srv, dmwire.MRead, dmwire.ReadReq{PID: pid, Addr: raw, Size: uint32(len(dst))}.Marshal())
+	if err != nil {
+		return err
+	}
+	if len(body) != len(dst) {
+		return fmt.Errorf("live: read returned %d bytes, want %d", len(body), len(dst))
+	}
+	copy(dst, body)
+	return nil
+}
+
+// StageRef stages data into fresh pages in one round trip.
+func (cl *Client) StageRef(data []byte) (dm.Ref, error) {
+	idx := cl.next()
+	srv, pid, err := cl.server(idx)
+	if err != nil {
+		return dm.Ref{}, err
+	}
+	body, err := cl.node.Call(srv, dmwire.MStage, dmwire.StageReq{PID: pid, Data: data}.Marshal())
+	if err != nil {
+		return dm.Ref{}, err
+	}
+	r, err := dmwire.UnmarshalRefKeyResp(body)
+	if err != nil {
+		return dm.Ref{}, err
+	}
+	return dm.Ref{Server: uint32(idx), Key: r.Key, Size: int64(len(data))}, nil
+}
+
+// ReadRef reads the ref's snapshot without mapping it.
+func (cl *Client) ReadRef(ref dm.Ref, off int64, dst []byte) error {
+	srv, _, err := cl.server(int(ref.Server))
+	if err != nil {
+		return err
+	}
+	body, err := cl.node.Call(srv, dmwire.MReadRef,
+		dmwire.ReadRefReq{Key: ref.Key, Off: uint32(off), Size: uint32(len(dst))}.Marshal())
+	if err != nil {
+		return err
+	}
+	if len(body) != len(dst) {
+		return fmt.Errorf("live: readref returned %d bytes, want %d", len(body), len(dst))
+	}
+	copy(dst, body)
+	return nil
+}

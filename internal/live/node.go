@@ -1,0 +1,203 @@
+package live
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/dmwire"
+	"repro/internal/rpc"
+)
+
+// Handler processes one request body and returns the response body. It
+// mirrors rpc.Handler for the live world (no simulation context).
+type Handler func(from net.Addr, body []byte) ([]byte, error)
+
+// Node is a live RPC endpoint: it serves registered methods over TCP and
+// issues calls to other nodes, multiplexing concurrent requests per
+// connection — the real-network counterpart of the simulator's rpc.Node,
+// speaking the same frame format the DM protocol uses.
+type Node struct {
+	mu       sync.Mutex
+	handlers map[rpc.Method]Handler
+	peers    map[string]*conn      // lazily dialed, keyed by address
+	inbound  map[net.Conn]struct{} // accepted connections, for Close
+	ln       net.Listener
+	closed   chan struct{}
+	once     sync.Once
+	conns    sync.WaitGroup
+}
+
+// NewNode returns an empty node; register handlers, then Serve and/or
+// Call.
+func NewNode() *Node {
+	return &Node{
+		handlers: make(map[rpc.Method]Handler),
+		peers:    make(map[string]*conn),
+		inbound:  make(map[net.Conn]struct{}),
+		closed:   make(chan struct{}),
+	}
+}
+
+// Handle registers h for method m. Duplicate registration panics.
+func (n *Node) Handle(m rpc.Method, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.handlers[m]; dup {
+		panic(fmt.Sprintf("live: duplicate handler for method %#x", uint16(m)))
+	}
+	n.handlers[m] = h
+}
+
+// Serve accepts connections on ln until Close; it returns nil after Close.
+func (n *Node) Serve(ln net.Listener) error {
+	n.mu.Lock()
+	select {
+	case <-n.closed:
+		// Close already ran (it cannot see this listener); refuse to serve.
+		n.mu.Unlock()
+		ln.Close()
+		return nil
+	default:
+	}
+	n.ln = ln
+	n.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-n.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		n.mu.Lock()
+		n.inbound[c] = struct{}{}
+		n.mu.Unlock()
+		n.conns.Add(1)
+		go func() {
+			defer n.conns.Done()
+			defer func() {
+				n.mu.Lock()
+				delete(n.inbound, c)
+				n.mu.Unlock()
+			}()
+			n.serveConn(c)
+		}()
+	}
+}
+
+// Close stops serving, closes peer connections, and waits for in-flight
+// request goroutines spawned by the accept loop.
+func (n *Node) Close() error {
+	var err error
+	n.once.Do(func() {
+		n.mu.Lock()
+		close(n.closed)
+		if n.ln != nil {
+			err = n.ln.Close()
+		}
+		for _, c := range n.peers {
+			c.c.Close()
+		}
+		// Accepted connections must be closed too, or their serve
+		// goroutines would block in readFrame while clients linger.
+		for c := range n.inbound {
+			c.Close()
+		}
+		n.mu.Unlock()
+		n.conns.Wait()
+	})
+	return err
+}
+
+// serveConn handles one inbound connection: one goroutine per request,
+// responses serialized by a per-connection write lock.
+func (n *Node) serveConn(c net.Conn) {
+	defer c.Close()
+	var wmu sync.Mutex
+	for {
+		kind, reqID, payload, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		if kind != kindRequest || len(payload) < 2 {
+			return
+		}
+		m := rpc.Method(binary.BigEndian.Uint16(payload))
+		body := payload[2:]
+		go func() {
+			status, resp := n.dispatch(c.RemoteAddr(), m, body)
+			out := make([]byte, 1+len(resp))
+			out[0] = status
+			copy(out[1:], resp)
+			wmu.Lock()
+			defer wmu.Unlock()
+			_ = writeFrame(c, kindResponse, reqID, out)
+		}()
+	}
+}
+
+// errNoSuchMethod is the catch-all for unknown methods.
+var errNoSuchMethod = errors.New("live: no such method")
+
+func (n *Node) dispatch(from net.Addr, m rpc.Method, body []byte) (byte, []byte) {
+	n.mu.Lock()
+	h, ok := n.handlers[m]
+	n.mu.Unlock()
+	if !ok {
+		return dmwire.StatusErr, []byte(errNoSuchMethod.Error())
+	}
+	resp, err := h(from, body)
+	if err != nil {
+		return dmwire.StatusOf(err), []byte(err.Error())
+	}
+	return dmwire.StatusOK, resp
+}
+
+// peer returns (dialing if needed) the multiplexed connection to addr.
+func (n *Node) peer(addr string) (*conn, error) {
+	n.mu.Lock()
+	c, ok := n.peers[addr]
+	n.mu.Unlock()
+	if ok {
+		c.pmu.Lock()
+		dead := c.dead
+		c.pmu.Unlock()
+		if dead == nil {
+			return c, nil
+		}
+		// Reconnect over a fresh socket.
+		n.mu.Lock()
+		delete(n.peers, addr)
+		n.mu.Unlock()
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: dial %s: %w", addr, err)
+	}
+	c = &conn{c: nc, pending: make(map[uint64]chan response)}
+	go c.readLoop()
+	n.mu.Lock()
+	if prev, raced := n.peers[addr]; raced {
+		n.mu.Unlock()
+		nc.Close()
+		return prev, nil
+	}
+	n.peers[addr] = c
+	n.mu.Unlock()
+	return c, nil
+}
+
+// Call invokes method m at addr with body and returns the response body;
+// non-OK statuses surface as the shared dm errors or *rpc.AppError.
+func (n *Node) Call(addr string, m rpc.Method, body []byte) ([]byte, error) {
+	c, err := n.peer(addr)
+	if err != nil {
+		return nil, err
+	}
+	return c.call(m, body)
+}

@@ -1,0 +1,589 @@
+// Package live is a real-network implementation of the DmRPC-net
+// disaggregated memory protocol (internal/dmwire) over TCP: a DM server
+// holding a pinned page pool with page-granular copy-on-write, and a
+// client exposing the paper's Table II API (ralloc/rfree/create_ref/
+// map_ref/rread/rwrite) plus the fused stage/read-by-ref fast paths.
+//
+// It exists so the library is usable outside the simulator: the simulated
+// backend (internal/dmnet) validates the paper's performance claims under
+// a calibrated cost model, while this package provides the same semantics
+// on real sockets. Both speak the identical wire protocol, enforced by
+// shared codecs and by cross-checked tests.
+//
+// Concurrency model: one goroutine per connection, one goroutine per
+// request, a single mutex over the page manager. That is deliberately
+// simple — correctness first; the scaling story is measured in simulation.
+package live
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/dm"
+	"repro/internal/dmwire"
+	"repro/internal/rpc"
+)
+
+// Frame layout: length-prefixed messages on a TCP stream.
+//
+//	u32 payloadLen | u8 kind | u64 reqID | payload
+//	request payload:  u16 method | body
+//	response payload: u8 status  | body
+const (
+	frameHeaderSize = 4 + 1 + 8
+	kindRequest     = 1
+	kindResponse    = 2
+)
+
+// MaxMessageSize bounds one frame's payload (guards against corrupt
+// length prefixes).
+const MaxMessageSize = 64 << 20
+
+// errFrameTooLarge reports a corrupt or hostile length prefix.
+var errFrameTooLarge = errors.New("live: frame exceeds maximum message size")
+
+// writeFrame writes one frame; the caller serializes writers per conn.
+func writeFrame(w io.Writer, kind byte, reqID uint64, payload []byte) error {
+	hdr := make([]byte, frameHeaderSize)
+	binary.BigEndian.PutUint32(hdr, uint32(len(payload)))
+	hdr[4] = kind
+	binary.BigEndian.PutUint64(hdr[5:], reqID)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame.
+func readFrame(r io.Reader) (kind byte, reqID uint64, payload []byte, err error) {
+	hdr := make([]byte, frameHeaderSize)
+	if _, err = io.ReadFull(r, hdr); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n > MaxMessageSize {
+		return 0, 0, nil, errFrameTooLarge
+	}
+	kind = hdr[4]
+	reqID = binary.BigEndian.Uint64(hdr[5:])
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return kind, reqID, payload, nil
+}
+
+// ServerConfig sizes a live DM server.
+type ServerConfig struct {
+	// NumPages is the pinned pool size in pages.
+	NumPages int
+	// PageSize is the page granularity in bytes.
+	PageSize int
+}
+
+// DefaultServerConfig returns a 256 MiB pool of 4 KiB pages.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{NumPages: 1 << 16, PageSize: 4096}
+}
+
+// Validate reports a configuration error, if any.
+func (c ServerConfig) Validate() error {
+	if c.NumPages <= 0 || c.PageSize <= 0 {
+		return fmt.Errorf("live: NumPages and PageSize must be positive")
+	}
+	return nil
+}
+
+// Server is a live DM server: the paper's page manager and address
+// translator over real memory and TCP.
+type Server struct {
+	cfg ServerConfig
+
+	mu      sync.Mutex
+	pool    []byte
+	refcnt  []int32
+	free    []int32 // FIFO of free frames
+	vas     map[uint32]*dm.VAAllocator
+	trans   map[transKey]int32
+	refs    map[uint64]*refEntry
+	nextPID uint32
+	nextKey uint64
+
+	node *Node
+}
+
+type transKey struct {
+	pid   uint32
+	vpage uint64
+}
+
+type refEntry struct {
+	frames []int32
+	size   int64
+}
+
+// NewServer builds a server with an allocated (and thereby "pinned") pool.
+func NewServer(cfg ServerConfig) *Server {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Server{
+		cfg:    cfg,
+		pool:   make([]byte, cfg.NumPages*cfg.PageSize),
+		refcnt: make([]int32, cfg.NumPages),
+		free:   make([]int32, cfg.NumPages),
+		vas:    make(map[uint32]*dm.VAAllocator),
+		trans:  make(map[transKey]int32),
+		refs:   make(map[uint64]*refEntry),
+		node:   NewNode(),
+	}
+	for i := range s.free {
+		s.free[i] = int32(i)
+	}
+	for _, m := range []rpc.Method{
+		dmwire.MRegister, dmwire.MAlloc, dmwire.MFree, dmwire.MCreateRef,
+		dmwire.MMapRef, dmwire.MFreeRef, dmwire.MRead, dmwire.MWrite,
+		dmwire.MStage, dmwire.MReadRef,
+	} {
+		m := m
+		s.node.Handle(m, func(from net.Addr, body []byte) ([]byte, error) {
+			return s.handle(m, body)
+		})
+	}
+	return s
+}
+
+// Serve accepts connections on ln until Close. It returns nil after Close.
+func (s *Server) Serve(ln net.Listener) error { return s.node.Serve(ln) }
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *Server) Close() error { return s.node.Close() }
+
+// FreePages returns the number of free frames (tests, monitoring).
+func (s *Server) FreePages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.free)
+}
+
+// LiveRefs returns the number of outstanding refs.
+func (s *Server) LiveRefs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.refs)
+}
+
+// methodOf converts a raw wire value to an rpc.Method (fuzzing hook).
+func methodOf(m uint16) rpc.Method { return rpc.Method(m) }
+
+// dispatch runs one DM operation and returns (status, response body);
+// kept as a direct entry point for fuzzing the page manager.
+func (s *Server) dispatch(m rpc.Method, body []byte) (byte, []byte) {
+	resp, err := s.handle(m, body)
+	if err != nil {
+		return dmwire.StatusOf(err), []byte(err.Error())
+	}
+	return dmwire.StatusOK, resp
+}
+
+func (s *Server) handle(m rpc.Method, body []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch m {
+	case dmwire.MRegister:
+		return s.register()
+	case dmwire.MAlloc:
+		return s.alloc(body)
+	case dmwire.MFree:
+		return s.freeRegion(body)
+	case dmwire.MCreateRef:
+		return s.createRef(body)
+	case dmwire.MMapRef:
+		return s.mapRef(body)
+	case dmwire.MFreeRef:
+		return s.freeRef(body)
+	case dmwire.MRead:
+		return s.read(body)
+	case dmwire.MWrite:
+		return s.write(body)
+	case dmwire.MStage:
+		return s.stage(body)
+	case dmwire.MReadRef:
+		return s.readRef(body)
+	default:
+		return nil, errNoSuchMethod
+	}
+}
+
+func (s *Server) pageSize() int64 { return int64(s.cfg.PageSize) }
+
+func (s *Server) frame(f int32) []byte {
+	off := int(f) * s.cfg.PageSize
+	return s.pool[off : off+s.cfg.PageSize : off+s.cfg.PageSize]
+}
+
+func (s *Server) popFrame() (int32, bool) {
+	if len(s.free) == 0 {
+		return -1, false
+	}
+	f := s.free[0]
+	s.free = s.free[1:]
+	return f, true
+}
+
+// --- operations (all run under s.mu) ---
+
+func (s *Server) register() ([]byte, error) {
+	pid := s.nextPID
+	s.nextPID++
+	s.vas[pid] = dm.NewVAAllocator(s.cfg.PageSize, 1<<16, 1<<40)
+	return dmwire.RegisterResp{PID: pid}.Marshal(), nil
+}
+
+func (s *Server) va(pid uint32) (*dm.VAAllocator, error) {
+	va, ok := s.vas[pid]
+	if !ok {
+		return nil, dm.ErrBadAddress
+	}
+	return va, nil
+}
+
+func (s *Server) alloc(body []byte) ([]byte, error) {
+	req, err := dmwire.UnmarshalAllocReq(body)
+	if err != nil {
+		return nil, err
+	}
+	va, err := s.va(req.PID)
+	if err != nil {
+		return nil, err
+	}
+	addr, err := va.Alloc(req.Size)
+	if err != nil {
+		return nil, err
+	}
+	return dmwire.AllocResp{Addr: addr}.Marshal(), nil
+}
+
+func (s *Server) freeRegion(body []byte) ([]byte, error) {
+	req, err := dmwire.UnmarshalFreeReq(body)
+	if err != nil {
+		return nil, err
+	}
+	va, err := s.va(req.PID)
+	if err != nil {
+		return nil, err
+	}
+	size, err := va.Free(req.Addr)
+	if err != nil {
+		return nil, err
+	}
+	pages := dm.PageCount(size, s.cfg.PageSize)
+	if pages == 0 {
+		pages = 1
+	}
+	base := uint64(req.Addr) / uint64(s.pageSize())
+	for i := 0; i < pages; i++ {
+		key := transKey{pid: req.PID, vpage: base + uint64(i)}
+		f, ok := s.trans[key]
+		if !ok {
+			continue
+		}
+		delete(s.trans, key)
+		s.decRef(f)
+	}
+	return nil, nil
+}
+
+// decRef drops one reference and reclaims the frame at zero.
+func (s *Server) decRef(f int32) {
+	s.refcnt[f]--
+	if s.refcnt[f] < 0 {
+		panic(fmt.Sprintf("live: frame %d refcount negative", f))
+	}
+	if s.refcnt[f] == 0 {
+		s.free = append(s.free, f)
+	}
+}
+
+// materialize backs (pid, vpage) with a zeroed frame on first touch.
+func (s *Server) materialize(key transKey) (int32, error) {
+	if f, ok := s.trans[key]; ok {
+		return f, nil
+	}
+	f, ok := s.popFrame()
+	if !ok {
+		return -1, dm.ErrOutOfMemory
+	}
+	fr := s.frame(f)
+	for i := range fr {
+		fr[i] = 0
+	}
+	s.refcnt[f] = 1
+	s.trans[key] = f
+	return f, nil
+}
+
+func (s *Server) checkRange(pid uint32, addr dm.RemoteAddr, size int64) error {
+	va, err := s.va(pid)
+	if err != nil {
+		return err
+	}
+	base, regSize, err := va.Lookup(addr)
+	if err != nil {
+		return err
+	}
+	extent := int64(dm.PageCount(regSize, s.cfg.PageSize)) * s.pageSize()
+	if extent == 0 {
+		extent = s.pageSize()
+	}
+	if int64(addr)-int64(base)+size > extent {
+		return dm.ErrOutOfRange
+	}
+	return nil
+}
+
+func (s *Server) createRef(body []byte) ([]byte, error) {
+	req, err := dmwire.UnmarshalCreateRefReq(body)
+	if err != nil {
+		return nil, err
+	}
+	if req.Size <= 0 {
+		return nil, dm.ErrOutOfRange
+	}
+	if err := s.checkRange(req.PID, req.Addr, req.Size); err != nil {
+		return nil, err
+	}
+	basePage := uint64(req.Addr) / uint64(s.pageSize())
+	pages := dm.PageCount(int64(uint64(req.Addr)%uint64(s.pageSize()))+req.Size, s.cfg.PageSize)
+	frames := make([]int32, 0, pages)
+	for i := 0; i < pages; i++ {
+		f, err := s.materialize(transKey{pid: req.PID, vpage: basePage + uint64(i)})
+		if err != nil {
+			return nil, err
+		}
+		s.refcnt[f]++ // the ref's own hold; makes the pages CoW-protected
+		frames = append(frames, f)
+	}
+	key := s.nextKey
+	s.nextKey++
+	s.refs[key] = &refEntry{frames: frames, size: req.Size}
+	return dmwire.RefKeyResp{Key: key}.Marshal(), nil
+}
+
+func (s *Server) mapRef(body []byte) ([]byte, error) {
+	req, err := dmwire.UnmarshalMapRefReq(body)
+	if err != nil {
+		return nil, err
+	}
+	va, err := s.va(req.PID)
+	if err != nil {
+		return nil, err
+	}
+	ref, ok := s.refs[req.Key]
+	if !ok {
+		return nil, dm.ErrBadRef
+	}
+	addr, err := va.Alloc(ref.size)
+	if err != nil {
+		return nil, err
+	}
+	basePage := uint64(addr) / uint64(s.pageSize())
+	for i, f := range ref.frames {
+		s.trans[transKey{pid: req.PID, vpage: basePage + uint64(i)}] = f
+		s.refcnt[f]++
+	}
+	return dmwire.MapRefResp{Addr: addr, Size: ref.size}.Marshal(), nil
+}
+
+func (s *Server) freeRef(body []byte) ([]byte, error) {
+	req, err := dmwire.UnmarshalFreeRefReq(body)
+	if err != nil {
+		return nil, err
+	}
+	ref, ok := s.refs[req.Key]
+	if !ok {
+		return nil, dm.ErrBadRef
+	}
+	delete(s.refs, req.Key)
+	for _, f := range ref.frames {
+		s.decRef(f)
+	}
+	return nil, nil
+}
+
+func (s *Server) read(body []byte) ([]byte, error) {
+	req, err := dmwire.UnmarshalReadReq(body)
+	if err != nil {
+		return nil, err
+	}
+	size := int64(req.Size)
+	if err := s.checkRange(req.PID, req.Addr, size); err != nil {
+		return nil, err
+	}
+	out := make([]byte, size)
+	off := int64(0)
+	for off < size {
+		vpage := (uint64(req.Addr) + uint64(off)) / uint64(s.pageSize())
+		pageOff := (int64(req.Addr) + off) % s.pageSize()
+		n := s.pageSize() - pageOff
+		if n > size-off {
+			n = size - off
+		}
+		if f, ok := s.trans[transKey{pid: req.PID, vpage: vpage}]; ok {
+			copy(out[off:off+n], s.frame(f)[pageOff:])
+		}
+		off += n
+	}
+	return out, nil
+}
+
+func (s *Server) write(body []byte) ([]byte, error) {
+	req, err := dmwire.UnmarshalWriteReq(body)
+	if err != nil {
+		return nil, err
+	}
+	size := int64(len(req.Data))
+	if err := s.checkRange(req.PID, req.Addr, size); err != nil {
+		return nil, err
+	}
+	off := int64(0)
+	for off < size {
+		vpage := (uint64(req.Addr) + uint64(off)) / uint64(s.pageSize())
+		pageOff := (int64(req.Addr) + off) % s.pageSize()
+		n := s.pageSize() - pageOff
+		if n > size-off {
+			n = size - off
+		}
+		f, err := s.writableFrame(transKey{pid: req.PID, vpage: vpage})
+		if err != nil {
+			return nil, err
+		}
+		copy(s.frame(f)[pageOff:], req.Data[off:off+n])
+		off += n
+	}
+	return nil, nil
+}
+
+// writableFrame runs the copy-on-write protocol of §V-A2.
+func (s *Server) writableFrame(key transKey) (int32, error) {
+	f, err := s.materialize(key)
+	if err != nil {
+		return -1, err
+	}
+	if s.refcnt[f] > 1 {
+		nf, ok := s.popFrame()
+		if !ok {
+			return -1, dm.ErrOutOfMemory
+		}
+		copy(s.frame(nf), s.frame(f))
+		s.refcnt[f]--
+		s.refcnt[nf] = 1
+		s.trans[key] = nf
+		f = nf
+	}
+	return f, nil
+}
+
+func (s *Server) stage(body []byte) ([]byte, error) {
+	req, err := dmwire.UnmarshalStageReq(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Data) == 0 {
+		return nil, dm.ErrOutOfRange
+	}
+	pages := dm.PageCount(int64(len(req.Data)), s.cfg.PageSize)
+	frames := make([]int32, 0, pages)
+	for i := 0; i < pages; i++ {
+		f, ok := s.popFrame()
+		if !ok {
+			for _, g := range frames {
+				s.free = append(s.free, g)
+			}
+			return nil, dm.ErrOutOfMemory
+		}
+		lo := i * s.cfg.PageSize
+		hi := lo + s.cfg.PageSize
+		if hi > len(req.Data) {
+			hi = len(req.Data)
+		}
+		fr := s.frame(f)
+		n := copy(fr, req.Data[lo:hi])
+		for j := n; j < len(fr); j++ {
+			fr[j] = 0
+		}
+		s.refcnt[f] = 1
+		frames = append(frames, f)
+	}
+	key := s.nextKey
+	s.nextKey++
+	s.refs[key] = &refEntry{frames: frames, size: int64(len(req.Data))}
+	return dmwire.RefKeyResp{Key: key}.Marshal(), nil
+}
+
+func (s *Server) readRef(body []byte) ([]byte, error) {
+	req, err := dmwire.UnmarshalReadRefReq(body)
+	if err != nil {
+		return nil, err
+	}
+	ref, ok := s.refs[req.Key]
+	if !ok {
+		return nil, dm.ErrBadRef
+	}
+	off, size := int64(req.Off), int64(req.Size)
+	if off < 0 || size < 0 || off+size > ref.size {
+		return nil, dm.ErrOutOfRange
+	}
+	out := make([]byte, size)
+	pos := int64(0)
+	for pos < size {
+		page := int((off + pos) / s.pageSize())
+		pageOff := (off + pos) % s.pageSize()
+		n := s.pageSize() - pageOff
+		if n > size-pos {
+			n = size - pos
+		}
+		copy(out[pos:pos+n], s.frame(ref.frames[page])[pageOff:])
+		pos += n
+	}
+	return out, nil
+}
+
+// CheckInvariants validates the page manager bookkeeping (tests only).
+func (s *Server) CheckInvariants() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	holds := make(map[int32]int32)
+	for _, f := range s.trans {
+		holds[f]++
+	}
+	for _, ref := range s.refs {
+		for _, f := range ref.frames {
+			holds[f]++
+		}
+	}
+	for f, want := range holds {
+		if s.refcnt[f] != want {
+			return fmt.Errorf("frame %d refcount %d, want %d", f, s.refcnt[f], want)
+		}
+	}
+	freeSet := make(map[int32]bool, len(s.free))
+	for _, f := range s.free {
+		if freeSet[f] {
+			return fmt.Errorf("frame %d free twice", f)
+		}
+		freeSet[f] = true
+		if holds[f] != 0 {
+			return fmt.Errorf("frame %d free but held", f)
+		}
+	}
+	if len(freeSet)+len(holds) != s.cfg.NumPages {
+		return fmt.Errorf("frames leak: %d free + %d held != %d", len(freeSet), len(holds), s.cfg.NumPages)
+	}
+	return nil
+}

@@ -1,0 +1,352 @@
+// Package memsim models a physical memory device made of fixed-size page
+// frames plus a linear reference-count region, as used by both the
+// DmRPC-net DM server ("pinned memory" + refcount array, paper §V-A1) and
+// the CXL G-FAM device ("majority of the physical memory ... while the
+// remaining memory records the reference count", paper §V-B1).
+//
+// Data is functionally real: frames are real bytes and reads/writes move
+// them. Cost is virtual: every access charges a configurable access latency
+// plus transfer time on a shared bandwidth pipe, and all traffic is
+// accounted so experiments can report memory-bandwidth pressure (Fig 6,
+// Fig 7c).
+package memsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// FrameID identifies a physical page frame within a Device. NoFrame marks
+// an unmapped slot.
+type FrameID int32
+
+// NoFrame is the invalid frame id.
+const NoFrame FrameID = -1
+
+// Config describes a memory device.
+type Config struct {
+	// NumPages is the number of page frames.
+	NumPages int
+	// PageSize is the frame size in bytes (power of two not required but
+	// conventional; the paper uses 4 KiB).
+	PageSize int
+	// AccessLatency is charged once per access operation (75 ns local DRAM,
+	// 265 ns emulated CXL pool; paper §VI-A).
+	AccessLatency sim.Time
+	// BytesPerSecond is the device bandwidth shared by all accesses.
+	BytesPerSecond int64
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	if c.NumPages <= 0 {
+		return fmt.Errorf("memsim: NumPages must be positive, got %d", c.NumPages)
+	}
+	if c.PageSize <= 0 {
+		return fmt.Errorf("memsim: PageSize must be positive, got %d", c.PageSize)
+	}
+	if c.AccessLatency < 0 {
+		return fmt.Errorf("memsim: AccessLatency must be non-negative, got %d", c.AccessLatency)
+	}
+	if c.BytesPerSecond <= 0 {
+		return fmt.Errorf("memsim: BytesPerSecond must be positive, got %d", c.BytesPerSecond)
+	}
+	return nil
+}
+
+// Device is a simulated physical memory device.
+type Device struct {
+	eng    *sim.Engine
+	cfg    Config
+	data   []byte  // NumPages * PageSize backing store
+	refcnt []int32 // one per frame; the "refcount region"
+	bus    *sim.Pipe
+
+	readBytes  stats.Counter
+	writeBytes stats.Counter
+	atomics    stats.Counter
+	copies     stats.Counter // page copies (CoW or unconditional)
+}
+
+// New creates a device. It panics on an invalid config (a programming
+// error, not a runtime condition).
+func New(eng *sim.Engine, name string, cfg Config) *Device {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Device{
+		eng:    eng,
+		cfg:    cfg,
+		data:   make([]byte, cfg.NumPages*cfg.PageSize),
+		refcnt: make([]int32, cfg.NumPages),
+		bus:    sim.NewPipe(eng, name+"/bus", cfg.BytesPerSecond),
+	}
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// NumPages returns the number of frames.
+func (d *Device) NumPages() int { return d.cfg.NumPages }
+
+// PageSize returns the frame size in bytes.
+func (d *Device) PageSize() int { return d.cfg.PageSize }
+
+// SetAccessLatency changes the per-access latency; used by the Fig 12
+// CXL-latency sweep.
+func (d *Device) SetAccessLatency(l sim.Time) { d.cfg.AccessLatency = l }
+
+// frame returns the backing bytes of frame f without charging any cost.
+// Exported accessors charge; this is for internal use and tests.
+func (d *Device) frame(f FrameID) []byte {
+	if f < 0 || int(f) >= d.cfg.NumPages {
+		panic(fmt.Sprintf("memsim: frame %d out of range [0,%d)", f, d.cfg.NumPages))
+	}
+	off := int(f) * d.cfg.PageSize
+	return d.data[off : off+d.cfg.PageSize : off+d.cfg.PageSize]
+}
+
+// RawFrame exposes frame bytes with no simulated cost. Intended for test
+// assertions and for callers that account cost themselves.
+func (d *Device) RawFrame(f FrameID) []byte { return d.frame(f) }
+
+// charge applies the access cost model: fixed latency plus bus time.
+func (d *Device) charge(p *sim.Proc, size int) {
+	if d.cfg.AccessLatency > 0 {
+		p.Sleep(d.cfg.AccessLatency)
+	}
+	d.bus.Transfer(p, size)
+}
+
+// Read copies len(dst) bytes from frame f at off into dst, charging access
+// latency and bus bandwidth.
+func (d *Device) Read(p *sim.Proc, f FrameID, off int, dst []byte) {
+	fr := d.frame(f)
+	if off < 0 || off+len(dst) > len(fr) {
+		panic(fmt.Sprintf("memsim: read [%d,%d) outside page of %d bytes", off, off+len(dst), len(fr)))
+	}
+	d.charge(p, len(dst))
+	d.readBytes.Add(int64(len(dst)))
+	copy(dst, fr[off:])
+}
+
+// Write copies src into frame f at off, charging access latency and bus
+// bandwidth.
+func (d *Device) Write(p *sim.Proc, f FrameID, off int, src []byte) {
+	fr := d.frame(f)
+	if off < 0 || off+len(src) > len(fr) {
+		panic(fmt.Sprintf("memsim: write [%d,%d) outside page of %d bytes", off, off+len(src), len(fr)))
+	}
+	d.charge(p, len(src))
+	d.writeBytes.Add(int64(len(src)))
+	copy(fr[off:], src)
+}
+
+// CopyFrame copies the whole content of frame src into frame dst (the CoW
+// copy). It charges one access latency and a read+write pass over the bus.
+func (d *Device) CopyFrame(p *sim.Proc, dst, src FrameID) {
+	s := d.frame(src)
+	t := d.frame(dst)
+	d.charge(p, 2*d.cfg.PageSize)
+	d.readBytes.Add(int64(d.cfg.PageSize))
+	d.writeBytes.Add(int64(d.cfg.PageSize))
+	d.copies.Inc()
+	copy(t, s)
+}
+
+// ZeroFrame clears a frame (on allocation), charging a write pass.
+func (d *Device) ZeroFrame(p *sim.Proc, f FrameID) {
+	fr := d.frame(f)
+	d.charge(p, d.cfg.PageSize)
+	d.writeBytes.Add(int64(d.cfg.PageSize))
+	for i := range fr {
+		fr[i] = 0
+	}
+}
+
+// RefCount returns frame f's reference count without charging cost (the
+// engine's single-runner model means no torn reads are possible).
+func (d *Device) RefCount(f FrameID) int32 {
+	d.frame(f) // bounds check
+	return d.refcnt[f]
+}
+
+// LoadRef reads frame f's reference count as a device access (one latency,
+// 4 bytes of traffic). This is the charged path used by CoW fault handling.
+func (d *Device) LoadRef(p *sim.Proc, f FrameID) int32 {
+	d.frame(f)
+	d.charge(p, 4)
+	d.readBytes.Add(4)
+	d.atomics.Inc()
+	return d.refcnt[f]
+}
+
+// AddRef atomically adds delta to frame f's reference count and returns the
+// new value, charging one access (the paper's "ISA-supported atomic
+// operations" on CXL memory, §V-B). Panics if the count would go negative —
+// that is always a refcounting bug.
+func (d *Device) AddRef(p *sim.Proc, f FrameID, delta int32) int32 {
+	d.frame(f)
+	d.charge(p, 4)
+	d.writeBytes.Add(4)
+	d.atomics.Inc()
+	n := d.refcnt[f] + delta
+	if n < 0 {
+		panic(fmt.Sprintf("memsim: frame %d refcount went negative (%d)", f, n))
+	}
+	d.refcnt[f] = n
+	return n
+}
+
+// AddRefBatch atomically adds delta to every frame in frames and returns
+// the new counts. It models a pipelined sequence of atomics: the access
+// latency is paid once (memory-level parallelism hides the rest) plus bus
+// time for 4 bytes per frame. This is what makes batched create_ref cheap
+// relative to page copying (paper Fig 7).
+func (d *Device) AddRefBatch(p *sim.Proc, frames []FrameID, delta int32) []int32 {
+	if len(frames) == 0 {
+		return nil
+	}
+	for _, f := range frames {
+		d.frame(f) // bounds check before charging
+	}
+	d.charge(p, 4*len(frames))
+	d.writeBytes.Add(int64(4 * len(frames)))
+	d.atomics.Add(int64(len(frames)))
+	out := make([]int32, len(frames))
+	for i, f := range frames {
+		n := d.refcnt[f] + delta
+		if n < 0 {
+			panic(fmt.Sprintf("memsim: frame %d refcount went negative (%d)", f, n))
+		}
+		d.refcnt[f] = n
+		out[i] = n
+	}
+	return out
+}
+
+// CopyFramesCPU copies each src frame to the corresponding dst frame using
+// CPU-driven load/store at cpuBytesPerSecond (the effective bandwidth of a
+// core streaming through this device, typically far below the device bus
+// for uncached CXL access). Latency is paid once; the bus is charged for
+// the bytes actually moved; any remaining time is CPU stall.
+func (d *Device) CopyFramesCPU(p *sim.Proc, dst, src []FrameID, cpuBytesPerSecond int64) {
+	if len(dst) != len(src) {
+		panic("memsim: CopyFramesCPU length mismatch")
+	}
+	if len(dst) == 0 {
+		return
+	}
+	if cpuBytesPerSecond <= 0 {
+		panic("memsim: CopyFramesCPU needs positive bandwidth")
+	}
+	total := 2 * d.cfg.PageSize * len(dst)
+	if d.cfg.AccessLatency > 0 {
+		p.Sleep(d.cfg.AccessLatency)
+	}
+	busTime := d.bus.TransferTime(total)
+	d.bus.Transfer(p, total)
+	cpuTime := sim.Time(int64(total) * int64(sim.Second) / cpuBytesPerSecond)
+	if cpuTime > busTime {
+		p.Sleep(cpuTime - busTime)
+	}
+	for i := range dst {
+		copy(d.frame(dst[i]), d.frame(src[i]))
+	}
+	d.readBytes.Add(int64(d.cfg.PageSize * len(dst)))
+	d.writeBytes.Add(int64(d.cfg.PageSize * len(dst)))
+	d.copies.Add(int64(len(dst)))
+}
+
+// SetRef sets the count outside the charged path (initialization).
+func (d *Device) SetRef(f FrameID, v int32) {
+	d.frame(f)
+	if v < 0 {
+		panic("memsim: negative refcount")
+	}
+	d.refcnt[f] = v
+}
+
+// Traffic reports cumulative device traffic.
+type Traffic struct {
+	ReadBytes  int64
+	WriteBytes int64
+	Atomics    int64
+	PageCopies int64
+}
+
+// Total returns read+write bytes.
+func (t Traffic) Total() int64 { return t.ReadBytes + t.WriteBytes }
+
+// Traffic returns the device's cumulative traffic counters.
+func (d *Device) Traffic() Traffic {
+	return Traffic{
+		ReadBytes:  d.readBytes.Value(),
+		WriteBytes: d.writeBytes.Value(),
+		Atomics:    d.atomics.Value(),
+		PageCopies: d.copies.Value(),
+	}
+}
+
+// ResetTraffic zeroes the traffic counters (between experiment phases).
+func (d *Device) ResetTraffic() {
+	d.readBytes.Reset()
+	d.writeBytes.Reset()
+	d.atomics.Reset()
+	d.copies.Reset()
+}
+
+// BusBusyTime returns the cumulative busy time of the device's bus, for
+// memory-bandwidth-occupation reporting (Fig 6).
+func (d *Device) BusBusyTime() sim.Time { return d.bus.BusyTime() }
+
+// FreeList is a FIFO of free page frames, as used by the page manager
+// ("manages the pinned pages in a FIFO", §V-A1) and the per-host CXL fault
+// handler (§V-B2).
+type FreeList struct {
+	q []FrameID
+}
+
+// NewFreeList returns a FIFO pre-filled with frames [0, n).
+func NewFreeList(n int) *FreeList {
+	fl := &FreeList{q: make([]FrameID, n)}
+	for i := range fl.q {
+		fl.q[i] = FrameID(i)
+	}
+	return fl
+}
+
+// NewEmptyFreeList returns an empty FIFO.
+func NewEmptyFreeList() *FreeList { return &FreeList{} }
+
+// Len returns the number of free frames.
+func (fl *FreeList) Len() int { return len(fl.q) }
+
+// Pop removes and returns the oldest free frame. ok is false if empty.
+func (fl *FreeList) Pop() (f FrameID, ok bool) {
+	if len(fl.q) == 0 {
+		return NoFrame, false
+	}
+	f = fl.q[0]
+	fl.q = fl.q[1:]
+	return f, true
+}
+
+// PopN removes up to n frames and returns them.
+func (fl *FreeList) PopN(n int) []FrameID {
+	if n > len(fl.q) {
+		n = len(fl.q)
+	}
+	out := make([]FrameID, n)
+	copy(out, fl.q[:n])
+	fl.q = fl.q[n:]
+	return out
+}
+
+// Push appends a freed frame.
+func (fl *FreeList) Push(f FrameID) { fl.q = append(fl.q, f) }
+
+// PushAll appends all frames in fs.
+func (fl *FreeList) PushAll(fs []FrameID) { fl.q = append(fl.q, fs...) }

@@ -1,0 +1,471 @@
+package memsim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func newTestDevice(eng *sim.Engine) *Device {
+	return New(eng, "dm0", Config{
+		NumPages:       16,
+		PageSize:       4096,
+		AccessLatency:  75,
+		BytesPerSecond: 1 << 30, // 1 GiB/s
+	})
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{NumPages: 1, PageSize: 1, AccessLatency: 0, BytesPerSecond: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{NumPages: 0, PageSize: 1, BytesPerSecond: 1},
+		{NumPages: 1, PageSize: 0, BytesPerSecond: 1},
+		{NumPages: 1, PageSize: 1, BytesPerSecond: 0},
+		{NumPages: 1, PageSize: 1, AccessLatency: -1, BytesPerSecond: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := newTestDevice(eng)
+	eng.Spawn("rw", func(p *sim.Proc) {
+		src := []byte("hello disaggregated world")
+		d.Write(p, 3, 100, src)
+		dst := make([]byte, len(src))
+		d.Read(p, 3, 100, dst)
+		if !bytes.Equal(src, dst) {
+			t.Errorf("round trip got %q, want %q", dst, src)
+		}
+	})
+	eng.Run()
+}
+
+func TestAccessChargesLatencyAndBandwidth(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng, "dm0", Config{
+		NumPages: 4, PageSize: 4096,
+		AccessLatency:  100,
+		BytesPerSecond: 1_000_000_000, // 1 byte per ns
+	})
+	var done sim.Time
+	eng.Spawn("w", func(p *sim.Proc) {
+		d.Write(p, 0, 0, make([]byte, 1000))
+		done = p.Now()
+	})
+	eng.Run()
+	if done != 1100 { // 100ns latency + 1000ns transfer
+		t.Fatalf("write completed at %d, want 1100", done)
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := newTestDevice(eng)
+	// Bounds violations panic before any simulated cost is charged, so the
+	// Proc argument is never touched and nil is safe here.
+	cases := []func(){
+		func() { d.Read(nil, 0, 4090, make([]byte, 100)) },
+		func() { d.Write(nil, 0, -1, make([]byte, 1)) },
+		func() { d.Read(nil, 99, 0, make([]byte, 1)) },
+		func() { d.Read(nil, NoFrame, 0, make([]byte, 1)) },
+		func() { d.RawFrame(16) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCopyFrameMovesBytesAndCounts(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := newTestDevice(eng)
+	eng.Spawn("cp", func(p *sim.Proc) {
+		d.Write(p, 1, 0, []byte("abc"))
+		d.CopyFrame(p, 2, 1)
+		got := make([]byte, 3)
+		d.Read(p, 2, 0, got)
+		if string(got) != "abc" {
+			t.Errorf("copied frame holds %q", got)
+		}
+	})
+	eng.Run()
+	if d.Traffic().PageCopies != 1 {
+		t.Fatalf("PageCopies = %d, want 1", d.Traffic().PageCopies)
+	}
+}
+
+func TestZeroFrame(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := newTestDevice(eng)
+	eng.Spawn("z", func(p *sim.Proc) {
+		d.Write(p, 0, 0, []byte{1, 2, 3})
+		d.ZeroFrame(p, 0)
+		got := make([]byte, 3)
+		d.Read(p, 0, 0, got)
+		if got[0] != 0 || got[1] != 0 || got[2] != 0 {
+			t.Errorf("frame not zeroed: %v", got)
+		}
+	})
+	eng.Run()
+}
+
+func TestRefCounting(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := newTestDevice(eng)
+	eng.Spawn("rc", func(p *sim.Proc) {
+		if d.RefCount(5) != 0 {
+			t.Error("initial refcount nonzero")
+		}
+		if n := d.AddRef(p, 5, 1); n != 1 {
+			t.Errorf("AddRef -> %d, want 1", n)
+		}
+		if n := d.AddRef(p, 5, 2); n != 3 {
+			t.Errorf("AddRef -> %d, want 3", n)
+		}
+		if n := d.LoadRef(p, 5); n != 3 {
+			t.Errorf("LoadRef -> %d, want 3", n)
+		}
+		if n := d.AddRef(p, 5, -3); n != 0 {
+			t.Errorf("AddRef -> %d, want 0", n)
+		}
+	})
+	eng.Run()
+	if d.Traffic().Atomics != 4 {
+		t.Fatalf("Atomics = %d, want 4", d.Traffic().Atomics)
+	}
+}
+
+func TestNegativeRefPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := newTestDevice(eng)
+	panicked := false
+	eng.Spawn("rc", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		d.AddRef(p, 0, -1)
+	})
+	eng.Run()
+	if !panicked {
+		t.Fatal("negative refcount did not panic")
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := newTestDevice(eng)
+	eng.Spawn("t", func(p *sim.Proc) {
+		d.Write(p, 0, 0, make([]byte, 100))
+		d.Read(p, 0, 0, make([]byte, 40))
+	})
+	eng.Run()
+	tr := d.Traffic()
+	if tr.WriteBytes != 100 || tr.ReadBytes != 40 || tr.Total() != 140 {
+		t.Fatalf("traffic = %+v", tr)
+	}
+	d.ResetTraffic()
+	if d.Traffic().Total() != 0 {
+		t.Fatal("ResetTraffic failed")
+	}
+}
+
+func TestSetAccessLatency(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := newTestDevice(eng)
+	d.SetAccessLatency(265)
+	var done sim.Time
+	eng.Spawn("w", func(p *sim.Proc) {
+		d.LoadRef(p, 0)
+		done = p.Now()
+	})
+	eng.Run()
+	if done < 265 {
+		t.Fatalf("LoadRef under 265ns latency finished at %d", done)
+	}
+}
+
+func TestBusSharedAcrossAccesses(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng, "dm0", Config{
+		NumPages: 4, PageSize: 4096,
+		AccessLatency:  0,
+		BytesPerSecond: 1_000_000_000,
+	})
+	var done []sim.Time
+	for i := 0; i < 2; i++ {
+		f := FrameID(i)
+		eng.Spawn("w", func(p *sim.Proc) {
+			d.Write(p, f, 0, make([]byte, 1000))
+			done = append(done, p.Now())
+		})
+	}
+	eng.Run()
+	if done[0] != 1000 || done[1] != 2000 {
+		t.Fatalf("bus did not serialize: %v", done)
+	}
+}
+
+func TestFreeListFIFO(t *testing.T) {
+	fl := NewFreeList(3)
+	if fl.Len() != 3 {
+		t.Fatalf("Len = %d", fl.Len())
+	}
+	a, _ := fl.Pop()
+	b, _ := fl.Pop()
+	if a != 0 || b != 1 {
+		t.Fatalf("pop order %d,%d, want 0,1", a, b)
+	}
+	fl.Push(a)
+	c, _ := fl.Pop()
+	if c != 2 {
+		t.Fatalf("pop = %d, want 2 (FIFO)", c)
+	}
+	d, _ := fl.Pop()
+	if d != 0 {
+		t.Fatalf("pop = %d, want recycled 0", d)
+	}
+	if _, ok := fl.Pop(); ok {
+		t.Fatal("pop from empty list succeeded")
+	}
+}
+
+func TestFreeListPopN(t *testing.T) {
+	fl := NewFreeList(5)
+	got := fl.PopN(3)
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("PopN(3) = %v", got)
+	}
+	got = fl.PopN(10)
+	if len(got) != 2 {
+		t.Fatalf("PopN(10) returned %d frames, want remaining 2", len(got))
+	}
+	fl.PushAll([]FrameID{7, 8})
+	if fl.Len() != 2 {
+		t.Fatalf("Len after PushAll = %d", fl.Len())
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := newTestDevice(eng)
+	if d.NumPages() != 16 || d.PageSize() != 4096 {
+		t.Fatalf("accessors: %d pages, %dB", d.NumPages(), d.PageSize())
+	}
+	if d.Config().AccessLatency != 75 {
+		t.Fatalf("Config() latency %d", d.Config().AccessLatency)
+	}
+}
+
+func TestSetRef(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := newTestDevice(eng)
+	d.SetRef(3, 5)
+	if d.RefCount(3) != 5 {
+		t.Fatalf("RefCount = %d", d.RefCount(3))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative SetRef did not panic")
+		}
+	}()
+	d.SetRef(3, -1)
+}
+
+func TestAddRefBatch(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := newTestDevice(eng)
+	frames := []FrameID{1, 3, 5}
+	var counts []int32
+	var dur sim.Time
+	eng.Spawn("b", func(p *sim.Proc) {
+		start := p.Now()
+		counts = d.AddRefBatch(p, frames, 2)
+		dur = p.Now() - start
+	})
+	eng.Run()
+	for i, c := range counts {
+		if c != 2 {
+			t.Fatalf("count[%d] = %d", i, c)
+		}
+	}
+	for _, f := range frames {
+		if d.RefCount(f) != 2 {
+			t.Fatalf("RefCount(%d) = %d", f, d.RefCount(f))
+		}
+	}
+	// Pipelined: one latency for the whole batch, not one per frame.
+	if dur >= 3*75 {
+		t.Fatalf("batch of 3 took %dns; latency not amortized", dur)
+	}
+	if d.Traffic().Atomics != 3 {
+		t.Fatalf("Atomics = %d", d.Traffic().Atomics)
+	}
+	// Empty batch is free.
+	eng2 := sim.NewEngine(1)
+	d2 := newTestDevice(eng2)
+	if got := d2.AddRefBatch(nil, nil, 1); got != nil {
+		t.Fatal("empty batch returned counts")
+	}
+}
+
+func TestAddRefBatchNegativePanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := newTestDevice(eng)
+	panicked := false
+	eng.Spawn("b", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		d.AddRefBatch(p, []FrameID{0}, -1)
+	})
+	eng.Run()
+	if !panicked {
+		t.Fatal("negative batch refcount did not panic")
+	}
+}
+
+func TestCopyFramesCPU(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng, "dm", Config{
+		NumPages: 8, PageSize: 4096,
+		AccessLatency:  100,
+		BytesPerSecond: 80_000_000_000, // fast bus
+	})
+	var dur sim.Time
+	eng.Spawn("cp", func(p *sim.Proc) {
+		d.Write(p, 0, 0, []byte("source-a"))
+		d.Write(p, 1, 0, []byte("source-b"))
+		start := p.Now()
+		// Slow CPU copy: 1 GB/s => 2 pages * 8KiB = 16384ns dominate.
+		d.CopyFramesCPU(p, []FrameID{4, 5}, []FrameID{0, 1}, 1_000_000_000)
+		dur = p.Now() - start
+	})
+	eng.Run()
+	if got := string(d.RawFrame(4)[:8]); got != "source-a" {
+		t.Fatalf("frame 4 = %q", got)
+	}
+	if got := string(d.RawFrame(5)[:8]); got != "source-b" {
+		t.Fatalf("frame 5 = %q", got)
+	}
+	// CPU-bound: ~16µs, not bus time (~200ns).
+	if dur < 16000 || dur > 17000 {
+		t.Fatalf("CPU copy took %dns, want ~16384", dur)
+	}
+	if d.Traffic().PageCopies != 2 {
+		t.Fatalf("PageCopies = %d", d.Traffic().PageCopies)
+	}
+}
+
+func TestCopyFramesCPUValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := newTestDevice(eng)
+	for i, fn := range []func(){
+		func() { d.CopyFramesCPU(nil, []FrameID{1}, []FrameID{1, 2}, 1) },
+		func() { d.CopyFramesCPU(nil, []FrameID{1}, []FrameID{2}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+	// Empty copy is a no-op.
+	d.CopyFramesCPU(nil, nil, nil, 1)
+}
+
+func TestBusBusyTime(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng, "dm", Config{NumPages: 2, PageSize: 4096, AccessLatency: 0, BytesPerSecond: 1_000_000_000})
+	eng.Spawn("w", func(p *sim.Proc) {
+		d.Write(p, 0, 0, make([]byte, 1000))
+	})
+	eng.Run()
+	if d.BusBusyTime() != 1000 {
+		t.Fatalf("BusBusyTime = %d", d.BusBusyTime())
+	}
+}
+
+func TestNewEmptyFreeList(t *testing.T) {
+	fl := NewEmptyFreeList()
+	if fl.Len() != 0 {
+		t.Fatalf("Len = %d", fl.Len())
+	}
+	fl.Push(7)
+	if f, ok := fl.Pop(); !ok || f != 7 {
+		t.Fatalf("Pop = %d,%v", f, ok)
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad config accepted")
+		}
+	}()
+	New(eng, "bad", Config{})
+}
+
+// Property: any interleaving of frame writes through the device is readable
+// back intact — frames never alias each other.
+func TestFrameIsolationProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		eng := sim.NewEngine(seed)
+		d := New(eng, "dm", Config{NumPages: 8, PageSize: 128, AccessLatency: 1, BytesPerSecond: 1 << 30})
+		rng := rand.New(rand.NewSource(seed))
+		want := make([][]byte, 8)
+		ok := true
+		eng.Spawn("writer", func(p *sim.Proc) {
+			for i := 0; i < 50; i++ {
+				f := FrameID(rng.Intn(8))
+				buf := make([]byte, 1+rng.Intn(127))
+				rng.Read(buf)
+				off := rng.Intn(128 - len(buf) + 1)
+				d.Write(p, f, off, buf)
+				if want[f] == nil {
+					want[f] = make([]byte, 128)
+				}
+				copy(want[f][off:], buf)
+			}
+			for f := 0; f < 8; f++ {
+				if want[f] == nil {
+					continue
+				}
+				got := make([]byte, 128)
+				d.Read(p, FrameID(f), 0, got)
+				if !bytes.Equal(got, want[f]) {
+					ok = false
+				}
+			}
+		})
+		eng.Run()
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+package msvc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+)
+
+// Block storage methods.
+const (
+	MBlockWrite rpc.Method = 0x0440 + iota
+	MBlockRead
+	MBlockPut
+	MBlockGet
+)
+
+// BlockStore models the commodity block storage service the paper's
+// introduction motivates ("the commodity block storage service uses RPC to
+// transfer large data blocks (tens to hundreds of KBs)", §I): clients
+// write fixed-size blocks through a gateway that replicates them across
+// backends. The gateway is a pure data mover; under pass-by-value every
+// write crosses its NIC and memory bus R+1 times, under DmRPC only Refs
+// do, and the disaggregated pool holds the single data copy the replicas
+// reference.
+type BlockStore struct {
+	pl       *Platform
+	client   *Service
+	gateway  *Service
+	backends []*Service
+	// Replicas is the replication factor per block (must be <= backends).
+	Replicas int
+	// blocks[backend][key] is each backend's durable map.
+	blocks []map[uint64]core.Arg
+}
+
+// NewBlockStore deploys a gateway plus numBackends storage services.
+// Call before Platform.Start.
+func NewBlockStore(pl *Platform, numBackends, replicas int) *BlockStore {
+	if numBackends < 1 || replicas < 1 || replicas > numBackends {
+		panic("msvc: blockstore needs 1 <= replicas <= backends")
+	}
+	bs := &BlockStore{
+		pl:       pl,
+		client:   pl.NewService("bs-client"),
+		gateway:  pl.NewService("bs-gateway"),
+		Replicas: replicas,
+		blocks:   make([]map[uint64]core.Arg, numBackends),
+	}
+	for i := 0; i < numBackends; i++ {
+		bs.backends = append(bs.backends, pl.NewService(fmt.Sprintf("bs-backend%d", i)))
+		bs.blocks[i] = make(map[uint64]core.Arg)
+	}
+
+	// Gateway: replicate writes, route reads. Never touches block data.
+	bs.gateway.Node.Handle(MBlockWrite, func(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+		pl.Overhead(ctx.P, bs.gateway)
+		d := rpc.NewDec(body)
+		key := d.U64()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		for r := 0; r < bs.Replicas; r++ {
+			idx := bs.replica(key, r)
+			if _, err := pl.forward(ctx, bs.gateway, bs.backends[idx].Addr(), MBlockPut, body); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+	bs.gateway.Node.Handle(MBlockRead, func(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+		pl.Overhead(ctx.P, bs.gateway)
+		d := rpc.NewDec(body)
+		key := d.U64()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		primary := bs.replica(key, 0)
+		return pl.forward(ctx, bs.gateway, bs.backends[primary].Addr(), MBlockGet, body)
+	})
+
+	// Backends: persist and serve blocks. A ref argument is retained as-is
+	// — the disaggregated pool is the storage tier, so replication holds
+	// one copy plus references; inline data is copied into the backend's
+	// memory like a conventional store.
+	for i, b := range bs.backends {
+		i, b := i, b
+		b.Node.Handle(MBlockPut, func(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+			pl.Overhead(ctx.P, b)
+			d := rpc.NewDec(body)
+			key := d.U64()
+			arg := core.DecodeArg(d)
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			if !arg.IsRef() {
+				buf := make([]byte, arg.Size())
+				data, err := b.C.Open(ctx.P, arg)
+				if err != nil {
+					return nil, err
+				}
+				if err := data.Read(ctx.P, 0, buf); err != nil {
+					return nil, err
+				}
+				arg = core.InlineArg(buf)
+			} else {
+				// Durability scrub: the backend verifies it can reach the
+				// referenced data (first page) before acking the write.
+				data, err := b.C.Open(ctx.P, arg)
+				if err != nil {
+					return nil, err
+				}
+				probe := make([]byte, min(512, int(arg.Size())))
+				if err := data.Read(ctx.P, 0, probe); err != nil {
+					return nil, err
+				}
+				if err := data.Close(ctx.P); err != nil {
+					return nil, err
+				}
+			}
+			if old, dup := bs.blocks[i][key]; dup && old.IsRef() && bs.replica(key, 0) == i {
+				// Overwrite: the primary replica owns the ref lifecycle
+				// (the replica set of a key is deterministic, so exactly
+				// one backend releases the superseded version).
+				if err := b.C.Release(ctx.P, old); err != nil {
+					return nil, err
+				}
+			}
+			bs.blocks[i][key] = arg
+			return nil, nil
+		})
+		b.Node.Handle(MBlockGet, func(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+			pl.Overhead(ctx.P, b)
+			d := rpc.NewDec(body)
+			key := d.U64()
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			arg, ok := bs.blocks[i][key]
+			if !ok {
+				return nil, &rpc.AppError{Status: 2, Msg: "no such block"}
+			}
+			if !arg.IsRef() {
+				b.Host.MemTouch(ctx.P, int(arg.Size()))
+			}
+			e := rpc.NewEnc(arg.WireSize())
+			arg.Encode(e)
+			return e.Bytes(), nil
+		})
+	}
+	return bs
+}
+
+// replica maps (key, rank) onto a backend index.
+func (bs *BlockStore) replica(key uint64, rank int) int {
+	return int((key + uint64(rank)) % uint64(len(bs.backends)))
+}
+
+// Client returns the client-side service.
+func (bs *BlockStore) Client() *Service { return bs.client }
+
+// Gateway returns the gateway service (the data mover whose NIC/memory
+// pressure the design relieves).
+func (bs *BlockStore) Gateway() *Service { return bs.gateway }
+
+// StoredOn reports which backends hold block key.
+func (bs *BlockStore) StoredOn(key uint64) []int {
+	var out []int
+	for i := range bs.backends {
+		if _, ok := bs.blocks[i][key]; ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Write stores block as key with the configured replication.
+func (bs *BlockStore) Write(p *sim.Proc, key uint64, block []byte) error {
+	arg, err := bs.client.C.MakeArg(p, block)
+	if err != nil {
+		return err
+	}
+	e := rpc.NewEnc(8 + arg.WireSize())
+	e.U64(key)
+	arg.Encode(e)
+	if _, err := bs.client.Node.Call(p, bs.gateway.Addr(), MBlockWrite, e.Bytes()); err != nil {
+		return err
+	}
+	// Ownership of the ref passes to the storage tier: the primary replica
+	// releases it when the block is overwritten. The writer never frees.
+	return nil
+}
+
+// Read fetches block key into a fresh buffer.
+func (bs *BlockStore) Read(p *sim.Proc, key uint64) ([]byte, error) {
+	resp, err := bs.client.Node.Call(p, bs.gateway.Addr(), MBlockRead,
+		rpc.NewEnc(8).U64(key).Bytes())
+	if err != nil {
+		return nil, err
+	}
+	arg := core.DecodeArg(rpc.NewDec(resp))
+	d, err := bs.client.C.Open(p, arg)
+	if err != nil {
+		return nil, err
+	}
+	out, err := d.Bytes(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Close(p); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

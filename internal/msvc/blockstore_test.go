@@ -1,0 +1,158 @@
+package msvc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestBlockStoreWriteReadAllModes(t *testing.T) {
+	for _, mode := range allModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			pl := NewPlatform(DefaultConfig(mode))
+			defer pl.Shutdown()
+			bs := NewBlockStore(pl, 3, 2)
+			pl.Start()
+			block := bytes.Repeat([]byte("blockdata"), 7282) // ~64 KiB
+			runProc(t, pl, func(p *sim.Proc) error {
+				if err := bs.Write(p, 42, block); err != nil {
+					return err
+				}
+				got, err := bs.Read(p, 42)
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(got, block) {
+					t.Error("read back differs")
+				}
+				return nil
+			})
+			if got := bs.StoredOn(42); len(got) != 2 {
+				t.Fatalf("block on %d backends, want 2 replicas", len(got))
+			}
+		})
+	}
+}
+
+func TestBlockStoreReplicaPlacement(t *testing.T) {
+	pl := NewPlatform(DefaultConfig(ModeERPC))
+	defer pl.Shutdown()
+	bs := NewBlockStore(pl, 3, 2)
+	pl.Start()
+	runProc(t, pl, func(p *sim.Proc) error {
+		for key := uint64(0); key < 3; key++ {
+			if err := bs.Write(p, key, make([]byte, 4096)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	// Keys 0,1,2 land on backends {0,1},{1,2},{2,0}.
+	for key := uint64(0); key < 3; key++ {
+		on := bs.StoredOn(key)
+		want := []int{bs.replica(key, 0), bs.replica(key, 1)}
+		if want[0] > want[1] {
+			want[0], want[1] = want[1], want[0]
+		}
+		if len(on) != 2 || on[0] != want[0] || on[1] != want[1] {
+			t.Fatalf("key %d on %v, want %v", key, on, want)
+		}
+	}
+}
+
+func TestBlockStoreOverwriteNoLeak(t *testing.T) {
+	pl := NewPlatform(DefaultConfig(ModeDmNet))
+	defer pl.Shutdown()
+	bs := NewBlockStore(pl, 3, 2)
+	pl.Start()
+	free := func() int {
+		total := 0
+		for _, s := range pl.DMServers() {
+			total += s.FreePages()
+		}
+		return total
+	}
+	runProc(t, pl, func(p *sim.Proc) error {
+		return bs.Write(p, 7, bytes.Repeat([]byte("v1"), 8192))
+	})
+	afterFirst := free()
+	runProc(t, pl, func(p *sim.Proc) error {
+		for i := 0; i < 5; i++ {
+			if err := bs.Write(p, 7, bytes.Repeat([]byte("vN"), 8192)); err != nil {
+				return err
+			}
+		}
+		got, err := bs.Read(p, 7)
+		if err != nil {
+			return err
+		}
+		if string(got[:2]) != "vN" {
+			t.Errorf("read stale version %q", got[:2])
+		}
+		return nil
+	})
+	if got := free(); got != afterFirst {
+		t.Fatalf("overwrites leaked pages: %d free, want %d", got, afterFirst)
+	}
+	for _, s := range pl.DMServers() {
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBlockStoreGatewayNeverTouchesData(t *testing.T) {
+	memPerWrite := func(mode Mode) int64 {
+		pl := NewPlatform(DefaultConfig(mode))
+		defer pl.Shutdown()
+		bs := NewBlockStore(pl, 3, 2)
+		pl.Start()
+		const writes = 8
+		block := make([]byte, 65536)
+		before := bs.Gateway().Host.MemBytesMoved()
+		runProc(t, pl, func(p *sim.Proc) error {
+			for i := 0; i < writes; i++ {
+				if err := bs.Write(p, uint64(i), block); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		return (bs.Gateway().Host.MemBytesMoved() - before) / writes
+	}
+	erpc := memPerWrite(ModeERPC)
+	dm := memPerWrite(ModeDmNet)
+	// Pass-by-value replication moves the block through the gateway R+1
+	// times; refs keep it off the gateway entirely.
+	if erpc < 2*65536 {
+		t.Fatalf("eRPC gateway moved %dB/write, want >= 2 blocks", erpc)
+	}
+	if dm > 8192 {
+		t.Fatalf("DmRPC gateway moved %dB/write, want tiny", dm)
+	}
+}
+
+func TestBlockStoreMissingBlock(t *testing.T) {
+	pl := NewPlatform(DefaultConfig(ModeERPC))
+	defer pl.Shutdown()
+	bs := NewBlockStore(pl, 2, 1)
+	pl.Start()
+	var err error
+	pl.Eng.Spawn("t", func(p *sim.Proc) { _, err = bs.Read(p, 404) })
+	pl.Eng.Run()
+	if err == nil {
+		t.Fatal("read of missing block succeeded")
+	}
+}
+
+func TestBlockStoreValidation(t *testing.T) {
+	pl := NewPlatform(DefaultConfig(ModeERPC))
+	defer pl.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("replicas > backends accepted")
+		}
+	}()
+	NewBlockStore(pl, 2, 3)
+}

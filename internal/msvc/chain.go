@@ -1,0 +1,95 @@
+package msvc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+)
+
+// MChain is the nested-chain forwarding method.
+const MChain rpc.Method = 0x0400
+
+// Chain is the nested-RPC-calls application of §VI-B: a client calls
+// service 0 with an array argument; services 0..n-2 forward it untouched;
+// the final service aggregates the array and the result unwinds back up
+// the chain.
+type Chain struct {
+	pl     *Platform
+	client *Service
+	svcs   []*Service
+}
+
+// NewChain deploys a chain of hops services plus a client, each on its own
+// host (one microservice per server, §VI-B). Call before Platform.Start.
+func NewChain(pl *Platform, hops int) *Chain {
+	if hops < 1 {
+		panic("msvc: chain needs at least one hop")
+	}
+	ch := &Chain{pl: pl, client: pl.NewService("chain-client")}
+	for i := 0; i < hops; i++ {
+		ch.svcs = append(ch.svcs, pl.NewService(fmt.Sprintf("chain-svc%d", i)))
+	}
+	for i, s := range ch.svcs {
+		if i < hops-1 {
+			next := ch.svcs[i+1]
+			s := s
+			s.Node.Handle(MChain, func(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+				// Pure data mover: forwards the argument without touching
+				// it (the paper's ~60% of datacenter traffic case).
+				return pl.forward(ctx, s, next.Addr(), MChain, body)
+			})
+			continue
+		}
+		last := s
+		last.Node.Handle(MChain, func(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+			pl.Overhead(ctx.P, last)
+			arg := core.DecodeArg(rpc.NewDec(body))
+			d, err := last.C.Open(ctx.P, arg)
+			if err != nil {
+				return nil, err
+			}
+			buf, err := d.Bytes(ctx.P)
+			if err != nil {
+				return nil, err
+			}
+			// Aggregate over local memory (Listing 1's worker loop).
+			last.Host.MemTouch(ctx.P, len(buf))
+			var sum uint64
+			for _, b := range buf {
+				sum += uint64(b)
+			}
+			if err := d.Close(ctx.P); err != nil {
+				return nil, err
+			}
+			return rpc.NewEnc(8).U64(sum).Bytes(), nil
+		})
+	}
+	return ch
+}
+
+// Client returns the chain's client-side service (for workload generators
+// that need its host).
+func (ch *Chain) Client() *Service { return ch.client }
+
+// Hops returns the number of services in the chain.
+func (ch *Chain) Hops() int { return len(ch.svcs) }
+
+// Do issues one end-to-end chained request carrying payload and returns
+// the aggregate computed by the final service.
+func (ch *Chain) Do(p *sim.Proc, payload []byte) (uint64, error) {
+	arg, err := ch.client.C.MakeArg(p, payload)
+	if err != nil {
+		return 0, err
+	}
+	e := rpc.NewEnc(arg.WireSize())
+	arg.Encode(e)
+	resp, err := ch.client.Node.Call(p, ch.svcs[0].Addr(), MChain, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	sum := rpc.NewDec(resp).U64()
+	ch.client.C.ReleaseAsync(arg)
+	return sum, nil
+}

@@ -1,0 +1,169 @@
+package msvc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+)
+
+// Image-processing pipeline methods.
+const (
+	MFirewall rpc.Method = 0x0420 + iota
+	MImgRoute
+	MImgProc
+	MTranscode
+	MCompress
+)
+
+// Image operations carried in the request header.
+const (
+	imgOpTranscode = 0
+	imgOpCompress  = 1
+)
+
+// ImageApp is the 7-tier Cloud Image Processing application of §VI-E
+// (Fig 9): Client → Firewall → Load balance → Image processing (xN) →
+// {Transcoding | Compressing} → result back to Client.
+type ImageApp struct {
+	pl        *Platform
+	client    *Service
+	firewall  *Service
+	lb        *Service
+	imgprocs  []*Service
+	transcode *Service
+	compress  *Service
+	rr        int
+	seq       uint64
+
+	// ComputePerByte is the transcoding/compressing CPU cost (ns per
+	// byte); defaults to 0.25 ns/B (~4 GB/s single-core codec).
+	ComputePerByte float64
+}
+
+// NewImageApp deploys the pipeline with numImgProc image-processing
+// instances. Call before Platform.Start.
+func NewImageApp(pl *Platform, numImgProc int) *ImageApp {
+	if numImgProc < 1 {
+		panic("msvc: image app needs image-processing instances")
+	}
+	app := &ImageApp{
+		pl:             pl,
+		client:         pl.NewService("img-client"),
+		firewall:       pl.NewService("firewall"),
+		lb:             pl.NewService("img-lb"),
+		transcode:      pl.NewService("transcoding"),
+		compress:       pl.NewService("compressing"),
+		ComputePerByte: 0.25,
+	}
+	for i := 0; i < numImgProc; i++ {
+		app.imgprocs = append(app.imgprocs, pl.NewService(fmt.Sprintf("imgproc%d", i)))
+	}
+
+	app.firewall.Node.Handle(MFirewall, func(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+		// Permission check touches only request metadata, never the image.
+		ctx.P.Sleep(200)
+		return pl.forward(ctx, app.firewall, app.lb.Addr(), MImgRoute, body)
+	})
+	app.lb.Node.Handle(MImgRoute, func(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+		target := app.imgprocs[app.rr%len(app.imgprocs)]
+		app.rr++
+		return pl.forward(ctx, app.lb, target.Addr(), MImgProc, body)
+	})
+	for _, ip := range app.imgprocs {
+		ip := ip
+		ip.Node.Handle(MImgProc, func(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+			pl.Overhead(ctx.P, ip)
+			// Parse the request metadata (the op code); the image itself is
+			// never touched here — it rides through as an Arg.
+			d := rpc.NewDec(body)
+			op := d.U8()
+			next := app.transcode
+			if op == imgOpCompress {
+				next = app.compress
+			}
+			return pl.forward(ctx, ip, next.Addr(), methodFor(op), body)
+		})
+	}
+	worker := func(s *Service) rpc.Handler {
+		return func(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+			pl.Overhead(ctx.P, s)
+			d := rpc.NewDec(body)
+			_ = d.U8() // op
+			arg := core.DecodeArg(d)
+			data, err := s.C.Open(ctx.P, arg)
+			if err != nil {
+				return nil, err
+			}
+			img, err := data.Bytes(ctx.P)
+			if err != nil {
+				return nil, err
+			}
+			if err := data.Close(ctx.P); err != nil {
+				return nil, err
+			}
+			// The codec itself: CPU time proportional to the image.
+			s.Host.CPU.Use(ctx.P, sim.Time(float64(len(img))*app.ComputePerByte))
+			out := make([]byte, len(img))
+			for i, b := range img {
+				out[i] = b ^ 0x5A // stand-in transform, verifiable end to end
+			}
+			s.Host.MemTouch(ctx.P, len(out))
+			outArg, err := s.C.MakeArg(ctx.P, out)
+			if err != nil {
+				return nil, err
+			}
+			e := rpc.NewEnc(outArg.WireSize())
+			outArg.Encode(e)
+			return e.Bytes(), nil
+		}
+	}
+	app.transcode.Node.Handle(MTranscode, worker(app.transcode))
+	app.compress.Node.Handle(MCompress, worker(app.compress))
+	return app
+}
+
+func methodFor(op uint8) rpc.Method {
+	if op == imgOpCompress {
+		return MCompress
+	}
+	return MTranscode
+}
+
+// Client returns the client-side service.
+func (app *ImageApp) Client() *Service { return app.client }
+
+// Do submits one image and returns the processed result. Requests
+// alternate between transcode and compress ops, as the image-processing
+// tier dispatches both.
+func (app *ImageApp) Do(p *sim.Proc, image []byte) ([]byte, error) {
+	op := uint8(app.seq % 2)
+	app.seq++
+	arg, err := app.client.C.MakeArg(p, image)
+	if err != nil {
+		return nil, err
+	}
+	e := rpc.NewEnc(1 + arg.WireSize())
+	e.U8(op)
+	arg.Encode(e)
+	resp, err := app.client.Node.Call(p, app.firewall.Addr(), MFirewall, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	outArg := core.DecodeArg(rpc.NewDec(resp))
+	data, err := app.client.C.Open(p, outArg)
+	if err != nil {
+		return nil, err
+	}
+	out, err := data.Bytes(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := data.Close(p); err != nil {
+		return nil, err
+	}
+	app.client.C.ReleaseAsync(outArg)
+	app.client.C.ReleaseAsync(arg)
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package msvc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestAllApplicationsShareOnePlatform deploys every application on a
+// single platform and interleaves traffic across them: method ids, ports
+// and the DM pool must not collide, and each app must still behave.
+func TestAllApplicationsShareOnePlatform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	for _, mode := range []Mode{ModeDmNet, ModeDmCXL} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := DefaultConfig(mode)
+			pl := NewPlatform(cfg)
+			defer pl.Shutdown()
+
+			ch := NewChain(pl, 3)
+			lb := NewLBApp(pl, 2, 2)
+			img := NewImageApp(pl, 2)
+			sn := NewSocialNet(pl, SocialNetConfig{MediaSize: 4096, Clients: 1})
+			bs := NewBlockStore(pl, 3, 2)
+			pl.Start()
+			if err := sn.Prepopulate(4); err != nil {
+				t.Fatal(err)
+			}
+
+			payload := bytes.Repeat([]byte("mix"), 4096)
+			img4k := payload[:4096]
+			ops := []workload.Op{
+				func(p *sim.Proc) error {
+					sum, err := ch.Do(p, img4k)
+					if err == nil && sum == 0 {
+						t.Error("chain sum zero for nonzero payload")
+					}
+					return err
+				},
+				func(p *sim.Proc) error { return lb.Do(p, 0, img4k) },
+				func(p *sim.Proc) error {
+					out, err := img.Do(p, img4k)
+					if err == nil && out[0] != img4k[0]^0x5A {
+						t.Error("image transform wrong under mixed load")
+					}
+					return err
+				},
+				sn.ReadHome,
+				sn.Compose,
+				func(p *sim.Proc) error { return bs.Write(p, 5, payload) },
+				func(p *sim.Proc) error {
+					if _, err := bs.Read(p, 5); err != nil {
+						return err
+					}
+					return nil
+				},
+			}
+			var firstErr error
+			for i, op := range ops {
+				i, op := i, op
+				pl.Eng.Spawn("mixed", func(p *sim.Proc) {
+					// Seed the block before readers race it.
+					if i == 6 {
+						p.Sleep(sim.Millisecond)
+					}
+					for round := 0; round < 5; round++ {
+						if err := op(p); err != nil && firstErr == nil {
+							firstErr = err
+							return
+						}
+					}
+				})
+			}
+			pl.Eng.Run()
+			if firstErr != nil {
+				t.Fatal(firstErr)
+			}
+			// DM conservation still holds with five apps sharing the pool.
+			for _, s := range pl.DMServers() {
+				if err := s.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}

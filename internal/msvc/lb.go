@@ -1,0 +1,95 @@
+package msvc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+)
+
+// Load balancer methods.
+const (
+	MLBForward rpc.Method = 0x0410 + iota
+	MLBWork
+)
+
+// LBApp is the application-layer load balancer experiment of §VI-B: three
+// sender hosts push requests through one LB host, which forwards them
+// round-robin to three receiver hosts without touching the payload. The
+// interesting measurements are the LB server's request rate and its
+// memory-bandwidth occupation (Fig 6).
+type LBApp struct {
+	pl      *Platform
+	senders []*Service
+	lb      *Service
+	workers []*Service
+	rr      int
+}
+
+// NewLBApp deploys the §VI-B topology (3 senders + 1 LB + 3 receivers by
+// default). Call before Platform.Start.
+func NewLBApp(pl *Platform, numSenders, numWorkers int) *LBApp {
+	if numSenders < 1 || numWorkers < 1 {
+		panic("msvc: LB needs senders and workers")
+	}
+	app := &LBApp{pl: pl, lb: pl.NewService("lb")}
+	for i := 0; i < numSenders; i++ {
+		app.senders = append(app.senders, pl.NewService(fmt.Sprintf("lb-sender%d", i)))
+	}
+	for i := 0; i < numWorkers; i++ {
+		app.workers = append(app.workers, pl.NewService(fmt.Sprintf("lb-worker%d", i)))
+	}
+	for _, w := range app.workers {
+		w := w
+		w.Node.Handle(MLBWork, func(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+			pl.Overhead(ctx.P, w)
+			arg := core.DecodeArg(rpc.NewDec(body))
+			d, err := w.C.Open(ctx.P, arg)
+			if err != nil {
+				return nil, err
+			}
+			buf, err := d.Bytes(ctx.P)
+			if err != nil {
+				return nil, err
+			}
+			w.Host.MemTouch(ctx.P, len(buf))
+			if err := d.Close(ctx.P); err != nil {
+				return nil, err
+			}
+			return rpc.NewEnc(1).U8(1).Bytes(), nil
+		})
+	}
+	app.lb.Node.Handle(MLBForward, func(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+		// Round-robin to an "unloaded" worker; the LB never reads the
+		// argument, so in DmRPC modes only the tiny Ref transits its NIC
+		// and memory bus.
+		w := app.workers[app.rr%len(app.workers)]
+		app.rr++
+		return pl.forward(ctx, app.lb, w.Addr(), MLBWork, body)
+	})
+	return app
+}
+
+// LB returns the load balancer service (its host carries the measured
+// memory-bandwidth counters).
+func (app *LBApp) LB() *Service { return app.lb }
+
+// Senders returns the sender services.
+func (app *LBApp) Senders() []*Service { return app.senders }
+
+// Do pushes one request with payload from sender senderIdx through the LB.
+func (app *LBApp) Do(p *sim.Proc, senderIdx int, payload []byte) error {
+	s := app.senders[senderIdx%len(app.senders)]
+	arg, err := s.C.MakeArg(p, payload)
+	if err != nil {
+		return err
+	}
+	e := rpc.NewEnc(arg.WireSize())
+	arg.Encode(e)
+	if _, err := s.Node.Call(p, app.lb.Addr(), MLBForward, e.Bytes()); err != nil {
+		return err
+	}
+	s.C.ReleaseAsync(arg)
+	return nil
+}

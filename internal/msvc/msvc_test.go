@@ -1,0 +1,408 @@
+package msvc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+var allModes = []Mode{ModeERPC, ModeDmNet, ModeDmCXL}
+
+// runProc drives fn as a process to completion.
+func runProc(t *testing.T, pl *Platform, fn func(p *sim.Proc) error) {
+	t.Helper()
+	var err error
+	pl.Eng.Spawn("test", func(p *sim.Proc) { err = fn(p) })
+	pl.Eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeERPC.String() != "eRPC" || ModeDmNet.String() != "DmRPC-net" || ModeDmCXL.String() != "DmRPC-CXL" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode empty")
+	}
+}
+
+func TestChainAllModes(t *testing.T) {
+	for _, mode := range allModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			pl := NewPlatform(DefaultConfig(mode))
+			defer pl.Shutdown()
+			ch := NewChain(pl, 4)
+			pl.Start()
+			payload := make([]byte, 4096)
+			var want uint64
+			for i := range payload {
+				payload[i] = byte(i)
+				want += uint64(byte(i))
+			}
+			runProc(t, pl, func(p *sim.Proc) error {
+				sum, err := ch.Do(p, payload)
+				if err != nil {
+					return err
+				}
+				if sum != want {
+					t.Errorf("sum = %d, want %d", sum, want)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestChainSingleHop(t *testing.T) {
+	pl := NewPlatform(DefaultConfig(ModeDmNet))
+	defer pl.Shutdown()
+	ch := NewChain(pl, 1)
+	pl.Start()
+	runProc(t, pl, func(p *sim.Proc) error {
+		sum, err := ch.Do(p, []byte{1, 2, 3})
+		if err != nil {
+			return err
+		}
+		if sum != 6 {
+			t.Errorf("sum = %d", sum)
+		}
+		return nil
+	})
+}
+
+func TestChainNoPageLeak(t *testing.T) {
+	pl := NewPlatform(DefaultConfig(ModeDmNet))
+	defer pl.Shutdown()
+	ch := NewChain(pl, 3)
+	pl.Start()
+	free := func() int {
+		total := 0
+		for _, s := range pl.DMServers() {
+			total += s.FreePages()
+		}
+		return total
+	}
+	start := free()
+	runProc(t, pl, func(p *sim.Proc) error {
+		for i := 0; i < 5; i++ {
+			if _, err := ch.Do(p, make([]byte, 16384)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if got := free(); got != start {
+		t.Fatalf("page leak across requests: %d free, started %d", got, start)
+	}
+}
+
+func TestLBForwardsWithoutTouchingData(t *testing.T) {
+	// The Fig 6 claim: in DmRPC mode the LB's memory traffic per request
+	// is tiny; in eRPC mode it scales with payload.
+	memPerReq := func(mode Mode) int64 {
+		pl := NewPlatform(DefaultConfig(mode))
+		defer pl.Shutdown()
+		app := NewLBApp(pl, 1, 1)
+		pl.Start()
+		const reqs = 10
+		payload := make([]byte, 32768)
+		before := app.LB().Host.MemBytesMoved()
+		runProc(t, pl, func(p *sim.Proc) error {
+			for i := 0; i < reqs; i++ {
+				if err := app.Do(p, 0, payload); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		return (app.LB().Host.MemBytesMoved() - before) / reqs
+	}
+	erpc := memPerReq(ModeERPC)
+	dmnet := memPerReq(ModeDmNet)
+	if erpc < 32768 {
+		t.Fatalf("eRPC LB moves %dB/req, want >= payload", erpc)
+	}
+	if dmnet > 4096 {
+		t.Fatalf("DmRPC LB moves %dB/req, want tiny", dmnet)
+	}
+}
+
+func TestLBAllModesComplete(t *testing.T) {
+	for _, mode := range allModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			pl := NewPlatform(DefaultConfig(mode))
+			defer pl.Shutdown()
+			app := NewLBApp(pl, 3, 3)
+			pl.Start()
+			runProc(t, pl, func(p *sim.Proc) error {
+				for i := 0; i < 6; i++ {
+					if err := app.Do(p, i, make([]byte, 8192)); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestImageAppEndToEnd(t *testing.T) {
+	for _, mode := range allModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			pl := NewPlatform(DefaultConfig(mode))
+			defer pl.Shutdown()
+			app := NewImageApp(pl, 2)
+			pl.Start()
+			img := bytes.Repeat([]byte{0xA5}, 4096)
+			runProc(t, pl, func(p *sim.Proc) error {
+				out, err := app.Do(p, img)
+				if err != nil {
+					return err
+				}
+				if len(out) != len(img) {
+					t.Errorf("output %dB, want %dB", len(out), len(img))
+				}
+				// The pipeline transform is XOR 0x5A.
+				if out[0] != 0xA5^0x5A || out[4095] != 0xA5^0x5A {
+					t.Errorf("transform wrong: %x", out[0])
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestImageAppNoPageLeak(t *testing.T) {
+	pl := NewPlatform(DefaultConfig(ModeDmNet))
+	defer pl.Shutdown()
+	app := NewImageApp(pl, 2)
+	pl.Start()
+	free := func() int {
+		total := 0
+		for _, s := range pl.DMServers() {
+			total += s.FreePages()
+		}
+		return total
+	}
+	start := free()
+	runProc(t, pl, func(p *sim.Proc) error {
+		for i := 0; i < 4; i++ {
+			if _, err := app.Do(p, make([]byte, 16384)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if got := free(); got != start {
+		t.Fatalf("page leak: %d free, started %d", got, start)
+	}
+}
+
+func TestSocialNetMixedOps(t *testing.T) {
+	for _, mode := range []Mode{ModeERPC, ModeDmNet} {
+		t.Run(mode.String(), func(t *testing.T) {
+			pl := NewPlatform(DefaultConfig(mode))
+			defer pl.Shutdown()
+			sn := NewSocialNet(pl, SocialNetConfig{MediaSize: 8192})
+			pl.Start()
+			if err := sn.Prepopulate(5); err != nil {
+				t.Fatal(err)
+			}
+			if sn.Posts() != 5 {
+				t.Fatalf("Posts = %d", sn.Posts())
+			}
+			runProc(t, pl, func(p *sim.Proc) error {
+				if err := sn.ReadHome(p); err != nil {
+					return err
+				}
+				if err := sn.ReadUser(p); err != nil {
+					return err
+				}
+				if err := sn.Compose(p); err != nil {
+					return err
+				}
+				op := sn.MixedOp()
+				for i := 0; i < 20; i++ {
+					if err := op(p); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if sn.Posts() < 6 {
+				t.Fatalf("mixed ops composed nothing: %d posts", sn.Posts())
+			}
+		})
+	}
+}
+
+func TestSocialNetCXLMode(t *testing.T) {
+	// Fig 11 compares eRPC and DmRPC-net, but the app must also run over
+	// the CXL fabric (posts live in G-FAM, readers on other hosts map
+	// them).
+	pl := NewPlatform(DefaultConfig(ModeDmCXL))
+	defer pl.Shutdown()
+	sn := NewSocialNet(pl, SocialNetConfig{MediaSize: 8192})
+	pl.Start()
+	if err := sn.Prepopulate(4); err != nil {
+		t.Fatal(err)
+	}
+	runProc(t, pl, func(p *sim.Proc) error {
+		for i := 0; i < 10; i++ {
+			if err := sn.ReadHome(p); err != nil {
+				return err
+			}
+		}
+		return sn.ReadUser(p)
+	})
+}
+
+func TestSocialNetConfigDefaults(t *testing.T) {
+	c := SocialNetConfig{}.withDefaults()
+	d := DefaultSocialNetConfig()
+	if c != d {
+		t.Fatalf("withDefaults = %+v, want %+v", c, d)
+	}
+	c = SocialNetConfig{MediaSize: 100}.withDefaults()
+	if c.MediaSize != 100 || c.PostsPerRead != d.PostsPerRead || c.Clients != d.Clients {
+		t.Fatalf("partial defaults wrong: %+v", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative config accepted")
+		}
+	}()
+	SocialNetConfig{MediaSize: -1}.withDefaults()
+}
+
+func TestSocialNetTimelinePageSize(t *testing.T) {
+	// A read must pull PostsPerRead posts through the movers: with
+	// pass-by-value, the client's received bytes scale with the page size.
+	bytesPerRead := func(postsPerRead int) int64 {
+		pl := NewPlatform(DefaultConfig(ModeERPC))
+		defer pl.Shutdown()
+		sn := NewSocialNet(pl, SocialNetConfig{MediaSize: 8192, PostsPerRead: postsPerRead, Clients: 1})
+		pl.Start()
+		if err := sn.Prepopulate(4); err != nil {
+			t.Fatal(err)
+		}
+		cli := sn.Clients()[0]
+		before := cli.Host.RxBytes()
+		runProc(t, pl, func(p *sim.Proc) error { return sn.ReadHome(p) })
+		return cli.Host.RxBytes() - before
+	}
+	one := bytesPerRead(1)
+	three := bytesPerRead(3)
+	if three < 2*one {
+		t.Fatalf("3-post page moved %dB, single post %dB: page size not honored", three, one)
+	}
+}
+
+func TestSocialNetRotatesClients(t *testing.T) {
+	pl := NewPlatform(DefaultConfig(ModeERPC))
+	defer pl.Shutdown()
+	sn := NewSocialNet(pl, SocialNetConfig{MediaSize: 1024, Clients: 3})
+	pl.Start()
+	if err := sn.Prepopulate(2); err != nil {
+		t.Fatal(err)
+	}
+	before := make([]int64, 3)
+	for i, c := range sn.Clients() {
+		before[i] = c.Node.Calls()
+	}
+	runProc(t, pl, func(p *sim.Proc) error {
+		for i := 0; i < 6; i++ {
+			if err := sn.ReadHome(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for i, c := range sn.Clients() {
+		if c.Node.Calls() == before[i] {
+			t.Fatalf("client %d issued no calls: rotation broken", i)
+		}
+	}
+}
+
+func TestSocialNetReadBeforeAnyPostFails(t *testing.T) {
+	pl := NewPlatform(DefaultConfig(ModeERPC))
+	defer pl.Shutdown()
+	sn := NewSocialNet(pl, SocialNetConfig{MediaSize: 1024})
+	pl.Start()
+	var err error
+	pl.Eng.Spawn("t", func(p *sim.Proc) { err = sn.ReadHome(p) })
+	pl.Eng.Run()
+	if err == nil {
+		t.Fatal("read with no posts succeeded")
+	}
+}
+
+func TestSocialNetUserTimelineTraversesMoreMovers(t *testing.T) {
+	// read-user-timeline must be slower than read-home-timeline: two more
+	// data movers in the path (5 vs 3).
+	pl := NewPlatform(DefaultConfig(ModeERPC))
+	defer pl.Shutdown()
+	sn := NewSocialNet(pl, SocialNetConfig{MediaSize: 8192})
+	pl.Start()
+	if err := sn.Prepopulate(3); err != nil {
+		t.Fatal(err)
+	}
+	var home, user sim.Time
+	runProc(t, pl, func(p *sim.Proc) error {
+		t0 := p.Now()
+		if err := sn.ReadHome(p); err != nil {
+			return err
+		}
+		home = p.Now() - t0
+		t1 := p.Now()
+		if err := sn.ReadUser(p); err != nil {
+			return err
+		}
+		user = p.Now() - t1
+		return nil
+	})
+	if user <= home {
+		t.Fatalf("user timeline %dns <= home %dns despite longer path", user, home)
+	}
+}
+
+func TestColocationSharesHost(t *testing.T) {
+	pl := NewPlatform(DefaultConfig(ModeERPC))
+	defer pl.Shutdown()
+	h := pl.AddHost("shared")
+	a := pl.NewServiceOn(h, "svc-a")
+	b := pl.NewServiceOn(h, "svc-b")
+	if a.Host != b.Host {
+		t.Fatal("colocated services on different hosts")
+	}
+	if a.Addr() == b.Addr() {
+		t.Fatal("colocated services share an address")
+	}
+}
+
+func TestPlatformGuards(t *testing.T) {
+	pl := NewPlatform(DefaultConfig(ModeERPC))
+	defer pl.Shutdown()
+	pl.NewService("svc")
+	pl.Start()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewService after Start did not panic")
+			}
+		}()
+		pl.NewService("late")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double Start did not panic")
+			}
+		}()
+		pl.Start()
+	}()
+}

@@ -1,0 +1,269 @@
+// Package msvc provides the microservice platform used by the paper's
+// applications — services deployed on simulated hosts, wired with a DmRPC
+// backend (eRPC pass-by-value baseline, DmRPC-net, or DmRPC-CXL) — plus
+// the four evaluation applications:
+//
+//	Chain      — nested RPC calls (Fig 5)
+//	LB         — application-layer load balancer (Fig 6)
+//	ImageApp   — 7-tier cloud image processing (Figs 9/10)
+//	SocialNet  — DeathStarBench-style social network (Fig 11)
+//
+// The same application code runs in every mode; only the platform's
+// backend changes, which is exactly the comparison the paper makes.
+package msvc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cxlsim"
+	"repro/internal/dmnet"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// Mode selects the transfer backend.
+type Mode int
+
+const (
+	// ModeERPC is the pass-by-value baseline: arguments always inline.
+	ModeERPC Mode = iota
+	// ModeDmNet is DmRPC over network-based disaggregated memory.
+	ModeDmNet
+	// ModeDmCXL is DmRPC over CXL-based disaggregated memory.
+	ModeDmCXL
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeERPC:
+		return "eRPC"
+	case ModeDmNet:
+		return "DmRPC-net"
+	case ModeDmCXL:
+		return "DmRPC-CXL"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config describes a platform.
+type Config struct {
+	// Net is the rack fabric.
+	Net simnet.Config
+	// Mode selects the backend.
+	Mode Mode
+	// NumDMServers is the DmRPC-net pool size (paper uses two).
+	NumDMServers int
+	// DMServer configures each DmRPC-net server.
+	DMServer dmnet.ServerConfig
+	// CXL configures the fabric for ModeDmCXL.
+	CXL cxlsim.Config
+	// RPC configures every service node.
+	RPC rpc.Config
+	// Core configures the DmRPC client (thresholds).
+	Core core.Config
+	// SvcOverhead is baseline handler CPU time per request at every
+	// service (application logic cost).
+	SvcOverhead sim.Time
+	// Seed seeds the simulation.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's testbed with the chosen mode.
+func DefaultConfig(mode Mode) Config {
+	cfg := Config{
+		Net:          simnet.DefaultConfig(),
+		Mode:         mode,
+		NumDMServers: 2,
+		DMServer:     dmnet.DefaultServerConfig(),
+		CXL:          cxlsim.DefaultConfig(),
+		RPC:          rpc.Config{Transport: transport.DefaultConfig(), Workers: 16},
+		SvcOverhead:  1 * sim.Microsecond,
+		Seed:         1,
+	}
+	// Application DM traffic can be heavy; give DM servers enough cores to
+	// serve rread/rwrite concurrently (the paper's servers have 24).
+	cfg.DMServer.RPC.Workers = 8
+	return cfg
+}
+
+// Platform owns the simulation topology for one experiment.
+type Platform struct {
+	Eng *sim.Engine
+	Net *simnet.Network
+	cfg Config
+
+	dmServers []*dmnet.Server
+	dmAddrs   []simnet.Addr
+
+	gfam    *cxlsim.GFAM
+	coord   *cxlsim.Coordinator
+	hostDMs map[simnet.HostID]*cxlsim.HostDM
+
+	services  []*Service
+	nextPort  map[simnet.HostID]int
+	toRegiser []*dmnet.Client
+	started   bool
+}
+
+// Service is one deployed microservice: its host, RPC node and DmRPC
+// client.
+type Service struct {
+	Name string
+	Host *simnet.Host
+	Node *rpc.Node
+	C    *core.Client
+}
+
+// Addr returns the service's RPC address.
+func (s *Service) Addr() simnet.Addr { return s.Node.Addr() }
+
+// NewPlatform builds the shared infrastructure for cfg: the network plus
+// the DM pool (net mode) or CXL fabric and coordinator (CXL mode).
+func NewPlatform(cfg Config) *Platform {
+	eng := sim.NewEngine(cfg.Seed)
+	pl := &Platform{
+		Eng:      eng,
+		Net:      simnet.New(eng, cfg.Net),
+		cfg:      cfg,
+		nextPort: make(map[simnet.HostID]int),
+		hostDMs:  make(map[simnet.HostID]*cxlsim.HostDM),
+	}
+	switch cfg.Mode {
+	case ModeDmNet:
+		if cfg.NumDMServers <= 0 {
+			panic("msvc: ModeDmNet needs NumDMServers >= 1")
+		}
+		for i := 0; i < cfg.NumDMServers; i++ {
+			h := pl.Net.AddHost(fmt.Sprintf("dmserver-%d", i))
+			srv := dmnet.NewServer(h, pl.port(h), uint32(i), cfg.DMServer)
+			srv.Start()
+			pl.dmServers = append(pl.dmServers, srv)
+			pl.dmAddrs = append(pl.dmAddrs, srv.Addr())
+		}
+	case ModeDmCXL:
+		pl.gfam = cxlsim.NewGFAM(eng, 0, cfg.CXL)
+		ch := pl.Net.AddHost("cxl-coordinator")
+		pl.coord = cxlsim.NewCoordinator(ch, pl.port(ch), pl.gfam, cfg.RPC)
+		pl.coord.Start()
+	}
+	return pl
+}
+
+// Mode returns the platform's backend mode.
+func (pl *Platform) Mode() Mode { return pl.cfg.Mode }
+
+// Config returns the platform configuration.
+func (pl *Platform) Config() Config { return pl.cfg }
+
+// DMServers exposes the DmRPC-net pool (nil otherwise) for experiment
+// accounting.
+func (pl *Platform) DMServers() []*dmnet.Server { return pl.dmServers }
+
+// GFAM exposes the CXL fabric device (nil otherwise).
+func (pl *Platform) GFAM() *cxlsim.GFAM { return pl.gfam }
+
+// port hands out per-host ports.
+func (pl *Platform) port(h *simnet.Host) int {
+	pl.nextPort[h.ID()]++
+	return pl.nextPort[h.ID()]
+}
+
+// AddHost creates a bare host (for colocating services).
+func (pl *Platform) AddHost(name string) *simnet.Host { return pl.Net.AddHost(name) }
+
+// NewService deploys a service on its own fresh host.
+func (pl *Platform) NewService(name string) *Service {
+	return pl.NewServiceOn(pl.Net.AddHost(name), name)
+}
+
+// NewServiceOn deploys a service on an existing host (colocation, as the
+// paper does to equalize server counts, §VI-E).
+func (pl *Platform) NewServiceOn(h *simnet.Host, name string) *Service {
+	if pl.started {
+		panic("msvc: NewService after Start")
+	}
+	node := rpc.NewNode(h, pl.port(h), name, pl.cfg.RPC)
+	var c *core.Client
+	switch pl.cfg.Mode {
+	case ModeERPC:
+		c = core.NewInlineClient(node)
+	case ModeDmNet:
+		dc := dmnet.NewClient(node, pl.dmAddrs)
+		pl.toRegiser = append(pl.toRegiser, dc)
+		c = core.NewClient(node, dc, pl.cfg.Core)
+	case ModeDmCXL:
+		hd, ok := pl.hostDMs[h.ID()]
+		if !ok {
+			hd = cxlsim.NewHostDM(h, pl.port(h), pl.gfam, pl.coord.Addr(), pl.cfg.RPC)
+			pl.hostDMs[h.ID()] = hd
+		}
+		c = core.NewClient(node, hd.NewSpace(), pl.cfg.Core)
+	}
+	s := &Service{Name: name, Host: h, Node: node, C: c}
+	pl.services = append(pl.services, s)
+	return s
+}
+
+// Overhead charges the per-request application logic cost on the service's
+// CPU.
+func (pl *Platform) Overhead(p *sim.Proc, s *Service) {
+	if pl.cfg.SvcOverhead > 0 {
+		s.Host.CPU.Use(p, pl.cfg.SvcOverhead)
+	}
+}
+
+// AttachTracer installs o as the RPC observer on every service created so
+// far (call after the topology is built, before Start).
+func (pl *Platform) AttachTracer(o rpc.Observer) {
+	for _, s := range pl.services {
+		s.Node.SetObserver(o)
+	}
+}
+
+// Start launches every service node and registers DM clients. It runs the
+// engine until setup traffic quiesces; workloads run afterwards on the
+// same engine.
+func (pl *Platform) Start() {
+	if pl.started {
+		panic("msvc: Start twice")
+	}
+	pl.started = true
+	for _, s := range pl.services {
+		s.Node.Start()
+	}
+	var regErr error
+	pl.Eng.Spawn("register-dm", func(p *sim.Proc) {
+		for _, c := range pl.toRegiser {
+			if err := c.Register(p); err != nil {
+				regErr = err
+				return
+			}
+		}
+	})
+	pl.Eng.Run()
+	if regErr != nil {
+		panic(fmt.Sprintf("msvc: DM registration failed: %v", regErr))
+	}
+}
+
+// Shutdown tears down the simulation's goroutines.
+func (pl *Platform) Shutdown() { pl.Eng.Shutdown() }
+
+// forward re-issues the request body to next and returns its response —
+// the data-mover pattern. The body is copied through application memory,
+// which is what makes pass-by-value forwarding expensive and
+// pass-by-reference forwarding nearly free (the body is then just a Ref).
+func (pl *Platform) forward(ctx *rpc.Ctx, s *Service, next simnet.Addr, m rpc.Method, body []byte) ([]byte, error) {
+	pl.Overhead(ctx.P, s)
+	s.Host.Memcpy(ctx.P, len(body))
+	resp, err := ctx.Node.Call(ctx.P, next, m, body)
+	if err != nil {
+		return nil, err
+	}
+	s.Host.Memcpy(ctx.P, len(resp))
+	return resp, nil
+}

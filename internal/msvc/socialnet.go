@@ -1,0 +1,290 @@
+package msvc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Social-network methods.
+const (
+	MSNRelay rpc.Method = 0x0430 + iota
+	MSNCompose
+	MSNHome
+	MSNStore
+	MSNFetch
+)
+
+// Social-network operation codes (first byte of every MSNRelay body).
+const (
+	snOpCompose = 0
+	snOpHome    = 1
+	snOpUser    = 2
+)
+
+// SocialNetConfig sizes the application.
+type SocialNetConfig struct {
+	// MediaSize is the post payload in bytes.
+	MediaSize int
+	// PostsPerRead is how many posts a timeline read returns (real
+	// DeathStarBench timelines return a page of posts, not one).
+	PostsPerRead int
+	// Clients is the number of workload-generator hosts (wrk2-style
+	// closed/open-loop generators run from several machines so the
+	// generator's NIC is not the bottleneck).
+	Clients int
+}
+
+// DefaultSocialNetConfig mirrors the Fig 11 setup: 8 KiB media, timeline
+// pages of 3 posts, 3 generator hosts.
+func DefaultSocialNetConfig() SocialNetConfig {
+	return SocialNetConfig{MediaSize: 8192, PostsPerRead: 3, Clients: 3}
+}
+
+func (c SocialNetConfig) withDefaults() SocialNetConfig {
+	d := DefaultSocialNetConfig()
+	if c.MediaSize == 0 {
+		c.MediaSize = d.MediaSize
+	}
+	if c.PostsPerRead == 0 {
+		c.PostsPerRead = d.PostsPerRead
+	}
+	if c.Clients == 0 {
+		c.Clients = d.Clients
+	}
+	if c.MediaSize < 0 || c.PostsPerRead < 0 || c.Clients < 0 {
+		panic("msvc: negative SocialNetConfig values")
+	}
+	return c
+}
+
+// SocialNet is the DeathStarBench-style social network of §VI-F. The mixed
+// workload is 60% read-home-timeline / 30% read-user-timeline / 10%
+// compose-post. Every request traverses the three data movers (load
+// balancer, proxy, php-fpm); read-user-timeline traverses five (adding the
+// user-timeline and media-frontend movers), matching the paper's traffic
+// description. All services deploy across three servers.
+type SocialNet struct {
+	pl      *Platform
+	cfg     SocialNetConfig
+	clients []*Service
+	nextCli int
+
+	lb, proxy, phpfpm   *Service // data movers for every request
+	userSvc, mediaSvc   *Service // extra movers on read-user-timeline
+	composeSvc, homeSvc *Service // application logic
+	storage             *Service // post storage
+	posts               []core.Arg
+}
+
+// NewSocialNet deploys the service graph over three servers (§VI-F) plus
+// generator hosts. Call before Platform.Start.
+func NewSocialNet(pl *Platform, cfg SocialNetConfig) *SocialNet {
+	cfg = cfg.withDefaults()
+	h1 := pl.AddHost("sn-server1")
+	h2 := pl.AddHost("sn-server2")
+	h3 := pl.AddHost("sn-server3")
+	sn := &SocialNet{
+		pl:  pl,
+		cfg: cfg,
+
+		lb:    pl.NewServiceOn(h1, "sn-lb"),
+		proxy: pl.NewServiceOn(h1, "sn-proxy"),
+
+		phpfpm:   pl.NewServiceOn(h2, "sn-phpfpm"),
+		userSvc:  pl.NewServiceOn(h2, "sn-user-timeline"),
+		mediaSvc: pl.NewServiceOn(h2, "sn-media-frontend"),
+
+		composeSvc: pl.NewServiceOn(h3, "sn-compose-post"),
+		homeSvc:    pl.NewServiceOn(h3, "sn-home-timeline"),
+		storage:    pl.NewServiceOn(h3, "sn-post-storage"),
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		sn.clients = append(sn.clients, pl.NewService(fmt.Sprintf("sn-client%d", i)))
+	}
+
+	// Data movers forward by op code without touching payloads.
+	relay := func(s *Service, next map[uint8]*Service) {
+		s.Node.Handle(MSNRelay, func(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+			if len(body) < 1 {
+				return nil, &rpc.AppError{Status: 1, Msg: "empty relay"}
+			}
+			n, ok := next[body[0]]
+			if !ok {
+				return nil, &rpc.AppError{Status: 1, Msg: "no route"}
+			}
+			m := MSNRelay
+			switch n {
+			case sn.composeSvc:
+				m = MSNCompose
+			case sn.homeSvc:
+				m = MSNHome
+			}
+			return pl.forward(ctx, s, n.Addr(), m, body)
+		})
+	}
+	relay(sn.lb, map[uint8]*Service{snOpCompose: sn.proxy, snOpHome: sn.proxy, snOpUser: sn.proxy})
+	relay(sn.proxy, map[uint8]*Service{snOpCompose: sn.phpfpm, snOpHome: sn.phpfpm, snOpUser: sn.phpfpm})
+	relay(sn.phpfpm, map[uint8]*Service{snOpCompose: sn.composeSvc, snOpHome: sn.homeSvc, snOpUser: sn.userSvc})
+	relay(sn.userSvc, map[uint8]*Service{snOpUser: sn.mediaSvc})
+	relay(sn.mediaSvc, map[uint8]*Service{snOpUser: sn.homeSvc})
+
+	// compose-post: persist the media argument in post storage.
+	sn.composeSvc.Node.Handle(MSNCompose, func(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+		pl.Overhead(ctx.P, sn.composeSvc)
+		return ctx.Node.Call(ctx.P, sn.storage.Addr(), MSNStore, body[1:])
+	})
+	sn.storage.Node.Handle(MSNStore, func(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+		pl.Overhead(ctx.P, sn.storage)
+		arg := core.DecodeArg(rpc.NewDec(body))
+		if !arg.IsRef() {
+			// Pass-by-value: the storage service owns a private copy.
+			buf := make([]byte, arg.Size())
+			d, err := sn.storage.C.Open(ctx.P, arg)
+			if err != nil {
+				return nil, err
+			}
+			if err := d.Read(ctx.P, 0, buf); err != nil {
+				return nil, err
+			}
+			arg = core.InlineArg(buf)
+		}
+		id := uint64(len(sn.posts))
+		sn.posts = append(sn.posts, arg)
+		return rpc.NewEnc(8).U64(id).Bytes(), nil
+	})
+
+	// read timelines: the home-timeline service asks storage for a page of
+	// posts; the response payload (all the media, or just the Refs)
+	// unwinds through every mover back to the client.
+	sn.homeSvc.Node.Handle(MSNHome, func(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+		pl.Overhead(ctx.P, sn.homeSvc)
+		d := rpc.NewDec(body)
+		_ = d.U8() // op
+		start := d.U64()
+		count := d.U16()
+		fetch := rpc.NewEnc(10).U64(start).U16(count).Bytes()
+		return pl.forward(ctx, sn.homeSvc, sn.storage.Addr(), MSNFetch, fetch)
+	})
+	sn.storage.Node.Handle(MSNFetch, func(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+		pl.Overhead(ctx.P, sn.storage)
+		d := rpc.NewDec(body)
+		start := d.U64()
+		count := int(d.U16())
+		if len(sn.posts) == 0 {
+			return nil, &rpc.AppError{Status: 2, Msg: "no posts"}
+		}
+		e := rpc.NewEnc(2 + count*(sn.cfg.MediaSize+8))
+		e.U16(uint16(count))
+		for i := 0; i < count; i++ {
+			arg := sn.posts[(start+uint64(i))%uint64(len(sn.posts))]
+			if !arg.IsRef() {
+				// Serving a by-value post streams it out of storage memory.
+				sn.storage.Host.MemTouch(ctx.P, int(arg.Size()))
+			}
+			arg.Encode(e)
+		}
+		return e.Bytes(), nil
+	})
+	return sn
+}
+
+// Clients returns the workload-generator services.
+func (sn *SocialNet) Clients() []*Service { return sn.clients }
+
+// Posts returns how many posts storage holds.
+func (sn *SocialNet) Posts() int { return len(sn.posts) }
+
+// client rotates ops across generator hosts.
+func (sn *SocialNet) client() *Service {
+	c := sn.clients[sn.nextCli%len(sn.clients)]
+	sn.nextCli++
+	return c
+}
+
+// Compose publishes one post with MediaSize bytes of media.
+func (sn *SocialNet) Compose(p *sim.Proc) error {
+	cli := sn.client()
+	media := make([]byte, sn.cfg.MediaSize)
+	media[0] = byte(len(sn.posts)) // distinguishable content
+	arg, err := cli.C.MakeArg(p, media)
+	if err != nil {
+		return err
+	}
+	e := rpc.NewEnc(1 + arg.WireSize())
+	e.U8(snOpCompose)
+	arg.Encode(e)
+	_, err = cli.Node.Call(p, sn.lb.Addr(), MSNRelay, e.Bytes())
+	// Ownership of the ref passes to post storage; the client never
+	// releases it.
+	return err
+}
+
+// readTimeline issues a read op and consumes the returned page of posts.
+func (sn *SocialNet) readTimeline(p *sim.Proc, op uint8) error {
+	if len(sn.posts) == 0 {
+		return fmt.Errorf("socialnet: no posts to read")
+	}
+	cli := sn.client()
+	start := uint64(sn.pl.Eng.Rand().Intn(len(sn.posts)))
+	e := rpc.NewEnc(16)
+	e.U8(op)
+	e.U64(start)
+	e.U16(uint16(sn.cfg.PostsPerRead))
+	resp, err := cli.Node.Call(p, sn.lb.Addr(), MSNRelay, e.Bytes())
+	if err != nil {
+		return err
+	}
+	d := rpc.NewDec(resp)
+	count := int(d.U16())
+	for i := 0; i < count; i++ {
+		arg := core.DecodeArg(d)
+		data, err := cli.C.Open(p, arg)
+		if err != nil {
+			return err
+		}
+		buf, err := data.Bytes(p)
+		if err != nil {
+			return err
+		}
+		cli.Host.MemTouch(p, len(buf))
+		if err := data.Close(p); err != nil {
+			return err
+		}
+	}
+	return d.Err()
+}
+
+// ReadHome performs one read-home-timeline request (3 data movers).
+func (sn *SocialNet) ReadHome(p *sim.Proc) error { return sn.readTimeline(p, snOpHome) }
+
+// ReadUser performs one read-user-timeline request (5 data movers).
+func (sn *SocialNet) ReadUser(p *sim.Proc) error { return sn.readTimeline(p, snOpUser) }
+
+// MixedOp returns the paper's 60/30/10 workload mix (§VI-F).
+func (sn *SocialNet) MixedOp() workload.Op {
+	return workload.Mix(sn.pl.Eng, []workload.Weighted{
+		{Weight: 60, Name: "read-home-timeline", Op: sn.ReadHome},
+		{Weight: 30, Name: "read-user-timeline", Op: sn.ReadUser},
+		{Weight: 10, Name: "compose-post", Op: sn.Compose},
+	})
+}
+
+// Prepopulate composes n posts before measurement. Must run after
+// Platform.Start; it drives the engine until the composes finish.
+func (sn *SocialNet) Prepopulate(n int) error {
+	var err error
+	sn.pl.Eng.Spawn("prepopulate", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			if e := sn.Compose(p); e != nil {
+				err = e
+				return
+			}
+		}
+	})
+	sn.pl.Eng.Run()
+	return err
+}

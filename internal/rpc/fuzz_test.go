@@ -1,0 +1,46 @@
+package rpc
+
+import (
+	"testing"
+)
+
+// FuzzDec hardens the wire decoder: arbitrary bytes must never panic, and
+// after any error all further reads return zero values.
+func FuzzDec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 5, 'h', 'e'})
+	f.Add(NewEnc(32).U8(1).U32(2).Str("x").Blob([]byte{9}).Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDec(data)
+		_ = d.U8()
+		_ = d.U16()
+		_ = d.Blob()
+		_ = d.Str()
+		_ = d.U64()
+		if d.Err() != nil {
+			// Sticky error: everything after must be zero.
+			if d.U32() != 0 || len(d.Blob()) != 0 {
+				t.Fatal("reads after error returned data")
+			}
+		}
+	})
+}
+
+// FuzzEncDecRoundTrip checks arbitrary field values survive a round trip.
+func FuzzEncDecRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint16(2), uint32(3), uint64(4), "s", []byte{5})
+	f.Fuzz(func(t *testing.T, a uint8, b uint16, c uint32, d uint64, s string, blob []byte) {
+		e := NewEnc(0)
+		e.U8(a).U16(b).U32(c).U64(d).Str(s).Blob(blob)
+		dec := NewDec(e.Bytes())
+		if dec.U8() != a || dec.U16() != b || dec.U32() != c || dec.U64() != d {
+			t.Fatal("numeric mismatch")
+		}
+		if dec.Str() != s || string(dec.Blob()) != string(blob) {
+			t.Fatal("bytes mismatch")
+		}
+		if dec.Err() != nil {
+			t.Fatal(dec.Err())
+		}
+	})
+}

@@ -1,0 +1,253 @@
+// Package rpc provides the datacenter RPC layer of the reproduction: typed
+// method dispatch, nested calls, and handler worker pools over the
+// eRPC-style reliable transport (paper §II-A).
+//
+// A Node is both RPC client and server on one endpoint, mirroring how a
+// microservice simultaneously serves its own RPCs and issues nested RPCs to
+// downstream services. Handlers run on a configurable pool of worker
+// processes; a worker making a nested Call blocks only itself.
+//
+// Wire format:
+//
+//	request  = method(2) | body
+//	response = status(1) | body            (status 0 = OK, else AppError)
+package rpc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// Method identifies an RPC method on a node.
+type Method uint16
+
+// AppError is a non-zero application status returned by a handler.
+type AppError struct {
+	Status byte
+	Msg    string
+}
+
+func (e *AppError) Error() string {
+	return fmt.Sprintf("rpc: application error %d: %s", e.Status, e.Msg)
+}
+
+// ErrNoSuchMethod is returned (as an AppError status) for unregistered
+// methods.
+var ErrNoSuchMethod = &AppError{Status: 0xFF, Msg: "no such method"}
+
+// Ctx carries per-request context into a handler.
+type Ctx struct {
+	// P is the worker process executing the handler; use it for Sleep and
+	// nested Calls.
+	P *sim.Proc
+	// From is the calling endpoint's address.
+	From simnet.Addr
+	// Node is the node executing the handler.
+	Node *Node
+}
+
+// Handler processes one request and returns the response body, or an error
+// (an *AppError reaches the caller with its status; other errors map to
+// status 1).
+type Handler func(ctx *Ctx, body []byte) ([]byte, error)
+
+// Config tunes a node.
+type Config struct {
+	// Transport is the underlying transport configuration.
+	Transport transport.Config
+	// Workers is the number of handler worker processes.
+	Workers int
+}
+
+// DefaultConfig returns a node configuration with eRPC-style transport
+// defaults and a small worker pool.
+func DefaultConfig() Config {
+	return Config{Transport: transport.DefaultConfig(), Workers: 4}
+}
+
+// Observer receives RPC lifecycle events for tracing and metrics. Start
+// methods return a token passed back to the matching End; implementations
+// must be cheap — they run inline with every request.
+type Observer interface {
+	// ServeStart fires when a handler begins executing a request.
+	ServeStart(node string, m Method, from simnet.Addr, reqBytes int, at sim.Time) any
+	// ServeEnd fires when the handler returns.
+	ServeEnd(token any, respBytes int, at sim.Time, err error)
+	// CallStart fires when an outgoing call is issued.
+	CallStart(node string, to simnet.Addr, m Method, reqBytes int, at sim.Time) any
+	// CallEnd fires when the call's response (or error) arrives.
+	CallEnd(token any, respBytes int, at sim.Time, err error)
+}
+
+// Node is a microservice's RPC stack: one transport endpoint usable for
+// both serving and calling.
+type Node struct {
+	name     string
+	ep       *transport.Endpoint
+	handlers map[Method]Handler
+	sessions map[simnet.Addr]*transport.Session
+	cfg      Config
+	started  bool
+	obs      Observer
+
+	served stats
+}
+
+type stats struct {
+	requests int64
+	calls    int64
+}
+
+// NewNode binds a node named name to port on host h.
+func NewNode(h *simnet.Host, port int, name string, cfg Config) *Node {
+	if cfg.Workers <= 0 {
+		panic(fmt.Sprintf("rpc: node %s needs at least one worker", name))
+	}
+	return &Node{
+		name:     name,
+		ep:       transport.NewEndpoint(h, port, cfg.Transport),
+		handlers: make(map[Method]Handler),
+		sessions: make(map[simnet.Addr]*transport.Session),
+		cfg:      cfg,
+	}
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// Addr returns the node's endpoint address.
+func (n *Node) Addr() simnet.Addr { return n.ep.Addr() }
+
+// Host returns the host the node runs on.
+func (n *Node) Host() *simnet.Host { return n.ep.Host() }
+
+// Requests returns how many requests this node's handlers have served.
+func (n *Node) Requests() int64 { return n.served.requests }
+
+// Calls returns how many outgoing calls this node has issued.
+func (n *Node) Calls() int64 { return n.served.calls }
+
+// SetObserver installs an RPC lifecycle observer (tracing/metrics). Pass
+// nil to remove it. Must be set before traffic flows to observe all of it.
+func (n *Node) SetObserver(o Observer) { n.obs = o }
+
+// Handle registers h for method m. Must be called before Start.
+func (n *Node) Handle(m Method, h Handler) {
+	if n.started {
+		panic(fmt.Sprintf("rpc: node %s: Handle after Start", n.name))
+	}
+	if _, dup := n.handlers[m]; dup {
+		panic(fmt.Sprintf("rpc: node %s: duplicate handler for method %d", n.name, m))
+	}
+	n.handlers[m] = h
+}
+
+// Start launches the transport dispatcher and the handler worker pool.
+func (n *Node) Start() {
+	if n.started {
+		panic(fmt.Sprintf("rpc: node %s started twice", n.name))
+	}
+	n.started = true
+	n.ep.Start()
+	eng := n.ep.Host().Network().Engine()
+	for i := 0; i < n.cfg.Workers; i++ {
+		eng.Spawn(fmt.Sprintf("%s/worker%d", n.name, i), func(p *sim.Proc) {
+			for {
+				req := n.ep.Requests().Recv(p)
+				n.serve(p, req)
+			}
+		})
+	}
+}
+
+func (n *Node) serve(p *sim.Proc, req *transport.IncomingRequest) {
+	n.served.requests++
+	if len(req.Payload) < 2 {
+		n.respondErr(p, req, ErrNoSuchMethod)
+		return
+	}
+	m := Method(uint16(req.Payload[0])<<8 | uint16(req.Payload[1]))
+	h, ok := n.handlers[m]
+	if !ok {
+		n.respondErr(p, req, ErrNoSuchMethod)
+		return
+	}
+	var token any
+	if n.obs != nil {
+		token = n.obs.ServeStart(n.name, m, req.From, len(req.Payload)-2, p.Now())
+	}
+	ctx := &Ctx{P: p, From: req.From, Node: n}
+	body, err := h(ctx, req.Payload[2:])
+	if n.obs != nil {
+		n.obs.ServeEnd(token, len(body), p.Now(), err)
+	}
+	if err != nil {
+		ae, ok := err.(*AppError)
+		if !ok {
+			ae = &AppError{Status: 1, Msg: err.Error()}
+		}
+		n.respondErr(p, req, ae)
+		return
+	}
+	resp := make([]byte, 1+len(body))
+	copy(resp[1:], body)
+	if err := req.Respond(p, resp); err != nil {
+		panic(err) // double-respond is a programming error in this layer
+	}
+}
+
+func (n *Node) respondErr(p *sim.Proc, req *transport.IncomingRequest, ae *AppError) {
+	resp := make([]byte, 1+len(ae.Msg))
+	resp[0] = ae.Status
+	copy(resp[1:], ae.Msg)
+	if err := req.Respond(p, resp); err != nil {
+		panic(err)
+	}
+}
+
+// session returns (creating if needed) the cached session to addr.
+func (n *Node) session(to simnet.Addr) *transport.Session {
+	s, ok := n.sessions[to]
+	if !ok {
+		s = n.ep.Connect(to)
+		n.sessions[to] = s
+	}
+	return s
+}
+
+// Call invokes method m at node address to with body and returns the
+// response body. It blocks the calling process for the full round trip.
+func (n *Node) Call(p *sim.Proc, to simnet.Addr, m Method, body []byte) ([]byte, error) {
+	n.served.calls++
+	var token any
+	if n.obs != nil {
+		token = n.obs.CallStart(n.name, to, m, len(body), p.Now())
+	}
+	req := make([]byte, 2+len(body))
+	req[0] = byte(m >> 8)
+	req[1] = byte(m)
+	copy(req[2:], body)
+	resp, err := n.session(to).Call(p, req)
+	out, err := n.finishCall(resp, err)
+	if n.obs != nil {
+		n.obs.CallEnd(token, len(out), p.Now(), err)
+	}
+	return out, err
+}
+
+func (n *Node) finishCall(resp []byte, err error) ([]byte, error) {
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 1 {
+		return nil, errors.New("rpc: malformed response")
+	}
+	if resp[0] != 0 {
+		return nil, &AppError{Status: resp[0], Msg: string(resp[1:])}
+	}
+	return resp[1:], nil
+}

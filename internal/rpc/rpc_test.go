@@ -1,0 +1,331 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+const (
+	mEcho Method = iota + 1
+	mUpper
+	mFail
+	mForward
+)
+
+type rig struct {
+	eng *sim.Engine
+	net *simnet.Network
+}
+
+func newRig(seed int64) *rig {
+	eng := sim.NewEngine(seed)
+	return &rig{eng: eng, net: simnet.New(eng, simnet.DefaultConfig())}
+}
+
+func (r *rig) node(name string) *Node {
+	h := r.net.AddHost(name)
+	return NewNode(h, 1, name, DefaultConfig())
+}
+
+func TestBasicCall(t *testing.T) {
+	r := newRig(1)
+	srv := r.node("srv")
+	srv.Handle(mEcho, func(ctx *Ctx, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	srv.Start()
+	cli := r.node("cli")
+	cli.Start()
+	var got []byte
+	r.eng.Spawn("test", func(p *sim.Proc) {
+		resp, err := cli.Call(p, srv.Addr(), mEcho, []byte("ping"))
+		if err != nil {
+			t.Errorf("Call: %v", err)
+		}
+		got = resp
+	})
+	r.eng.Run()
+	r.eng.Shutdown()
+	if string(got) != "ping" {
+		t.Fatalf("resp %q", got)
+	}
+	if srv.Requests() != 1 || cli.Calls() != 1 {
+		t.Fatalf("stats: served=%d calls=%d", srv.Requests(), cli.Calls())
+	}
+}
+
+func TestMultipleMethods(t *testing.T) {
+	r := newRig(1)
+	srv := r.node("srv")
+	srv.Handle(mEcho, func(ctx *Ctx, body []byte) ([]byte, error) { return body, nil })
+	srv.Handle(mUpper, func(ctx *Ctx, body []byte) ([]byte, error) {
+		return bytes.ToUpper(body), nil
+	})
+	srv.Start()
+	cli := r.node("cli")
+	cli.Start()
+	r.eng.Spawn("test", func(p *sim.Proc) {
+		a, _ := cli.Call(p, srv.Addr(), mEcho, []byte("ab"))
+		b, _ := cli.Call(p, srv.Addr(), mUpper, []byte("ab"))
+		if string(a) != "ab" || string(b) != "AB" {
+			t.Errorf("a=%q b=%q", a, b)
+		}
+	})
+	r.eng.Run()
+	r.eng.Shutdown()
+}
+
+func TestUnknownMethod(t *testing.T) {
+	r := newRig(1)
+	srv := r.node("srv")
+	srv.Start()
+	cli := r.node("cli")
+	cli.Start()
+	r.eng.Spawn("test", func(p *sim.Proc) {
+		_, err := cli.Call(p, srv.Addr(), 42, nil)
+		var ae *AppError
+		if !errors.As(err, &ae) || ae.Status != ErrNoSuchMethod.Status {
+			t.Errorf("err = %v, want no-such-method", err)
+		}
+	})
+	r.eng.Run()
+	r.eng.Shutdown()
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	r := newRig(1)
+	srv := r.node("srv")
+	srv.Handle(mFail, func(ctx *Ctx, body []byte) ([]byte, error) {
+		return nil, &AppError{Status: 7, Msg: "nope"}
+	})
+	srv.Handle(mEcho, func(ctx *Ctx, body []byte) ([]byte, error) {
+		return nil, errors.New("plain failure")
+	})
+	srv.Start()
+	cli := r.node("cli")
+	cli.Start()
+	r.eng.Spawn("test", func(p *sim.Proc) {
+		_, err := cli.Call(p, srv.Addr(), mFail, nil)
+		var ae *AppError
+		if !errors.As(err, &ae) || ae.Status != 7 || ae.Msg != "nope" {
+			t.Errorf("AppError not propagated: %v", err)
+		}
+		_, err = cli.Call(p, srv.Addr(), mEcho, nil)
+		if !errors.As(err, &ae) || ae.Status != 1 {
+			t.Errorf("plain error not mapped to status 1: %v", err)
+		}
+	})
+	r.eng.Run()
+	r.eng.Shutdown()
+}
+
+func TestNestedCallsThroughChain(t *testing.T) {
+	// cli -> mid -> srv: the classic nested RPC pattern (paper Fig 2).
+	r := newRig(1)
+	srv := r.node("srv")
+	srv.Handle(mEcho, func(ctx *Ctx, body []byte) ([]byte, error) {
+		return append(body, '!'), nil
+	})
+	srv.Start()
+	mid := r.node("mid")
+	mid.Handle(mForward, func(ctx *Ctx, body []byte) ([]byte, error) {
+		return ctx.Node.Call(ctx.P, srv.Addr(), mEcho, body)
+	})
+	mid.Start()
+	cli := r.node("cli")
+	cli.Start()
+	var got []byte
+	r.eng.Spawn("test", func(p *sim.Proc) {
+		resp, err := cli.Call(p, mid.Addr(), mForward, []byte("hop"))
+		if err != nil {
+			t.Errorf("Call: %v", err)
+		}
+		got = resp
+	})
+	r.eng.Run()
+	r.eng.Shutdown()
+	if string(got) != "hop!" {
+		t.Fatalf("resp %q", got)
+	}
+}
+
+func TestWorkerPoolParallelism(t *testing.T) {
+	r := newRig(1)
+	h := r.net.AddHost("srv")
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	srv := NewNode(h, 1, "srv", cfg)
+	srv.Handle(mEcho, func(ctx *Ctx, body []byte) ([]byte, error) {
+		ctx.P.Sleep(100 * sim.Microsecond)
+		return body, nil
+	})
+	srv.Start()
+	cli := r.node("cli")
+	cli.Start()
+	var finish []sim.Time
+	for i := 0; i < 4; i++ {
+		r.eng.Spawn("caller", func(p *sim.Proc) {
+			if _, err := cli.Call(p, srv.Addr(), mEcho, []byte("x")); err != nil {
+				t.Errorf("Call: %v", err)
+			}
+			finish = append(finish, p.Now())
+		})
+	}
+	r.eng.Run()
+	r.eng.Shutdown()
+	if len(finish) != 4 {
+		t.Fatalf("finished %d", len(finish))
+	}
+	// With 4 workers all complete within ~one service time, not 4x.
+	last := finish[len(finish)-1]
+	if last > 150*sim.Microsecond {
+		t.Fatalf("last completion %dns suggests serial handling", last)
+	}
+}
+
+func TestSingleWorkerSerializes(t *testing.T) {
+	r := newRig(1)
+	h := r.net.AddHost("srv")
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	srv := NewNode(h, 1, "srv", cfg)
+	srv.Handle(mEcho, func(ctx *Ctx, body []byte) ([]byte, error) {
+		ctx.P.Sleep(100 * sim.Microsecond)
+		return body, nil
+	})
+	srv.Start()
+	cli := r.node("cli")
+	cli.Start()
+	var finish []sim.Time
+	for i := 0; i < 3; i++ {
+		r.eng.Spawn("caller", func(p *sim.Proc) {
+			if _, err := cli.Call(p, srv.Addr(), mEcho, []byte("x")); err != nil {
+				t.Errorf("Call: %v", err)
+			}
+			finish = append(finish, p.Now())
+		})
+	}
+	r.eng.Run()
+	r.eng.Shutdown()
+	last := finish[len(finish)-1]
+	if last < 300*sim.Microsecond {
+		t.Fatalf("last completion %dns; single worker should serialize to >= 300µs", last)
+	}
+}
+
+func TestSessionReuse(t *testing.T) {
+	r := newRig(1)
+	srv := r.node("srv")
+	srv.Handle(mEcho, func(ctx *Ctx, body []byte) ([]byte, error) { return body, nil })
+	srv.Start()
+	cli := r.node("cli")
+	cli.Start()
+	r.eng.Spawn("test", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			if _, err := cli.Call(p, srv.Addr(), mEcho, []byte("x")); err != nil {
+				t.Errorf("call %d: %v", i, err)
+			}
+		}
+	})
+	r.eng.Run()
+	r.eng.Shutdown()
+	if len(cli.sessions) != 1 {
+		t.Fatalf("%d sessions created, want 1 (reuse)", len(cli.sessions))
+	}
+}
+
+func TestDuplicateHandlerPanics(t *testing.T) {
+	r := newRig(1)
+	srv := r.node("srv")
+	srv.Handle(mEcho, func(ctx *Ctx, body []byte) ([]byte, error) { return body, nil })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Handle did not panic")
+		}
+	}()
+	srv.Handle(mEcho, func(ctx *Ctx, body []byte) ([]byte, error) { return body, nil })
+}
+
+func TestHandleAfterStartPanics(t *testing.T) {
+	r := newRig(1)
+	srv := r.node("srv")
+	srv.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Handle after Start did not panic")
+		}
+	}()
+	srv.Handle(mEcho, func(ctx *Ctx, body []byte) ([]byte, error) { return body, nil })
+}
+
+func TestEncDecRoundTrip(t *testing.T) {
+	e := NewEnc(64)
+	e.U8(7).U16(300).U32(70000).U64(1 << 40).I64(-5).Str("hello").Blob([]byte{1, 2, 3}).Raw([]byte("tail"))
+	d := NewDec(e.Bytes())
+	if d.U8() != 7 || d.U16() != 300 || d.U32() != 70000 || d.U64() != 1<<40 || d.I64() != -5 {
+		t.Fatal("numeric round trip failed")
+	}
+	if d.Str() != "hello" {
+		t.Fatal("string round trip failed")
+	}
+	if !bytes.Equal(d.Blob(), []byte{1, 2, 3}) {
+		t.Fatal("blob round trip failed")
+	}
+	if !bytes.Equal(d.Remaining(), []byte("tail")) {
+		t.Fatal("raw tail failed")
+	}
+	if d.Err() != nil {
+		t.Fatalf("unexpected err %v", d.Err())
+	}
+}
+
+func TestDecShortMessageSticky(t *testing.T) {
+	d := NewDec([]byte{1})
+	_ = d.U32()
+	if d.Err() != ErrShortMessage {
+		t.Fatalf("err = %v", d.Err())
+	}
+	// Sticky: further reads keep the error and return zeros.
+	if d.U64() != 0 || d.Err() != ErrShortMessage {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestWirePropertyRoundTrip(t *testing.T) {
+	prop := func(a uint8, b uint16, c uint32, d uint64, s string, blob []byte) bool {
+		e := NewEnc(0)
+		e.U8(a).U16(b).U32(c).U64(d).Str(s).Blob(blob)
+		dec := NewDec(e.Bytes())
+		return dec.U8() == a && dec.U16() == b && dec.U32() == c && dec.U64() == d &&
+			dec.Str() == s && bytes.Equal(dec.Blob(), blob) && dec.Err() == nil &&
+			len(dec.Remaining()) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallTimeoutSurfaces(t *testing.T) {
+	r := newRig(1)
+	h := r.net.AddHost("cli")
+	cfg := DefaultConfig()
+	cfg.Transport.RTO = 5 * sim.Microsecond
+	cfg.Transport.MaxRetries = 1
+	cli := NewNode(h, 1, "cli", cfg)
+	cli.Start()
+	dead := r.net.AddHost("dead") // host exists, port never bound
+	r.eng.Spawn("test", func(p *sim.Proc) {
+		_, err := cli.Call(p, dead.Addr(9), mEcho, nil)
+		if !errors.Is(err, transport.ErrTimeout) {
+			t.Errorf("err = %v, want ErrTimeout", err)
+		}
+	})
+	r.eng.Run()
+	r.eng.Shutdown()
+}

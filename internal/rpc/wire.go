@@ -1,0 +1,128 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrShortMessage indicates a decode ran past the end of the buffer.
+var ErrShortMessage = errors.New("rpc: short message")
+
+// Enc builds a wire message by appending big-endian fields. The zero value
+// is ready to use.
+type Enc struct {
+	b []byte
+}
+
+// NewEnc returns an encoder with capacity preallocated for n bytes.
+func NewEnc(n int) *Enc { return &Enc{b: make([]byte, 0, n)} }
+
+// Bytes returns the encoded message.
+func (e *Enc) Bytes() []byte { return e.b }
+
+// U8 appends one byte.
+func (e *Enc) U8(v uint8) *Enc { e.b = append(e.b, v); return e }
+
+// U16 appends a big-endian uint16.
+func (e *Enc) U16(v uint16) *Enc { e.b = binary.BigEndian.AppendUint16(e.b, v); return e }
+
+// U32 appends a big-endian uint32.
+func (e *Enc) U32(v uint32) *Enc { e.b = binary.BigEndian.AppendUint32(e.b, v); return e }
+
+// U64 appends a big-endian uint64.
+func (e *Enc) U64(v uint64) *Enc { e.b = binary.BigEndian.AppendUint64(e.b, v); return e }
+
+// I64 appends a big-endian int64.
+func (e *Enc) I64(v int64) *Enc { return e.U64(uint64(v)) }
+
+// Blob appends a uint32 length prefix followed by v.
+func (e *Enc) Blob(v []byte) *Enc {
+	e.U32(uint32(len(v)))
+	e.b = append(e.b, v...)
+	return e
+}
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(s string) *Enc { return e.Blob([]byte(s)) }
+
+// Raw appends v with no length prefix (trailing payloads).
+func (e *Enc) Raw(v []byte) *Enc { e.b = append(e.b, v...); return e }
+
+// Dec consumes a wire message field by field. Decoding past the end sets a
+// sticky error and returns zero values, so call sites can decode a full
+// struct and check Err once.
+type Dec struct {
+	b   []byte
+	err error
+}
+
+// NewDec returns a decoder over b (not copied).
+func NewDec(b []byte) *Dec { return &Dec{b: b} }
+
+// Err returns the sticky decode error, if any.
+func (d *Dec) Err() error { return d.err }
+
+// Remaining returns the undecoded tail.
+func (d *Dec) Remaining() []byte { return d.b }
+
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b) < n {
+		d.err = ErrShortMessage
+		return nil
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+
+// U8 decodes one byte.
+func (d *Dec) U8() uint8 {
+	v := d.take(1)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+
+// U16 decodes a big-endian uint16.
+func (d *Dec) U16() uint16 {
+	v := d.take(2)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(v)
+}
+
+// U32 decodes a big-endian uint32.
+func (d *Dec) U32() uint32 {
+	v := d.take(4)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(v)
+}
+
+// U64 decodes a big-endian uint64.
+func (d *Dec) U64() uint64 {
+	v := d.take(8)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(v)
+}
+
+// I64 decodes a big-endian int64.
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// Blob decodes a uint32-length-prefixed byte field. The returned slice
+// aliases the input buffer.
+func (d *Dec) Blob() []byte {
+	n := d.U32()
+	return d.take(int(n))
+}
+
+// Str decodes a length-prefixed string.
+func (d *Dec) Str() string { return string(d.Blob()) }

@@ -1,0 +1,69 @@
+package sim
+
+// eventHeap is a binary min-heap of events ordered by (time, seq). The seq
+// tie-break makes same-instant events fire in scheduling order, which keeps
+// runs deterministic.
+type eventHeap struct {
+	evs []*Event
+}
+
+func (h *eventHeap) len() int { return len(h.evs) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.evs[i], h.evs[j]
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) swap(i, j int) { h.evs[i], h.evs[j] = h.evs[j], h.evs[i] }
+
+func (h *eventHeap) push(ev *Event) {
+	h.evs = append(h.evs, ev)
+	h.up(len(h.evs) - 1)
+}
+
+func (h *eventHeap) peek() *Event { return h.evs[0] }
+
+func (h *eventHeap) pop() *Event {
+	top := h.evs[0]
+	last := len(h.evs) - 1
+	h.swap(0, last)
+	h.evs[last] = nil
+	h.evs = h.evs[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h *eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *eventHeap) down(i int) {
+	n := len(h.evs)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		small := left
+		if right := left + 1; right < n && h.less(right, left) {
+			small = right
+		}
+		if !h.less(small, i) {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}

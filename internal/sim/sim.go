@@ -1,0 +1,249 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine drives a set of processes (goroutines) under a virtual
+// nanosecond clock with strict single-runner handoff: at any instant exactly
+// one goroutine — either the engine's event loop or a single process — is
+// executing. Combined with FIFO waiter queues and a seeded PRNG, a run with
+// the same seed is fully deterministic.
+//
+// Processes are spawned with Engine.Spawn and interact with virtual time
+// through the Proc handle (Sleep, waiting on Chan/Resource/Cond). Plain
+// timed callbacks can be scheduled with Engine.At / Engine.After.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the run.
+type Time = int64
+
+// Common durations in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now    Time
+	heap   eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	parked chan struct{} // handoff: a running proc signals here when it yields
+	closed bool
+	procs  map[*Proc]struct{}
+	nextID int
+}
+
+// NewEngine returns an engine with its virtual clock at zero and a PRNG
+// seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng:    rand.New(rand.NewSource(seed)),
+		parked: make(chan struct{}),
+		procs:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic PRNG. It must only be used from
+// event callbacks and process goroutines driven by this engine.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Event is a handle to a scheduled callback. Cancel prevents a pending event
+// from firing; cancelling an already-fired event is a no-op.
+type Event struct {
+	t        Time
+	seq      uint64
+	fn       func()
+	canceled bool
+}
+
+// Cancel marks the event so it will not fire.
+func (ev *Event) Cancel() { ev.canceled = true }
+
+// At schedules fn to run at virtual time t. Scheduling in the past is an
+// error in the caller; the event is clamped to the current time.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if e.closed {
+		// Killed processes unwind through deferred Releases and other
+		// cleanup that schedules wakeups; those are meaningless after
+		// Shutdown, so return an inert, already-cancelled event.
+		return &Event{canceled: true}
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{t: t, seq: e.seq, fn: fn}
+	e.seq++
+	e.heap.push(ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) *Event { return e.At(e.now+d, fn) }
+
+// Run drives the simulation until no events remain. Processes blocked on
+// channels or resources with no pending wakeups do not keep Run alive.
+func (e *Engine) Run() { e.RunUntil(-1) }
+
+// RunUntil drives the simulation until no events remain or until the next
+// event would fire after limit (limit < 0 means no limit). The clock never
+// advances past the last executed event.
+func (e *Engine) RunUntil(limit Time) {
+	for e.heap.len() > 0 {
+		ev := e.heap.peek()
+		if ev.canceled {
+			e.heap.pop()
+			continue
+		}
+		if limit >= 0 && ev.t > limit {
+			e.now = limit
+			return
+		}
+		e.heap.pop()
+		e.now = ev.t
+		ev.fn()
+	}
+}
+
+// Shutdown terminates all parked process goroutines. After Shutdown the
+// engine must not be used. It is safe to call when Run has returned.
+func (e *Engine) Shutdown() {
+	e.closed = true
+	// Unblock every parked proc; its yield() observes closed and unwinds.
+	procs := make([]*Proc, 0, len(e.procs))
+	for p := range e.procs {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i].id < procs[j].id })
+	for _, p := range procs {
+		if p.state == procParked || p.state == procNew {
+			p.state = procKilled
+			p.resume <- struct{}{}
+			<-e.parked
+		}
+	}
+}
+
+type procState int
+
+const (
+	procNew procState = iota
+	procParked
+	procRunning
+	procDone
+	procKilled
+)
+
+// Proc is a process handle passed to every spawned process function. All
+// blocking operations (Sleep, Chan.Recv, Resource.Acquire, ...) take the
+// Proc so the engine can park and resume the goroutine.
+type Proc struct {
+	eng    *Engine
+	name   string
+	id     int
+	resume chan struct{}
+	state  procState
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine driving this process.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+type killed struct{ name string }
+
+// Spawn starts a new process executing fn. The process begins running at the
+// current virtual time, after already-scheduled events at this time.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	if e.closed {
+		panic("sim: Spawn on a shut-down engine")
+	}
+	p := &Proc{eng: e, name: name, id: e.nextID, resume: make(chan struct{}, 1)}
+	e.nextID++
+	e.procs[p] = struct{}{}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killed); ok {
+					return // engine already moved on; do not touch parked
+				}
+				panic(r)
+			}
+		}()
+		<-p.resume
+		if p.state == procKilled {
+			delete(e.procs, p)
+			e.parked <- struct{}{}
+			return
+		}
+		p.state = procRunning
+		fn(p)
+		p.state = procDone
+		delete(e.procs, p)
+		e.parked <- struct{}{}
+	}()
+	e.At(e.now, func() { e.wake(p) })
+	return p
+}
+
+// wake transfers control to p and blocks the engine until p yields, exits,
+// or is killed. Must be called from the engine goroutine (event callbacks).
+func (e *Engine) wake(p *Proc) {
+	if p.state == procDone || p.state == procKilled {
+		return
+	}
+	p.resume <- struct{}{}
+	<-e.parked
+}
+
+// yield parks the calling process and returns control to the engine. The
+// process resumes when some event calls wake(p).
+func (p *Proc) yield() {
+	p.state = procParked
+	p.eng.parked <- struct{}{}
+	<-p.resume
+	if p.state == procKilled || p.eng.closed {
+		p.state = procKilled
+		delete(p.eng.procs, p)
+		p.eng.parked <- struct{}{}
+		panic(killed{p.name})
+	}
+	p.state = procRunning
+}
+
+// Sleep suspends the process for d virtual nanoseconds. Negative durations
+// sleep zero time but still yield to concurrently scheduled events.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.After(d, func() { p.eng.wake(p) })
+	p.yield()
+}
+
+// park suspends the process with no scheduled wakeup; some other component
+// must later call eng.wakeLater(p). Used by Chan, Resource and Cond.
+func (p *Proc) park() { p.yield() }
+
+// wakeLater schedules p to resume at the current virtual time, after events
+// already queued at this time. Safe to call from event callbacks and from
+// other processes.
+func (e *Engine) wakeLater(p *Proc) {
+	e.At(e.now, func() { e.wake(p) })
+}
+
+func (p *Proc) String() string { return fmt.Sprintf("proc(%s#%d)", p.name, p.id) }

@@ -1,0 +1,701 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEngine(1)
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %d, want 0", e.Now())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	e.At(30, func() { got = append(got, e.Now()) })
+	e.At(10, func() { got = append(got, e.Now()) })
+	e.At(20, func() { got = append(got, e.Now()) })
+	e.Run()
+	want := []Time{10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at t=%d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSameInstantEventsFireInScheduleOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order %v, want ascending", got)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.At(100, func() {
+		e.After(50, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 150 {
+		t.Fatalf("fired at %d, want 150", at)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(20, func() { fired = true })
+	e.At(10, func() { ev.Cancel() })
+	e.Run()
+	if fired {
+		t.Fatal("event canceled at t=10 still fired at t=20")
+	}
+}
+
+func TestRunUntilStopsClock(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(100, func() { fired++ })
+	e.RunUntil(50)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now() = %d, want 50", e.Now())
+	}
+	e.RunUntil(200)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 after second RunUntil", fired)
+	}
+}
+
+func TestSchedulingInPastClampsToNow(t *testing.T) {
+	e := NewEngine(1)
+	var at Time = -1
+	e.At(100, func() {
+		e.At(10, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 100 {
+		t.Fatalf("past event fired at %d, want clamped to 100", at)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine(1)
+	var wake Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(42)
+		wake = p.Now()
+	})
+	e.Run()
+	if wake != 42 {
+		t.Fatalf("woke at %d, want 42", wake)
+	}
+}
+
+func TestProcSleepNegativeIsZero(t *testing.T) {
+	e := NewEngine(1)
+	done := false
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(-5)
+		if p.Now() != 0 {
+			t.Errorf("Now() = %d after negative sleep, want 0", p.Now())
+		}
+		done = true
+	})
+	e.Run()
+	if !done {
+		t.Fatal("proc never ran")
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine(7)
+		var log []string
+		e.Spawn("a", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Sleep(10)
+				log = append(log, "a")
+			}
+		})
+		e.Spawn("b", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Sleep(15)
+				log = append(log, "b")
+			}
+		})
+		e.Run()
+		return log
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatalf("run %d produced %d entries, want %d", i, len(again), len(first))
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("run %d diverged at %d: %v vs %v", i, j, first, again)
+			}
+		}
+	}
+}
+
+func TestChanSendRecv(t *testing.T) {
+	e := NewEngine(1)
+	ch := NewChan[int](e)
+	var got []int
+	e.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, ch.Recv(p))
+		}
+	})
+	e.Spawn("send", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(10)
+			ch.Send(i)
+		}
+	})
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v, want [1 2 3]", got)
+	}
+}
+
+func TestChanRecvBlocksUntilSend(t *testing.T) {
+	e := NewEngine(1)
+	ch := NewChan[string](e)
+	var recvAt Time
+	e.Spawn("recv", func(p *Proc) {
+		ch.Recv(p)
+		recvAt = p.Now()
+	})
+	e.At(77, func() { ch.Send("x") })
+	e.Run()
+	if recvAt != 77 {
+		t.Fatalf("recv completed at %d, want 77", recvAt)
+	}
+}
+
+func TestChanFIFOAcrossWaiters(t *testing.T) {
+	e := NewEngine(1)
+	ch := NewChan[int](e)
+	var order []string
+	for _, name := range []string{"w0", "w1", "w2"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			ch.Recv(p)
+			order = append(order, name)
+		})
+	}
+	e.At(10, func() { ch.Send(1); ch.Send(2); ch.Send(3) })
+	e.Run()
+	if len(order) != 3 || order[0] != "w0" || order[1] != "w1" || order[2] != "w2" {
+		t.Fatalf("waiters served %v, want FIFO [w0 w1 w2]", order)
+	}
+}
+
+func TestChanTryRecv(t *testing.T) {
+	e := NewEngine(1)
+	ch := NewChan[int](e)
+	if _, ok := ch.TryRecv(); ok {
+		t.Fatal("TryRecv on empty chan returned ok")
+	}
+	ch.Send(9)
+	v, ok := ch.TryRecv()
+	if !ok || v != 9 {
+		t.Fatalf("TryRecv = %d,%v want 9,true", v, ok)
+	}
+	if ch.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", ch.Len())
+	}
+}
+
+func TestResourceSerializesAtCapacity(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "cpu", 1)
+	var done []Time
+	for i := 0; i < 3; i++ {
+		e.Spawn("worker", func(p *Proc) {
+			r.Use(p, 10)
+			done = append(done, p.Now())
+		})
+	}
+	e.Run()
+	want := []Time{10, 20, 30}
+	if len(done) != 3 {
+		t.Fatalf("completions %v, want 3", done)
+	}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions %v, want %v", done, want)
+		}
+	}
+}
+
+func TestResourceParallelismAtHigherCapacity(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "cpu", 2)
+	var done []Time
+	for i := 0; i < 4; i++ {
+		e.Spawn("worker", func(p *Proc) {
+			r.Use(p, 10)
+			done = append(done, p.Now())
+		})
+	}
+	e.Run()
+	// Two run [0,10], two run [10,20].
+	want := []Time{10, 10, 20, 20}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions %v, want %v", done, want)
+		}
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "dev", 1)
+	if !r.TryAcquire() {
+		t.Fatal("TryAcquire on idle resource failed")
+	}
+	if r.TryAcquire() {
+		t.Fatal("TryAcquire on busy resource succeeded")
+	}
+	r.Release()
+	if !r.TryAcquire() {
+		t.Fatal("TryAcquire after release failed")
+	}
+}
+
+func TestResourceBusyTime(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "dev", 1)
+	e.Spawn("w", func(p *Proc) {
+		r.Use(p, 30)
+		p.Sleep(70)
+	})
+	e.Run()
+	if r.BusyTime() != 30 {
+		t.Fatalf("BusyTime = %d, want 30", r.BusyTime())
+	}
+}
+
+func TestReleaseIdleResourcePanics(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "dev", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release on idle resource did not panic")
+		}
+	}()
+	r.Release()
+}
+
+// TestResourceNoBargingStarvation is a regression test: N clients looping
+// acquire-hold-release on a resource with capacity < N must all make
+// progress. With barging (a releaser re-acquiring before the woken waiter
+// runs), the excess clients starve forever.
+func TestResourceNoBargingStarvation(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "window", 8)
+	const clients = 16
+	counts := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		e.Spawn("client", func(p *Proc) {
+			for p.Now() < 100*Microsecond {
+				r.Acquire(p)
+				p.Sleep(100)
+				r.Release()
+				counts[i]++
+			}
+		})
+	}
+	e.RunUntil(100 * Microsecond)
+	e.Shutdown()
+	min, max := counts[0], counts[0]
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if min == 0 {
+		t.Fatalf("starvation: counts %v", counts)
+	}
+	if min*2 < max {
+		t.Fatalf("unfair service: counts %v", counts)
+	}
+}
+
+// TestChanNoRecvStarvation: receivers in tight Recv loops must not starve
+// parked receivers.
+func TestChanNoRecvStarvation(t *testing.T) {
+	e := NewEngine(1)
+	ch := NewChan[int](e)
+	const receivers = 4
+	counts := make([]int, receivers)
+	for i := 0; i < receivers; i++ {
+		i := i
+		e.Spawn("recv", func(p *Proc) {
+			for {
+				ch.Recv(p)
+				counts[i]++
+				// No sleep: a tight loop that would barge if Recv allowed.
+			}
+		})
+	}
+	e.Spawn("send", func(p *Proc) {
+		for j := 0; j < 400; j++ {
+			ch.Send(j)
+			p.Sleep(10)
+		}
+	})
+	e.Run()
+	e.Shutdown()
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("receiver %d starved: counts %v", i, counts)
+		}
+	}
+}
+
+func TestCondSignalWakesOne(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	woken := 0
+	for i := 0; i < 3; i++ {
+		e.Spawn("w", func(p *Proc) {
+			c.Wait(p)
+			woken++
+		})
+	}
+	e.At(10, func() { c.Signal() })
+	e.Run()
+	if woken != 1 {
+		t.Fatalf("woken = %d, want 1", woken)
+	}
+	e.Shutdown()
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	woken := 0
+	for i := 0; i < 3; i++ {
+		e.Spawn("w", func(p *Proc) {
+			c.Wait(p)
+			woken++
+		})
+	}
+	e.At(10, func() { c.Broadcast() })
+	e.Run()
+	if woken != 3 {
+		t.Fatalf("woken = %d, want 3", woken)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine(1)
+	wg := NewWaitGroup(e)
+	wg.Add(3)
+	var doneAt Time = -1
+	e.Spawn("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	for i := 1; i <= 3; i++ {
+		d := Time(i * 10)
+		e.Spawn("worker", func(p *Proc) {
+			p.Sleep(d)
+			wg.Done()
+		})
+	}
+	e.Run()
+	if doneAt != 30 {
+		t.Fatalf("waiter finished at %d, want 30", doneAt)
+	}
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	e := NewEngine(1)
+	wg := NewWaitGroup(e)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative counter did not panic")
+		}
+	}()
+	wg.Done()
+}
+
+func TestPipeChargesTransferTime(t *testing.T) {
+	e := NewEngine(1)
+	// 1 GB/s => 1 byte per ns.
+	pp := NewPipe(e, "link", 1_000_000_000)
+	var done Time
+	e.Spawn("tx", func(p *Proc) {
+		pp.Transfer(p, 4096)
+		done = p.Now()
+	})
+	e.Run()
+	if done != 4096 {
+		t.Fatalf("transfer finished at %d, want 4096", done)
+	}
+	if pp.BytesMoved() != 4096 {
+		t.Fatalf("BytesMoved = %d, want 4096", pp.BytesMoved())
+	}
+}
+
+func TestPipeSerializesTransfers(t *testing.T) {
+	e := NewEngine(1)
+	pp := NewPipe(e, "link", 1_000_000_000)
+	var done []Time
+	for i := 0; i < 2; i++ {
+		e.Spawn("tx", func(p *Proc) {
+			pp.Transfer(p, 1000)
+			done = append(done, p.Now())
+		})
+	}
+	e.Run()
+	if done[0] != 1000 || done[1] != 2000 {
+		t.Fatalf("completions %v, want [1000 2000]", done)
+	}
+}
+
+func TestPipeZeroSizeIsFree(t *testing.T) {
+	e := NewEngine(1)
+	pp := NewPipe(e, "link", 1000)
+	e.Spawn("tx", func(p *Proc) {
+		pp.Transfer(p, 0)
+		if p.Now() != 0 {
+			t.Errorf("zero transfer advanced clock to %d", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestShutdownUnblocksParkedProcs(t *testing.T) {
+	e := NewEngine(1)
+	ch := NewChan[int](e)
+	started := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn("stuck", func(p *Proc) {
+			started++
+			ch.Recv(p) // never satisfied
+			t.Error("proc resumed past Recv after shutdown")
+		})
+	}
+	e.Run()
+	if started != 5 {
+		t.Fatalf("started = %d, want 5", started)
+	}
+	e.Shutdown()
+	if len(e.procs) != 0 {
+		t.Fatalf("%d procs remain after Shutdown", len(e.procs))
+	}
+}
+
+func TestShutdownKillsNeverStartedProcs(t *testing.T) {
+	e := NewEngine(1)
+	// Spawn but never Run, so the start event never fires.
+	e.Spawn("never", func(p *Proc) {
+		t.Error("proc body ran")
+	})
+	e.Shutdown()
+	if len(e.procs) != 0 {
+		t.Fatalf("%d procs remain after Shutdown", len(e.procs))
+	}
+}
+
+func TestUseAfterShutdown(t *testing.T) {
+	e := NewEngine(1)
+	e.Shutdown()
+	// Spawn after Shutdown is a programming error and panics loudly.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Spawn after Shutdown did not panic")
+			}
+		}()
+		e.Spawn("late", func(p *Proc) {})
+	}()
+	// At after Shutdown is inert: killed procs unwind through deferred
+	// cleanup (Release and friends) that schedules wakeups.
+	ev := e.At(5, func() { t.Error("event on closed engine fired") })
+	if ev == nil {
+		t.Fatal("At returned nil")
+	}
+	ev.Cancel() // must be safe
+}
+
+// TestShutdownWithHeldResources: procs killed while holding resources
+// unwind through deferred Releases without wedging Shutdown.
+func TestShutdownWithHeldResources(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "dev", 1)
+	ch := NewChan[int](e)
+	for i := 0; i < 3; i++ {
+		e.Spawn("holder", func(p *Proc) {
+			r.Acquire(p)
+			defer r.Release()
+			ch.Recv(p) // parks forever
+		})
+	}
+	e.Run()
+	e.Shutdown() // must not panic or deadlock
+	if len(e.procs) != 0 {
+		t.Fatalf("%d procs remain", len(e.procs))
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	seq := func(seed int64) []int64 {
+		e := NewEngine(seed)
+		out := make([]int64, 8)
+		for i := range out {
+			out[i] = e.Rand().Int63()
+		}
+		return out
+	}
+	a, b := seq(42), seq(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	c := seq(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+// TestHeapOrderingProperty checks via testing/quick that arbitrary event
+// times always fire in nondecreasing time order with stable ties.
+func TestHeapOrderingProperty(t *testing.T) {
+	prop := func(times []uint16) bool {
+		e := NewEngine(1)
+		type fired struct {
+			t   Time
+			seq int
+		}
+		var got []fired
+		for i, tm := range times {
+			i, tm := i, Time(tm)
+			e.At(tm, func() { got = append(got, fired{tm, i}) })
+		}
+		e.Run()
+		if len(got) != len(times) {
+			return false
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool {
+			if got[i].t != got[j].t {
+				return got[i].t < got[j].t
+			}
+			return got[i].seq < got[j].seq
+		}) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResourceInvariantProperty: random acquire/release sequences never let
+// inUse exceed capacity or go negative, and all waiters eventually finish
+// when holds are finite.
+func TestResourceInvariantProperty(t *testing.T) {
+	prop := func(seed int64, capRaw uint8, nRaw uint8) bool {
+		capacity := int(capRaw%4) + 1
+		n := int(nRaw%16) + 1
+		e := NewEngine(seed)
+		r := NewResource(e, "r", capacity)
+		finished := 0
+		violated := false
+		for i := 0; i < n; i++ {
+			hold := Time(e.Rand().Intn(20) + 1)
+			start := Time(e.Rand().Intn(50))
+			e.At(start, func() {
+				e.Spawn("w", func(p *Proc) {
+					r.Acquire(p)
+					if r.InUse() > capacity || r.InUse() < 1 {
+						violated = true
+					}
+					p.Sleep(hold)
+					r.Release()
+					finished++
+				})
+			})
+		}
+		e.Run()
+		return !violated && finished == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEventScheduling(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+}
+
+func BenchmarkProcSleepSwitch(b *testing.B) {
+	e := NewEngine(1)
+	done := make(chan struct{})
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+		close(done)
+	})
+	b.ResetTimer()
+	e.Run()
+	<-done
+}

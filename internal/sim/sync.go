@@ -1,0 +1,286 @@
+package sim
+
+// Chan is an unbounded FIFO message queue between simulated processes.
+// Send never blocks; Recv blocks the calling process until a message is
+// available. Delivery to waiters uses direct handoff — a Send with parked
+// receivers hands the value to the longest waiter rather than enqueueing
+// it — so a tight Recv loop can never barge ahead of parked receivers and
+// starve them.
+type Chan[T any] struct {
+	eng     *Engine
+	q       []T
+	waiters []*chanWaiter[T]
+}
+
+type chanWaiter[T any] struct {
+	p   *Proc
+	val T
+	ok  bool
+}
+
+// NewChan returns an empty channel driven by eng.
+func NewChan[T any](eng *Engine) *Chan[T] {
+	return &Chan[T]{eng: eng}
+}
+
+// Len returns the number of queued messages.
+func (c *Chan[T]) Len() int { return len(c.q) }
+
+// Send delivers v to the longest-parked receiver, or enqueues it if no one
+// is waiting. It may be called from processes and from event callbacks.
+func (c *Chan[T]) Send(v T) {
+	if len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		w.val = v
+		w.ok = true
+		c.eng.wakeLater(w.p)
+		return
+	}
+	c.q = append(c.q, v)
+}
+
+// Recv blocks p until a message is available and returns it.
+func (c *Chan[T]) Recv(p *Proc) T {
+	// Invariant: a non-empty queue implies no parked waiters (Send hands
+	// off directly when waiters exist), so taking from the queue here can
+	// never bypass a parked receiver.
+	if len(c.q) > 0 {
+		v := c.q[0]
+		var zero T
+		c.q[0] = zero
+		c.q = c.q[1:]
+		return v
+	}
+	w := &chanWaiter[T]{p: p}
+	c.waiters = append(c.waiters, w)
+	p.park()
+	if !w.ok {
+		panic("sim: chan waiter woken without a value")
+	}
+	return w.val
+}
+
+// TryRecv returns the next message without blocking. ok is false if the
+// channel is empty.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	if len(c.q) == 0 {
+		return v, false
+	}
+	v = c.q[0]
+	var zero T
+	c.q[0] = zero
+	c.q = c.q[1:]
+	return v, true
+}
+
+// Resource models a FIFO server with integer capacity: at most cap units
+// may be held at once. Typical uses are CPU cores (capacity = cores) and
+// exclusive devices (capacity = 1). Release hands the freed unit directly
+// to the longest waiter (the unit stays accounted as in-use across the
+// handoff), so loops that release and immediately re-acquire cannot barge
+// past parked waiters and starve them.
+type Resource struct {
+	eng      *Engine
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*resWaiter
+
+	// Busy accumulates total held time across all units, for utilization
+	// accounting. Updated on Release.
+	busy       Time
+	lastChange Time
+}
+
+type resWaiter struct {
+	p       *Proc
+	granted bool
+}
+
+// NewResource returns a resource with the given capacity (must be >= 1).
+func NewResource(eng *Engine, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{eng: eng, name: name, capacity: capacity}
+}
+
+// Acquire blocks p until one unit of the resource is free, then holds it.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity {
+		r.account()
+		r.inUse++
+		return
+	}
+	w := &resWaiter{p: p}
+	r.waiters = append(r.waiters, w)
+	p.park()
+	if !w.granted {
+		panic("sim: resource waiter woken without a grant")
+	}
+	// The releasing side already transferred the unit to us.
+}
+
+// TryAcquire holds one unit if immediately available and reports success.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse >= r.capacity {
+		return false
+	}
+	r.account()
+	r.inUse++
+	return true
+}
+
+// Release returns one unit. If processes are waiting, the unit is handed
+// to the longest waiter without ever becoming visible as free.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource " + r.name)
+	}
+	r.account()
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		w.granted = true
+		r.eng.wakeLater(w.p)
+		return // unit transferred; inUse unchanged
+	}
+	r.inUse--
+}
+
+// Use acquires the resource, sleeps for d, and releases it: the common
+// pattern for charging service time on a shared device.
+func (r *Resource) Use(p *Proc, d Time) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// InUse returns the number of currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// BusyTime returns the cumulative unit-nanoseconds the resource has been
+// held (e.g. 2 units held for 5ns each contributes 10).
+func (r *Resource) BusyTime() Time {
+	r.account()
+	return r.busy
+}
+
+func (r *Resource) account() {
+	now := r.eng.Now()
+	r.busy += Time(r.inUse) * (now - r.lastChange)
+	r.lastChange = now
+}
+
+// Cond is a condition variable for simulated processes.
+type Cond struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable driven by eng.
+func NewCond(eng *Engine) *Cond { return &Cond{eng: eng} }
+
+// Wait parks p until Signal or Broadcast wakes it. As with sync.Cond, the
+// caller must re-check its predicate in a loop.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.eng.wakeLater(w)
+}
+
+// Broadcast wakes all waiting processes.
+func (c *Cond) Broadcast() {
+	for _, w := range c.waiters {
+		c.eng.wakeLater(w)
+	}
+	c.waiters = nil
+}
+
+// WaitGroup counts outstanding work items; Wait blocks until the count
+// reaches zero.
+type WaitGroup struct {
+	eng   *Engine
+	count int
+	cond  *Cond
+}
+
+// NewWaitGroup returns a wait group driven by eng.
+func NewWaitGroup(eng *Engine) *WaitGroup {
+	return &WaitGroup{eng: eng, cond: NewCond(eng)}
+}
+
+// Add adds delta (which may be negative) to the counter. A counter reaching
+// zero wakes all waiters.
+func (w *WaitGroup) Add(delta int) {
+	w.count += delta
+	if w.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.count == 0 {
+		w.cond.Broadcast()
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks p until the counter is zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	for w.count > 0 {
+		w.cond.Wait(p)
+	}
+}
+
+// Pipe models a serial bandwidth-limited link or bus: transfers are
+// serialized and each occupies the pipe for size/bandwidth. Bytes moved are
+// accumulated for traffic accounting.
+type Pipe struct {
+	res *Resource
+	// BytesPerSecond is the pipe bandwidth.
+	bytesPerSecond int64
+	bytesMoved     int64
+}
+
+// NewPipe returns a pipe with the given bandwidth in bytes per (virtual)
+// second.
+func NewPipe(eng *Engine, name string, bytesPerSecond int64) *Pipe {
+	if bytesPerSecond <= 0 {
+		panic("sim: pipe bandwidth must be positive")
+	}
+	return &Pipe{res: NewResource(eng, name, 1), bytesPerSecond: bytesPerSecond}
+}
+
+// TransferTime returns how long moving size bytes takes at full bandwidth.
+func (pp *Pipe) TransferTime(size int) Time {
+	return Time(int64(size) * int64(Second) / pp.bytesPerSecond)
+}
+
+// Transfer charges p for moving size bytes through the pipe, queueing behind
+// earlier transfers.
+func (pp *Pipe) Transfer(p *Proc, size int) {
+	if size <= 0 {
+		return
+	}
+	pp.bytesMoved += int64(size)
+	pp.res.Use(p, pp.TransferTime(size))
+}
+
+// BytesMoved returns the total bytes transferred through the pipe.
+func (pp *Pipe) BytesMoved() int64 { return pp.bytesMoved }
+
+// BusyTime returns cumulative busy time of the pipe.
+func (pp *Pipe) BusyTime() Time { return pp.res.BusyTime() }

@@ -1,0 +1,268 @@
+// Package simnet models a single-rack datacenter network: hosts with
+// bandwidth-limited NICs connected by a top-of-rack switch, carrying
+// unreliable unordered datagrams (the substrate eRPC-style transports are
+// built on, paper §V-A: "Our networking protocol is founded upon the UDP
+// and the network reliability is handled in the RPC layer").
+//
+// The model is the standard first-order datacenter cost model:
+//
+//	delivery time = tx serialization (size / NIC bw, queued per NIC)
+//	              + link propagation + switch forwarding + link propagation
+//	              + rx serialization (size / NIC bw, queued per NIC)
+//
+// Datagrams above the MTU are rejected — packetization belongs to the
+// transport layer. Loss is injected with a configurable probability drawn
+// from the engine's deterministic PRNG.
+//
+// Each host also exposes a CPU resource (for service processing time) and a
+// local memory bus (for charging intra-host memcpy, which is what the Fig 6
+// "memory bandwidth occupation" measurement reports).
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// HostID identifies a host within a Network.
+type HostID int
+
+// Addr is a (host, port) datagram endpoint.
+type Addr struct {
+	Host HostID
+	Port int
+}
+
+func (a Addr) String() string { return fmt.Sprintf("h%d:%d", a.Host, a.Port) }
+
+// Datagram is one unreliable network packet. Payload is owned by the
+// receiver once delivered; Send copies the caller's bytes.
+type Datagram struct {
+	From    Addr
+	To      Addr
+	Payload []byte
+}
+
+// Config describes the rack fabric.
+type Config struct {
+	// NICBandwidth is per-host, full duplex, in bytes per second.
+	// 100 GbE = 12.5e9.
+	NICBandwidth int64
+	// LinkLatency is one-way host<->switch propagation+PHY latency.
+	LinkLatency sim.Time
+	// SwitchLatency is the ToR forwarding latency.
+	SwitchLatency sim.Time
+	// MTU is the maximum datagram payload size in bytes.
+	MTU int
+	// LossRate is the independent per-packet drop probability in [0,1).
+	LossRate float64
+	// CPUCores is the number of cores per host (capacity of Host.CPU).
+	CPUCores int
+	// MemBandwidth is the per-host local memory bus bandwidth in bytes/s.
+	MemBandwidth int64
+}
+
+// DefaultConfig mirrors the paper's testbed (§VI-A): 100 GbE NICs, ~2 µs
+// kernel-bypass RTT, 4 KiB MTU (eRPC-style), dual 24-core CPUs (we model the
+// 12 usable cores per socket the paper cites), quad-channel DDR4-2400.
+func DefaultConfig() Config {
+	return Config{
+		NICBandwidth:  12_500_000_000, // 100 Gbit/s
+		LinkLatency:   350,            // ns; RTT ≈ 2*(2*350+300) = 2 µs
+		SwitchLatency: 300,            // ns
+		MTU:           4096,
+		LossRate:      0,
+		CPUCores:      12,
+		MemBandwidth:  76_800_000_000, // 4ch × 2400 MT/s × 8 B
+	}
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.NICBandwidth <= 0:
+		return fmt.Errorf("simnet: NICBandwidth must be positive, got %d", c.NICBandwidth)
+	case c.MTU <= 0:
+		return fmt.Errorf("simnet: MTU must be positive, got %d", c.MTU)
+	case c.LossRate < 0 || c.LossRate >= 1:
+		return fmt.Errorf("simnet: LossRate must be in [0,1), got %g", c.LossRate)
+	case c.LinkLatency < 0 || c.SwitchLatency < 0:
+		return fmt.Errorf("simnet: latencies must be non-negative")
+	case c.CPUCores <= 0:
+		return fmt.Errorf("simnet: CPUCores must be positive, got %d", c.CPUCores)
+	case c.MemBandwidth <= 0:
+		return fmt.Errorf("simnet: MemBandwidth must be positive, got %d", c.MemBandwidth)
+	}
+	return nil
+}
+
+// Network is a rack of hosts behind one ToR switch.
+type Network struct {
+	eng   *sim.Engine
+	cfg   Config
+	hosts []*Host
+
+	dropped stats.Counter
+	sent    stats.Counter
+}
+
+// New creates a network. Panics on invalid config (programming error).
+func New(eng *sim.Engine, cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Network{eng: eng, cfg: cfg}
+}
+
+// Engine returns the driving engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Config returns the fabric configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// AddHost creates a new host attached to the switch and returns it.
+func (n *Network) AddHost(name string) *Host {
+	id := HostID(len(n.hosts))
+	h := &Host{
+		id:   id,
+		name: name,
+		net:  n,
+		tx:   sim.NewPipe(n.eng, fmt.Sprintf("%s/tx", name), n.cfg.NICBandwidth),
+		rx:   sim.NewPipe(n.eng, fmt.Sprintf("%s/rx", name), n.cfg.NICBandwidth),
+		CPU:  sim.NewResource(n.eng, fmt.Sprintf("%s/cpu", name), n.cfg.CPUCores),
+		mem:  sim.NewPipe(n.eng, fmt.Sprintf("%s/mem", name), n.cfg.MemBandwidth),
+
+		ports: make(map[int]*sim.Chan[Datagram]),
+	}
+	n.hosts = append(n.hosts, h)
+	return h
+}
+
+// Host returns host id, panicking if out of range.
+func (n *Network) Host(id HostID) *Host {
+	if int(id) < 0 || int(id) >= len(n.hosts) {
+		panic(fmt.Sprintf("simnet: no host %d", id))
+	}
+	return n.hosts[id]
+}
+
+// NumHosts returns the number of attached hosts.
+func (n *Network) NumHosts() int { return len(n.hosts) }
+
+// DroppedPackets returns how many datagrams loss injection discarded.
+func (n *Network) DroppedPackets() int64 { return n.dropped.Value() }
+
+// SentPackets returns how many datagrams entered the fabric.
+func (n *Network) SentPackets() int64 { return n.sent.Value() }
+
+// Host is a server attached to the rack switch.
+type Host struct {
+	id   HostID
+	name string
+	net  *Network
+	tx   *sim.Pipe
+	rx   *sim.Pipe
+	mem  *sim.Pipe
+
+	// CPU models the host's cores; services acquire it for processing time.
+	CPU *sim.Resource
+
+	ports   map[int]*sim.Chan[Datagram]
+	txBytes stats.Counter
+	rxBytes stats.Counter
+}
+
+// ID returns the host's id.
+func (h *Host) ID() HostID { return h.id }
+
+// Name returns the host's name.
+func (h *Host) Name() string { return h.name }
+
+// Network returns the fabric this host is attached to.
+func (h *Host) Network() *Network { return h.net }
+
+// Addr returns an address on this host.
+func (h *Host) Addr(port int) Addr { return Addr{Host: h.id, Port: port} }
+
+// Listen binds port and returns its delivery queue. Binding a port twice is
+// a programming error and panics.
+func (h *Host) Listen(port int) *sim.Chan[Datagram] {
+	if _, ok := h.ports[port]; ok {
+		panic(fmt.Sprintf("simnet: %s port %d already bound", h.name, port))
+	}
+	ch := sim.NewChan[Datagram](h.net.eng)
+	h.ports[port] = ch
+	return ch
+}
+
+// Send transmits one datagram from this host. The calling process is
+// charged tx NIC serialization (with queueing). Delivery is asynchronous:
+// after propagation and switch forwarding the receiver's rx NIC serializes
+// the packet and it lands in the destination port's queue. Datagrams to
+// unbound ports are dropped silently, like UDP. Payload bytes are copied.
+func (h *Host) Send(p *sim.Proc, to Addr, fromPort int, payload []byte) {
+	if len(payload) > h.net.cfg.MTU {
+		panic(fmt.Sprintf("simnet: payload %d exceeds MTU %d (transport must packetize)", len(payload), h.net.cfg.MTU))
+	}
+	dst := h.net.Host(to.Host) // validate before charging
+	h.net.sent.Inc()
+	h.txBytes.Add(int64(len(payload)))
+	h.tx.Transfer(p, len(payload))
+
+	if lr := h.net.cfg.LossRate; lr > 0 && h.net.eng.Rand().Float64() < lr {
+		h.net.dropped.Inc()
+		return
+	}
+
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	d := Datagram{From: h.Addr(fromPort), To: to, Payload: buf}
+	prop := 2*h.net.cfg.LinkLatency + h.net.cfg.SwitchLatency
+	h.net.eng.After(prop, func() {
+		// rx serialization happens on the receiver's NIC; run it in a
+		// short-lived delivery process so it queues behind other arrivals
+		// without blocking the sender.
+		h.net.eng.Spawn("rxdma", func(rp *sim.Proc) {
+			dst.rx.Transfer(rp, len(d.Payload))
+			dst.rxBytes.Add(int64(len(d.Payload)))
+			if ch, ok := dst.ports[d.To.Port]; ok {
+				ch.Send(d)
+			}
+		})
+	})
+}
+
+// Memcpy charges the host memory bus for copying size bytes within local
+// DRAM (one read pass + one write pass). This is how data-touching services
+// account the memory-bandwidth pressure Fig 6 measures.
+func (h *Host) Memcpy(p *sim.Proc, size int) {
+	h.mem.Transfer(p, 2*size)
+}
+
+// MemTouch charges a single read or write pass of size bytes on the local
+// memory bus (for compute that streams over a buffer once).
+func (h *Host) MemTouch(p *sim.Proc, size int) {
+	h.mem.Transfer(p, size)
+}
+
+// MemBytesMoved returns cumulative bytes moved over the local memory bus.
+func (h *Host) MemBytesMoved() int64 { return h.mem.BytesMoved() }
+
+// MemBusyTime returns cumulative local memory bus busy time.
+func (h *Host) MemBusyTime() sim.Time { return h.mem.BusyTime() }
+
+// TxBytes returns cumulative bytes sent by this host.
+func (h *Host) TxBytes() int64 { return h.txBytes.Value() }
+
+// RxBytes returns cumulative bytes received by this host.
+func (h *Host) RxBytes() int64 { return h.rxBytes.Value() }
+
+// OneWayLatency returns the zero-queueing time for a payload of size bytes
+// to traverse the fabric between two hosts (useful for transport RTO
+// estimation).
+func (n *Network) OneWayLatency(size int) sim.Time {
+	ser := sim.Time(int64(size) * int64(sim.Second) / n.cfg.NICBandwidth)
+	return 2*ser + 2*n.cfg.LinkLatency + n.cfg.SwitchLatency
+}

@@ -1,0 +1,304 @@
+package simnet
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func testConfig() Config {
+	c := DefaultConfig()
+	c.NICBandwidth = 1_000_000_000 // 1 byte/ns for easy math
+	c.LinkLatency = 100
+	c.SwitchLatency = 50
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.NICBandwidth = 0 },
+		func(c *Config) { c.MTU = 0 },
+		func(c *Config) { c.LossRate = 1 },
+		func(c *Config) { c.LossRate = -0.1 },
+		func(c *Config) { c.LinkLatency = -1 },
+		func(c *Config) { c.CPUCores = 0 },
+		func(c *Config) { c.MemBandwidth = 0 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDatagramDelivery(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := New(eng, testConfig())
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	inbox := b.Listen(9)
+	var got Datagram
+	var at sim.Time
+	eng.Spawn("recv", func(p *sim.Proc) {
+		got = inbox.Recv(p)
+		at = p.Now()
+	})
+	eng.Spawn("send", func(p *sim.Proc) {
+		a.Send(p, b.Addr(9), 7, []byte("ping"))
+	})
+	eng.Run()
+	if string(got.Payload) != "ping" {
+		t.Fatalf("payload %q", got.Payload)
+	}
+	if got.From != (Addr{Host: a.ID(), Port: 7}) || got.To != (Addr{Host: b.ID(), Port: 9}) {
+		t.Fatalf("addressing %v -> %v", got.From, got.To)
+	}
+	// 4B tx (4ns) + 100 + 50 + 100 prop + 4B rx (4ns) = 258ns
+	if at != 258 {
+		t.Fatalf("delivered at %d, want 258", at)
+	}
+}
+
+func TestPayloadIsCopied(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := New(eng, testConfig())
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	inbox := b.Listen(1)
+	buf := []byte("immutable")
+	eng.Spawn("send", func(p *sim.Proc) {
+		a.Send(p, b.Addr(1), 1, buf)
+		copy(buf, "clobbered")
+	})
+	var got []byte
+	eng.Spawn("recv", func(p *sim.Proc) {
+		got = inbox.Recv(p).Payload
+	})
+	eng.Run()
+	if !bytes.Equal(got, []byte("immutable")) {
+		t.Fatalf("payload %q was aliased to sender buffer", got)
+	}
+}
+
+func TestOversizePayloadPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := New(eng, testConfig())
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	panicked := false
+	eng.Spawn("send", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		a.Send(p, b.Addr(1), 1, make([]byte, n.Config().MTU+1))
+	})
+	eng.Run()
+	if !panicked {
+		t.Fatal("oversize send did not panic")
+	}
+}
+
+func TestUnboundPortDropsSilently(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := New(eng, testConfig())
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	eng.Spawn("send", func(p *sim.Proc) {
+		a.Send(p, b.Addr(404), 1, []byte("x"))
+	})
+	eng.Run() // must terminate without delivery
+	if n.SentPackets() != 1 {
+		t.Fatalf("SentPackets = %d", n.SentPackets())
+	}
+}
+
+func TestDoubleListenPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := New(eng, testConfig())
+	a := n.AddHost("a")
+	a.Listen(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Listen did not panic")
+		}
+	}()
+	a.Listen(5)
+}
+
+func TestTxSerializationQueues(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := testConfig()
+	n := New(eng, cfg)
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	inbox := b.Listen(1)
+	var arrivals []sim.Time
+	eng.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			inbox.Recv(p)
+			arrivals = append(arrivals, p.Now())
+		}
+	})
+	// Two senders on the same host contend for the tx NIC.
+	for i := 0; i < 2; i++ {
+		eng.Spawn("send", func(p *sim.Proc) {
+			a.Send(p, b.Addr(1), 1, make([]byte, 1000))
+		})
+	}
+	eng.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("got %d arrivals", len(arrivals))
+	}
+	// Second packet serializes 1000ns after the first on tx.
+	if arrivals[1]-arrivals[0] != 1000 {
+		t.Fatalf("inter-arrival %d, want 1000 (tx serialization)", arrivals[1]-arrivals[0])
+	}
+}
+
+func TestRxSerializationQueuesAcrossSenders(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := New(eng, testConfig())
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	c := n.AddHost("c")
+	inbox := c.Listen(1)
+	var arrivals []sim.Time
+	eng.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			inbox.Recv(p)
+			arrivals = append(arrivals, p.Now())
+		}
+	})
+	send := func(h *Host) {
+		eng.Spawn("send", func(p *sim.Proc) {
+			h.Send(p, c.Addr(1), 1, make([]byte, 1000))
+		})
+	}
+	send(a)
+	send(b)
+	eng.Run()
+	// Both arrive at the rx NIC at the same instant; the second must queue
+	// behind the first for its rx serialization.
+	if arrivals[1]-arrivals[0] != 1000 {
+		t.Fatalf("inter-arrival %d, want 1000 (rx serialization)", arrivals[1]-arrivals[0])
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	eng := sim.NewEngine(42)
+	cfg := testConfig()
+	cfg.LossRate = 0.5
+	n := New(eng, cfg)
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	inbox := b.Listen(1)
+	delivered := 0
+	eng.Spawn("recv", func(p *sim.Proc) {
+		for {
+			inbox.Recv(p)
+			delivered++
+		}
+	})
+	const total = 1000
+	eng.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < total; i++ {
+			a.Send(p, b.Addr(1), 1, []byte("x"))
+			p.Sleep(10)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+	if n.DroppedPackets() == 0 {
+		t.Fatal("no packets dropped at 50% loss")
+	}
+	if delivered+int(n.DroppedPackets()) != total {
+		t.Fatalf("delivered %d + dropped %d != %d", delivered, n.DroppedPackets(), total)
+	}
+	if delivered < total/3 || delivered > 2*total/3 {
+		t.Fatalf("delivered %d of %d at 50%% loss", delivered, total)
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := New(eng, testConfig())
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	b.Listen(1)
+	eng.Spawn("send", func(p *sim.Proc) {
+		a.Send(p, b.Addr(1), 1, make([]byte, 100))
+	})
+	eng.Run()
+	if a.TxBytes() != 100 {
+		t.Fatalf("TxBytes = %d", a.TxBytes())
+	}
+	if b.RxBytes() != 100 {
+		t.Fatalf("RxBytes = %d", b.RxBytes())
+	}
+}
+
+func TestMemcpyChargesBus(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := testConfig()
+	cfg.MemBandwidth = 1_000_000_000 // 1 byte/ns
+	n := New(eng, cfg)
+	a := n.AddHost("a")
+	var done sim.Time
+	eng.Spawn("cp", func(p *sim.Proc) {
+		a.Memcpy(p, 500)
+		done = p.Now()
+	})
+	eng.Run()
+	if done != 1000 { // read+write pass = 2*500 bytes
+		t.Fatalf("memcpy took %d, want 1000", done)
+	}
+	if a.MemBytesMoved() != 1000 {
+		t.Fatalf("MemBytesMoved = %d", a.MemBytesMoved())
+	}
+}
+
+func TestOneWayLatency(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := New(eng, testConfig())
+	// 1000B at 1B/ns = 1000ns serialization ×2 + 100+50+100 prop.
+	if got := n.OneWayLatency(1000); got != 2250 {
+		t.Fatalf("OneWayLatency = %d, want 2250", got)
+	}
+}
+
+func TestHostLookupPanicsOnBadID(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := New(eng, testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad host id did not panic")
+		}
+	}()
+	n.Host(3)
+}
+
+func TestHostAccessors(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := New(eng, testConfig())
+	h := n.AddHost("web-1")
+	if h.Name() != "web-1" || h.ID() != 0 || h.Network() != n {
+		t.Fatal("host accessors wrong")
+	}
+	if n.NumHosts() != 1 {
+		t.Fatalf("NumHosts = %d", n.NumHosts())
+	}
+	if got := h.Addr(8).String(); got != "h0:8" {
+		t.Fatalf("Addr.String() = %q", got)
+	}
+	if h.CPU.InUse() != 0 {
+		t.Fatal("CPU should start idle")
+	}
+}

@@ -1,0 +1,340 @@
+// Package stats provides latency histograms, percentile estimation and
+// throughput accounting for the simulation benchmarks.
+//
+// Histogram uses logarithmically spaced buckets (HDR-style: power-of-two
+// ranges subdivided linearly), giving bounded relative error over a huge
+// dynamic range in O(1) memory, which is what datacenter tail-latency
+// reporting needs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// subBucketBits controls resolution: each power-of-two range is divided into
+// 2^subBucketBits linear sub-buckets, bounding relative error to ~1/2^bits.
+const subBucketBits = 5
+
+const subBuckets = 1 << subBucketBits
+
+// Histogram records non-negative int64 samples (typically nanoseconds) into
+// log-spaced buckets. The zero value is ready to use.
+type Histogram struct {
+	counts  [64 * subBuckets]int64
+	total   int64
+	sum     int64
+	min     int64
+	max     int64
+	hasData bool
+}
+
+// Record adds one sample. Negative samples are clamped to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += v
+	if !h.hasData || v < h.min {
+		h.min = v
+	}
+	if !h.hasData || v > h.max {
+		h.max = v
+	}
+	h.hasData = true
+}
+
+// bucketIndex maps a value to its bucket. Values below subBuckets map
+// linearly; larger values map to (exponent, mantissa-prefix) pairs.
+func bucketIndex(v int64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v)) // position of top bit, >= subBucketBits
+	mant := int(v>>(uint(exp)-subBucketBits)) - subBuckets
+	return (exp-subBucketBits+1)*subBuckets + mant
+}
+
+// bucketLow returns the smallest value mapping to bucket i, saturating at
+// MaxInt64 for buckets beyond the int64 range.
+func bucketLow(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	exp := i/subBuckets + subBucketBits - 1
+	mant := i%subBuckets + subBuckets
+	shift := uint(exp) - subBucketBits
+	if shift >= 63 {
+		return math.MaxInt64
+	}
+	v := int64(mant) << shift
+	if v < 0 {
+		return math.MaxInt64
+	}
+	return v
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min returns the smallest recorded sample (0 if empty).
+func (h *Histogram) Min() int64 {
+	if !h.hasData {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample (0 if empty).
+func (h *Histogram) Max() int64 {
+	if !h.hasData {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the arithmetic mean (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1). For q=1 the
+// exact maximum is returned; for an empty histogram 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(math.Ceil(q * float64(h.total)))
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i]
+		if seen >= rank {
+			lo := bucketLow(i)
+			if lo < h.min {
+				lo = h.min
+			}
+			if lo > h.max {
+				lo = h.max
+			}
+			return lo
+		}
+	}
+	return h.max
+}
+
+// Percentile returns Quantile(p/100).
+func (h *Histogram) Percentile(p float64) int64 { return h.Quantile(p / 100) }
+
+// Merge adds all samples of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.total == 0 {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.sum += other.sum
+	h.total += other.total
+	if !h.hasData || other.min < h.min {
+		h.min = other.min
+	}
+	if !h.hasData || other.max > h.max {
+		h.max = other.max
+	}
+	h.hasData = true
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Summary is a compact snapshot of a histogram.
+type Summary struct {
+	Count int64
+	Mean  float64
+	Min   int64
+	P50   int64
+	P90   int64
+	P99   int64
+	P995  int64
+	P999  int64
+	Max   int64
+}
+
+// Summarize returns the standard percentile snapshot.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		P50:   h.Percentile(50),
+		P90:   h.Percentile(90),
+		P99:   h.Percentile(99),
+		P995:  h.Percentile(99.5),
+		P999:  h.Percentile(99.9),
+		Max:   h.Max(),
+	}
+}
+
+// String formats the summary with nanosecond values rendered as durations.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%s p50=%s p99=%s p99.9=%s max=%s",
+		s.Count, Dur(int64(s.Mean)), Dur(s.P50), Dur(s.P99), Dur(s.P999), Dur(s.Max))
+}
+
+// Dur renders nanoseconds human-readably (ns/µs/ms/s).
+func Dur(ns int64) string {
+	switch {
+	case ns < 1_000:
+		return fmt.Sprintf("%dns", ns)
+	case ns < 1_000_000:
+		return fmt.Sprintf("%.2fµs", float64(ns)/1e3)
+	case ns < 1_000_000_000:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+	}
+}
+
+// Bytes renders a byte count human-readably (B/KiB/MiB/GiB).
+func Bytes(b int64) string {
+	switch {
+	case b < 1<<10:
+		return fmt.Sprintf("%dB", b)
+	case b < 1<<20:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	case b < 1<<30:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	}
+}
+
+// Rate renders an operations-per-second rate (ops/Kops/Mops).
+func Rate(opsPerSec float64) string {
+	switch {
+	case opsPerSec < 1e3:
+		return fmt.Sprintf("%.1f op/s", opsPerSec)
+	case opsPerSec < 1e6:
+		return fmt.Sprintf("%.1f Kop/s", opsPerSec/1e3)
+	default:
+		return fmt.Sprintf("%.2f Mop/s", opsPerSec/1e6)
+	}
+}
+
+// Gbps renders bytes-over-nanoseconds as gigabits per second.
+func Gbps(bytes int64, ns int64) string {
+	if ns == 0 {
+		return "0Gbps"
+	}
+	return fmt.Sprintf("%.2fGbps", float64(bytes)*8/float64(ns))
+}
+
+// Counter is a monotonically increasing event/byte counter.
+type Counter struct {
+	n int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Meter converts a count over a virtual-time window into a rate.
+type Meter struct {
+	Count int64
+	Start int64 // window start, ns
+	End   int64 // window end, ns
+}
+
+// PerSecond returns the count normalized to events per virtual second.
+func (m Meter) PerSecond() float64 {
+	d := m.End - m.Start
+	if d <= 0 {
+		return 0
+	}
+	return float64(m.Count) * 1e9 / float64(d)
+}
+
+// Table is a minimal fixed-width text table writer used by the benchmark
+// harness to print paper-style result rows.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; each cell is formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, hdr := range t.header {
+		width[i] = len(hdr)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(width) && len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SortRowsByFirstColumn orders rows lexically; useful when experiments
+// complete out of order.
+func (t *Table) SortRowsByFirstColumn() {
+	sort.Slice(t.rows, func(i, j int) bool { return t.rows[i][0] < t.rows[j][0] })
+}

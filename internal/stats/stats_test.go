@@ -1,0 +1,296 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Record(1234)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != 1234 || h.Max() != 1234 {
+		t.Fatalf("min/max = %d/%d, want 1234", h.Min(), h.Max())
+	}
+	if h.Mean() != 1234 {
+		t.Fatalf("Mean = %f", h.Mean())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 1200 || got > 1234 {
+			t.Fatalf("Quantile(%f) = %d, want ~1234", q, got)
+		}
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative sample recorded as %d..%d, want 0..0", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	// Values below subBuckets land in exact unit buckets.
+	var h Histogram
+	for v := int64(0); v < subBuckets; v++ {
+		h.Record(v)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("Q0 = %d", got)
+	}
+	if got := h.Quantile(1); got != subBuckets-1 {
+		t.Fatalf("Q1 = %d, want %d", got, subBuckets-1)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]int64, 10000)
+	for i := range samples {
+		samples[i] = int64(rng.Intn(1_000_000))
+		h.Record(samples[i])
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := h.Quantile(q)
+		// Log-bucketed histogram has bounded relative error (~2^-5).
+		relerr := float64(got-exact) / float64(exact)
+		if relerr < -0.05 || relerr > 0.05 {
+			t.Errorf("Quantile(%g) = %d, exact %d, relerr %.3f", q, got, exact, relerr)
+		}
+	}
+}
+
+func TestHistogramMergePreservesTotals(t *testing.T) {
+	var a, b Histogram
+	for i := int64(0); i < 100; i++ {
+		a.Record(i * 3)
+		b.Record(i * 7)
+	}
+	sum := a.Sum() + b.Sum()
+	cnt := a.Count() + b.Count()
+	max := b.Max()
+	a.Merge(&b)
+	if a.Count() != cnt || a.Sum() != sum {
+		t.Fatalf("merge lost samples: count=%d sum=%d", a.Count(), a.Sum())
+	}
+	if a.Max() != max {
+		t.Fatalf("merge Max = %d, want %d", a.Max(), max)
+	}
+	if a.Min() != 0 {
+		t.Fatalf("merge Min = %d, want 0", a.Min())
+	}
+}
+
+func TestHistogramMergeEmptyIsNoop(t *testing.T) {
+	var a, b Histogram
+	a.Record(5)
+	a.Merge(&b)
+	if a.Count() != 1 || a.Min() != 5 {
+		t.Fatal("merging empty histogram changed state")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(10)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("Reset did not clear histogram")
+	}
+}
+
+func TestBucketRoundTripProperty(t *testing.T) {
+	// Property: bucketLow(bucketIndex(v)) <= v and the bucket width bounds
+	// the error to ~3.2% of v.
+	prop := func(raw uint64) bool {
+		v := int64(raw >> 1) // keep positive
+		i := bucketIndex(v)
+		lo := bucketLow(i)
+		if lo > v {
+			return false
+		}
+		if i+1 < len((&Histogram{}).counts) {
+			hi := bucketLow(i + 1)
+			if hi <= v && v >= subBuckets {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	prop := func(vals []uint32) bool {
+		var h Histogram
+		for _, v := range vals {
+			h.Record(int64(v))
+		}
+		prev := int64(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i * 1000)
+	}
+	s := h.Summarize()
+	if s.Count != 1000 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.P50 < 400_000 || s.P50 > 520_000 {
+		t.Fatalf("P50 = %d, want ~500000", s.P50)
+	}
+	if s.P999 < 950_000 {
+		t.Fatalf("P999 = %d, want >= 950000", s.P999)
+	}
+	if !strings.Contains(s.String(), "n=1000") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestDurFormatting(t *testing.T) {
+	cases := map[int64]string{
+		5:             "5ns",
+		1500:          "1.50µs",
+		2_000_000:     "2.00ms",
+		3_500_000_000: "3.500s",
+	}
+	for in, want := range cases {
+		if got := Dur(in); got != want {
+			t.Errorf("Dur(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBytesFormatting(t *testing.T) {
+	cases := map[int64]string{
+		12:      "12B",
+		2048:    "2.0KiB",
+		3 << 20: "3.0MiB",
+		5 << 30: "5.00GiB",
+	}
+	for in, want := range cases {
+		if got := Bytes(in); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRateFormatting(t *testing.T) {
+	if got := Rate(500); got != "500.0 op/s" {
+		t.Errorf("Rate(500) = %q", got)
+	}
+	if got := Rate(1500); got != "1.5 Kop/s" {
+		t.Errorf("Rate(1500) = %q", got)
+	}
+	if got := Rate(2_500_000); got != "2.50 Mop/s" {
+		t.Errorf("Rate(2.5e6) = %q", got)
+	}
+}
+
+func TestGbps(t *testing.T) {
+	// 1250 bytes in 100ns = 100 Gbps.
+	if got := Gbps(1250, 100); got != "100.00Gbps" {
+		t.Errorf("Gbps = %q", got)
+	}
+	if got := Gbps(100, 0); got != "0Gbps" {
+		t.Errorf("Gbps zero-time = %q", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestMeterPerSecond(t *testing.T) {
+	m := Meter{Count: 100, Start: 0, End: 1_000_000_000}
+	if got := m.PerSecond(); got != 100 {
+		t.Fatalf("PerSecond = %f", got)
+	}
+	m = Meter{Count: 100, Start: 5, End: 5}
+	if got := m.PerSecond(); got != 0 {
+		t.Fatalf("zero window PerSecond = %f", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("size", "throughput")
+	tb.AddRow("4KiB", 100)
+	tb.AddRow("32KiB", 42)
+	out := tb.String()
+	if !strings.Contains(out, "size") || !strings.Contains(out, "32KiB") {
+		t.Fatalf("table output %q missing content", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+	tb.SortRowsByFirstColumn()
+	out = tb.String()
+	if strings.Index(out, "32KiB") > strings.Index(out, "4KiB") {
+		t.Fatal("rows not sorted")
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i))
+	}
+}
+
+func BenchmarkHistogramQuantile(b *testing.B) {
+	var h Histogram
+	for i := int64(0); i < 100000; i++ {
+		h.Record(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Quantile(0.99)
+	}
+}

@@ -1,0 +1,219 @@
+// Package store implements the "distributed in-memory data store" baseline
+// the paper compares against (§III-A, §VI-D): a Ray/Plasma-style object
+// store service on every host, plus a Spark-flavoured variant with
+// serialization costs.
+//
+// The architecture is deliberately the one the paper criticizes:
+//
+//   - Put: the caller copies the whole object from its heap into its local
+//     store service over IPC (copy #1) and receives an immutable ObjectRef.
+//   - Get on a remote host: the callee's local store fetches the *entire*
+//     object from the owner's store across the network — even if only a
+//     small portion is needed — and the callee then copies it from the
+//     local store into its heap (copy #2).
+//   - Objects are immutable: mutation happens on the private heap copy;
+//     sharing a mutation means Putting a brand-new object.
+//
+// The IPC latency and copy costs are what give DmRPC its Fig 8 margins; the
+// network fetch of the full object is what the paper's "even if the callee
+// only needs to access a small portion" argument refers to.
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// MFetch is the store-to-store object fetch method.
+const MFetch rpc.Method = 0x0300
+
+const statusNoObject = 2
+
+// ErrNoObject is returned when a ref points to a missing object.
+var ErrNoObject = fmt.Errorf("store: no such object")
+
+// Config tunes a store node.
+type Config struct {
+	// IPCLatency is charged per client<->store interaction (Plasma-style
+	// create/seal/get round trips).
+	IPCLatency sim.Time
+	// SerializeBandwidth, when positive, charges serialization on Put and
+	// deserialization on Get at this many bytes per second (the Spark
+	// flavour). Zero disables it (the Ray flavour, raw bytes).
+	SerializeBandwidth int64
+	// RPC configures the store service node.
+	RPC rpc.Config
+}
+
+// RayConfig models Ray's Plasma store as observed from a driver: each
+// client<->store interaction is a create/seal/get sequence of IPC round
+// trips plus driver-side bookkeeping, which lands in the ~100 µs range per
+// interaction in published measurements. Raw buffers skip serialization.
+func RayConfig() Config {
+	return Config{
+		IPCLatency: 100 * sim.Microsecond,
+		RPC:        rpc.DefaultConfig(),
+	}
+}
+
+// SparkConfig models Spark's BlockTransferService: a heavier JVM-side
+// management path and per-byte serialization.
+func SparkConfig() Config {
+	return Config{
+		IPCLatency:         250 * sim.Microsecond,
+		SerializeBandwidth: 1_000_000_000, // 1 GB/s ser/deser
+		RPC:                rpc.DefaultConfig(),
+	}
+}
+
+// ObjectRef names an immutable object in some host's store.
+type ObjectRef struct {
+	Owner simnet.Addr // store service holding the primary copy
+	ID    uint64
+	Size  int64
+}
+
+// Encode appends the ref to an RPC message.
+func (r ObjectRef) Encode(e *rpc.Enc) {
+	e.U32(uint32(r.Owner.Host)).U32(uint32(r.Owner.Port)).U64(r.ID).I64(r.Size)
+}
+
+// DecodeObjectRef reads an ObjectRef from an RPC message.
+func DecodeObjectRef(d *rpc.Dec) ObjectRef {
+	return ObjectRef{
+		Owner: simnet.Addr{Host: simnet.HostID(d.U32()), Port: int(d.U32())},
+		ID:    d.U64(),
+		Size:  d.I64(),
+	}
+}
+
+// Node is the object store service running on one host.
+type Node struct {
+	node    *rpc.Node
+	cfg     Config
+	objects map[uint64][]byte
+	nextID  uint64
+
+	fetchesServed int64
+	bytesServed   int64
+}
+
+// NewNode creates a store service on host h at port.
+func NewNode(h *simnet.Host, port int, cfg Config) *Node {
+	n := &Node{
+		node:    rpc.NewNode(h, port, h.Name()+"/store", cfg.RPC),
+		cfg:     cfg,
+		objects: make(map[uint64][]byte),
+	}
+	n.node.Handle(MFetch, n.handleFetch)
+	return n
+}
+
+// Start launches the store's RPC stack.
+func (n *Node) Start() { n.node.Start() }
+
+// Addr returns the store service's address.
+func (n *Node) Addr() simnet.Addr { return n.node.Addr() }
+
+// Host returns the host this store runs on.
+func (n *Node) Host() *simnet.Host { return n.node.Host() }
+
+// Objects returns how many objects the store holds.
+func (n *Node) Objects() int { return len(n.objects) }
+
+// FetchesServed returns how many remote fetches this store answered.
+func (n *Node) FetchesServed() int64 { return n.fetchesServed }
+
+// BytesServed returns how many object bytes this store shipped remotely.
+func (n *Node) BytesServed() int64 { return n.bytesServed }
+
+func (n *Node) handleFetch(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+	d := rpc.NewDec(body)
+	id := d.U64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	obj, ok := n.objects[id]
+	if !ok {
+		return nil, &rpc.AppError{Status: statusNoObject, Msg: ErrNoObject.Error()}
+	}
+	n.fetchesServed++
+	n.bytesServed += int64(len(obj))
+	// The store streams the object out of its memory.
+	n.node.Host().MemTouch(ctx.P, len(obj))
+	return obj, nil
+}
+
+// serdes charges Spark-style serialization time for size bytes, if enabled.
+func (n *Node) serdes(p *sim.Proc, size int) {
+	if n.cfg.SerializeBandwidth > 0 {
+		p.Sleep(sim.Time(int64(size) * int64(sim.Second) / n.cfg.SerializeBandwidth))
+	}
+}
+
+// Client is a process's handle on its host-local store service. A client
+// must live on the same host as its store (Plasma is a local daemon).
+type Client struct {
+	local *Node
+}
+
+// NewClient returns a client of the host-local store node.
+func NewClient(local *Node) *Client { return &Client{local: local} }
+
+// Put copies data from the process heap into the local store and returns
+// an immutable reference (IPC round trip + one full copy + optional
+// serialization).
+func (c *Client) Put(p *sim.Proc, data []byte) (ObjectRef, error) {
+	n := c.local
+	p.Sleep(n.cfg.IPCLatency)
+	n.serdes(p, len(data))
+	n.node.Host().Memcpy(p, len(data)) // heap -> store copy
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	// IDs embed the owner host so replicas cached under the same id on
+	// other stores can never collide with their local primaries.
+	id := uint64(n.Addr().Host)<<32 | n.nextID
+	n.nextID++
+	n.objects[id] = buf
+	return ObjectRef{Owner: n.Addr(), ID: id, Size: int64(len(buf))}, nil
+}
+
+// Get returns a private heap copy of the referenced object. A local hit
+// costs an IPC round trip plus the store->heap copy; a remote object is
+// first fetched whole into the local store across the network, then copied
+// to the heap — the two unconditional copies of §III-A.
+func (c *Client) Get(p *sim.Proc, ref ObjectRef) ([]byte, error) {
+	n := c.local
+	p.Sleep(n.cfg.IPCLatency)
+	obj, ok := n.objects[ref.ID]
+	if !ok {
+		if n.Addr() == ref.Owner {
+			return nil, ErrNoObject
+		}
+		resp, err := n.node.Call(p, ref.Owner, MFetch, rpc.NewEnc(8).U64(ref.ID).Bytes())
+		if err != nil {
+			if ae, isApp := err.(*rpc.AppError); isApp && ae.Status == statusNoObject {
+				return nil, ErrNoObject
+			}
+			return nil, err
+		}
+		// Land the replica in the local store (write pass). IDs are
+		// owner-qualified, so replicas never collide with local primaries.
+		n.node.Host().MemTouch(p, len(resp))
+		obj = resp
+		n.objects[ref.ID] = obj
+	}
+	n.serdes(p, len(obj))
+	n.node.Host().Memcpy(p, len(obj)) // store -> heap copy
+	out := make([]byte, len(obj))
+	copy(out, obj)
+	return out, nil
+}
+
+// Delete removes the local copy of an object (owner-side eviction).
+func (c *Client) Delete(ref ObjectRef) {
+	delete(c.local.objects, ref.ID)
+}

@@ -1,0 +1,246 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+type rig struct {
+	eng    *sim.Engine
+	net    *simnet.Network
+	n1, n2 *Node
+	c1, c2 *Client
+}
+
+func newRig(cfg Config) *rig {
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng, simnet.DefaultConfig())
+	n1 := NewNode(net.AddHost("h1"), 1, cfg)
+	n2 := NewNode(net.AddHost("h2"), 1, cfg)
+	n1.Start()
+	n2.Start()
+	return &rig{eng: eng, net: net, n1: n1, n2: n2, c1: NewClient(n1), c2: NewClient(n2)}
+}
+
+func (r *rig) run(t *testing.T, fn func(p *sim.Proc) error) {
+	t.Helper()
+	var err error
+	r.eng.Spawn("test", func(p *sim.Proc) { err = fn(p) })
+	r.eng.Run()
+	r.eng.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGetLocal(t *testing.T) {
+	r := newRig(RayConfig())
+	r.run(t, func(p *sim.Proc) error {
+		data := []byte("plasma object")
+		ref, err := r.c1.Put(p, data)
+		if err != nil {
+			return err
+		}
+		if ref.Size != int64(len(data)) {
+			t.Errorf("ref.Size = %d", ref.Size)
+		}
+		got, err := r.c1.Get(p, ref)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("got %q", got)
+		}
+		return nil
+	})
+}
+
+func TestGetReturnsPrivateCopy(t *testing.T) {
+	r := newRig(RayConfig())
+	r.run(t, func(p *sim.Proc) error {
+		ref, err := r.c1.Put(p, []byte("immutable"))
+		if err != nil {
+			return err
+		}
+		got, err := r.c1.Get(p, ref)
+		if err != nil {
+			return err
+		}
+		copy(got, "MUTATED!!")
+		again, err := r.c1.Get(p, ref)
+		if err != nil {
+			return err
+		}
+		if string(again) != "immutable" {
+			t.Errorf("store object mutated through heap copy: %q", again)
+		}
+		return nil
+	})
+}
+
+func TestRemoteGetFetchesWholeObject(t *testing.T) {
+	r := newRig(RayConfig())
+	r.run(t, func(p *sim.Proc) error {
+		data := bytes.Repeat([]byte("y"), 32768)
+		ref, err := r.c1.Put(p, data)
+		if err != nil {
+			return err
+		}
+		got, err := r.c2.Get(p, ref)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("remote get corrupted")
+		}
+		if r.n1.FetchesServed() != 1 {
+			t.Errorf("FetchesServed = %d", r.n1.FetchesServed())
+		}
+		// The whole 32 KiB crossed the network even though the consumer
+		// might have wanted one byte — the §III-A inefficiency.
+		if r.n1.BytesServed() != 32768 {
+			t.Errorf("BytesServed = %d", r.n1.BytesServed())
+		}
+		return nil
+	})
+}
+
+func TestRemoteGetCachesReplica(t *testing.T) {
+	r := newRig(RayConfig())
+	r.run(t, func(p *sim.Proc) error {
+		ref, err := r.c1.Put(p, []byte("cache me"))
+		if err != nil {
+			return err
+		}
+		if _, err := r.c2.Get(p, ref); err != nil {
+			return err
+		}
+		if _, err := r.c2.Get(p, ref); err != nil {
+			return err
+		}
+		if r.n1.FetchesServed() != 1 {
+			t.Errorf("second get refetched: FetchesServed = %d", r.n1.FetchesServed())
+		}
+		return nil
+	})
+}
+
+func TestNoIDCollisionAcrossOwners(t *testing.T) {
+	r := newRig(RayConfig())
+	r.run(t, func(p *sim.Proc) error {
+		refA, err := r.c1.Put(p, []byte("from-h1"))
+		if err != nil {
+			return err
+		}
+		refB, err := r.c2.Put(p, []byte("from-h2"))
+		if err != nil {
+			return err
+		}
+		// h2 caches h1's object, then reads its own: both must survive.
+		if _, err := r.c2.Get(p, refA); err != nil {
+			return err
+		}
+		got, err := r.c2.Get(p, refB)
+		if err != nil {
+			return err
+		}
+		if string(got) != "from-h2" {
+			t.Errorf("replica clobbered local primary: %q", got)
+		}
+		return nil
+	})
+}
+
+func TestGetMissingObject(t *testing.T) {
+	r := newRig(RayConfig())
+	r.run(t, func(p *sim.Proc) error {
+		// Local miss on the owner.
+		if _, err := r.c1.Get(p, ObjectRef{Owner: r.n1.Addr(), ID: 999, Size: 1}); err != ErrNoObject {
+			t.Errorf("local miss: %v", err)
+		}
+		// Remote miss.
+		if _, err := r.c2.Get(p, ObjectRef{Owner: r.n1.Addr(), ID: 999, Size: 1}); err != ErrNoObject {
+			t.Errorf("remote miss: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestDelete(t *testing.T) {
+	r := newRig(RayConfig())
+	r.run(t, func(p *sim.Proc) error {
+		ref, err := r.c1.Put(p, []byte("temp"))
+		if err != nil {
+			return err
+		}
+		r.c1.Delete(ref)
+		if _, err := r.c1.Get(p, ref); err != ErrNoObject {
+			t.Errorf("deleted object still present: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestSparkSerializationCostsMore(t *testing.T) {
+	timeFlow := func(cfg Config) sim.Time {
+		r := newRig(cfg)
+		var dur sim.Time
+		r.run(t, func(p *sim.Proc) error {
+			data := make([]byte, 256*1024)
+			start := p.Now()
+			ref, err := r.c1.Put(p, data)
+			if err != nil {
+				return err
+			}
+			if _, err := r.c2.Get(p, ref); err != nil {
+				return err
+			}
+			dur = p.Now() - start
+			return nil
+		})
+		return dur
+	}
+	ray := timeFlow(RayConfig())
+	spark := timeFlow(SparkConfig())
+	if spark <= ray {
+		t.Fatalf("spark flow %dns not slower than ray %dns", spark, ray)
+	}
+}
+
+func TestObjectRefWireRoundTrip(t *testing.T) {
+	ref := ObjectRef{Owner: simnet.Addr{Host: 3, Port: 7}, ID: 1<<40 | 5, Size: 777}
+	e := rpc.NewEnc(32)
+	ref.Encode(e)
+	got := DecodeObjectRef(rpc.NewDec(e.Bytes()))
+	if got != ref {
+		t.Fatalf("round trip %+v != %+v", got, ref)
+	}
+}
+
+func TestRayFlowLatencyIsTensOfMicroseconds(t *testing.T) {
+	// Sanity-pin the cost model: a single-threaded put+remote-get of 32 KiB
+	// should land in the ~100µs+ range that makes Fig 8's 34× gap over a
+	// ~5µs DmRPC flow plausible.
+	r := newRig(RayConfig())
+	var dur sim.Time
+	r.run(t, func(p *sim.Proc) error {
+		data := make([]byte, 32768)
+		start := p.Now()
+		ref, err := r.c1.Put(p, data)
+		if err != nil {
+			return err
+		}
+		if _, err := r.c2.Get(p, ref); err != nil {
+			return err
+		}
+		dur = p.Now() - start
+		return nil
+	})
+	if dur < 50*sim.Microsecond || dur > 1*sim.Millisecond {
+		t.Fatalf("ray 32KiB flow = %dns, want 50µs-1ms", dur)
+	}
+}

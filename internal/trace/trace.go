@@ -1,0 +1,258 @@
+// Package trace collects RPC-level telemetry from a simulation run: per
+// (service, method) request counts, service time, payload bytes, and an
+// optional bounded span log. It answers "where did the time and the bytes
+// go" for any experiment — the observability layer a production RPC stack
+// ships with.
+//
+// Attach a Collector to rpc nodes via Node.SetObserver (or to every
+// service at once with msvc.Platform.AttachTracer), run the workload, then
+// render with Report.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// Kind distinguishes server-side handling from client-side calls.
+type Kind byte
+
+const (
+	// KindServe is a handler execution on the receiving node.
+	KindServe Kind = iota
+	// KindCall is an outgoing call observed at the issuing node.
+	KindCall
+)
+
+func (k Kind) String() string {
+	if k == KindCall {
+		return "call"
+	}
+	return "serve"
+}
+
+// Span is one completed RPC operation.
+type Span struct {
+	Kind      Kind
+	Node      string
+	Method    rpc.Method
+	Peer      simnet.Addr
+	Start     sim.Time
+	End       sim.Time
+	ReqBytes  int
+	RespBytes int
+	Err       bool
+}
+
+// Duration returns the span's elapsed virtual time.
+func (s Span) Duration() sim.Time { return s.End - s.Start }
+
+// aggKey groups spans for the summary table.
+type aggKey struct {
+	kind   Kind
+	node   string
+	method rpc.Method
+}
+
+// agg is the per-key accumulator.
+type agg struct {
+	count     int64
+	errors    int64
+	totalNs   int64
+	reqBytes  int64
+	respBytes int64
+	lat       stats.Histogram
+}
+
+// Collector implements rpc.Observer. The zero value is not usable; create
+// one with New. Methods are safe only under the simulation's single-runner
+// model (like everything else in the simulator).
+type Collector struct {
+	byKey map[aggKey]*agg
+
+	// spans is a bounded log of completed spans (most recent kept).
+	spans    []Span
+	maxSpans int
+
+	// MethodName renders method ids in reports; defaults to hex.
+	MethodName func(rpc.Method) string
+}
+
+var _ rpc.Observer = (*Collector)(nil)
+
+// New returns a collector keeping at most maxSpans recent spans
+// (0 disables span logging; aggregation is always on).
+func New(maxSpans int) *Collector {
+	return &Collector{
+		byKey:    make(map[aggKey]*agg),
+		maxSpans: maxSpans,
+	}
+}
+
+type token struct {
+	span Span
+}
+
+// ServeStart implements rpc.Observer.
+func (c *Collector) ServeStart(node string, m rpc.Method, from simnet.Addr, reqBytes int, at sim.Time) any {
+	return &token{span: Span{Kind: KindServe, Node: node, Method: m, Peer: from, Start: at, ReqBytes: reqBytes}}
+}
+
+// ServeEnd implements rpc.Observer.
+func (c *Collector) ServeEnd(tok any, respBytes int, at sim.Time, err error) {
+	c.end(tok, respBytes, at, err)
+}
+
+// CallStart implements rpc.Observer.
+func (c *Collector) CallStart(node string, to simnet.Addr, m rpc.Method, reqBytes int, at sim.Time) any {
+	return &token{span: Span{Kind: KindCall, Node: node, Method: m, Peer: to, Start: at, ReqBytes: reqBytes}}
+}
+
+// CallEnd implements rpc.Observer.
+func (c *Collector) CallEnd(tok any, respBytes int, at sim.Time, err error) {
+	c.end(tok, respBytes, at, err)
+}
+
+func (c *Collector) end(tok any, respBytes int, at sim.Time, err error) {
+	t, ok := tok.(*token)
+	if !ok {
+		return
+	}
+	s := t.span
+	s.End = at
+	s.RespBytes = respBytes
+	s.Err = err != nil
+	key := aggKey{kind: s.Kind, node: s.Node, method: s.Method}
+	a := c.byKey[key]
+	if a == nil {
+		a = &agg{}
+		c.byKey[key] = a
+	}
+	a.count++
+	if s.Err {
+		a.errors++
+	}
+	a.totalNs += int64(s.Duration())
+	a.reqBytes += int64(s.ReqBytes)
+	a.respBytes += int64(s.RespBytes)
+	a.lat.Record(int64(s.Duration()))
+	if c.maxSpans > 0 {
+		if len(c.spans) == c.maxSpans {
+			copy(c.spans, c.spans[1:])
+			c.spans = c.spans[:c.maxSpans-1]
+		}
+		c.spans = append(c.spans, s)
+	}
+}
+
+// Spans returns the retained span log, oldest first.
+func (c *Collector) Spans() []Span { return c.spans }
+
+// Row is one line of the aggregate report.
+type Row struct {
+	Kind      Kind
+	Node      string
+	Method    rpc.Method
+	Count     int64
+	Errors    int64
+	AvgNs     int64
+	P99Ns     int64
+	ReqBytes  int64
+	RespBytes int64
+}
+
+// Rows returns the aggregated telemetry sorted by total time descending —
+// the "where did the time go" ordering.
+func (c *Collector) Rows() []Row {
+	type kv struct {
+		k aggKey
+		a *agg
+	}
+	all := make([]kv, 0, len(c.byKey))
+	for k, a := range c.byKey {
+		all = append(all, kv{k, a})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].a.totalNs != all[j].a.totalNs {
+			return all[i].a.totalNs > all[j].a.totalNs
+		}
+		if all[i].k.node != all[j].k.node {
+			return all[i].k.node < all[j].k.node
+		}
+		return all[i].k.method < all[j].k.method
+	})
+	rows := make([]Row, 0, len(all))
+	for _, e := range all {
+		r := Row{
+			Kind:      e.k.kind,
+			Node:      e.k.node,
+			Method:    e.k.method,
+			Count:     e.a.count,
+			Errors:    e.a.errors,
+			ReqBytes:  e.a.reqBytes,
+			RespBytes: e.a.respBytes,
+			P99Ns:     e.a.lat.Percentile(99),
+		}
+		if e.a.count > 0 {
+			r.AvgNs = e.a.totalNs / e.a.count
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// Get returns the aggregate for one (kind, node, method), if present.
+func (c *Collector) Get(kind Kind, node string, m rpc.Method) (Row, bool) {
+	for _, r := range c.Rows() {
+		if r.Kind == kind && r.Node == node && r.Method == m {
+			return r, true
+		}
+	}
+	return Row{}, false
+}
+
+// Report writes the aggregate table.
+func (c *Collector) Report(w io.Writer) {
+	name := c.MethodName
+	if name == nil {
+		name = func(m rpc.Method) string { return fmt.Sprintf("0x%04x", uint16(m)) }
+	}
+	t := stats.NewTable("kind", "service", "method", "count", "err", "avg", "p99", "req bytes", "resp bytes")
+	for _, r := range c.Rows() {
+		t.AddRow(r.Kind, r.Node, name(r.Method), r.Count, r.Errors,
+			stats.Dur(r.AvgNs), stats.Dur(r.P99Ns),
+			stats.Bytes(r.ReqBytes), stats.Bytes(r.RespBytes))
+	}
+	io.WriteString(w, t.String())
+}
+
+// DumpSpans writes the retained span log chronologically by completion —
+// a poor man's request waterfall for debugging a run.
+func (c *Collector) DumpSpans(w io.Writer) {
+	name := c.MethodName
+	if name == nil {
+		name = func(m rpc.Method) string { return fmt.Sprintf("0x%04x", uint16(m)) }
+	}
+	t := stats.NewTable("start", "dur", "kind", "node", "method", "peer", "req", "resp", "err")
+	for _, s := range c.spans {
+		errMark := ""
+		if s.Err {
+			errMark = "!"
+		}
+		t.AddRow(stats.Dur(s.Start), stats.Dur(s.Duration()), s.Kind, s.Node, name(s.Method),
+			s.Peer, stats.Bytes(int64(s.ReqBytes)), stats.Bytes(int64(s.RespBytes)), errMark)
+	}
+	io.WriteString(w, t.String())
+}
+
+// Reset discards all collected data.
+func (c *Collector) Reset() {
+	c.byKey = make(map[aggKey]*agg)
+	c.spans = c.spans[:0]
+}

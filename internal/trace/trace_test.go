@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/msvc"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+const mEcho rpc.Method = 1
+
+// rig: one client, one server, collector on both.
+func newRig(t *testing.T, maxSpans int) (*sim.Engine, *rpc.Node, *rpc.Node, *Collector) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng, simnet.DefaultConfig())
+	srv := rpc.NewNode(net.AddHost("srv"), 1, "srv", rpc.DefaultConfig())
+	srv.Handle(mEcho, func(ctx *rpc.Ctx, body []byte) ([]byte, error) {
+		ctx.P.Sleep(10 * sim.Microsecond)
+		if string(body) == "fail" {
+			return nil, errors.New("boom")
+		}
+		return append(body, '!'), nil
+	})
+	cli := rpc.NewNode(net.AddHost("cli"), 1, "cli", rpc.DefaultConfig())
+	c := New(maxSpans)
+	srv.SetObserver(c)
+	cli.SetObserver(c)
+	srv.Start()
+	cli.Start()
+	return eng, cli, srv, c
+}
+
+func TestCollectorAggregates(t *testing.T) {
+	eng, cli, srv, c := newRig(t, 16)
+	defer eng.Shutdown()
+	eng.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			if _, err := cli.Call(p, srv.Addr(), mEcho, []byte("ping")); err != nil {
+				t.Errorf("call: %v", err)
+			}
+		}
+		if _, err := cli.Call(p, srv.Addr(), mEcho, []byte("fail")); err == nil {
+			t.Error("expected failure")
+		}
+	})
+	eng.Run()
+
+	serve, ok := c.Get(KindServe, "srv", mEcho)
+	if !ok {
+		t.Fatal("no serve row")
+	}
+	if serve.Count != 6 || serve.Errors != 1 {
+		t.Fatalf("serve count=%d errors=%d", serve.Count, serve.Errors)
+	}
+	if serve.AvgNs < 10_000 {
+		t.Fatalf("serve avg %dns, want >= handler sleep", serve.AvgNs)
+	}
+	if serve.ReqBytes != 6*4 {
+		t.Fatalf("serve ReqBytes = %d", serve.ReqBytes)
+	}
+	if serve.RespBytes != 5*5 { // failures return no body
+		t.Fatalf("serve RespBytes = %d", serve.RespBytes)
+	}
+
+	call, ok := c.Get(KindCall, "cli", mEcho)
+	if !ok {
+		t.Fatal("no call row")
+	}
+	if call.Count != 6 || call.Errors != 1 {
+		t.Fatalf("call count=%d errors=%d", call.Count, call.Errors)
+	}
+	// Call latency includes the network; must exceed serve latency.
+	if call.AvgNs <= serve.AvgNs {
+		t.Fatalf("call avg %d <= serve avg %d", call.AvgNs, serve.AvgNs)
+	}
+}
+
+func TestSpanLogBounded(t *testing.T) {
+	eng, cli, srv, c := newRig(t, 4)
+	defer eng.Shutdown()
+	eng.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			cli.Call(p, srv.Addr(), mEcho, []byte("x"))
+		}
+	})
+	eng.Run()
+	spans := c.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("span log holds %d, want 4", len(spans))
+	}
+	// The log is completion-ordered: end times are monotone.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].End < spans[i-1].End {
+			t.Fatal("span log out of order")
+		}
+	}
+	if spans[0].Duration() <= 0 {
+		t.Fatal("zero-duration span")
+	}
+}
+
+func TestSpanLogDisabled(t *testing.T) {
+	eng, cli, srv, c := newRig(t, 0)
+	defer eng.Shutdown()
+	eng.Spawn("driver", func(p *sim.Proc) {
+		cli.Call(p, srv.Addr(), mEcho, []byte("x"))
+	})
+	eng.Run()
+	if len(c.Spans()) != 0 {
+		t.Fatal("spans recorded while disabled")
+	}
+	if _, ok := c.Get(KindServe, "srv", mEcho); !ok {
+		t.Fatal("aggregation must stay on")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	eng, cli, srv, c := newRig(t, 0)
+	defer eng.Shutdown()
+	eng.Spawn("driver", func(p *sim.Proc) {
+		cli.Call(p, srv.Addr(), mEcho, []byte("x"))
+	})
+	eng.Run()
+	var b strings.Builder
+	c.Report(&b)
+	out := b.String()
+	for _, want := range []string{"serve", "call", "srv", "cli", "0x0001"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Custom method names.
+	c.MethodName = func(m rpc.Method) string { return "echo" }
+	b.Reset()
+	c.Report(&b)
+	if !strings.Contains(b.String(), "echo") {
+		t.Fatal("custom method name not used")
+	}
+}
+
+func TestDumpSpans(t *testing.T) {
+	eng, cli, srv, c := newRig(t, 8)
+	defer eng.Shutdown()
+	eng.Spawn("driver", func(p *sim.Proc) {
+		cli.Call(p, srv.Addr(), mEcho, []byte("x"))
+		cli.Call(p, srv.Addr(), mEcho, []byte("fail"))
+	})
+	eng.Run()
+	var b strings.Builder
+	c.DumpSpans(&b)
+	out := b.String()
+	if !strings.Contains(out, "srv") || !strings.Contains(out, "serve") {
+		t.Fatalf("dump missing spans:\n%s", out)
+	}
+	if !strings.Contains(out, "!") {
+		t.Fatal("error span not marked")
+	}
+}
+
+func TestReset(t *testing.T) {
+	eng, cli, srv, c := newRig(t, 8)
+	defer eng.Shutdown()
+	eng.Spawn("driver", func(p *sim.Proc) {
+		cli.Call(p, srv.Addr(), mEcho, []byte("x"))
+	})
+	eng.Run()
+	c.Reset()
+	if len(c.Rows()) != 0 || len(c.Spans()) != 0 {
+		t.Fatal("Reset left data")
+	}
+}
+
+func TestPlatformAttachTracer(t *testing.T) {
+	pl := msvc.NewPlatform(msvc.DefaultConfig(msvc.ModeDmNet))
+	defer pl.Shutdown()
+	ch := msvc.NewChain(pl, 3)
+	c := New(0)
+	pl.AttachTracer(c)
+	pl.Start()
+	var err error
+	pl.Eng.Spawn("driver", func(p *sim.Proc) {
+		_, err = ch.Do(p, make([]byte, 8192))
+	})
+	pl.Eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := c.Rows()
+	if len(rows) == 0 {
+		t.Fatal("no telemetry from chain run")
+	}
+	// Every chain service must appear, and the forwarding method must have
+	// been served twice (two middle hops) plus once at the terminal.
+	serveCount := int64(0)
+	for _, r := range rows {
+		if r.Kind == KindServe && r.Method == msvc.MChain {
+			serveCount += r.Count
+		}
+	}
+	if serveCount != 3 {
+		t.Fatalf("MChain served %d times, want 3", serveCount)
+	}
+}
+
+func TestRowsSortedByTotalTime(t *testing.T) {
+	c := New(0)
+	// Two synthetic keys with different totals via direct observer calls.
+	tok := c.ServeStart("fast", 1, simnet.Addr{}, 10, 0)
+	c.ServeEnd(tok, 5, 100, nil)
+	tok = c.ServeStart("slow", 2, simnet.Addr{}, 10, 0)
+	c.ServeEnd(tok, 5, 10_000, nil)
+	rows := c.Rows()
+	if len(rows) != 2 || rows[0].Node != "slow" {
+		t.Fatalf("rows not sorted by total time: %+v", rows)
+	}
+}
+
+func TestForeignTokenIgnored(t *testing.T) {
+	c := New(0)
+	c.ServeEnd("not-a-token", 0, 0, nil) // must not panic
+	c.CallEnd(nil, 0, 0, nil)
+	if len(c.Rows()) != 0 {
+		t.Fatal("foreign tokens produced rows")
+	}
+}

@@ -1,0 +1,50 @@
+package transport
+
+import (
+	"testing"
+)
+
+// FuzzDecodeHeader hardens the packet header decoder against arbitrary
+// bytes: it must never panic, and every accepted header must re-encode to
+// the same bytes.
+func FuzzDecodeHeader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, headerSize-1))
+	f.Add(make([]byte, headerSize))
+	good := make([]byte, headerSize)
+	header{kind: kindRequest, sessionID: 7, reqID: 9, pktIdx: 1, numPkts: 2, msgSize: 5000}.encode(good)
+	f.Add(good)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := decodeHeader(data)
+		if err != nil {
+			return
+		}
+		out := make([]byte, headerSize)
+		h.encode(out)
+		for i := 0; i < headerSize; i++ {
+			if out[i] != data[i] {
+				t.Fatalf("re-encode mismatch at byte %d", i)
+			}
+		}
+	})
+}
+
+// FuzzReassembly feeds arbitrary packet sequences to the reassembler; it
+// must never panic or claim completion without all packets.
+func FuzzReassembly(f *testing.F) {
+	f.Add(uint16(0), uint16(1), uint32(10), []byte("0123456789"))
+	f.Add(uint16(1), uint16(3), uint32(100), make([]byte, 40))
+	f.Fuzz(func(t *testing.T, idx, num uint16, size uint32, body []byte) {
+		if num == 0 || size > 1<<20 {
+			return
+		}
+		h := header{pktIdx: idx, numPkts: num, msgSize: size}
+		ra := newReassembly(h)
+		if int(idx) < len(ra.have) && len(body) <= int(size) {
+			ra.add(h, body)
+		}
+		if ra.complete() && num > 1 && ra.got != int(num) {
+			t.Fatal("complete without all packets")
+		}
+	})
+}

@@ -1,0 +1,571 @@
+// Package transport implements an eRPC-style reliable request/response
+// transport over simnet's unreliable datagrams (paper §II-A, §V-A: "Our
+// networking protocol is founded upon the UDP and the network reliability
+// is handled in the RPC layer just like eRPC").
+//
+// Faithful to eRPC's design points:
+//
+//   - Client-driven reliability: only the client keeps retransmission
+//     timers; servers are stateless apart from a bounded response cache.
+//   - Implicit ACK: the response acknowledges the request; no ACK packets
+//     flow in the common case.
+//   - Packetization at the MTU with per-message reassembly.
+//   - Duplicate suppression: servers dedupe request IDs and replay the
+//     cached response for already-answered requests, so handlers execute
+//     exactly once per request even under loss and retransmission.
+//   - Bounded in-flight requests per session (window), with cache pruning
+//     driven by the client's highest-completed watermark piggybacked on
+//     request headers.
+//
+// Cost model: every packet charges per-packet CPU on the sending and
+// receiving host, NIC serialization via simnet, and one pass of local
+// memory bandwidth on each side (NIC DMA), which is what makes
+// pass-by-value data movement expensive in the way the paper measures.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Errors returned by Call.
+var (
+	// ErrTimeout means the request exhausted its retransmission budget.
+	ErrTimeout = errors.New("transport: request timed out")
+	// ErrTooLarge means the message exceeds MaxMessageSize.
+	ErrTooLarge = errors.New("transport: message exceeds maximum size")
+)
+
+// Config tunes the transport.
+type Config struct {
+	// Window is the maximum number of in-flight requests per session.
+	Window int
+	// RTO is the retransmission timeout.
+	RTO sim.Time
+	// MaxRetries is how many times a request is retransmitted before Call
+	// fails with ErrTimeout.
+	MaxRetries int
+	// PerPacketCPU is CPU time charged per packet on each host (eRPC-scale
+	// per-packet processing).
+	PerPacketCPU sim.Time
+	// MaxMessageSize bounds a single request or response.
+	MaxMessageSize int
+}
+
+// DefaultConfig mirrors eRPC-scale constants. The RTO matches eRPC's
+// documented 5 ms retransmission timeout for lossy Ethernet — far above
+// any legitimate queueing delay, so congestion does not trigger spurious
+// retransmission storms.
+func DefaultConfig() Config {
+	return Config{
+		Window:         8,
+		RTO:            5 * sim.Millisecond,
+		MaxRetries:     7,
+		PerPacketCPU:   100, // ns
+		MaxMessageSize: 8 << 20,
+	}
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.Window <= 0:
+		return fmt.Errorf("transport: Window must be positive, got %d", c.Window)
+	case c.RTO <= 0:
+		return fmt.Errorf("transport: RTO must be positive, got %d", c.RTO)
+	case c.MaxRetries < 0:
+		return fmt.Errorf("transport: MaxRetries must be non-negative, got %d", c.MaxRetries)
+	case c.PerPacketCPU < 0:
+		return fmt.Errorf("transport: PerPacketCPU must be non-negative, got %d", c.PerPacketCPU)
+	case c.MaxMessageSize <= 0:
+		return fmt.Errorf("transport: MaxMessageSize must be positive, got %d", c.MaxMessageSize)
+	}
+	return nil
+}
+
+// Packet kinds.
+const (
+	kindRequest  = 1
+	kindResponse = 2
+)
+
+// header is the on-wire packet header.
+//
+//	kind(1) | sessionID(4) | reqID(8) | ackedUpTo(8) | pktIdx(2) | numPkts(2) | msgSize(4)
+const headerSize = 1 + 4 + 8 + 8 + 2 + 2 + 4
+
+type header struct {
+	kind      byte
+	sessionID uint32
+	reqID     uint64
+	ackedUpTo uint64 // client's highest contiguously completed reqID
+	pktIdx    uint16
+	numPkts   uint16
+	msgSize   uint32
+}
+
+func (h header) encode(dst []byte) {
+	dst[0] = h.kind
+	binary.BigEndian.PutUint32(dst[1:], h.sessionID)
+	binary.BigEndian.PutUint64(dst[5:], h.reqID)
+	binary.BigEndian.PutUint64(dst[13:], h.ackedUpTo)
+	binary.BigEndian.PutUint16(dst[21:], h.pktIdx)
+	binary.BigEndian.PutUint16(dst[23:], h.numPkts)
+	binary.BigEndian.PutUint32(dst[25:], h.msgSize)
+}
+
+func decodeHeader(src []byte) (header, error) {
+	if len(src) < headerSize {
+		return header{}, fmt.Errorf("transport: short packet (%d bytes)", len(src))
+	}
+	return header{
+		kind:      src[0],
+		sessionID: binary.BigEndian.Uint32(src[1:]),
+		reqID:     binary.BigEndian.Uint64(src[5:]),
+		ackedUpTo: binary.BigEndian.Uint64(src[13:]),
+		pktIdx:    binary.BigEndian.Uint16(src[21:]),
+		numPkts:   binary.BigEndian.Uint16(src[23:]),
+		msgSize:   binary.BigEndian.Uint32(src[25:]),
+	}, nil
+}
+
+// Endpoint is a transport endpoint bound to one (host, port). It can act as
+// a client (Connect), a server (Requests), or both.
+type Endpoint struct {
+	host  *simnet.Host
+	port  int
+	cfg   Config
+	inbox *sim.Chan[simnet.Datagram]
+
+	nextSessionID uint32
+	// client-side sessions by our session id
+	clients map[uint32]*Session
+	// server-side per-peer-session state, keyed by (peer addr, session id)
+	serves map[serveKey]*serveState
+
+	reqQueue *sim.Chan[*IncomingRequest]
+
+	// stats
+	retransmits int64
+	rxPackets   int64
+	txPackets   int64
+}
+
+type serveKey struct {
+	peer      simnet.Addr
+	sessionID uint32
+}
+
+// NewEndpoint binds port on h. Call Start before use.
+func NewEndpoint(h *simnet.Host, port int, cfg Config) *Endpoint {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Endpoint{
+		host:     h,
+		port:     port,
+		cfg:      cfg,
+		inbox:    h.Listen(port),
+		clients:  make(map[uint32]*Session),
+		serves:   make(map[serveKey]*serveState),
+		reqQueue: sim.NewChan[*IncomingRequest](h.Network().Engine()),
+	}
+}
+
+// Addr returns the endpoint's network address.
+func (e *Endpoint) Addr() simnet.Addr { return e.host.Addr(e.port) }
+
+// Host returns the host the endpoint runs on.
+func (e *Endpoint) Host() *simnet.Host { return e.host }
+
+// Config returns the endpoint's transport configuration.
+func (e *Endpoint) Config() Config { return e.cfg }
+
+// Retransmits returns how many packets this endpoint retransmitted.
+func (e *Endpoint) Retransmits() int64 { return e.retransmits }
+
+// Start spawns the endpoint's dispatcher process, which demultiplexes
+// arriving packets to sessions and assembles requests.
+func (e *Endpoint) Start() {
+	eng := e.host.Network().Engine()
+	eng.Spawn(fmt.Sprintf("xport@%v", e.Addr()), func(p *sim.Proc) {
+		for {
+			d := e.inbox.Recv(p)
+			e.rxPackets++
+			// Per-packet processing cost on the receiving CPU and one DMA
+			// pass over local memory.
+			if e.cfg.PerPacketCPU > 0 {
+				e.host.CPU.Use(p, e.cfg.PerPacketCPU)
+			}
+			e.host.MemTouch(p, len(d.Payload))
+			h, err := decodeHeader(d.Payload)
+			if err != nil {
+				continue // malformed; drop like a NIC would
+			}
+			body := d.Payload[headerSize:]
+			switch h.kind {
+			case kindRequest:
+				e.handleRequestPacket(p, d.From, h, body)
+			case kindResponse:
+				e.handleResponsePacket(h, body)
+			}
+		}
+	})
+}
+
+// Session is the client half of a connection to a remote endpoint.
+type Session struct {
+	ep     *Endpoint
+	id     uint32
+	remote simnet.Addr
+
+	nextReqID uint64
+	completed uint64 // highest contiguously completed reqID
+	pending   map[uint64]*call
+	window    *sim.Resource
+}
+
+type call struct {
+	reqID    uint64
+	reqPkts  [][]byte // encoded packets, kept for retransmission
+	resp     []byte
+	done     bool
+	failed   bool
+	doneCh   *sim.Chan[struct{}]
+	rto      *sim.Event
+	retries  int
+	partial  *reassembly
+	enqueued sim.Time
+}
+
+// Connect creates a client session to remote. The remote endpoint must have
+// been created (its port bound) before any Call completes.
+func (e *Endpoint) Connect(remote simnet.Addr) *Session {
+	s := &Session{
+		ep:      e,
+		id:      e.nextSessionID,
+		remote:  remote,
+		pending: make(map[uint64]*call),
+		window:  sim.NewResource(e.host.Network().Engine(), "xport-window", e.cfg.Window),
+	}
+	e.nextSessionID++
+	e.clients[s.id] = s
+	return s
+}
+
+// Remote returns the server address this session targets.
+func (s *Session) Remote() simnet.Addr { return s.remote }
+
+// Call sends req and blocks the calling process until the full response
+// arrives or the retransmission budget is exhausted. Concurrent Calls on
+// one session are allowed up to the configured window.
+func (s *Session) Call(p *sim.Proc, req []byte) ([]byte, error) {
+	if len(req) > s.ep.cfg.MaxMessageSize {
+		return nil, ErrTooLarge
+	}
+	s.window.Acquire(p)
+	defer s.window.Release()
+
+	eng := s.ep.host.Network().Engine()
+	c := &call{
+		reqID:    s.nextReqID,
+		doneCh:   sim.NewChan[struct{}](eng),
+		enqueued: eng.Now(),
+	}
+	s.nextReqID++
+	s.pending[c.reqID] = c
+	c.reqPkts = s.packetize(kindRequest, c.reqID, req)
+
+	s.sendPackets(p, c.reqPkts)
+	c.rto = eng.After(s.ep.cfg.RTO, func() { s.onRTO(c) })
+
+	c.doneCh.Recv(p)
+
+	delete(s.pending, c.reqID)
+	s.advanceCompleted()
+	if c.failed {
+		return nil, ErrTimeout
+	}
+	return c.resp, nil
+}
+
+// advanceCompleted recomputes the highest contiguously completed reqID used
+// for server cache pruning.
+func (s *Session) advanceCompleted() {
+	for {
+		if _, stillPending := s.pending[s.completed]; stillPending {
+			return
+		}
+		if s.completed >= s.nextReqID {
+			return
+		}
+		s.completed++
+	}
+}
+
+// packetize splits msg into MTU-sized packets with headers.
+func (s *Session) packetize(kind byte, reqID uint64, msg []byte) [][]byte {
+	mtu := s.ep.host.Network().Config().MTU
+	chunk := mtu - headerSize
+	num := (len(msg) + chunk - 1) / chunk
+	if num == 0 {
+		num = 1
+	}
+	pkts := make([][]byte, 0, num)
+	for i := 0; i < num; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(msg) {
+			hi = len(msg)
+		}
+		pkt := make([]byte, headerSize+hi-lo)
+		header{
+			kind:      kind,
+			sessionID: s.id,
+			reqID:     reqID,
+			ackedUpTo: s.completed,
+			pktIdx:    uint16(i),
+			numPkts:   uint16(num),
+			msgSize:   uint32(len(msg)),
+		}.encode(pkt)
+		copy(pkt[headerSize:], msg[lo:hi])
+		pkts = append(pkts, pkt)
+	}
+	return pkts
+}
+
+// sendPackets transmits pkts, charging per-packet CPU and a local memory
+// pass (tx DMA) for each.
+func (s *Session) sendPackets(p *sim.Proc, pkts [][]byte) {
+	for _, pkt := range pkts {
+		if s.ep.cfg.PerPacketCPU > 0 {
+			s.ep.host.CPU.Use(p, s.ep.cfg.PerPacketCPU)
+		}
+		s.ep.host.MemTouch(p, len(pkt))
+		s.ep.txPackets++
+		s.ep.host.Send(p, s.remote, s.ep.port, pkt)
+	}
+}
+
+// onRTO fires when a request's retransmission timer expires.
+func (s *Session) onRTO(c *call) {
+	if c.done {
+		return
+	}
+	eng := s.ep.host.Network().Engine()
+	if c.retries >= s.ep.cfg.MaxRetries {
+		c.failed = true
+		c.done = true
+		c.doneCh.Send(struct{}{})
+		return
+	}
+	c.retries++
+	s.ep.retransmits += int64(len(c.reqPkts))
+	// Retransmit from a helper process so NIC queueing does not block the
+	// engine's event loop.
+	eng.Spawn("retransmit", func(p *sim.Proc) {
+		if c.done {
+			return
+		}
+		s.sendPackets(p, c.reqPkts)
+	})
+	c.rto = eng.After(s.ep.cfg.RTO, func() { s.onRTO(c) })
+}
+
+// handleResponsePacket routes a response packet to its waiting call.
+func (e *Endpoint) handleResponsePacket(h header, body []byte) {
+	s, ok := e.clients[h.sessionID]
+	if !ok {
+		return
+	}
+	c, ok := s.pending[h.reqID]
+	if !ok || c.done {
+		return // stale or duplicate response
+	}
+	if c.partial == nil {
+		c.partial = newReassembly(h)
+	}
+	if !c.partial.add(h, body) {
+		return // duplicate packet
+	}
+	if c.partial.complete() {
+		c.resp = c.partial.msg
+		c.done = true
+		if c.rto != nil {
+			c.rto.Cancel()
+		}
+		c.doneCh.Send(struct{}{})
+	}
+}
+
+// serveState tracks one client session on the server side.
+type serveState struct {
+	partials map[uint64]*reassembly
+	// responded caches encoded response packets for replay on duplicate
+	// requests, pruned by the client's ackedUpTo watermark.
+	responded map[uint64][][]byte
+	inflight  map[uint64]bool // delivered to handler, no response yet
+}
+
+// IncomingRequest is a fully reassembled request awaiting a response.
+type IncomingRequest struct {
+	ep     *Endpoint
+	key    serveKey
+	header header
+	// From is the client endpoint address.
+	From simnet.Addr
+	// Payload is the request message.
+	Payload []byte
+}
+
+// Respond sends the response message back to the client, charging the
+// responding process for packetization and transmission. Each request must
+// be responded to exactly once.
+func (r *IncomingRequest) Respond(p *sim.Proc, resp []byte) error {
+	if len(resp) > r.ep.cfg.MaxMessageSize {
+		return ErrTooLarge
+	}
+	st := r.ep.serves[r.key]
+	if st == nil || !st.inflight[r.header.reqID] {
+		return fmt.Errorf("transport: duplicate or unknown Respond for req %d", r.header.reqID)
+	}
+	delete(st.inflight, r.header.reqID)
+
+	pkts := r.encodeResponse(resp)
+	st.responded[r.header.reqID] = pkts
+	r.sendResponse(p, pkts)
+	return nil
+}
+
+func (r *IncomingRequest) encodeResponse(msg []byte) [][]byte {
+	mtu := r.ep.host.Network().Config().MTU
+	chunk := mtu - headerSize
+	num := (len(msg) + chunk - 1) / chunk
+	if num == 0 {
+		num = 1
+	}
+	pkts := make([][]byte, 0, num)
+	for i := 0; i < num; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(msg) {
+			hi = len(msg)
+		}
+		pkt := make([]byte, headerSize+hi-lo)
+		header{
+			kind:      kindResponse,
+			sessionID: r.header.sessionID,
+			reqID:     r.header.reqID,
+			pktIdx:    uint16(i),
+			numPkts:   uint16(num),
+			msgSize:   uint32(len(msg)),
+		}.encode(pkt)
+		copy(pkt[headerSize:], msg[lo:hi])
+		pkts = append(pkts, pkt)
+	}
+	return pkts
+}
+
+func (r *IncomingRequest) sendResponse(p *sim.Proc, pkts [][]byte) {
+	for _, pkt := range pkts {
+		if r.ep.cfg.PerPacketCPU > 0 {
+			r.ep.host.CPU.Use(p, r.ep.cfg.PerPacketCPU)
+		}
+		r.ep.host.MemTouch(p, len(pkt))
+		r.ep.txPackets++
+		r.ep.host.Send(p, r.From, r.ep.port, pkt)
+	}
+}
+
+// handleRequestPacket reassembles request packets and delivers complete
+// requests exactly once; duplicates of answered requests replay the cached
+// response.
+func (e *Endpoint) handleRequestPacket(p *sim.Proc, from simnet.Addr, h header, body []byte) {
+	key := serveKey{peer: from, sessionID: h.sessionID}
+	st, ok := e.serves[key]
+	if !ok {
+		st = &serveState{
+			partials:  make(map[uint64]*reassembly),
+			responded: make(map[uint64][][]byte),
+			inflight:  make(map[uint64]bool),
+		}
+		e.serves[key] = st
+	}
+	// Prune response cache below the client's watermark.
+	for id := range st.responded {
+		if id < h.ackedUpTo {
+			delete(st.responded, id)
+		}
+	}
+	if pkts, ok := st.responded[h.reqID]; ok {
+		// Duplicate of an answered request: replay the response from the
+		// dispatcher process (cheap; response is already encoded).
+		r := &IncomingRequest{ep: e, key: key, header: h, From: from}
+		r.sendResponse(p, pkts)
+		return
+	}
+	if st.inflight[h.reqID] {
+		return // handler still working; client will see the response
+	}
+	ra, ok := st.partials[h.reqID]
+	if !ok {
+		ra = newReassembly(h)
+		st.partials[h.reqID] = ra
+	}
+	if !ra.add(h, body) {
+		return
+	}
+	if ra.complete() {
+		delete(st.partials, h.reqID)
+		st.inflight[h.reqID] = true
+		e.reqQueue.Send(&IncomingRequest{
+			ep:      e,
+			key:     key,
+			header:  h,
+			From:    from,
+			Payload: ra.msg,
+		})
+	}
+}
+
+// Requests returns the queue of fully assembled incoming requests. Server
+// processes Recv from it and must call Respond on every request.
+func (e *Endpoint) Requests() *sim.Chan[*IncomingRequest] { return e.reqQueue }
+
+// reassembly collects the packets of one message.
+type reassembly struct {
+	msg  []byte
+	have []bool
+	got  int
+}
+
+func newReassembly(h header) *reassembly {
+	return &reassembly{
+		msg:  make([]byte, h.msgSize),
+		have: make([]bool, h.numPkts),
+	}
+}
+
+// add stores one packet's body; it returns false for duplicates.
+func (ra *reassembly) add(h header, body []byte) bool {
+	if int(h.pktIdx) >= len(ra.have) || ra.have[h.pktIdx] {
+		return false
+	}
+	ra.have[h.pktIdx] = true
+	ra.got++
+	// Packets are fixed-size chunks except the last, so a non-final
+	// packet's body length is the chunk size and placement is pktIdx*chunk;
+	// the final packet fills the tail.
+	if int(h.pktIdx) == len(ra.have)-1 {
+		copy(ra.msg[len(ra.msg)-len(body):], body)
+	} else {
+		copy(ra.msg[int(h.pktIdx)*len(body):], body)
+	}
+	return true
+}
+
+func (ra *reassembly) complete() bool { return ra.got == len(ra.have) }

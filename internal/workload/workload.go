@@ -1,0 +1,272 @@
+// Package workload drives experiments: closed-loop and open-loop (Poisson)
+// load generation over simulated processes, with warmup handling, latency
+// recording and mixed request types — the machinery behind every
+// throughput/latency figure in the paper's evaluation.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Op is one request issued by a generator. It runs on a simulated process
+// and returns an error on failure (errors are counted, not fatal).
+type Op func(p *sim.Proc) error
+
+// Result summarizes a measurement window.
+type Result struct {
+	// Ops is the number of operations completed inside the window.
+	Ops int64
+	// Errors is the number of failed operations inside the window.
+	Errors int64
+	// Window is the measurement duration.
+	Window sim.Time
+	// Latency holds per-op latencies (ns) recorded inside the window.
+	Latency stats.Histogram
+	// Offered is the open-loop target rate (0 for closed loop).
+	Offered float64
+	// Dropped counts open-loop arrivals discarded by the concurrency cap.
+	Dropped int64
+}
+
+// Throughput returns completed operations per virtual second.
+func (r Result) Throughput() float64 {
+	if r.Window <= 0 {
+		return 0
+	}
+	return float64(r.Ops) * float64(sim.Second) / float64(r.Window)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("ops=%d err=%d thr=%s lat{%s}",
+		r.Ops, r.Errors, stats.Rate(r.Throughput()), r.Latency.Summarize())
+}
+
+// ClosedConfig tunes RunClosed.
+type ClosedConfig struct {
+	// Clients is the number of concurrent closed-loop issuers.
+	Clients int
+	// Warmup runs before measurement starts (excluded from results).
+	Warmup sim.Time
+	// Measure is the measurement window length.
+	Measure sim.Time
+}
+
+// RunClosed drives op from Clients concurrent processes, each issuing the
+// next request as soon as the previous completes. It runs the engine
+// through warmup+measure and returns the windowed result. The caller still
+// owns engine shutdown.
+func RunClosed(eng *sim.Engine, cfg ClosedConfig, op Op) Result {
+	if cfg.Clients <= 0 {
+		panic("workload: Clients must be positive")
+	}
+	if cfg.Measure <= 0 {
+		panic("workload: Measure must be positive")
+	}
+	res := Result{Window: cfg.Measure}
+	start := eng.Now()
+	measureFrom := start + cfg.Warmup
+	measureTo := measureFrom + cfg.Measure
+	for i := 0; i < cfg.Clients; i++ {
+		eng.Spawn(fmt.Sprintf("closed-%d", i), func(p *sim.Proc) {
+			for {
+				t0 := p.Now()
+				if t0 >= measureTo {
+					return
+				}
+				err := op(p)
+				t1 := p.Now()
+				if t1 >= measureFrom && t1 < measureTo {
+					if err != nil {
+						res.Errors++
+					} else {
+						res.Ops++
+						res.Latency.Record(t1 - t0)
+					}
+				}
+			}
+		})
+	}
+	eng.RunUntil(measureTo)
+	return res
+}
+
+// OpenConfig tunes RunOpen.
+type OpenConfig struct {
+	// Rate is the offered load in operations per (virtual) second,
+	// Poisson-distributed.
+	Rate float64
+	// Warmup runs before measurement starts.
+	Warmup sim.Time
+	// Measure is the measurement window length.
+	Measure sim.Time
+	// MaxOutstanding caps in-flight operations; arrivals beyond it are
+	// dropped (and counted) so an overloaded system cannot spawn unbounded
+	// processes. Zero means 4096.
+	MaxOutstanding int
+	// Drain allows this much extra time after the window for in-flight
+	// operations to finish.
+	Drain sim.Time
+}
+
+// RunOpen offers Poisson arrivals at cfg.Rate, each executing op on its own
+// process. Latency is recorded for operations that *arrive* inside the
+// measurement window (standard open-loop accounting, so queueing delay
+// under overload is visible as tail latency).
+func RunOpen(eng *sim.Engine, cfg OpenConfig, op Op) Result {
+	if cfg.Rate <= 0 {
+		panic("workload: Rate must be positive")
+	}
+	if cfg.Measure <= 0 {
+		panic("workload: Measure must be positive")
+	}
+	maxOut := cfg.MaxOutstanding
+	if maxOut == 0 {
+		maxOut = 4096
+	}
+	drain := cfg.Drain
+	if drain == 0 {
+		drain = 4 * cfg.Measure
+	}
+	res := Result{Window: cfg.Measure, Offered: cfg.Rate}
+	start := eng.Now()
+	measureFrom := start + cfg.Warmup
+	measureTo := measureFrom + cfg.Measure
+	outstanding := 0
+	wg := sim.NewWaitGroup(eng)
+
+	eng.Spawn("open-arrivals", func(p *sim.Proc) {
+		rng := eng.Rand()
+		for {
+			// Exponential inter-arrival for a Poisson process.
+			gap := sim.Time(-math.Log(1-rng.Float64()) * float64(sim.Second) / cfg.Rate)
+			if gap < 1 {
+				gap = 1
+			}
+			p.Sleep(gap)
+			arrive := p.Now()
+			if arrive >= measureTo {
+				return
+			}
+			if outstanding >= maxOut {
+				if arrive >= measureFrom {
+					res.Dropped++
+				}
+				continue
+			}
+			outstanding++
+			wg.Add(1)
+			eng.Spawn("open-op", func(q *sim.Proc) {
+				defer func() { outstanding--; wg.Done() }()
+				err := op(q)
+				if arrive < measureFrom || arrive >= measureTo {
+					return
+				}
+				if err != nil {
+					res.Errors++
+					return
+				}
+				res.Ops++
+				res.Latency.Record(q.Now() - arrive)
+			})
+		}
+	})
+	eng.RunUntil(measureTo + drain)
+	return res
+}
+
+// CapacityConfig tunes FindCapacity.
+type CapacityConfig struct {
+	// Lo and Hi bound the search in ops/second; Hi must saturate.
+	Lo, Hi float64
+	// Tolerance stops the bisection when the bracket is within this
+	// fraction of Hi (default 0.05).
+	Tolerance float64
+	// Open configures each probe run (Rate is overwritten per probe).
+	Open OpenConfig
+	// LatencyLimit marks a probe saturated when mean latency exceeds it
+	// (0 disables the latency criterion; achieved-rate shortfall always
+	// counts).
+	LatencyLimit sim.Time
+}
+
+// FindCapacity bisects offered load to estimate a system's sustainable
+// request rate: the highest rate where completions keep up with arrivals
+// (and latency stays under LatencyLimit, when set). Because a simulated
+// system cannot be reused after saturation, mk must build a fresh system
+// per probe and return its engine and workload op; the engine is shut
+// down after each probe.
+func FindCapacity(cfg CapacityConfig, mk func() (*sim.Engine, Op)) float64 {
+	if cfg.Lo <= 0 || cfg.Hi <= cfg.Lo {
+		panic("workload: FindCapacity needs 0 < Lo < Hi")
+	}
+	tol := cfg.Tolerance
+	if tol == 0 {
+		tol = 0.05
+	}
+	sustains := func(rate float64) bool {
+		eng, op := mk()
+		defer eng.Shutdown()
+		oc := cfg.Open
+		oc.Rate = rate
+		r := RunOpen(eng, oc, op)
+		if r.Throughput() < 0.9*rate {
+			return false
+		}
+		if cfg.LatencyLimit > 0 && sim.Time(r.Latency.Mean()) > cfg.LatencyLimit {
+			return false
+		}
+		return true
+	}
+	lo, hi := cfg.Lo, cfg.Hi
+	if !sustains(lo) {
+		return 0 // even the floor saturates
+	}
+	if sustains(hi) {
+		return hi // ceiling never saturates; caller should widen
+	}
+	for hi-lo > tol*cfg.Hi {
+		mid := (lo + hi) / 2
+		if sustains(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Weighted pairs an operation with a selection weight for mixed workloads.
+type Weighted struct {
+	Weight int
+	Op     Op
+	Name   string
+}
+
+// Mix returns an Op that picks one of the weighted ops per invocation
+// using the engine's deterministic PRNG (the DeathStarBench 60/30/10 mix).
+func Mix(eng *sim.Engine, ops []Weighted) Op {
+	total := 0
+	for _, w := range ops {
+		if w.Weight <= 0 {
+			panic("workload: weights must be positive")
+		}
+		total += w.Weight
+	}
+	if total == 0 {
+		panic("workload: empty mix")
+	}
+	return func(p *sim.Proc) error {
+		n := eng.Rand().Intn(total)
+		for _, w := range ops {
+			n -= w.Weight
+			if n < 0 {
+				return w.Op(p)
+			}
+		}
+		return ops[len(ops)-1].Op(p)
+	}
+}

@@ -1,0 +1,258 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestClosedLoopThroughputMatchesServiceTime(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer eng.Shutdown()
+	// Each op takes exactly 1ms; 4 clients => 4000 ops/s.
+	res := RunClosed(eng, ClosedConfig{
+		Clients: 4,
+		Warmup:  10 * sim.Millisecond,
+		Measure: 1 * sim.Second,
+	}, func(p *sim.Proc) error {
+		p.Sleep(1 * sim.Millisecond)
+		return nil
+	})
+	thr := res.Throughput()
+	if thr < 3900 || thr > 4100 {
+		t.Fatalf("throughput = %f, want ~4000", thr)
+	}
+	if res.Latency.Percentile(99) != 1*sim.Millisecond {
+		t.Fatalf("p99 = %d, want 1ms", res.Latency.Percentile(99))
+	}
+}
+
+func TestClosedLoopWarmupExcluded(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer eng.Shutdown()
+	calls := 0
+	res := RunClosed(eng, ClosedConfig{
+		Clients: 1,
+		Warmup:  100 * sim.Millisecond,
+		Measure: 100 * sim.Millisecond,
+	}, func(p *sim.Proc) error {
+		calls++
+		p.Sleep(10 * sim.Millisecond)
+		return nil
+	})
+	if res.Ops >= int64(calls) {
+		t.Fatalf("window ops %d should be less than total calls %d", res.Ops, calls)
+	}
+	if res.Ops < 9 || res.Ops > 11 {
+		t.Fatalf("Ops = %d, want ~10", res.Ops)
+	}
+}
+
+func TestClosedLoopCountsErrors(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer eng.Shutdown()
+	i := 0
+	res := RunClosed(eng, ClosedConfig{Clients: 1, Measure: 100 * sim.Millisecond},
+		func(p *sim.Proc) error {
+			p.Sleep(1 * sim.Millisecond)
+			i++
+			if i%2 == 0 {
+				return errors.New("boom")
+			}
+			return nil
+		})
+	if res.Errors == 0 {
+		t.Fatal("no errors counted")
+	}
+	if res.Ops == 0 {
+		t.Fatal("no successes counted")
+	}
+}
+
+func TestOpenLoopHitsOfferedRate(t *testing.T) {
+	eng := sim.NewEngine(7)
+	defer eng.Shutdown()
+	res := RunOpen(eng, OpenConfig{
+		Rate:    10000,
+		Warmup:  10 * sim.Millisecond,
+		Measure: 1 * sim.Second,
+	}, func(p *sim.Proc) error {
+		p.Sleep(20 * sim.Microsecond)
+		return nil
+	})
+	thr := res.Throughput()
+	if thr < 9000 || thr > 11000 {
+		t.Fatalf("throughput = %f, want ~10000 (offered)", thr)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("Dropped = %d under light load", res.Dropped)
+	}
+}
+
+func TestOpenLoopOverloadShowsQueueing(t *testing.T) {
+	// A single server with 100µs service time saturates at 10K ops/s;
+	// offering 20K must blow up latency relative to light load.
+	run := func(rate float64) Result {
+		eng := sim.NewEngine(3)
+		defer eng.Shutdown()
+		server := sim.NewResource(eng, "srv", 1)
+		return RunOpen(eng, OpenConfig{
+			Rate:    rate,
+			Measure: 200 * sim.Millisecond,
+		}, func(p *sim.Proc) error {
+			server.Use(p, 100*sim.Microsecond)
+			return nil
+		})
+	}
+	light := run(2000)
+	heavy := run(20000)
+	if heavy.Latency.Mean() < 10*light.Latency.Mean() {
+		t.Fatalf("overload mean %.0fns vs light %.0fns: queueing not visible",
+			heavy.Latency.Mean(), light.Latency.Mean())
+	}
+}
+
+func TestOpenLoopConcurrencyCap(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer eng.Shutdown()
+	res := RunOpen(eng, OpenConfig{
+		Rate:           100000,
+		Measure:        100 * sim.Millisecond,
+		MaxOutstanding: 4,
+		Drain:          sim.Second,
+	}, func(p *sim.Proc) error {
+		p.Sleep(10 * sim.Millisecond) // service far slower than arrivals
+		return nil
+	})
+	if res.Dropped == 0 {
+		t.Fatal("cap never dropped arrivals under extreme overload")
+	}
+}
+
+func TestFindCapacityLocatesServiceRate(t *testing.T) {
+	// A single 100µs server has true capacity 10K ops/s; the bisection
+	// must land within tolerance of it.
+	mk := func() (*sim.Engine, Op) {
+		eng := sim.NewEngine(5)
+		srv := sim.NewResource(eng, "srv", 1)
+		return eng, func(p *sim.Proc) error {
+			srv.Use(p, 100*sim.Microsecond)
+			return nil
+		}
+	}
+	got := FindCapacity(CapacityConfig{
+		Lo: 1000, Hi: 40000, Tolerance: 0.05,
+		Open:         OpenConfig{Measure: 100 * sim.Millisecond},
+		LatencyLimit: 5 * sim.Millisecond,
+	}, mk)
+	if got < 7000 || got > 11000 {
+		t.Fatalf("capacity estimate %.0f, want ~10000", got)
+	}
+}
+
+func TestFindCapacityEdges(t *testing.T) {
+	instant := func() (*sim.Engine, Op) {
+		eng := sim.NewEngine(1)
+		return eng, func(p *sim.Proc) error { p.Sleep(1); return nil }
+	}
+	// Ceiling never saturates: returns Hi.
+	if got := FindCapacity(CapacityConfig{
+		Lo: 100, Hi: 1000,
+		Open: OpenConfig{Measure: 10 * sim.Millisecond},
+	}, instant); got != 1000 {
+		t.Fatalf("unsaturable system: got %.0f, want Hi", got)
+	}
+	// Floor already saturates: returns 0.
+	slow := func() (*sim.Engine, Op) {
+		eng := sim.NewEngine(1)
+		srv := sim.NewResource(eng, "srv", 1)
+		return eng, func(p *sim.Proc) error {
+			srv.Use(p, 10*sim.Millisecond)
+			return nil
+		}
+	}
+	if got := FindCapacity(CapacityConfig{
+		Lo: 10000, Hi: 100000,
+		Open: OpenConfig{Measure: 20 * sim.Millisecond, Drain: 20 * sim.Millisecond},
+	}, slow); got != 0 {
+		t.Fatalf("oversaturated floor: got %.0f, want 0", got)
+	}
+}
+
+func TestMixRespectsWeights(t *testing.T) {
+	eng := sim.NewEngine(11)
+	defer eng.Shutdown()
+	var a, b, c int
+	op := Mix(eng, []Weighted{
+		{Weight: 60, Name: "a", Op: func(p *sim.Proc) error { a++; return nil }},
+		{Weight: 30, Name: "b", Op: func(p *sim.Proc) error { b++; return nil }},
+		{Weight: 10, Name: "c", Op: func(p *sim.Proc) error { c++; return nil }},
+	})
+	eng.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < 10000; i++ {
+			if err := op(p); err != nil {
+				t.Errorf("op: %v", err)
+			}
+		}
+	})
+	eng.Run()
+	total := float64(a + b + c)
+	if total != 10000 {
+		t.Fatalf("total = %f", total)
+	}
+	for _, chk := range []struct {
+		got  int
+		want float64
+	}{{a, 0.6}, {b, 0.3}, {c, 0.1}} {
+		frac := float64(chk.got) / total
+		if math.Abs(frac-chk.want) > 0.03 {
+			t.Errorf("fraction %f, want ~%f", frac, chk.want)
+		}
+	}
+}
+
+func TestMixPanicsOnBadWeights(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad weight accepted")
+		}
+	}()
+	Mix(eng, []Weighted{{Weight: 0, Op: func(p *sim.Proc) error { return nil }}})
+}
+
+func TestResultString(t *testing.T) {
+	var r Result
+	r.Ops = 5
+	r.Window = sim.Second
+	if r.String() == "" {
+		t.Fatal("empty String()")
+	}
+	if r.Throughput() != 5 {
+		t.Fatalf("Throughput = %f", r.Throughput())
+	}
+	r.Window = 0
+	if r.Throughput() != 0 {
+		t.Fatal("zero window should give zero throughput")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (int64, int64) {
+		eng := sim.NewEngine(42)
+		defer eng.Shutdown()
+		res := RunOpen(eng, OpenConfig{Rate: 5000, Measure: 100 * sim.Millisecond},
+			func(p *sim.Proc) error {
+				p.Sleep(sim.Time(eng.Rand().Intn(50000)))
+				return nil
+			})
+		return res.Ops, res.Latency.Sum()
+	}
+	o1, s1 := run()
+	o2, s2 := run()
+	if o1 != o2 || s1 != s2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", o1, s1, o2, s2)
+	}
+}
