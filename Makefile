@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments experiments-full fuzz clean
+.PHONY: all build vet check test test-short bench bench-live experiments experiments-full fuzz clean
 
 all: build vet test
 
@@ -12,8 +12,15 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Full suite: unit, property, invariant and paper-shape tests (~4 min).
-test:
+# Fast correctness gate: static checks plus the live-path and wire-protocol
+# packages under the race detector (the striped DM server's concurrency is
+# only trustworthy raced).
+check: vet
+	$(GO) test -race ./internal/live/... ./internal/dmwire/...
+
+# Full suite: unit, property, invariant and paper-shape tests (~4 min),
+# gated on the race-checked hot path.
+test: check
 	$(GO) test ./...
 
 # Short mode skips the heavy simulation shape tests (~10 s).
@@ -23,6 +30,11 @@ test-short:
 # One benchmark per paper table/figure plus package micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Live TCP hot-path benchmarks, recorded to BENCH_live.json so the perf
+# trajectory is tracked across PRs.
+bench-live:
+	$(GO) test -run '^$$' -bench 'BenchmarkLive' -benchmem ./internal/live | $(GO) run ./cmd/benchjson -out BENCH_live.json
 
 # Regenerate every figure as text tables (quick windows).
 experiments:

@@ -1,0 +1,120 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// machine-readable JSON perf record, echoing the input through so it still
+// reads normally in a terminal or CI log.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkLive -benchmem ./internal/live | benchjson -out BENCH_live.json
+//
+// Each benchmark result line becomes one record with whatever metrics the
+// line carried (ns/op always; MB/s, B/op, allocs/op when present), so
+// BENCH_*.json files can track the perf trajectory across PRs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line's parsed metrics.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the whole run: environment header lines plus every result.
+type Report struct {
+	Date    string   `json:"date"`
+	Env     []string `json:"env"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "", "path of the JSON report to write (required)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
+		os.Exit(2)
+	}
+
+	report := Report{Date: time.Now().UTC().Format(time.RFC3339)}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			report.Env = append(report.Env, line)
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				report.Results = append(report.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(report.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines found")
+		os.Exit(1)
+	}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("[benchjson: wrote %d results to %s]\n", len(report.Results), *out)
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkLiveReadRef-8  75049  16067 ns/op  2039.43 MB/s  392 B/op  12 allocs/op
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "MB/s":
+			r.MBPerSec = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	if r.NsPerOp == 0 {
+		return Result{}, false
+	}
+	return r, true
+}

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// Record is one experiment's machine-readable perf record, written to
+// BENCH_*.json files so the performance trajectory can be tracked across
+// PRs (cmd/dmrpc-bench -json; make bench-live uses the sibling format in
+// cmd/benchjson for go-test benchmarks).
+type Record struct {
+	// ID is the experiment id (e.g. "fig5a").
+	ID string `json:"id"`
+	// Title is the experiment's one-line description.
+	Title string `json:"title"`
+	// Scale is "quick" or "full".
+	Scale string `json:"scale"`
+	// WallSeconds is the experiment's wall-clock runtime.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Output is the experiment's rendered table, one string per line, so
+	// figure rows stay diffable inside the JSON record.
+	Output []string `json:"output"`
+}
+
+// WriteRecords writes records as indented JSON to path.
+func WriteRecords(path string, records []Record) error {
+	b, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

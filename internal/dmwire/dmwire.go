@@ -255,6 +255,13 @@ func (r WriteReq) Marshal() []byte {
 	return e.U32(r.PID).U64(uint64(r.Addr)).Raw(r.Data).Bytes()
 }
 
+// MarshalHdr encodes only the fixed-size prefix of the request body, for
+// transports that write Data as its own vectored segment (zero-copy
+// framing): Marshal() == append(MarshalHdr(), Data...).
+func (r WriteReq) MarshalHdr() []byte {
+	return rpc.NewEnc(12).U32(r.PID).U64(uint64(r.Addr)).Bytes()
+}
+
 // UnmarshalWriteReq decodes the request body.
 func UnmarshalWriteReq(b []byte) (WriteReq, error) {
 	d := rpc.NewDec(b)
@@ -274,6 +281,13 @@ type StageReq struct {
 func (r StageReq) Marshal() []byte {
 	e := rpc.NewEnc(4 + len(r.Data))
 	return e.U32(r.PID).Raw(r.Data).Bytes()
+}
+
+// MarshalHdr encodes only the fixed-size prefix of the request body, for
+// transports that write Data as its own vectored segment (zero-copy
+// framing): Marshal() == append(MarshalHdr(), Data...).
+func (r StageReq) MarshalHdr() []byte {
+	return rpc.NewEnc(4).U32(r.PID).Bytes()
 }
 
 // UnmarshalStageReq decodes the request body.

@@ -156,3 +156,24 @@ func TestMethodsAreDistinct(t *testing.T) {
 		t.Fatalf("expected 10 methods, got %d", len(seen))
 	}
 }
+
+// TestMarshalHdrMatchesMarshal pins the zero-copy framing contract: for
+// the two payload-carrying requests, Marshal() must equal MarshalHdr()
+// followed by Data, so a transport writing (hdr, data) as separate
+// vectored segments produces the identical wire body.
+func TestMarshalHdrMatchesMarshal(t *testing.T) {
+	wprop := func(pid uint32, addr uint64, data []byte) bool {
+		r := WriteReq{PID: pid, Addr: dm.RemoteAddr(addr), Data: data}
+		return bytes.Equal(r.Marshal(), append(r.MarshalHdr(), data...))
+	}
+	if err := quick.Check(wprop, nil); err != nil {
+		t.Fatalf("WriteReq: %v", err)
+	}
+	sprop := func(pid uint32, data []byte) bool {
+		r := StageReq{PID: pid, Data: data}
+		return bytes.Equal(r.Marshal(), append(r.MarshalHdr(), data...))
+	}
+	if err := quick.Check(sprop, nil); err != nil {
+		t.Fatalf("StageReq: %v", err)
+	}
+}

@@ -98,8 +98,15 @@ func (d *Data) Write(off int64, src []byte) error {
 	return d.cl.Write(d.addr.Add(off), src)
 }
 
-// Bytes reads the whole payload.
+// Bytes returns the whole payload. For inline args it returns the Data's
+// own buffer — already a private copy made by Open — rather than copying
+// again; the caller may read it freely but must treat it as shared with
+// this Data (subsequent d.Write calls mutate it). Ref args read through
+// the appropriate view in a single pass into one fresh buffer.
 func (d *Data) Bytes() ([]byte, error) {
+	if !d.isRef {
+		return d.inline, nil
+	}
 	out := make([]byte, d.size)
 	if err := d.Read(0, out); err != nil {
 		return nil, err

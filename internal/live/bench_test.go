@@ -3,6 +3,8 @@ package live
 import (
 	"fmt"
 	"net"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -67,6 +69,154 @@ func BenchmarkLiveReadRef(b *testing.B) {
 		if err := cl.ReadRef(ref, 0, buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchServer starts just a loopback server (clients dialed separately).
+func benchServer(b *testing.B, cfg ServerConfig) (*Server, string) {
+	b.Helper()
+	srv := NewServer(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	b.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+// BenchmarkLiveParallelStageReadRef is the aggregate-throughput benchmark
+// for the striped hot path: N clients, each on its own TCP connection,
+// concurrently run a 32 KiB StageRef+ReadRef+FreeRef cycle. Aggregate
+// MB/s across clients is the figure of merit; it is what the global-mutex
+// design serializes and the striped design must scale.
+func BenchmarkLiveParallelStageReadRef(b *testing.B) {
+	const size = 32768
+	for _, clients := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			_, addr := benchServer(b, ServerConfig{NumPages: 1 << 15, PageSize: 4096})
+			cls := make([]*Client, clients)
+			for i := range cls {
+				cl, err := Dial(addr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := cl.Register(); err != nil {
+					b.Fatal(err)
+				}
+				cls[i] = cl
+				b.Cleanup(func() { cl.Close() })
+			}
+			payload := make([]byte, size)
+			// Each iteration stages 32 KiB and reads it back: 64 KiB moved.
+			b.SetBytes(2 * size)
+			var iters atomic.Int64
+			iters.Store(int64(b.N))
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			errs := make(chan error, clients)
+			for _, cl := range cls {
+				wg.Add(1)
+				go func(cl *Client) {
+					defer wg.Done()
+					buf := make([]byte, size)
+					for iters.Add(-1) >= 0 {
+						ref, err := cl.StageRef(payload)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if err := cl.ReadRef(ref, 0, buf); err != nil {
+							errs <- err
+							return
+						}
+						if err := cl.FreeRef(ref); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(cl)
+			}
+			wg.Wait()
+			b.StopTimer()
+			close(errs)
+			for err := range errs {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkLiveParallelMixed exercises the full metadata + data-plane mix
+// in parallel: per-client alloc/write/read/createref/free cycles on 8 KiB
+// regions, stressing the VA allocators, translator, and refcounts from
+// independent PIDs at once.
+func BenchmarkLiveParallelMixed(b *testing.B) {
+	const size = 8192
+	for _, clients := range []int{1, 4} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			_, addr := benchServer(b, ServerConfig{NumPages: 1 << 15, PageSize: 4096})
+			cls := make([]*Client, clients)
+			for i := range cls {
+				cl, err := Dial(addr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := cl.Register(); err != nil {
+					b.Fatal(err)
+				}
+				cls[i] = cl
+				b.Cleanup(func() { cl.Close() })
+			}
+			payload := make([]byte, size)
+			b.SetBytes(2 * size)
+			var iters atomic.Int64
+			iters.Store(int64(b.N))
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			errs := make(chan error, clients)
+			for _, cl := range cls {
+				wg.Add(1)
+				go func(cl *Client) {
+					defer wg.Done()
+					buf := make([]byte, size)
+					for iters.Add(-1) >= 0 {
+						a, err := cl.Alloc(size)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if err := cl.Write(a, payload); err != nil {
+							errs <- err
+							return
+						}
+						if err := cl.Read(a, buf); err != nil {
+							errs <- err
+							return
+						}
+						ref, err := cl.CreateRef(a, size)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if err := cl.Free(a); err != nil {
+							errs <- err
+							return
+						}
+						if err := cl.FreeRef(ref); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(cl)
+			}
+			wg.Wait()
+			b.StopTimer()
+			close(errs)
+			for err := range errs {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,77 @@
+package live
+
+import "sync"
+
+// Size-classed frame/payload buffer pool for the live hot path. The TCP
+// framing layer allocates one payload buffer per frame on both sides of
+// the wire; at data-plane rates that is gigabytes per second of garbage,
+// so buffers are recycled through per-class sync.Pools instead.
+//
+// Ownership rules (DESIGN.md §4 D7):
+//   - readFrameBuf hands the payload to its caller, who must putBuf it
+//     after the last use of the payload and anything aliasing it.
+//   - A buffer sent over a channel (client response dispatch) transfers
+//     ownership to the receiver.
+//   - Fast (run-to-completion) handlers may return pooled response
+//     bodies; the serve loop putBufs them after the response is written.
+//     A fast handler's response must therefore never alias its request.
+//   - putBuf on a buffer that did not come from getBuf is safe: only
+//     slices whose capacity matches a size class are pooled.
+
+const (
+	minBufClassBits = 9  // 512 B
+	maxBufClassBits = 21 // 2 MiB; larger buffers fall back to make
+)
+
+var bufPools [maxBufClassBits - minBufClassBits + 1]sync.Pool
+
+// bufClass returns the smallest class index whose size fits n, or -1 if n
+// is larger than every class.
+func bufClass(n int) int {
+	for c := minBufClassBits; c <= maxBufClassBits; c++ {
+		if n <= 1<<c {
+			return c - minBufClassBits
+		}
+	}
+	return -1
+}
+
+// getBuf returns a length-n buffer, pooled when a size class fits. The
+// contents are unspecified: callers overwrite or clear it.
+func getBuf(n int) []byte {
+	c := bufClass(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	if v := bufPools[c].Get(); v != nil {
+		return v.([]byte)[:n]
+	}
+	return make([]byte, n, 1<<(c+minBufClassBits))
+}
+
+// putBuf recycles a buffer obtained from getBuf. Buffers whose capacity
+// does not exactly match a size class (handler-allocated responses, tiny
+// codec outputs) are dropped for the GC, which keeps double-pooling of
+// re-sliced foreign memory impossible.
+func putBuf(b []byte) {
+	c := capClass(cap(b))
+	if c < 0 {
+		return
+	}
+	bufPools[c].Put(b[:cap(b)])
+}
+
+// capClass maps an exact power-of-two capacity to its class, or -1.
+func capClass(c int) int {
+	if c == 0 || c&(c-1) != 0 {
+		return -1
+	}
+	bits := 0
+	for v := c; v > 1; v >>= 1 {
+		bits++
+	}
+	if bits < minBufClassBits || bits > maxBufClassBits {
+		return -1
+	}
+	return bits - minBufClassBits
+}

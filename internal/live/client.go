@@ -1,6 +1,7 @@
 package live
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"net"
@@ -33,9 +34,11 @@ type conn struct {
 	dead    error
 }
 
+// response carries one frame's payload (status byte + body) off the read
+// loop. The payload is a pooled buffer whose ownership transfers to the
+// receiving call.
 type response struct {
-	status byte
-	body   []byte
+	payload []byte
 }
 
 // Dial connects to every server address in order. The order must match
@@ -59,13 +62,16 @@ func (cl *Client) Close() error { return cl.node.Close() }
 
 // readLoop dispatches responses to waiting calls.
 func (c *conn) readLoop() {
+	br := bufio.NewReaderSize(c.c, 64<<10)
+	var hdr [frameHeaderSize]byte
 	for {
-		kind, reqID, payload, err := readFrame(c.c)
+		kind, reqID, payload, err := readFrameBuf(br, hdr[:])
 		if err != nil {
 			c.fail(err)
 			return
 		}
 		if kind != kindResponse || len(payload) < 1 {
+			putBuf(payload)
 			c.fail(fmt.Errorf("live: malformed response frame"))
 			return
 		}
@@ -73,8 +79,20 @@ func (c *conn) readLoop() {
 		ch, ok := c.pending[reqID]
 		delete(c.pending, reqID)
 		c.pmu.Unlock()
-		if ok {
-			ch <- response{status: payload[0], body: payload[1:]}
+		if !ok {
+			putBuf(payload)
+			continue
+		}
+		// Every pending channel is buffered (cap 1) and receives exactly
+		// one send — the id is deleted above before the send — so the
+		// read loop can never block on a caller, even one that has given
+		// up. The default arm is pure defense in depth: if the invariant
+		// were ever broken, drop the response rather than wedge every
+		// call multiplexed on this connection.
+		select {
+		case ch <- response{payload: payload}:
+		default:
+			putBuf(payload)
 		}
 	}
 }
@@ -90,26 +108,41 @@ func (c *conn) fail(err error) {
 	}
 }
 
-// call performs one request/response exchange.
-func (c *conn) call(m rpc.Method, body []byte) ([]byte, error) {
+// call performs one request/response exchange. The request goes out as a
+// single vectored write — frame header, method, hdr, payload — with no
+// intermediate copy of payload, which is the zero-copy path large
+// rwrite/stage bodies ride. The pooled response body is handed to consume
+// (which must not retain it) and recycled before call returns.
+func (c *conn) call(m rpc.Method, hdr, payload []byte, consume func(resp []byte) error) error {
 	ch := make(chan response, 1)
 	c.pmu.Lock()
 	if c.dead != nil {
 		c.pmu.Unlock()
-		return nil, fmt.Errorf("live: connection failed: %w", c.dead)
+		return fmt.Errorf("live: connection failed: %w", c.dead)
 	}
 	id := c.nextID
 	c.nextID++
 	c.pending[id] = ch
 	c.pmu.Unlock()
 
-	payload := make([]byte, 2+len(body))
-	binary.BigEndian.PutUint16(payload, uint16(m))
-	copy(payload[2:], body)
+	// Frame header + method + request header in one scratch buffer; the
+	// bulk payload rides as its own iovec.
+	scratch := getBuf(frameHeaderSize + 2 + len(hdr))
+	fh := scratch[:frameHeaderSize]
+	binary.BigEndian.PutUint32(fh, uint32(2+len(hdr)+len(payload)))
+	fh[4] = kindRequest
+	binary.BigEndian.PutUint64(fh[5:], id)
+	binary.BigEndian.PutUint16(scratch[frameHeaderSize:], uint16(m))
+	copy(scratch[frameHeaderSize+2:], hdr)
 
+	bufs := net.Buffers{scratch}
+	if len(payload) > 0 {
+		bufs = append(bufs, payload)
+	}
 	c.wmu.Lock()
-	err := writeFrame(c.c, kindRequest, id, payload)
+	_, err := bufs.WriteTo(c.c)
 	c.wmu.Unlock()
+	putBuf(scratch[:cap(scratch)])
 	if err != nil {
 		c.pmu.Lock()
 		delete(c.pending, id)
@@ -117,7 +150,7 @@ func (c *conn) call(m rpc.Method, body []byte) ([]byte, error) {
 		// A failed write means the connection is gone; poison it so the
 		// owning Node redials on the next call.
 		c.fail(err)
-		return nil, err
+		return err
 	}
 
 	resp, ok := <-ch
@@ -125,27 +158,38 @@ func (c *conn) call(m rpc.Method, body []byte) ([]byte, error) {
 		c.pmu.Lock()
 		err := c.dead
 		c.pmu.Unlock()
-		return nil, fmt.Errorf("live: connection failed: %w", err)
+		return fmt.Errorf("live: connection failed: %w", err)
 	}
-	if resp.status != dmwire.StatusOK {
-		return nil, dmwire.ErrOf(resp.status, string(resp.body))
+	status, body := resp.payload[0], resp.payload[1:]
+	if status != dmwire.StatusOK {
+		err := dmwire.ErrOf(status, string(body))
+		putBuf(resp.payload)
+		return err
 	}
-	return resp.body, nil
+	if consume != nil {
+		err = consume(body)
+	}
+	putBuf(resp.payload)
+	return err
 }
 
 // Register obtains a PID from every server; must complete before other
 // calls.
 func (cl *Client) Register() error {
 	for i, a := range cl.addrs {
-		body, err := cl.node.Call(a, dmwire.MRegister, nil)
+		var pid uint32
+		err := cl.node.CallConsume(a, dmwire.MRegister, nil, nil, func(resp []byte) error {
+			r, err := dmwire.UnmarshalRegisterResp(resp)
+			if err != nil {
+				return err
+			}
+			pid = r.PID
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		r, err := dmwire.UnmarshalRegisterResp(body)
-		if err != nil {
-			return err
-		}
-		cl.pids[i] = r.PID
+		cl.pids[i] = pid
 	}
 	cl.mu.Lock()
 	cl.ready = true
@@ -193,15 +237,20 @@ func (cl *Client) Alloc(size int64) (dm.RemoteAddr, error) {
 	if err != nil {
 		return 0, err
 	}
-	body, err := cl.node.Call(srv, dmwire.MAlloc, dmwire.AllocReq{PID: pid, Size: size}.Marshal())
+	var addr dm.RemoteAddr
+	err = cl.node.CallConsume(srv, dmwire.MAlloc, dmwire.AllocReq{PID: pid, Size: size}.Marshal(), nil,
+		func(resp []byte) error {
+			r, err := dmwire.UnmarshalAllocResp(resp)
+			if err != nil {
+				return err
+			}
+			addr = r.Addr
+			return nil
+		})
 	if err != nil {
 		return 0, err
 	}
-	r, err := dmwire.UnmarshalAllocResp(body)
-	if err != nil {
-		return 0, err
-	}
-	return tagAddr(idx, r.Addr), nil
+	return tagAddr(idx, addr), nil
 }
 
 // Free releases the region at addr (rfree).
@@ -211,8 +260,7 @@ func (cl *Client) Free(addr dm.RemoteAddr) error {
 	if err != nil {
 		return err
 	}
-	_, err = cl.node.Call(srv, dmwire.MFree, dmwire.FreeReq{PID: pid, Addr: raw}.Marshal())
-	return err
+	return cl.node.CallConsume(srv, dmwire.MFree, dmwire.FreeReq{PID: pid, Addr: raw}.Marshal(), nil, nil)
 }
 
 // CreateRef shares [addr, addr+size) read-only (create_ref).
@@ -222,15 +270,25 @@ func (cl *Client) CreateRef(addr dm.RemoteAddr, size int64) (dm.Ref, error) {
 	if err != nil {
 		return dm.Ref{}, err
 	}
-	body, err := cl.node.Call(srv, dmwire.MCreateRef, dmwire.CreateRefReq{PID: pid, Addr: raw, Size: size}.Marshal())
+	key, err := cl.callRefKey(srv, dmwire.MCreateRef, dmwire.CreateRefReq{PID: pid, Addr: raw, Size: size}.Marshal(), nil)
 	if err != nil {
 		return dm.Ref{}, err
 	}
-	r, err := dmwire.UnmarshalRefKeyResp(body)
-	if err != nil {
-		return dm.Ref{}, err
-	}
-	return dm.Ref{Server: uint32(idx), Key: r.Key, Size: size}, nil
+	return dm.Ref{Server: uint32(idx), Key: key, Size: size}, nil
+}
+
+// callRefKey runs a call whose successful response is a RefKeyResp.
+func (cl *Client) callRefKey(srv string, m rpc.Method, hdr, payload []byte) (uint64, error) {
+	var key uint64
+	err := cl.node.CallConsume(srv, m, hdr, payload, func(resp []byte) error {
+		r, err := dmwire.UnmarshalRefKeyResp(resp)
+		if err != nil {
+			return err
+		}
+		key = r.Key
+		return nil
+	})
+	return key, err
 }
 
 // MapRef maps a ref into this process's DM address space (map_ref).
@@ -239,15 +297,20 @@ func (cl *Client) MapRef(ref dm.Ref) (dm.RemoteAddr, error) {
 	if err != nil {
 		return 0, err
 	}
-	body, err := cl.node.Call(srv, dmwire.MMapRef, dmwire.MapRefReq{PID: pid, Key: ref.Key}.Marshal())
+	var addr dm.RemoteAddr
+	err = cl.node.CallConsume(srv, dmwire.MMapRef, dmwire.MapRefReq{PID: pid, Key: ref.Key}.Marshal(), nil,
+		func(resp []byte) error {
+			r, err := dmwire.UnmarshalMapRefResp(resp)
+			if err != nil {
+				return err
+			}
+			addr = r.Addr
+			return nil
+		})
 	if err != nil {
 		return 0, err
 	}
-	r, err := dmwire.UnmarshalMapRefResp(body)
-	if err != nil {
-		return 0, err
-	}
-	return tagAddr(int(ref.Server), r.Addr), nil
+	return tagAddr(int(ref.Server), addr), nil
 }
 
 // FreeRef drops the ref's own page hold.
@@ -256,55 +319,52 @@ func (cl *Client) FreeRef(ref dm.Ref) error {
 	if err != nil {
 		return err
 	}
-	_, err = cl.node.Call(srv, dmwire.MFreeRef, dmwire.FreeRefReq{Key: ref.Key}.Marshal())
-	return err
+	return cl.node.CallConsume(srv, dmwire.MFreeRef, dmwire.FreeRefReq{Key: ref.Key}.Marshal(), nil, nil)
 }
 
-// Write stores src at addr (rwrite).
+// Write stores src at addr (rwrite). The payload is written to the socket
+// straight from src — no marshal copy.
 func (cl *Client) Write(addr dm.RemoteAddr, src []byte) error {
 	idx, raw := splitAddr(addr)
 	srv, pid, err := cl.server(idx)
 	if err != nil {
 		return err
 	}
-	_, err = cl.node.Call(srv, dmwire.MWrite, dmwire.WriteReq{PID: pid, Addr: raw, Data: src}.Marshal())
-	return err
+	return cl.node.CallConsume(srv, dmwire.MWrite, dmwire.WriteReq{PID: pid, Addr: raw}.MarshalHdr(), src, nil)
 }
 
-// Read loads len(dst) bytes from addr (rread).
+// Read loads len(dst) bytes from addr (rread); the response body is
+// copied once, pooled buffer to dst.
 func (cl *Client) Read(addr dm.RemoteAddr, dst []byte) error {
 	idx, raw := splitAddr(addr)
 	srv, pid, err := cl.server(idx)
 	if err != nil {
 		return err
 	}
-	body, err := cl.node.Call(srv, dmwire.MRead, dmwire.ReadReq{PID: pid, Addr: raw, Size: uint32(len(dst))}.Marshal())
-	if err != nil {
-		return err
-	}
-	if len(body) != len(dst) {
-		return fmt.Errorf("live: read returned %d bytes, want %d", len(body), len(dst))
-	}
-	copy(dst, body)
-	return nil
+	return cl.node.CallConsume(srv, dmwire.MRead,
+		dmwire.ReadReq{PID: pid, Addr: raw, Size: uint32(len(dst))}.Marshal(), nil,
+		func(resp []byte) error {
+			if len(resp) != len(dst) {
+				return fmt.Errorf("live: read returned %d bytes, want %d", len(resp), len(dst))
+			}
+			copy(dst, resp)
+			return nil
+		})
 }
 
-// StageRef stages data into fresh pages in one round trip.
+// StageRef stages data into fresh pages in one round trip; data rides the
+// socket directly (no marshal copy).
 func (cl *Client) StageRef(data []byte) (dm.Ref, error) {
 	idx := cl.next()
 	srv, pid, err := cl.server(idx)
 	if err != nil {
 		return dm.Ref{}, err
 	}
-	body, err := cl.node.Call(srv, dmwire.MStage, dmwire.StageReq{PID: pid, Data: data}.Marshal())
+	key, err := cl.callRefKey(srv, dmwire.MStage, dmwire.StageReq{PID: pid}.MarshalHdr(), data)
 	if err != nil {
 		return dm.Ref{}, err
 	}
-	r, err := dmwire.UnmarshalRefKeyResp(body)
-	if err != nil {
-		return dm.Ref{}, err
-	}
-	return dm.Ref{Server: uint32(idx), Key: r.Key, Size: int64(len(data))}, nil
+	return dm.Ref{Server: uint32(idx), Key: key, Size: int64(len(data))}, nil
 }
 
 // ReadRef reads the ref's snapshot without mapping it.
@@ -313,14 +373,13 @@ func (cl *Client) ReadRef(ref dm.Ref, off int64, dst []byte) error {
 	if err != nil {
 		return err
 	}
-	body, err := cl.node.Call(srv, dmwire.MReadRef,
-		dmwire.ReadRefReq{Key: ref.Key, Off: uint32(off), Size: uint32(len(dst))}.Marshal())
-	if err != nil {
-		return err
-	}
-	if len(body) != len(dst) {
-		return fmt.Errorf("live: readref returned %d bytes, want %d", len(body), len(dst))
-	}
-	copy(dst, body)
-	return nil
+	return cl.node.CallConsume(srv, dmwire.MReadRef,
+		dmwire.ReadRefReq{Key: ref.Key, Off: uint32(off), Size: uint32(len(dst))}.Marshal(), nil,
+		func(resp []byte) error {
+			if len(resp) != len(dst) {
+				return fmt.Errorf("live: readref returned %d bytes, want %d", len(resp), len(dst))
+			}
+			copy(dst, resp)
+			return nil
+		})
 }

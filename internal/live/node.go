@@ -1,11 +1,13 @@
 package live
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dmwire"
 	"repro/internal/rpc"
@@ -15,13 +17,24 @@ import (
 // mirrors rpc.Handler for the live world (no simulation context).
 type Handler func(from net.Addr, body []byte) ([]byte, error)
 
+// handlerEntry pairs a handler with its dispatch mode.
+type handlerEntry struct {
+	h Handler
+	// fast handlers run to completion on the connection's read loop
+	// (eRPC-style): no goroutine spawn, and their response body — if
+	// pool-sized — is recycled right after the response is written. They
+	// must be short, must not call back into the network, and must not
+	// return a body aliasing the request.
+	fast bool
+}
+
 // Node is a live RPC endpoint: it serves registered methods over TCP and
 // issues calls to other nodes, multiplexing concurrent requests per
 // connection — the real-network counterpart of the simulator's rpc.Node,
 // speaking the same frame format the DM protocol uses.
 type Node struct {
 	mu       sync.Mutex
-	handlers map[rpc.Method]Handler
+	handlers atomic.Pointer[map[rpc.Method]handlerEntry]
 	peers    map[string]*conn      // lazily dialed, keyed by address
 	inbound  map[net.Conn]struct{} // accepted connections, for Close
 	ln       net.Listener
@@ -33,22 +46,46 @@ type Node struct {
 // NewNode returns an empty node; register handlers, then Serve and/or
 // Call.
 func NewNode() *Node {
-	return &Node{
-		handlers: make(map[rpc.Method]Handler),
-		peers:    make(map[string]*conn),
-		inbound:  make(map[net.Conn]struct{}),
-		closed:   make(chan struct{}),
+	n := &Node{
+		peers:   make(map[string]*conn),
+		inbound: make(map[net.Conn]struct{}),
+		closed:  make(chan struct{}),
 	}
+	empty := make(map[rpc.Method]handlerEntry)
+	n.handlers.Store(&empty)
+	return n
 }
 
-// Handle registers h for method m. Duplicate registration panics.
-func (n *Node) Handle(m rpc.Method, h Handler) {
+// Handle registers h for method m; it runs on its own goroutine per
+// request. Duplicate registration panics.
+func (n *Node) Handle(m rpc.Method, h Handler) { n.register(m, handlerEntry{h: h}) }
+
+// HandleFast registers h for method m as a run-to-completion handler: it
+// executes inline on the connection's read loop with no per-request
+// goroutine. Fast handlers must be short, must not issue nested calls,
+// and must not return a response aliasing the request body.
+func (n *Node) HandleFast(m rpc.Method, h Handler) { n.register(m, handlerEntry{h: h, fast: true}) }
+
+// register installs a handler via copy-on-write so dispatch is lock-free.
+func (n *Node) register(m rpc.Method, e handlerEntry) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if _, dup := n.handlers[m]; dup {
+	old := *n.handlers.Load()
+	if _, dup := old[m]; dup {
 		panic(fmt.Sprintf("live: duplicate handler for method %#x", uint16(m)))
 	}
-	n.handlers[m] = h
+	next := make(map[rpc.Method]handlerEntry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[m] = e
+	n.handlers.Store(&next)
+}
+
+// lookup finds the handler for m without locking.
+func (n *Node) lookup(m rpc.Method) (handlerEntry, bool) {
+	e, ok := (*n.handlers.Load())[m]
+	return e, ok
 }
 
 // Serve accepts connections on ln until Close; it returns nil after Close.
@@ -114,29 +151,56 @@ func (n *Node) Close() error {
 	return err
 }
 
-// serveConn handles one inbound connection: one goroutine per request,
-// responses serialized by a per-connection write lock.
+// serveConn handles one inbound connection. Fast handlers run to
+// completion on this goroutine with a reused header scratch buffer; slow
+// handlers get one goroutine per request, with responses serialized by a
+// per-connection write lock shared with the inline path.
 func (n *Node) serveConn(c net.Conn) {
 	defer c.Close()
+	br := bufio.NewReaderSize(c, 64<<10)
 	var wmu sync.Mutex
+	// Scratch for the inline path's response header: frame header + status.
+	scratch := make([]byte, 0, frameHeaderSize+1)
 	for {
-		kind, reqID, payload, err := readFrame(c)
+		kind, reqID, payload, err := readFrameBuf(br, scratch[:frameHeaderSize])
 		if err != nil {
 			return
 		}
 		if kind != kindRequest || len(payload) < 2 {
+			putBuf(payload)
 			return
 		}
 		m := rpc.Method(binary.BigEndian.Uint16(payload))
 		body := payload[2:]
-		go func() {
-			status, resp := n.dispatch(c.RemoteAddr(), m, body)
-			out := make([]byte, 1+len(resp))
-			out[0] = status
-			copy(out[1:], resp)
+		e, ok := n.lookup(m)
+		if ok && e.fast {
+			status, resp := runHandler(e.h, c.RemoteAddr(), body)
 			wmu.Lock()
-			defer wmu.Unlock()
-			_ = writeFrame(c, kindResponse, reqID, out)
+			err := writeFrameVec(c, scratch, kindResponse, reqID, []byte{status}, resp)
+			wmu.Unlock()
+			putBuf(payload)
+			putBuf(resp) // fast contract: resp never aliases payload
+			if err != nil {
+				return
+			}
+			continue
+		}
+		go func() {
+			var status byte
+			var resp []byte
+			if !ok {
+				status, resp = dmwire.StatusErr, []byte(errNoSuchMethod.Error())
+			} else {
+				status, resp = runHandler(e.h, c.RemoteAddr(), body)
+			}
+			var hdr [frameHeaderSize + 1]byte
+			wmu.Lock()
+			_ = writeFrameVec(c, hdr[:0], kindResponse, reqID, []byte{status}, resp)
+			wmu.Unlock()
+			// The response (which may alias the request body) is fully
+			// written, so the request buffer can be recycled — but the
+			// response itself is handler-owned and is not.
+			putBuf(payload)
 		}()
 	}
 }
@@ -144,13 +208,8 @@ func (n *Node) serveConn(c net.Conn) {
 // errNoSuchMethod is the catch-all for unknown methods.
 var errNoSuchMethod = errors.New("live: no such method")
 
-func (n *Node) dispatch(from net.Addr, m rpc.Method, body []byte) (byte, []byte) {
-	n.mu.Lock()
-	h, ok := n.handlers[m]
-	n.mu.Unlock()
-	if !ok {
-		return dmwire.StatusErr, []byte(errNoSuchMethod.Error())
-	}
+// runHandler invokes h and maps its result onto a wire status.
+func runHandler(h Handler, from net.Addr, body []byte) (byte, []byte) {
 	resp, err := h(from, body)
 	if err != nil {
 		return dmwire.StatusOf(err), []byte(err.Error())
@@ -192,12 +251,29 @@ func (n *Node) peer(addr string) (*conn, error) {
 	return c, nil
 }
 
-// Call invokes method m at addr with body and returns the response body;
-// non-OK statuses surface as the shared dm errors or *rpc.AppError.
+// Call invokes method m at addr with body and returns the response body
+// (a fresh buffer the caller owns); non-OK statuses surface as the shared
+// dm errors or *rpc.AppError.
 func (n *Node) Call(addr string, m rpc.Method, body []byte) ([]byte, error) {
-	c, err := n.peer(addr)
+	var out []byte
+	err := n.CallConsume(addr, m, nil, body, func(resp []byte) error {
+		out = append([]byte(nil), resp...)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return c.call(m, body)
+	return out, nil
+}
+
+// CallConsume invokes method m at addr, writing hdr and payload as the
+// request body without an intermediate copy (vectored write), and hands
+// the pooled response body to consume before recycling it. consume may be
+// nil when the response body is irrelevant; it must not retain the slice.
+func (n *Node) CallConsume(addr string, m rpc.Method, hdr, payload []byte, consume func(resp []byte) error) error {
+	c, err := n.peer(addr)
+	if err != nil {
+		return err
+	}
+	return c.call(m, hdr, payload, consume)
 }

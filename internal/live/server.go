@@ -10,9 +10,13 @@
 // on real sockets. Both speak the identical wire protocol, enforced by
 // shared codecs and by cross-checked tests.
 //
-// Concurrency model: one goroutine per connection, one goroutine per
-// request, a single mutex over the page manager. That is deliberately
-// simple — correctness first; the scaling story is measured in simulation.
+// Concurrency model (DESIGN.md §4 D7): no global lock. Metadata is
+// striped — per-PID VA allocators behind a registration table, a sharded
+// (pid, vpage) translator map, sharded ref tables — and per-frame
+// refcounts are atomics. Bulk pool copies run outside exclusive locks,
+// made safe by pinning frames (a transient refcount hold) so a frame
+// being copied can never be reclaimed and reused mid-copy. The fused
+// MStage/MReadRef fast paths touch no allocator lock at all.
 package live
 
 import (
@@ -22,6 +26,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dm"
 	"repro/internal/dmwire"
@@ -59,7 +64,27 @@ func writeFrame(w io.Writer, kind byte, reqID uint64, payload []byte) error {
 	return err
 }
 
-// readFrame reads one frame.
+// writeFrameVec writes one frame as a single vectored write: the frame
+// header plus up to two payload segments go out in one writev, so large
+// bodies are never copied into an intermediate buffer. hdr must have
+// frameHeaderSize+len(prefix) capacity headroom; callers reuse a
+// per-connection or pooled scratch buffer for it.
+func writeFrameVec(w io.Writer, scratch []byte, kind byte, reqID uint64, prefix, payload []byte) error {
+	hdr := scratch[:frameHeaderSize]
+	binary.BigEndian.PutUint32(hdr, uint32(len(prefix)+len(payload)))
+	hdr[4] = kind
+	binary.BigEndian.PutUint64(hdr[5:], reqID)
+	hdr = append(hdr, prefix...)
+	bufs := net.Buffers{hdr}
+	if len(payload) > 0 {
+		bufs = append(bufs, payload)
+	}
+	_, err := bufs.WriteTo(w)
+	return err
+}
+
+// readFrame reads one frame into a freshly allocated payload (slow path,
+// retained for the fuzz harness; hot paths use readFrameBuf).
 func readFrame(r io.Reader) (kind byte, reqID uint64, payload []byte, err error) {
 	hdr := make([]byte, frameHeaderSize)
 	if _, err = io.ReadFull(r, hdr); err != nil {
@@ -73,6 +98,28 @@ func readFrame(r io.Reader) (kind byte, reqID uint64, payload []byte, err error)
 	reqID = binary.BigEndian.Uint64(hdr[5:])
 	payload = make([]byte, n)
 	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return kind, reqID, payload, nil
+}
+
+// readFrameBuf reads one frame into a pooled payload buffer. Ownership of
+// the returned payload passes to the caller, who must putBuf it after the
+// last use (see bufpool.go for the ownership rules).
+func readFrameBuf(r io.Reader, hdr []byte) (kind byte, reqID uint64, payload []byte, err error) {
+	hdr = hdr[:frameHeaderSize]
+	if _, err = io.ReadFull(r, hdr); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n > MaxMessageSize {
+		return 0, 0, nil, errFrameTooLarge
+	}
+	kind = hdr[4]
+	reqID = binary.BigEndian.Uint64(hdr[5:])
+	payload = getBuf(int(n))
+	if _, err = io.ReadFull(r, payload); err != nil {
+		putBuf(payload)
 		return 0, 0, nil, err
 	}
 	return kind, reqID, payload, nil
@@ -99,20 +146,57 @@ func (c ServerConfig) Validate() error {
 	return nil
 }
 
-// Server is a live DM server: the paper's page manager and address
-// translator over real memory and TCP.
-type Server struct {
-	cfg ServerConfig
+// Stripe counts. Powers of two so the index is a mask. Sized for tens of
+// concurrent clients: contention on a shard requires two clients to touch
+// the same (pid, vpage) hash bucket at the same instant.
+const (
+	transShardCount = 64
+	refShardCount   = 16
+)
 
-	mu      sync.Mutex
-	pool    []byte
-	refcnt  []int32
-	free    []int32 // FIFO of free frames
-	vas     map[uint32]*dm.VAAllocator
-	trans   map[transKey]int32
-	refs    map[uint64]*refEntry
-	nextPID uint32
-	nextKey uint64
+// transShard is one stripe of the (pid, vpage) -> frame translator.
+type transShard struct {
+	mu sync.RWMutex
+	m  map[transKey]int32
+}
+
+// refShard is one stripe of the ref-key table.
+type refShard struct {
+	mu sync.RWMutex
+	m  map[uint64]*refEntry
+}
+
+// pidState is one process's registration. Its lock is the outermost level
+// of the hierarchy: VA mutations (Alloc/Free) take it exclusively, while
+// VA-range-dependent data ops (rread/rwrite/create_ref) hold it shared for
+// their whole duration so a racing rfree cannot strand translator entries
+// for a region that no longer exists.
+type pidState struct {
+	mu sync.RWMutex
+	va *dm.VAAllocator
+}
+
+// Server is a live DM server: the paper's page manager and address
+// translator over real memory and TCP, striped for multi-client
+// parallelism.
+type Server struct {
+	cfg  ServerConfig
+	pool []byte
+	// refcnt is the per-frame reference count: one per translator mapping,
+	// one per ref hold, plus transient pins taken around bulk copies.
+	// Dropping it to zero reclaims the frame onto the free list.
+	refcnt []atomic.Int32
+
+	freeMu sync.Mutex
+	free   []int32 // FIFO of free frames
+
+	pidMu   sync.RWMutex
+	pids    map[uint32]*pidState
+	nextPID atomic.Uint32
+
+	trans   [transShardCount]transShard
+	refs    [refShardCount]refShard
+	nextKey atomic.Uint64
 
 	node *Node
 }
@@ -123,8 +207,19 @@ type transKey struct {
 }
 
 type refEntry struct {
-	frames []int32
+	frames []int32 // immutable after publication
 	size   int64
+}
+
+// transShardOf picks the translator stripe for a key.
+func (s *Server) transShardOf(key transKey) *transShard {
+	h := (uint64(key.pid)<<32 ^ key.vpage) * 0x9E3779B97F4A7C15
+	return &s.trans[h>>(64-6)] // top 6 bits: transShardCount == 64
+}
+
+// refShardOf picks the ref-table stripe for a key.
+func (s *Server) refShardOf(key uint64) *refShard {
+	return &s.refs[key&(refShardCount-1)]
 }
 
 // NewServer builds a server with an allocated (and thereby "pinned") pool.
@@ -135,15 +230,19 @@ func NewServer(cfg ServerConfig) *Server {
 	s := &Server{
 		cfg:    cfg,
 		pool:   make([]byte, cfg.NumPages*cfg.PageSize),
-		refcnt: make([]int32, cfg.NumPages),
+		refcnt: make([]atomic.Int32, cfg.NumPages),
 		free:   make([]int32, cfg.NumPages),
-		vas:    make(map[uint32]*dm.VAAllocator),
-		trans:  make(map[transKey]int32),
-		refs:   make(map[uint64]*refEntry),
+		pids:   make(map[uint32]*pidState),
 		node:   NewNode(),
 	}
 	for i := range s.free {
 		s.free[i] = int32(i)
+	}
+	for i := range s.trans {
+		s.trans[i].m = make(map[transKey]int32)
+	}
+	for i := range s.refs {
+		s.refs[i].m = make(map[uint64]*refEntry)
 	}
 	for _, m := range []rpc.Method{
 		dmwire.MRegister, dmwire.MAlloc, dmwire.MFree, dmwire.MCreateRef,
@@ -151,7 +250,10 @@ func NewServer(cfg ServerConfig) *Server {
 		dmwire.MStage, dmwire.MReadRef,
 	} {
 		m := m
-		s.node.Handle(m, func(from net.Addr, body []byte) ([]byte, error) {
+		// DM operations are short and never block on other RPCs, so they
+		// run to completion on the connection's read loop (eRPC-style)
+		// instead of paying a goroutine spawn per request.
+		s.node.HandleFast(m, func(from net.Addr, body []byte) ([]byte, error) {
 			return s.handle(m, body)
 		})
 	}
@@ -166,16 +268,21 @@ func (s *Server) Close() error { return s.node.Close() }
 
 // FreePages returns the number of free frames (tests, monitoring).
 func (s *Server) FreePages() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.freeMu.Lock()
+	defer s.freeMu.Unlock()
 	return len(s.free)
 }
 
 // LiveRefs returns the number of outstanding refs.
 func (s *Server) LiveRefs() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.refs)
+	n := 0
+	for i := range s.refs {
+		sh := &s.refs[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // methodOf converts a raw wire value to an rpc.Method (fuzzing hook).
@@ -192,8 +299,6 @@ func (s *Server) dispatch(m rpc.Method, body []byte) (byte, []byte) {
 }
 
 func (s *Server) handle(m rpc.Method, body []byte) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch m {
 	case dmwire.MRegister:
 		return s.register()
@@ -227,7 +332,10 @@ func (s *Server) frame(f int32) []byte {
 	return s.pool[off : off+s.cfg.PageSize : off+s.cfg.PageSize]
 }
 
+// popFrame takes one frame off the free FIFO.
 func (s *Server) popFrame() (int32, bool) {
+	s.freeMu.Lock()
+	defer s.freeMu.Unlock()
 	if len(s.free) == 0 {
 		return -1, false
 	}
@@ -236,21 +344,60 @@ func (s *Server) popFrame() (int32, bool) {
 	return f, true
 }
 
-// --- operations (all run under s.mu) ---
+// popFrames takes n frames in one lock acquisition, or none at all.
+func (s *Server) popFrames(n int) []int32 {
+	s.freeMu.Lock()
+	defer s.freeMu.Unlock()
+	if len(s.free) < n {
+		return nil
+	}
+	out := make([]int32, n)
+	copy(out, s.free[:n])
+	s.free = s.free[n:]
+	return out
+}
+
+// pushFrames returns frames to the free FIFO.
+func (s *Server) pushFrames(frames ...int32) {
+	s.freeMu.Lock()
+	s.free = append(s.free, frames...)
+	s.freeMu.Unlock()
+}
+
+// pin takes a transient hold on f so it cannot be reclaimed (and its
+// storage reused) while a bulk copy is in flight. Release with decRef.
+func (s *Server) pin(f int32) { s.refcnt[f].Add(1) }
+
+// decRef drops one reference and reclaims the frame at zero.
+func (s *Server) decRef(f int32) {
+	n := s.refcnt[f].Add(-1)
+	if n < 0 {
+		panic(fmt.Sprintf("live: frame %d refcount negative", f))
+	}
+	if n == 0 {
+		s.pushFrames(f)
+	}
+}
+
+// --- operations ---
 
 func (s *Server) register() ([]byte, error) {
-	pid := s.nextPID
-	s.nextPID++
-	s.vas[pid] = dm.NewVAAllocator(s.cfg.PageSize, 1<<16, 1<<40)
+	pid := s.nextPID.Add(1) - 1
+	ps := &pidState{va: dm.NewVAAllocator(s.cfg.PageSize, 1<<16, 1<<40)}
+	s.pidMu.Lock()
+	s.pids[pid] = ps
+	s.pidMu.Unlock()
 	return dmwire.RegisterResp{PID: pid}.Marshal(), nil
 }
 
-func (s *Server) va(pid uint32) (*dm.VAAllocator, error) {
-	va, ok := s.vas[pid]
+func (s *Server) pidState(pid uint32) (*pidState, error) {
+	s.pidMu.RLock()
+	ps, ok := s.pids[pid]
+	s.pidMu.RUnlock()
 	if !ok {
 		return nil, dm.ErrBadAddress
 	}
-	return va, nil
+	return ps, nil
 }
 
 func (s *Server) alloc(body []byte) ([]byte, error) {
@@ -258,11 +405,13 @@ func (s *Server) alloc(body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	va, err := s.va(req.PID)
+	ps, err := s.pidState(req.PID)
 	if err != nil {
 		return nil, err
 	}
-	addr, err := va.Alloc(req.Size)
+	ps.mu.Lock()
+	addr, err := ps.va.Alloc(req.Size)
+	ps.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -274,11 +423,13 @@ func (s *Server) freeRegion(body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	va, err := s.va(req.PID)
+	ps, err := s.pidState(req.PID)
 	if err != nil {
 		return nil, err
 	}
-	size, err := va.Free(req.Addr)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	size, err := ps.va.Free(req.Addr)
 	if err != nil {
 		return nil, err
 	}
@@ -289,51 +440,45 @@ func (s *Server) freeRegion(body []byte) ([]byte, error) {
 	base := uint64(req.Addr) / uint64(s.pageSize())
 	for i := 0; i < pages; i++ {
 		key := transKey{pid: req.PID, vpage: base + uint64(i)}
-		f, ok := s.trans[key]
-		if !ok {
-			continue
+		sh := s.transShardOf(key)
+		sh.mu.Lock()
+		f, ok := sh.m[key]
+		if ok {
+			delete(sh.m, key)
 		}
-		delete(s.trans, key)
-		s.decRef(f)
+		sh.mu.Unlock()
+		if ok {
+			s.decRef(f)
+		}
 	}
 	return nil, nil
 }
 
-// decRef drops one reference and reclaims the frame at zero.
-func (s *Server) decRef(f int32) {
-	s.refcnt[f]--
-	if s.refcnt[f] < 0 {
-		panic(fmt.Sprintf("live: frame %d refcount negative", f))
-	}
-	if s.refcnt[f] == 0 {
-		s.free = append(s.free, f)
-	}
-}
-
-// materialize backs (pid, vpage) with a zeroed frame on first touch.
+// materialize backs key with a zeroed frame on first touch and returns it
+// with a transient pin, so the caller may copy into/out of it after the
+// shard lock is gone.
 func (s *Server) materialize(key transKey) (int32, error) {
-	if f, ok := s.trans[key]; ok {
+	sh := s.transShardOf(key)
+	sh.mu.Lock()
+	if f, ok := sh.m[key]; ok {
+		s.pin(f)
+		sh.mu.Unlock()
 		return f, nil
 	}
 	f, ok := s.popFrame()
 	if !ok {
+		sh.mu.Unlock()
 		return -1, dm.ErrOutOfMemory
 	}
-	fr := s.frame(f)
-	for i := range fr {
-		fr[i] = 0
-	}
-	s.refcnt[f] = 1
-	s.trans[key] = f
+	clear(s.frame(f))
+	s.refcnt[f].Store(2) // the mapping's hold + the caller's pin
+	sh.m[key] = f
+	sh.mu.Unlock()
 	return f, nil
 }
 
-func (s *Server) checkRange(pid uint32, addr dm.RemoteAddr, size int64) error {
-	va, err := s.va(pid)
-	if err != nil {
-		return err
-	}
-	base, regSize, err := va.Lookup(addr)
+func (s *Server) checkRange(ps *pidState, addr dm.RemoteAddr, size int64) error {
+	base, regSize, err := ps.va.Lookup(addr)
 	if err != nil {
 		return err
 	}
@@ -355,7 +500,13 @@ func (s *Server) createRef(body []byte) ([]byte, error) {
 	if req.Size <= 0 {
 		return nil, dm.ErrOutOfRange
 	}
-	if err := s.checkRange(req.PID, req.Addr, req.Size); err != nil {
+	ps, err := s.pidState(req.PID)
+	if err != nil {
+		return nil, err
+	}
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	if err := s.checkRange(ps, req.Addr, req.Size); err != nil {
 		return nil, err
 	}
 	basePage := uint64(req.Addr) / uint64(s.pageSize())
@@ -364,14 +515,21 @@ func (s *Server) createRef(body []byte) ([]byte, error) {
 	for i := 0; i < pages; i++ {
 		f, err := s.materialize(transKey{pid: req.PID, vpage: basePage + uint64(i)})
 		if err != nil {
+			// Roll back the holds taken for earlier pages so a partial
+			// create_ref cannot leak refcounts.
+			for _, g := range frames {
+				s.decRef(g)
+			}
 			return nil, err
 		}
-		s.refcnt[f]++ // the ref's own hold; makes the pages CoW-protected
+		// materialize's pin becomes the ref's own hold (CoW protection).
 		frames = append(frames, f)
 	}
-	key := s.nextKey
-	s.nextKey++
-	s.refs[key] = &refEntry{frames: frames, size: req.Size}
+	key := s.nextKey.Add(1) - 1
+	sh := s.refShardOf(key)
+	sh.mu.Lock()
+	sh.m[key] = &refEntry{frames: frames, size: req.Size}
+	sh.mu.Unlock()
 	return dmwire.RefKeyResp{Key: key}.Marshal(), nil
 }
 
@@ -380,24 +538,44 @@ func (s *Server) mapRef(body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	va, err := s.va(req.PID)
+	ps, err := s.pidState(req.PID)
 	if err != nil {
 		return nil, err
 	}
-	ref, ok := s.refs[req.Key]
+	rsh := s.refShardOf(req.Key)
+	rsh.mu.RLock()
+	ref, ok := rsh.m[req.Key]
 	if !ok {
+		rsh.mu.RUnlock()
 		return nil, dm.ErrBadRef
 	}
-	addr, err := va.Alloc(ref.size)
+	// Take the new mapping's holds while the ref entry still pins its
+	// frames; after RUnlock a concurrent free_ref can no longer reclaim
+	// them out from under us.
+	for _, f := range ref.frames {
+		s.pin(f)
+	}
+	frames, size := ref.frames, ref.size
+	rsh.mu.RUnlock()
+
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	addr, err := ps.va.Alloc(size)
 	if err != nil {
+		for _, f := range frames {
+			s.decRef(f)
+		}
 		return nil, err
 	}
 	basePage := uint64(addr) / uint64(s.pageSize())
-	for i, f := range ref.frames {
-		s.trans[transKey{pid: req.PID, vpage: basePage + uint64(i)}] = f
-		s.refcnt[f]++
+	for i, f := range frames {
+		key := transKey{pid: req.PID, vpage: basePage + uint64(i)}
+		sh := s.transShardOf(key)
+		sh.mu.Lock()
+		sh.m[key] = f
+		sh.mu.Unlock()
 	}
-	return dmwire.MapRefResp{Addr: addr, Size: ref.size}.Marshal(), nil
+	return dmwire.MapRefResp{Addr: addr, Size: size}.Marshal(), nil
 }
 
 func (s *Server) freeRef(body []byte) ([]byte, error) {
@@ -405,15 +583,33 @@ func (s *Server) freeRef(body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	ref, ok := s.refs[req.Key]
+	sh := s.refShardOf(req.Key)
+	sh.mu.Lock()
+	ref, ok := sh.m[req.Key]
+	if ok {
+		delete(sh.m, req.Key)
+	}
+	sh.mu.Unlock()
 	if !ok {
 		return nil, dm.ErrBadRef
 	}
-	delete(s.refs, req.Key)
 	for _, f := range ref.frames {
 		s.decRef(f)
 	}
 	return nil, nil
+}
+
+// lookupPage returns the frame backing key with a transient pin, or false
+// if the page was never materialized.
+func (s *Server) lookupPage(key transKey) (int32, bool) {
+	sh := s.transShardOf(key)
+	sh.mu.RLock()
+	f, ok := sh.m[key]
+	if ok {
+		s.pin(f)
+	}
+	sh.mu.RUnlock()
+	return f, ok
 }
 
 func (s *Server) read(body []byte) ([]byte, error) {
@@ -421,11 +617,19 @@ func (s *Server) read(body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	size := int64(req.Size)
-	if err := s.checkRange(req.PID, req.Addr, size); err != nil {
+	ps, err := s.pidState(req.PID)
+	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, size)
+	size := int64(req.Size)
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	if err := s.checkRange(ps, req.Addr, size); err != nil {
+		return nil, err
+	}
+	// Response body from the frame pool; the serve loop recycles it after
+	// the response hits the socket.
+	out := getBuf(int(size))
 	off := int64(0)
 	for off < size {
 		vpage := (uint64(req.Addr) + uint64(off)) / uint64(s.pageSize())
@@ -434,8 +638,13 @@ func (s *Server) read(body []byte) ([]byte, error) {
 		if n > size-off {
 			n = size - off
 		}
-		if f, ok := s.trans[transKey{pid: req.PID, vpage: vpage}]; ok {
+		if f, ok := s.lookupPage(transKey{pid: req.PID, vpage: vpage}); ok {
 			copy(out[off:off+n], s.frame(f)[pageOff:])
+			s.decRef(f)
+		} else {
+			// Unmaterialized pages read as zeros; the pooled buffer may
+			// hold stale bytes, so zero explicitly.
+			clear(out[off : off+n])
 		}
 		off += n
 	}
@@ -447,8 +656,14 @@ func (s *Server) write(body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	ps, err := s.pidState(req.PID)
+	if err != nil {
+		return nil, err
+	}
 	size := int64(len(req.Data))
-	if err := s.checkRange(req.PID, req.Addr, size); err != nil {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	if err := s.checkRange(ps, req.Addr, size); err != nil {
 		return nil, err
 	}
 	off := int64(0)
@@ -463,29 +678,53 @@ func (s *Server) write(body []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The payload copy runs outside the shard lock: the pin from
+		// writableFrame keeps f alive, and a frame writable in place
+		// (refcount 1 + pin) is reachable only through this mapping.
 		copy(s.frame(f)[pageOff:], req.Data[off:off+n])
+		s.decRef(f)
 		off += n
 	}
 	return nil, nil
 }
 
-// writableFrame runs the copy-on-write protocol of §V-A2.
+// writableFrame runs the copy-on-write protocol of §V-A2 and returns a
+// frame this writer may mutate, with a transient pin for the caller's
+// payload copy. Shared frames (refcount > 1) are duplicated; the
+// page-granular CoW copy happens under the shard lock so the new frame is
+// never visible half-initialized, while the caller's payload copy happens
+// after unlock.
 func (s *Server) writableFrame(key transKey) (int32, error) {
-	f, err := s.materialize(key)
-	if err != nil {
-		return -1, err
+	sh := s.transShardOf(key)
+	sh.mu.Lock()
+	f, ok := sh.m[key]
+	if !ok {
+		nf, popped := s.popFrame()
+		if !popped {
+			sh.mu.Unlock()
+			return -1, dm.ErrOutOfMemory
+		}
+		clear(s.frame(nf))
+		s.refcnt[nf].Store(2) // mapping hold + caller pin
+		sh.m[key] = nf
+		sh.mu.Unlock()
+		return nf, nil
 	}
-	if s.refcnt[f] > 1 {
-		nf, ok := s.popFrame()
-		if !ok {
+	if s.refcnt[f].Load() > 1 {
+		nf, popped := s.popFrame()
+		if !popped {
+			sh.mu.Unlock()
 			return -1, dm.ErrOutOfMemory
 		}
 		copy(s.frame(nf), s.frame(f))
-		s.refcnt[f]--
-		s.refcnt[nf] = 1
-		s.trans[key] = nf
-		f = nf
+		s.refcnt[nf].Store(2) // mapping hold + caller pin
+		sh.m[key] = nf
+		sh.mu.Unlock()
+		s.decRef(f) // the mapping's hold moves to nf
+		return nf, nil
 	}
+	s.pin(f)
+	sh.mu.Unlock()
 	return f, nil
 }
 
@@ -498,15 +737,13 @@ func (s *Server) stage(body []byte) ([]byte, error) {
 		return nil, dm.ErrOutOfRange
 	}
 	pages := dm.PageCount(int64(len(req.Data)), s.cfg.PageSize)
-	frames := make([]int32, 0, pages)
-	for i := 0; i < pages; i++ {
-		f, ok := s.popFrame()
-		if !ok {
-			for _, g := range frames {
-				s.free = append(s.free, g)
-			}
-			return nil, dm.ErrOutOfMemory
-		}
+	frames := s.popFrames(pages)
+	if frames == nil {
+		return nil, dm.ErrOutOfMemory
+	}
+	// The frames are invisible to every other request until the ref is
+	// published below, so the bulk copy needs no lock at all.
+	for i, f := range frames {
 		lo := i * s.cfg.PageSize
 		hi := lo + s.cfg.PageSize
 		if hi > len(req.Data) {
@@ -514,15 +751,14 @@ func (s *Server) stage(body []byte) ([]byte, error) {
 		}
 		fr := s.frame(f)
 		n := copy(fr, req.Data[lo:hi])
-		for j := n; j < len(fr); j++ {
-			fr[j] = 0
-		}
-		s.refcnt[f] = 1
-		frames = append(frames, f)
+		clear(fr[n:])
+		s.refcnt[f].Store(1)
 	}
-	key := s.nextKey
-	s.nextKey++
-	s.refs[key] = &refEntry{frames: frames, size: int64(len(req.Data))}
+	key := s.nextKey.Add(1) - 1
+	sh := s.refShardOf(key)
+	sh.mu.Lock()
+	sh.m[key] = &refEntry{frames: frames, size: int64(len(req.Data))}
+	sh.mu.Unlock()
 	return dmwire.RefKeyResp{Key: key}.Marshal(), nil
 }
 
@@ -531,45 +767,84 @@ func (s *Server) readRef(body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	ref, ok := s.refs[req.Key]
+	sh := s.refShardOf(req.Key)
+	sh.mu.RLock()
+	ref, ok := sh.m[req.Key]
 	if !ok {
+		sh.mu.RUnlock()
 		return nil, dm.ErrBadRef
 	}
 	off, size := int64(req.Off), int64(req.Size)
 	if off < 0 || size < 0 || off+size > ref.size {
+		sh.mu.RUnlock()
 		return nil, dm.ErrOutOfRange
 	}
-	out := make([]byte, size)
+	// Pin the overlapped frames while the entry still holds them; after
+	// RUnlock a concurrent free_ref may reclaim the rest of the ref but
+	// not the pages this read is copying.
+	first := off / s.pageSize()
+	last := int64(0)
+	if size > 0 {
+		last = (off + size - 1) / s.pageSize()
+	} else {
+		last = first - 1
+	}
+	for p := first; p <= last; p++ {
+		s.pin(ref.frames[p])
+	}
+	frames := ref.frames
+	sh.mu.RUnlock()
+
+	out := getBuf(int(size))
 	pos := int64(0)
 	for pos < size {
-		page := int((off + pos) / s.pageSize())
+		page := (off + pos) / s.pageSize()
 		pageOff := (off + pos) % s.pageSize()
 		n := s.pageSize() - pageOff
 		if n > size-pos {
 			n = size - pos
 		}
-		copy(out[pos:pos+n], s.frame(ref.frames[page])[pageOff:])
+		copy(out[pos:pos+n], s.frame(frames[page])[pageOff:])
 		pos += n
+	}
+	for p := first; p <= last; p++ {
+		s.decRef(frames[p])
 	}
 	return out, nil
 }
 
-// CheckInvariants validates the page manager bookkeeping (tests only).
+// CheckInvariants validates the page manager bookkeeping. It requires the
+// server to be quiescent (no in-flight operations), as stress tests are
+// after their workers join; it takes every stripe lock for a consistent
+// snapshot.
 func (s *Server) CheckInvariants() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	holds := make(map[int32]int32)
-	for _, f := range s.trans {
-		holds[f]++
+	for i := range s.trans {
+		s.trans[i].mu.RLock()
+		defer s.trans[i].mu.RUnlock()
 	}
-	for _, ref := range s.refs {
-		for _, f := range ref.frames {
+	for i := range s.refs {
+		s.refs[i].mu.RLock()
+		defer s.refs[i].mu.RUnlock()
+	}
+	s.freeMu.Lock()
+	defer s.freeMu.Unlock()
+
+	holds := make(map[int32]int32)
+	for i := range s.trans {
+		for _, f := range s.trans[i].m {
 			holds[f]++
 		}
 	}
+	for i := range s.refs {
+		for _, ref := range s.refs[i].m {
+			for _, f := range ref.frames {
+				holds[f]++
+			}
+		}
+	}
 	for f, want := range holds {
-		if s.refcnt[f] != want {
-			return fmt.Errorf("frame %d refcount %d, want %d", f, s.refcnt[f], want)
+		if got := s.refcnt[f].Load(); got != want {
+			return fmt.Errorf("frame %d refcount %d, want %d", f, got, want)
 		}
 	}
 	freeSet := make(map[int32]bool, len(s.free))
