@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet check test test-short bench bench-live experiments experiments-full fuzz clean
+.PHONY: all build vet check test test-short bench bench-live experiments experiments-full fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -12,15 +12,17 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Fast correctness gate: static checks plus the live-path and wire-protocol
-# packages under the race detector (the striped DM server's concurrency is
-# only trustworthy raced).
+# Fast correctness gate: static checks plus the live-path, wire-protocol,
+# and fault-injection packages under the race detector (the striped DM
+# server's concurrency — and the chaos/lease-reaping tests — are only
+# trustworthy raced).
 check: vet
-	$(GO) test -race ./internal/live/... ./internal/dmwire/...
+	$(GO) test -race ./internal/live/... ./internal/dmwire/... ./internal/faultnet/...
 
 # Full suite: unit, property, invariant and paper-shape tests (~4 min),
-# gated on the race-checked hot path.
-test: check
+# gated on the race-checked hot path and a brief fuzz pass over every
+# wire-facing decoder.
+test: check fuzz-smoke
 	$(GO) test ./...
 
 # Short mode skips the heavy simulation shape tests (~10 s).
@@ -43,6 +45,14 @@ experiments:
 # Paper-scale windows; expect tens of minutes.
 experiments-full:
 	$(GO) run ./cmd/dmrpc-bench -experiment all -scale full
+
+# 5-second smoke pass per wire-facing fuzz target; cheap enough to gate
+# make test on, catching framing/codec regressions early.
+fuzz-smoke:
+	$(GO) test ./internal/live -run='^$$' -fuzz=FuzzReadFrame -fuzztime=5s
+	$(GO) test ./internal/live -run='^$$' -fuzz=FuzzServerDispatch -fuzztime=5s
+	$(GO) test ./internal/dmwire -run='^$$' -fuzz=FuzzUnmarshal -fuzztime=5s
+	$(GO) test ./internal/dmwire -run='^$$' -fuzz=FuzzStatusRoundTrip -fuzztime=5s
 
 # Brief fuzzing passes over every wire-facing decoder.
 fuzz:

@@ -18,6 +18,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/live"
 )
@@ -26,9 +28,20 @@ func main() {
 	listen := flag.String("listen", ":7640", "TCP listen address")
 	pages := flag.Int("pages", 1<<16, "pool size in pages")
 	pageSize := flag.Int("pagesize", 4096, "page size in bytes")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "session lease TTL; an unrenewed session is reaped after this long (0 disables leasing)")
+	drain := flag.Duration("drain", time.Second, "graceful drain window on shutdown before connections are cut")
+	maxFrame := flag.Uint("max-frame", live.DefaultMaxFrameSize, "maximum accepted frame payload in bytes")
+	maxSlow := flag.Int("max-slow", 64, "maximum concurrent slow handlers per connection")
 	flag.Parse()
 
-	cfg := live.ServerConfig{NumPages: *pages, PageSize: *pageSize}
+	cfg := live.ServerConfig{
+		NumPages:       *pages,
+		PageSize:       *pageSize,
+		LeaseTTL:       *leaseTTL,
+		DrainTimeout:   *drain,
+		MaxFrameSize:   uint32(*maxFrame),
+		MaxSlowPerConn: *maxSlow,
+	}
 	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
 	}
@@ -41,10 +54,10 @@ func main() {
 		*pages, *pageSize, *pages**pageSize>>20, ln.Addr())
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		fmt.Println("dmserverd: shutting down")
+		fmt.Println("dmserverd: draining and shutting down")
 		srv.Close()
 	}()
 	if err := srv.Serve(ln); err != nil {

@@ -28,6 +28,10 @@ const (
 	// MReadRef reads through a ref key without a mapping (read-only
 	// consumers skip the map_ref round trip).
 	MReadRef
+	// MHeartbeat renews a session lease. Servers that lease sessions
+	// return a TTL from MRegister; a client must heartbeat within the TTL
+	// or the server reclaims every resource the PID holds (DESIGN.md §D8).
+	MHeartbeat
 )
 
 // Application error statuses returned by a DM server.
@@ -78,18 +82,82 @@ func ErrOf(status byte, msg string) error {
 }
 
 // RegisterResp is the body of a successful MRegister response.
+// LeaseMillis is the session lease TTL granted to the PID, in
+// milliseconds; 0 means the server does not lease sessions and the PID
+// lives until the server shuts down (the pre-lease behaviour).
 type RegisterResp struct {
-	PID uint32
+	PID         uint32
+	LeaseMillis uint32
 }
 
 // Marshal encodes the response body.
-func (r RegisterResp) Marshal() []byte { return rpc.NewEnc(4).U32(r.PID).Bytes() }
+func (r RegisterResp) Marshal() []byte {
+	return rpc.NewEnc(8).U32(r.PID).U32(r.LeaseMillis).Bytes()
+}
 
 // UnmarshalRegisterResp decodes the response body.
 func UnmarshalRegisterResp(b []byte) (RegisterResp, error) {
 	d := rpc.NewDec(b)
-	r := RegisterResp{PID: d.U32()}
+	r := RegisterResp{PID: d.U32(), LeaseMillis: d.U32()}
 	return r, d.Err()
+}
+
+// HeartbeatReq is the body of an MHeartbeat request.
+type HeartbeatReq struct {
+	PID uint32
+}
+
+// Marshal encodes the request body.
+func (r HeartbeatReq) Marshal() []byte { return rpc.NewEnc(4).U32(r.PID).Bytes() }
+
+// UnmarshalHeartbeatReq decodes the request body.
+func UnmarshalHeartbeatReq(b []byte) (HeartbeatReq, error) {
+	d := rpc.NewDec(b)
+	r := HeartbeatReq{PID: d.U32()}
+	return r, d.Err()
+}
+
+// HeartbeatResp is the body of a successful MHeartbeat response: the
+// renewed lease TTL in milliseconds.
+type HeartbeatResp struct {
+	LeaseMillis uint32
+}
+
+// Marshal encodes the response body.
+func (r HeartbeatResp) Marshal() []byte { return rpc.NewEnc(4).U32(r.LeaseMillis).Bytes() }
+
+// UnmarshalHeartbeatResp decodes the response body.
+func UnmarshalHeartbeatResp(b []byte) (HeartbeatResp, error) {
+	d := rpc.NewDec(b)
+	r := HeartbeatResp{LeaseMillis: d.U32()}
+	return r, d.Err()
+}
+
+// TokenSize is the wire width of a dedup Token.
+const TokenSize = 16
+
+// Token identifies one logical mutation for at-most-once retry
+// deduplication: CID is a client-chosen random identity stable across
+// reconnects, Seq a per-client monotonic sequence number. A retried
+// non-idempotent request carries the same Token as the original, so a
+// server that already executed it replays the recorded response instead
+// of applying the mutation twice. The zero Token means "no dedup".
+type Token struct {
+	CID uint64
+	Seq uint64
+}
+
+// IsZero reports whether the token is absent.
+func (t Token) IsZero() bool { return t == Token{} }
+
+// Marshal encodes the token as 16 big-endian bytes.
+func (t Token) Marshal() []byte { return rpc.NewEnc(TokenSize).U64(t.CID).U64(t.Seq).Bytes() }
+
+// UnmarshalToken decodes a token from the first TokenSize bytes of b.
+func UnmarshalToken(b []byte) (Token, error) {
+	d := rpc.NewDec(b)
+	t := Token{CID: d.U64(), Seq: d.U64()}
+	return t, d.Err()
 }
 
 // AllocReq is the body of an MAlloc request.

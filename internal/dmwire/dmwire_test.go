@@ -35,9 +35,33 @@ func TestStatusRoundTrip(t *testing.T) {
 
 func TestBodyCodecsRoundTrip(t *testing.T) {
 	{
-		r, err := UnmarshalRegisterResp(RegisterResp{PID: 7}.Marshal())
-		if err != nil || r.PID != 7 {
+		r, err := UnmarshalRegisterResp(RegisterResp{PID: 7, LeaseMillis: 15000}.Marshal())
+		if err != nil || r.PID != 7 || r.LeaseMillis != 15000 {
 			t.Errorf("RegisterResp: %+v %v", r, err)
+		}
+	}
+	{
+		r, err := UnmarshalHeartbeatReq(HeartbeatReq{PID: 11}.Marshal())
+		if err != nil || r.PID != 11 {
+			t.Errorf("HeartbeatReq: %+v %v", r, err)
+		}
+	}
+	{
+		r, err := UnmarshalHeartbeatResp(HeartbeatResp{LeaseMillis: 250}.Marshal())
+		if err != nil || r.LeaseMillis != 250 {
+			t.Errorf("HeartbeatResp: %+v %v", r, err)
+		}
+	}
+	{
+		tok, err := UnmarshalToken(Token{CID: 0xDEAD, Seq: 42}.Marshal())
+		if err != nil || tok.CID != 0xDEAD || tok.Seq != 42 {
+			t.Errorf("Token: %+v %v", tok, err)
+		}
+		if tok.IsZero() || !(Token{}).IsZero() {
+			t.Error("IsZero misclassifies tokens")
+		}
+		if len(tok.Marshal()) != TokenSize {
+			t.Errorf("Token width %d, want %d", len(tok.Marshal()), TokenSize)
 		}
 	}
 	{
@@ -146,14 +170,14 @@ func TestWriteReqProperty(t *testing.T) {
 func TestMethodsAreDistinct(t *testing.T) {
 	seen := map[rpc.Method]bool{}
 	for _, m := range []rpc.Method{MRegister, MAlloc, MFree, MCreateRef, MMapRef,
-		MFreeRef, MRead, MWrite, MStage, MReadRef} {
+		MFreeRef, MRead, MWrite, MStage, MReadRef, MHeartbeat} {
 		if seen[m] {
 			t.Fatalf("duplicate method id %d", m)
 		}
 		seen[m] = true
 	}
-	if len(seen) != 10 {
-		t.Fatalf("expected 10 methods, got %d", len(seen))
+	if len(seen) != 11 {
+		t.Fatalf("expected 11 methods, got %d", len(seen))
 	}
 }
 

@@ -3,35 +3,70 @@ package live
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/dm"
 	"repro/internal/dmwire"
 	"repro/internal/rpc"
 )
 
+// ClientConfig tunes a live DM client's failure behaviour. Net holds the
+// transport knobs (deadlines, retries, frame caps, dialer).
+type ClientConfig struct {
+	Net NodeConfig
+	// HeartbeatInterval paces the lease-renewal heartbeats started after
+	// Register against every leasing server. 0 derives TTL/3 from the
+	// server's granted lease; negative disables heartbeats (the client
+	// then survives only one TTL — test hook for crash simulation).
+	HeartbeatInterval time.Duration
+}
+
+// DefaultClientConfig returns the production defaults.
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{Net: DefaultNodeConfig()}
+}
+
 // Client is a process's live handle on a DM server pool: the Table II API
 // over real TCP connections, with allocations round-robined across
 // servers, mirroring dmnet.Client. Methods are safe for concurrent use.
+//
+// Failure model (DESIGN.md §D8): every call carries a deadline; reads are
+// retried as idempotent, mutations carry dedup tokens so server-side
+// retry deduplication keeps them at-most-once; sessions are kept alive by
+// background heartbeats, and a client that dies is reaped by the server
+// within one lease TTL.
 type Client struct {
-	mu    sync.Mutex
-	node  *Node
-	addrs []string
-	pids  []uint32
-	ready bool
-	rr    int
+	mu     sync.Mutex
+	cfg    ClientConfig
+	node   *Node
+	addrs  []string
+	pids   []uint32
+	leases []time.Duration
+	ready  bool
+	rr     int
+
+	cid    uint64        // dedup token identity, stable across reconnects
+	seq    atomic.Uint64 // dedup token sequence
+	hbStop chan struct{}
+	hbOnce sync.Once
+	hbWG   sync.WaitGroup
 }
 
 // conn is one multiplexed TCP connection to a DM server.
 type conn struct {
-	c       net.Conn
-	wmu     sync.Mutex
-	pmu     sync.Mutex
-	pending map[uint64]chan response
-	nextID  uint64
-	dead    error
+	c        net.Conn
+	maxFrame uint32
+	wmu      sync.Mutex
+	pmu      sync.Mutex
+	pending  map[uint64]chan response
+	nextID   uint64
+	dead     error
 }
 
 // response carries one frame's payload (status byte + body) off the read
@@ -41,15 +76,37 @@ type response struct {
 	payload []byte
 }
 
-// Dial connects to every server address in order. The order must match
-// across processes sharing refs (Ref.Server is the pool index).
+// Dial connects to every server address in order with the default
+// configuration. The order must match across processes sharing refs
+// (Ref.Server is the pool index).
 func Dial(addrs ...string) (*Client, error) {
+	return DialConfig(DefaultClientConfig(), addrs...)
+}
+
+// DialConfig is Dial with explicit configuration.
+func DialConfig(cfg ClientConfig, addrs ...string) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("live: need at least one server address")
 	}
-	cl := &Client{node: NewNode(), addrs: addrs, pids: make([]uint32, len(addrs))}
+	cid := rand.Uint64()
+	if cid == 0 {
+		cid = 1 // the zero token means "no dedup"
+	}
+	cl := &Client{
+		cfg:    cfg,
+		node:   NewNodeWith(cfg.Net),
+		addrs:  addrs,
+		pids:   make([]uint32, len(addrs)),
+		leases: make([]time.Duration, len(addrs)),
+		cid:    cid,
+		hbStop: make(chan struct{}),
+	}
+	dialDeadline := time.Time{}
+	if d := cl.node.cfg.DialTimeout; d > 0 {
+		dialDeadline = time.Now().Add(d)
+	}
 	for _, a := range addrs {
-		if _, err := cl.node.peer(a); err != nil {
+		if _, err := cl.node.peer(a, dialDeadline); err != nil {
 			cl.Close()
 			return nil, err
 		}
@@ -57,15 +114,33 @@ func Dial(addrs ...string) (*Client, error) {
 	return cl, nil
 }
 
-// Close tears down every connection.
-func (cl *Client) Close() error { return cl.node.Close() }
+// Close stops the heartbeats and tears down every connection.
+func (cl *Client) Close() error {
+	cl.hbOnce.Do(func() { close(cl.hbStop) })
+	cl.hbWG.Wait()
+	return cl.node.Close()
+}
 
-// readLoop dispatches responses to waiting calls.
+// token mints the dedup token for one non-idempotent mutation.
+func (cl *Client) token() dmwire.Token {
+	return dmwire.Token{CID: cl.cid, Seq: cl.seq.Add(1)}
+}
+
+// mutOpts marks a call as a tokened (at-most-once, retryable) mutation.
+func (cl *Client) mutOpts() CallOpts { return CallOpts{Token: cl.token()} }
+
+// idemOpts marks a call as idempotent (retryable without a token).
+func idemOpts() CallOpts { return CallOpts{Idempotent: true} }
+
+// readLoop dispatches responses to waiting calls. The send happens under
+// pmu and every pending channel is buffered (cap 1), so a caller that
+// abandoned its call (deadline) can delete its entry and drain the
+// channel race-free, and the read loop can never block on a caller.
 func (c *conn) readLoop() {
 	br := bufio.NewReaderSize(c.c, 64<<10)
 	var hdr [frameHeaderSize]byte
 	for {
-		kind, reqID, payload, err := readFrameBuf(br, hdr[:])
+		kind, reqID, payload, err := readFrameBuf(br, hdr[:], c.maxFrame)
 		if err != nil {
 			c.fail(err)
 			return
@@ -77,21 +152,20 @@ func (c *conn) readLoop() {
 		}
 		c.pmu.Lock()
 		ch, ok := c.pending[reqID]
-		delete(c.pending, reqID)
+		if ok {
+			delete(c.pending, reqID)
+			select {
+			case ch <- response{payload: payload}:
+			default:
+				// Defense in depth: the buffered channel receives exactly
+				// one send, so this arm is unreachable unless the
+				// invariant breaks — drop rather than wedge the loop.
+				putBuf(payload)
+			}
+		}
 		c.pmu.Unlock()
 		if !ok {
-			putBuf(payload)
-			continue
-		}
-		// Every pending channel is buffered (cap 1) and receives exactly
-		// one send — the id is deleted above before the send — so the
-		// read loop can never block on a caller, even one that has given
-		// up. The default arm is pure defense in depth: if the invariant
-		// were ever broken, drop the response rather than wedge every
-		// call multiplexed on this connection.
-		select {
-		case ch <- response{payload: payload}:
-		default:
+			// Late response for an abandoned (timed-out) call.
 			putBuf(payload)
 		}
 	}
@@ -108,38 +182,54 @@ func (c *conn) fail(err error) {
 	}
 }
 
-// call performs one request/response exchange. The request goes out as a
-// single vectored write — frame header, method, hdr, payload — with no
+// call performs one request/response exchange bounded by deadline (zero
+// means none). The request goes out as a single vectored write — frame
+// header, optional dedup token, method, hdr, payload — with no
 // intermediate copy of payload, which is the zero-copy path large
 // rwrite/stage bodies ride. The pooled response body is handed to consume
 // (which must not retain it) and recycled before call returns.
-func (c *conn) call(m rpc.Method, hdr, payload []byte, consume func(resp []byte) error) error {
+func (c *conn) call(m rpc.Method, hdr, payload []byte, consume func(resp []byte) error, deadline time.Time, tok dmwire.Token) error {
 	ch := make(chan response, 1)
 	c.pmu.Lock()
-	if c.dead != nil {
+	if dead := c.dead; dead != nil {
 		c.pmu.Unlock()
-		return fmt.Errorf("live: connection failed: %w", c.dead)
+		return fmt.Errorf("%w: %v", errConnFailed, dead)
 	}
 	id := c.nextID
 	c.nextID++
 	c.pending[id] = ch
 	c.pmu.Unlock()
 
-	// Frame header + method + request header in one scratch buffer; the
-	// bulk payload rides as its own iovec.
-	scratch := getBuf(frameHeaderSize + 2 + len(hdr))
+	// Frame header + token + method + request header in one scratch
+	// buffer; the bulk payload rides as its own iovec.
+	tokLen := 0
+	kind := byte(kindRequest)
+	if !tok.IsZero() {
+		tokLen = dmwire.TokenSize
+		kind = kindRequestTok
+	}
+	scratch := getBuf(frameHeaderSize + tokLen + 2 + len(hdr))
 	fh := scratch[:frameHeaderSize]
-	binary.BigEndian.PutUint32(fh, uint32(2+len(hdr)+len(payload)))
-	fh[4] = kindRequest
+	binary.BigEndian.PutUint32(fh, uint32(tokLen+2+len(hdr)+len(payload)))
+	fh[4] = kind
 	binary.BigEndian.PutUint64(fh[5:], id)
-	binary.BigEndian.PutUint16(scratch[frameHeaderSize:], uint16(m))
-	copy(scratch[frameHeaderSize+2:], hdr)
+	off := frameHeaderSize
+	if tokLen > 0 {
+		binary.BigEndian.PutUint64(scratch[off:], tok.CID)
+		binary.BigEndian.PutUint64(scratch[off+8:], tok.Seq)
+		off += tokLen
+	}
+	binary.BigEndian.PutUint16(scratch[off:], uint16(m))
+	copy(scratch[off+2:], hdr)
 
 	bufs := net.Buffers{scratch}
 	if len(payload) > 0 {
 		bufs = append(bufs, payload)
 	}
 	c.wmu.Lock()
+	// Each writer arms its own deadline; a partially written frame
+	// desyncs the stream, so a deadline-failed write poisons the conn.
+	c.c.SetWriteDeadline(deadline)
 	_, err := bufs.WriteTo(c.c)
 	c.wmu.Unlock()
 	putBuf(scratch[:cap(scratch)])
@@ -150,51 +240,123 @@ func (c *conn) call(m rpc.Method, hdr, payload []byte, consume func(resp []byte)
 		// A failed write means the connection is gone; poison it so the
 		// owning Node redials on the next call.
 		c.fail(err)
-		return err
+		return fmt.Errorf("%w: write: %v", errConnFailed, err)
 	}
 
-	resp, ok := <-ch
-	if !ok {
-		c.pmu.Lock()
-		err := c.dead
-		c.pmu.Unlock()
-		return fmt.Errorf("live: connection failed: %w", err)
+	var timeC <-chan time.Time
+	if !deadline.IsZero() {
+		t := time.NewTimer(time.Until(deadline))
+		defer t.Stop()
+		timeC = t.C
 	}
-	status, body := resp.payload[0], resp.payload[1:]
-	if status != dmwire.StatusOK {
-		err := dmwire.ErrOf(status, string(body))
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.pmu.Lock()
+			err := c.dead
+			c.pmu.Unlock()
+			return fmt.Errorf("%w: %v", errConnFailed, err)
+		}
+		status, body := resp.payload[0], resp.payload[1:]
+		if status != dmwire.StatusOK {
+			err := dmwire.ErrOf(status, string(body))
+			putBuf(resp.payload)
+			return err
+		}
+		var cerr error
+		if consume != nil {
+			cerr = consume(body)
+		}
 		putBuf(resp.payload)
-		return err
+		return cerr
+	case <-timeC:
+		// Abandon the call: remove the pending entry so the read loop
+		// drops the late response, then drain anything that raced in.
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		select {
+		case resp, ok := <-ch:
+			if ok {
+				putBuf(resp.payload)
+			}
+		default:
+		}
+		return fmt.Errorf("live: call %#x timed out: %w", uint16(m), ErrDeadline)
 	}
-	if consume != nil {
-		err = consume(body)
-	}
-	putBuf(resp.payload)
-	return err
 }
 
-// Register obtains a PID from every server; must complete before other
-// calls.
+// Register obtains a PID (and lease) from every server, then starts the
+// lease-renewal heartbeats; must complete before other calls.
 func (cl *Client) Register() error {
 	for i, a := range cl.addrs {
 		var pid uint32
-		err := cl.node.CallConsume(a, dmwire.MRegister, nil, nil, func(resp []byte) error {
+		var lease time.Duration
+		err := cl.node.CallConsumeOpts(a, dmwire.MRegister, nil, nil, func(resp []byte) error {
 			r, err := dmwire.UnmarshalRegisterResp(resp)
 			if err != nil {
 				return err
 			}
 			pid = r.PID
+			lease = time.Duration(r.LeaseMillis) * time.Millisecond
 			return nil
-		})
+		}, cl.mutOpts())
 		if err != nil {
 			return err
 		}
 		cl.pids[i] = pid
+		cl.leases[i] = lease
 	}
 	cl.mu.Lock()
 	cl.ready = true
 	cl.mu.Unlock()
+	cl.startHeartbeats()
 	return nil
+}
+
+// startHeartbeats spawns one renewal loop per leasing server.
+func (cl *Client) startHeartbeats() {
+	if cl.cfg.HeartbeatInterval < 0 {
+		return
+	}
+	for i, lease := range cl.leases {
+		if lease <= 0 {
+			continue // server does not lease sessions
+		}
+		interval := cl.cfg.HeartbeatInterval
+		if interval == 0 {
+			interval = lease / 3
+		}
+		if interval <= 0 {
+			continue
+		}
+		cl.hbWG.Add(1)
+		go cl.heartbeatLoop(cl.addrs[i], cl.pids[i], interval)
+	}
+}
+
+// heartbeatLoop renews one server's lease until Close or until the
+// server reports the session gone (reaped), at which point renewing is
+// pointless — subsequent data calls surface the dead session as
+// dm.ErrBadAddress.
+func (cl *Client) heartbeatLoop(addr string, pid uint32, interval time.Duration) {
+	defer cl.hbWG.Done()
+	req := dmwire.HeartbeatReq{PID: pid}.Marshal()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-cl.hbStop:
+			return
+		case <-tick.C:
+			opts := idemOpts()
+			opts.Timeout = interval
+			err := cl.node.CallConsumeOpts(addr, dmwire.MHeartbeat, req, nil, nil, opts)
+			if errors.Is(err, dm.ErrBadAddress) {
+				return
+			}
+		}
+	}
 }
 
 // server picks the pool entry for index i.
@@ -238,7 +400,7 @@ func (cl *Client) Alloc(size int64) (dm.RemoteAddr, error) {
 		return 0, err
 	}
 	var addr dm.RemoteAddr
-	err = cl.node.CallConsume(srv, dmwire.MAlloc, dmwire.AllocReq{PID: pid, Size: size}.Marshal(), nil,
+	err = cl.node.CallConsumeOpts(srv, dmwire.MAlloc, dmwire.AllocReq{PID: pid, Size: size}.Marshal(), nil,
 		func(resp []byte) error {
 			r, err := dmwire.UnmarshalAllocResp(resp)
 			if err != nil {
@@ -246,7 +408,7 @@ func (cl *Client) Alloc(size int64) (dm.RemoteAddr, error) {
 			}
 			addr = r.Addr
 			return nil
-		})
+		}, cl.mutOpts())
 	if err != nil {
 		return 0, err
 	}
@@ -260,7 +422,7 @@ func (cl *Client) Free(addr dm.RemoteAddr) error {
 	if err != nil {
 		return err
 	}
-	return cl.node.CallConsume(srv, dmwire.MFree, dmwire.FreeReq{PID: pid, Addr: raw}.Marshal(), nil, nil)
+	return cl.node.CallConsumeOpts(srv, dmwire.MFree, dmwire.FreeReq{PID: pid, Addr: raw}.Marshal(), nil, nil, cl.mutOpts())
 }
 
 // CreateRef shares [addr, addr+size) read-only (create_ref).
@@ -277,17 +439,18 @@ func (cl *Client) CreateRef(addr dm.RemoteAddr, size int64) (dm.Ref, error) {
 	return dm.Ref{Server: uint32(idx), Key: key, Size: size}, nil
 }
 
-// callRefKey runs a call whose successful response is a RefKeyResp.
+// callRefKey runs a tokened call whose successful response is a
+// RefKeyResp.
 func (cl *Client) callRefKey(srv string, m rpc.Method, hdr, payload []byte) (uint64, error) {
 	var key uint64
-	err := cl.node.CallConsume(srv, m, hdr, payload, func(resp []byte) error {
+	err := cl.node.CallConsumeOpts(srv, m, hdr, payload, func(resp []byte) error {
 		r, err := dmwire.UnmarshalRefKeyResp(resp)
 		if err != nil {
 			return err
 		}
 		key = r.Key
 		return nil
-	})
+	}, cl.mutOpts())
 	return key, err
 }
 
@@ -298,7 +461,7 @@ func (cl *Client) MapRef(ref dm.Ref) (dm.RemoteAddr, error) {
 		return 0, err
 	}
 	var addr dm.RemoteAddr
-	err = cl.node.CallConsume(srv, dmwire.MMapRef, dmwire.MapRefReq{PID: pid, Key: ref.Key}.Marshal(), nil,
+	err = cl.node.CallConsumeOpts(srv, dmwire.MMapRef, dmwire.MapRefReq{PID: pid, Key: ref.Key}.Marshal(), nil,
 		func(resp []byte) error {
 			r, err := dmwire.UnmarshalMapRefResp(resp)
 			if err != nil {
@@ -306,7 +469,7 @@ func (cl *Client) MapRef(ref dm.Ref) (dm.RemoteAddr, error) {
 			}
 			addr = r.Addr
 			return nil
-		})
+		}, cl.mutOpts())
 	if err != nil {
 		return 0, err
 	}
@@ -319,18 +482,19 @@ func (cl *Client) FreeRef(ref dm.Ref) error {
 	if err != nil {
 		return err
 	}
-	return cl.node.CallConsume(srv, dmwire.MFreeRef, dmwire.FreeRefReq{Key: ref.Key}.Marshal(), nil, nil)
+	return cl.node.CallConsumeOpts(srv, dmwire.MFreeRef, dmwire.FreeRefReq{Key: ref.Key}.Marshal(), nil, nil, cl.mutOpts())
 }
 
 // Write stores src at addr (rwrite). The payload is written to the socket
-// straight from src — no marshal copy.
+// straight from src — no marshal copy. Writing the same bytes twice is
+// harmless, so retries treat it as idempotent.
 func (cl *Client) Write(addr dm.RemoteAddr, src []byte) error {
 	idx, raw := splitAddr(addr)
 	srv, pid, err := cl.server(idx)
 	if err != nil {
 		return err
 	}
-	return cl.node.CallConsume(srv, dmwire.MWrite, dmwire.WriteReq{PID: pid, Addr: raw}.MarshalHdr(), src, nil)
+	return cl.node.CallConsumeOpts(srv, dmwire.MWrite, dmwire.WriteReq{PID: pid, Addr: raw}.MarshalHdr(), src, nil, idemOpts())
 }
 
 // Read loads len(dst) bytes from addr (rread); the response body is
@@ -341,7 +505,7 @@ func (cl *Client) Read(addr dm.RemoteAddr, dst []byte) error {
 	if err != nil {
 		return err
 	}
-	return cl.node.CallConsume(srv, dmwire.MRead,
+	return cl.node.CallConsumeOpts(srv, dmwire.MRead,
 		dmwire.ReadReq{PID: pid, Addr: raw, Size: uint32(len(dst))}.Marshal(), nil,
 		func(resp []byte) error {
 			if len(resp) != len(dst) {
@@ -349,7 +513,7 @@ func (cl *Client) Read(addr dm.RemoteAddr, dst []byte) error {
 			}
 			copy(dst, resp)
 			return nil
-		})
+		}, idemOpts())
 }
 
 // StageRef stages data into fresh pages in one round trip; data rides the
@@ -373,7 +537,7 @@ func (cl *Client) ReadRef(ref dm.Ref, off int64, dst []byte) error {
 	if err != nil {
 		return err
 	}
-	return cl.node.CallConsume(srv, dmwire.MReadRef,
+	return cl.node.CallConsumeOpts(srv, dmwire.MReadRef,
 		dmwire.ReadRefReq{Key: ref.Key, Off: uint32(off), Size: uint32(len(dst))}.Marshal(), nil,
 		func(resp []byte) error {
 			if len(resp) != len(dst) {
@@ -381,5 +545,5 @@ func (cl *Client) ReadRef(ref dm.Ref, off int64, dst []byte) error {
 			}
 			copy(dst, resp)
 			return nil
-		})
+		}, idemOpts())
 }

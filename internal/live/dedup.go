@@ -1,0 +1,97 @@
+package live
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/dmwire"
+)
+
+// dedupTable gives tokened (non-idempotent) requests at-most-once
+// execution across client retries: the first arrival of a token executes
+// the handler and records the response; any duplicate — a retransmission
+// after a lost response, a second attempt racing the first over a fresh
+// connection — waits for that execution and replays the recorded bytes
+// instead of applying the mutation again (DESIGN.md §D8).
+//
+// Entries are pruned opportunistically on insert once their completion is
+// older than the retention window; retries arrive within a call's overall
+// deadline, which is orders of magnitude shorter.
+type dedupTable struct {
+	mu        sync.Mutex
+	m         map[dmwire.Token]*dedupEntry
+	inserts   int
+	retention time.Duration
+}
+
+type dedupEntry struct {
+	done     chan struct{} // closed when status/resp are final
+	status   byte
+	resp     []byte // private copy, owned by the table
+	doneAtNS int64  // completion time, 0 while in flight
+}
+
+// prunePeriod is how many inserts pass between retention sweeps.
+const prunePeriod = 1024
+
+// run executes fn under the token's at-most-once guarantee. A zero token
+// bypasses the table. cached reports that resp is table-owned replayed
+// memory, which the caller must not recycle into the buffer pool.
+func (t *dedupTable) run(tok dmwire.Token, fn func() (byte, []byte)) (status byte, resp []byte, cached bool) {
+	if tok.IsZero() {
+		status, resp = fn()
+		return status, resp, false
+	}
+	t.mu.Lock()
+	if t.m == nil {
+		t.m = make(map[dmwire.Token]*dedupEntry)
+	}
+	if e, dup := t.m[tok]; dup {
+		t.mu.Unlock()
+		<-e.done
+		return e.status, e.resp, true
+	}
+	e := &dedupEntry{done: make(chan struct{}), status: dmwire.StatusErr}
+	t.m[tok] = e
+	t.inserts++
+	if t.inserts%prunePeriod == 0 {
+		t.pruneLocked(time.Now())
+	}
+	t.mu.Unlock()
+
+	// If fn panics the entry still completes (as StatusErr) so duplicate
+	// waiters are never wedged.
+	defer func() {
+		e.doneAtNS = time.Now().UnixNano()
+		close(e.done)
+	}()
+	status, resp = fn()
+	e.status = status
+	e.resp = append([]byte(nil), resp...)
+	return status, resp, false
+}
+
+// pruneLocked drops entries whose execution completed before the
+// retention window; in-flight entries are never dropped.
+func (t *dedupTable) pruneLocked(now time.Time) {
+	if t.retention <= 0 {
+		return
+	}
+	cutoff := now.Add(-t.retention).UnixNano()
+	for tok, e := range t.m {
+		select {
+		case <-e.done:
+			if e.doneAtNS < cutoff {
+				delete(t.m, tok)
+			}
+		default:
+		}
+	}
+}
+
+// size reports the number of live entries (tests, monitoring).
+func (t *dedupTable) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}

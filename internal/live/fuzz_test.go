@@ -14,10 +14,21 @@ func FuzzReadFrame(f *testing.F) {
 	_ = writeFrame(&good, kindRequest, 42, []byte("hello"))
 	f.Add(good.Bytes())
 	f.Fuzz(func(t *testing.T, data []byte) {
-		kind, reqID, payload, err := readFrame(bytes.NewReader(data))
+		kind, reqID, payload, err := readFrame(bytes.NewReader(data), DefaultMaxFrameSize)
+		// The pooled-buffer reader must agree with the plain one on both
+		// acceptance and content.
+		var hdr [frameHeaderSize]byte
+		bkind, breqID, bpayload, berr := readFrameBuf(bytes.NewReader(data), hdr[:], DefaultMaxFrameSize)
+		if (err == nil) != (berr == nil) {
+			t.Fatalf("readFrame err=%v, readFrameBuf err=%v", err, berr)
+		}
 		if err != nil {
 			return
 		}
+		if bkind != kind || breqID != reqID || !bytes.Equal(bpayload, payload) {
+			t.Fatal("readFrame and readFrameBuf disagree")
+		}
+		putBuf(bpayload)
 		var out bytes.Buffer
 		if err := writeFrame(&out, kind, reqID, payload); err != nil {
 			t.Fatal(err)

@@ -1,0 +1,115 @@
+package live
+
+import "time"
+
+// Session lease reaping (DESIGN.md §D8). Each registered PID holds a
+// lease renewed by client heartbeats; a PID whose lease expires is
+// presumed dead (crashed, partitioned past the TTL) and its server-side
+// state — VA regions, translator mappings, created refs — is reclaimed.
+// Frames a dead PID shared with the living survive: reaping only drops
+// the dead session's own holds, and per-frame refcounts keep any page
+// still mapped or ref'd by another PID alive (invariant D6 conservation
+// holds across a reap).
+
+// reaper periodically scans for expired leases until Close.
+func (s *Server) reaper() {
+	defer close(s.reaperDone)
+	tick := s.cfg.LeaseTTL / 4
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.reaperStop:
+			return
+		case now := <-t.C:
+			s.reapExpired(now)
+		}
+	}
+}
+
+// reapExpired reclaims every session whose lease deadline passed.
+func (s *Server) reapExpired(now time.Time) {
+	nowNS := now.UnixNano()
+	s.pidMu.RLock()
+	var expired map[uint32]*pidState
+	for pid, ps := range s.pids {
+		if d := ps.lease.Load(); d != 0 && d < nowNS {
+			if expired == nil {
+				expired = make(map[uint32]*pidState)
+			}
+			expired[pid] = ps
+		}
+	}
+	s.pidMu.RUnlock()
+	for pid, ps := range expired {
+		s.reapPID(pid, ps, false)
+	}
+}
+
+// reapPID tears down one session. Unless force is set, a lease renewed
+// between the expiry scan and the exclusive lock acquisition (a heartbeat
+// racing the reaper) aborts the reap. Setting gone under the exclusive
+// lock fences all in-flight ops: anything acquiring ps.mu afterwards
+// observes it and bails, so nothing publishes new state for pid once the
+// sweeps below begin.
+func (s *Server) reapPID(pid uint32, ps *pidState, force bool) {
+	ps.mu.Lock()
+	if ps.gone {
+		ps.mu.Unlock()
+		return
+	}
+	if !force {
+		if d := ps.lease.Load(); d == 0 || d >= time.Now().UnixNano() {
+			ps.mu.Unlock()
+			return
+		}
+	}
+	ps.gone = true
+	ps.mu.Unlock()
+
+	s.pidMu.Lock()
+	delete(s.pids, pid)
+	s.pidMu.Unlock()
+
+	// Drop the dead session's translator mappings. decRef reclaims frames
+	// nobody else holds; shared frames (cross-PID refs or mappings) live on.
+	for i := range s.trans {
+		sh := &s.trans[i]
+		var frames []int32
+		sh.mu.Lock()
+		for key, f := range sh.m {
+			if key.pid == pid {
+				delete(sh.m, key)
+				frames = append(frames, f)
+			}
+		}
+		sh.mu.Unlock()
+		for _, f := range frames {
+			s.decRef(f)
+		}
+	}
+
+	// Drop the refs the dead session created. Another PID that mapped one
+	// of these refs keeps its pages: map_ref took per-frame holds of its
+	// own, so only the ref entry's holds are released here.
+	for i := range s.refs {
+		sh := &s.refs[i]
+		var orphaned []*refEntry
+		sh.mu.Lock()
+		for key, ref := range sh.m {
+			if ref.owner == pid {
+				delete(sh.m, key)
+				orphaned = append(orphaned, ref)
+			}
+		}
+		sh.mu.Unlock()
+		for _, ref := range orphaned {
+			for _, f := range ref.frames {
+				s.decRef(f)
+			}
+		}
+	}
+}

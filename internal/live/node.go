@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dmwire"
 	"repro/internal/rpc"
@@ -28,11 +29,103 @@ type handlerEntry struct {
 	fast bool
 }
 
+// NodeConfig bounds a live endpoint's resource use and failure behaviour
+// (DESIGN.md §D8). The zero value of any field means "use the default".
+type NodeConfig struct {
+	// MaxFrameSize caps one frame's payload; frames claiming more are
+	// rejected before any allocation, so a corrupt or hostile length
+	// prefix cannot balloon memory. Default 16 MiB.
+	MaxFrameSize uint32
+	// MaxSlowPerConn caps concurrent goroutine-per-request (slow)
+	// handlers on one connection; past the cap the connection's read
+	// loop blocks, backpressuring the peer instead of exhausting server
+	// memory. Default 64.
+	MaxSlowPerConn int
+	// WriteTimeout bounds one response write, so a peer that stops
+	// reading cannot wedge a serving loop forever. Default 30s.
+	WriteTimeout time.Duration
+	// CallTimeout is the default overall deadline for one Call,
+	// including every retry. Default 15s. Negative disables.
+	CallTimeout time.Duration
+	// AttemptTimeout bounds a single request/response attempt inside a
+	// Call, so retries can fire before the overall deadline. Default 3s.
+	AttemptTimeout time.Duration
+	// DialTimeout bounds connection establishment. Default 3s.
+	DialTimeout time.Duration
+	// MaxRetries is how many times a failed attempt is retried (beyond
+	// the first attempt). Only idempotent or dedup-tokened calls retry.
+	// Default 3. Negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the first retry's backoff; it doubles per attempt
+	// (with jitter) up to RetryBackoffMax. Defaults 5ms / 500ms.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// DedupRetention is how long a completed tokened mutation's response
+	// stays replayable. Default 60s.
+	DedupRetention time.Duration
+	// Dialer replaces net.DialTimeout, letting tests route connections
+	// through fault injectors (internal/faultnet). Nil uses TCP.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// DefaultNodeConfig returns the production defaults described per field.
+func DefaultNodeConfig() NodeConfig {
+	return NodeConfig{
+		MaxFrameSize:    DefaultMaxFrameSize,
+		MaxSlowPerConn:  64,
+		WriteTimeout:    30 * time.Second,
+		CallTimeout:     15 * time.Second,
+		AttemptTimeout:  3 * time.Second,
+		DialTimeout:     3 * time.Second,
+		MaxRetries:      3,
+		RetryBackoff:    5 * time.Millisecond,
+		RetryBackoffMax: 500 * time.Millisecond,
+		DedupRetention:  60 * time.Second,
+	}
+}
+
+// withDefaults fills zero fields with the defaults.
+func (c NodeConfig) withDefaults() NodeConfig {
+	d := DefaultNodeConfig()
+	if c.MaxFrameSize == 0 {
+		c.MaxFrameSize = d.MaxFrameSize
+	}
+	if c.MaxSlowPerConn == 0 {
+		c.MaxSlowPerConn = d.MaxSlowPerConn
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = d.WriteTimeout
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = d.CallTimeout
+	}
+	if c.AttemptTimeout == 0 {
+		c.AttemptTimeout = d.AttemptTimeout
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = d.DialTimeout
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = d.MaxRetries
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = d.RetryBackoff
+	}
+	if c.RetryBackoffMax == 0 {
+		c.RetryBackoffMax = d.RetryBackoffMax
+	}
+	if c.DedupRetention == 0 {
+		c.DedupRetention = d.DedupRetention
+	}
+	return c
+}
+
 // Node is a live RPC endpoint: it serves registered methods over TCP and
 // issues calls to other nodes, multiplexing concurrent requests per
 // connection — the real-network counterpart of the simulator's rpc.Node,
 // speaking the same frame format the DM protocol uses.
 type Node struct {
+	cfg      NodeConfig
 	mu       sync.Mutex
 	handlers atomic.Pointer[map[rpc.Method]handlerEntry]
 	peers    map[string]*conn      // lazily dialed, keyed by address
@@ -41,16 +134,22 @@ type Node struct {
 	closed   chan struct{}
 	once     sync.Once
 	conns    sync.WaitGroup
+	dedup    dedupTable
 }
 
-// NewNode returns an empty node; register handlers, then Serve and/or
-// Call.
-func NewNode() *Node {
+// NewNode returns an empty node with default configuration; register
+// handlers, then Serve and/or Call.
+func NewNode() *Node { return NewNodeWith(NodeConfig{}) }
+
+// NewNodeWith returns an empty node with cfg (zero fields defaulted).
+func NewNodeWith(cfg NodeConfig) *Node {
 	n := &Node{
+		cfg:     cfg.withDefaults(),
 		peers:   make(map[string]*conn),
 		inbound: make(map[net.Conn]struct{}),
 		closed:  make(chan struct{}),
 	}
+	n.dedup.retention = n.cfg.DedupRetention
 	empty := make(map[rpc.Method]handlerEntry)
 	n.handlers.Store(&empty)
 	return n
@@ -128,8 +227,14 @@ func (n *Node) Serve(ln net.Listener) error {
 }
 
 // Close stops serving, closes peer connections, and waits for in-flight
-// request goroutines spawned by the accept loop.
-func (n *Node) Close() error {
+// request goroutines spawned by the accept loop. It is Shutdown with no
+// drain grace: inbound connections are cut immediately.
+func (n *Node) Close() error { return n.Shutdown(0) }
+
+// Shutdown stops accepting, closes peer connections, then lets inbound
+// connections drain naturally for up to grace before cutting the
+// stragglers; it always waits for every serving goroutine to finish.
+func (n *Node) Shutdown(grace time.Duration) error {
 	var err error
 	n.once.Do(func() {
 		n.mu.Lock()
@@ -140,8 +245,23 @@ func (n *Node) Close() error {
 		for _, c := range n.peers {
 			c.c.Close()
 		}
-		// Accepted connections must be closed too, or their serve
-		// goroutines would block in readFrame while clients linger.
+		n.mu.Unlock()
+		if grace > 0 {
+			drained := make(chan struct{})
+			go func() {
+				n.conns.Wait()
+				close(drained)
+			}()
+			t := time.NewTimer(grace)
+			select {
+			case <-drained:
+			case <-t.C:
+			}
+			t.Stop()
+		}
+		// Cut whatever is left, or their serve goroutines would block in
+		// readFrame while clients linger.
+		n.mu.Lock()
 		for c := range n.inbound {
 			c.Close()
 		}
@@ -153,55 +273,101 @@ func (n *Node) Close() error {
 
 // serveConn handles one inbound connection. Fast handlers run to
 // completion on this goroutine with a reused header scratch buffer; slow
-// handlers get one goroutine per request, with responses serialized by a
-// per-connection write lock shared with the inline path.
+// handlers get one goroutine per request — at most MaxSlowPerConn at a
+// time — with responses serialized by a per-connection write lock shared
+// with the inline path.
 func (n *Node) serveConn(c net.Conn) {
 	defer c.Close()
 	br := bufio.NewReaderSize(c, 64<<10)
 	var wmu sync.Mutex
+	var sem chan struct{}
+	if n.cfg.MaxSlowPerConn > 0 {
+		sem = make(chan struct{}, n.cfg.MaxSlowPerConn)
+	}
 	// Scratch for the inline path's response header: frame header + status.
 	scratch := make([]byte, 0, frameHeaderSize+1)
 	for {
-		kind, reqID, payload, err := readFrameBuf(br, scratch[:frameHeaderSize])
+		kind, reqID, payload, err := readFrameBuf(br, scratch[:frameHeaderSize], n.cfg.MaxFrameSize)
 		if err != nil {
 			return
 		}
-		if kind != kindRequest || len(payload) < 2 {
+		body := payload
+		var tok dmwire.Token
+		switch kind {
+		case kindRequest:
+		case kindRequestTok:
+			if len(body) < dmwire.TokenSize {
+				putBuf(payload)
+				return
+			}
+			tok, _ = dmwire.UnmarshalToken(body[:dmwire.TokenSize])
+			body = body[dmwire.TokenSize:]
+		default:
 			putBuf(payload)
 			return
 		}
-		m := rpc.Method(binary.BigEndian.Uint16(payload))
-		body := payload[2:]
+		if len(body) < 2 {
+			putBuf(payload)
+			return
+		}
+		m := rpc.Method(binary.BigEndian.Uint16(body))
+		reqBody := body[2:]
 		e, ok := n.lookup(m)
 		if ok && e.fast {
-			status, resp := runHandler(e.h, c.RemoteAddr(), body)
+			status, resp, cached := n.dedup.run(tok, func() (byte, []byte) {
+				return runHandler(e.h, c.RemoteAddr(), reqBody)
+			})
 			wmu.Lock()
+			n.armWriteDeadline(c)
 			err := writeFrameVec(c, scratch, kindResponse, reqID, []byte{status}, resp)
 			wmu.Unlock()
 			putBuf(payload)
-			putBuf(resp) // fast contract: resp never aliases payload
+			if !cached {
+				putBuf(resp) // fast contract: resp never aliases payload
+			}
 			if err != nil {
 				return
 			}
 			continue
 		}
+		if sem != nil {
+			// Blocking here backpressures this connection's read loop —
+			// the frame-level cap on slow-handler fan-out.
+			sem <- struct{}{}
+		}
 		go func() {
+			defer func() {
+				if sem != nil {
+					<-sem
+				}
+			}()
 			var status byte
 			var resp []byte
 			if !ok {
 				status, resp = dmwire.StatusErr, []byte(errNoSuchMethod.Error())
 			} else {
-				status, resp = runHandler(e.h, c.RemoteAddr(), body)
+				status, resp, _ = n.dedup.run(tok, func() (byte, []byte) {
+					return runHandler(e.h, c.RemoteAddr(), reqBody)
+				})
 			}
 			var hdr [frameHeaderSize + 1]byte
 			wmu.Lock()
+			n.armWriteDeadline(c)
 			_ = writeFrameVec(c, hdr[:0], kindResponse, reqID, []byte{status}, resp)
 			wmu.Unlock()
 			// The response (which may alias the request body) is fully
 			// written, so the request buffer can be recycled — but the
-			// response itself is handler-owned and is not.
+			// response itself is handler-owned (or dedup-cached) and is not.
 			putBuf(payload)
 		}()
+	}
+}
+
+// armWriteDeadline bounds the next response write so a peer that stops
+// reading cannot wedge this connection's writers forever.
+func (n *Node) armWriteDeadline(c net.Conn) {
+	if n.cfg.WriteTimeout > 0 {
+		c.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout))
 	}
 }
 
@@ -218,7 +384,8 @@ func runHandler(h Handler, from net.Addr, body []byte) (byte, []byte) {
 }
 
 // peer returns (dialing if needed) the multiplexed connection to addr.
-func (n *Node) peer(addr string) (*conn, error) {
+// deadline, when nonzero, bounds the dial along with cfg.DialTimeout.
+func (n *Node) peer(addr string, deadline time.Time) (*conn, error) {
 	n.mu.Lock()
 	c, ok := n.peers[addr]
 	n.mu.Unlock()
@@ -231,16 +398,40 @@ func (n *Node) peer(addr string) (*conn, error) {
 		}
 		// Reconnect over a fresh socket.
 		n.mu.Lock()
-		delete(n.peers, addr)
+		if n.peers[addr] == c {
+			delete(n.peers, addr)
+		}
 		n.mu.Unlock()
 	}
-	nc, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("live: dial %s: %w", addr, err)
+	timeout := n.cfg.DialTimeout
+	if !deadline.IsZero() {
+		if rem := time.Until(deadline); rem <= 0 {
+			return nil, fmt.Errorf("%w: dial %s: %v", errConnFailed, addr, ErrDeadline)
+		} else if timeout <= 0 || rem < timeout {
+			timeout = rem
+		}
 	}
-	c = &conn{c: nc, pending: make(map[uint64]chan response)}
+	var nc net.Conn
+	var err error
+	if n.cfg.Dialer != nil {
+		nc, err = n.cfg.Dialer(addr, timeout)
+	} else {
+		nc, err = net.DialTimeout("tcp", addr, timeout)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", errConnFailed, addr, err)
+	}
+	c = &conn{c: nc, maxFrame: n.cfg.MaxFrameSize, pending: make(map[uint64]chan response)}
 	go c.readLoop()
 	n.mu.Lock()
+	select {
+	case <-n.closed:
+		// The node closed while we dialed; don't leak the socket.
+		n.mu.Unlock()
+		nc.Close()
+		return nil, fmt.Errorf("%w: %s: node closed", errConnFailed, addr)
+	default:
+	}
 	if prev, raced := n.peers[addr]; raced {
 		n.mu.Unlock()
 		nc.Close()
@@ -271,9 +462,5 @@ func (n *Node) Call(addr string, m rpc.Method, body []byte) ([]byte, error) {
 // the pooled response body to consume before recycling it. consume may be
 // nil when the response body is irrelevant; it must not retain the slice.
 func (n *Node) CallConsume(addr string, m rpc.Method, hdr, payload []byte, consume func(resp []byte) error) error {
-	c, err := n.peer(addr)
-	if err != nil {
-		return err
-	}
-	return c.call(m, hdr, payload, consume)
+	return n.CallConsumeOpts(addr, m, hdr, payload, consume, CallOpts{})
 }

@@ -1,0 +1,105 @@
+package live
+
+import (
+	"errors"
+	"math/rand/v2"
+	"os"
+	"time"
+
+	"repro/internal/dmwire"
+	"repro/internal/rpc"
+)
+
+// ErrDeadline is returned when a call (or one attempt of it) exceeds its
+// deadline. It matches errors.Is against os.ErrDeadlineExceeded-style
+// checks only via itself; callers should test errors.Is(err, ErrDeadline).
+var ErrDeadline = errors.New("live: deadline exceeded")
+
+// errConnFailed tags transport-level failures (dial errors, dead or
+// poisoned connections, failed writes). Calls that fail with it may or
+// may not have executed on the server, so only idempotent or
+// dedup-tokened calls retry across it.
+var errConnFailed = errors.New("live: connection failed")
+
+// CallOpts tunes one call's failure behaviour.
+type CallOpts struct {
+	// Timeout is the overall deadline for the call including retries.
+	// 0 uses NodeConfig.CallTimeout; negative disables the deadline.
+	Timeout time.Duration
+	// Idempotent marks the call safe to retry without a dedup token
+	// (reads, heartbeats, same-bytes writes).
+	Idempotent bool
+	// Token, when nonzero, rides the request frame so the server
+	// deduplicates retried executions of a non-idempotent mutation
+	// (at-most-once application, response replayed on duplicates).
+	Token dmwire.Token
+}
+
+// isTransient reports whether err is a transport-level failure that a
+// retry on a (possibly fresh) connection could cure. Application errors
+// — the dm sentinels and AppError statuses — are never transient.
+func isTransient(err error) bool {
+	return errors.Is(err, errConnFailed) ||
+		errors.Is(err, ErrDeadline) ||
+		errors.Is(err, os.ErrDeadlineExceeded)
+}
+
+// CallConsumeOpts is CallConsume with explicit failure-behaviour options:
+// an overall deadline spanning every attempt, per-attempt timeouts so a
+// stalled server cannot absorb the whole budget, and — for idempotent or
+// dedup-tokened calls — exponential-backoff retries over the node's
+// reconnect path. consume runs at most once, on the successful attempt.
+func (n *Node) CallConsumeOpts(addr string, m rpc.Method, hdr, payload []byte, consume func(resp []byte) error, opts CallOpts) error {
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = n.cfg.CallTimeout
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	canRetry := (opts.Idempotent || !opts.Token.IsZero()) && n.cfg.MaxRetries > 0
+	backoff := n.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		err := n.attempt(addr, m, hdr, payload, consume, deadline, opts.Token)
+		if err == nil {
+			return nil
+		}
+		if !canRetry || attempt >= n.cfg.MaxRetries || !isTransient(err) {
+			return err
+		}
+		// Full jitter on the exponential backoff so synchronized clients
+		// don't stampede a recovering server.
+		d := time.Duration(rand.Int64N(int64(backoff)) + int64(backoff)/2)
+		if backoff *= 2; backoff > n.cfg.RetryBackoffMax {
+			backoff = n.cfg.RetryBackoffMax
+		}
+		if !deadline.IsZero() {
+			rem := time.Until(deadline)
+			if rem <= 0 {
+				return err
+			}
+			if d >= rem {
+				d = rem / 2 // leave budget for the retry itself
+			}
+		}
+		time.Sleep(d)
+	}
+}
+
+// attempt performs one request/response exchange, bounded by the sooner
+// of the overall deadline and the per-attempt timeout.
+func (n *Node) attempt(addr string, m rpc.Method, hdr, payload []byte, consume func(resp []byte) error, deadline time.Time, tok dmwire.Token) error {
+	attemptDeadline := deadline
+	if n.cfg.AttemptTimeout > 0 {
+		ad := time.Now().Add(n.cfg.AttemptTimeout)
+		if attemptDeadline.IsZero() || ad.Before(attemptDeadline) {
+			attemptDeadline = ad
+		}
+	}
+	c, err := n.peer(addr, attemptDeadline)
+	if err != nil {
+		return err
+	}
+	return c.call(m, hdr, payload, consume, attemptDeadline, tok)
+}

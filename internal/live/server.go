@@ -27,6 +27,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dm"
 	"repro/internal/dmwire"
@@ -36,17 +37,32 @@ import (
 // Frame layout: length-prefixed messages on a TCP stream.
 //
 //	u32 payloadLen | u8 kind | u64 reqID | payload
-//	request payload:  u16 method | body
-//	response payload: u8 status  | body
+//	request payload:           u16 method | body
+//	tokened request payload:   16-byte dedup token | u16 method | body
+//	response payload:          u8 status  | body
+//
+// kindRequestTok carries a dedup token (dmwire.Token) ahead of the
+// method, marking the request as a retryable non-idempotent mutation the
+// server must apply at most once (DESIGN.md §D8).
 const (
 	frameHeaderSize = 4 + 1 + 8
 	kindRequest     = 1
 	kindResponse    = 2
+	kindRequestTok  = 3
 )
 
-// MaxMessageSize bounds one frame's payload (guards against corrupt
-// length prefixes).
-const MaxMessageSize = 64 << 20
+// DefaultMaxFrameSize is the default cap on one frame's bulk payload
+// (guards against corrupt or hostile length prefixes). Tunable per
+// endpoint via NodeConfig.MaxFrameSize / ServerConfig.MaxFrameSize. The
+// frame reader grants frameOverhead on top, so a cap of N admits an
+// N-byte DM transfer despite the token/method/status/codec bytes riding
+// in the same frame.
+const DefaultMaxFrameSize = 16 << 20
+
+// frameOverhead is the fixed allowance added to the frame-size cap for
+// protocol bytes: dedup token (16), method (2) or status (1), and the
+// largest fixed-size codec header.
+const frameOverhead = 128
 
 // errFrameTooLarge reports a corrupt or hostile length prefix.
 var errFrameTooLarge = errors.New("live: frame exceeds maximum message size")
@@ -84,14 +100,15 @@ func writeFrameVec(w io.Writer, scratch []byte, kind byte, reqID uint64, prefix,
 }
 
 // readFrame reads one frame into a freshly allocated payload (slow path,
-// retained for the fuzz harness; hot paths use readFrameBuf).
-func readFrame(r io.Reader) (kind byte, reqID uint64, payload []byte, err error) {
+// retained for the fuzz harness; hot paths use readFrameBuf). max caps
+// the payload length and is checked before any allocation.
+func readFrame(r io.Reader, max uint32) (kind byte, reqID uint64, payload []byte, err error) {
 	hdr := make([]byte, frameHeaderSize)
 	if _, err = io.ReadFull(r, hdr); err != nil {
 		return 0, 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr)
-	if n > MaxMessageSize {
+	if uint64(n) > uint64(max)+frameOverhead {
 		return 0, 0, nil, errFrameTooLarge
 	}
 	kind = hdr[4]
@@ -105,14 +122,15 @@ func readFrame(r io.Reader) (kind byte, reqID uint64, payload []byte, err error)
 
 // readFrameBuf reads one frame into a pooled payload buffer. Ownership of
 // the returned payload passes to the caller, who must putBuf it after the
-// last use (see bufpool.go for the ownership rules).
-func readFrameBuf(r io.Reader, hdr []byte) (kind byte, reqID uint64, payload []byte, err error) {
+// last use (see bufpool.go for the ownership rules). max caps the payload
+// length and is checked before any allocation.
+func readFrameBuf(r io.Reader, hdr []byte, max uint32) (kind byte, reqID uint64, payload []byte, err error) {
 	hdr = hdr[:frameHeaderSize]
 	if _, err = io.ReadFull(r, hdr); err != nil {
 		return 0, 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr)
-	if n > MaxMessageSize {
+	if uint64(n) > uint64(max)+frameOverhead {
 		return 0, 0, nil, errFrameTooLarge
 	}
 	kind = hdr[4]
@@ -125,17 +143,40 @@ func readFrameBuf(r io.Reader, hdr []byte) (kind byte, reqID uint64, payload []b
 	return kind, reqID, payload, nil
 }
 
-// ServerConfig sizes a live DM server.
+// ServerConfig sizes a live DM server and tunes its failure behaviour.
 type ServerConfig struct {
 	// NumPages is the pinned pool size in pages.
 	NumPages int
 	// PageSize is the page granularity in bytes.
 	PageSize int
+	// LeaseTTL is the session lease granted to each registered PID.
+	// A PID whose lease expires without a heartbeat is presumed dead and
+	// reaped: its VA regions, translator mappings, and created refs are
+	// reclaimed (frames still held by other PIDs' mappings survive via
+	// their refcounts). 0 disables leasing — sessions live forever, as
+	// before this knob existed.
+	LeaseTTL time.Duration
+	// DrainTimeout bounds the graceful phase of Close: accepting stops
+	// immediately, in-flight connections get this long to finish, then
+	// stragglers are cut. 0 cuts immediately.
+	DrainTimeout time.Duration
+	// MaxFrameSize caps one request frame's payload (0 = 16 MiB default).
+	MaxFrameSize uint32
+	// MaxSlowPerConn caps per-connection slow-handler goroutines
+	// (0 = default 64). The DM ops themselves are fast handlers; this
+	// guards extra Handle-registered methods.
+	MaxSlowPerConn int
 }
 
-// DefaultServerConfig returns a 256 MiB pool of 4 KiB pages.
+// DefaultServerConfig returns a 256 MiB pool of 4 KiB pages with a 15 s
+// session lease and a 1 s drain on Close.
 func DefaultServerConfig() ServerConfig {
-	return ServerConfig{NumPages: 1 << 16, PageSize: 4096}
+	return ServerConfig{
+		NumPages:     1 << 16,
+		PageSize:     4096,
+		LeaseTTL:     15 * time.Second,
+		DrainTimeout: time.Second,
+	}
 }
 
 // Validate reports a configuration error, if any.
@@ -171,9 +212,21 @@ type refShard struct {
 // VA-range-dependent data ops (rread/rwrite/create_ref) hold it shared for
 // their whole duration so a racing rfree cannot strand translator entries
 // for a region that no longer exists.
+//
+// The lease reaper takes mu exclusively, rechecks the lease, and sets
+// gone before reclaiming anything — so every op that acquires mu (shared
+// or exclusive) checks gone first and bails with dm.ErrBadAddress,
+// guaranteeing no op publishes new state for a session being torn down.
 type pidState struct {
-	mu sync.RWMutex
-	va *dm.VAAllocator
+	mu    sync.RWMutex
+	va    *dm.VAAllocator
+	gone  bool         // set (under mu) when the session is reaped
+	lease atomic.Int64 // lease deadline, unixnano; 0 = leasing disabled
+}
+
+// renewLease extends the lease to now+ttl.
+func (ps *pidState) renewLease(ttl time.Duration) {
+	ps.lease.Store(time.Now().Add(ttl).UnixNano())
 }
 
 // Server is a live DM server: the paper's page manager and address
@@ -198,7 +251,11 @@ type Server struct {
 	refs    [refShardCount]refShard
 	nextKey atomic.Uint64
 
-	node *Node
+	node       *Node
+	closeOnce  sync.Once
+	closeErr   error
+	reaperStop chan struct{}
+	reaperDone chan struct{}
 }
 
 type transKey struct {
@@ -209,6 +266,7 @@ type transKey struct {
 type refEntry struct {
 	frames []int32 // immutable after publication
 	size   int64
+	owner  uint32 // creating PID, so the lease reaper can reclaim its refs
 }
 
 // transShardOf picks the translator stripe for a key.
@@ -233,7 +291,12 @@ func NewServer(cfg ServerConfig) *Server {
 		refcnt: make([]atomic.Int32, cfg.NumPages),
 		free:   make([]int32, cfg.NumPages),
 		pids:   make(map[uint32]*pidState),
-		node:   NewNode(),
+		node: NewNodeWith(NodeConfig{
+			MaxFrameSize:   cfg.MaxFrameSize,
+			MaxSlowPerConn: cfg.MaxSlowPerConn,
+		}),
+		reaperStop: make(chan struct{}),
+		reaperDone: make(chan struct{}),
 	}
 	for i := range s.free {
 		s.free[i] = int32(i)
@@ -247,7 +310,7 @@ func NewServer(cfg ServerConfig) *Server {
 	for _, m := range []rpc.Method{
 		dmwire.MRegister, dmwire.MAlloc, dmwire.MFree, dmwire.MCreateRef,
 		dmwire.MMapRef, dmwire.MFreeRef, dmwire.MRead, dmwire.MWrite,
-		dmwire.MStage, dmwire.MReadRef,
+		dmwire.MStage, dmwire.MReadRef, dmwire.MHeartbeat,
 	} {
 		m := m
 		// DM operations are short and never block on other RPCs, so they
@@ -257,14 +320,42 @@ func NewServer(cfg ServerConfig) *Server {
 			return s.handle(m, body)
 		})
 	}
+	if cfg.LeaseTTL > 0 {
+		go s.reaper()
+	} else {
+		close(s.reaperDone)
+	}
 	return s
 }
 
 // Serve accepts connections on ln until Close. It returns nil after Close.
 func (s *Server) Serve(ln net.Listener) error { return s.node.Serve(ln) }
 
-// Close stops accepting and waits for in-flight connections to finish.
-func (s *Server) Close() error { return s.node.Close() }
+// Close gracefully drains the server: it stops accepting immediately,
+// gives in-flight connections DrainTimeout to finish, cuts stragglers,
+// stops the lease reaper, and finally force-reaps every remaining session
+// so the pool returns to a fully-free state. Idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.closeErr = s.node.Shutdown(s.cfg.DrainTimeout)
+		if s.cfg.LeaseTTL > 0 {
+			close(s.reaperStop)
+		}
+		<-s.reaperDone
+		// Every handler has finished (Shutdown waits for serving
+		// goroutines), so the force-reap below races nothing.
+		s.pidMu.RLock()
+		pids := make(map[uint32]*pidState, len(s.pids))
+		for pid, ps := range s.pids {
+			pids[pid] = ps
+		}
+		s.pidMu.RUnlock()
+		for pid, ps := range pids {
+			s.reapPID(pid, ps, true)
+		}
+	})
+	return s.closeErr
+}
 
 // FreePages returns the number of free frames (tests, monitoring).
 func (s *Server) FreePages() int {
@@ -320,6 +411,8 @@ func (s *Server) handle(m rpc.Method, body []byte) ([]byte, error) {
 		return s.stage(body)
 	case dmwire.MReadRef:
 		return s.readRef(body)
+	case dmwire.MHeartbeat:
+		return s.heartbeat(body)
 	default:
 		return nil, errNoSuchMethod
 	}
@@ -381,13 +474,43 @@ func (s *Server) decRef(f int32) {
 
 // --- operations ---
 
+// leaseMillis is the granted TTL on the wire (0 = leasing disabled).
+func (s *Server) leaseMillis() uint32 {
+	return uint32(s.cfg.LeaseTTL / time.Millisecond)
+}
+
 func (s *Server) register() ([]byte, error) {
 	pid := s.nextPID.Add(1) - 1
 	ps := &pidState{va: dm.NewVAAllocator(s.cfg.PageSize, 1<<16, 1<<40)}
+	if s.cfg.LeaseTTL > 0 {
+		ps.renewLease(s.cfg.LeaseTTL)
+	}
 	s.pidMu.Lock()
 	s.pids[pid] = ps
 	s.pidMu.Unlock()
-	return dmwire.RegisterResp{PID: pid}.Marshal(), nil
+	return dmwire.RegisterResp{PID: pid, LeaseMillis: s.leaseMillis()}.Marshal(), nil
+}
+
+// heartbeat renews pid's lease. A reaped (or never-registered) session
+// gets dm.ErrBadAddress, telling the client its state is gone for good.
+func (s *Server) heartbeat(body []byte) ([]byte, error) {
+	req, err := dmwire.UnmarshalHeartbeatReq(body)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := s.pidState(req.PID)
+	if err != nil {
+		return nil, err
+	}
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	if ps.gone {
+		return nil, dm.ErrBadAddress
+	}
+	if s.cfg.LeaseTTL > 0 {
+		ps.renewLease(s.cfg.LeaseTTL)
+	}
+	return dmwire.HeartbeatResp{LeaseMillis: s.leaseMillis()}.Marshal(), nil
 }
 
 func (s *Server) pidState(pid uint32) (*pidState, error) {
@@ -410,6 +533,10 @@ func (s *Server) alloc(body []byte) ([]byte, error) {
 		return nil, err
 	}
 	ps.mu.Lock()
+	if ps.gone {
+		ps.mu.Unlock()
+		return nil, dm.ErrBadAddress
+	}
 	addr, err := ps.va.Alloc(req.Size)
 	ps.mu.Unlock()
 	if err != nil {
@@ -429,6 +556,9 @@ func (s *Server) freeRegion(body []byte) ([]byte, error) {
 	}
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
+	if ps.gone {
+		return nil, dm.ErrBadAddress
+	}
 	size, err := ps.va.Free(req.Addr)
 	if err != nil {
 		return nil, err
@@ -506,6 +636,9 @@ func (s *Server) createRef(body []byte) ([]byte, error) {
 	}
 	ps.mu.RLock()
 	defer ps.mu.RUnlock()
+	if ps.gone {
+		return nil, dm.ErrBadAddress
+	}
 	if err := s.checkRange(ps, req.Addr, req.Size); err != nil {
 		return nil, err
 	}
@@ -528,7 +661,7 @@ func (s *Server) createRef(body []byte) ([]byte, error) {
 	key := s.nextKey.Add(1) - 1
 	sh := s.refShardOf(key)
 	sh.mu.Lock()
-	sh.m[key] = &refEntry{frames: frames, size: req.Size}
+	sh.m[key] = &refEntry{frames: frames, size: req.Size, owner: req.PID}
 	sh.mu.Unlock()
 	return dmwire.RefKeyResp{Key: key}.Marshal(), nil
 }
@@ -560,6 +693,14 @@ func (s *Server) mapRef(body []byte) ([]byte, error) {
 
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
+	if ps.gone {
+		// The mapping holds taken above roll back; the ref itself (if it
+		// belonged to another live PID) is untouched.
+		for _, f := range frames {
+			s.decRef(f)
+		}
+		return nil, dm.ErrBadAddress
+	}
 	addr, err := ps.va.Alloc(size)
 	if err != nil {
 		for _, f := range frames {
@@ -624,6 +765,9 @@ func (s *Server) read(body []byte) ([]byte, error) {
 	size := int64(req.Size)
 	ps.mu.RLock()
 	defer ps.mu.RUnlock()
+	if ps.gone {
+		return nil, dm.ErrBadAddress
+	}
 	if err := s.checkRange(ps, req.Addr, size); err != nil {
 		return nil, err
 	}
@@ -663,6 +807,9 @@ func (s *Server) write(body []byte) ([]byte, error) {
 	size := int64(len(req.Data))
 	ps.mu.RLock()
 	defer ps.mu.RUnlock()
+	if ps.gone {
+		return nil, dm.ErrBadAddress
+	}
 	if err := s.checkRange(ps, req.Addr, size); err != nil {
 		return nil, err
 	}
@@ -736,6 +883,10 @@ func (s *Server) stage(body []byte) ([]byte, error) {
 	if len(req.Data) == 0 {
 		return nil, dm.ErrOutOfRange
 	}
+	ps, err := s.pidState(req.PID)
+	if err != nil {
+		return nil, err
+	}
 	pages := dm.PageCount(int64(len(req.Data)), s.cfg.PageSize)
 	frames := s.popFrames(pages)
 	if frames == nil {
@@ -755,10 +906,23 @@ func (s *Server) stage(body []byte) ([]byte, error) {
 		s.refcnt[f].Store(1)
 	}
 	key := s.nextKey.Add(1) - 1
+	// Publish under the owner's shared lock: the lease reaper holds
+	// ps.mu exclusively, so either it already ran (gone — roll the frames
+	// back, nothing leaks) or the entry lands in the shard before the
+	// reaper's ref sweep can start and is reclaimed by it normally.
+	ps.mu.RLock()
+	if ps.gone {
+		ps.mu.RUnlock()
+		for _, f := range frames {
+			s.decRef(f)
+		}
+		return nil, dm.ErrBadAddress
+	}
 	sh := s.refShardOf(key)
 	sh.mu.Lock()
-	sh.m[key] = &refEntry{frames: frames, size: int64(len(req.Data))}
+	sh.m[key] = &refEntry{frames: frames, size: int64(len(req.Data)), owner: req.PID}
 	sh.mu.Unlock()
+	ps.mu.RUnlock()
 	return dmwire.RefKeyResp{Key: key}.Marshal(), nil
 }
 
