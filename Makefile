@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet check test test-short bench bench-live experiments experiments-full fuzz fuzz-smoke clean
+.PHONY: all build vet check test test-short bench bench-live bench-liverpc experiments experiments-full fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -17,7 +17,7 @@ vet:
 # server's concurrency — and the chaos/lease-reaping tests — are only
 # trustworthy raced).
 check: vet
-	$(GO) test -race ./internal/live/... ./internal/dmwire/... ./internal/faultnet/...
+	$(GO) test -race ./internal/live/... ./internal/liverpc/... ./internal/dmwire/... ./internal/faultnet/...
 
 # Full suite: unit, property, invariant and paper-shape tests (~4 min),
 # gated on the race-checked hot path and a brief fuzz pass over every
@@ -38,6 +38,12 @@ bench:
 bench-live:
 	$(GO) test -run '^$$' -bench 'BenchmarkLive' -benchmem ./internal/live | $(GO) run ./cmd/benchjson -out BENCH_live.json
 
+# Application-level chain RPC benchmark (live Fig 5): payload sweep in
+# by-value and by-ref modes plus the measured crossover size, recorded to
+# BENCH_liverpc.json.
+bench-liverpc:
+	$(GO) test -run '^$$' -bench 'BenchmarkLiveRPC' -benchmem ./internal/liverpc | $(GO) run ./cmd/benchjson -out BENCH_liverpc.json
+
 # Regenerate every figure as text tables (quick windows).
 experiments:
 	$(GO) run ./cmd/dmrpc-bench -experiment all -scale quick
@@ -53,6 +59,7 @@ fuzz-smoke:
 	$(GO) test ./internal/live -run='^$$' -fuzz=FuzzServerDispatch -fuzztime=5s
 	$(GO) test ./internal/dmwire -run='^$$' -fuzz=FuzzUnmarshal -fuzztime=5s
 	$(GO) test ./internal/dmwire -run='^$$' -fuzz=FuzzStatusRoundTrip -fuzztime=5s
+	$(GO) test ./internal/dmwire -run='^$$' -fuzz=FuzzCallEnvelope -fuzztime=5s
 
 # Brief fuzzing passes over every wire-facing decoder.
 fuzz:
@@ -61,6 +68,7 @@ fuzz:
 	$(GO) test ./internal/transport -run='^$$' -fuzz=FuzzDecodeHeader -fuzztime=30s
 	$(GO) test ./internal/rpc -run='^$$' -fuzz=FuzzDec -fuzztime=30s
 	$(GO) test ./internal/dm -run='^$$' -fuzz=FuzzUnmarshalRef -fuzztime=30s
+	$(GO) test ./internal/dmwire -run='^$$' -fuzz=FuzzCallEnvelope -fuzztime=30s
 
 clean:
 	$(GO) clean ./...

@@ -30,6 +30,9 @@ type Result struct {
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra collects custom b.ReportMetric units the fixed fields don't
+	// know (e.g. "crossover-bytes" from the liverpc chain benchmark).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the whole run: environment header lines plus every result.
@@ -111,6 +114,11 @@ func parseLine(line string) (Result, bool) {
 			r.BytesPerOp = int64(v)
 		case "allocs/op":
 			r.AllocsPerOp = int64(v)
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[fields[i+1]] = v
 		}
 	}
 	if r.NsPerOp == 0 {

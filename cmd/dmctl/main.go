@@ -13,9 +13,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/apps"
 	"repro/internal/live"
+	"repro/internal/liverpc"
 	"repro/internal/stats"
 )
 
@@ -25,6 +28,13 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
+	}
+
+	// chain deploys its own service processes and DM sessions (the
+	// -server flag may name a comma-separated DM pool for it).
+	if args[0] == "chain" {
+		cmdChain(strings.Split(*server, ","), args[1:])
+		return
 	}
 
 	cl, err := live.Dial(*server)
@@ -45,11 +55,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dmctl [-server host:port] <command>
+	fmt.Fprintln(os.Stderr, `usage: dmctl [-server host:port[,host:port...]] <command>
 commands:
   stage     -text <s>           stage a string, print its ref
   roundtrip -size <n>           stage n bytes, read them back, verify
-  bench     -size <n> -n <ops>  measure stage/readref/free latency`)
+  bench     -size <n> -n <ops>  measure stage/readref/free latency
+  chain     -hops <h> -size <n> -n <ops>
+                                run the liverpc chain app against the
+                                server pool by value and by ref, compare`)
 	os.Exit(2)
 }
 
@@ -126,4 +139,49 @@ func cmdBench(cl *live.Client, args []string) {
 	fmt.Printf("stage:    %s\n", stage.Summarize())
 	fmt.Printf("read_ref: %s\n", read.Summarize())
 	fmt.Printf("free_ref: %s\n", free.Summarize())
+}
+
+// cmdChain runs the liverpc chain application (paper Fig 5) against the
+// DM pool, once passing the payload by value through every hop and once
+// passing it by reference, then prints the side-by-side latencies.
+func cmdChain(dmAddrs []string, args []string) {
+	fs := flag.NewFlagSet("chain", flag.ExitOnError)
+	hops := fs.Int("hops", 3, "chain length (services)")
+	size := fs.Int("size", 65536, "payload size in bytes")
+	n := fs.Int("n", 200, "calls per mode")
+	fs.Parse(args)
+
+	payload := make([]byte, *size)
+	apps.FillPayload(payload, uint64(*size))
+	want := apps.Aggregate(payload)
+
+	run := func(mode string, cfg liverpc.Config) *stats.Histogram {
+		d, err := liverpc.DeployChain(*hops, dmAddrs, cfg)
+		exitOn(err)
+		defer d.Close()
+		var h stats.Histogram
+		for i := 0; i < *n; i++ {
+			t0 := time.Now()
+			got, err := d.Client.Do(payload)
+			exitOn(err)
+			h.Record(time.Since(t0).Nanoseconds())
+			if got != want {
+				exitOn(fmt.Errorf("%s chain returned sum %d, want %d", mode, got, want))
+			}
+		}
+		fmt.Printf("%-8s  %s\n", mode, h.Summarize())
+		return &h
+	}
+
+	fmt.Printf("chain: %d hops, %s payload, %d calls per mode\n",
+		*hops, stats.Bytes(int64(*size)), *n)
+	val := run("by-value", liverpc.Config{ForceInline: true})
+	ref := run("by-ref", liverpc.Config{})
+	vm, rm := val.Mean(), ref.Mean()
+	switch {
+	case rm < vm:
+		fmt.Printf("by-ref wins: %.2fx faster at this size\n", vm/rm)
+	default:
+		fmt.Printf("by-value wins: %.2fx faster at this size (payload below crossover)\n", rm/vm)
+	}
 }

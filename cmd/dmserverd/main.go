@@ -32,6 +32,7 @@ func main() {
 	drain := flag.Duration("drain", time.Second, "graceful drain window on shutdown before connections are cut")
 	maxFrame := flag.Uint("max-frame", live.DefaultMaxFrameSize, "maximum accepted frame payload in bytes")
 	maxSlow := flag.Int("max-slow", 64, "maximum concurrent slow handlers per connection")
+	statsEvery := flag.Duration("stats", 0, "print free-page/live-ref counters at this interval (0 disables)")
 	flag.Parse()
 
 	cfg := live.ServerConfig{
@@ -52,6 +53,15 @@ func main() {
 	}
 	fmt.Printf("dmserverd: serving %d pages x %dB (%d MiB) on %s\n",
 		*pages, *pageSize, *pages**pageSize>>20, ln.Addr())
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				fmt.Printf("dmserverd: free_pages=%d live_refs=%d\n",
+					srv.FreePages(), srv.LiveRefs())
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

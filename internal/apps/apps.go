@@ -1,0 +1,57 @@
+// Package apps holds the backend-agnostic application logic of the
+// paper's evaluation workloads, shared by the simulator service layer
+// (internal/msvc) and the live TCP service layer (internal/liverpc) so
+// the two worlds compute the same thing and cannot drift: the Chain
+// terminal's aggregation loop (Fig 5) and the SocialNet post-media
+// conventions (Fig 11). Pure functions over byte slices — no transport,
+// no simulation.
+package apps
+
+import "fmt"
+
+// Aggregate is the chain terminal's worker loop (paper Listing 1): a
+// full pass over the payload reducing it to one value. Byte-summing
+// makes the result payload-content-sensitive, so end-to-end tests can
+// verify the right bytes arrived through either transport.
+func Aggregate(buf []byte) uint64 {
+	var sum uint64
+	for _, b := range buf {
+		sum += uint64(b)
+	}
+	return sum
+}
+
+// FillPayload writes a deterministic, offset-sensitive pattern seeded by
+// seed, so torn or misordered transfers change the aggregate.
+func FillPayload(buf []byte, seed uint64) {
+	for i := range buf {
+		buf[i] = byte(seed + uint64(i)*31)
+	}
+}
+
+// FillMedia stamps a post's media buffer with its post id, making each
+// post's content distinguishable when read back.
+func FillMedia(buf []byte, id uint64) {
+	if len(buf) == 0 {
+		return
+	}
+	FillPayload(buf, id*7919)
+	buf[0] = byte(id)
+}
+
+// CheckMedia verifies a media buffer read back from storage matches what
+// FillMedia wrote for id.
+func CheckMedia(buf []byte, id uint64) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	if buf[0] != byte(id) {
+		return fmt.Errorf("apps: media tagged %d, want %d", buf[0], byte(id))
+	}
+	for i := 1; i < len(buf); i++ {
+		if buf[i] != byte(id*7919+uint64(i)*31) {
+			return fmt.Errorf("apps: media for post %d corrupt at byte %d", id, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package apps
+
+import "testing"
+
+func TestAggregateSensitivity(t *testing.T) {
+	buf := make([]byte, 4096)
+	FillPayload(buf, 3)
+	sum := Aggregate(buf)
+	buf[137]++
+	if Aggregate(buf) == sum {
+		t.Fatal("aggregate did not change when a byte changed")
+	}
+}
+
+func TestMediaRoundTrip(t *testing.T) {
+	buf := make([]byte, 512)
+	for id := uint64(0); id < 5; id++ {
+		FillMedia(buf, id)
+		if err := CheckMedia(buf, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	FillMedia(buf, 9)
+	if err := CheckMedia(buf, 10); err == nil {
+		t.Fatal("CheckMedia accepted media from another post")
+	}
+	FillMedia(buf, 4)
+	buf[99] ^= 0xff
+	if err := CheckMedia(buf, 4); err == nil {
+		t.Fatal("CheckMedia accepted corrupt media")
+	}
+}

@@ -1,0 +1,237 @@
+package dmwire
+
+import (
+	"errors"
+
+	"repro/internal/dm"
+	"repro/internal/rpc"
+)
+
+// Call-envelope codec for the application-level DmRPC framework
+// (internal/liverpc). One envelope is the body of one service call frame:
+// the target method name, trace/deadline propagation fields, and the
+// argument list, where each argument is either inline bytes (small
+// values) or a Ref descriptor into disaggregated memory (large values
+// staged once by the producer). The response body is a ReturnEnvelope
+// carrying the result list in the same argument codec.
+
+// Envelope decoding limits. These are defensive caps applied before any
+// per-item allocation, mirroring MaxFrameSize at the frame layer: a
+// hostile count or length field must not balloon memory.
+const (
+	// MaxMethodLen caps a method name's wire length in bytes.
+	MaxMethodLen = 255
+	// MaxCallArgs caps the number of arguments (or results) per envelope.
+	MaxCallArgs = 64
+)
+
+// Envelope decode errors.
+var (
+	ErrMethodTooLong = errors.New("dmwire: method name exceeds MaxMethodLen")
+	ErrTooManyArgs   = errors.New("dmwire: envelope exceeds MaxCallArgs arguments")
+	ErrBadEnvelope   = errors.New("dmwire: malformed call envelope")
+)
+
+// CallArg is one size-aware argument descriptor: inline payload bytes or
+// a Ref into disaggregated memory. Exactly the paper's pass-by-value /
+// pass-by-reference split, at the wire layer.
+type CallArg struct {
+	// IsRef selects the representation.
+	IsRef bool
+	// Ref names the staged pages (valid when IsRef).
+	Ref dm.Ref
+	// Inline is the in-message payload (valid when !IsRef). Unmarshal
+	// aliases the envelope buffer; callers that retain it must copy.
+	Inline []byte
+}
+
+// Size returns the argument's logical payload length.
+func (a CallArg) Size() int64 {
+	if a.IsRef {
+		return a.Ref.Size
+	}
+	return int64(len(a.Inline))
+}
+
+// wireSize returns the argument's encoded length.
+func (a CallArg) wireSize() int {
+	if a.IsRef {
+		return 1 + dm.EncodedRefSize
+	}
+	return 1 + 4 + len(a.Inline)
+}
+
+// encode appends the argument. When skipInlineBytes is set the inline
+// length prefix is written but the raw bytes are omitted (the bulk-arg
+// vectored-write path).
+func (a CallArg) encode(e *rpc.Enc, skipInlineBytes bool) {
+	if a.IsRef {
+		e.U8(1)
+		a.Ref.Encode(e)
+		return
+	}
+	e.U8(0)
+	if skipInlineBytes {
+		e.U32(uint32(len(a.Inline)))
+		return
+	}
+	e.Blob(a.Inline)
+}
+
+// decodeCallArg reads one argument, aliasing d's buffer for inline data.
+// Flags other than 0/1 are rejected so the codec stays canonical.
+func decodeCallArg(d *rpc.Dec) (CallArg, error) {
+	switch d.U8() {
+	case 1:
+		return CallArg{IsRef: true, Ref: dm.DecodeRef(d)}, nil
+	case 0:
+		return CallArg{Inline: d.Blob()}, nil
+	default:
+		return CallArg{}, ErrBadEnvelope
+	}
+}
+
+// CallEnvelope is the request body of one liverpc service call.
+type CallEnvelope struct {
+	// Method is the registered service method name.
+	Method string
+	// TraceID identifies the end-to-end request; minted at the top-level
+	// caller and propagated unchanged down nested calls.
+	TraceID uint64
+	// Hop is the nesting depth, incremented per forwarding service.
+	Hop uint8
+	// DeadlineMillis is the caller's remaining deadline budget at send
+	// time, in milliseconds; 0 means no deadline. Propagating the
+	// remaining budget (not an absolute timestamp) keeps the field
+	// meaningful across unsynchronized clocks.
+	DeadlineMillis uint32
+	// Args is the argument list.
+	Args []CallArg
+}
+
+// marshal encodes the envelope; when hdrOnly is set and the final
+// argument is inline, that argument's raw bytes are omitted so they can
+// ride the socket as their own iovec.
+func (env CallEnvelope) marshal(hdrOnly bool) []byte {
+	n := 4 + len(env.Method) + 8 + 1 + 4 + 1
+	for _, a := range env.Args {
+		n += a.wireSize()
+	}
+	e := rpc.NewEnc(n)
+	e.Str(env.Method)
+	e.U64(env.TraceID)
+	e.U8(env.Hop)
+	e.U32(env.DeadlineMillis)
+	e.U8(uint8(len(env.Args)))
+	for i, a := range env.Args {
+		a.encode(e, hdrOnly && i == len(env.Args)-1)
+	}
+	return e.Bytes()
+}
+
+// Marshal encodes the full envelope, inline bytes included.
+func (env CallEnvelope) Marshal() []byte { return env.marshal(false) }
+
+// MarshalHdr encodes the envelope with the final argument's inline bytes
+// omitted (its length prefix stays), for transports that write those
+// bytes as their own vectored segment:
+//
+//	Marshal() == append(MarshalHdr(), lastArg.Inline...)
+//
+// Valid only when the final argument is inline; envelopes whose last
+// argument is a Ref (or that have no arguments) get the full encoding.
+func (env CallEnvelope) MarshalHdr() []byte {
+	if n := len(env.Args); n == 0 || env.Args[n-1].IsRef {
+		return env.marshal(false)
+	}
+	return env.marshal(true)
+}
+
+// Bulk returns the bytes MarshalHdr omitted (nil when MarshalHdr is the
+// full encoding).
+func (env CallEnvelope) Bulk() []byte {
+	if n := len(env.Args); n > 0 && !env.Args[n-1].IsRef {
+		return env.Args[n-1].Inline
+	}
+	return nil
+}
+
+// UnmarshalCallEnvelope decodes a call envelope. Inline argument bytes
+// alias b.
+func UnmarshalCallEnvelope(b []byte) (CallEnvelope, error) {
+	d := rpc.NewDec(b)
+	method := d.Blob()
+	if len(method) > MaxMethodLen {
+		return CallEnvelope{}, ErrMethodTooLong
+	}
+	env := CallEnvelope{
+		Method:  string(method),
+		TraceID: d.U64(),
+		Hop:     d.U8(),
+	}
+	env.DeadlineMillis = d.U32()
+	args, err := decodeArgs(d)
+	if err != nil {
+		return CallEnvelope{}, err
+	}
+	env.Args = args
+	if d.Err() != nil {
+		return CallEnvelope{}, ErrBadEnvelope
+	}
+	return env, nil
+}
+
+// ReturnEnvelope is the successful response body of one liverpc call:
+// the result list in the same size-aware argument codec. Errors travel
+// as non-OK frame statuses, not in the envelope.
+type ReturnEnvelope struct {
+	Args []CallArg
+}
+
+// Marshal encodes the response body.
+func (env ReturnEnvelope) Marshal() []byte {
+	n := 1
+	for _, a := range env.Args {
+		n += a.wireSize()
+	}
+	e := rpc.NewEnc(n)
+	e.U8(uint8(len(env.Args)))
+	for _, a := range env.Args {
+		a.encode(e, false)
+	}
+	return e.Bytes()
+}
+
+// UnmarshalReturnEnvelope decodes a response body. Inline result bytes
+// alias b.
+func UnmarshalReturnEnvelope(b []byte) (ReturnEnvelope, error) {
+	d := rpc.NewDec(b)
+	args, err := decodeArgs(d)
+	if err != nil {
+		return ReturnEnvelope{}, err
+	}
+	if d.Err() != nil {
+		return ReturnEnvelope{}, ErrBadEnvelope
+	}
+	return ReturnEnvelope{Args: args}, nil
+}
+
+// decodeArgs reads a U8-counted argument list, enforcing MaxCallArgs.
+func decodeArgs(d *rpc.Dec) ([]CallArg, error) {
+	n := int(d.U8())
+	if n > MaxCallArgs {
+		return nil, ErrTooManyArgs
+	}
+	if n == 0 || d.Err() != nil {
+		return nil, nil
+	}
+	args := make([]CallArg, 0, n)
+	for i := 0; i < n; i++ {
+		a, err := decodeCallArg(d)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	return args, nil
+}

@@ -1,0 +1,118 @@
+package dmwire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/dm"
+)
+
+func sampleEnvelope() CallEnvelope {
+	return CallEnvelope{
+		Method:         "chain.do",
+		TraceID:        0xfeedface,
+		Hop:            3,
+		DeadlineMillis: 1500,
+		Args: []CallArg{
+			{IsRef: true, Ref: dm.Ref{Server: 1, Key: 42, Size: 1 << 20}},
+			{Inline: []byte("small inline value")},
+		},
+	}
+}
+
+func TestCallEnvelopeRoundTrip(t *testing.T) {
+	env := sampleEnvelope()
+	got, err := UnmarshalCallEnvelope(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != env.Method || got.TraceID != env.TraceID ||
+		got.Hop != env.Hop || got.DeadlineMillis != env.DeadlineMillis {
+		t.Fatalf("header fields: got %+v, want %+v", got, env)
+	}
+	if len(got.Args) != 2 || !got.Args[0].IsRef || got.Args[0].Ref != env.Args[0].Ref {
+		t.Fatalf("ref arg: got %+v", got.Args)
+	}
+	if got.Args[1].IsRef || !bytes.Equal(got.Args[1].Inline, env.Args[1].Inline) {
+		t.Fatalf("inline arg: got %+v", got.Args[1])
+	}
+}
+
+func TestCallEnvelopeMarshalHdrBulk(t *testing.T) {
+	env := sampleEnvelope()
+	// Last arg inline: MarshalHdr + Bulk must reassemble to Marshal.
+	joined := append(append([]byte(nil), env.MarshalHdr()...), env.Bulk()...)
+	if !bytes.Equal(joined, env.Marshal()) {
+		t.Fatal("MarshalHdr+Bulk != Marshal for trailing inline arg")
+	}
+	// Last arg a ref: MarshalHdr degrades to the full encoding, no bulk.
+	env.Args[0], env.Args[1] = env.Args[1], env.Args[0]
+	if env.Bulk() != nil {
+		t.Fatal("Bulk non-nil with trailing ref arg")
+	}
+	if !bytes.Equal(env.MarshalHdr(), env.Marshal()) {
+		t.Fatal("MarshalHdr != Marshal for trailing ref arg")
+	}
+	// No args at all.
+	env.Args = nil
+	if env.Bulk() != nil || !bytes.Equal(env.MarshalHdr(), env.Marshal()) {
+		t.Fatal("empty-args envelope mishandled")
+	}
+}
+
+func TestReturnEnvelopeRoundTrip(t *testing.T) {
+	env := ReturnEnvelope{Args: []CallArg{
+		{Inline: []byte{1, 2, 3}},
+		{IsRef: true, Ref: dm.Ref{Server: 0, Key: 7, Size: 4096}},
+	}}
+	got, err := UnmarshalReturnEnvelope(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Args) != 2 || !bytes.Equal(got.Args[0].Inline, []byte{1, 2, 3}) ||
+		got.Args[1].Ref != env.Args[1].Ref {
+		t.Fatalf("round trip: got %+v", got.Args)
+	}
+	// Empty result list round-trips too.
+	empty, err := UnmarshalReturnEnvelope(ReturnEnvelope{}.Marshal())
+	if err != nil || len(empty.Args) != 0 {
+		t.Fatalf("empty return: %+v, %v", empty, err)
+	}
+}
+
+func TestCallEnvelopeCaps(t *testing.T) {
+	long := CallEnvelope{Method: string(make([]byte, MaxMethodLen+1))}
+	if _, err := UnmarshalCallEnvelope(long.Marshal()); !errors.Is(err, ErrMethodTooLong) {
+		t.Fatalf("oversized method = %v, want ErrMethodTooLong", err)
+	}
+	many := CallEnvelope{Method: "m", Args: make([]CallArg, MaxCallArgs+1)}
+	if _, err := UnmarshalCallEnvelope(many.Marshal()); !errors.Is(err, ErrTooManyArgs) {
+		t.Fatalf("oversized arg list = %v, want ErrTooManyArgs", err)
+	}
+	at := CallEnvelope{Method: "m", Args: make([]CallArg, MaxCallArgs)}
+	if _, err := UnmarshalCallEnvelope(at.Marshal()); err != nil {
+		t.Fatalf("arg list at the cap = %v", err)
+	}
+}
+
+func TestCallEnvelopeMalformed(t *testing.T) {
+	env := sampleEnvelope()
+	full := env.Marshal()
+	for _, tc := range []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"truncated header", full[:3]},
+		{"truncated args", full[:len(full)-5]},
+		{"hdr-only (bulk missing)", env.MarshalHdr()},
+	} {
+		if _, err := UnmarshalCallEnvelope(tc.b); err == nil {
+			t.Fatalf("%s: decode accepted malformed envelope", tc.name)
+		}
+	}
+	if _, err := UnmarshalReturnEnvelope([]byte{2, 0, 0xff}); err == nil {
+		t.Fatal("truncated return envelope accepted")
+	}
+}

@@ -1,0 +1,166 @@
+package liverpc
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/apps"
+	"repro/internal/live"
+)
+
+// The nested-RPC-calls application of paper §VI-B (Fig 5), ported from
+// internal/msvc onto real sockets: a client calls service 0 with one
+// payload argument; services 0..n-2 are pure data movers forwarding it
+// untouched; the final service materializes the payload, aggregates it,
+// and the 8-byte sum unwinds back up the chain. In by-ref mode each hop
+// moves a ~21-byte Ref descriptor; in by-value mode each hop re-copies
+// the whole payload — exactly the comparison Fig 5 makes.
+
+// ChainMethod is the chain's service method name.
+const ChainMethod = "chain.do"
+
+// NewChainHop deploys one chain service. next is the downstream
+// service's address; empty marks the terminal aggregator. dmc may be nil
+// on pure movers running by-value (they never touch payload bytes) but
+// the terminal needs one to materialize ref payloads.
+func NewChainHop(name string, dmc *live.Client, next string, cfg Config) *Service {
+	s := NewService(name, dmc, cfg)
+	s.Handle(ChainMethod, func(ctx *Ctx, args []Payload) ([]Payload, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("liverpc: chain.do wants 1 argument, got %d", len(args))
+		}
+		if next != "" {
+			// Pure data mover: forward the argument without touching it
+			// (the paper's ~60%-of-datacenter-traffic case). A ref payload
+			// forwards as its descriptor; an inline one re-serializes.
+			return ctx.Call(next, ChainMethod, args[0])
+		}
+		buf, err := ctx.Fetch(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []Payload{U64(apps.Aggregate(buf))}, nil
+	})
+	return s
+}
+
+// ChainClient drives a deployed chain.
+type ChainClient struct {
+	caller *Caller
+	first  string
+}
+
+// NewChainClient builds a client stub targeting the chain's first hop.
+func NewChainClient(dmc *live.Client, first string, cfg Config) *ChainClient {
+	return &ChainClient{caller: NewCaller(dmc, cfg), first: first}
+}
+
+// Close tears down the client's transport.
+func (cc *ChainClient) Close() error { return cc.caller.Close() }
+
+// Do issues one end-to-end chained request carrying payload and returns
+// the terminal service's aggregate. Large payloads are staged once; the
+// staged ref is released when the chain completes (even on error), since
+// the chain only reads it.
+func (cc *ChainClient) Do(payload []byte) (uint64, error) {
+	arg, err := cc.caller.Stage(payload)
+	if err != nil {
+		return 0, err
+	}
+	defer cc.caller.Release(arg)
+	res, err := cc.caller.Call(cc.first, ChainMethod, arg)
+	if err != nil {
+		return 0, err
+	}
+	if len(res) != 1 {
+		return 0, fmt.Errorf("liverpc: chain returned %d payloads, want 1", len(res))
+	}
+	return res[0].AsU64()
+}
+
+// ChainDeployment is an in-process deployment of the whole chain app:
+// one Service per hop (each with its own DM session, as separate
+// processes would have) plus a client. Every piece talks over real
+// loopback TCP, so the same code also runs split across processes — the
+// hop and client constructors above are all a main() needs.
+type ChainDeployment struct {
+	Client *ChainClient
+	Addrs  []string // per-hop service addresses, in chain order
+
+	svcs []*Service
+	dms  []*live.Client
+	lns  []net.Listener
+}
+
+// DeployChain starts hops chain services on loopback listeners against
+// the DM pool at dmAddrs and returns the running deployment. When
+// cfg.ForceInline is set no DM sessions are opened at all (the by-value
+// baseline needs none). Callers must Close the deployment.
+func DeployChain(hops int, dmAddrs []string, cfg Config) (*ChainDeployment, error) {
+	if hops < 1 {
+		return nil, fmt.Errorf("liverpc: chain needs at least one hop")
+	}
+	d := &ChainDeployment{}
+	// Listeners first, so every hop knows its successor's address.
+	for i := 0; i < hops; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.lns = append(d.lns, ln)
+		d.Addrs = append(d.Addrs, ln.Addr().String())
+	}
+	newDM := func() (*live.Client, error) {
+		if cfg.ForceInline {
+			return nil, nil
+		}
+		cl, err := live.Dial(dmAddrs...)
+		if err != nil {
+			return nil, err
+		}
+		if err := cl.Register(); err != nil {
+			cl.Close()
+			return nil, err
+		}
+		d.dms = append(d.dms, cl)
+		return cl, nil
+	}
+	for i := 0; i < hops; i++ {
+		dmc, err := newDM()
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		next := ""
+		if i < hops-1 {
+			next = d.Addrs[i+1]
+		}
+		s := NewChainHop(fmt.Sprintf("chain-svc%d", i), dmc, next, cfg)
+		d.svcs = append(d.svcs, s)
+		go s.Serve(d.lns[i])
+	}
+	dmc, err := newDM()
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	d.Client = NewChainClient(dmc, d.Addrs[0], cfg)
+	return d, nil
+}
+
+// Close tears down the client, every service, and their DM sessions.
+func (d *ChainDeployment) Close() {
+	if d.Client != nil {
+		d.Client.Close()
+	}
+	for _, s := range d.svcs {
+		s.Close()
+	}
+	for _, cl := range d.dms {
+		cl.Close()
+	}
+	for _, ln := range d.lns {
+		ln.Close()
+	}
+}

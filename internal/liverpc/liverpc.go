@@ -1,0 +1,421 @@
+// Package liverpc is the application-level DmRPC framework over the live
+// TCP path: named service methods dispatched on a live.Node, client
+// stubs with deadline/trace propagation reusing the transport's
+// retry/dedup machinery, and size-aware Payload arguments whose small
+// values travel inline while large ones are staged once into the DM
+// server pool and flow through the rest of the call chain as a Ref
+// (paper §IV). It is the real-socket counterpart of the simulator's
+// internal/core + internal/msvc service layer: the same pass-by-reference
+// argument model, but between real processes over real TCP.
+//
+// Ownership model: whoever stages a payload owns its ref and releases it
+// (Caller.Release) once the call chain no longer needs it; a consumer
+// that wants the data to outlive the producer's session re-owns it under
+// its own PID (Adopt), so per-frame refcounts keep the pages alive and a
+// crashed producer's lease reap cannot take them away (DESIGN.md §D9).
+package liverpc
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dmwire"
+	"repro/internal/live"
+	"repro/internal/rpc"
+)
+
+// MethodCall is the single transport-level method every liverpc service
+// registers on its live.Node; application methods are dispatched by name
+// from the call envelope. Kept in its own range clear of the DM
+// (0x0100), CXL (0x0200), store (0x0300), msvc (0x04xx) and bench
+// (0x0500) method spaces.
+const MethodCall rpc.Method = 0x0600
+
+// DefaultInlineThreshold is the size-aware transfer cutoff: payloads at
+// or below this many bytes pass by value inside the envelope.
+const DefaultInlineThreshold = 1024
+
+// Config tunes one liverpc endpoint (a Caller or a Service).
+type Config struct {
+	// Net holds the transport knobs (deadlines, retries, frame caps,
+	// dialer) for the endpoint's live.Node. Zero fields use the live
+	// defaults.
+	Net live.NodeConfig
+	// InlineThreshold is the size-aware cutoff in bytes. Zero means
+	// DefaultInlineThreshold; negative means "always pass by reference".
+	InlineThreshold int
+	// ForceInline disables pass-by-reference entirely, producing the
+	// pass-by-value (eRPC-style) baseline from the same application code.
+	ForceInline bool
+}
+
+// threshold resolves the staging cutoff.
+func (c Config) threshold() int {
+	if c.ForceInline {
+		return int(^uint(0) >> 1) // MaxInt: everything inlines
+	}
+	if c.InlineThreshold == 0 {
+		return DefaultInlineThreshold
+	}
+	if c.InlineThreshold < 0 {
+		return -1
+	}
+	return c.InlineThreshold
+}
+
+// callTimeout resolves the default overall per-call deadline.
+func (c Config) callTimeout() time.Duration {
+	if c.Net.CallTimeout != 0 {
+		return c.Net.CallTimeout
+	}
+	return live.DefaultNodeConfig().CallTimeout
+}
+
+// CallOpts tunes one service call.
+type CallOpts struct {
+	// Timeout is the overall deadline including retries; it also rides
+	// the envelope so callees inherit the remaining budget. 0 uses the
+	// endpoint's default; negative disables.
+	Timeout time.Duration
+	// Idempotent marks the call safe to retry without a dedup token.
+	// Non-idempotent calls are still retried, but carry a token so the
+	// serving node applies them at most once (DESIGN.md §D8).
+	Idempotent bool
+}
+
+// Caller issues service calls: the client stub side of the framework.
+// A Caller owns its live.Node (transport, retries, dedup) and borrows a
+// DM client for staging; it is safe for concurrent use.
+type Caller struct {
+	node *live.Node
+	dm   *live.Client
+	cfg  Config
+
+	cid uint64
+	seq atomic.Uint64
+}
+
+// NewCaller builds a client stub endpoint. dm may be nil when the
+// configuration never stages (ForceInline), or when the caller only
+// sends inline payloads and never materializes refs.
+func NewCaller(dmc *live.Client, cfg Config) *Caller {
+	cid := rand.Uint64()
+	if cid == 0 {
+		cid = 1
+	}
+	return &Caller{node: live.NewNodeWith(cfg.Net), dm: dmc, cfg: cfg, cid: cid}
+}
+
+// Close tears down the caller's transport (not the borrowed DM client).
+func (c *Caller) Close() error { return c.node.Close() }
+
+// DM returns the borrowed DM client (nil for inline-only callers).
+func (c *Caller) DM() *live.Client { return c.dm }
+
+// token mints the dedup token for one non-idempotent call.
+func (c *Caller) token() dmwire.Token {
+	return dmwire.Token{CID: c.cid, Seq: c.seq.Add(1)}
+}
+
+// errNoDM is returned when a ref operation reaches a DM-less endpoint.
+var errNoDM = fmt.Errorf("liverpc: pass-by-reference payload reached an endpoint with no DM client")
+
+// Stage builds a size-aware payload from data: at or below the
+// configured threshold the bytes inline; above it they are staged into
+// the DM pool in one round trip and only the Ref travels. The caller
+// owns a staged ref and must Release it when the chain is done.
+func (c *Caller) Stage(data []byte) (Payload, error) {
+	if len(data) <= c.cfg.threshold() {
+		return Inline(data), nil
+	}
+	if c.dm == nil {
+		return Payload{}, errNoDM
+	}
+	ref, err := c.dm.StageRef(data)
+	if err != nil {
+		return Payload{}, err
+	}
+	return ByRef(ref), nil
+}
+
+// Fetch materializes a payload: inline bytes are returned as-is
+// (aliased); ref payloads are read through the DM server (read_ref, no
+// mapping) into a fresh buffer.
+func (c *Caller) Fetch(p Payload) ([]byte, error) {
+	return fetch(c.dm, p)
+}
+
+// Release drops a staged payload's ref hold. Inline payloads are no-ops.
+func (c *Caller) Release(p Payload) error {
+	return release(c.dm, p)
+}
+
+// Call invokes method at addr with args and default options.
+func (c *Caller) Call(addr, method string, args ...Payload) ([]Payload, error) {
+	return c.CallOpts(addr, method, CallOpts{}, args...)
+}
+
+// CallOpts invokes method at addr with args. The call is bounded by an
+// overall deadline (propagated to the callee via the envelope), retried
+// across transport failures via the node's reconnect path, and — unless
+// marked Idempotent — carries a dedup token so the serving node applies
+// it at most once. Returned inline payloads are private copies; returned
+// refs are owned per the application's protocol.
+func (c *Caller) CallOpts(addr, method string, opts CallOpts, args ...Payload) ([]Payload, error) {
+	env := dmwire.CallEnvelope{
+		Method:  method,
+		TraceID: rand.Uint64(),
+		Args:    payloadsToWire(args),
+	}
+	return c.issue(addr, env, opts)
+}
+
+// issue sends one envelope and decodes the result list; shared by
+// top-level and nested (Ctx) calls.
+func (c *Caller) issue(addr string, env dmwire.CallEnvelope, opts CallOpts) ([]Payload, error) {
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = c.cfg.callTimeout()
+	}
+	if timeout > 0 {
+		ms := int64((timeout + time.Millisecond - 1) / time.Millisecond)
+		if ms < 1 {
+			ms = 1
+		}
+		if max := int64(^uint32(0)); ms > max {
+			ms = max
+		}
+		env.DeadlineMillis = uint32(ms)
+	}
+	lopts := live.CallOpts{Timeout: timeout}
+	if opts.Idempotent {
+		lopts.Idempotent = true
+	} else {
+		lopts.Token = c.token()
+	}
+	var out []Payload
+	err := c.node.CallConsumeOpts(addr, MethodCall, env.MarshalHdr(), env.Bulk(),
+		func(resp []byte) error {
+			renv, err := dmwire.UnmarshalReturnEnvelope(resp)
+			if err != nil {
+				return err
+			}
+			// The response buffer is pooled and recycled after consume
+			// returns, so inline results must be copied out.
+			out = payloadsFromWire(renv.Args, true)
+			return nil
+		}, lopts)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Handler processes one service call. args alias transport buffers:
+// inline payload bytes are valid only until the handler returns —
+// handlers that retain them must copy (Fetch on a ref payload always
+// returns a fresh buffer). Handlers may issue nested calls via ctx.
+type Handler func(ctx *Ctx, args []Payload) ([]Payload, error)
+
+// Service is one liverpc endpoint serving named methods over TCP — the
+// real-network counterpart of a simulator msvc.Service. It embeds a
+// Caller, so handlers issue nested calls (with deadline/trace
+// propagation) over the same multiplexed connections.
+type Service struct {
+	name   string
+	caller *Caller
+	mu     sync.RWMutex
+	meths  map[string]Handler
+}
+
+// NewService builds a service named name over a borrowed DM client (nil
+// for inline-only services, e.g. pure movers in by-value mode). Register
+// handlers, then Serve.
+func NewService(name string, dmc *live.Client, cfg Config) *Service {
+	s := &Service{
+		name:   name,
+		caller: NewCaller(dmc, cfg),
+		meths:  make(map[string]Handler),
+	}
+	s.caller.node.Handle(MethodCall, s.dispatch)
+	return s
+}
+
+// Name returns the service name.
+func (s *Service) Name() string { return s.name }
+
+// Caller returns the service's embedded client stub (for issuing
+// top-level calls from the same endpoint).
+func (s *Service) Caller() *Caller { return s.caller }
+
+// Handle registers h for the named method. Duplicate registration
+// panics; registering after Serve is allowed (copy-on-read map).
+func (s *Service) Handle(method string, h Handler) {
+	if len(method) > dmwire.MaxMethodLen {
+		panic(fmt.Sprintf("liverpc: method name %q exceeds %d bytes", method, dmwire.MaxMethodLen))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.meths[method]; dup {
+		panic(fmt.Sprintf("liverpc: duplicate handler for method %q", method))
+	}
+	s.meths[method] = h
+}
+
+// Serve accepts connections on ln until Close; it returns nil after
+// Close.
+func (s *Service) Serve(ln net.Listener) error { return s.caller.node.Serve(ln) }
+
+// Close stops serving and tears down the service's transport (not its
+// borrowed DM client).
+func (s *Service) Close() error { return s.caller.node.Close() }
+
+// dispatch is the transport-level handler: decode the envelope, run the
+// named method, encode the result list.
+func (s *Service) dispatch(from net.Addr, body []byte) ([]byte, error) {
+	env, err := dmwire.UnmarshalCallEnvelope(body)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	h, ok := s.meths[env.Method]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, &rpc.AppError{Status: dmwire.StatusErr,
+			Msg: fmt.Sprintf("liverpc: service %q has no method %q", s.name, env.Method)}
+	}
+	ctx := &Ctx{Svc: s, From: from, TraceID: env.TraceID, Hop: env.Hop}
+	if env.DeadlineMillis > 0 {
+		ctx.Deadline = time.Now().Add(time.Duration(env.DeadlineMillis) * time.Millisecond)
+	}
+	// Inline args alias the request buffer, which outlives the handler
+	// (recycled only after the response is written) — no copy here.
+	out, err := h(ctx, payloadsFromWire(env.Args, false))
+	if err != nil {
+		return nil, err
+	}
+	return dmwire.ReturnEnvelope{Args: payloadsToWire(out)}.Marshal(), nil
+}
+
+// Ctx carries one in-flight call's propagation state into its handler.
+type Ctx struct {
+	// Svc is the service executing the handler.
+	Svc *Service
+	// From is the transport peer that sent the call.
+	From net.Addr
+	// TraceID identifies the end-to-end request chain.
+	TraceID uint64
+	// Hop is this call's nesting depth (0 at the top-level caller).
+	Hop uint8
+	// Deadline is the propagated absolute deadline (zero when the caller
+	// set none).
+	Deadline time.Time
+}
+
+// Remaining returns the budget left before the propagated deadline
+// (a large positive duration when none was set).
+func (c *Ctx) Remaining() time.Duration {
+	if c.Deadline.IsZero() {
+		return time.Duration(int64(^uint64(0) >> 1))
+	}
+	return time.Until(c.Deadline)
+}
+
+// Call issues a nested call to addr, propagating the trace ID,
+// incrementing the hop depth, and shrinking the deadline to the
+// remaining budget — so a chain's total latency is bounded by the
+// top-level caller's single timeout.
+func (c *Ctx) Call(addr, method string, args ...Payload) ([]Payload, error) {
+	return c.CallOpts(addr, method, CallOpts{}, args...)
+}
+
+// CallOpts is Call with explicit options; opts.Timeout is still capped
+// by the propagated remaining budget.
+func (c *Ctx) CallOpts(addr, method string, opts CallOpts, args ...Payload) ([]Payload, error) {
+	if !c.Deadline.IsZero() {
+		rem := time.Until(c.Deadline)
+		if rem <= 0 {
+			return nil, fmt.Errorf("liverpc: %s: %w", method, live.ErrDeadline)
+		}
+		if opts.Timeout <= 0 || rem < opts.Timeout {
+			opts.Timeout = rem
+		}
+	}
+	env := dmwire.CallEnvelope{
+		Method:  method,
+		TraceID: c.TraceID,
+		Hop:     c.Hop + 1,
+		Args:    payloadsToWire(args),
+	}
+	return c.Svc.caller.issue(addr, env, opts)
+}
+
+// Stage builds a size-aware payload using the service's threshold and DM
+// client (for handlers producing large results).
+func (c *Ctx) Stage(data []byte) (Payload, error) { return c.Svc.caller.Stage(data) }
+
+// Fetch materializes a payload at this service (see Caller.Fetch).
+func (c *Ctx) Fetch(p Payload) ([]byte, error) { return fetch(c.Svc.caller.dm, p) }
+
+// Release drops a staged payload's ref hold (see Caller.Release).
+func (c *Ctx) Release(p Payload) error { return release(c.Svc.caller.dm, p) }
+
+// Adopt re-owns a ref payload under this service's session: the shared
+// frames are mapped (taking this PID's own per-frame holds), re-shared
+// as a fresh ref, and the private mapping released. The returned payload
+// survives the original producer's death or lease reap — this is the
+// ownership-handoff primitive for consumers that persist data beyond the
+// call (e.g. a storage service keeping a composed post). Inline payloads
+// are copied (they alias a transport buffer).
+func (c *Ctx) Adopt(p Payload) (Payload, error) {
+	if !p.IsRef() {
+		return Inline(append([]byte(nil), p.Inline()...)), nil
+	}
+	dmc := c.Svc.caller.dm
+	if dmc == nil {
+		return Payload{}, errNoDM
+	}
+	addr, err := dmc.MapRef(p.Ref())
+	if err != nil {
+		return Payload{}, err
+	}
+	own, err := dmc.CreateRef(addr, p.Ref().Size)
+	if err != nil {
+		dmc.Free(addr)
+		return Payload{}, err
+	}
+	if err := dmc.Free(addr); err != nil {
+		return Payload{}, err
+	}
+	return ByRef(own), nil
+}
+
+// fetch reads a payload's bytes: inline aliased, refs via read_ref.
+func fetch(dmc *live.Client, p Payload) ([]byte, error) {
+	if !p.IsRef() {
+		return p.Inline(), nil
+	}
+	if dmc == nil {
+		return nil, errNoDM
+	}
+	buf := make([]byte, p.Size())
+	if err := dmc.ReadRef(p.Ref(), 0, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// release drops a ref payload's hold.
+func release(dmc *live.Client, p Payload) error {
+	if !p.IsRef() {
+		return nil
+	}
+	if dmc == nil {
+		return errNoDM
+	}
+	return dmc.FreeRef(p.Ref())
+}

@@ -1,0 +1,332 @@
+package liverpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/live"
+	"repro/internal/rpc"
+)
+
+// startDM runs a live DM server on loopback and returns it with its
+// address.
+func startDM(t *testing.T, cfg live.ServerConfig) (*live.Server, string) {
+	t.Helper()
+	srv := live.NewServer(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(ln); err != nil {
+			t.Errorf("dm serve: %v", err)
+		}
+	}()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("dm close: %v", err)
+		}
+		<-done
+	})
+	return srv, ln.Addr().String()
+}
+
+func smallDM() live.ServerConfig { return live.ServerConfig{NumPages: 256, PageSize: 4096} }
+
+// dialDM registers a fresh DM session.
+func dialDM(t *testing.T, addrs ...string) *live.Client {
+	t.Helper()
+	cl, err := live.Dial(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	if err := cl.Register(); err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// serveService starts s on a loopback listener and returns its address.
+func serveService(t *testing.T, s *Service) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	return ln.Addr().String()
+}
+
+func TestInlineCallRoundTrip(t *testing.T) {
+	s := NewService("echo", nil, Config{})
+	s.Handle("echo", func(ctx *Ctx, args []Payload) ([]Payload, error) {
+		out := make([]Payload, len(args))
+		for i, a := range args {
+			buf, err := ctx.Fetch(a)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = Inline(append([]byte("got:"), buf...))
+		}
+		return out, nil
+	})
+	addr := serveService(t, s)
+
+	c := NewCaller(nil, Config{})
+	defer c.Close()
+	res, err := c.Call(addr, "echo", Inline([]byte("a")), Inline([]byte("bb")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || string(res[0].Inline()) != "got:a" || string(res[1].Inline()) != "got:bb" {
+		t.Fatalf("echo returned %v", res)
+	}
+}
+
+func TestRefPayloadStagedOnceAndMaterializedAtConsumer(t *testing.T) {
+	srv, dmAddr := startDM(t, smallDM())
+	sdm := dialDM(t, dmAddr)
+	cdm := dialDM(t, dmAddr)
+
+	var sawRef atomic.Bool
+	s := NewService("sum", sdm, Config{})
+	s.Handle("sum", func(ctx *Ctx, args []Payload) ([]Payload, error) {
+		sawRef.Store(args[0].IsRef())
+		buf, err := ctx.Fetch(args[0])
+		if err != nil {
+			return nil, err
+		}
+		var sum uint64
+		for _, b := range buf {
+			sum += uint64(b)
+		}
+		return []Payload{U64(sum)}, nil
+	})
+	addr := serveService(t, s)
+
+	c := NewCaller(cdm, Config{InlineThreshold: 512})
+	defer c.Close()
+	payload := bytes.Repeat([]byte{3}, 8192)
+	arg, err := c.Stage(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !arg.IsRef() {
+		t.Fatalf("8 KiB payload above a 512 B threshold did not stage: %v", arg)
+	}
+	res, err := c.Call(addr, "sum", arg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res[0].AsU64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(3 * 8192); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	if !sawRef.Load() {
+		t.Fatal("consumer saw an inline payload, want a ref")
+	}
+	if err := c.Release(arg); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.LiveRefs(); n != 0 {
+		t.Fatalf("LiveRefs after release = %d, want 0", n)
+	}
+}
+
+func TestStageThreshold(t *testing.T) {
+	_, dmAddr := startDM(t, smallDM())
+	cdm := dialDM(t, dmAddr)
+	c := NewCaller(cdm, Config{InlineThreshold: 100})
+	defer c.Close()
+
+	small, err := c.Stage(make([]byte, 100))
+	if err != nil || small.IsRef() {
+		t.Fatalf("payload at the threshold: ref=%v err=%v", small.IsRef(), err)
+	}
+	big, err := c.Stage(make([]byte, 101))
+	if err != nil || !big.IsRef() {
+		t.Fatalf("payload above the threshold: ref=%v err=%v", big.IsRef(), err)
+	}
+	c.Release(big)
+
+	forced := NewCaller(nil, Config{ForceInline: true})
+	defer forced.Close()
+	huge, err := forced.Stage(make([]byte, 1<<20))
+	if err != nil || huge.IsRef() {
+		t.Fatalf("ForceInline staged by ref: ref=%v err=%v", huge.IsRef(), err)
+	}
+
+	always := NewCaller(cdm, Config{InlineThreshold: -1})
+	defer always.Close()
+	tiny, err := always.Stage([]byte{1})
+	if err != nil || !tiny.IsRef() {
+		t.Fatalf("negative threshold kept 1 byte inline: ref=%v err=%v", tiny.IsRef(), err)
+	}
+	always.Release(tiny)
+}
+
+func TestDeadlinePropagation(t *testing.T) {
+	// middle forwards to tail; tail reports its remaining budget. The
+	// budget must shrink monotonically along the chain, and the hop and
+	// trace fields must propagate.
+	tail := NewService("tail", nil, Config{})
+	var tailHop atomic.Uint32
+	var tailTrace atomic.Uint64
+	tail.Handle("probe", func(ctx *Ctx, args []Payload) ([]Payload, error) {
+		tailHop.Store(uint32(ctx.Hop))
+		tailTrace.Store(ctx.TraceID)
+		return []Payload{U64(uint64(ctx.Remaining() / time.Millisecond))}, nil
+	})
+	tailAddr := serveService(t, tail)
+
+	mid := NewService("mid", nil, Config{})
+	mid.Handle("probe", func(ctx *Ctx, args []Payload) ([]Payload, error) {
+		time.Sleep(30 * time.Millisecond) // burn some budget
+		return ctx.Call(tailAddr, "probe", args...)
+	})
+	midAddr := serveService(t, mid)
+
+	c := NewCaller(nil, Config{})
+	defer c.Close()
+	res, err := c.CallOpts(midAddr, "probe", CallOpts{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remaining, err := res[0].AsU64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remaining == 0 || remaining > 2000-25 {
+		t.Fatalf("tail saw %d ms remaining, want (0, %d)", remaining, 2000-25)
+	}
+	if tailHop.Load() != 1 {
+		t.Fatalf("tail hop = %d, want 1 (one service-to-service forward)", tailHop.Load())
+	}
+	if tailTrace.Load() == 0 {
+		t.Fatal("trace ID did not propagate")
+	}
+}
+
+func TestExpiredDeadlineFailsFast(t *testing.T) {
+	tail := NewService("tail", nil, Config{})
+	tailAddr := serveService(t, tail) // never called
+	mid := NewService("mid", nil, Config{})
+	mid.Handle("slow", func(ctx *Ctx, args []Payload) ([]Payload, error) {
+		time.Sleep(150 * time.Millisecond) // overshoot the caller's budget
+		return ctx.Call(tailAddr, "nothing")
+	})
+	midAddr := serveService(t, mid)
+
+	cfg := Config{}
+	cfg.Net.AttemptTimeout = 80 * time.Millisecond
+	cfg.Net.MaxRetries = -1
+	c := NewCaller(nil, cfg)
+	defer c.Close()
+	_, err := c.CallOpts(midAddr, "slow", CallOpts{Timeout: 80 * time.Millisecond})
+	if !errors.Is(err, live.ErrDeadline) {
+		t.Fatalf("expired call = %v, want ErrDeadline", err)
+	}
+}
+
+func TestUnknownMethodError(t *testing.T) {
+	s := NewService("svc", nil, Config{})
+	s.Handle("known", func(*Ctx, []Payload) ([]Payload, error) { return nil, nil })
+	addr := serveService(t, s)
+	c := NewCaller(nil, Config{})
+	defer c.Close()
+	_, err := c.Call(addr, "unknown")
+	var app *rpc.AppError
+	if !errors.As(err, &app) || !strings.Contains(app.Msg, "unknown") {
+		t.Fatalf("unknown method = %v, want AppError naming the method", err)
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	s := NewService("svc", nil, Config{})
+	s.Handle("fail", func(*Ctx, []Payload) ([]Payload, error) {
+		return nil, fmt.Errorf("kaboom at depth")
+	})
+	addr := serveService(t, s)
+	c := NewCaller(nil, Config{})
+	defer c.Close()
+	_, err := c.Call(addr, "fail")
+	var app *rpc.AppError
+	if !errors.As(err, &app) || !strings.Contains(app.Msg, "kaboom") {
+		t.Fatalf("handler error = %v, want AppError carrying the message", err)
+	}
+}
+
+// TestCallDedupAcrossTornWrite proves app calls reuse the transport's
+// retry+dedup machinery: a torn first write retries transparently, and
+// the handler still executes exactly once.
+func TestCallDedupAcrossTornWrite(t *testing.T) {
+	var runs atomic.Int32
+	s := NewService("svc", nil, Config{})
+	s.Handle("mutate", func(ctx *Ctx, args []Payload) ([]Payload, error) {
+		return []Payload{U64(uint64(runs.Add(1)))}, nil
+	})
+	addr := serveService(t, s)
+
+	inj := faultnet.New()
+	cfg := Config{}
+	cfg.Net.Dialer = func(a string, timeout time.Duration) (net.Conn, error) {
+		c, err := net.DialTimeout("tcp", a, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return inj.Conn(c), nil
+	}
+	cfg.Net.AttemptTimeout = time.Second
+	c := NewCaller(nil, cfg)
+	defer c.Close()
+
+	inj.TruncateNextWrite()
+	res, err := c.Call(addr, "mutate")
+	if err != nil {
+		t.Fatalf("call did not survive a torn write: %v", err)
+	}
+	if got, _ := res[0].AsU64(); got != 1 {
+		t.Fatalf("handler result = %d, want 1", got)
+	}
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("handler ran %d times across the retry, want 1", n)
+	}
+}
+
+func TestRefPayloadAtDMlessEndpoint(t *testing.T) {
+	_, dmAddr := startDM(t, smallDM())
+	cdm := dialDM(t, dmAddr)
+	stager := NewCaller(cdm, Config{InlineThreshold: 16})
+	defer stager.Close()
+	arg, err := stager.Stage(make([]byte, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stager.Release(arg)
+
+	s := NewService("noDM", nil, Config{})
+	s.Handle("touch", func(ctx *Ctx, args []Payload) ([]Payload, error) {
+		_, err := ctx.Fetch(args[0])
+		return nil, err
+	})
+	addr := serveService(t, s)
+	c := NewCaller(cdm, Config{})
+	defer c.Close()
+	if _, err := c.Call(addr, "touch", arg); err == nil {
+		t.Fatal("DM-less service materialized a ref payload")
+	}
+}

@@ -1,0 +1,132 @@
+package liverpc
+
+import (
+	"fmt"
+
+	"repro/internal/dm"
+	"repro/internal/dmwire"
+)
+
+// Payload is a size-aware service-call argument or result: small values
+// travel inline inside the call envelope; large values are staged once
+// into the DM server pool and flow through the rest of the call chain as
+// a ~21-byte Ref descriptor, materialized only where actually consumed
+// (paper §IV-B). Payloads are plain values, safe to copy.
+type Payload struct {
+	isRef  bool
+	ref    dm.Ref
+	inline []byte
+}
+
+// Inline builds a pass-by-value payload. The bytes are aliased, not
+// copied; treat them as read-only while the payload is in flight.
+func Inline(data []byte) Payload { return Payload{inline: data} }
+
+// ByRef wraps an already-staged Ref as a payload.
+func ByRef(ref dm.Ref) Payload { return Payload{isRef: true, ref: ref} }
+
+// U64 builds an inline payload holding one big-endian uint64 — the
+// common shape of small results (counts, ids, aggregates).
+func U64(v uint64) Payload {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+	return Inline(b)
+}
+
+// AsU64 decodes a U64 payload.
+func (p Payload) AsU64() (uint64, error) {
+	if p.isRef || len(p.inline) != 8 {
+		return 0, fmt.Errorf("liverpc: payload is not a u64")
+	}
+	var v uint64
+	for _, b := range p.inline {
+		v = v<<8 | uint64(b)
+	}
+	return v, nil
+}
+
+// IsRef reports whether the payload passes by reference.
+func (p Payload) IsRef() bool { return p.isRef }
+
+// Ref returns the underlying Ref; valid only when IsRef.
+func (p Payload) Ref() dm.Ref { return p.ref }
+
+// Inline returns the inline bytes (nil for ref payloads), aliased.
+func (p Payload) Inline() []byte {
+	if p.isRef {
+		return nil
+	}
+	return p.inline
+}
+
+// Size returns the logical payload length in bytes.
+func (p Payload) Size() int64 {
+	if p.isRef {
+		return p.ref.Size
+	}
+	return int64(len(p.inline))
+}
+
+// WireSize returns how many bytes the payload occupies inside a call
+// envelope — the quantity pass-by-reference shrinks from megabytes to
+// tens of bytes.
+func (p Payload) WireSize() int {
+	if p.isRef {
+		return 1 + dm.EncodedRefSize
+	}
+	return 1 + 4 + len(p.inline)
+}
+
+func (p Payload) String() string {
+	if p.isRef {
+		return fmt.Sprintf("payload(%v)", p.ref)
+	}
+	return fmt.Sprintf("payload(inline %dB)", len(p.inline))
+}
+
+// wireArg converts to the envelope codec's descriptor.
+func (p Payload) wireArg() dmwire.CallArg {
+	if p.isRef {
+		return dmwire.CallArg{IsRef: true, Ref: p.ref}
+	}
+	return dmwire.CallArg{Inline: p.inline}
+}
+
+// fromWire converts an envelope descriptor, aliasing inline bytes.
+func fromWire(a dmwire.CallArg) Payload {
+	if a.IsRef {
+		return Payload{isRef: true, ref: a.Ref}
+	}
+	return Payload{inline: a.Inline}
+}
+
+// payloadsToWire converts an argument list for marshalling.
+func payloadsToWire(ps []Payload) []dmwire.CallArg {
+	if len(ps) == 0 {
+		return nil
+	}
+	args := make([]dmwire.CallArg, len(ps))
+	for i, p := range ps {
+		args[i] = p.wireArg()
+	}
+	return args
+}
+
+// payloadsFromWire converts a decoded list; when copyInline is set,
+// inline bytes are copied out of the (transport-owned, soon-recycled)
+// envelope buffer so the payloads may outlive it.
+func payloadsFromWire(args []dmwire.CallArg, copyInline bool) []Payload {
+	if len(args) == 0 {
+		return nil
+	}
+	ps := make([]Payload, len(args))
+	for i, a := range args {
+		if copyInline && !a.IsRef {
+			a.Inline = append([]byte(nil), a.Inline...)
+		}
+		ps[i] = fromWire(a)
+	}
+	return ps
+}

@@ -1,0 +1,263 @@
+package liverpc
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/live"
+	"repro/internal/rpc"
+)
+
+// A trimmed DeathStarBench-style social network (paper §VI-F, Fig 11)
+// on real sockets: the compose-post and read-home-timeline paths through
+// a frontend data mover, with post media as size-aware payloads. On
+// compose, the media payload crosses frontend → compose → storage; with
+// pass-by-reference only the staged ref travels and storage *adopts* it
+// (re-owns the shared frames under its own DM session), so the post
+// survives the composing client's exit or crash — the ownership-handoff
+// half of the paper's argument. On read, storage returns a page of
+// posts; by-ref timelines unwind as descriptors and the reader fetches
+// media straight from the DM server, never through the service chain.
+
+// SocialNet method names.
+const (
+	SNCompose = "sn.compose" // client → frontend → compose
+	SNRead    = "sn.read"    // client → frontend → home
+	SNStore   = "sn.store"   // compose → storage
+	SNFetch   = "sn.fetch"   // home → storage
+)
+
+// snParams encodes a timeline read's (start, count) page request.
+func snParams(start uint64, count uint16) Payload {
+	return Inline(rpc.NewEnc(10).U64(start).U16(count).Bytes())
+}
+
+func decodeSNParams(p Payload) (uint64, uint16, error) {
+	d := rpc.NewDec(p.Inline())
+	start, count := d.U64(), d.U16()
+	if p.IsRef() || d.Err() != nil {
+		return 0, 0, fmt.Errorf("liverpc: malformed timeline params")
+	}
+	return start, count, nil
+}
+
+// newSNStorage deploys the post-storage service: it adopts incoming
+// media (taking ownership under its own DM session) and serves pages of
+// posts back to timeline reads.
+func newSNStorage(dmc *live.Client, cfg Config) *Service {
+	s := NewService("sn-storage", dmc, cfg)
+	var mu sync.Mutex
+	var posts []Payload
+	s.Handle(SNStore, func(ctx *Ctx, args []Payload) ([]Payload, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("liverpc: sn.store wants 1 argument, got %d", len(args))
+		}
+		// Adopt before publishing: inline media is copied out of the
+		// transport buffer, ref media is re-owned via map_ref+create_ref
+		// so the composer's session can die without losing the post.
+		own, err := ctx.Adopt(args[0])
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		id := uint64(len(posts))
+		posts = append(posts, own)
+		mu.Unlock()
+		return []Payload{U64(id)}, nil
+	})
+	s.Handle(SNFetch, func(ctx *Ctx, args []Payload) ([]Payload, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("liverpc: sn.fetch wants 1 argument, got %d", len(args))
+		}
+		start, count, err := decodeSNParams(args[0])
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if len(posts) == 0 {
+			return nil, &rpc.AppError{Status: 2, Msg: "sn: no posts"}
+		}
+		page := make([]Payload, 0, count)
+		for i := 0; i < int(count); i++ {
+			page = append(page, posts[(start+uint64(i))%uint64(len(posts))])
+		}
+		return page, nil
+	})
+	return s
+}
+
+// newSNCompose deploys the compose-post service, a thin application tier
+// that persists the media argument in storage.
+func newSNCompose(dmc *live.Client, storage string, cfg Config) *Service {
+	s := NewService("sn-compose", dmc, cfg)
+	s.Handle(SNCompose, func(ctx *Ctx, args []Payload) ([]Payload, error) {
+		return ctx.Call(storage, SNStore, args...)
+	})
+	return s
+}
+
+// newSNHome deploys the home-timeline service: it asks storage for a
+// page of posts and forwards the result payloads unchanged — a data
+// mover on the response path.
+func newSNHome(dmc *live.Client, storage string, cfg Config) *Service {
+	s := NewService("sn-home", dmc, cfg)
+	s.Handle(SNRead, func(ctx *Ctx, args []Payload) ([]Payload, error) {
+		return ctx.Call(storage, SNFetch, args...)
+	})
+	return s
+}
+
+// newSNFrontend deploys the frontend mover routing both operations.
+func newSNFrontend(dmc *live.Client, compose, home string, cfg Config) *Service {
+	s := NewService("sn-frontend", dmc, cfg)
+	s.Handle(SNCompose, func(ctx *Ctx, args []Payload) ([]Payload, error) {
+		return ctx.Call(compose, SNCompose, args...)
+	})
+	s.Handle(SNRead, func(ctx *Ctx, args []Payload) ([]Payload, error) {
+		return ctx.Call(home, SNRead, args...)
+	})
+	return s
+}
+
+// SocialNetDeployment is the running trimmed social network: frontend,
+// compose, home-timeline and storage services on loopback TCP, each with
+// its own DM session.
+type SocialNetDeployment struct {
+	Frontend string // client-facing address
+
+	svcs []*Service
+	dms  []*live.Client
+	lns  []net.Listener
+}
+
+// DeploySocialNet starts the four services against the DM pool at
+// dmAddrs. Callers must Close the deployment.
+func DeploySocialNet(dmAddrs []string, cfg Config) (*SocialNetDeployment, error) {
+	d := &SocialNetDeployment{}
+	listen := func() (net.Listener, string, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			d.Close()
+			return nil, "", err
+		}
+		d.lns = append(d.lns, ln)
+		return ln, ln.Addr().String(), nil
+	}
+	newDM := func() (*live.Client, error) {
+		if cfg.ForceInline {
+			return nil, nil
+		}
+		cl, err := live.Dial(dmAddrs...)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		if err := cl.Register(); err != nil {
+			cl.Close()
+			d.Close()
+			return nil, err
+		}
+		d.dms = append(d.dms, cl)
+		return cl, nil
+	}
+	serve := func(build func(dmc *live.Client) *Service) (string, error) {
+		ln, addr, err := listen()
+		if err != nil {
+			return "", err
+		}
+		dmc, err := newDM()
+		if err != nil {
+			return "", err
+		}
+		s := build(dmc)
+		d.svcs = append(d.svcs, s)
+		go s.Serve(ln)
+		return addr, nil
+	}
+
+	storage, err := serve(func(dmc *live.Client) *Service { return newSNStorage(dmc, cfg) })
+	if err != nil {
+		return nil, err
+	}
+	compose, err := serve(func(dmc *live.Client) *Service { return newSNCompose(dmc, storage, cfg) })
+	if err != nil {
+		return nil, err
+	}
+	home, err := serve(func(dmc *live.Client) *Service { return newSNHome(dmc, storage, cfg) })
+	if err != nil {
+		return nil, err
+	}
+	front, err := serve(func(dmc *live.Client) *Service { return newSNFrontend(dmc, compose, home, cfg) })
+	if err != nil {
+		return nil, err
+	}
+	d.Frontend = front
+	return d, nil
+}
+
+// Close tears down every service and DM session.
+func (d *SocialNetDeployment) Close() {
+	for _, s := range d.svcs {
+		s.Close()
+	}
+	for _, cl := range d.dms {
+		cl.Close()
+	}
+	for _, ln := range d.lns {
+		ln.Close()
+	}
+}
+
+// SocialNetClient is a workload generator for the deployment.
+type SocialNetClient struct {
+	caller   *Caller
+	frontend string
+}
+
+// NewSocialNetClient builds a client stub against the frontend.
+func NewSocialNetClient(dmc *live.Client, frontend string, cfg Config) *SocialNetClient {
+	return &SocialNetClient{caller: NewCaller(dmc, cfg), frontend: frontend}
+}
+
+// Close tears down the client's transport.
+func (c *SocialNetClient) Close() error { return c.caller.Close() }
+
+// Compose publishes one post and returns its id. Large media is staged
+// once; storage adopts it, so the client's own ref hold is released as
+// soon as the call returns.
+func (c *SocialNetClient) Compose(media []byte) (uint64, error) {
+	arg, err := c.caller.Stage(media)
+	if err != nil {
+		return 0, err
+	}
+	defer c.caller.Release(arg)
+	res, err := c.caller.Call(c.frontend, SNCompose, arg)
+	if err != nil {
+		return 0, err
+	}
+	if len(res) != 1 {
+		return 0, fmt.Errorf("liverpc: compose returned %d payloads, want 1", len(res))
+	}
+	return res[0].AsU64()
+}
+
+// ReadHome reads a page of count posts starting at start and
+// materializes each one's media (by-ref posts read straight from the DM
+// server). The returned buffers are the caller's.
+func (c *SocialNetClient) ReadHome(start uint64, count uint16) ([][]byte, error) {
+	res, err := c.caller.CallOpts(c.frontend, SNRead, CallOpts{Idempotent: true}, snParams(start, count))
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, 0, len(res))
+	for _, p := range res {
+		buf, err := c.caller.Fetch(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, buf)
+	}
+	return out, nil
+}

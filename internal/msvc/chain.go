@@ -3,6 +3,7 @@ package msvc
 import (
 	"fmt"
 
+	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/rpc"
 	"repro/internal/sim"
@@ -54,12 +55,10 @@ func NewChain(pl *Platform, hops int) *Chain {
 			if err != nil {
 				return nil, err
 			}
-			// Aggregate over local memory (Listing 1's worker loop).
+			// Aggregate over local memory (Listing 1's worker loop); the
+			// reduction itself is shared with the live port (internal/apps).
 			last.Host.MemTouch(ctx.P, len(buf))
-			var sum uint64
-			for _, b := range buf {
-				sum += uint64(b)
-			}
+			sum := apps.Aggregate(buf)
 			if err := d.Close(ctx.P); err != nil {
 				return nil, err
 			}

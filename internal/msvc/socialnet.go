@@ -3,6 +3,7 @@ package msvc
 import (
 	"fmt"
 
+	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/rpc"
 	"repro/internal/sim"
@@ -209,7 +210,7 @@ func (sn *SocialNet) client() *Service {
 func (sn *SocialNet) Compose(p *sim.Proc) error {
 	cli := sn.client()
 	media := make([]byte, sn.cfg.MediaSize)
-	media[0] = byte(len(sn.posts)) // distinguishable content
+	apps.FillMedia(media, uint64(len(sn.posts))) // distinguishable content
 	arg, err := cli.C.MakeArg(p, media)
 	if err != nil {
 		return err
