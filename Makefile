@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet check test test-short bench bench-live bench-liverpc experiments experiments-full fuzz fuzz-smoke clean
+.PHONY: all build vet check test test-short bench bench-smoke bench-live bench-liverpc experiments experiments-full fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -32,6 +32,12 @@ test-short:
 # One benchmark per paper table/figure plus package micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every live + liverpc benchmark: proves the bench
+# harnesses still build, run, and verify their results — cheap enough to
+# gate CI on, so a perf-measurement bitrot is caught like a test failure.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkLive' -benchtime=1x ./internal/live ./internal/liverpc
 
 # Live TCP hot-path benchmarks, recorded to BENCH_live.json so the perf
 # trajectory is tracked across PRs.

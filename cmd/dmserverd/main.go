@@ -32,16 +32,20 @@ func main() {
 	drain := flag.Duration("drain", time.Second, "graceful drain window on shutdown before connections are cut")
 	maxFrame := flag.Uint("max-frame", live.DefaultMaxFrameSize, "maximum accepted frame payload in bytes")
 	maxSlow := flag.Int("max-slow", 64, "maximum concurrent slow handlers per connection")
-	statsEvery := flag.Duration("stats", 0, "print free-page/live-ref counters at this interval (0 disables)")
+	coalesceLimit := flag.Int("coalesce-limit", 0, "largest response coalesced into batched writes, bytes (0 = default, negative disables)")
+	coalesceBatch := flag.Int("coalesce-batch", 0, "max bytes per group-commit flush (0 = default)")
+	statsEvery := flag.Duration("stats", 0, "print free-page/live-ref/writer counters at this interval (0 disables)")
 	flag.Parse()
 
 	cfg := live.ServerConfig{
-		NumPages:       *pages,
-		PageSize:       *pageSize,
-		LeaseTTL:       *leaseTTL,
-		DrainTimeout:   *drain,
-		MaxFrameSize:   uint32(*maxFrame),
-		MaxSlowPerConn: *maxSlow,
+		NumPages:           *pages,
+		PageSize:           *pageSize,
+		LeaseTTL:           *leaseTTL,
+		DrainTimeout:       *drain,
+		MaxFrameSize:       uint32(*maxFrame),
+		MaxSlowPerConn:     *maxSlow,
+		CoalesceLimit:      *coalesceLimit,
+		CoalesceBatchBytes: *coalesceBatch,
 	}
 	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
@@ -57,8 +61,13 @@ func main() {
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {
-				fmt.Printf("dmserverd: free_pages=%d live_refs=%d\n",
-					srv.FreePages(), srv.LiveRefs())
+				ws := srv.WriteStats()
+				fpb := 0.0
+				if ws.Batches > 0 {
+					fpb = float64(ws.Frames-ws.DirectFrames-ws.InlineFrames) / float64(ws.Batches)
+				}
+				fmt.Printf("dmserverd: free_pages=%d live_refs=%d tx_frames=%d tx_batches=%d tx_inline=%d frames_per_batch=%.1f tx_bytes=%d\n",
+					srv.FreePages(), srv.LiveRefs(), ws.Frames, ws.Batches, ws.InlineFrames, fpb, ws.Bytes)
 			}
 		}()
 	}

@@ -1,0 +1,166 @@
+package live
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dm"
+	"repro/internal/dmwire"
+	"repro/internal/rpc"
+)
+
+// Asynchronous calls: CallAsync ships the request immediately (through
+// the connection's coalescing writer, so a burst of futures issued
+// back-to-back group-commits into few vectored writes) and returns a
+// future; Wait collects the response later, with the same deadline,
+// retry, and dedup semantics as the synchronous path. Pipelining several
+// calls per connection is what turns the batch writer's group commit
+// from a possibility into a certainty — one caller, many frames in
+// flight.
+
+// Pending is one in-flight asynchronous call. It is not safe for
+// concurrent use, and Wait must be called exactly once: an abandoned
+// Pending leaks its pending-table entry until the connection dies.
+type Pending struct {
+	n        *Node
+	addr     string
+	m        rpc.Method
+	hdr      []byte
+	payload  []byte
+	opts     CallOpts
+	deadline time.Time // overall, spans retries
+	attDL    time.Time // first attempt's deadline
+	c        *conn
+	id       uint64
+	ch       chan response
+	err      error // submission failure, surfaced (and maybe retried) in Wait
+}
+
+// CallAsync starts method m at addr and returns a future for the
+// response. The request is handed to the wire immediately; errors —
+// including submission failures — surface from Wait, which also runs the
+// retry loop, so hdr and payload must stay valid and unmodified until
+// Wait returns. opts follows CallConsumeOpts.
+func (n *Node) CallAsync(addr string, m rpc.Method, hdr, payload []byte, opts CallOpts) *Pending {
+	p := &Pending{n: n, addr: addr, m: m, hdr: hdr, payload: payload, opts: opts}
+	p.deadline = n.overallDeadline(opts)
+	p.attDL = n.attemptDeadline(p.deadline)
+	c, err := n.peer(addr, p.attDL)
+	if err != nil {
+		p.err = err
+		return p
+	}
+	p.c = c
+	p.id, p.ch, p.err = c.send(m, hdr, payload, p.attDL, opts.Token, false)
+	return p
+}
+
+// Wait blocks for the response and hands the pooled body to consume
+// (which must not retain it), exactly like CallConsumeOpts. A transient
+// failure of the in-flight attempt — including a submission error from
+// CallAsync — is retried with full re-sends when the call is idempotent
+// or tokened.
+func (p *Pending) Wait(consume func(resp []byte) error) error {
+	first := func() error {
+		if p.err != nil {
+			return p.err
+		}
+		return p.c.await(p.m, p.id, p.ch, p.attDL, consume)
+	}
+	again := func() error {
+		return p.n.attempt(p.addr, p.m, p.hdr, p.payload, consume, p.deadline, p.opts.Token)
+	}
+	return p.n.withRetries(p.opts, p.deadline, first, again)
+}
+
+// AsyncOp is one in-flight asynchronous Client operation; Wait must be
+// called exactly once.
+type AsyncOp struct {
+	p       *Pending
+	err     error
+	consume func(resp []byte) error
+}
+
+// Wait blocks for the operation's result.
+func (op *AsyncOp) Wait() error {
+	if op.err != nil {
+		return op.err
+	}
+	return op.p.Wait(op.consume)
+}
+
+// WriteAsync starts an rwrite of src at addr and returns a future. src
+// rides the socket with no marshal copy (or is coalesced when small) and
+// must stay valid and unmodified until Wait returns — it is re-sent if
+// the call retries. Issue several and Wait in order to pipeline writes
+// over one connection.
+func (cl *Client) WriteAsync(addr dm.RemoteAddr, src []byte) *AsyncOp {
+	idx, raw := splitAddr(addr)
+	srv, pid, err := cl.server(idx)
+	if err != nil {
+		return &AsyncOp{err: err}
+	}
+	return &AsyncOp{p: cl.node.CallAsync(srv, dmwire.MWrite,
+		dmwire.WriteReq{PID: pid, Addr: raw}.MarshalHdr(), src, idemOpts())}
+}
+
+// ReadRefAsync starts a by-ref read into dst and returns a future; dst is
+// filled when Wait returns nil and must not be read before that.
+func (cl *Client) ReadRefAsync(ref dm.Ref, off int64, dst []byte) *AsyncOp {
+	srv, _, err := cl.server(int(ref.Server))
+	if err != nil {
+		return &AsyncOp{err: err}
+	}
+	return &AsyncOp{
+		p: cl.node.CallAsync(srv, dmwire.MReadRef,
+			dmwire.ReadRefReq{Key: ref.Key, Off: uint32(off), Size: uint32(len(dst))}.Marshal(), nil, idemOpts()),
+		consume: func(resp []byte) error {
+			if len(resp) != len(dst) {
+				return fmt.Errorf("live: readref returned %d bytes, want %d", len(resp), len(dst))
+			}
+			copy(dst, resp)
+			return nil
+		},
+	}
+}
+
+// AsyncRef is an in-flight StageRefAsync; Wait must be called exactly
+// once and yields the staged ref.
+type AsyncRef struct {
+	op     AsyncOp
+	server uint32
+	size   int64
+	key    uint64
+}
+
+// StageRefAsync starts staging data into fresh pages and returns a
+// future for the ref. data must stay valid and unmodified until Wait
+// returns (it is re-sent if the tokened call retries).
+func (cl *Client) StageRefAsync(data []byte) *AsyncRef {
+	idx := cl.next()
+	srv, pid, err := cl.server(idx)
+	if err != nil {
+		return &AsyncRef{op: AsyncOp{err: err}}
+	}
+	ar := &AsyncRef{server: uint32(idx), size: int64(len(data))}
+	ar.op = AsyncOp{
+		p: cl.node.CallAsync(srv, dmwire.MStage, dmwire.StageReq{PID: pid}.MarshalHdr(), data, cl.mutOpts()),
+		consume: func(resp []byte) error {
+			r, err := dmwire.UnmarshalRefKeyResp(resp)
+			if err != nil {
+				return err
+			}
+			ar.key = r.Key
+			return nil
+		},
+	}
+	return ar
+}
+
+// Wait blocks for the staging result.
+func (ar *AsyncRef) Wait() (dm.Ref, error) {
+	if err := ar.op.Wait(); err != nil {
+		return dm.Ref{}, err
+	}
+	return dm.Ref{Server: ar.server, Key: ar.key, Size: ar.size}, nil
+}

@@ -243,3 +243,121 @@ func BenchmarkLiveCoWWrite(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLiveSmallOpThroughput is the tentpole's figure of merit:
+// aggregate small-op throughput with N workers multiplexing 4 KiB
+// StageRef+ReadRef+FreeRef cycles (via the async ops, whose frames ride
+// the submission queue) over ONE shared connection, with the coalescing
+// writer on versus off (CoalesceLimit=-1 on both ends). With several
+// requests in flight per conn, group commit turns the per-frame write()
+// storm into few vectored writes; the frames/batch and batches/s extra
+// metrics (from the server's writer counters: responses to a pipelined
+// request stream pile up behind the in-flight flush and group-commit)
+// show it happening.
+func BenchmarkLiveSmallOpThroughput(b *testing.B) {
+	const size = 4096
+	for _, batch := range []string{"on", "off"} {
+		for _, workers := range []int{1, 2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("batch=%s/clients=%d", batch, workers), func(b *testing.B) {
+				scfg := ServerConfig{NumPages: 1 << 15, PageSize: 4096}
+				ccfg := DefaultClientConfig()
+				if batch == "off" {
+					scfg.CoalesceLimit = -1
+					ccfg.Net.CoalesceLimit = -1
+				}
+				srv, addr := benchServer(b, scfg)
+				cl, err := DialConfig(ccfg, addr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := cl.Register(); err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { cl.Close() })
+				payload := make([]byte, size)
+				// Each iteration stages 4 KiB and reads it back.
+				b.SetBytes(2 * size)
+				before := srv.WriteStats()
+				var iters atomic.Int64
+				iters.Store(int64(b.N))
+				var wg sync.WaitGroup
+				errs := make(chan error, workers)
+				b.ResetTimer()
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						buf := make([]byte, size)
+						for iters.Add(-1) >= 0 {
+							ref, err := cl.StageRefAsync(payload).Wait()
+							if err != nil {
+								errs <- err
+								return
+							}
+							if err := cl.ReadRefAsync(ref, 0, buf).Wait(); err != nil {
+								errs <- err
+								return
+							}
+							if err := cl.FreeRef(ref); err != nil {
+								errs <- err
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				elapsed := b.Elapsed()
+				b.StopTimer()
+				close(errs)
+				for err := range errs {
+					b.Fatal(err)
+				}
+				after := srv.WriteStats()
+				batches := after.Batches - before.Batches
+				coalesced := (after.Frames - before.Frames) -
+					(after.DirectFrames - before.DirectFrames) -
+					(after.InlineFrames - before.InlineFrames)
+				if batches > 0 {
+					b.ReportMetric(float64(coalesced)/float64(batches), "frames/batch")
+					b.ReportMetric(float64(batches)/elapsed.Seconds(), "batches/s")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLiveAsyncWritePipeline measures what the futures buy a single
+// caller: a ring of `depth` in-flight WriteAsync ops, waiting on the
+// oldest before issuing the next. depth=1 is the synchronous baseline;
+// deeper rings overlap round trips and feed the coalescing writer
+// multi-frame batches.
+func BenchmarkLiveAsyncWritePipeline(b *testing.B) {
+	const size = 4096
+	for _, depth := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			_, cl := benchSetup(b)
+			a, err := cl.Alloc(size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := make([]byte, size)
+			b.SetBytes(size)
+			b.ResetTimer()
+			ring := make([]*AsyncOp, 0, depth)
+			for i := 0; i < b.N; i++ {
+				if len(ring) == depth {
+					if err := ring[0].Wait(); err != nil {
+						b.Fatal(err)
+					}
+					ring = ring[1:]
+				}
+				ring = append(ring, cl.WriteAsync(a, src))
+			}
+			for _, op := range ring {
+				if err := op.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -25,6 +25,13 @@ type ClientConfig struct {
 	// server's granted lease; negative disables heartbeats (the client
 	// then survives only one TTL — test hook for crash simulation).
 	HeartbeatInterval time.Duration
+	// OnHeartbeatFailure, when set, is invoked from the heartbeat loop
+	// after each failed lease renewal with the running count of
+	// consecutive failures for that server (resetting to zero on the next
+	// success), so applications can observe an expiring session before
+	// data calls start failing. It must not block; see also
+	// Client.SessionHealth.
+	OnHeartbeatFailure func(addr string, consecutive int, err error)
 }
 
 // DefaultClientConfig returns the production defaults.
@@ -49,20 +56,24 @@ type Client struct {
 	pids   []uint32
 	leases []time.Duration
 	ready  bool
-	rr     int
+	rr     atomic.Uint64 // round-robin cursor for Alloc/StageRef targets
 
-	cid    uint64        // dedup token identity, stable across reconnects
-	seq    atomic.Uint64 // dedup token sequence
-	hbStop chan struct{}
-	hbOnce sync.Once
-	hbWG   sync.WaitGroup
+	cid     uint64        // dedup token identity, stable across reconnects
+	seq     atomic.Uint64 // dedup token sequence
+	hbStop  chan struct{}
+	hbOnce  sync.Once
+	hbWG    sync.WaitGroup
+	hbFails []atomic.Int32 // per-server consecutive heartbeat failures
 }
 
-// conn is one multiplexed TCP connection to a DM server.
+// conn is one multiplexed TCP connection to a DM server. All request
+// frames leave through bw, the connection's coalescing writer
+// (batchwriter.go): small frames are copied whole into its submission
+// queue and group-committed, large ones ride its direct zero-copy path.
 type conn struct {
 	c        net.Conn
+	bw       *batchWriter
 	maxFrame uint32
-	wmu      sync.Mutex
 	pmu      sync.Mutex
 	pending  map[uint64]chan response
 	nextID   uint64
@@ -93,13 +104,14 @@ func DialConfig(cfg ClientConfig, addrs ...string) (*Client, error) {
 		cid = 1 // the zero token means "no dedup"
 	}
 	cl := &Client{
-		cfg:    cfg,
-		node:   NewNodeWith(cfg.Net),
-		addrs:  addrs,
-		pids:   make([]uint32, len(addrs)),
-		leases: make([]time.Duration, len(addrs)),
-		cid:    cid,
-		hbStop: make(chan struct{}),
+		cfg:     cfg,
+		node:    NewNodeWith(cfg.Net),
+		addrs:   addrs,
+		pids:    make([]uint32, len(addrs)),
+		leases:  make([]time.Duration, len(addrs)),
+		cid:     cid,
+		hbStop:  make(chan struct{}),
+		hbFails: make([]atomic.Int32, len(addrs)),
 	}
 	dialDeadline := time.Time{}
 	if d := cl.node.cfg.DialTimeout; d > 0 {
@@ -171,11 +183,19 @@ func (c *conn) readLoop() {
 	}
 }
 
-// fail poisons the connection and unblocks all waiters.
+// fail poisons the connection and unblocks all waiters: the coalescing
+// writer is killed (queued frames recycled, blocked enqueuers released),
+// the socket closed so the read loop exits, and every pending call's
+// channel closed. Idempotent — the read loop, the writer's failure hook,
+// and failed senders may all race into it.
 func (c *conn) fail(err error) {
+	c.bw.kill(err)
+	c.c.Close()
 	c.pmu.Lock()
 	defer c.pmu.Unlock()
-	c.dead = err
+	if c.dead == nil {
+		c.dead = err
+	}
 	for id, ch := range c.pending {
 		delete(c.pending, id)
 		close(ch)
@@ -183,66 +203,104 @@ func (c *conn) fail(err error) {
 }
 
 // call performs one request/response exchange bounded by deadline (zero
-// means none). The request goes out as a single vectored write — frame
-// header, optional dedup token, method, hdr, payload — with no
-// intermediate copy of payload, which is the zero-copy path large
-// rwrite/stage bodies ride. The pooled response body is handed to consume
-// (which must not retain it) and recycled before call returns.
+// means none): send ships the request, await collects the response.
 func (c *conn) call(m rpc.Method, hdr, payload []byte, consume func(resp []byte) error, deadline time.Time, tok dmwire.Token) error {
+	id, ch, err := c.send(m, hdr, payload, deadline, tok, true)
+	if err != nil {
+		return err
+	}
+	return c.await(m, id, ch, deadline, consume)
+}
+
+// send registers a pending entry and ships one request frame — frame
+// header, optional dedup token, method, hdr, payload — returning the
+// request id and the response channel for await. Small frames are copied
+// whole into the coalescing writer's queue (send returns once the frame
+// is accepted, not written — the pipelining CallAsync builds on); bodies
+// above the coalesce cutoff go out synchronously as a vectored write with
+// no intermediate copy of payload — the zero-copy path large rwrite/stage
+// bodies ride. sync marks a caller about to block on the response: its
+// frame may be written inline when the connection is idle (skipping the
+// flusher handoff), while async submitters always queue so their bursts
+// coalesce.
+func (c *conn) send(m rpc.Method, hdr, payload []byte, deadline time.Time, tok dmwire.Token, sync bool) (uint64, chan response, error) {
 	ch := make(chan response, 1)
 	c.pmu.Lock()
 	if dead := c.dead; dead != nil {
 		c.pmu.Unlock()
-		return fmt.Errorf("%w: %v", errConnFailed, dead)
+		return 0, nil, fmt.Errorf("%w: %v", errConnFailed, dead)
 	}
 	id := c.nextID
 	c.nextID++
 	c.pending[id] = ch
 	c.pmu.Unlock()
 
-	// Frame header + token + method + request header in one scratch
-	// buffer; the bulk payload rides as its own iovec.
 	tokLen := 0
 	kind := byte(kindRequest)
 	if !tok.IsZero() {
 		tokLen = dmwire.TokenSize
 		kind = kindRequestTok
 	}
-	scratch := getBuf(frameHeaderSize + tokLen + 2 + len(hdr))
-	fh := scratch[:frameHeaderSize]
-	binary.BigEndian.PutUint32(fh, uint32(tokLen+2+len(hdr)+len(payload)))
-	fh[4] = kind
-	binary.BigEndian.PutUint64(fh[5:], id)
-	off := frameHeaderSize
-	if tokLen > 0 {
-		binary.BigEndian.PutUint64(scratch[off:], tok.CID)
-		binary.BigEndian.PutUint64(scratch[off+8:], tok.Seq)
-		off += tokLen
+	head := frameHeaderSize + tokLen + 2 + len(hdr)
+	total := head + len(payload)
+	var err error
+	if c.bw.coalesce(total) {
+		// One pooled buffer holds the whole frame; ownership transfers to
+		// the writer, which recycles it after the group-commit flush.
+		frame := getBuf(total)
+		fillRequestHead(frame, total-frameHeaderSize, kind, id, tok, tokLen, m, hdr)
+		copy(frame[head:], payload)
+		if sync {
+			err = c.bw.enqueueInline(frame, deadline)
+		} else {
+			err = c.bw.enqueue(frame, deadline)
+		}
+	} else {
+		scratch := getBuf(head)
+		fillRequestHead(scratch, total-frameHeaderSize, kind, id, tok, tokLen, m, hdr)
+		bufs := net.Buffers{scratch}
+		if len(payload) > 0 {
+			bufs = append(bufs, payload)
+		}
+		err = c.bw.writeDirect(bufs, deadline)
+		putBuf(scratch[:cap(scratch)])
 	}
-	binary.BigEndian.PutUint16(scratch[off:], uint16(m))
-	copy(scratch[off+2:], hdr)
-
-	bufs := net.Buffers{scratch}
-	if len(payload) > 0 {
-		bufs = append(bufs, payload)
-	}
-	c.wmu.Lock()
-	// Each writer arms its own deadline; a partially written frame
-	// desyncs the stream, so a deadline-failed write poisons the conn.
-	c.c.SetWriteDeadline(deadline)
-	_, err := bufs.WriteTo(c.c)
-	c.wmu.Unlock()
-	putBuf(scratch[:cap(scratch)])
 	if err != nil {
 		c.pmu.Lock()
 		delete(c.pending, id)
 		c.pmu.Unlock()
-		// A failed write means the connection is gone; poison it so the
-		// owning Node redials on the next call.
+		// A failed write means the connection is gone; poison it (the
+		// writer already did for errors it detected — fail is idempotent)
+		// so the owning Node redials on the next call.
 		c.fail(err)
-		return fmt.Errorf("%w: write: %v", errConnFailed, err)
+		return 0, nil, fmt.Errorf("%w: write: %v", errConnFailed, err)
 	}
+	return id, ch, nil
+}
 
+// fillRequestHead lays down everything ahead of the bulk payload: frame
+// header (bodyLen, kind, request id), optional dedup token, method, and
+// the request header bytes.
+func fillRequestHead(buf []byte, bodyLen int, kind byte, id uint64, tok dmwire.Token, tokLen int, m rpc.Method, hdr []byte) {
+	binary.BigEndian.PutUint32(buf, uint32(bodyLen))
+	buf[4] = kind
+	binary.BigEndian.PutUint64(buf[5:], id)
+	off := frameHeaderSize
+	if tokLen > 0 {
+		binary.BigEndian.PutUint64(buf[off:], tok.CID)
+		binary.BigEndian.PutUint64(buf[off+8:], tok.Seq)
+		off += tokLen
+	}
+	binary.BigEndian.PutUint16(buf[off:], uint16(m))
+	copy(buf[off+2:], hdr)
+}
+
+// await collects the response for a request id registered by send. The
+// pooled response body is handed to consume (which must not retain it)
+// and recycled before await returns. On deadline the call is abandoned:
+// the pending entry is removed so the read loop drops the late response,
+// and anything that raced in is drained and recycled.
+func (c *conn) await(m rpc.Method, id uint64, ch chan response, deadline time.Time, consume func(resp []byte) error) error {
 	var timeC <-chan time.Time
 	if !deadline.IsZero() {
 		t := time.NewTimer(time.Until(deadline))
@@ -270,8 +328,6 @@ func (c *conn) call(m rpc.Method, hdr, payload []byte, consume func(resp []byte)
 		putBuf(resp.payload)
 		return cerr
 	case <-timeC:
-		// Abandon the call: remove the pending entry so the read loop
-		// drops the late response, then drain anything that raced in.
 		c.pmu.Lock()
 		delete(c.pending, id)
 		c.pmu.Unlock()
@@ -331,17 +387,20 @@ func (cl *Client) startHeartbeats() {
 			continue
 		}
 		cl.hbWG.Add(1)
-		go cl.heartbeatLoop(cl.addrs[i], cl.pids[i], interval)
+		go cl.heartbeatLoop(i, interval)
 	}
 }
 
 // heartbeatLoop renews one server's lease until Close or until the
 // server reports the session gone (reaped), at which point renewing is
 // pointless — subsequent data calls surface the dead session as
-// dm.ErrBadAddress.
-func (cl *Client) heartbeatLoop(addr string, pid uint32, interval time.Duration) {
+// dm.ErrBadAddress. Renewal outcomes feed the per-server consecutive
+// failure counter behind SessionHealth and the OnHeartbeatFailure hook,
+// so an expiring session is observable before data calls start failing.
+func (cl *Client) heartbeatLoop(i int, interval time.Duration) {
 	defer cl.hbWG.Done()
-	req := dmwire.HeartbeatReq{PID: pid}.Marshal()
+	addr := cl.addrs[i]
+	req := dmwire.HeartbeatReq{PID: cl.pids[i]}.Marshal()
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
 	for {
@@ -352,11 +411,31 @@ func (cl *Client) heartbeatLoop(addr string, pid uint32, interval time.Duration)
 			opts := idemOpts()
 			opts.Timeout = interval
 			err := cl.node.CallConsumeOpts(addr, dmwire.MHeartbeat, req, nil, nil, opts)
+			if err == nil {
+				cl.hbFails[i].Store(0)
+				continue
+			}
+			n := cl.hbFails[i].Add(1)
+			if cb := cl.cfg.OnHeartbeatFailure; cb != nil {
+				cb(addr, int(n), err)
+			}
 			if errors.Is(err, dm.ErrBadAddress) {
-				return
+				return // session reaped; the counter stays nonzero
 			}
 		}
 	}
+}
+
+// SessionHealth reports the number of consecutive failed lease renewals
+// per server address (0 = healthy). A count that keeps climbing toward
+// TTL/interval heartbeats means the session will be reaped and data calls
+// will start returning dm.ErrBadAddress.
+func (cl *Client) SessionHealth() map[string]int {
+	out := make(map[string]int, len(cl.addrs))
+	for i, a := range cl.addrs {
+		out[a] = int(cl.hbFails[i].Load())
+	}
+	return out
 }
 
 // server picks the pool entry for index i.
@@ -372,13 +451,10 @@ func (cl *Client) server(i int) (string, uint32, error) {
 	return cl.addrs[i], cl.pids[i], nil
 }
 
-// next round-robins the target server for allocations and staging.
+// next round-robins the target server for allocations and staging; a
+// lock-free atomic cursor, since it sits on the small-op hot path.
 func (cl *Client) next() int {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	i := cl.rr
-	cl.rr = (cl.rr + 1) % len(cl.addrs)
-	return i
+	return int((cl.rr.Add(1) - 1) % uint64(len(cl.addrs)))
 }
 
 // Address tagging matches dmnet: the pool index rides in the top byte.

@@ -66,6 +66,19 @@ type NodeConfig struct {
 	// Dialer replaces net.DialTimeout, letting tests route connections
 	// through fault injectors (internal/faultnet). Nil uses TCP.
 	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// CoalesceLimit is the frame-size cutoff (total bytes, header
+	// included) at or below which frames are copied into the
+	// per-connection coalescing queue and group-committed in one vectored
+	// write (DESIGN.md §D10); larger frames take the synchronous zero-copy
+	// path. 0 uses DefaultCoalesceLimit; negative disables coalescing
+	// entirely (every frame writes directly — the per-frame-syscall
+	// baseline the batching benchmarks compare against).
+	CoalesceLimit int
+	// CoalesceBatchBytes caps how many queued bytes one coalesced flush
+	// may drain into a single vectored write; the submission queue admits
+	// up to four times this before enqueuers block (backpressure).
+	// 0 uses DefaultCoalesceBatchBytes.
+	CoalesceBatchBytes int
 }
 
 // DefaultNodeConfig returns the production defaults described per field.
@@ -81,6 +94,8 @@ func DefaultNodeConfig() NodeConfig {
 		RetryBackoff:    5 * time.Millisecond,
 		RetryBackoffMax: 500 * time.Millisecond,
 		DedupRetention:  60 * time.Second,
+		CoalesceLimit:      DefaultCoalesceLimit,
+		CoalesceBatchBytes: DefaultCoalesceBatchBytes,
 	}
 }
 
@@ -117,7 +132,24 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	if c.DedupRetention == 0 {
 		c.DedupRetention = d.DedupRetention
 	}
+	if c.CoalesceLimit == 0 {
+		c.CoalesceLimit = d.CoalesceLimit
+	}
+	if c.CoalesceBatchBytes == 0 {
+		c.CoalesceBatchBytes = d.CoalesceBatchBytes
+	}
 	return c
+}
+
+// batchConfig derives one connection's coalescing-writer sizing from the
+// node configuration.
+func (c NodeConfig) batchConfig() batchWriterConfig {
+	return batchWriterConfig{
+		limit:        c.CoalesceLimit,
+		batchBytes:   c.CoalesceBatchBytes,
+		queueBytes:   4 * c.CoalesceBatchBytes,
+		writeTimeout: c.WriteTimeout,
+	}
 }
 
 // Node is a live RPC endpoint: it serves registered methods over TCP and
@@ -135,6 +167,20 @@ type Node struct {
 	once     sync.Once
 	conns    sync.WaitGroup
 	dedup    dedupTable
+	wstats   writeStats
+}
+
+// WriteStats snapshots the node's wire-write counters, aggregated across
+// every connection (outbound and serving) it has owned.
+func (n *Node) WriteStats() WriteStats {
+	return WriteStats{
+		Frames:        n.wstats.frames.Load(),
+		Batches:       n.wstats.batches.Load(),
+		InlineFrames:  n.wstats.inline.Load(),
+		DirectFrames:  n.wstats.direct.Load(),
+		Bytes:         n.wstats.bytes.Load(),
+		DroppedFrames: n.wstats.dropped.Load(),
+	}
 }
 
 // NewNode returns an empty node with default configuration; register
@@ -272,22 +318,27 @@ func (n *Node) Shutdown(grace time.Duration) error {
 }
 
 // serveConn handles one inbound connection. Fast handlers run to
-// completion on this goroutine with a reused header scratch buffer; slow
-// handlers get one goroutine per request — at most MaxSlowPerConn at a
-// time — with responses serialized by a per-connection write lock shared
-// with the inline path.
+// completion on this goroutine; slow handlers get one goroutine per
+// request — at most MaxSlowPerConn at a time. All responses go out
+// through the connection's coalescing writer (batchwriter.go): small
+// ones are copied into the submission queue and group-committed, large
+// ones take the direct zero-copy path.
 func (n *Node) serveConn(c net.Conn) {
 	defer c.Close()
+	// On a write failure the writer closes the socket so this read loop
+	// unblocks; teardown then drains the writer (close flushes whatever
+	// was accepted before the socket dies — LIFO defers: close runs
+	// before c.Close).
+	bw := newBatchWriter(c, n.cfg.batchConfig(), &n.wstats, func(error) { c.Close() })
+	defer bw.close()
 	br := bufio.NewReaderSize(c, 64<<10)
-	var wmu sync.Mutex
 	var sem chan struct{}
 	if n.cfg.MaxSlowPerConn > 0 {
 		sem = make(chan struct{}, n.cfg.MaxSlowPerConn)
 	}
-	// Scratch for the inline path's response header: frame header + status.
-	scratch := make([]byte, 0, frameHeaderSize+1)
+	var hdr [frameHeaderSize]byte
 	for {
-		kind, reqID, payload, err := readFrameBuf(br, scratch[:frameHeaderSize], n.cfg.MaxFrameSize)
+		kind, reqID, payload, err := readFrameBuf(br, hdr[:], n.cfg.MaxFrameSize)
 		if err != nil {
 			return
 		}
@@ -317,15 +368,15 @@ func (n *Node) serveConn(c net.Conn) {
 			status, resp, cached := n.dedup.run(tok, func() (byte, []byte) {
 				return runHandler(e.h, c.RemoteAddr(), reqBody)
 			})
-			wmu.Lock()
-			n.armWriteDeadline(c)
-			err := writeFrameVec(c, scratch, kindResponse, reqID, []byte{status}, resp)
-			wmu.Unlock()
+			// fast contract: resp never aliases payload, so the request
+			// buffer recycles immediately; resp recycles unless the dedup
+			// table retained it (writeResponse handles both paths). The
+			// response may write inline only when no further request is
+			// already buffered: with a pipeline behind this request, it
+			// queues instead so reading overlaps the flusher's writes.
+			werr := n.writeResponse(bw, reqID, status, resp, !cached, br.Buffered() == 0)
 			putBuf(payload)
-			if !cached {
-				putBuf(resp) // fast contract: resp never aliases payload
-			}
-			if err != nil {
+			if werr != nil {
 				return
 			}
 			continue
@@ -350,25 +401,61 @@ func (n *Node) serveConn(c net.Conn) {
 					return runHandler(e.h, c.RemoteAddr(), reqBody)
 				})
 			}
-			var hdr [frameHeaderSize + 1]byte
-			wmu.Lock()
-			n.armWriteDeadline(c)
-			_ = writeFrameVec(c, hdr[:0], kindResponse, reqID, []byte{status}, resp)
-			wmu.Unlock()
-			// The response (which may alias the request body) is fully
-			// written, so the request buffer can be recycled — but the
-			// response itself is handler-owned (or dedup-cached) and is not.
+			// writeResponse consumes resp synchronously (small: copied
+			// into a queued frame; large: fully written) before returning,
+			// so the request buffer — which resp may alias — recycles
+			// safely after it. resp itself is handler-owned (or
+			// dedup-cached) and is not recycled here.
+			_ = n.writeResponse(bw, reqID, status, resp, false, false)
 			putBuf(payload)
 		}()
 	}
 }
 
-// armWriteDeadline bounds the next response write so a peer that stops
-// reading cannot wedge this connection's writers forever.
-func (n *Node) armWriteDeadline(c net.Conn) {
-	if n.cfg.WriteTimeout > 0 {
-		c.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout))
+// writeResponse ships one response frame through the connection's
+// coalescing writer: frames at or below the coalesce cutoff are copied
+// into a single pooled buffer (header + status + body) and enqueued for
+// group commit; larger ones are written synchronously as a zero-copy
+// vectored write. resp is consumed before return either way. own marks
+// resp as pool-recyclable once consumed (fast-path responses the dedup
+// table did not retain). idle marks a connection with nothing further
+// buffered to read — only then may the response write inline from this
+// goroutine instead of riding the queue.
+func (n *Node) writeResponse(bw *batchWriter, reqID uint64, status byte, resp []byte, own, idle bool) error {
+	total := frameHeaderSize + 1 + len(resp)
+	if bw.coalesce(total) {
+		frame := getBuf(total)
+		binary.BigEndian.PutUint32(frame, uint32(1+len(resp)))
+		frame[4] = kindResponse
+		binary.BigEndian.PutUint64(frame[5:], reqID)
+		frame[frameHeaderSize] = status
+		copy(frame[frameHeaderSize+1:], resp)
+		if own {
+			putBuf(resp)
+		}
+		// Responses carry no per-frame deadline: the writer's write
+		// timeout bounds the flush (same bound armWriteDeadline used to
+		// provide per write).
+		if idle {
+			return bw.enqueueInline(frame, time.Time{})
+		}
+		return bw.enqueue(frame, time.Time{})
 	}
+	fh := getBuf(frameHeaderSize + 1)
+	binary.BigEndian.PutUint32(fh, uint32(1+len(resp)))
+	fh[4] = kindResponse
+	binary.BigEndian.PutUint64(fh[5:], reqID)
+	fh[frameHeaderSize] = status
+	bufs := net.Buffers{fh}
+	if len(resp) > 0 {
+		bufs = append(bufs, resp)
+	}
+	err := bw.writeDirect(bufs, time.Time{})
+	putBuf(fh[:cap(fh)])
+	if own {
+		putBuf(resp)
+	}
+	return err
 }
 
 // errNoSuchMethod is the catch-all for unknown methods.
@@ -422,6 +509,10 @@ func (n *Node) peer(addr string, deadline time.Time) (*conn, error) {
 		return nil, fmt.Errorf("%w: dial %s: %v", errConnFailed, addr, err)
 	}
 	c = &conn{c: nc, maxFrame: n.cfg.MaxFrameSize, pending: make(map[uint64]chan response)}
+	// The writer's failure hook poisons the whole conn (and closes the
+	// socket), so a flush error surfaces to every pending call, not just
+	// the frames that were in the failed batch.
+	c.bw = newBatchWriter(nc, n.cfg.batchConfig(), &n.wstats, c.fail)
 	go c.readLoop()
 	n.mu.Lock()
 	select {

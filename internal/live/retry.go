@@ -50,21 +50,55 @@ func isTransient(err error) bool {
 // dedup-tokened calls — exponential-backoff retries over the node's
 // reconnect path. consume runs at most once, on the successful attempt.
 func (n *Node) CallConsumeOpts(addr string, m rpc.Method, hdr, payload []byte, consume func(resp []byte) error, opts CallOpts) error {
+	deadline := n.overallDeadline(opts)
+	attempt := func() error {
+		return n.attempt(addr, m, hdr, payload, consume, deadline, opts.Token)
+	}
+	return n.withRetries(opts, deadline, attempt, attempt)
+}
+
+// overallDeadline resolves opts into the deadline spanning every attempt
+// of one call (zero = unbounded).
+func (n *Node) overallDeadline(opts CallOpts) time.Time {
 	timeout := opts.Timeout
 	if timeout == 0 {
 		timeout = n.cfg.CallTimeout
 	}
-	var deadline time.Time
 	if timeout > 0 {
-		deadline = time.Now().Add(timeout)
+		return time.Now().Add(timeout)
 	}
+	return time.Time{}
+}
+
+// attemptDeadline caps one attempt at the sooner of the overall deadline
+// and the per-attempt timeout, so a stalled server cannot absorb the
+// whole retry budget.
+func (n *Node) attemptDeadline(deadline time.Time) time.Time {
+	if n.cfg.AttemptTimeout > 0 {
+		ad := time.Now().Add(n.cfg.AttemptTimeout)
+		if deadline.IsZero() || ad.Before(deadline) {
+			return ad
+		}
+	}
+	return deadline
+}
+
+// withRetries is the shared retry engine behind the synchronous calls and
+// the async futures: it runs first once, then — while the call is
+// retryable (idempotent or tokened), the error transient, the attempt
+// budget unspent, and the deadline unmet — runs again after a jittered
+// exponential backoff. The first/again split lets an async Wait resume an
+// attempt already in flight (await only) and fall back to full re-sends.
+func (n *Node) withRetries(opts CallOpts, deadline time.Time, first, again func() error) error {
 	canRetry := (opts.Idempotent || !opts.Token.IsZero()) && n.cfg.MaxRetries > 0
 	backoff := n.cfg.RetryBackoff
+	f := first
 	for attempt := 0; ; attempt++ {
-		err := n.attempt(addr, m, hdr, payload, consume, deadline, opts.Token)
+		err := f()
 		if err == nil {
 			return nil
 		}
+		f = again
 		if !canRetry || attempt >= n.cfg.MaxRetries || !isTransient(err) {
 			return err
 		}
@@ -90,16 +124,10 @@ func (n *Node) CallConsumeOpts(addr string, m rpc.Method, hdr, payload []byte, c
 // attempt performs one request/response exchange, bounded by the sooner
 // of the overall deadline and the per-attempt timeout.
 func (n *Node) attempt(addr string, m rpc.Method, hdr, payload []byte, consume func(resp []byte) error, deadline time.Time, tok dmwire.Token) error {
-	attemptDeadline := deadline
-	if n.cfg.AttemptTimeout > 0 {
-		ad := time.Now().Add(n.cfg.AttemptTimeout)
-		if attemptDeadline.IsZero() || ad.Before(attemptDeadline) {
-			attemptDeadline = ad
-		}
-	}
-	c, err := n.peer(addr, attemptDeadline)
+	ad := n.attemptDeadline(deadline)
+	c, err := n.peer(addr, ad)
 	if err != nil {
 		return err
 	}
-	return c.call(m, hdr, payload, consume, attemptDeadline, tok)
+	return c.call(m, hdr, payload, consume, ad, tok)
 }

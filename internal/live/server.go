@@ -80,25 +80,6 @@ func writeFrame(w io.Writer, kind byte, reqID uint64, payload []byte) error {
 	return err
 }
 
-// writeFrameVec writes one frame as a single vectored write: the frame
-// header plus up to two payload segments go out in one writev, so large
-// bodies are never copied into an intermediate buffer. hdr must have
-// frameHeaderSize+len(prefix) capacity headroom; callers reuse a
-// per-connection or pooled scratch buffer for it.
-func writeFrameVec(w io.Writer, scratch []byte, kind byte, reqID uint64, prefix, payload []byte) error {
-	hdr := scratch[:frameHeaderSize]
-	binary.BigEndian.PutUint32(hdr, uint32(len(prefix)+len(payload)))
-	hdr[4] = kind
-	binary.BigEndian.PutUint64(hdr[5:], reqID)
-	hdr = append(hdr, prefix...)
-	bufs := net.Buffers{hdr}
-	if len(payload) > 0 {
-		bufs = append(bufs, payload)
-	}
-	_, err := bufs.WriteTo(w)
-	return err
-}
-
 // readFrame reads one frame into a freshly allocated payload (slow path,
 // retained for the fuzz harness; hot paths use readFrameBuf). max caps
 // the payload length and is checked before any allocation.
@@ -166,6 +147,13 @@ type ServerConfig struct {
 	// (0 = default 64). The DM ops themselves are fast handlers; this
 	// guards extra Handle-registered methods.
 	MaxSlowPerConn int
+	// CoalesceLimit / CoalesceBatchBytes tune the per-connection response
+	// coalescing writer (NodeConfig fields of the same names): frames up
+	// to CoalesceLimit bytes are group-committed in vectored writes capped
+	// at CoalesceBatchBytes. 0 = defaults; negative CoalesceLimit disables
+	// coalescing (per-frame writes, the pre-batching behaviour).
+	CoalesceLimit      int
+	CoalesceBatchBytes int
 }
 
 // DefaultServerConfig returns a 256 MiB pool of 4 KiB pages with a 15 s
@@ -292,8 +280,10 @@ func NewServer(cfg ServerConfig) *Server {
 		free:   make([]int32, cfg.NumPages),
 		pids:   make(map[uint32]*pidState),
 		node: NewNodeWith(NodeConfig{
-			MaxFrameSize:   cfg.MaxFrameSize,
-			MaxSlowPerConn: cfg.MaxSlowPerConn,
+			MaxFrameSize:       cfg.MaxFrameSize,
+			MaxSlowPerConn:     cfg.MaxSlowPerConn,
+			CoalesceLimit:      cfg.CoalesceLimit,
+			CoalesceBatchBytes: cfg.CoalesceBatchBytes,
 		}),
 		reaperStop: make(chan struct{}),
 		reaperDone: make(chan struct{}),
@@ -363,6 +353,10 @@ func (s *Server) FreePages() int {
 	defer s.freeMu.Unlock()
 	return len(s.free)
 }
+
+// WriteStats snapshots the server's wire-write counters (frames, batches,
+// direct writes, bytes, drops) aggregated across its connections.
+func (s *Server) WriteStats() WriteStats { return s.node.WriteStats() }
 
 // LiveRefs returns the number of outstanding refs.
 func (s *Server) LiveRefs() int {

@@ -135,6 +135,107 @@ func stressRound(cl *Client, rng *rand.Rand) error {
 	return cl.FreeRef(ref2)
 }
 
+// TestBatchedWriterStress hammers ONE shared client — so every worker's
+// frames funnel through the same connection's coalescing writer — with a
+// mix of synchronous small ops, pipelined async bursts, and payloads
+// above the coalesce cutoff (direct zero-copy path), interleaving the
+// queued and direct paths under -race. Afterwards the D6/D7 conservation
+// invariants must hold exactly: every page free, every ref released, and
+// the write counters consistent (no frame both flushed and dropped).
+func TestBatchedWriterStress(t *testing.T) {
+	const (
+		numPages = 1 << 12
+		pageSize = 1024
+		workers  = 8
+		rounds   = 25
+	)
+	srv, addr := startServer(t, ServerConfig{NumPages: numPages, PageSize: pageSize})
+	cl := dialClient(t, addr) // one client: one conn, one batch writer
+
+	big := bytes.Repeat([]byte{0x5A}, DefaultCoalesceLimit+4096) // forces the direct path
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < rounds; i++ {
+				// Pipelined burst of small stages (coalesced frames).
+				const burst = 4
+				stages := make([]*AsyncRef, burst)
+				small := make([][]byte, burst)
+				for j := range stages {
+					small[j] = make([]byte, rng.Intn(2048)+1)
+					rng.Read(small[j])
+					stages[j] = cl.StageRefAsync(small[j])
+				}
+				for j, ar := range stages {
+					ref, err := ar.Wait()
+					if err != nil {
+						errs <- fmt.Errorf("worker %d round %d stage %d: %w", w, i, j, err)
+						return
+					}
+					got := make([]byte, len(small[j]))
+					if err := cl.ReadRef(ref, 0, got); err != nil {
+						errs <- err
+						return
+					}
+					if !bytes.Equal(got, small[j]) {
+						errs <- errors.New("coalesced stage corrupted")
+						return
+					}
+					if err := cl.FreeRef(ref); err != nil {
+						errs <- err
+						return
+					}
+				}
+				// Large op riding the direct path between the bursts.
+				ref, err := cl.StageRef(big)
+				if err != nil {
+					errs <- err
+					return
+				}
+				window := make([]byte, 512)
+				if err := cl.ReadRef(ref, int64(rng.Intn(len(big)-512)), window); err != nil {
+					errs <- err
+					return
+				}
+				if err := cl.FreeRef(ref); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if err := srv.CheckInvariants(); err != nil {
+		t.Fatalf("D6 invariants violated under batched writers: %v", err)
+	}
+	if got := srv.FreePages(); got != numPages {
+		t.Fatalf("pages leaked: %d free of %d", got, numPages)
+	}
+	if got := srv.LiveRefs(); got != 0 {
+		t.Fatalf("%d refs leaked", got)
+	}
+	ws := cl.node.WriteStats()
+	if ws.Frames == 0 || ws.Batches == 0 {
+		t.Fatalf("client writer never batched: %+v", ws)
+	}
+	if ws.DroppedFrames != 0 {
+		t.Fatalf("%d frames dropped on a healthy connection", ws.DroppedFrames)
+	}
+	if ws.DirectFrames == 0 {
+		t.Fatalf("large payloads never took the direct path: %+v", ws)
+	}
+}
+
 // TestStressSharedRefsAcrossClients shares one staged ref across many
 // readers and CoW writers concurrently, then verifies the invariants and
 // that teardown returns every page.

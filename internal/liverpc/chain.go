@@ -78,6 +78,45 @@ func (cc *ChainClient) Do(payload []byte) (uint64, error) {
 	return res[0].AsU64()
 }
 
+// ChainPending is one in-flight pipelined chain request (see DoAsync).
+type ChainPending struct {
+	cc  *ChainClient
+	arg Payload
+	pc  *PendingCall
+	err error
+}
+
+// DoAsync starts one chained request and returns a future: the payload is
+// staged (one synchronous round trip to the DM pool when large), the call
+// ships immediately, and Wait collects the aggregate later. Keeping a few
+// requests in flight pipelines the chain — request i+1's staging and hop
+// traversal overlap request i's — which is how a real producer drives it;
+// payload must stay valid until Wait returns.
+func (cc *ChainClient) DoAsync(payload []byte) *ChainPending {
+	arg, err := cc.caller.Stage(payload)
+	if err != nil {
+		return &ChainPending{err: err}
+	}
+	return &ChainPending{cc: cc, arg: arg, pc: cc.caller.CallAsync(cc.first, ChainMethod, arg)}
+}
+
+// Wait blocks for one pipelined request's aggregate, releasing the staged
+// ref (the chain only reads it). Call exactly once.
+func (cp *ChainPending) Wait() (uint64, error) {
+	if cp.err != nil {
+		return 0, cp.err
+	}
+	res, err := cp.pc.Wait()
+	cp.cc.caller.Release(cp.arg)
+	if err != nil {
+		return 0, err
+	}
+	if len(res) != 1 {
+		return 0, fmt.Errorf("liverpc: chain returned %d payloads, want 1", len(res))
+	}
+	return res[0].AsU64()
+}
+
 // ChainDeployment is an in-process deployment of the whole chain app:
 // one Service per hop (each with its own DM session, as separate
 // processes would have) plus a client. Every piece talks over real

@@ -174,9 +174,11 @@ func (c *Caller) CallOpts(addr, method string, opts CallOpts, args ...Payload) (
 	return c.issue(addr, env, opts)
 }
 
-// issue sends one envelope and decodes the result list; shared by
-// top-level and nested (Ctx) calls.
-func (c *Caller) issue(addr string, env dmwire.CallEnvelope, opts CallOpts) ([]Payload, error) {
+// prepare resolves opts against the endpoint defaults, stamps the
+// deadline budget into the envelope, and builds the transport options
+// (idempotent flag or a fresh dedup token). Shared by the synchronous
+// and asynchronous issue paths.
+func (c *Caller) prepare(env *dmwire.CallEnvelope, opts CallOpts) live.CallOpts {
 	timeout := opts.Timeout
 	if timeout == 0 {
 		timeout = c.cfg.callTimeout()
@@ -197,6 +199,13 @@ func (c *Caller) issue(addr string, env dmwire.CallEnvelope, opts CallOpts) ([]P
 	} else {
 		lopts.Token = c.token()
 	}
+	return lopts
+}
+
+// issue sends one envelope and decodes the result list; shared by
+// top-level and nested (Ctx) calls.
+func (c *Caller) issue(addr string, env dmwire.CallEnvelope, opts CallOpts) ([]Payload, error) {
+	lopts := c.prepare(&env, opts)
 	var out []Payload
 	err := c.node.CallConsumeOpts(addr, MethodCall, env.MarshalHdr(), env.Bulk(),
 		func(resp []byte) error {
