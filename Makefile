@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet check test test-short bench bench-smoke bench-live bench-liverpc experiments experiments-full fuzz fuzz-smoke clean
+.PHONY: all build vet check test test-short bench bench-smoke bench-live bench-liverpc bench-pool pool-demo experiments experiments-full fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -17,7 +17,7 @@ vet:
 # server's concurrency — and the chaos/lease-reaping tests — are only
 # trustworthy raced).
 check: vet
-	$(GO) test -race ./internal/live/... ./internal/liverpc/... ./internal/dmwire/... ./internal/faultnet/...
+	$(GO) test -race ./internal/live/... ./internal/liverpc/... ./internal/dmwire/... ./internal/faultnet/... ./internal/pool/...
 
 # Full suite: unit, property, invariant and paper-shape tests (~4 min),
 # gated on the race-checked hot path and a brief fuzz pass over every
@@ -38,6 +38,7 @@ bench:
 # gate CI on, so a perf-measurement bitrot is caught like a test failure.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkLive' -benchtime=1x ./internal/live ./internal/liverpc
+	$(GO) test -run '^$$' -bench 'BenchmarkPool' -benchtime=1x ./internal/pool
 
 # Live TCP hot-path benchmarks, recorded to BENCH_live.json so the perf
 # trajectory is tracked across PRs.
@@ -49,6 +50,18 @@ bench-live:
 # BENCH_liverpc.json.
 bench-liverpc:
 	$(GO) test -run '^$$' -bench 'BenchmarkLiveRPC' -benchmem ./internal/liverpc | $(GO) run ./cmd/benchjson -out BENCH_liverpc.json
+
+# Sharded-cluster scaling benchmark (weak scaling, 1 -> 2 -> 4 shards):
+# aggregate stage and by-ref read bandwidth plus the ring's remap
+# fraction for the next scale-out step, recorded to BENCH_pool.json.
+bench-pool:
+	$(GO) test -run '^$$' -bench 'BenchmarkPool' -benchtime=2s -benchmem ./internal/pool | $(GO) run ./cmd/benchjson -out BENCH_pool.json
+
+# Launch a local K-shard cluster (dmserverd on sequential ports) and run
+# dmctl pool smoke traffic against it. K and BASE_PORT are overridable:
+#   make pool-demo K=4 BASE_PORT=7800
+pool-demo: build
+	./scripts/pool-demo.sh $(or $(K),3) $(or $(BASE_PORT),7740)
 
 # Regenerate every figure as text tables (quick windows).
 experiments:
@@ -66,6 +79,7 @@ fuzz-smoke:
 	$(GO) test ./internal/dmwire -run='^$$' -fuzz=FuzzUnmarshal -fuzztime=5s
 	$(GO) test ./internal/dmwire -run='^$$' -fuzz=FuzzStatusRoundTrip -fuzztime=5s
 	$(GO) test ./internal/dmwire -run='^$$' -fuzz=FuzzCallEnvelope -fuzztime=5s
+	$(GO) test ./internal/dmwire -run='^$$' -fuzz=FuzzLocatedRef -fuzztime=5s
 
 # Brief fuzzing passes over every wire-facing decoder.
 fuzz:
@@ -75,6 +89,7 @@ fuzz:
 	$(GO) test ./internal/rpc -run='^$$' -fuzz=FuzzDec -fuzztime=30s
 	$(GO) test ./internal/dm -run='^$$' -fuzz=FuzzUnmarshalRef -fuzztime=30s
 	$(GO) test ./internal/dmwire -run='^$$' -fuzz=FuzzCallEnvelope -fuzztime=30s
+	$(GO) test ./internal/dmwire -run='^$$' -fuzz=FuzzLocatedRef -fuzztime=30s
 
 clean:
 	$(GO) clean ./...

@@ -17,8 +17,10 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/dmwire"
 	"repro/internal/live"
 	"repro/internal/liverpc"
+	"repro/internal/pool"
 	"repro/internal/stats"
 )
 
@@ -34,6 +36,12 @@ func main() {
 	// -server flag may name a comma-separated DM pool for it).
 	if args[0] == "chain" {
 		cmdChain(strings.Split(*server, ","), args[1:])
+		return
+	}
+	// pool commands drive the sharded cluster layer: -server lists the
+	// shard addresses in shard-ID order.
+	if args[0] == "pool" {
+		cmdPool(strings.Split(*server, ","), args[1:])
 		return
 	}
 
@@ -62,7 +70,18 @@ commands:
   bench     -size <n> -n <ops>  measure stage/readref/free latency
   chain     -hops <h> -size <n> -n <ops>
                                 run the liverpc chain app against the
-                                server pool by value and by ref, compare`)
+                                server pool by value and by ref, compare
+  pool <subcommand>             drive the sharded cluster layer; -server
+                                lists shard addresses in shard-ID order:
+    pool stage -text <s>          stage onto a ring-chosen shard, print
+                                  the located ref and its v1 wire form
+    pool read  -size <n> -n <k>   stage k objects, read each back via its
+                                  located ref, print the shard spread
+    pool chain -hops <h> -size <n> -n <ops>
+                                  chain app with every hop on its own
+                                  pool session (located refs end-to-end)
+    pool stats -size <n> -n <k>   run a burst, print aggregate and
+                                  per-shard client counters`)
 	os.Exit(2)
 }
 
@@ -183,5 +202,154 @@ func cmdChain(dmAddrs []string, args []string) {
 		fmt.Printf("by-ref wins: %.2fx faster at this size\n", vm/rm)
 	default:
 		fmt.Printf("by-value wins: %.2fx faster at this size (payload below crossover)\n", rm/vm)
+	}
+}
+
+// cmdPool dispatches the sharded-cluster subcommands. Every subcommand
+// registers one pool client over the shard list (shard ID = position).
+func cmdPool(addrs []string, args []string) {
+	if len(args) == 0 {
+		usage()
+	}
+	if args[0] == "chain" {
+		cmdPoolChain(addrs, args[1:])
+		return
+	}
+	p, err := pool.Dial(pool.Config{Shards: addrs})
+	exitOn(err)
+	defer p.Close()
+	exitOn(p.Register())
+	switch args[0] {
+	case "stage":
+		cmdPoolStage(p, args[1:])
+	case "read":
+		cmdPoolRead(p, args[1:])
+	case "stats":
+		cmdPoolStats(p, args[1:])
+	default:
+		usage()
+	}
+}
+
+func cmdPoolStage(p *pool.Client, args []string) {
+	fs := flag.NewFlagSet("pool stage", flag.ExitOnError)
+	text := fs.String("text", "hello", "payload to stage")
+	fs.Parse(args)
+	ref, err := p.StageRef([]byte(*text))
+	exitOn(err)
+	wire := dmwire.Locate(ref).Marshal()
+	fmt.Printf("staged %d bytes on shard %d as %v (located wire form %d bytes: %x)\n",
+		len(*text), ref.Server, ref, len(wire), wire)
+}
+
+func cmdPoolRead(p *pool.Client, args []string) {
+	fs := flag.NewFlagSet("pool read", flag.ExitOnError)
+	size := fs.Int("size", 32768, "payload size per object")
+	n := fs.Int("n", 64, "objects to stage and read back")
+	fs.Parse(args)
+	payload := make([]byte, *size)
+	apps.FillPayload(payload, uint64(*size))
+	perShard := make(map[uint32]int)
+	buf := make([]byte, *size)
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		ref, err := p.StageRef(payload)
+		exitOn(err)
+		perShard[ref.Server]++
+		exitOn(p.ReadRef(ref, 0, buf))
+		for j := range buf {
+			if buf[j] != payload[j] {
+				exitOn(fmt.Errorf("object %d corrupt at byte %d", i, j))
+			}
+		}
+		exitOn(p.FreeRef(ref))
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d objects of %s staged+read+verified across %d shards in %v\n",
+		*n, stats.Bytes(int64(*size)), p.Shards(), elapsed.Round(time.Millisecond))
+	for id := uint32(0); int(id) < p.Shards(); id++ {
+		fmt.Printf("  shard %d: %d objects\n", id, perShard[id])
+	}
+	fmt.Printf("healthy shards: %v\n", p.Healthy())
+}
+
+// cmdPoolChain is cmdChain with every hop holding its own POOL session:
+// refs cross the chain in the v1 located wire form, so any hop can fetch
+// from whichever shard the payload landed on.
+func cmdPoolChain(addrs []string, args []string) {
+	fs := flag.NewFlagSet("pool chain", flag.ExitOnError)
+	hops := fs.Int("hops", 3, "chain length (services)")
+	size := fs.Int("size", 65536, "payload size in bytes")
+	n := fs.Int("n", 200, "calls per mode")
+	fs.Parse(args)
+
+	payload := make([]byte, *size)
+	apps.FillPayload(payload, uint64(*size))
+	want := apps.Aggregate(payload)
+
+	newSession := func() (liverpc.DM, error) {
+		p, err := pool.Dial(pool.Config{Shards: addrs})
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Register(); err != nil {
+			p.Close()
+			return nil, err
+		}
+		return p, nil
+	}
+	run := func(mode string, cfg liverpc.Config) *stats.Histogram {
+		d, err := liverpc.DeployChainWith(*hops, newSession, cfg)
+		exitOn(err)
+		defer d.Close()
+		var h stats.Histogram
+		for i := 0; i < *n; i++ {
+			t0 := time.Now()
+			got, err := d.Client.Do(payload)
+			exitOn(err)
+			h.Record(time.Since(t0).Nanoseconds())
+			if got != want {
+				exitOn(fmt.Errorf("%s chain returned sum %d, want %d", mode, got, want))
+			}
+		}
+		fmt.Printf("%-8s  %s\n", mode, h.Summarize())
+		return &h
+	}
+
+	fmt.Printf("pool chain: %d hops over %d shards, %s payload, %d calls per mode\n",
+		*hops, len(addrs), stats.Bytes(int64(*size)), *n)
+	val := run("by-value", liverpc.Config{ForceInline: true})
+	ref := run("by-ref", liverpc.Config{})
+	vm, rm := val.Mean(), ref.Mean()
+	switch {
+	case rm < vm:
+		fmt.Printf("by-ref wins: %.2fx faster at this size\n", vm/rm)
+	default:
+		fmt.Printf("by-value wins: %.2fx faster at this size (payload below crossover)\n", rm/vm)
+	}
+}
+
+func cmdPoolStats(p *pool.Client, args []string) {
+	fs := flag.NewFlagSet("pool stats", flag.ExitOnError)
+	size := fs.Int("size", 32768, "payload size per op")
+	n := fs.Int("n", 200, "stage/read/free cycles to run")
+	fs.Parse(args)
+	payload := make([]byte, *size)
+	buf := make([]byte, *size)
+	for i := 0; i < *n; i++ {
+		ref, err := p.StageRef(payload)
+		exitOn(err)
+		exitOn(p.ReadRef(ref, 0, buf))
+		exitOn(p.FreeRef(ref))
+	}
+	agg := p.Stats()
+	fmt.Printf("aggregate: calls=%d retries=%d dedup_replays=%d failures=%d heartbeat_failures=%d\n",
+		agg.Calls, agg.Retries, agg.DedupReplays, agg.Failures, agg.HeartbeatFailures)
+	for id, st := range p.ShardStats() {
+		fmt.Printf("  shard %d: calls=%d retries=%d dedup_replays=%d failures=%d heartbeat_failures=%d\n",
+			id, st.Calls, st.Retries, st.DedupReplays, st.Failures, st.HeartbeatFailures)
+	}
+	for addr, consec := range p.SessionHealth() {
+		fmt.Printf("  session %s: consecutive heartbeat failures %d\n", addr, consec)
 	}
 }

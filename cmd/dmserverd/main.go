@@ -35,6 +35,7 @@ func main() {
 	coalesceLimit := flag.Int("coalesce-limit", 0, "largest response coalesced into batched writes, bytes (0 = default, negative disables)")
 	coalesceBatch := flag.Int("coalesce-batch", 0, "max bytes per group-commit flush (0 = default)")
 	statsEvery := flag.Duration("stats", 0, "print free-page/live-ref/writer counters at this interval (0 disables)")
+	shardID := flag.Int("shard-id", -1, "cluster-wide shard ID announced to pool clients (-1 = single-server, no shard)")
 	flag.Parse()
 
 	cfg := live.ServerConfig{
@@ -47,6 +48,10 @@ func main() {
 		CoalesceLimit:      *coalesceLimit,
 		CoalesceBatchBytes: *coalesceBatch,
 	}
+	if *shardID >= 0 {
+		cfg.HasShard = true
+		cfg.ShardID = uint32(*shardID)
+	}
 	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
 	}
@@ -55,8 +60,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("dmserverd: serving %d pages x %dB (%d MiB) on %s\n",
-		*pages, *pageSize, *pages**pageSize>>20, ln.Addr())
+	shardNote := ""
+	if cfg.HasShard {
+		shardNote = fmt.Sprintf(" as shard %d", cfg.ShardID)
+	}
+	fmt.Printf("dmserverd: serving %d pages x %dB (%d MiB) on %s%s\n",
+		*pages, *pageSize, *pages**pageSize>>20, ln.Addr(), shardNote)
 
 	if *statsEvery > 0 {
 		go func() {

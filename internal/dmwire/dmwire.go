@@ -85,20 +85,40 @@ func ErrOf(status byte, msg string) error {
 // LeaseMillis is the session lease TTL granted to the PID, in
 // milliseconds; 0 means the server does not lease sessions and the PID
 // lives until the server shuts down (the pre-lease behaviour).
+//
+// HasShard/Shard report the server's cluster shard identity
+// (dmserverd -shard-id): a server deployed as one shard of a
+// consistent-hash pool (internal/pool) advertises its shard ID so
+// clients can verify their ring configuration against reality. The field
+// is appended to the original 8-byte body only when set, so pre-shard
+// clients still parse the prefix and pre-shard servers still satisfy new
+// clients (HasShard simply stays false).
 type RegisterResp struct {
 	PID         uint32
 	LeaseMillis uint32
+	HasShard    bool
+	Shard       uint32
 }
 
 // Marshal encodes the response body.
 func (r RegisterResp) Marshal() []byte {
-	return rpc.NewEnc(8).U32(r.PID).U32(r.LeaseMillis).Bytes()
+	if !r.HasShard {
+		return rpc.NewEnc(8).U32(r.PID).U32(r.LeaseMillis).Bytes()
+	}
+	return rpc.NewEnc(12).U32(r.PID).U32(r.LeaseMillis).U32(r.Shard).Bytes()
 }
 
 // UnmarshalRegisterResp decodes the response body.
 func UnmarshalRegisterResp(b []byte) (RegisterResp, error) {
 	d := rpc.NewDec(b)
 	r := RegisterResp{PID: d.U32(), LeaseMillis: d.U32()}
+	if err := d.Err(); err != nil {
+		return r, err
+	}
+	if len(d.Remaining()) >= 4 {
+		r.Shard = d.U32()
+		r.HasShard = true
+	}
 	return r, d.Err()
 }
 

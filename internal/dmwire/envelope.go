@@ -40,6 +40,10 @@ type CallArg struct {
 	IsRef bool
 	// Ref names the staged pages (valid when IsRef).
 	Ref dm.Ref
+	// Located marks a v1 cluster-addressed ref (see locref.go): Ref.Server
+	// is a cluster-wide shard ID from the pool's consistent-hash ring, not
+	// a connection-local server index. Valid when IsRef.
+	Located bool
 	// Inline is the in-message payload (valid when !IsRef). Unmarshal
 	// aliases the envelope buffer; callers that retain it must copy.
 	Inline []byte
@@ -56,6 +60,9 @@ func (a CallArg) Size() int64 {
 // wireSize returns the argument's encoded length.
 func (a CallArg) wireSize() int {
 	if a.IsRef {
+		if a.Located {
+			return 1 + LocatedRefSize
+		}
 		return 1 + dm.EncodedRefSize
 	}
 	return 1 + 4 + len(a.Inline)
@@ -66,6 +73,14 @@ func (a CallArg) wireSize() int {
 // vectored-write path).
 func (a CallArg) encode(e *rpc.Enc, skipInlineBytes bool) {
 	if a.IsRef {
+		if a.Located {
+			// Located (v1) ref: flag, version byte, then the standard ref
+			// encoding with Server carrying the shard ID.
+			e.U8(2)
+			e.U8(RefV1)
+			a.Ref.Encode(e)
+			return
+		}
 		e.U8(1)
 		a.Ref.Encode(e)
 		return
@@ -79,9 +94,15 @@ func (a CallArg) encode(e *rpc.Enc, skipInlineBytes bool) {
 }
 
 // decodeCallArg reads one argument, aliasing d's buffer for inline data.
-// Flags other than 0/1 are rejected so the codec stays canonical.
+// Flags other than 0/1/2 are rejected so the codec stays canonical; a
+// located arg must carry a known ref version.
 func decodeCallArg(d *rpc.Dec) (CallArg, error) {
 	switch d.U8() {
+	case 2:
+		if d.U8() != RefV1 {
+			return CallArg{}, ErrBadRefVersion
+		}
+		return CallArg{IsRef: true, Located: true, Ref: dm.DecodeRef(d)}, nil
 	case 1:
 		return CallArg{IsRef: true, Ref: dm.DecodeRef(d)}, nil
 	case 0:

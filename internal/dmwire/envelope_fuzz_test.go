@@ -20,6 +20,7 @@ func FuzzCallEnvelope(f *testing.F) {
 		Args: []CallArg{
 			{Inline: []byte("inline arg")},
 			{IsRef: true, Ref: dm.Ref{Server: 1, Key: 99, Size: 1 << 16}},
+			{IsRef: true, Located: true, Ref: dm.Ref{Server: 7, Key: 3, Size: 4096}},
 		},
 	}
 	f.Add(uint8(0), env.Marshal())

@@ -1,0 +1,90 @@
+package dmwire
+
+import (
+	"errors"
+
+	"repro/internal/dm"
+	"repro/internal/rpc"
+)
+
+// Versioned location-aware ref codec for the sharded DM cluster layer
+// (internal/pool). A v0 ref is the original dm.Ref wire form, whose
+// Server field is a connection-local pool index — meaningful only to the
+// client that dialed the servers in that order. A v1 (located) ref marks
+// the same 20 bytes as cluster-addressed: Server carries a cluster-wide
+// shard ID from the pool's consistent-hash ring, so any process holding
+// the shard map can resolve the ref to the server that stores its pages
+// with no extra hop. The two forms are distinguished by an explicit
+// version byte prefix on v1+, and — for raw buffers — by length (a bare
+// v0 ref is exactly dm.EncodedRefSize bytes and carries no version byte),
+// so old single-server refs still parse.
+
+// Ref codec versions.
+const (
+	// RefV0 marks the legacy unversioned form: dm.Ref with a
+	// connection-local Server index and no version byte.
+	RefV0 = 0
+	// RefV1 marks the located form: a version byte followed by dm.Ref
+	// whose Server field is a cluster-wide shard ID.
+	RefV1 = 1
+)
+
+// LocatedRefSize is the wire size of a v1 located ref.
+const LocatedRefSize = 1 + dm.EncodedRefSize
+
+// ErrBadRefVersion reports an unknown located-ref version byte.
+var ErrBadRefVersion = errors.New("dmwire: unknown located-ref version")
+
+// LocatedRef pairs a ref with its codec version. Located reports whether
+// Ref.Server is a cluster-wide shard ID (v1) rather than a
+// connection-local index (v0).
+type LocatedRef struct {
+	Version uint8
+	Ref     dm.Ref
+}
+
+// Located reports whether the ref is cluster-addressed.
+func (r LocatedRef) Located() bool { return r.Version >= RefV1 }
+
+// Shard returns the shard ID of a located ref (Ref.Server).
+func (r LocatedRef) Shard() uint32 { return r.Ref.Server }
+
+// Locate wraps a ref whose Server field is a cluster-wide shard ID.
+func Locate(ref dm.Ref) LocatedRef { return LocatedRef{Version: RefV1, Ref: ref} }
+
+// Marshal encodes the ref in its version's wire form: v0 is the bare
+// dm.Ref encoding (no version byte, for byte-compatibility with every
+// pre-pool ref ever written); v1 prefixes the version byte.
+func (r LocatedRef) Marshal() []byte {
+	if r.Version == RefV0 {
+		return r.Ref.Marshal()
+	}
+	e := rpc.NewEnc(LocatedRefSize)
+	e.U8(r.Version)
+	r.Ref.Encode(e)
+	return e.Bytes()
+}
+
+// UnmarshalLocatedRef decodes either form: a buffer of exactly
+// dm.EncodedRefSize bytes is the legacy v0 encoding; anything longer must
+// lead with a known version byte. (A v1 ref is one byte longer than a v0
+// ref, so length disambiguates without reserving a Server bit.)
+func UnmarshalLocatedRef(b []byte) (LocatedRef, error) {
+	if len(b) == dm.EncodedRefSize {
+		ref, err := dm.UnmarshalRef(b)
+		if err != nil {
+			return LocatedRef{}, err
+		}
+		return LocatedRef{Version: RefV0, Ref: ref}, nil
+	}
+	d := rpc.NewDec(b)
+	v := d.U8()
+	if v != RefV1 {
+		return LocatedRef{}, ErrBadRefVersion
+	}
+	ref := dm.DecodeRef(d)
+	if err := d.Err(); err != nil {
+		return LocatedRef{}, err
+	}
+	return LocatedRef{Version: v, Ref: ref}, nil
+}

@@ -1,0 +1,97 @@
+package dmwire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/dm"
+)
+
+// TestLocatedRefRoundTrip pins both versions of the ref codec: v1 refs
+// round-trip with their shard identity, and a legacy v0 wire form (a bare
+// 20-byte dm.Ref) still parses — old single-server refs keep working.
+func TestLocatedRefRoundTrip(t *testing.T) {
+	v1 := Locate(dm.Ref{Server: 1234, Key: 0xdeadbeef, Size: 1 << 20})
+	b := v1.Marshal()
+	if len(b) != LocatedRefSize {
+		t.Fatalf("v1 wire size = %d, want %d", len(b), LocatedRefSize)
+	}
+	got, err := UnmarshalLocatedRef(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v1 {
+		t.Fatalf("v1 round-trip = %+v, want %+v", got, v1)
+	}
+	if !got.Located() || got.Shard() != 1234 {
+		t.Fatalf("v1 ref not located to shard 1234: %+v", got)
+	}
+
+	legacy := dm.Ref{Server: 2, Key: 42, Size: 4096}
+	got, err = UnmarshalLocatedRef(legacy.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != RefV0 || got.Ref != legacy {
+		t.Fatalf("legacy ref parsed as %+v", got)
+	}
+	if got.Located() {
+		t.Fatal("v0 ref claims to be located")
+	}
+	if !bytes.Equal(got.Marshal(), legacy.Marshal()) {
+		t.Fatal("v0 re-encoding diverges from dm.Ref.Marshal")
+	}
+
+	if _, err := UnmarshalLocatedRef([]byte{9, 0, 0}); !errors.Is(err, ErrBadRefVersion) {
+		t.Fatalf("unknown version accepted: %v", err)
+	}
+}
+
+// TestEnvelopeLocatedArg pins the flag-2 located argument form inside
+// call envelopes alongside the legacy forms.
+func TestEnvelopeLocatedArg(t *testing.T) {
+	env := CallEnvelope{
+		Method: "m",
+		Args: []CallArg{
+			{IsRef: true, Located: true, Ref: dm.Ref{Server: 3, Key: 7, Size: 64}},
+			{IsRef: true, Ref: dm.Ref{Server: 0, Key: 8, Size: 32}},
+			{Inline: []byte("tail")},
+		},
+	}
+	dec, err := UnmarshalCallEnvelope(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Args) != 3 {
+		t.Fatalf("decoded %d args, want 3", len(dec.Args))
+	}
+	if !dec.Args[0].Located || dec.Args[0].Ref.Server != 3 {
+		t.Fatalf("located arg lost its shard: %+v", dec.Args[0])
+	}
+	if dec.Args[1].Located {
+		t.Fatalf("v0 ref arg decoded as located: %+v", dec.Args[1])
+	}
+	if !bytes.Equal(dec.Marshal(), env.Marshal()) {
+		t.Fatal("envelope with located arg does not round-trip")
+	}
+}
+
+// FuzzLocatedRef fuzzes the versioned ref decoder: no input may panic,
+// and any accepted body must re-encode prefix-identically (the codec is
+// canonical per version).
+func FuzzLocatedRef(f *testing.F) {
+	f.Add(Locate(dm.Ref{Server: 5, Key: 11, Size: 8192}).Marshal())
+	f.Add(dm.Ref{Server: 0, Key: 1, Size: 64}.Marshal())
+	f.Add([]byte{RefV1})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		r, err := UnmarshalLocatedRef(body)
+		if err != nil {
+			return
+		}
+		reenc := r.Marshal()
+		if len(reenc) > len(body) || !bytes.Equal(reenc, body[:len(reenc)]) {
+			t.Fatal("accepted located ref does not round-trip")
+		}
+	})
+}

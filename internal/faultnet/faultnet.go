@@ -65,11 +65,15 @@ func (i *Injector) Stall() {
 // Unstall releases every I/O blocked by Stall.
 func (i *Injector) Unstall() {
 	i.mu.Lock()
+	i.unstallLocked()
+	i.mu.Unlock()
+}
+
+func (i *Injector) unstallLocked() {
 	if i.stalled {
 		i.stalled = false
 		close(i.unstall)
 	}
-	i.mu.Unlock()
 }
 
 // CutAfter arms a byte budget: once n more bytes have crossed wrapped
@@ -108,9 +112,13 @@ func (i *Injector) Partition() {
 }
 
 // Heal ends a Partition; existing connections stay dead, new ones pass.
+// It also releases any active Stall: a healed link must carry fresh dials,
+// and a stall gate that outlives the partition would silently wedge them
+// (tests used to need a manual Unstall before Heal).
 func (i *Injector) Heal() {
 	i.mu.Lock()
 	i.partitioned = false
+	i.unstallLocked()
 	i.mu.Unlock()
 }
 

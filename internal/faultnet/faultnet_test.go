@@ -101,6 +101,33 @@ func TestStallAndUnstall(t *testing.T) {
 	}
 }
 
+// TestHealClearsStall covers the Heal/Stall interaction: a partition
+// raised while a stall is active must not leave the stall gate armed
+// after Heal, or fresh dials over the healed link wedge silently.
+func TestHealClearsStall(t *testing.T) {
+	inj := New()
+	inj.Stall()
+	inj.Partition()
+	inj.Heal()
+	client, server := pipePair(t, inj)
+	if _, err := server.Write([]byte("h")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(client, make([]byte, 1))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read on healed link still stalled: Heal did not clear the stall gate")
+	}
+}
+
 func TestStalledReadUnblocksOnClose(t *testing.T) {
 	inj := New()
 	inj.Stall()

@@ -225,8 +225,7 @@ func TestBatchWriterFailureUnderFaultnet(t *testing.T) {
 		t.Fatal("partition mid-flush dropped no queued frames")
 	}
 
-	inj.Unstall() // the stall gate outlives the partition for new conns
-	inj.Heal()
+	inj.Heal() // also clears the stall gate for the fresh dial below
 	if err := cl.Write(a, src); err != nil {
 		t.Fatalf("write after heal (fresh dial) failed: %v", err)
 	}

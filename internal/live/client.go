@@ -55,6 +55,7 @@ type Client struct {
 	addrs  []string
 	pids   []uint32
 	leases []time.Duration
+	shards []int64 // shard ID each server announced at register; -1 = none
 	ready  bool
 	rr     atomic.Uint64 // round-robin cursor for Alloc/StageRef targets
 
@@ -64,6 +65,7 @@ type Client struct {
 	hbOnce  sync.Once
 	hbWG    sync.WaitGroup
 	hbFails []atomic.Int32 // per-server consecutive heartbeat failures
+	hbTotal atomic.Int64   // cumulative heartbeat failures (never resets)
 }
 
 // conn is one multiplexed TCP connection to a DM server. All request
@@ -109,9 +111,13 @@ func DialConfig(cfg ClientConfig, addrs ...string) (*Client, error) {
 		addrs:   addrs,
 		pids:    make([]uint32, len(addrs)),
 		leases:  make([]time.Duration, len(addrs)),
+		shards:  make([]int64, len(addrs)),
 		cid:     cid,
 		hbStop:  make(chan struct{}),
 		hbFails: make([]atomic.Int32, len(addrs)),
+	}
+	for i := range cl.shards {
+		cl.shards[i] = -1
 	}
 	dialDeadline := time.Time{}
 	if d := cl.node.cfg.DialTimeout; d > 0 {
@@ -348,6 +354,7 @@ func (cl *Client) Register() error {
 	for i, a := range cl.addrs {
 		var pid uint32
 		var lease time.Duration
+		shard := int64(-1)
 		err := cl.node.CallConsumeOpts(a, dmwire.MRegister, nil, nil, func(resp []byte) error {
 			r, err := dmwire.UnmarshalRegisterResp(resp)
 			if err != nil {
@@ -355,6 +362,9 @@ func (cl *Client) Register() error {
 			}
 			pid = r.PID
 			lease = time.Duration(r.LeaseMillis) * time.Millisecond
+			if r.HasShard {
+				shard = int64(r.Shard)
+			}
 			return nil
 		}, cl.mutOpts())
 		if err != nil {
@@ -362,6 +372,7 @@ func (cl *Client) Register() error {
 		}
 		cl.pids[i] = pid
 		cl.leases[i] = lease
+		cl.shards[i] = shard
 	}
 	cl.mu.Lock()
 	cl.ready = true
@@ -416,6 +427,7 @@ func (cl *Client) heartbeatLoop(i int, interval time.Duration) {
 				continue
 			}
 			n := cl.hbFails[i].Add(1)
+			cl.hbTotal.Add(1)
 			if cb := cl.cfg.OnHeartbeatFailure; cb != nil {
 				cb(addr, int(n), err)
 			}
@@ -436,6 +448,43 @@ func (cl *Client) SessionHealth() map[string]int {
 		out[a] = int(cl.hbFails[i].Load())
 	}
 	return out
+}
+
+// ServerShard returns the cluster-wide shard ID server i announced at
+// registration (ServerConfig.ShardID), and whether it announced one.
+// Single-server deployments that never set a shard report false.
+func (cl *Client) ServerShard(i int) (uint32, bool) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if i < 0 || i >= len(cl.shards) || cl.shards[i] < 0 {
+		return 0, false
+	}
+	return uint32(cl.shards[i]), true
+}
+
+// Stats is a point-in-time snapshot of a client's call-level counters.
+type Stats struct {
+	// Calls counts calls started (every public op plus heartbeats).
+	Calls int64
+	// Retries counts extra attempts after a transient failure.
+	Retries int64
+	// DedupReplays counts retried attempts that carried a dedup token —
+	// an upper bound on server-side replayed responses, since a tokened
+	// retry either re-executes (first attempt never applied) or replays.
+	DedupReplays int64
+	// Failures counts calls that exhausted their retry budget.
+	Failures int64
+	// HeartbeatFailures counts failed lease renewals, cumulatively
+	// (SessionHealth reports the resetting per-server consecutive count).
+	HeartbeatFailures int64
+}
+
+// Stats snapshots the client's cumulative call counters. Counters only
+// grow; subtracting two snapshots gives the interval counts.
+func (cl *Client) Stats() Stats {
+	s := cl.node.ops.snapshot()
+	s.HeartbeatFailures = cl.hbTotal.Load()
+	return s
 }
 
 // server picks the pool entry for index i.

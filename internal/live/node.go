@@ -168,6 +168,7 @@ type Node struct {
 	conns    sync.WaitGroup
 	dedup    dedupTable
 	wstats   writeStats
+	ops      opStats
 }
 
 // WriteStats snapshots the node's wire-write counters, aggregated across

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand/v2"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dmwire"
@@ -83,6 +84,27 @@ func (n *Node) attemptDeadline(deadline time.Time) time.Time {
 	return deadline
 }
 
+// opStats counts call outcomes across the node's shared retry engine,
+// one increment site for every public op (sync and async). Snapshotted
+// by Client.Stats.
+type opStats struct {
+	calls        atomic.Int64
+	retries      atomic.Int64
+	tokenRetries atomic.Int64
+	failures     atomic.Int64
+}
+
+// snapshot reads the counters into the exported Stats form (the
+// heartbeat counter lives on the Client and is filled by the caller).
+func (o *opStats) snapshot() Stats {
+	return Stats{
+		Calls:        o.calls.Load(),
+		Retries:      o.retries.Load(),
+		DedupReplays: o.tokenRetries.Load(),
+		Failures:     o.failures.Load(),
+	}
+}
+
 // withRetries is the shared retry engine behind the synchronous calls and
 // the async futures: it runs first once, then — while the call is
 // retryable (idempotent or tokened), the error transient, the attempt
@@ -90,16 +112,24 @@ func (n *Node) attemptDeadline(deadline time.Time) time.Time {
 // exponential backoff. The first/again split lets an async Wait resume an
 // attempt already in flight (await only) and fall back to full re-sends.
 func (n *Node) withRetries(opts CallOpts, deadline time.Time, first, again func() error) error {
+	n.ops.calls.Add(1)
 	canRetry := (opts.Idempotent || !opts.Token.IsZero()) && n.cfg.MaxRetries > 0
 	backoff := n.cfg.RetryBackoff
 	f := first
 	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			n.ops.retries.Add(1)
+			if !opts.Token.IsZero() {
+				n.ops.tokenRetries.Add(1)
+			}
+		}
 		err := f()
 		if err == nil {
 			return nil
 		}
 		f = again
 		if !canRetry || attempt >= n.cfg.MaxRetries || !isTransient(err) {
+			n.ops.failures.Add(1)
 			return err
 		}
 		// Full jitter on the exponential backoff so synchronized clients
@@ -111,6 +141,7 @@ func (n *Node) withRetries(opts CallOpts, deadline time.Time, first, again func(
 		if !deadline.IsZero() {
 			rem := time.Until(deadline)
 			if rem <= 0 {
+				n.ops.failures.Add(1)
 				return err
 			}
 			if d >= rem {

@@ -154,6 +154,12 @@ type ServerConfig struct {
 	// coalescing (per-frame writes, the pre-batching behaviour).
 	CoalesceLimit      int
 	CoalesceBatchBytes int
+	// HasShard / ShardID announce this server's cluster-wide shard identity
+	// in every register response, so pool clients can verify that the server
+	// they dialed is the shard their ring expects. Unset (the zero value)
+	// preserves the single-server wire form.
+	HasShard bool
+	ShardID  uint32
 }
 
 // DefaultServerConfig returns a 256 MiB pool of 4 KiB pages with a 15 s
@@ -482,7 +488,12 @@ func (s *Server) register() ([]byte, error) {
 	s.pidMu.Lock()
 	s.pids[pid] = ps
 	s.pidMu.Unlock()
-	return dmwire.RegisterResp{PID: pid, LeaseMillis: s.leaseMillis()}.Marshal(), nil
+	return dmwire.RegisterResp{
+		PID:         pid,
+		LeaseMillis: s.leaseMillis(),
+		HasShard:    s.cfg.HasShard,
+		Shard:       s.cfg.ShardID,
+	}.Marshal(), nil
 }
 
 // heartbeat renews pid's lease. A reaped (or never-registered) session

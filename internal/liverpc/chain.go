@@ -2,6 +2,7 @@ package liverpc
 
 import (
 	"fmt"
+	"io"
 	"net"
 
 	"repro/internal/apps"
@@ -23,7 +24,7 @@ const ChainMethod = "chain.do"
 // service's address; empty marks the terminal aggregator. dmc may be nil
 // on pure movers running by-value (they never touch payload bytes) but
 // the terminal needs one to materialize ref payloads.
-func NewChainHop(name string, dmc *live.Client, next string, cfg Config) *Service {
+func NewChainHop(name string, dmc DM, next string, cfg Config) *Service {
 	s := NewService(name, dmc, cfg)
 	s.Handle(ChainMethod, func(ctx *Ctx, args []Payload) ([]Payload, error) {
 		if len(args) != 1 {
@@ -51,7 +52,7 @@ type ChainClient struct {
 }
 
 // NewChainClient builds a client stub targeting the chain's first hop.
-func NewChainClient(dmc *live.Client, first string, cfg Config) *ChainClient {
+func NewChainClient(dmc DM, first string, cfg Config) *ChainClient {
 	return &ChainClient{caller: NewCaller(dmc, cfg), first: first}
 }
 
@@ -127,15 +128,35 @@ type ChainDeployment struct {
 	Addrs  []string // per-hop service addresses, in chain order
 
 	svcs []*Service
-	dms  []*live.Client
+	dms  []io.Closer
 	lns  []net.Listener
 }
 
 // DeployChain starts hops chain services on loopback listeners against
-// the DM pool at dmAddrs and returns the running deployment. When
-// cfg.ForceInline is set no DM sessions are opened at all (the by-value
-// baseline needs none). Callers must Close the deployment.
+// the single-pool DM servers at dmAddrs and returns the running
+// deployment. When cfg.ForceInline is set no DM sessions are opened at
+// all (the by-value baseline needs none). Callers must Close the
+// deployment.
 func DeployChain(hops int, dmAddrs []string, cfg Config) (*ChainDeployment, error) {
+	return DeployChainWith(hops, func() (DM, error) {
+		cl, err := live.Dial(dmAddrs...)
+		if err != nil {
+			return nil, err
+		}
+		if err := cl.Register(); err != nil {
+			cl.Close()
+			return nil, err
+		}
+		return cl, nil
+	}, cfg)
+}
+
+// DeployChainWith is DeployChain over an arbitrary DM-session factory —
+// each hop (and the client) gets its own session, as separate processes
+// would, so a sharded deployment passes a factory dialing a pool.Client.
+// The factory is not called when cfg.ForceInline is set; sessions whose
+// backend implements io.Closer are closed with the deployment.
+func DeployChainWith(hops int, newSession func() (DM, error), cfg Config) (*ChainDeployment, error) {
 	if hops < 1 {
 		return nil, fmt.Errorf("liverpc: chain needs at least one hop")
 	}
@@ -150,20 +171,18 @@ func DeployChain(hops int, dmAddrs []string, cfg Config) (*ChainDeployment, erro
 		d.lns = append(d.lns, ln)
 		d.Addrs = append(d.Addrs, ln.Addr().String())
 	}
-	newDM := func() (*live.Client, error) {
+	newDM := func() (DM, error) {
 		if cfg.ForceInline {
 			return nil, nil
 		}
-		cl, err := live.Dial(dmAddrs...)
+		dmc, err := newSession()
 		if err != nil {
 			return nil, err
 		}
-		if err := cl.Register(); err != nil {
-			cl.Close()
-			return nil, err
+		if cl, ok := dmc.(io.Closer); ok {
+			d.dms = append(d.dms, cl)
 		}
-		d.dms = append(d.dms, cl)
-		return cl, nil
+		return dmc, nil
 	}
 	for i := 0; i < hops; i++ {
 		dmc, err := newDM()

@@ -19,14 +19,56 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"net"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dm"
 	"repro/internal/dmwire"
 	"repro/internal/live"
 	"repro/internal/rpc"
 )
+
+// DM is the disaggregated-memory surface liverpc stages and fetches
+// through: satisfied by *live.Client (a single server pool) and
+// *pool.Client (a sharded cluster). Backends whose refs are
+// cluster-addressed additionally implement LocatedDM, making every
+// staged payload travel in dmwire's versioned v1 located-ref form.
+type DM interface {
+	StageRef(data []byte) (dm.Ref, error)
+	ReadRef(ref dm.Ref, off int64, dst []byte) error
+	FreeRef(ref dm.Ref) error
+	MapRef(ref dm.Ref) (dm.RemoteAddr, error)
+	CreateRef(addr dm.RemoteAddr, size int64) (dm.Ref, error)
+	Free(addr dm.RemoteAddr) error
+}
+
+// LocatedDM marks a DM backend whose Ref.Server fields are cluster-wide
+// shard IDs rather than connection-local indices.
+type LocatedDM interface {
+	DM
+	LocatedRefs() bool
+}
+
+// normDM collapses typed-nil backend pointers to a nil interface, so
+// call sites holding a nil *live.Client keep getting the inline-only
+// behaviour (errNoDM on ref ops) instead of a nil-pointer panic.
+func normDM(dmc DM) DM {
+	if dmc == nil {
+		return nil
+	}
+	if v := reflect.ValueOf(dmc); v.Kind() == reflect.Pointer && v.IsNil() {
+		return nil
+	}
+	return dmc
+}
+
+// located reports whether dmc mints cluster-addressed refs.
+func located(dmc DM) bool {
+	l, ok := dmc.(LocatedDM)
+	return ok && l.LocatedRefs()
+}
 
 // MethodCall is the single transport-level method every liverpc service
 // registers on its live.Node; application methods are dispatched by name
@@ -51,6 +93,12 @@ type Config struct {
 	// ForceInline disables pass-by-reference entirely, producing the
 	// pass-by-value (eRPC-style) baseline from the same application code.
 	ForceInline bool
+	// DM is the endpoint's default staging backend — a *live.Client or a
+	// sharded *pool.Client — used when the constructor's dmc argument is
+	// nil. Passing the cluster here is how an application flips a whole
+	// deployment from single-server to sharded without touching its
+	// service constructors.
+	DM DM
 }
 
 // threshold resolves the staging cutoff.
@@ -92,20 +140,24 @@ type CallOpts struct {
 // DM client for staging; it is safe for concurrent use.
 type Caller struct {
 	node *live.Node
-	dm   *live.Client
+	dm   DM
 	cfg  Config
 
 	cid uint64
 	seq atomic.Uint64
 }
 
-// NewCaller builds a client stub endpoint. dm may be nil when the
+// NewCaller builds a client stub endpoint. dmc may be nil when the
 // configuration never stages (ForceInline), or when the caller only
-// sends inline payloads and never materializes refs.
-func NewCaller(dmc *live.Client, cfg Config) *Caller {
+// sends inline payloads and never materializes refs; a nil dmc falls
+// back to cfg.DM.
+func NewCaller(dmc DM, cfg Config) *Caller {
 	cid := rand.Uint64()
 	if cid == 0 {
 		cid = 1
+	}
+	if dmc = normDM(dmc); dmc == nil {
+		dmc = normDM(cfg.DM)
 	}
 	return &Caller{node: live.NewNodeWith(cfg.Net), dm: dmc, cfg: cfg, cid: cid}
 }
@@ -113,8 +165,8 @@ func NewCaller(dmc *live.Client, cfg Config) *Caller {
 // Close tears down the caller's transport (not the borrowed DM client).
 func (c *Caller) Close() error { return c.node.Close() }
 
-// DM returns the borrowed DM client (nil for inline-only callers).
-func (c *Caller) DM() *live.Client { return c.dm }
+// DM returns the borrowed DM backend (nil for inline-only callers).
+func (c *Caller) DM() DM { return c.dm }
 
 // token mints the dedup token for one non-idempotent call.
 func (c *Caller) token() dmwire.Token {
@@ -138,6 +190,9 @@ func (c *Caller) Stage(data []byte) (Payload, error) {
 	ref, err := c.dm.StageRef(data)
 	if err != nil {
 		return Payload{}, err
+	}
+	if located(c.dm) {
+		return ByLocated(ref), nil
 	}
 	return ByRef(ref), nil
 }
@@ -241,10 +296,10 @@ type Service struct {
 	meths  map[string]Handler
 }
 
-// NewService builds a service named name over a borrowed DM client (nil
-// for inline-only services, e.g. pure movers in by-value mode). Register
-// handlers, then Serve.
-func NewService(name string, dmc *live.Client, cfg Config) *Service {
+// NewService builds a service named name over a borrowed DM backend
+// (nil for inline-only services, e.g. pure movers in by-value mode; a
+// nil dmc falls back to cfg.DM). Register handlers, then Serve.
+func NewService(name string, dmc DM, cfg Config) *Service {
 	s := &Service{
 		name:   name,
 		caller: NewCaller(dmc, cfg),
@@ -379,14 +434,15 @@ func (c *Ctx) Release(p Payload) error { return release(c.Svc.caller.dm, p) }
 // survives the original producer's death or lease reap — this is the
 // ownership-handoff primitive for consumers that persist data beyond the
 // call (e.g. a storage service keeping a composed post). Inline payloads
-// are copied (they alias a transport buffer).
+// are copied (they alias a transport buffer). A located ref adopts on
+// the shard that stores it and yields a located payload.
 func (c *Ctx) Adopt(p Payload) (Payload, error) {
 	if !p.IsRef() {
 		return Inline(append([]byte(nil), p.Inline()...)), nil
 	}
 	dmc := c.Svc.caller.dm
-	if dmc == nil {
-		return Payload{}, errNoDM
+	if err := checkRefBackend(dmc, p); err != nil {
+		return Payload{}, err
 	}
 	addr, err := dmc.MapRef(p.Ref())
 	if err != nil {
@@ -400,16 +456,36 @@ func (c *Ctx) Adopt(p Payload) (Payload, error) {
 	if err := dmc.Free(addr); err != nil {
 		return Payload{}, err
 	}
+	if located(dmc) {
+		return ByLocated(own), nil
+	}
 	return ByRef(own), nil
 }
 
+// errLocatedRef is returned when a cluster-addressed (v1) ref payload
+// reaches an endpoint whose DM backend only understands connection-local
+// server indices — resolving it there would silently read the wrong
+// server's pages, so it is refused instead.
+var errLocatedRef = fmt.Errorf("liverpc: located ref payload reached a non-cluster DM backend")
+
+// checkRefBackend validates that dmc can resolve ref payload p.
+func checkRefBackend(dmc DM, p Payload) error {
+	if dmc == nil {
+		return errNoDM
+	}
+	if p.Located() && !located(dmc) {
+		return errLocatedRef
+	}
+	return nil
+}
+
 // fetch reads a payload's bytes: inline aliased, refs via read_ref.
-func fetch(dmc *live.Client, p Payload) ([]byte, error) {
+func fetch(dmc DM, p Payload) ([]byte, error) {
 	if !p.IsRef() {
 		return p.Inline(), nil
 	}
-	if dmc == nil {
-		return nil, errNoDM
+	if err := checkRefBackend(dmc, p); err != nil {
+		return nil, err
 	}
 	buf := make([]byte, p.Size())
 	if err := dmc.ReadRef(p.Ref(), 0, buf); err != nil {
@@ -419,12 +495,12 @@ func fetch(dmc *live.Client, p Payload) ([]byte, error) {
 }
 
 // release drops a ref payload's hold.
-func release(dmc *live.Client, p Payload) error {
+func release(dmc DM, p Payload) error {
 	if !p.IsRef() {
 		return nil
 	}
-	if dmc == nil {
-		return errNoDM
+	if err := checkRefBackend(dmc, p); err != nil {
+		return err
 	}
 	return dmc.FreeRef(p.Ref())
 }

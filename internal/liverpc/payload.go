@@ -13,9 +13,10 @@ import (
 // a ~21-byte Ref descriptor, materialized only where actually consumed
 // (paper §IV-B). Payloads are plain values, safe to copy.
 type Payload struct {
-	isRef  bool
-	ref    dm.Ref
-	inline []byte
+	isRef   bool
+	located bool
+	ref     dm.Ref
+	inline  []byte
 }
 
 // Inline builds a pass-by-value payload. The bytes are aliased, not
@@ -24,6 +25,11 @@ func Inline(data []byte) Payload { return Payload{inline: data} }
 
 // ByRef wraps an already-staged Ref as a payload.
 func ByRef(ref dm.Ref) Payload { return Payload{isRef: true, ref: ref} }
+
+// ByLocated wraps a cluster-addressed ref (Ref.Server is a shard ID
+// from a pool.Client) as a payload; it travels in dmwire's versioned v1
+// wire form, so any endpoint sharing the cluster map can resolve it.
+func ByLocated(ref dm.Ref) Payload { return Payload{isRef: true, located: true, ref: ref} }
 
 // U64 builds an inline payload holding one big-endian uint64 — the
 // common shape of small results (counts, ids, aggregates).
@@ -50,6 +56,9 @@ func (p Payload) AsU64() (uint64, error) {
 // IsRef reports whether the payload passes by reference.
 func (p Payload) IsRef() bool { return p.isRef }
 
+// Located reports whether a ref payload is cluster-addressed.
+func (p Payload) Located() bool { return p.isRef && p.located }
+
 // Ref returns the underlying Ref; valid only when IsRef.
 func (p Payload) Ref() dm.Ref { return p.ref }
 
@@ -73,6 +82,9 @@ func (p Payload) Size() int64 {
 // envelope — the quantity pass-by-reference shrinks from megabytes to
 // tens of bytes.
 func (p Payload) WireSize() int {
+	if p.located {
+		return 1 + dmwire.LocatedRefSize
+	}
 	if p.isRef {
 		return 1 + dm.EncodedRefSize
 	}
@@ -80,6 +92,9 @@ func (p Payload) WireSize() int {
 }
 
 func (p Payload) String() string {
+	if p.located {
+		return fmt.Sprintf("payload(shard %d %v)", p.ref.Server, p.ref)
+	}
 	if p.isRef {
 		return fmt.Sprintf("payload(%v)", p.ref)
 	}
@@ -89,7 +104,7 @@ func (p Payload) String() string {
 // wireArg converts to the envelope codec's descriptor.
 func (p Payload) wireArg() dmwire.CallArg {
 	if p.isRef {
-		return dmwire.CallArg{IsRef: true, Ref: p.ref}
+		return dmwire.CallArg{IsRef: true, Located: p.located, Ref: p.ref}
 	}
 	return dmwire.CallArg{Inline: p.inline}
 }
@@ -97,7 +112,7 @@ func (p Payload) wireArg() dmwire.CallArg {
 // fromWire converts an envelope descriptor, aliasing inline bytes.
 func fromWire(a dmwire.CallArg) Payload {
 	if a.IsRef {
-		return Payload{isRef: true, ref: a.Ref}
+		return Payload{isRef: true, located: a.Located, ref: a.Ref}
 	}
 	return Payload{inline: a.Inline}
 }

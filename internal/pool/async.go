@@ -1,0 +1,88 @@
+package pool
+
+import (
+	"repro/internal/dm"
+	"repro/internal/live"
+)
+
+// Asynchronous variants, mirroring live.Client's PR-4 pipelining
+// surface: the pool routes up front, the shard's own client puts the
+// frame on the wire immediately, and Wait carries the shard's retry and
+// dedup semantics unchanged. Futures returned for located refs rewrite
+// Ref.Server to the shard ID at Wait time.
+
+// AsyncRef is an in-flight StageRefAsync against a routed shard; Wait
+// must be called exactly once and yields a located ref.
+type AsyncRef struct {
+	inner *live.AsyncRef
+	shard uint32
+	err   error
+}
+
+// Wait blocks for the staging result.
+func (ar *AsyncRef) Wait() (dm.Ref, error) {
+	if ar.err != nil {
+		return dm.Ref{}, ar.err
+	}
+	ref, err := ar.inner.Wait()
+	if err != nil {
+		return dm.Ref{}, err
+	}
+	ref.Server = ar.shard
+	return ref, nil
+}
+
+// StageRefAsync starts staging data onto a ring-chosen shard and
+// returns a future for the located ref. data must stay valid and
+// unmodified until Wait returns.
+func (p *Client) StageRefAsync(data []byte) *AsyncRef {
+	return p.StageRefKeyedAsync(p.cursor.Add(1), data)
+}
+
+// StageRefKeyedAsync is StageRefAsync with explicit placement (see
+// StageRefKeyed).
+func (p *Client) StageRefKeyedAsync(key uint64, data []byte) *AsyncRef {
+	s, err := p.route(key)
+	if err != nil {
+		return &AsyncRef{err: err}
+	}
+	return &AsyncRef{inner: s.cl.StageRefAsync(data), shard: s.id}
+}
+
+// AsyncOp is one in-flight asynchronous pool operation; Wait must be
+// called exactly once.
+type AsyncOp struct {
+	inner *live.AsyncOp
+	err   error
+}
+
+// Wait blocks for the operation's result.
+func (op *AsyncOp) Wait() error {
+	if op.err != nil {
+		return op.err
+	}
+	return op.inner.Wait()
+}
+
+// ReadRefAsync starts a by-ref read from the ref's shard into dst and
+// returns a future; dst is filled when Wait returns nil.
+func (p *Client) ReadRefAsync(ref dm.Ref, off int64, dst []byte) *AsyncOp {
+	s, err := p.byID(ref.Server)
+	if err != nil {
+		return &AsyncOp{err: err}
+	}
+	local := ref
+	local.Server = 0
+	return &AsyncOp{inner: s.cl.ReadRefAsync(local, off, dst)}
+}
+
+// WriteAsync starts an rwrite of src at addr on its shard and returns a
+// future. src must stay valid and unmodified until Wait returns.
+func (p *Client) WriteAsync(addr dm.RemoteAddr, src []byte) *AsyncOp {
+	id, raw := splitShard(addr)
+	s, err := p.byID(id)
+	if err != nil {
+		return &AsyncOp{err: err}
+	}
+	return &AsyncOp{inner: s.cl.WriteAsync(raw, src)}
+}

@@ -1,0 +1,131 @@
+package pool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dm"
+	"repro/internal/live"
+)
+
+// benchCluster spins up k in-process shards and a registered pool.
+func benchCluster(b *testing.B, k int) ([]*live.Server, *Client) {
+	b.Helper()
+	cfg := live.ServerConfig{NumPages: 4096, PageSize: 4096}
+	addrs := make([]string, k)
+	srvs := make([]*live.Server, k)
+	for i := 0; i < k; i++ {
+		srvs[i], addrs[i] = startShard(b, uint32(i), cfg)
+	}
+	p, err := Dial(Config{Shards: addrs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { p.Close() })
+	if err := p.Register(); err != nil {
+		b.Fatal(err)
+	}
+	return srvs, p
+}
+
+// BenchmarkPoolStageThroughput measures aggregate stage bandwidth as the
+// cluster grows 1 -> 2 -> 4 shards, weak-scaling style: each shard
+// brings its own fixed client population (workersPerShard synchronous
+// stagers), as each added server would in a real deployment. A single
+// synchronous stager per shard is latency-bound — its round trip is
+// mostly syscall and scheduler wakeup gaps — so added shards (each an
+// independent connection plus stager) overlap those gaps and aggregate
+// bandwidth rises with cluster size. The remap-frac metric is the
+// deterministic fraction of the keyspace that would move if one more
+// shard joined the ring at that size — the consistent-hashing stability
+// cost of the next scale-out step.
+func BenchmarkPoolStageThroughput(b *testing.B) {
+	const payload = 8 << 10
+	const workersPerShard = 1
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			_, p := benchCluster(b, k)
+			body := make([]byte, payload)
+			b.SetBytes(payload)
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workersPerShard*k; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						ref, err := p.StageRef(body)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if err := p.FreeRef(ref); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			r := NewRing(0)
+			for id := uint32(0); id < uint32(k); id++ {
+				r.Add(id)
+			}
+			frac := remapFraction(r, 20_000, func() { r.Add(uint32(k)) })
+			b.ReportMetric(frac, "remap-frac")
+		})
+	}
+}
+
+// BenchmarkPoolReadRefThroughput measures aggregate by-ref read
+// bandwidth under the same weak-scaling population.
+func BenchmarkPoolReadRefThroughput(b *testing.B) {
+	const payload = 8 << 10
+	const workersPerShard = 1
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			_, p := benchCluster(b, k)
+			// One resident object per shard; readers fan over them.
+			refs := make([]dm.Ref, 0, k)
+			for key := uint64(0); len(refs) < k && key < 1<<16; key++ {
+				id, _ := p.ring.Lookup(key)
+				if int(id) == len(refs) {
+					ref, err := p.StageRefKeyed(key, make([]byte, payload))
+					if err != nil {
+						b.Fatal(err)
+					}
+					refs = append(refs, ref)
+				}
+			}
+			if len(refs) < k {
+				b.Fatalf("could not place one object per shard (%d/%d)", len(refs), k)
+			}
+			b.SetBytes(payload)
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workersPerShard*k; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					dst := make([]byte, payload)
+					for {
+						i := next.Add(1)
+						if i > int64(b.N) {
+							return
+						}
+						if err := p.ReadRef(refs[int(i)%len(refs)], 0, dst); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}

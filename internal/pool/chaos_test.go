@@ -1,0 +1,185 @@
+package pool
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dm"
+	"repro/internal/faultnet"
+	"repro/internal/live"
+)
+
+// TestChaosPartitionOneShard is the pool's failover gauntlet, run under
+// -race in make check: three shards serve a concurrent stage/read burst,
+// one shard is partitioned mid-burst, and the cluster must
+//
+//   - keep serving on the survivors throughout (reads of refs staged on
+//     them before the partition included),
+//   - eject the partitioned shard from the ring once its heartbeats
+//     accumulate consecutive failures (observed via the topology
+//     callback), after which every new stage succeeds and lands on a
+//     survivor,
+//   - have the partitioned server reap the client's session within ~1
+//     lease TTL (its pages return to the free pool), and
+//   - hold D6/D8 conservation on every shard at the end.
+func TestChaosPartitionOneShard(t *testing.T) {
+	const shards = 3
+	const victim = 1
+	const leaseTTL = 400 * time.Millisecond
+
+	scfg := live.ServerConfig{NumPages: 1024, PageSize: 4096, LeaseTTL: leaseTTL}
+	srvs := make([]*live.Server, shards)
+	addrs := make([]string, shards)
+	injs := make(map[string]*faultnet.Injector, shards)
+	for i := 0; i < shards; i++ {
+		srv, addr := startShard(t, uint32(i), scfg)
+		srvs[i] = srv
+		addrs[i] = addr
+		injs[addr] = faultnet.New()
+	}
+
+	ejected := make(chan uint32, shards)
+	pcfg := Config{
+		Shards:         addrs,
+		UnhealthyAfter: 2,
+		RejoinPoll:     -1, // a reaped session cannot rejoin; don't poll
+		OnTopology: func(shard uint32, healthy bool) {
+			if !healthy {
+				ejected <- shard
+			}
+		},
+	}
+	pcfg.Client.HeartbeatInterval = 50 * time.Millisecond
+	pcfg.Client.Net.CallTimeout = 500 * time.Millisecond
+	pcfg.Client.Net.AttemptTimeout = 100 * time.Millisecond
+	pcfg.Client.Net.DialTimeout = 100 * time.Millisecond
+	pcfg.Client.Net.Dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+		c, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return injs[addr].Conn(c), nil
+	}
+	p, err := Dial(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	if err := p.Register(); err != nil {
+		t.Fatal(err)
+	}
+
+	body := bytes.Repeat([]byte{0x5a}, 8192)
+
+	// Seed refs on the survivors before any fault, to prove existing
+	// placements keep resolving through the partition.
+	var seeded []dm.Ref
+	for key := uint64(0); len(seeded) < 8; key++ {
+		id, _ := p.ring.Lookup(key)
+		if id == victim {
+			continue
+		}
+		ref, err := p.StageRefKeyed(key, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeded = append(seeded, ref)
+	}
+
+	// Concurrent burst: stagers and readers hammer the pool across the
+	// partition transition. Errors are expected only on ops routed to the
+	// victim between the cut and its ejection.
+	var stop atomic.Bool
+	var survivorFails atomic.Int64
+	partitioned := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				ref, err := p.StageRef(body)
+				if err == nil {
+					if err := p.ReadRef(ref, 0, make([]byte, len(body))); err != nil && ref.Server != victim {
+						survivorFails.Add(1)
+					}
+					p.FreeRef(ref)
+				}
+				select {
+				case <-partitioned:
+					// After the cut, reads of pre-partition survivor refs
+					// must keep working.
+					sr := seeded[i%len(seeded)]
+					if err := p.ReadRef(sr, 0, make([]byte, len(body))); err != nil {
+						survivorFails.Add(1)
+					}
+				default:
+				}
+			}
+		}(g)
+	}
+
+	time.Sleep(100 * time.Millisecond) // mid-burst
+	injs[addrs[victim]].Partition()
+	close(partitioned)
+
+	// The victim's failing heartbeats must eject it from the ring.
+	select {
+	case id := <-ejected:
+		if id != victim {
+			t.Fatalf("ejected shard %d, want %d", id, victim)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("partitioned shard was never ejected")
+	}
+	stop.Store(true)
+	wg.Wait()
+	if n := survivorFails.Load(); n != 0 {
+		t.Fatalf("%d survivor ops failed during the partition", n)
+	}
+
+	// Post-ejection, every new stage must succeed and avoid the victim.
+	for i := 0; i < 24; i++ {
+		ref, err := p.StageRef(body)
+		if err != nil {
+			t.Fatalf("stage %d after ejection: %v", i, err)
+		}
+		if ref.Server == victim {
+			t.Fatalf("stage %d landed on the ejected shard", i)
+		}
+		got := make([]byte, len(body))
+		if err := p.ReadRef(ref, 0, got); err != nil {
+			t.Fatalf("read %d after ejection: %v", i, err)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("read %d wrong bytes", i)
+		}
+		if err := p.FreeRef(ref); err != nil {
+			t.Fatalf("free %d after ejection: %v", i, err)
+		}
+	}
+	if h := p.Healthy(); len(h) != shards-1 {
+		t.Fatalf("healthy set %v, want %d survivors", h, shards-1)
+	}
+
+	// The victim reaps the dead session within ~1 lease TTL of the cut:
+	// everything the pool staged there is reclaimed.
+	waitFor(t, 2*leaseTTL+time.Second, "victim lease reap", func() bool {
+		return srvs[victim].LiveRefs() == 0 && srvs[victim].FreePages() == scfg.NumPages
+	})
+
+	// Conservation on every shard, survivors included.
+	for _, ref := range seeded {
+		if err := p.FreeRef(ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkAllInvariants(t, srvs)
+	if st := p.Stats(); st.Retries == 0 || st.HeartbeatFailures == 0 {
+		t.Fatalf("chaos run recorded no retries/heartbeat failures: %+v", st)
+	}
+}

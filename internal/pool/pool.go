@@ -1,0 +1,392 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dm"
+	"repro/internal/live"
+)
+
+// Config describes a shard cluster.
+type Config struct {
+	// Shards lists the server addresses; Shards[i] is shard ID i. The
+	// shard ID is the cluster-wide identity carried by located refs, so
+	// every process sharing refs must use the same ordering (servers
+	// started with -shard-id verify it at registration).
+	Shards []string
+	// Vnodes is the consistent-hash ring's virtual-node count per shard
+	// (<= 0 uses DefaultVnodes).
+	Vnodes int
+	// Client is the per-shard live client configuration; its
+	// OnHeartbeatFailure hook still fires (before the pool's own
+	// failover accounting).
+	Client live.ClientConfig
+	// UnhealthyAfter is how many consecutive heartbeat failures eject a
+	// shard from the ring (<= 0 uses 3). Ejection affects NEW placements
+	// only: refs already on the shard keep resolving until its lease
+	// reaper reclaims the session.
+	UnhealthyAfter int
+	// RejoinPoll paces the background check that re-adds an ejected
+	// shard once its heartbeats recover (0 uses 500ms; negative disables
+	// — ejection is then permanent for the client's lifetime).
+	RejoinPoll time.Duration
+	// OnTopology, when set, is called after a shard is ejected from or
+	// rejoined to the ring (healthy=false / true). It must not block.
+	OnTopology func(shard uint32, healthy bool)
+}
+
+// ErrNoShards is returned when every shard has been ejected.
+var ErrNoShards = errors.New("pool: no healthy shards in ring")
+
+// shard is one member server and its dedicated live client session.
+type shard struct {
+	id      uint32
+	addr    string
+	cl      *live.Client
+	healthy atomic.Bool
+}
+
+// Client is a process's handle on the shard cluster: the full
+// live.Client surface (sync and async), with placements routed through
+// the ring and refs/addresses made location-aware — Ref.Server and the
+// address tag byte carry the shard ID instead of a dial-order index.
+// Methods are safe for concurrent use.
+type Client struct {
+	cfg    Config
+	shards []*shard
+	ring   *Ring
+	cursor atomic.Uint64 // placement key for unkeyed StageRef/Alloc
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Address tagging: as in live and dmnet, the routing identity rides the
+// top byte of a dm.RemoteAddr — here the cluster-wide shard ID. Each
+// per-shard live.Client is single-address, so the addresses it mints
+// always carry tag 0 and the pool's tag byte is free to claim.
+const shardShift = 56
+
+func tagShard(id uint32, a dm.RemoteAddr) dm.RemoteAddr {
+	return dm.RemoteAddr(uint64(id)<<shardShift | uint64(a))
+}
+
+func splitShard(a dm.RemoteAddr) (uint32, dm.RemoteAddr) {
+	return uint32(uint64(a) >> shardShift), dm.RemoteAddr(uint64(a) & (1<<shardShift - 1))
+}
+
+// Dial connects one live client per shard. The returned pool is not
+// usable until Register.
+func Dial(cfg Config) (*Client, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("pool: need at least one shard address")
+	}
+	if cfg.UnhealthyAfter <= 0 {
+		cfg.UnhealthyAfter = 3
+	}
+	if cfg.RejoinPoll == 0 {
+		cfg.RejoinPoll = 500 * time.Millisecond
+	}
+	p := &Client{
+		cfg:  cfg,
+		ring: NewRing(cfg.Vnodes),
+		stop: make(chan struct{}),
+	}
+	for i, addr := range cfg.Shards {
+		s := &shard{id: uint32(i), addr: addr}
+		s.healthy.Store(true)
+		ccfg := cfg.Client
+		base := ccfg.OnHeartbeatFailure
+		ccfg.OnHeartbeatFailure = func(addr string, consecutive int, err error) {
+			if base != nil {
+				base(addr, consecutive, err)
+			}
+			if consecutive >= p.cfg.UnhealthyAfter {
+				p.eject(s)
+			}
+		}
+		cl, err := live.DialConfig(ccfg, addr)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("pool: shard %d (%s): %w", i, addr, err)
+		}
+		s.cl = cl
+		p.shards = append(p.shards, s)
+		p.ring.Add(s.id)
+	}
+	return p, nil
+}
+
+// Register obtains a session on every shard and starts the heartbeat
+// and rejoin machinery; must complete before other calls. Servers that
+// announce a shard ID (dmserverd -shard-id) are verified against their
+// position in Config.Shards, catching a shuffled or stale server list
+// before any ref is minted with the wrong location.
+func (p *Client) Register() error {
+	for _, s := range p.shards {
+		if err := s.cl.Register(); err != nil {
+			return fmt.Errorf("pool: shard %d (%s): %w", s.id, s.addr, err)
+		}
+		if announced, ok := s.cl.ServerShard(0); ok && announced != s.id {
+			return fmt.Errorf("pool: server %s announces shard %d but is listed as shard %d",
+				s.addr, announced, s.id)
+		}
+	}
+	if p.cfg.RejoinPoll > 0 {
+		p.wg.Add(1)
+		go p.rejoinLoop()
+	}
+	return nil
+}
+
+// Close stops the rejoin loop and tears down every shard session.
+func (p *Client) Close() error {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+	var first error
+	for _, s := range p.shards {
+		if s.cl == nil {
+			continue
+		}
+		if err := s.cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// eject removes a shard from the ring (new placements only; byID
+// resolution is untouched, so the shard's existing refs keep routing to
+// it until the server reaps the session).
+func (p *Client) eject(s *shard) {
+	if !s.healthy.CompareAndSwap(true, false) {
+		return
+	}
+	p.ring.Remove(s.id)
+	if cb := p.cfg.OnTopology; cb != nil {
+		cb(s.id, false)
+	}
+}
+
+// rejoinLoop re-adds ejected shards whose heartbeats have recovered: the
+// per-server consecutive-failure counter resets to zero only on a
+// successful renewal, so a zero reading means the session is live again.
+// A session the server already reaped never renews (its heartbeat loop
+// has exited with the counter latched nonzero), so a reaped shard stays
+// out until the process builds a fresh pool client.
+func (p *Client) rejoinLoop() {
+	defer p.wg.Done()
+	tick := time.NewTicker(p.cfg.RejoinPoll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-tick.C:
+			for _, s := range p.shards {
+				if s.healthy.Load() {
+					continue
+				}
+				if s.cl.SessionHealth()[s.addr] == 0 && s.healthy.CompareAndSwap(false, true) {
+					p.ring.Add(s.id)
+					if cb := p.cfg.OnTopology; cb != nil {
+						cb(s.id, true)
+					}
+				}
+			}
+		}
+	}
+}
+
+// route picks the shard owning key via the ring.
+func (p *Client) route(key uint64) (*shard, error) {
+	id, ok := p.ring.Lookup(key)
+	if !ok {
+		return nil, ErrNoShards
+	}
+	return p.shards[id], nil
+}
+
+// byID resolves a shard by its cluster-wide ID — the consume-side path,
+// deliberately NOT ring-based so refs and addresses minted before an
+// ejection keep resolving to the shard that stores their pages.
+func (p *Client) byID(id uint32) (*shard, error) {
+	if int(id) >= len(p.shards) {
+		return nil, fmt.Errorf("pool: ref names shard %d outside the %d-shard cluster: %w",
+			id, len(p.shards), dm.ErrBadAddress)
+	}
+	return p.shards[id], nil
+}
+
+// LocatedRefs marks this backend's refs as cluster-addressed: Ref.Server
+// is a shard ID valid across every process sharing the cluster map, so
+// liverpc encodes them in the versioned v1 wire form.
+func (p *Client) LocatedRefs() bool { return true }
+
+// Shards returns the cluster size.
+func (p *Client) Shards() int { return len(p.shards) }
+
+// Healthy returns the shard IDs currently in the ring, sorted.
+func (p *Client) Healthy() []uint32 { return p.ring.Members() }
+
+// SessionHealth merges every shard's consecutive heartbeat-failure
+// count, keyed by server address (see live.Client.SessionHealth).
+func (p *Client) SessionHealth() map[string]int {
+	out := make(map[string]int, len(p.shards))
+	for _, s := range p.shards {
+		out[s.addr] = s.cl.SessionHealth()[s.addr]
+	}
+	return out
+}
+
+// Stats sums the per-shard client counters (see live.Client.Stats).
+func (p *Client) Stats() live.Stats {
+	var sum live.Stats
+	for _, s := range p.shards {
+		st := s.cl.Stats()
+		sum.Calls += st.Calls
+		sum.Retries += st.Retries
+		sum.DedupReplays += st.DedupReplays
+		sum.Failures += st.Failures
+		sum.HeartbeatFailures += st.HeartbeatFailures
+	}
+	return sum
+}
+
+// ShardStats returns each shard's own counter snapshot, indexed by
+// shard ID.
+func (p *Client) ShardStats() []live.Stats {
+	out := make([]live.Stats, len(p.shards))
+	for i, s := range p.shards {
+		out[i] = s.cl.Stats()
+	}
+	return out
+}
+
+// --- Table II surface, routed ---
+
+// Alloc reserves size bytes on a ring-chosen shard; the returned address
+// carries the shard ID in its tag byte.
+func (p *Client) Alloc(size int64) (dm.RemoteAddr, error) {
+	s, err := p.route(p.cursor.Add(1))
+	if err != nil {
+		return 0, err
+	}
+	addr, err := s.cl.Alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	return tagShard(s.id, addr), nil
+}
+
+// Free releases the region at addr on its shard.
+func (p *Client) Free(addr dm.RemoteAddr) error {
+	id, raw := splitShard(addr)
+	s, err := p.byID(id)
+	if err != nil {
+		return err
+	}
+	return s.cl.Free(raw)
+}
+
+// Write stores src at addr on its shard.
+func (p *Client) Write(addr dm.RemoteAddr, src []byte) error {
+	id, raw := splitShard(addr)
+	s, err := p.byID(id)
+	if err != nil {
+		return err
+	}
+	return s.cl.Write(raw, src)
+}
+
+// Read loads len(dst) bytes from addr on its shard.
+func (p *Client) Read(addr dm.RemoteAddr, dst []byte) error {
+	id, raw := splitShard(addr)
+	s, err := p.byID(id)
+	if err != nil {
+		return err
+	}
+	return s.cl.Read(raw, dst)
+}
+
+// CreateRef shares [addr, addr+size) and returns a located ref
+// (Server = shard ID).
+func (p *Client) CreateRef(addr dm.RemoteAddr, size int64) (dm.Ref, error) {
+	id, raw := splitShard(addr)
+	s, err := p.byID(id)
+	if err != nil {
+		return dm.Ref{}, err
+	}
+	ref, err := s.cl.CreateRef(raw, size)
+	if err != nil {
+		return dm.Ref{}, err
+	}
+	ref.Server = s.id
+	return ref, nil
+}
+
+// MapRef maps a located ref on its shard; the returned address carries
+// the shard ID.
+func (p *Client) MapRef(ref dm.Ref) (dm.RemoteAddr, error) {
+	s, err := p.byID(ref.Server)
+	if err != nil {
+		return 0, err
+	}
+	local := ref
+	local.Server = 0
+	addr, err := s.cl.MapRef(local)
+	if err != nil {
+		return 0, err
+	}
+	return tagShard(s.id, addr), nil
+}
+
+// FreeRef drops a located ref's page hold on its shard.
+func (p *Client) FreeRef(ref dm.Ref) error {
+	s, err := p.byID(ref.Server)
+	if err != nil {
+		return err
+	}
+	local := ref
+	local.Server = 0
+	return s.cl.FreeRef(local)
+}
+
+// StageRef stages data onto a ring-chosen shard and returns a located
+// ref. Placement uses an internal cursor, spreading unkeyed stages
+// uniformly; use StageRefKeyed to co-locate related data.
+func (p *Client) StageRef(data []byte) (dm.Ref, error) {
+	return p.StageRefKeyed(p.cursor.Add(1), data)
+}
+
+// StageRefKeyed stages data onto the shard owning key — the same key
+// always lands on the same shard (until the ring changes), which is how
+// an application co-locates the pieces of one logical object.
+func (p *Client) StageRefKeyed(key uint64, data []byte) (dm.Ref, error) {
+	s, err := p.route(key)
+	if err != nil {
+		return dm.Ref{}, err
+	}
+	ref, err := s.cl.StageRef(data)
+	if err != nil {
+		return dm.Ref{}, err
+	}
+	ref.Server = s.id
+	return ref, nil
+}
+
+// ReadRef reads a located ref's snapshot from its shard.
+func (p *Client) ReadRef(ref dm.Ref, off int64, dst []byte) error {
+	s, err := p.byID(ref.Server)
+	if err != nil {
+		return err
+	}
+	local := ref
+	local.Server = 0
+	return s.cl.ReadRef(local, off, dst)
+}

@@ -1,0 +1,156 @@
+// Package pool is the sharded DM cluster layer: it routes the live DM
+// protocol across N dmserverd instances through a consistent-hash ring,
+// makes refs location-aware (dmwire's versioned v1 codec, whose Server
+// field carries a cluster-wide shard ID), and multiplexes one
+// live.Client per shard so every session keeps the single-server
+// lease/heartbeat/retry/dedup machinery it already has. Per-shard
+// session health drives failover: a shard whose heartbeats keep failing
+// is ejected from the ring for NEW placements while refs it already
+// holds keep resolving until the server's lease reaper reclaims them.
+//
+// What the pool does NOT provide (yet): replication and page migration.
+// A shard's pages live on that shard only — ejecting it routes new data
+// elsewhere but does not move or re-create what it held (DESIGN.md §D11).
+package pool
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultVnodes is the virtual-node count per shard. More vnodes smooth
+// the key distribution (imbalance shrinks roughly with 1/sqrt(vnodes))
+// at the cost of a longer sorted point array.
+const DefaultVnodes = 128
+
+// mix is the splitmix64 finalizer: a fast, deterministic 64-bit mixer
+// with full avalanche, used for both ring points and op keys so ring
+// placement is reproducible across processes and test runs (no seed, no
+// map-order dependence).
+func mix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// ringPoint is one virtual node: a position on the hash circle owned by
+// a shard.
+type ringPoint struct {
+	hash  uint64
+	shard uint32
+}
+
+// Ring is a consistent-hash ring over shard IDs. Lookups walk clockwise
+// from the key's hash to the next virtual node; adding or removing one
+// shard remaps only the key ranges adjacent to its vnodes (~1/K of the
+// keyspace), which is the property that keeps existing placements stable
+// as the cluster changes. Safe for concurrent use.
+type Ring struct {
+	vnodes int
+	mu     sync.RWMutex
+	points []ringPoint // sorted by (hash, shard)
+	member map[uint32]struct{}
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// shard (<= 0 uses DefaultVnodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, member: make(map[uint32]struct{})}
+}
+
+// pointSalt domain-separates vnode hashes from key hashes. Without it,
+// shard 0's vnode positions are mix(v) — exactly the lookup hashes of
+// keys 0..vnodes-1 — and sort.Search's >= comparison would pin every
+// small key onto shard 0's own points.
+const pointSalt = 0x7B9F2D4E8C1A6E35
+
+// pointsOf derives shard's vnode positions. Purely a function of
+// (shard, vnode index), so the ring's layout is deterministic.
+func (r *Ring) pointsOf(shard uint32) []ringPoint {
+	pts := make([]ringPoint, r.vnodes)
+	for v := 0; v < r.vnodes; v++ {
+		pts[v] = ringPoint{hash: mix((uint64(shard)<<32 | uint64(v)) ^ pointSalt), shard: shard}
+	}
+	return pts
+}
+
+// Add joins shard to the ring; adding a member again is a no-op.
+func (r *Ring) Add(shard uint32) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.member[shard]; ok {
+		return
+	}
+	r.member[shard] = struct{}{}
+	r.points = append(r.points, r.pointsOf(shard)...)
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+}
+
+// Remove ejects shard from the ring; removing a non-member is a no-op.
+func (r *Ring) Remove(shard uint32) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.member[shard]; !ok {
+		return
+	}
+	delete(r.member, shard)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.shard != shard {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Lookup maps a key to its owning shard (false when the ring is empty).
+// The key is mixed first, so sequential keys spread uniformly.
+func (r *Ring) Lookup(key uint64) (uint32, bool) {
+	h := mix(key)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return 0, false
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point
+	}
+	return r.points[i].shard, true
+}
+
+// Contains reports ring membership.
+func (r *Ring) Contains(shard uint32) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.member[shard]
+	return ok
+}
+
+// Members returns the member shard IDs, sorted.
+func (r *Ring) Members() []uint32 {
+	r.mu.RLock()
+	out := make([]uint32, 0, len(r.member))
+	for s := range r.member {
+		out = append(out, s)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.member)
+}

@@ -1,0 +1,121 @@
+package pool
+
+import "testing"
+
+// TestRingDeterministic pins that ring layout and lookups are pure
+// functions of membership — two independently built rings agree on every
+// key, which is what lets separate processes resolve the same located
+// refs.
+func TestRingDeterministic(t *testing.T) {
+	a, b := NewRing(64), NewRing(64)
+	for id := uint32(0); id < 5; id++ {
+		a.Add(id)
+	}
+	// Different insertion order must not matter.
+	for id := int32(4); id >= 0; id-- {
+		b.Add(uint32(id))
+	}
+	for key := uint64(0); key < 10_000; key++ {
+		sa, oka := a.Lookup(key)
+		sb, okb := b.Lookup(key)
+		if !oka || !okb || sa != sb {
+			t.Fatalf("key %d: ring A -> (%d,%v), ring B -> (%d,%v)", key, sa, oka, sb, okb)
+		}
+	}
+}
+
+// TestRingDistribution checks placement balance: N sequential keys over
+// K shards, each shard within ±15% of the uniform share. Deterministic
+// (fixed hash, no seed), so a pass here is a pass everywhere.
+func TestRingDistribution(t *testing.T) {
+	const keys, shards = 100_000, 4
+	r := NewRing(0) // DefaultVnodes
+	for id := uint32(0); id < shards; id++ {
+		r.Add(id)
+	}
+	counts := make([]int, shards)
+	for key := uint64(0); key < keys; key++ {
+		id, ok := r.Lookup(key)
+		if !ok {
+			t.Fatal("lookup failed on a populated ring")
+		}
+		counts[id]++
+	}
+	want := float64(keys) / shards
+	for id, n := range counts {
+		if dev := (float64(n) - want) / want; dev < -0.15 || dev > 0.15 {
+			t.Fatalf("shard %d holds %d of %d keys (%.1f%% off uniform; counts %v)",
+				id, n, keys, dev*100, counts)
+		}
+	}
+}
+
+// remapFraction measures how many of n keys move when mutate changes the
+// ring.
+func remapFraction(r *Ring, n uint64, mutate func()) float64 {
+	before := make([]uint32, n)
+	for key := uint64(0); key < n; key++ {
+		before[key], _ = r.Lookup(key)
+	}
+	mutate()
+	moved := 0
+	for key := uint64(0); key < n; key++ {
+		if after, ok := r.Lookup(key); !ok || after != before[key] {
+			moved++
+		}
+	}
+	return float64(moved) / float64(n)
+}
+
+// TestRingRemapFraction pins consistent hashing's stability property:
+// joining a (K+1)th shard remaps about 1/(K+1) of the keyspace, and
+// removing one member of K remaps about 1/K — never the wholesale
+// reshuffle modulo-hashing would cause. Bounds allow 1.5x the ideal
+// fraction for vnode-sampling noise.
+func TestRingRemapFraction(t *testing.T) {
+	const keys = 50_000
+	r := NewRing(0)
+	for id := uint32(0); id < 3; id++ {
+		r.Add(id)
+	}
+	if f := remapFraction(r, keys, func() { r.Add(3) }); f > 1.5/4 {
+		t.Fatalf("join remapped %.1f%% of keys, want <= %.1f%%", f*100, 100*1.5/4)
+	}
+	// A join can only move keys ONTO the new shard; sanity-check it got a
+	// meaningful share.
+	if f := remapFraction(r, keys, func() { r.Remove(1) }); f > 1.5/4 {
+		t.Fatalf("leave remapped %.1f%% of keys, want <= %.1f%%", f*100, 100*1.5/4)
+	}
+	if r.Contains(1) || r.Size() != 3 {
+		t.Fatalf("membership after remove: %v", r.Members())
+	}
+	// Keys never resolve to an ejected member.
+	for key := uint64(0); key < keys; key++ {
+		if id, _ := r.Lookup(key); id == 1 {
+			t.Fatalf("key %d resolved to removed shard", key)
+		}
+	}
+}
+
+// TestRingEmptyAndRejoin covers the edges: empty ring lookups fail,
+// and remove-then-add restores the exact prior layout.
+func TestRingEmptyAndRejoin(t *testing.T) {
+	r := NewRing(32)
+	if _, ok := r.Lookup(1); ok {
+		t.Fatal("lookup on empty ring succeeded")
+	}
+	for id := uint32(0); id < 3; id++ {
+		r.Add(id)
+	}
+	before := make([]uint32, 1000)
+	for key := range before {
+		before[key], _ = r.Lookup(uint64(key))
+	}
+	r.Remove(2)
+	r.Add(2)
+	for key := range before {
+		if after, _ := r.Lookup(uint64(key)); after != before[key] {
+			t.Fatalf("key %d moved from %d to %d across remove+rejoin", key, before[key], after)
+		}
+	}
+}
