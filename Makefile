@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet check test test-short bench bench-smoke bench-live bench-liverpc bench-pool pool-demo experiments experiments-full fuzz fuzz-smoke clean
+.PHONY: all build vet check test test-short bench bench-smoke bench-live bench-liverpc bench-pool bench-transport pool-demo experiments experiments-full fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -39,6 +39,7 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkLive' -benchtime=1x ./internal/live ./internal/liverpc
 	$(GO) test -run '^$$' -bench 'BenchmarkPool' -benchtime=1x ./internal/pool
+	$(GO) test -run '^$$' -bench 'BenchmarkTransport' -benchmem -benchtime=1x ./internal/live | $(GO) run ./cmd/benchjson -require-extra p50-ns,p99-ns,p999-ns -out /dev/null
 
 # Live TCP hot-path benchmarks, recorded to BENCH_live.json so the perf
 # trajectory is tracked across PRs.
@@ -56,6 +57,14 @@ bench-liverpc:
 # fraction for the next scale-out step, recorded to BENCH_pool.json.
 bench-pool:
 	$(GO) test -run '^$$' -bench 'BenchmarkPool' -benchtime=2s -benchmem ./internal/pool | $(GO) run ./cmd/benchjson -out BENCH_pool.json
+
+# Transport latency-distribution benchmarks (eRPC-lean path): closed-loop
+# and open-loop probes plus the copy-vs-lease delivery comparison. Every
+# result must carry p50/p99/p999 extras — benchjson fails the run if a
+# percentile report goes missing, so BENCH_transport.json stays
+# comparable across PRs.
+bench-transport:
+	$(GO) test -run '^$$' -bench 'BenchmarkTransport' -benchtime=2s -benchmem ./internal/live | $(GO) run ./cmd/benchjson -require-extra p50-ns,p99-ns,p999-ns -out BENCH_transport.json
 
 # Launch a local K-shard cluster (dmserverd on sequential ports) and run
 # dmctl pool smoke traffic against it. K and BASE_PORT are overridable:

@@ -44,6 +44,7 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "", "path of the JSON report to write (required)")
+	requireExtra := flag.String("require-extra", "", "comma-separated Extra metric units every result must carry (e.g. p50-ns,p99-ns,p999-ns); missing ones fail the run so percentile reports stay comparable across PRs")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
@@ -73,6 +74,24 @@ func main() {
 	if len(report.Results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines found")
 		os.Exit(1)
+	}
+	if *requireExtra != "" {
+		missing := false
+		for _, unit := range strings.Split(*requireExtra, ",") {
+			unit = strings.TrimSpace(unit)
+			if unit == "" {
+				continue
+			}
+			for _, r := range report.Results {
+				if _, ok := r.Extra[unit]; !ok {
+					fmt.Fprintf(os.Stderr, "benchjson: result %s is missing required extra metric %q\n", r.Name, unit)
+					missing = true
+				}
+			}
+		}
+		if missing {
+			os.Exit(1)
+		}
 	}
 	b, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -343,11 +343,15 @@ func cmdPoolStats(p *pool.Client, args []string) {
 		exitOn(p.FreeRef(ref))
 	}
 	agg := p.Stats()
-	fmt.Printf("aggregate: calls=%d retries=%d dedup_replays=%d failures=%d heartbeat_failures=%d\n",
-		agg.Calls, agg.Retries, agg.DedupReplays, agg.Failures, agg.HeartbeatFailures)
+	lat := p.Latency()
+	fmt.Printf("aggregate: calls=%d retries=%d dedup_replays=%d failures=%d heartbeat_failures=%d credit_waits=%d credit_sheds=%d p50=%s p99=%s\n",
+		agg.Calls, agg.Retries, agg.DedupReplays, agg.Failures, agg.HeartbeatFailures,
+		agg.CreditWaits, agg.CreditSheds, stats.Dur(lat.P50), stats.Dur(lat.P99))
+	shardLat := p.ShardLatency()
 	for id, st := range p.ShardStats() {
-		fmt.Printf("  shard %d: calls=%d retries=%d dedup_replays=%d failures=%d heartbeat_failures=%d\n",
-			id, st.Calls, st.Retries, st.DedupReplays, st.Failures, st.HeartbeatFailures)
+		fmt.Printf("  shard %d: calls=%d retries=%d dedup_replays=%d failures=%d heartbeat_failures=%d p50=%s p99=%s\n",
+			id, st.Calls, st.Retries, st.DedupReplays, st.Failures, st.HeartbeatFailures,
+			stats.Dur(shardLat[id].P50), stats.Dur(shardLat[id].P99))
 	}
 	for addr, consec := range p.SessionHealth() {
 		fmt.Printf("  session %s: consecutive heartbeat failures %d\n", addr, consec)

@@ -34,6 +34,8 @@ func main() {
 	maxSlow := flag.Int("max-slow", 64, "maximum concurrent slow handlers per connection")
 	coalesceLimit := flag.Int("coalesce-limit", 0, "largest response coalesced into batched writes, bytes (0 = default, negative disables)")
 	coalesceBatch := flag.Int("coalesce-batch", 0, "max bytes per group-commit flush (0 = default)")
+	coalesceSpin := flag.Duration("coalesce-spin", 0, "adaptive spin-then-flush window cap (0 = default, negative disables)")
+	credits := flag.Int("credits", 0, "per-session async credit window advertised to clients (0 = default, negative disables advertisement)")
 	statsEvery := flag.Duration("stats", 0, "print free-page/live-ref/writer counters at this interval (0 disables)")
 	shardID := flag.Int("shard-id", -1, "cluster-wide shard ID announced to pool clients (-1 = single-server, no shard)")
 	flag.Parse()
@@ -47,6 +49,8 @@ func main() {
 		MaxSlowPerConn:     *maxSlow,
 		CoalesceLimit:      *coalesceLimit,
 		CoalesceBatchBytes: *coalesceBatch,
+		CoalesceSpin:       *coalesceSpin,
+		SessionCredits:     *credits,
 	}
 	if *shardID >= 0 {
 		cfg.HasShard = true
@@ -71,12 +75,9 @@ func main() {
 		go func() {
 			for range time.Tick(*statsEvery) {
 				ws := srv.WriteStats()
-				fpb := 0.0
-				if ws.Batches > 0 {
-					fpb = float64(ws.Frames-ws.DirectFrames-ws.InlineFrames) / float64(ws.Batches)
-				}
-				fmt.Printf("dmserverd: free_pages=%d live_refs=%d tx_frames=%d tx_batches=%d tx_inline=%d frames_per_batch=%.1f tx_bytes=%d\n",
-					srv.FreePages(), srv.LiveRefs(), ws.Frames, ws.Batches, ws.InlineFrames, fpb, ws.Bytes)
+				fmt.Printf("dmserverd: free_pages=%d live_refs=%d tx_frames=%d tx_batches=%d tx_inline=%d group_commit=%.1f spin_batches=%d queue_frames=%d queue_bytes=%d tx_bytes=%d\n",
+					srv.FreePages(), srv.LiveRefs(), ws.Frames, ws.Batches, ws.InlineFrames,
+					ws.GroupCommitFactor, ws.SpinBatches, ws.QueueFrames, ws.QueueBytes, ws.Bytes)
 			}
 		}()
 	}

@@ -1,0 +1,83 @@
+package dmwire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRegisterRespCreditForms pins the three length-disambiguated wire
+// forms of the register response and their round-trips: credits force the
+// 17-byte extended form (with and without a shard), no credits keep the
+// legacy 8/12-byte bodies byte-identical to pre-credit servers.
+func TestRegisterRespCreditForms(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		r       RegisterResp
+		wantLen int
+	}{
+		{"base", RegisterResp{PID: 7, LeaseMillis: 15000}, 8},
+		{"legacy shard", RegisterResp{PID: 7, LeaseMillis: 15000, HasShard: true, Shard: 3}, 12},
+		{"credits", RegisterResp{PID: 7, LeaseMillis: 15000, Credits: 256}, 17},
+		{"credits+shard", RegisterResp{PID: 9, LeaseMillis: 500, HasShard: true, Shard: 2, Credits: 64}, 17},
+		{"credits max", RegisterResp{PID: 1, LeaseMillis: 1, Credits: 1<<32 - 1}, 17},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.r.Marshal()
+			if len(b) != tc.wantLen {
+				t.Fatalf("marshalled length = %d, want %d", len(b), tc.wantLen)
+			}
+			got, err := UnmarshalRegisterResp(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.r {
+				t.Fatalf("round trip = %+v, want %+v", got, tc.r)
+			}
+		})
+	}
+}
+
+// TestRegisterRespLegacyBytesStillDecode: a pre-credit server's exact
+// bytes decode with Credits = 0, and the re-encoding reproduces them —
+// the interop contract in both directions.
+func TestRegisterRespLegacyBytesStillDecode(t *testing.T) {
+	legacy := RegisterResp{PID: 42, LeaseMillis: 9000, HasShard: true, Shard: 5}
+	b := legacy.Marshal()
+	got, err := UnmarshalRegisterResp(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Credits != 0 || got != legacy {
+		t.Fatalf("legacy decode = %+v, want %+v with zero credits", got, legacy)
+	}
+	if !bytes.Equal(got.Marshal(), b) {
+		t.Fatal("legacy bytes not reproduced by re-encoding")
+	}
+}
+
+// TestHeartbeatRespCreditForms: the renewed window rides the heartbeat
+// response as a 4-byte suffix, absent when credits are off.
+func TestHeartbeatRespCreditForms(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		r       HeartbeatResp
+		wantLen int
+	}{
+		{"base", HeartbeatResp{LeaseMillis: 250}, 4},
+		{"credits", HeartbeatResp{LeaseMillis: 250, Credits: 128}, 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.r.Marshal()
+			if len(b) != tc.wantLen {
+				t.Fatalf("marshalled length = %d, want %d", len(b), tc.wantLen)
+			}
+			got, err := UnmarshalHeartbeatResp(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.r {
+				t.Fatalf("round trip = %+v, want %+v", got, tc.r)
+			}
+		})
+	}
+}

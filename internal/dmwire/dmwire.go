@@ -93,29 +93,74 @@ func ErrOf(status byte, msg string) error {
 // is appended to the original 8-byte body only when set, so pre-shard
 // clients still parse the prefix and pre-shard servers still satisfy new
 // clients (HasShard simply stays false).
+//
+// Credits is the per-session async credit window the server grants
+// (live credit-based flow control): a client should keep at most this
+// many asynchronous calls in flight per session. 0 means the server does
+// not advertise credits (pre-credit servers, or crediting disabled) and
+// the client falls back to its own configured limit.
+//
+// Wire forms, disambiguated by body length:
+//
+//	8 bytes:  PID | LeaseMillis                          (base)
+//	12 bytes: PID | LeaseMillis | Shard                  (legacy shard)
+//	17 bytes: PID | LeaseMillis | flags u8 | Shard | Credits
+//
+// The 17-byte form is emitted only when Credits > 0; its flags byte
+// (bit1 always set as the extended-form marker, bit0 = HasShard) can
+// never collide with a legacy 12-byte body, which is exactly 12 bytes.
 type RegisterResp struct {
 	PID         uint32
 	LeaseMillis uint32
 	HasShard    bool
 	Shard       uint32
+	Credits     uint32
 }
 
-// Marshal encodes the response body.
+// registerRespExt marks the extended register-response form (flags bit1).
+const registerRespExt = 0x02
+
+// Marshal encodes the response body in its shortest canonical form.
 func (r RegisterResp) Marshal() []byte {
+	if r.Credits > 0 {
+		flags := byte(registerRespExt)
+		if r.HasShard {
+			flags |= 1
+		}
+		return rpc.NewEnc(17).U32(r.PID).U32(r.LeaseMillis).U8(flags).U32(r.Shard).U32(r.Credits).Bytes()
+	}
 	if !r.HasShard {
 		return rpc.NewEnc(8).U32(r.PID).U32(r.LeaseMillis).Bytes()
 	}
 	return rpc.NewEnc(12).U32(r.PID).U32(r.LeaseMillis).U32(r.Shard).Bytes()
 }
 
-// UnmarshalRegisterResp decodes the response body.
+// UnmarshalRegisterResp decodes the response body (any of the three
+// length-disambiguated forms).
 func UnmarshalRegisterResp(b []byte) (RegisterResp, error) {
 	d := rpc.NewDec(b)
 	r := RegisterResp{PID: d.U32(), LeaseMillis: d.U32()}
 	if err := d.Err(); err != nil {
 		return r, err
 	}
-	if len(d.Remaining()) >= 4 {
+	rem := d.Remaining()
+	if len(rem) >= 9 && rem[0]&registerRespExt != 0 && rem[0]>>2 == 0 {
+		flags := d.U8()
+		r.Shard = d.U32()
+		r.Credits = d.U32()
+		if err := d.Err(); err != nil {
+			return r, err
+		}
+		if r.Credits == 0 {
+			// Canonical encoders never emit the extended form with zero
+			// credits; decode it as the base form so re-encoding stays a
+			// prefix of the input.
+			return RegisterResp{PID: r.PID, LeaseMillis: r.LeaseMillis}, nil
+		}
+		r.HasShard = flags&1 != 0
+		return r, nil
+	}
+	if len(rem) >= 4 {
 		r.Shard = d.U32()
 		r.HasShard = true
 	}
@@ -138,18 +183,33 @@ func UnmarshalHeartbeatReq(b []byte) (HeartbeatReq, error) {
 }
 
 // HeartbeatResp is the body of a successful MHeartbeat response: the
-// renewed lease TTL in milliseconds.
+// renewed lease TTL in milliseconds, plus — when the server advertises
+// credit-based flow control — the refreshed per-session async credit
+// window. Credits is appended to the original 4-byte body only when
+// nonzero, so pre-credit peers interoperate in both directions.
 type HeartbeatResp struct {
 	LeaseMillis uint32
+	Credits     uint32
 }
 
-// Marshal encodes the response body.
-func (r HeartbeatResp) Marshal() []byte { return rpc.NewEnc(4).U32(r.LeaseMillis).Bytes() }
+// Marshal encodes the response body in its shortest canonical form.
+func (r HeartbeatResp) Marshal() []byte {
+	if r.Credits > 0 {
+		return rpc.NewEnc(8).U32(r.LeaseMillis).U32(r.Credits).Bytes()
+	}
+	return rpc.NewEnc(4).U32(r.LeaseMillis).Bytes()
+}
 
 // UnmarshalHeartbeatResp decodes the response body.
 func UnmarshalHeartbeatResp(b []byte) (HeartbeatResp, error) {
 	d := rpc.NewDec(b)
 	r := HeartbeatResp{LeaseMillis: d.U32()}
+	if err := d.Err(); err != nil {
+		return r, err
+	}
+	if len(d.Remaining()) >= 4 {
+		r.Credits = d.U32()
+	}
 	return r, d.Err()
 }
 

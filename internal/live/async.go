@@ -30,6 +30,8 @@ type Pending struct {
 	opts     CallOpts
 	deadline time.Time // overall, spans retries
 	attDL    time.Time // first attempt's deadline
+	start    time.Time // submission instant, for the latency histogram
+	gate     *creditGate
 	c        *conn
 	id       uint64
 	ch       chan response
@@ -41,10 +43,29 @@ type Pending struct {
 // including submission failures — surface from Wait, which also runs the
 // retry loop, so hdr and payload must stay valid and unmodified until
 // Wait returns. opts follows CallConsumeOpts.
+//
+// Submission first acquires one session credit for addr (credit.go):
+// past the server-advertised window of in-flight async calls, CallAsync
+// blocks until a completion frees a credit, or sheds with ErrCredits at
+// the attempt deadline — bounded queueing instead of an unbounded
+// pending map when the server stalls. The credit is returned when Wait
+// completes.
 func (n *Node) CallAsync(addr string, m rpc.Method, hdr, payload []byte, opts CallOpts) *Pending {
-	p := &Pending{n: n, addr: addr, m: m, hdr: hdr, payload: payload, opts: opts}
+	p := &Pending{n: n, addr: addr, m: m, hdr: hdr, payload: payload, opts: opts, start: time.Now()}
 	p.deadline = n.overallDeadline(opts)
 	p.attDL = n.attemptDeadline(p.deadline)
+	if g := n.gateFor(addr); g != nil {
+		waited, err := g.acquire(p.attDL)
+		if waited {
+			n.ops.creditWaits.Add(1)
+		}
+		if err != nil {
+			n.ops.creditSheds.Add(1)
+			p.err = err
+			return p
+		}
+		p.gate = g
+	}
 	c, err := n.peer(addr, p.attDL)
 	if err != nil {
 		p.err = err
@@ -61,16 +82,29 @@ func (n *Node) CallAsync(addr string, m rpc.Method, hdr, payload []byte, opts Ca
 // CallAsync — is retried with full re-sends when the call is idempotent
 // or tokened.
 func (p *Pending) Wait(consume func(resp []byte) error) error {
+	return p.wait(consumer{fn: consume})
+}
+
+// wait is Wait's consumer-typed core; it also releases the session
+// credit held since CallAsync and records the call's submission-to-
+// completion latency.
+func (p *Pending) wait(cons consumer) error {
 	first := func() error {
 		if p.err != nil {
 			return p.err
 		}
-		return p.c.await(p.m, p.id, p.ch, p.attDL, consume)
+		return p.c.await(p.m, p.id, p.ch, p.attDL, cons)
 	}
 	again := func() error {
-		return p.n.attempt(p.addr, p.m, p.hdr, p.payload, consume, p.deadline, p.opts.Token)
+		return p.n.attempt(p.addr, p.m, p.hdr, p.payload, cons, p.deadline, p.opts.Token)
 	}
-	return p.n.withRetries(p.opts, p.deadline, first, again)
+	err := p.n.withRetries(p.opts, p.deadline, first, again)
+	if p.gate != nil {
+		p.gate.release()
+		p.gate = nil
+	}
+	p.n.lat.Record(time.Since(p.start).Nanoseconds())
+	return err
 }
 
 // AsyncOp is one in-flight asynchronous Client operation; Wait must be
@@ -100,6 +134,9 @@ func (cl *Client) WriteAsync(addr dm.RemoteAddr, src []byte) *AsyncOp {
 	if err != nil {
 		return &AsyncOp{err: err}
 	}
+	if err := checkWireRange("write", 0, int64(len(src))); err != nil {
+		return &AsyncOp{err: err}
+	}
 	return &AsyncOp{p: cl.node.CallAsync(srv, dmwire.MWrite,
 		dmwire.WriteReq{PID: pid, Addr: raw}.MarshalHdr(), src, idemOpts())}
 }
@@ -109,6 +146,9 @@ func (cl *Client) WriteAsync(addr dm.RemoteAddr, src []byte) *AsyncOp {
 func (cl *Client) ReadRefAsync(ref dm.Ref, off int64, dst []byte) *AsyncOp {
 	srv, _, err := cl.server(int(ref.Server))
 	if err != nil {
+		return &AsyncOp{err: err}
+	}
+	if err := checkWireRange("readref", off, int64(len(dst))); err != nil {
 		return &AsyncOp{err: err}
 	}
 	return &AsyncOp{

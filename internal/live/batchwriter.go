@@ -3,6 +3,7 @@ package live
 import (
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +39,15 @@ const DefaultCoalesceLimit = 16 << 10
 // write; the queue bound (backpressure point) is four times this.
 const DefaultCoalesceBatchBytes = 256 << 10
 
+// DefaultCoalesceSpin is the default cap on the adaptive spin-then-flush
+// window (NodeConfig.CoalesceSpin): long enough to gather a back-to-back
+// burst, short enough to be invisible next to a network round trip.
+const DefaultCoalesceSpin = 20 * time.Microsecond
+
+// maxGapSample clamps one inter-enqueue gap sample fed to the EWMA, so a
+// single long idle period cannot poison the estimate for the next burst.
+const maxGapSample = time.Millisecond
+
 // writeStats aggregates wire-write counters across one endpoint's
 // connections; all its batchWriters share one instance.
 type writeStats struct {
@@ -47,13 +57,20 @@ type writeStats struct {
 	direct  atomic.Uint64 // frames that took the direct zero-copy path
 	bytes   atomic.Uint64 // frame bytes shipped
 	dropped atomic.Uint64 // frames dropped undelivered by a dying writer
+	spins   atomic.Uint64 // flushes whose adaptive spin gathered extra frames
+	qframes atomic.Int64  // gauge: frames sitting in submission queues
+	qbytes  atomic.Int64  // gauge: bytes sitting in submission queues
 }
 
 // WriteStats is a snapshot of an endpoint's wire-write counters, for
-// monitoring (dmserverd -stats) and the batching benchmarks. The
-// Frames-DirectFrames-InlineFrames frames that rode the queue went out
-// in Batches vectored writes, so (Frames-DirectFrames-InlineFrames)/
-// Batches is the group-commit factor.
+// monitoring (dmserverd -stats) and the batching benchmarks.
+// CoalescedFrames (= Frames - InlineFrames - DirectFrames) rode the
+// submission queues and went out in Batches vectored writes;
+// GroupCommitFactor is their ratio — average frames per flush.
+// QueueFrames/QueueBytes are point-in-time gauges of what is queued but
+// not yet flushed (the batchwriter's backpressure depth). SpinBatches
+// counts flushes whose adaptive spin window actually gathered more
+// frames before committing.
 type WriteStats struct {
 	Frames        uint64
 	Batches       uint64
@@ -61,6 +78,13 @@ type WriteStats struct {
 	DirectFrames  uint64
 	Bytes         uint64
 	DroppedFrames uint64
+	SpinBatches   uint64
+
+	CoalescedFrames   uint64
+	GroupCommitFactor float64
+
+	QueueFrames int64
+	QueueBytes  int64
 }
 
 // batchWriterConfig sizes one connection's writer; derived from
@@ -70,6 +94,7 @@ type batchWriterConfig struct {
 	batchBytes   int           // max bytes drained into one vectored write
 	queueBytes   int           // submission-queue bound (enqueue backpressure)
 	writeTimeout time.Duration // deadline for writes with no frame deadline
+	spin         time.Duration // adaptive spin-then-flush cap; <= 0 disables
 }
 
 // batchItem is one queued frame: a pooled buffer the writer owns, plus
@@ -97,6 +122,13 @@ type batchWriter struct {
 	// an independent multiplexed request or response.
 	wmu sync.Mutex
 
+	// spinOK gates the adaptive spin at construction time: spinning only
+	// pays when producers can run on another processor while the flusher
+	// lingers. With GOMAXPROCS=1 the spin window just steals the only
+	// processor from the very producers it is waiting for (measured ~30%
+	// small-op throughput loss), so it is disabled outright there.
+	spinOK bool
+
 	mu       sync.Mutex
 	nonEmpty sync.Cond // flusher waits: queue non-empty, dying, or closing
 	space    sync.Cond // enqueuers wait: queue has room, or writer dying
@@ -105,12 +137,19 @@ type batchWriter struct {
 	dead     error
 	closing  bool
 	done     chan struct{} // closed when the flusher exits
+
+	// Adaptive coalescing state (under mu): gapEWMA estimates the
+	// inter-enqueue gap; the flusher spins only while it indicates a
+	// burst in progress (gap <= cfg.spin).
+	gapEWMA time.Duration
+	lastEnq time.Time
 }
 
 // newBatchWriter starts the flusher goroutine for c. The goroutine exits
 // after kill (drop queued frames) or close (flush queued frames).
 func newBatchWriter(c net.Conn, cfg batchWriterConfig, stats *writeStats, onFail func(error)) *batchWriter {
 	bw := &batchWriter{c: c, cfg: cfg, stats: stats, onFail: onFail, done: make(chan struct{})}
+	bw.spinOK = cfg.spin > 0 && runtime.GOMAXPROCS(0) > 1
 	bw.nonEmpty.L = &bw.mu
 	bw.space.L = &bw.mu
 	go bw.flushLoop()
@@ -146,8 +185,25 @@ func (bw *batchWriter) enqueue(buf []byte, deadline time.Time) error {
 		}
 		return err
 	}
+	if bw.spinOK { // the EWMA only feeds the spin decision
+		now := time.Now()
+		if !bw.lastEnq.IsZero() {
+			gap := now.Sub(bw.lastEnq)
+			if gap > maxGapSample {
+				gap = maxGapSample
+			}
+			if bw.gapEWMA == 0 {
+				bw.gapEWMA = gap
+			} else {
+				bw.gapEWMA = (7*bw.gapEWMA + gap) / 8
+			}
+		}
+		bw.lastEnq = now
+	}
 	bw.queue = append(bw.queue, batchItem{buf: buf, deadline: deadline})
 	bw.qbytes += len(buf)
+	bw.stats.qframes.Add(1)
+	bw.stats.qbytes.Add(int64(len(buf)))
 	bw.nonEmpty.Signal()
 	bw.mu.Unlock()
 	return nil
@@ -249,6 +305,35 @@ func (bw *batchWriter) flushLoop() {
 			bw.mu.Unlock()
 			return
 		}
+		// Adaptive spin-then-flush: when the submission rate is high
+		// (EWMA gap within the spin cap) and the queue is not yet a full
+		// batch, linger briefly — yielding the processor so producers
+		// run — to let the burst in progress coalesce into this flush.
+		// Low-rate and idle connections never reach here with a small
+		// EWMA, so they keep the flush-immediately behaviour.
+		if bw.spinOK && !bw.closing && bw.qbytes < bw.cfg.batchBytes {
+			if ewma := bw.gapEWMA; ewma > 0 && ewma <= bw.cfg.spin {
+				window := 8 * ewma
+				if window > bw.cfg.spin {
+					window = bw.cfg.spin
+				}
+				startFrames := len(bw.queue)
+				limit := time.Now().Add(window)
+				for bw.dead == nil && !bw.closing && bw.qbytes < bw.cfg.batchBytes && time.Now().Before(limit) {
+					bw.mu.Unlock()
+					runtime.Gosched()
+					bw.mu.Lock()
+				}
+				if len(bw.queue) > startFrames {
+					bw.stats.spins.Add(1)
+				}
+				if bw.dead != nil {
+					bw.releaseLocked()
+					bw.mu.Unlock()
+					return
+				}
+			}
+		}
 		// Group commit: take everything queued right now, up to the
 		// batch cap; the remainder seeds the next flush. At least one
 		// frame always moves, so an oversized frame cannot wedge.
@@ -264,6 +349,8 @@ func (bw *batchWriter) flushLoop() {
 		}
 		bw.queue = bw.queue[:rest]
 		bw.qbytes -= nbytes
+		bw.stats.qframes.Add(int64(-n))
+		bw.stats.qbytes.Add(int64(-nbytes))
 		bw.space.Broadcast()
 		bw.mu.Unlock()
 
@@ -306,6 +393,8 @@ func (bw *batchWriter) releaseLocked() {
 		putBuf(it.buf)
 	}
 	bw.stats.dropped.Add(uint64(len(bw.queue)))
+	bw.stats.qframes.Add(int64(-len(bw.queue)))
+	bw.stats.qbytes.Add(int64(-bw.qbytes))
 	bw.queue = nil
 	bw.qbytes = 0
 	bw.space.Broadcast()

@@ -45,10 +45,10 @@ func (c *testWriteConn) totals() (bytes, calls int) {
 	return c.wrote, c.writes
 }
 
-func (c *testWriteConn) Read([]byte) (int, error)  { return 0, io.EOF }
-func (c *testWriteConn) Close() error              { return nil }
-func (c *testWriteConn) LocalAddr() net.Addr       { return nil }
-func (c *testWriteConn) RemoteAddr() net.Addr      { return nil }
+func (c *testWriteConn) Read([]byte) (int, error)        { return 0, io.EOF }
+func (c *testWriteConn) Close() error                    { return nil }
+func (c *testWriteConn) LocalAddr() net.Addr             { return nil }
+func (c *testWriteConn) RemoteAddr() net.Addr            { return nil }
 func (c *testWriteConn) SetDeadline(time.Time) error     { return nil }
 func (c *testWriteConn) SetReadDeadline(time.Time) error { return nil }
 func (c *testWriteConn) SetWriteDeadline(time.Time) error {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/dm"
 	"repro/internal/dmwire"
 	"repro/internal/rpc"
+	"repro/internal/stats"
 )
 
 // ClientConfig tunes a live DM client's failure behaviour. Net holds the
@@ -210,12 +211,12 @@ func (c *conn) fail(err error) {
 
 // call performs one request/response exchange bounded by deadline (zero
 // means none): send ships the request, await collects the response.
-func (c *conn) call(m rpc.Method, hdr, payload []byte, consume func(resp []byte) error, deadline time.Time, tok dmwire.Token) error {
+func (c *conn) call(m rpc.Method, hdr, payload []byte, cons consumer, deadline time.Time, tok dmwire.Token) error {
 	id, ch, err := c.send(m, hdr, payload, deadline, tok, true)
 	if err != nil {
 		return err
 	}
-	return c.await(m, id, ch, deadline, consume)
+	return c.await(m, id, ch, deadline, cons)
 }
 
 // send registers a pending entry and ships one request frame — frame
@@ -301,12 +302,14 @@ func fillRequestHead(buf []byte, bodyLen int, kind byte, id uint64, tok dmwire.T
 	copy(buf[off+2:], hdr)
 }
 
-// await collects the response for a request id registered by send. The
-// pooled response body is handed to consume (which must not retain it)
-// and recycled before await returns. On deadline the call is abandoned:
-// the pending entry is removed so the read loop drops the late response,
-// and anything that raced in is drained and recycled.
-func (c *conn) await(m rpc.Method, id uint64, ch chan response, deadline time.Time, consume func(resp []byte) error) error {
+// await collects the response for a request id registered by send. A
+// borrowing consumer (fn) gets the pooled response body, which is
+// recycled before await returns; an owning consumer (own) gets the whole
+// frame and, by returning nil, keeps it — the zero-copy lease path. On
+// deadline the call is abandoned: the pending entry is removed so the
+// read loop drops the late response, and anything that raced in is
+// drained and recycled.
+func (c *conn) await(m rpc.Method, id uint64, ch chan response, deadline time.Time, cons consumer) error {
 	var timeC <-chan time.Time
 	if !deadline.IsZero() {
 		t := time.NewTimer(time.Until(deadline))
@@ -327,9 +330,16 @@ func (c *conn) await(m rpc.Method, id uint64, ch chan response, deadline time.Ti
 			putBuf(resp.payload)
 			return err
 		}
+		if cons.own != nil {
+			if cerr := cons.own(resp.payload, body); cerr != nil {
+				putBuf(resp.payload)
+				return cerr
+			}
+			return nil // frame ownership transferred to the consumer
+		}
 		var cerr error
-		if consume != nil {
-			cerr = consume(body)
+		if cons.fn != nil {
+			cerr = cons.fn(body)
 		}
 		putBuf(resp.payload)
 		return cerr
@@ -365,6 +375,8 @@ func (cl *Client) Register() error {
 			if r.HasShard {
 				shard = int64(r.Shard)
 			}
+			// Adopt the server's advertised async credit window.
+			cl.node.setPeerCredits(a, r.Credits)
 			return nil
 		}, cl.mutOpts())
 		if err != nil {
@@ -421,7 +433,15 @@ func (cl *Client) heartbeatLoop(i int, interval time.Duration) {
 		case <-tick.C:
 			opts := idemOpts()
 			opts.Timeout = interval
-			err := cl.node.CallConsumeOpts(addr, dmwire.MHeartbeat, req, nil, nil, opts)
+			err := cl.node.CallConsumeOpts(addr, dmwire.MHeartbeat, req, nil, func(resp []byte) error {
+				r, err := dmwire.UnmarshalHeartbeatResp(resp)
+				if err != nil {
+					return err
+				}
+				// Refresh the async credit window from the renewal.
+				cl.node.setPeerCredits(addr, r.Credits)
+				return nil
+			}, opts)
 			if err == nil {
 				cl.hbFails[i].Store(0)
 				continue
@@ -477,6 +497,14 @@ type Stats struct {
 	// HeartbeatFailures counts failed lease renewals, cumulatively
 	// (SessionHealth reports the resetting per-server consecutive count).
 	HeartbeatFailures int64
+	// CreditWaits counts async submissions that had to block for a
+	// session credit; a climbing rate means the in-flight window, not
+	// the wire, is the bottleneck.
+	CreditWaits int64
+	// CreditSheds counts async submissions shed with ErrCredits because
+	// the credit window stayed exhausted for their whole attempt
+	// deadline — the bounded-queueing response to a stalled server.
+	CreditSheds int64
 }
 
 // Stats snapshots the client's cumulative call counters. Counters only
@@ -486,6 +514,15 @@ func (cl *Client) Stats() Stats {
 	s.HeartbeatFailures = cl.hbTotal.Load()
 	return s
 }
+
+// Latency summarizes the client's per-op latency distribution
+// (submission to completion, retries included; sync and async ops, in
+// nanoseconds).
+func (cl *Client) Latency() stats.Summary { return cl.node.Latency() }
+
+// LatencyHistogram snapshots the client's per-op latency histogram, for
+// merging across clients or custom quantiles.
+func (cl *Client) LatencyHistogram() *stats.Histogram { return cl.node.LatencyHistogram() }
 
 // server picks the pool entry for index i.
 func (cl *Client) server(i int) (string, uint32, error) {
@@ -610,6 +647,21 @@ func (cl *Client) FreeRef(ref dm.Ref) error {
 	return cl.node.CallConsumeOpts(srv, dmwire.MFreeRef, dmwire.FreeRefReq{Key: ref.Key}.Marshal(), nil, nil, cl.mutOpts())
 }
 
+// checkWireRange validates that off and size fit the protocol's u32
+// fields before they are narrowed — the failure mode it prevents is a
+// silently truncated offset or length corrupting the request into a
+// well-formed read/write of the wrong range. The error wraps
+// dm.ErrOutOfRange so callers can errors.Is it like any server-side
+// range violation.
+func checkWireRange(op string, off, size int64) error {
+	if off < 0 || off > maxWireU32 || size < 0 || size > maxWireU32 {
+		return fmt.Errorf("live: %s off=%d len=%d exceeds wire range: %w", op, off, size, dm.ErrOutOfRange)
+	}
+	return nil
+}
+
+const maxWireU32 = int64(^uint32(0))
+
 // Write stores src at addr (rwrite). The payload is written to the socket
 // straight from src — no marshal copy. Writing the same bytes twice is
 // harmless, so retries treat it as idempotent.
@@ -617,6 +669,9 @@ func (cl *Client) Write(addr dm.RemoteAddr, src []byte) error {
 	idx, raw := splitAddr(addr)
 	srv, pid, err := cl.server(idx)
 	if err != nil {
+		return err
+	}
+	if err := checkWireRange("write", 0, int64(len(src))); err != nil {
 		return err
 	}
 	return cl.node.CallConsumeOpts(srv, dmwire.MWrite, dmwire.WriteReq{PID: pid, Addr: raw}.MarshalHdr(), src, nil, idemOpts())
@@ -630,6 +685,9 @@ func (cl *Client) Read(addr dm.RemoteAddr, dst []byte) error {
 	if err != nil {
 		return err
 	}
+	if err := checkWireRange("read", 0, int64(len(dst))); err != nil {
+		return err
+	}
 	return cl.node.CallConsumeOpts(srv, dmwire.MRead,
 		dmwire.ReadReq{PID: pid, Addr: raw, Size: uint32(len(dst))}.Marshal(), nil,
 		func(resp []byte) error {
@@ -639,6 +697,34 @@ func (cl *Client) Read(addr dm.RemoteAddr, dst []byte) error {
 			copy(dst, resp)
 			return nil
 		}, idemOpts())
+}
+
+// ReadLease is Read without the final copy: it loads size bytes from
+// addr and leases the caller the pooled response frame itself as a Buf.
+// The caller must Release it exactly once; the bytes are invalid after.
+func (cl *Client) ReadLease(addr dm.RemoteAddr, size int64) (*Buf, error) {
+	idx, raw := splitAddr(addr)
+	srv, pid, err := cl.server(idx)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkWireRange("read", 0, size); err != nil {
+		return nil, err
+	}
+	var out *Buf
+	err = cl.node.callConsumer(srv, dmwire.MRead,
+		dmwire.ReadReq{PID: pid, Addr: raw, Size: uint32(size)}.Marshal(), nil,
+		consumer{own: func(frame, body []byte) error {
+			if int64(len(body)) != size {
+				return fmt.Errorf("live: read returned %d bytes, want %d", len(body), size)
+			}
+			out = newLeasedBuf(frame, body)
+			return nil
+		}}, idemOpts())
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // StageRef stages data into fresh pages in one round trip; data rides the
@@ -662,6 +748,9 @@ func (cl *Client) ReadRef(ref dm.Ref, off int64, dst []byte) error {
 	if err != nil {
 		return err
 	}
+	if err := checkWireRange("readref", off, int64(len(dst))); err != nil {
+		return err
+	}
 	return cl.node.CallConsumeOpts(srv, dmwire.MReadRef,
 		dmwire.ReadRefReq{Key: ref.Key, Off: uint32(off), Size: uint32(len(dst))}.Marshal(), nil,
 		func(resp []byte) error {
@@ -671,4 +760,34 @@ func (cl *Client) ReadRef(ref dm.Ref, off int64, dst []byte) error {
 			copy(dst, resp)
 			return nil
 		}, idemOpts())
+}
+
+// ReadRefLease is ReadRef without the final copy (DESIGN.md §D12): the
+// pooled frame the response arrived in is leased to the caller as a Buf
+// whose Bytes are the read payload. The caller must Release it exactly
+// once — the bytes recycle into the transport's frame pool and are
+// invalid after. On any error (including a failed or timed-out call) no
+// Buf is leased and the transport recycles the frame itself.
+func (cl *Client) ReadRefLease(ref dm.Ref, off, size int64) (*Buf, error) {
+	srv, _, err := cl.server(int(ref.Server))
+	if err != nil {
+		return nil, err
+	}
+	if err := checkWireRange("readref", off, size); err != nil {
+		return nil, err
+	}
+	var out *Buf
+	err = cl.node.callConsumer(srv, dmwire.MReadRef,
+		dmwire.ReadRefReq{Key: ref.Key, Off: uint32(off), Size: uint32(size)}.Marshal(), nil,
+		consumer{own: func(frame, body []byte) error {
+			if int64(len(body)) != size {
+				return fmt.Errorf("live: readref returned %d bytes, want %d", len(body), size)
+			}
+			out = newLeasedBuf(frame, body)
+			return nil
+		}}, idemOpts())
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -1,0 +1,197 @@
+package live
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Credit-based flow control (DESIGN.md §D12), after eRPC's session
+// credits: the server advertises a per-session window of in-flight
+// asynchronous calls at register time and refreshes it with every
+// heartbeat; the client's async submission paths (CallAsync and
+// everything built on it — StageRefAsync, WriteAsync, ReadRefAsync,
+// chain pipelining) acquire one credit per call and return it when the
+// call completes. A stalled or overloaded server therefore degrades to
+// bounded queueing — the pending map and the frames behind it can never
+// exceed the credit window — instead of unbounded client memory growth.
+//
+// Synchronous calls and heartbeats bypass the gate: their in-flight
+// count is already bounded by caller concurrency, and gating lease
+// renewals behind data-path congestion would let an overload kill the
+// session it is trying to protect.
+
+// DefaultSessionCredits is the default per-session async credit window,
+// used by servers that don't configure SessionCredits and by clients
+// before any server advertisement arrives.
+const DefaultSessionCredits = 256
+
+// ErrCredits reports an asynchronous submission shed because the
+// session's credit window stayed exhausted for the whole attempt
+// deadline. It is deliberately NOT transient: a retry would re-enter the
+// same full window (or worse, bypass the gate via the retry path), so
+// the caller must slow down instead.
+var ErrCredits = errors.New("live: session credit window exhausted")
+
+// creditGate is one peer session's credit window. Waiters park on
+// per-waiter buffered channels (sync.Cond has no timed wait); a channel
+// is signaled exactly once, at the moment it is popped off the waiter
+// list, so a timed-out waiter that was concurrently signaled can detect
+// the race and pass the wake on rather than losing it.
+type creditGate struct {
+	mu      sync.Mutex
+	limit   int
+	used    int
+	waiters []chan struct{}
+}
+
+func newCreditGate(limit int) *creditGate { return &creditGate{limit: limit} }
+
+// acquire takes one credit, blocking while the window is exhausted.
+// deadline (zero = unbounded) caps the wait; expiry sheds the submission
+// with ErrCredits. waited reports whether the caller had to block.
+func (g *creditGate) acquire(deadline time.Time) (waited bool, err error) {
+	g.mu.Lock()
+	for g.used >= g.limit {
+		waited = true
+		ch := make(chan struct{}, 1)
+		g.waiters = append(g.waiters, ch)
+		g.mu.Unlock()
+		var timeC <-chan time.Time
+		var timer *time.Timer
+		if !deadline.IsZero() {
+			timer = time.NewTimer(time.Until(deadline))
+			timeC = timer.C
+		}
+		select {
+		case <-ch:
+			if timer != nil {
+				timer.Stop()
+			}
+			g.mu.Lock()
+		case <-timeC:
+			g.mu.Lock()
+			if !g.removeLocked(ch) {
+				// Signaled between timer fire and lock: the wake must not
+				// be lost with this waiter giving up, so pass it on.
+				g.wakeLocked()
+			}
+			g.mu.Unlock()
+			return waited, ErrCredits
+		}
+	}
+	g.used++
+	g.mu.Unlock()
+	return waited, nil
+}
+
+// release returns one credit and wakes one waiter.
+func (g *creditGate) release() {
+	g.mu.Lock()
+	if g.used > 0 {
+		g.used--
+	}
+	g.wakeLocked()
+	g.mu.Unlock()
+}
+
+// setLimit resizes the window (a fresh server advertisement). Growing it
+// wakes every waiter to re-check; shrinking it simply lets in-flight
+// calls drain below the new bound.
+func (g *creditGate) setLimit(n int) {
+	if n <= 0 {
+		return
+	}
+	g.mu.Lock()
+	grew := n > g.limit
+	g.limit = n
+	if grew {
+		for len(g.waiters) > 0 {
+			g.wakeLocked()
+		}
+	}
+	g.mu.Unlock()
+}
+
+// inUse reports the credits currently held (tests, monitoring).
+func (g *creditGate) inUse() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.used
+}
+
+// wakeLocked pops the oldest waiter and signals it; caller holds mu.
+// Each waiter channel is signaled at most once (it leaves the list
+// here), so the buffered send can never block.
+func (g *creditGate) wakeLocked() {
+	if len(g.waiters) == 0 {
+		return
+	}
+	ch := g.waiters[0]
+	n := copy(g.waiters, g.waiters[1:])
+	g.waiters[n] = nil
+	g.waiters = g.waiters[:n]
+	ch <- struct{}{}
+}
+
+// removeLocked deletes ch from the waiter list, reporting whether it was
+// still there (false means it was already popped and signaled).
+func (g *creditGate) removeLocked(ch chan struct{}) bool {
+	for i, w := range g.waiters {
+		if w == ch {
+			n := copy(g.waiters[i:], g.waiters[i+1:])
+			g.waiters[i+n] = nil
+			g.waiters = g.waiters[:i+n]
+			return true
+		}
+	}
+	return false
+}
+
+// gateFor returns addr's credit gate, creating it at the configured
+// default limit on first use; nil when crediting is disabled
+// (AsyncCredits < 0).
+func (n *Node) gateFor(addr string) *creditGate {
+	if n.cfg.AsyncCredits < 0 {
+		return nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g, ok := n.credits[addr]
+	if !ok {
+		g = newCreditGate(n.cfg.AsyncCredits)
+		n.credits[addr] = g
+	}
+	return g
+}
+
+// setPeerCredits applies a server-advertised credit window for addr
+// (register/heartbeat responses). Zero means "no advertisement" and
+// leaves the configured limit in place.
+func (n *Node) setPeerCredits(addr string, credits uint32) {
+	if credits == 0 {
+		return
+	}
+	if g := n.gateFor(addr); g != nil {
+		g.setLimit(int(credits))
+	}
+}
+
+// PendingCalls reports the number of request frames awaiting responses
+// across every outbound connection — the quantity the credit window
+// bounds under overload (tests assert PendingCalls <= the window).
+func (n *Node) PendingCalls() int {
+	n.mu.Lock()
+	peers := make([]*conn, 0, len(n.peers))
+	for _, c := range n.peers {
+		peers = append(peers, c)
+	}
+	n.mu.Unlock()
+	total := 0
+	for _, c := range peers {
+		c.pmu.Lock()
+		total += len(c.pending)
+		c.pmu.Unlock()
+	}
+	return total
+}

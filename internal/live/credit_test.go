@@ -1,0 +1,331 @@
+package live
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+// TestCreditGateBasics covers the window mechanics: acquisition up to the
+// limit, blocking past it, release waking a waiter, and deadline sheds.
+func TestCreditGateBasics(t *testing.T) {
+	g := newCreditGate(2)
+	for i := 0; i < 2; i++ {
+		waited, err := g.acquire(time.Time{})
+		if waited || err != nil {
+			t.Fatalf("acquire %d under the limit: waited=%v err=%v", i, waited, err)
+		}
+	}
+	if got := g.inUse(); got != 2 {
+		t.Fatalf("inUse = %d, want 2", got)
+	}
+
+	// A full window sheds at the deadline with ErrCredits.
+	waited, err := g.acquire(time.Now().Add(30 * time.Millisecond))
+	if !waited || !errors.Is(err, ErrCredits) {
+		t.Fatalf("acquire on full window = waited=%v err=%v, want waited ErrCredits", waited, err)
+	}
+
+	// A release hands the credit to a parked waiter.
+	got := make(chan error, 1)
+	go func() {
+		_, err := g.acquire(time.Now().Add(5 * time.Second))
+		got <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter park
+	g.release()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("waiter after release: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("release did not wake the waiter")
+	}
+	if got := g.inUse(); got != 2 {
+		t.Fatalf("inUse after hand-off = %d, want 2", got)
+	}
+}
+
+// TestCreditGateSetLimitGrowthWakesWaiters: a larger server advertisement
+// must admit every parked waiter that now fits.
+func TestCreditGateSetLimitGrowthWakesWaiters(t *testing.T) {
+	g := newCreditGate(1)
+	if _, err := g.acquire(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	const parked = 3
+	errs := make(chan error, parked)
+	for i := 0; i < parked; i++ {
+		go func() {
+			_, err := g.acquire(time.Now().Add(5 * time.Second))
+			errs <- err
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	g.setLimit(1 + parked)
+	for i := 0; i < parked; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatalf("waiter %d after growth: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("setLimit growth left a waiter parked")
+		}
+	}
+	if got := g.inUse(); got != 1+parked {
+		t.Fatalf("inUse = %d, want %d", got, 1+parked)
+	}
+	// Shrinking never strands state: in-flight simply drains below it.
+	g.setLimit(2)
+	for i := 0; i < 1+parked; i++ {
+		g.release()
+	}
+	if got := g.inUse(); got != 0 {
+		t.Fatalf("inUse after drain = %d, want 0", got)
+	}
+}
+
+// TestCreditGateStress hammers acquire/release with short random-ish
+// deadlines from many goroutines; under -race this exercises the
+// timeout-versus-wake signal race, and afterwards the gate must be
+// exactly quiescent (no held credits, no stranded waiters, no lost
+// wakes).
+func TestCreditGateStress(t *testing.T) {
+	g := newCreditGate(4)
+	var wg sync.WaitGroup
+	var sheds atomic.Int64
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				// Stagger deadlines so some expire exactly as releases land.
+				d := time.Duration(w%5) * 100 * time.Microsecond
+				if _, err := g.acquire(time.Now().Add(d)); err != nil {
+					sheds.Add(1)
+					continue
+				}
+				runtime.Gosched()
+				g.release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := g.inUse(); got != 0 {
+		t.Fatalf("inUse after stress = %d, want 0", got)
+	}
+	g.mu.Lock()
+	stranded := len(g.waiters)
+	g.mu.Unlock()
+	if stranded != 0 {
+		t.Fatalf("%d waiters stranded after stress", stranded)
+	}
+	// A lost wake would show up here as a spurious block.
+	if waited, err := g.acquire(time.Now().Add(time.Second)); waited || err != nil {
+		t.Fatalf("quiescent gate acquire: waited=%v err=%v", waited, err)
+	}
+}
+
+// TestAsyncCreditWindowBoundsPending is the flow-control acceptance test:
+// against a server whose handler stalls, a client with a 4-credit window
+// that submits 16 async calls must never hold more than 4 request frames
+// in flight, must record the blocked submissions as credit waits, and
+// must complete everything once the server drains.
+func TestAsyncCreditWindowBoundsPending(t *testing.T) {
+	const window = 4
+	const calls = 16
+	srv := NewNode()
+	release := make(chan struct{})
+	srv.Handle(rpc.Method(0x0500), func(net.Addr, []byte) ([]byte, error) {
+		<-release
+		return []byte("ok"), nil
+	})
+	addr := startNode(t, srv)
+
+	ccfg := DefaultNodeConfig()
+	ccfg.AsyncCredits = window
+	ccfg.CallTimeout = 30 * time.Second
+	ccfg.AttemptTimeout = 30 * time.Second
+	cl := NewNodeWith(ccfg)
+	defer cl.Close()
+
+	errs := make(chan error, calls)
+	var wg sync.WaitGroup
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := cl.CallAsync(addr, rpc.Method(0x0500), nil, nil, CallOpts{})
+			errs <- p.Wait(nil)
+		}()
+	}
+
+	// Wait for the window to saturate, then confirm the bound holds: the
+	// pending map can never exceed the credit window no matter how many
+	// submissions are queued behind it.
+	deadline := time.Now().Add(5 * time.Second)
+	for cl.PendingCalls() < window && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 20; i++ {
+		if got := cl.PendingCalls(); got > window {
+			t.Fatalf("pending calls = %d, exceeds credit window %d", got, window)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if g := cl.gateFor(addr); g.inUse() != window {
+		t.Fatalf("credits in use = %d during stall, want %d", g.inUse(), window)
+	}
+
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("async call after drain: %v", err)
+		}
+	}
+	if g := cl.gateFor(addr); g.inUse() != 0 {
+		t.Fatalf("credits in use after drain = %d, want 0", g.inUse())
+	}
+	if got := cl.PendingCalls(); got != 0 {
+		t.Fatalf("pending calls after drain = %d, want 0", got)
+	}
+	// The queued submissions had to block; the waits only count once
+	// acquire returns, so assert after the drain.
+	if waits := cl.ops.creditWaits.Load(); waits == 0 {
+		t.Fatal("no credit waits recorded despite a saturated window")
+	}
+}
+
+// TestAsyncCreditShedOnStall: when the window stays exhausted for the
+// whole attempt budget, queued submissions shed with ErrCredits (counted
+// as sheds), the bound still holds, and no goroutines leak.
+func TestAsyncCreditShedOnStall(t *testing.T) {
+	const window = 2
+	srv := NewNode()
+	release := make(chan struct{})
+	srv.Handle(rpc.Method(0x0501), func(net.Addr, []byte) ([]byte, error) {
+		<-release
+		return []byte("ok"), nil
+	})
+	addr := startNode(t, srv)
+	defer close(release)
+
+	runtime.GC()
+	before := runtime.NumGoroutine()
+
+	ccfg := DefaultNodeConfig()
+	ccfg.AsyncCredits = window
+	ccfg.CallTimeout = 30 * time.Second // occupiers must outlive the sheds
+	ccfg.AttemptTimeout = 30 * time.Second
+	cl := NewNodeWith(ccfg)
+
+	// Fill the window; the futures are not waited yet, so their credits
+	// stay held for the duration of the stall.
+	occupiers := make([]*Pending, window)
+	for i := range occupiers {
+		occupiers[i] = cl.CallAsync(addr, rpc.Method(0x0501), nil, nil, CallOpts{})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for cl.PendingCalls() < window && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Late submissions get a short budget of their own and must shed.
+	const late = 4
+	shedErrs := make(chan error, late)
+	for i := 0; i < late; i++ {
+		go func() {
+			p := cl.CallAsync(addr, rpc.Method(0x0501), nil, nil,
+				CallOpts{Timeout: 100 * time.Millisecond})
+			shedErrs <- p.Wait(nil)
+		}()
+	}
+	for i := 0; i < late; i++ {
+		select {
+		case err := <-shedErrs:
+			if !errors.Is(err, ErrCredits) {
+				t.Fatalf("stalled-window submission = %v, want ErrCredits", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("shed did not happen within the attempt budget")
+		}
+	}
+	if got := cl.PendingCalls(); got > window {
+		t.Fatalf("pending calls = %d, exceeds credit window %d", got, window)
+	}
+	if sheds := cl.ops.creditSheds.Load(); sheds < late {
+		t.Fatalf("credit sheds = %d, want >= %d", sheds, late)
+	}
+
+	// Drain: the handler completes the occupiers and everything unwinds.
+	release <- struct{}{}
+	release <- struct{}{}
+	for _, p := range occupiers {
+		if err := p.Wait(nil); err != nil {
+			t.Fatalf("occupier after drain: %v", err)
+		}
+	}
+	cl.Close()
+
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= before+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerAdvertisedCreditsAdoptedAtRegister: the session window the
+// server advertises in its register response resizes the client's gate.
+func TestServerAdvertisedCreditsAdoptedAtRegister(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SessionCredits = 8
+	_, addr := startServer(t, cfg)
+	cl := dialClient(t, addr)
+	g := cl.node.gateFor(addr)
+	if g == nil {
+		t.Fatal("no credit gate after register")
+	}
+	g.mu.Lock()
+	limit := g.limit
+	g.mu.Unlock()
+	if limit != 8 {
+		t.Fatalf("credit limit after register = %d, want the advertised 8", limit)
+	}
+}
+
+// TestServerCreditAdvertisementDisabled: a server with SessionCredits < 0
+// advertises nothing, so the client keeps its configured default.
+func TestServerCreditAdvertisementDisabled(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SessionCredits = -1
+	_, addr := startServer(t, cfg)
+	cl := dialClient(t, addr)
+	g := cl.node.gateFor(addr)
+	if g == nil {
+		t.Fatal("no credit gate after register")
+	}
+	g.mu.Lock()
+	limit := g.limit
+	g.mu.Unlock()
+	if limit != DefaultSessionCredits {
+		t.Fatalf("credit limit = %d, want the client default %d", limit, DefaultSessionCredits)
+	}
+}

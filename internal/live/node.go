@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/dmwire"
 	"repro/internal/rpc"
+	"repro/internal/stats"
 )
 
 // Handler processes one request body and returns the response body. It
@@ -79,23 +80,40 @@ type NodeConfig struct {
 	// up to four times this before enqueuers block (backpressure).
 	// 0 uses DefaultCoalesceBatchBytes.
 	CoalesceBatchBytes int
+	// CoalesceSpin caps the adaptive spin-then-flush window: when the
+	// observed submission rate is high (EWMA of the inter-enqueue gap at
+	// or below this value), the flusher lingers up to min(8×gap, this)
+	// before committing, letting a burst coalesce into one vectored
+	// write. Idle and low-rate connections never spin, preserving the
+	// inline fast path. 0 uses DefaultCoalesceSpin; negative disables the
+	// spin (flush-immediately, the pre-adaptive behaviour).
+	CoalesceSpin time.Duration
+	// AsyncCredits is the client-side default for the per-peer credit
+	// window bounding in-flight asynchronous calls; servers override it
+	// per session via register/heartbeat advertisements. Async
+	// submissions past the window block (or shed with ErrCredits at
+	// their attempt deadline). 0 uses DefaultSessionCredits; negative
+	// disables credit gating entirely.
+	AsyncCredits int
 }
 
 // DefaultNodeConfig returns the production defaults described per field.
 func DefaultNodeConfig() NodeConfig {
 	return NodeConfig{
-		MaxFrameSize:    DefaultMaxFrameSize,
-		MaxSlowPerConn:  64,
-		WriteTimeout:    30 * time.Second,
-		CallTimeout:     15 * time.Second,
-		AttemptTimeout:  3 * time.Second,
-		DialTimeout:     3 * time.Second,
-		MaxRetries:      3,
-		RetryBackoff:    5 * time.Millisecond,
-		RetryBackoffMax: 500 * time.Millisecond,
-		DedupRetention:  60 * time.Second,
+		MaxFrameSize:       DefaultMaxFrameSize,
+		MaxSlowPerConn:     64,
+		WriteTimeout:       30 * time.Second,
+		CallTimeout:        15 * time.Second,
+		AttemptTimeout:     3 * time.Second,
+		DialTimeout:        3 * time.Second,
+		MaxRetries:         3,
+		RetryBackoff:       5 * time.Millisecond,
+		RetryBackoffMax:    500 * time.Millisecond,
+		DedupRetention:     60 * time.Second,
 		CoalesceLimit:      DefaultCoalesceLimit,
 		CoalesceBatchBytes: DefaultCoalesceBatchBytes,
+		CoalesceSpin:       DefaultCoalesceSpin,
+		AsyncCredits:       DefaultSessionCredits,
 	}
 }
 
@@ -138,6 +156,12 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	if c.CoalesceBatchBytes == 0 {
 		c.CoalesceBatchBytes = d.CoalesceBatchBytes
 	}
+	if c.CoalesceSpin == 0 {
+		c.CoalesceSpin = d.CoalesceSpin
+	}
+	if c.AsyncCredits == 0 {
+		c.AsyncCredits = d.AsyncCredits
+	}
 	return c
 }
 
@@ -149,6 +173,7 @@ func (c NodeConfig) batchConfig() batchWriterConfig {
 		batchBytes:   c.CoalesceBatchBytes,
 		queueBytes:   4 * c.CoalesceBatchBytes,
 		writeTimeout: c.WriteTimeout,
+		spin:         c.CoalesceSpin,
 	}
 }
 
@@ -169,20 +194,40 @@ type Node struct {
 	dedup    dedupTable
 	wstats   writeStats
 	ops      opStats
+	credits  map[string]*creditGate // per-peer async credit windows
+	lat      stats.AtomicHistogram  // per-call latency, ns, sync + async
 }
 
 // WriteStats snapshots the node's wire-write counters, aggregated across
-// every connection (outbound and serving) it has owned.
+// every connection (outbound and serving) it has owned. The group-commit
+// derivatives (CoalescedFrames, GroupCommitFactor) are computed here so
+// readers get them consistently instead of re-deriving them.
 func (n *Node) WriteStats() WriteStats {
-	return WriteStats{
+	ws := WriteStats{
 		Frames:        n.wstats.frames.Load(),
 		Batches:       n.wstats.batches.Load(),
 		InlineFrames:  n.wstats.inline.Load(),
 		DirectFrames:  n.wstats.direct.Load(),
 		Bytes:         n.wstats.bytes.Load(),
 		DroppedFrames: n.wstats.dropped.Load(),
+		SpinBatches:   n.wstats.spins.Load(),
+		QueueFrames:   n.wstats.qframes.Load(),
+		QueueBytes:    n.wstats.qbytes.Load(),
 	}
+	ws.CoalescedFrames = ws.Frames - ws.InlineFrames - ws.DirectFrames
+	if ws.Batches > 0 {
+		ws.GroupCommitFactor = float64(ws.CoalescedFrames) / float64(ws.Batches)
+	}
+	return ws
 }
+
+// Latency summarizes the node's per-call latency distribution
+// (submission to completion, retries included; sync and async calls).
+func (n *Node) Latency() stats.Summary { return n.lat.Summarize() }
+
+// LatencyHistogram snapshots the node's per-call latency histogram for
+// merging or custom quantiles.
+func (n *Node) LatencyHistogram() *stats.Histogram { return n.lat.Snapshot() }
 
 // NewNode returns an empty node with default configuration; register
 // handlers, then Serve and/or Call.
@@ -195,6 +240,7 @@ func NewNodeWith(cfg NodeConfig) *Node {
 		peers:   make(map[string]*conn),
 		inbound: make(map[net.Conn]struct{}),
 		closed:  make(chan struct{}),
+		credits: make(map[string]*creditGate),
 	}
 	n.dedup.retention = n.cfg.DedupRetention
 	empty := make(map[rpc.Method]handlerEntry)

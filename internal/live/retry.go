@@ -45,17 +45,41 @@ func isTransient(err error) bool {
 		errors.Is(err, os.ErrDeadlineExceeded)
 }
 
+// consumer is how a call's response body is delivered internally. At
+// most one of the two fields is set. fn borrows the body for the
+// duration of the callback; the transport recycles the frame afterwards
+// (the copying paths). own receives the whole pooled frame (raw) plus
+// the body view into it and, by returning nil, takes ownership of raw —
+// the transport then never recycles it, and the new owner must (the
+// zero-copy lease paths, via Buf.Release). A non-nil return from own
+// declines ownership and the transport recycles the frame as usual.
+type consumer struct {
+	fn  func(resp []byte) error
+	own func(raw, body []byte) error
+}
+
 // CallConsumeOpts is CallConsume with explicit failure-behaviour options:
 // an overall deadline spanning every attempt, per-attempt timeouts so a
 // stalled server cannot absorb the whole budget, and — for idempotent or
 // dedup-tokened calls — exponential-backoff retries over the node's
 // reconnect path. consume runs at most once, on the successful attempt.
 func (n *Node) CallConsumeOpts(addr string, m rpc.Method, hdr, payload []byte, consume func(resp []byte) error, opts CallOpts) error {
+	return n.callConsumer(addr, m, hdr, payload, consumer{fn: consume}, opts)
+}
+
+// callConsumer is the consumer-typed core of CallConsumeOpts; the lease
+// paths reach it directly with an owning consumer. Every synchronous
+// call's submission-to-completion latency (retries included) lands in
+// the node's histogram here.
+func (n *Node) callConsumer(addr string, m rpc.Method, hdr, payload []byte, cons consumer, opts CallOpts) error {
+	start := time.Now()
 	deadline := n.overallDeadline(opts)
 	attempt := func() error {
-		return n.attempt(addr, m, hdr, payload, consume, deadline, opts.Token)
+		return n.attempt(addr, m, hdr, payload, cons, deadline, opts.Token)
 	}
-	return n.withRetries(opts, deadline, attempt, attempt)
+	err := n.withRetries(opts, deadline, attempt, attempt)
+	n.lat.Record(time.Since(start).Nanoseconds())
+	return err
 }
 
 // overallDeadline resolves opts into the deadline spanning every attempt
@@ -92,6 +116,8 @@ type opStats struct {
 	retries      atomic.Int64
 	tokenRetries atomic.Int64
 	failures     atomic.Int64
+	creditWaits  atomic.Int64
+	creditSheds  atomic.Int64
 }
 
 // snapshot reads the counters into the exported Stats form (the
@@ -102,6 +128,8 @@ func (o *opStats) snapshot() Stats {
 		Retries:      o.retries.Load(),
 		DedupReplays: o.tokenRetries.Load(),
 		Failures:     o.failures.Load(),
+		CreditWaits:  o.creditWaits.Load(),
+		CreditSheds:  o.creditSheds.Load(),
 	}
 }
 
@@ -154,11 +182,11 @@ func (n *Node) withRetries(opts CallOpts, deadline time.Time, first, again func(
 
 // attempt performs one request/response exchange, bounded by the sooner
 // of the overall deadline and the per-attempt timeout.
-func (n *Node) attempt(addr string, m rpc.Method, hdr, payload []byte, consume func(resp []byte) error, deadline time.Time, tok dmwire.Token) error {
+func (n *Node) attempt(addr string, m rpc.Method, hdr, payload []byte, cons consumer, deadline time.Time, tok dmwire.Token) error {
 	ad := n.attemptDeadline(deadline)
 	c, err := n.peer(addr, ad)
 	if err != nil {
 		return err
 	}
-	return c.call(m, hdr, payload, consume, ad, tok)
+	return c.call(m, hdr, payload, cons, ad, tok)
 }

@@ -147,13 +147,23 @@ type ServerConfig struct {
 	// (0 = default 64). The DM ops themselves are fast handlers; this
 	// guards extra Handle-registered methods.
 	MaxSlowPerConn int
-	// CoalesceLimit / CoalesceBatchBytes tune the per-connection response
-	// coalescing writer (NodeConfig fields of the same names): frames up
-	// to CoalesceLimit bytes are group-committed in vectored writes capped
-	// at CoalesceBatchBytes. 0 = defaults; negative CoalesceLimit disables
-	// coalescing (per-frame writes, the pre-batching behaviour).
+	// CoalesceLimit / CoalesceBatchBytes / CoalesceSpin tune the
+	// per-connection response coalescing writer (NodeConfig fields of the
+	// same names): frames up to CoalesceLimit bytes are group-committed
+	// in vectored writes capped at CoalesceBatchBytes, with an adaptive
+	// spin-then-flush window capped at CoalesceSpin. 0 = defaults;
+	// negative CoalesceLimit disables coalescing (per-frame writes, the
+	// pre-batching behaviour); negative CoalesceSpin disables the spin.
 	CoalesceLimit      int
 	CoalesceBatchBytes int
+	CoalesceSpin       time.Duration
+	// SessionCredits is the per-session window of in-flight asynchronous
+	// calls advertised to every client at register time and refreshed on
+	// each heartbeat (credit-based flow control, DESIGN.md §D12). Clients
+	// honoring it bound their pending maps to this many calls per
+	// session. 0 advertises DefaultSessionCredits; negative advertises
+	// nothing (clients fall back to their own configured window).
+	SessionCredits int
 	// HasShard / ShardID announce this server's cluster-wide shard identity
 	// in every register response, so pool clients can verify that the server
 	// they dialed is the shard their ring expects. Unset (the zero value)
@@ -290,6 +300,7 @@ func NewServer(cfg ServerConfig) *Server {
 			MaxSlowPerConn:     cfg.MaxSlowPerConn,
 			CoalesceLimit:      cfg.CoalesceLimit,
 			CoalesceBatchBytes: cfg.CoalesceBatchBytes,
+			CoalesceSpin:       cfg.CoalesceSpin,
 		}),
 		reaperStop: make(chan struct{}),
 		reaperDone: make(chan struct{}),
@@ -479,6 +490,19 @@ func (s *Server) leaseMillis() uint32 {
 	return uint32(s.cfg.LeaseTTL / time.Millisecond)
 }
 
+// sessionCredits is the advertised async credit window on the wire
+// (0 = no advertisement).
+func (s *Server) sessionCredits() uint32 {
+	switch {
+	case s.cfg.SessionCredits > 0:
+		return uint32(s.cfg.SessionCredits)
+	case s.cfg.SessionCredits == 0:
+		return DefaultSessionCredits
+	default:
+		return 0
+	}
+}
+
 func (s *Server) register() ([]byte, error) {
 	pid := s.nextPID.Add(1) - 1
 	ps := &pidState{va: dm.NewVAAllocator(s.cfg.PageSize, 1<<16, 1<<40)}
@@ -493,6 +517,7 @@ func (s *Server) register() ([]byte, error) {
 		LeaseMillis: s.leaseMillis(),
 		HasShard:    s.cfg.HasShard,
 		Shard:       s.cfg.ShardID,
+		Credits:     s.sessionCredits(),
 	}.Marshal(), nil
 }
 
@@ -515,7 +540,7 @@ func (s *Server) heartbeat(body []byte) ([]byte, error) {
 	if s.cfg.LeaseTTL > 0 {
 		ps.renewLease(s.cfg.LeaseTTL)
 	}
-	return dmwire.HeartbeatResp{LeaseMillis: s.leaseMillis()}.Marshal(), nil
+	return dmwire.HeartbeatResp{LeaseMillis: s.leaseMillis(), Credits: s.sessionCredits()}.Marshal(), nil
 }
 
 func (s *Server) pidState(pid uint32) (*pidState, error) {

@@ -51,6 +51,15 @@ type LocatedDM interface {
 	LocatedRefs() bool
 }
 
+// BufDM marks a DM backend with a zero-copy read path: ReadRefLease
+// hands back the transport's pooled response frame as a refcounted
+// live.Buf instead of copying into a caller buffer. Satisfied by
+// *live.Client and *pool.Client; FetchLease uses it when available.
+type BufDM interface {
+	DM
+	ReadRefLease(ref dm.Ref, off, size int64) (*live.Buf, error)
+}
+
 // normDM collapses typed-nil backend pointers to a nil interface, so
 // call sites holding a nil *live.Client keep getting the inline-only
 // behaviour (errNoDM on ref ops) instead of a nil-pointer panic.
@@ -202,6 +211,17 @@ func (c *Caller) Stage(data []byte) (Payload, error) {
 // mapping) into a fresh buffer.
 func (c *Caller) Fetch(p Payload) ([]byte, error) {
 	return fetch(c.dm, p)
+}
+
+// FetchLease materializes a payload as a leased buffer (DESIGN.md §D12):
+// ref payloads read through a zero-copy BufDM backend arrive in the
+// transport's pooled response frame with no final copy; the caller must
+// Release the Buf exactly once. Inline payloads are wrapped without
+// copying and still alias their transport buffer — treat them with
+// Fetch's inline lifetime rules. Non-BufDM backends fall back to a
+// copying read delivered under the same Buf contract.
+func (c *Caller) FetchLease(p Payload) (*live.Buf, error) {
+	return fetchLease(c.dm, p)
 }
 
 // Release drops a staged payload's ref hold. Inline payloads are no-ops.
@@ -425,6 +445,10 @@ func (c *Ctx) Stage(data []byte) (Payload, error) { return c.Svc.caller.Stage(da
 // Fetch materializes a payload at this service (see Caller.Fetch).
 func (c *Ctx) Fetch(p Payload) ([]byte, error) { return fetch(c.Svc.caller.dm, p) }
 
+// FetchLease materializes a payload at this service as a leased buffer
+// (see Caller.FetchLease); the caller must Release it exactly once.
+func (c *Ctx) FetchLease(p Payload) (*live.Buf, error) { return fetchLease(c.Svc.caller.dm, p) }
+
 // Release drops a staged payload's ref hold (see Caller.Release).
 func (c *Ctx) Release(p Payload) error { return release(c.Svc.caller.dm, p) }
 
@@ -492,6 +516,27 @@ func fetch(dmc DM, p Payload) ([]byte, error) {
 		return nil, err
 	}
 	return buf, nil
+}
+
+// fetchLease reads a payload as a leased live.Buf: inline bytes wrapped
+// as-is (aliased), refs through the backend's zero-copy ReadRefLease
+// when it has one, else a copying ReadRef bridged into the same
+// ownership contract.
+func fetchLease(dmc DM, p Payload) (*live.Buf, error) {
+	if !p.IsRef() {
+		return live.WrapBuf(p.Inline()), nil
+	}
+	if err := checkRefBackend(dmc, p); err != nil {
+		return nil, err
+	}
+	if bd, ok := dmc.(BufDM); ok {
+		return bd.ReadRefLease(p.Ref(), 0, p.Size())
+	}
+	buf := make([]byte, p.Size())
+	if err := dmc.ReadRef(p.Ref(), 0, buf); err != nil {
+		return nil, err
+	}
+	return live.WrapBuf(buf), nil
 }
 
 // release drops a ref payload's hold.

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dm"
 	"repro/internal/live"
+	"repro/internal/stats"
 )
 
 // Config describes a shard cluster.
@@ -254,6 +255,8 @@ func (p *Client) Stats() live.Stats {
 		sum.DedupReplays += st.DedupReplays
 		sum.Failures += st.Failures
 		sum.HeartbeatFailures += st.HeartbeatFailures
+		sum.CreditWaits += st.CreditWaits
+		sum.CreditSheds += st.CreditSheds
 	}
 	return sum
 }
@@ -264,6 +267,26 @@ func (p *Client) ShardStats() []live.Stats {
 	out := make([]live.Stats, len(p.shards))
 	for i, s := range p.shards {
 		out[i] = s.cl.Stats()
+	}
+	return out
+}
+
+// Latency merges every shard's per-op latency histogram into one
+// cluster-wide percentile summary (nanoseconds).
+func (p *Client) Latency() stats.Summary {
+	merged := &stats.Histogram{}
+	for _, s := range p.shards {
+		merged.Merge(s.cl.LatencyHistogram())
+	}
+	return merged.Summarize()
+}
+
+// ShardLatency returns each shard's own per-op latency summary, indexed
+// by shard ID (dmctl pool stats prints these).
+func (p *Client) ShardLatency() []stats.Summary {
+	out := make([]stats.Summary, len(p.shards))
+	for i, s := range p.shards {
+		out[i] = s.cl.Latency()
 	}
 	return out
 }
@@ -389,4 +412,17 @@ func (p *Client) ReadRef(ref dm.Ref, off int64, dst []byte) error {
 	local := ref
 	local.Server = 0
 	return s.cl.ReadRef(local, off, dst)
+}
+
+// ReadRefLease reads a located ref's snapshot from its shard as a leased
+// zero-copy buffer (live.Client.ReadRefLease); the caller must Release
+// it exactly once.
+func (p *Client) ReadRefLease(ref dm.Ref, off, size int64) (*live.Buf, error) {
+	s, err := p.byID(ref.Server)
+	if err != nil {
+		return nil, err
+	}
+	local := ref
+	local.Server = 0
+	return s.cl.ReadRefLease(local, off, size)
 }

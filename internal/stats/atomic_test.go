@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestAtomicHistogramMatchesHistogram: concurrent lock-free recording
+// must land every sample in the same bucket the locked Histogram uses, so
+// a Snapshot is indistinguishable from sequentially recording the same
+// values.
+func TestAtomicHistogramMatchesHistogram(t *testing.T) {
+	values := []int64{0, 1, 5, 17, 100, 999, 12_345, 1_000_000, 1 << 40}
+	var ah AtomicHistogram
+	ref := &Histogram{}
+	for _, v := range values {
+		ah.Record(v)
+		ref.Record(v)
+	}
+	snap := ah.Snapshot()
+	if snap.total != ref.total || snap.sum != ref.sum || snap.min != ref.min || snap.max != ref.max {
+		t.Fatalf("snapshot totals = %+v, want %+v", snap, ref)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if got, want := snap.Quantile(q), ref.Quantile(q); got != want {
+			t.Fatalf("q%.3f = %d, want %d", q, got, want)
+		}
+	}
+}
+
+// TestAtomicHistogramConcurrent hammers Record from many goroutines and
+// checks nothing is lost: the count, sum, and extrema are exact (they are
+// the atomically-maintained parts), and the percentile summary is sane.
+func TestAtomicHistogramConcurrent(t *testing.T) {
+	const workers = 8
+	const perWorker = 10_000
+	var h AtomicHistogram
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Record(int64(w*perWorker + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const total = workers * perWorker
+	if got := h.Count(); got != total {
+		t.Fatalf("count = %d, want %d", got, total)
+	}
+	snap := h.Snapshot()
+	if want := int64(total) * (total - 1) / 2; snap.sum != want {
+		t.Fatalf("sum = %d, want %d", snap.sum, want)
+	}
+	if snap.min != 0 || snap.max != total-1 {
+		t.Fatalf("extrema = [%d, %d], want [0, %d]", snap.min, snap.max, total-1)
+	}
+	s := h.Summarize()
+	if s.P50 <= 0 || s.P50 >= s.P99 || s.P99 > s.P999 || s.P999 > s.Max {
+		t.Fatalf("percentiles not ordered: %+v", s)
+	}
+	// The log-linear buckets guarantee a relative error bound; p50 of a
+	// uniform 0..79999 distribution must land near 40000.
+	if s.P50 < total/4 || s.P50 > total {
+		t.Fatalf("p50 = %d, wildly off for a uniform 0..%d load", s.P50, total-1)
+	}
+}
+
+// TestAtomicHistogramEmpty: an unused histogram summarizes to zeros
+// rather than garbage (mn/mx hold value+1 internally; 0 means unset).
+func TestAtomicHistogramEmpty(t *testing.T) {
+	var h AtomicHistogram
+	s := h.Summarize()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.P99 != 0 {
+		t.Fatalf("empty summary = %+v, want zeros", s)
+	}
+}

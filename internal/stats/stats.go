@@ -13,6 +13,7 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // subBucketBits controls resolution: each power-of-two range is divided into
@@ -163,6 +164,78 @@ func (h *Histogram) Merge(other *Histogram) {
 
 // Reset discards all samples.
 func (h *Histogram) Reset() { *h = Histogram{} }
+
+// AtomicHistogram is a concurrency-safe Histogram: per-bucket atomic
+// counters sharing Histogram's log-spaced layout, recordable from many
+// goroutines with no lock on the hot path. Quantile math runs on a
+// Snapshot. The zero value is ready to use.
+//
+// Snapshots taken while recorders are active are internally consistent
+// per counter but not across counters (a sample may be visible in total
+// before its bucket, or vice versa) — fine for monitoring and benchmark
+// reporting, which read quiescent or near-quiescent histograms.
+type AtomicHistogram struct {
+	counts [64 * subBuckets]atomic.Int64
+	total  atomic.Int64
+	sum    atomic.Int64
+	// mn/mx hold value+1 so the zero value means "no samples yet".
+	mn atomic.Int64
+	mx atomic.Int64
+}
+
+// Record adds one sample. Negative samples are clamped to zero. Safe for
+// concurrent use.
+func (h *AtomicHistogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.mn.Load()
+		if cur != 0 && cur <= v+1 {
+			break
+		}
+		if h.mn.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+	for {
+		cur := h.mx.Load()
+		if cur >= v+1 {
+			break
+		}
+		if h.mx.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *AtomicHistogram) Count() int64 { return h.total.Load() }
+
+// Snapshot copies the current state into a plain Histogram for quantile
+// estimation and merging.
+func (h *AtomicHistogram) Snapshot() *Histogram {
+	out := &Histogram{}
+	for i := range h.counts {
+		out.counts[i] = h.counts[i].Load()
+	}
+	out.total = h.total.Load()
+	out.sum = h.sum.Load()
+	if mn := h.mn.Load(); mn != 0 {
+		out.min = mn - 1
+		out.hasData = true
+	}
+	if mx := h.mx.Load(); mx != 0 {
+		out.max = mx - 1
+	}
+	return out
+}
+
+// Summarize returns the standard percentile snapshot.
+func (h *AtomicHistogram) Summarize() Summary { return h.Snapshot().Summarize() }
 
 // Summary is a compact snapshot of a histogram.
 type Summary struct {
