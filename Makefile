@@ -52,11 +52,14 @@ bench-live:
 bench-liverpc:
 	$(GO) test -run '^$$' -bench 'BenchmarkLiveRPC' -benchmem ./internal/liverpc | $(GO) run ./cmd/benchjson -out BENCH_liverpc.json
 
-# Sharded-cluster scaling benchmark (weak scaling, 1 -> 2 -> 4 shards):
-# aggregate stage and by-ref read bandwidth plus the ring's remap
-# fraction for the next scale-out step, recorded to BENCH_pool.json.
+# Sharded-cluster scaling and replication benchmarks: weak-scaling stage
+# and by-ref read bandwidth (1 -> 2 -> 4 shards) plus the ring's remap
+# fraction, R=1 vs R=2 stage throughput, and the repair-convergence probe
+# — all recorded to BENCH_pool.json. The repair benchmark must carry its
+# repair-secs / under-replicated-max extras or the run fails, so a
+# repair-path regression cannot slip out of the record.
 bench-pool:
-	$(GO) test -run '^$$' -bench 'BenchmarkPool' -benchtime=2s -benchmem ./internal/pool | $(GO) run ./cmd/benchjson -out BENCH_pool.json
+	$(GO) test -run '^$$' -bench 'BenchmarkPool' -benchtime=2s -benchmem ./internal/pool | $(GO) run ./cmd/benchjson -require-extra 'BenchmarkPoolRepair:repair-secs,BenchmarkPoolRepair:under-replicated-max' -out BENCH_pool.json
 
 # Transport latency-distribution benchmarks (eRPC-lean path): closed-loop
 # and open-loop probes plus the copy-vs-lease delivery comparison. Every

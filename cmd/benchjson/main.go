@@ -44,7 +44,7 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "", "path of the JSON report to write (required)")
-	requireExtra := flag.String("require-extra", "", "comma-separated Extra metric units every result must carry (e.g. p50-ns,p99-ns,p999-ns); missing ones fail the run so percentile reports stay comparable across PRs")
+	requireExtra := flag.String("require-extra", "", "comma-separated Extra metric units every result must carry (e.g. p50-ns,p99-ns,p999-ns); a name:unit entry scopes the requirement to results whose name starts with name (e.g. BenchmarkPoolRepair:repair-secs) and fails if no result matches; missing metrics fail the run so reports stay comparable across PRs")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
@@ -77,16 +77,34 @@ func main() {
 	}
 	if *requireExtra != "" {
 		missing := false
-		for _, unit := range strings.Split(*requireExtra, ",") {
-			unit = strings.TrimSpace(unit)
-			if unit == "" {
+		for _, entry := range strings.Split(*requireExtra, ",") {
+			entry = strings.TrimSpace(entry)
+			if entry == "" {
 				continue
 			}
+			// "name:unit" scopes the requirement to benchmarks whose name
+			// starts with name; a bare unit applies to every result.
+			scope, unit := "", entry
+			if i := strings.IndexByte(entry, ':'); i >= 0 {
+				scope, unit = entry[:i], entry[i+1:]
+			}
+			matched := false
 			for _, r := range report.Results {
+				if scope != "" && !strings.HasPrefix(r.Name, scope) {
+					continue
+				}
+				matched = true
 				if _, ok := r.Extra[unit]; !ok {
 					fmt.Fprintf(os.Stderr, "benchjson: result %s is missing required extra metric %q\n", r.Name, unit)
 					missing = true
 				}
+			}
+			if !matched {
+				// A scope that matches nothing means the benchmark itself
+				// vanished (or errored out) — that's the regression the
+				// requirement exists to catch.
+				fmt.Fprintf(os.Stderr, "benchjson: no result matches required scope %q\n", entry)
+				missing = true
 			}
 		}
 		if missing {

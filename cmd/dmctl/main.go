@@ -71,8 +71,11 @@ commands:
   chain     -hops <h> -size <n> -n <ops>
                                 run the liverpc chain app against the
                                 server pool by value and by ref, compare
-  pool <subcommand>             drive the sharded cluster layer; -server
-                                lists shard addresses in shard-ID order:
+  pool [-replicas <R>] <subcommand>
+                                drive the sharded cluster layer; -server
+                                lists shard addresses in shard-ID order,
+                                -replicas stages R copies of every
+                                payload on its key's ring successors:
     pool stage -text <s>          stage onto a ring-chosen shard, print
                                   the located ref and its v1 wire form
     pool read  -size <n> -n <k>   stage k objects, read each back via its
@@ -205,9 +208,18 @@ func cmdChain(dmAddrs []string, args []string) {
 	}
 }
 
-// cmdPool dispatches the sharded-cluster subcommands. Every subcommand
-// registers one pool client over the shard list (shard ID = position).
+// cmdPool dispatches the sharded-cluster subcommands. Pool-level flags
+// (before the subcommand) shape the client every subcommand shares:
+//
+//	dmctl -server a,b,c pool -replicas 2 stats -n 500
+//
+// Every subcommand registers one pool client over the shard list
+// (shard ID = position).
 func cmdPool(addrs []string, args []string) {
+	fs := flag.NewFlagSet("pool", flag.ExitOnError)
+	replicas := fs.Int("replicas", 1, "replica factor R: copies of every staged payload, placed on the R ring successors of its key")
+	fs.Parse(args)
+	args = fs.Args()
 	if len(args) == 0 {
 		usage()
 	}
@@ -215,7 +227,7 @@ func cmdPool(addrs []string, args []string) {
 		cmdPoolChain(addrs, args[1:])
 		return
 	}
-	p, err := pool.Dial(pool.Config{Shards: addrs})
+	p, err := pool.Dial(pool.Config{Shards: addrs, ReplicaFactor: *replicas})
 	exitOn(err)
 	defer p.Close()
 	exitOn(p.Register())
@@ -237,6 +249,12 @@ func cmdPoolStage(p *pool.Client, args []string) {
 	fs.Parse(args)
 	ref, err := p.StageRef([]byte(*text))
 	exitOn(err)
+	if reps := p.Replicas(ref); len(reps) >= 2 {
+		wire := dmwire.LocateReplicated(ref, reps).Marshal()
+		fmt.Printf("staged %d bytes on shards %v as %v (replicated wire form %d bytes: %x)\n",
+			len(*text), reps, ref, len(wire), wire)
+		return
+	}
 	wire := dmwire.Locate(ref).Marshal()
 	fmt.Printf("staged %d bytes on shard %d as %v (located wire form %d bytes: %x)\n",
 		len(*text), ref.Server, ref, len(wire), wire)
@@ -355,5 +373,14 @@ func cmdPoolStats(p *pool.Client, args []string) {
 	}
 	for addr, consec := range p.SessionHealth() {
 		fmt.Printf("  session %s: consecutive heartbeat failures %d\n", addr, consec)
+	}
+	if p.ReplicaFactorEffective() > 1 {
+		fmt.Printf("replication: R=%d tracked_refs=%d under_replicated=%d failover_reads=%d repairs_done=%d repair_errors=%d repair_bytes=%d\n",
+			p.ReplicaFactorEffective(), p.TrackedRefs(), p.UnderReplicated(),
+			p.FailoverReads(), p.RepairsDone(), p.RepairErrors(), p.RepairBytes())
+		for _, st := range p.ReplicaStats() {
+			fmt.Printf("  shard %d: healthy=%v refs_primary=%d refs_replica=%d failover_reads=%d repairs_in=%d\n",
+				st.Shard, st.Healthy, st.RefsPrimary, st.RefsReplica, st.FailoverReads, st.RepairsIn)
+		}
 	}
 }

@@ -78,6 +78,9 @@ var (
 	ErrBadRef = errors.New("dm: unknown ref")
 	// ErrOutOfRange means an access crosses the end of its region.
 	ErrOutOfRange = errors.New("dm: access out of region range")
+	// ErrRefExists means a caller-keyed stage (stage_at) named a key the
+	// server already holds — the replica-placement conflict signal.
+	ErrRefExists = errors.New("dm: ref key already exists")
 )
 
 // Space is the client-side DM programming interface, one per process. It

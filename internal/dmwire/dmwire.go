@@ -32,7 +32,21 @@ const (
 	// return a TTL from MRegister; a client must heartbeat within the TTL
 	// or the server reclaims every resource the PID holds (DESIGN.md §D8).
 	MHeartbeat
+	// MStageAt is MStage with a caller-chosen ref key — the replica-
+	// placement primitive (DESIGN.md §D13): the pool client mints one
+	// cluster-wide key (ReplicaKeyBit set) and stages the same payload
+	// under it on every replica shard, so a single 8-byte key resolves the
+	// data on any of them. Staging an already-present key fails with
+	// StatusRefExists instead of overwriting.
+	MStageAt
 )
+
+// ReplicaKeyBit partitions the ref-key space: keys minted by a server's
+// own counter have the top bit clear, keys minted by pool clients for
+// replicated placement (MStageAt) have it set. The bit is what lets a
+// reader recognize a replicated ref from the bare dm.Ref alone and fail
+// over across the key's ring successors.
+const ReplicaKeyBit = uint64(1) << 63
 
 // Application error statuses returned by a DM server.
 const (
@@ -42,6 +56,9 @@ const (
 	StatusBadAddr = 3
 	StatusBadRef  = 4
 	StatusRange   = 5
+	// StatusRefExists reports an MStageAt key collision: the server
+	// already holds a ref under the requested key.
+	StatusRefExists = 6
 )
 
 // StatusOf maps the shared dm errors onto wire statuses.
@@ -57,6 +74,8 @@ func StatusOf(err error) byte {
 		return StatusBadRef
 	case dm.ErrOutOfRange:
 		return StatusRange
+	case dm.ErrRefExists:
+		return StatusRefExists
 	default:
 		return StatusErr
 	}
@@ -76,6 +95,8 @@ func ErrOf(status byte, msg string) error {
 		return dm.ErrBadRef
 	case StatusRange:
 		return dm.ErrOutOfRange
+	case StatusRefExists:
+		return dm.ErrRefExists
 	default:
 		return &rpc.AppError{Status: status, Msg: msg}
 	}
@@ -442,6 +463,36 @@ func (r StageReq) MarshalHdr() []byte {
 func UnmarshalStageReq(b []byte) (StageReq, error) {
 	d := rpc.NewDec(b)
 	r := StageReq{PID: d.U32()}
+	r.Data = d.Remaining()
+	return r, d.Err()
+}
+
+// StageAtReq is the body of an MStageAt request: stage Data under the
+// caller-chosen Key (which must have ReplicaKeyBit set). Data aliases
+// the message buffer.
+type StageAtReq struct {
+	PID  uint32
+	Key  uint64
+	Data []byte
+}
+
+// Marshal encodes the request body.
+func (r StageAtReq) Marshal() []byte {
+	e := rpc.NewEnc(12 + len(r.Data))
+	return e.U32(r.PID).U64(r.Key).Raw(r.Data).Bytes()
+}
+
+// MarshalHdr encodes only the fixed-size prefix of the request body, for
+// transports that write Data as its own vectored segment (zero-copy
+// framing): Marshal() == append(MarshalHdr(), Data...).
+func (r StageAtReq) MarshalHdr() []byte {
+	return rpc.NewEnc(12).U32(r.PID).U64(r.Key).Bytes()
+}
+
+// UnmarshalStageAtReq decodes the request body.
+func UnmarshalStageAtReq(b []byte) (StageAtReq, error) {
+	d := rpc.NewDec(b)
+	r := StageAtReq{PID: d.U32(), Key: d.U64()}
 	r.Data = d.Remaining()
 	return r, d.Err()
 }

@@ -44,6 +44,10 @@ type CallArg struct {
 	// is a cluster-wide shard ID from the pool's consistent-hash ring, not
 	// a connection-local server index. Valid when IsRef.
 	Located bool
+	// Replicas is the v2 replica-hint list (shard IDs believed to hold a
+	// copy of the payload, primary included). Non-empty only for
+	// replicated located refs; implies Located.
+	Replicas []uint32
 	// Inline is the in-message payload (valid when !IsRef). Unmarshal
 	// aliases the envelope buffer; callers that retain it must copy.
 	Inline []byte
@@ -60,6 +64,9 @@ func (a CallArg) Size() int64 {
 // wireSize returns the argument's encoded length.
 func (a CallArg) wireSize() int {
 	if a.IsRef {
+		if len(a.Replicas) > 0 {
+			return 1 + LocatedRefSize + 1 + 4*len(a.Replicas)
+		}
 		if a.Located {
 			return 1 + LocatedRefSize
 		}
@@ -73,6 +80,18 @@ func (a CallArg) wireSize() int {
 // vectored-write path).
 func (a CallArg) encode(e *rpc.Enc, skipInlineBytes bool) {
 	if a.IsRef {
+		if len(a.Replicas) > 0 {
+			// Replicated (v2) ref: flag, version byte, the standard ref
+			// encoding, then the u8-counted replica shard-ID list.
+			e.U8(3)
+			e.U8(RefV2)
+			a.Ref.Encode(e)
+			e.U8(uint8(len(a.Replicas)))
+			for _, id := range a.Replicas {
+				e.U32(id)
+			}
+			return
+		}
 		if a.Located {
 			// Located (v1) ref: flag, version byte, then the standard ref
 			// encoding with Server carrying the shard ID.
@@ -94,10 +113,30 @@ func (a CallArg) encode(e *rpc.Enc, skipInlineBytes bool) {
 }
 
 // decodeCallArg reads one argument, aliasing d's buffer for inline data.
-// Flags other than 0/1/2 are rejected so the codec stays canonical; a
-// located arg must carry a known ref version.
+// Flags other than 0/1/2/3 are rejected so the codec stays canonical; a
+// located arg must carry the ref version matching its flag (flag 2 = v1,
+// flag 3 = v2 with a non-empty replica list).
 func decodeCallArg(d *rpc.Dec) (CallArg, error) {
 	switch d.U8() {
+	case 3:
+		if d.U8() != RefV2 {
+			return CallArg{}, ErrBadRefVersion
+		}
+		a := CallArg{IsRef: true, Located: true, Ref: dm.DecodeRef(d)}
+		n := int(d.U8())
+		if n > MaxRefReplicas {
+			return CallArg{}, ErrTooManyReplicas
+		}
+		if n == 0 {
+			// Canonical encoders emit flag 3 only with replicas present; an
+			// empty list would re-encode as flag 2 and break canonicality.
+			return CallArg{}, ErrBadEnvelope
+		}
+		a.Replicas = make([]uint32, n)
+		for i := range a.Replicas {
+			a.Replicas[i] = d.U32()
+		}
+		return a, nil
 	case 2:
 		if d.U8() != RefV1 {
 			return CallArg{}, ErrBadRefVersion

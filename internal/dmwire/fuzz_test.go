@@ -27,6 +27,7 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add(uint8(13), HeartbeatReq{PID: 1}.Marshal())
 	f.Add(uint8(14), HeartbeatResp{LeaseMillis: 100}.Marshal())
 	f.Add(uint8(15), Token{CID: 3, Seq: 4}.Marshal())
+	f.Add(uint8(16), StageAtReq{PID: 1, Key: ReplicaKeyBit | 9, Data: []byte("hi")}.Marshal())
 	f.Fuzz(func(t *testing.T, which uint8, body []byte) {
 		check := func(name string, reenc []byte, err error) {
 			t.Helper()
@@ -37,7 +38,7 @@ func FuzzUnmarshal(f *testing.F) {
 				t.Fatalf("%s: accepted body does not round-trip", name)
 			}
 		}
-		switch which % 16 {
+		switch which % 17 {
 		case 0:
 			r, err := UnmarshalRegisterResp(body)
 			check("RegisterResp", r.Marshal(), err)
@@ -86,6 +87,9 @@ func FuzzUnmarshal(f *testing.F) {
 		case 15:
 			tok, err := UnmarshalToken(body)
 			check("Token", tok.Marshal(), err)
+		case 16:
+			r, err := UnmarshalStageAtReq(body)
+			check("StageAtReq", r.Marshal(), err)
 		}
 	})
 }
@@ -94,7 +98,7 @@ func FuzzUnmarshal(f *testing.F) {
 // any message must map to an error (or nil for OK) whose status maps back
 // to itself for the statuses the protocol defines.
 func FuzzStatusRoundTrip(f *testing.F) {
-	for s := byte(0); s <= StatusRange; s++ {
+	for s := byte(0); s <= StatusRefExists; s++ {
 		f.Add(s, "boom")
 	}
 	f.Fuzz(func(t *testing.T, status byte, msg string) {
@@ -108,7 +112,7 @@ func FuzzStatusRoundTrip(f *testing.F) {
 		if err == nil {
 			t.Fatalf("status %d mapped to nil", status)
 		}
-		if status <= StatusRange {
+		if status <= StatusRefExists {
 			if got := StatusOf(err); got != status {
 				t.Fatalf("status %d round-tripped to %d", status, got)
 			}

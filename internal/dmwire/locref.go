@@ -27,13 +27,30 @@ const (
 	// RefV1 marks the located form: a version byte followed by dm.Ref
 	// whose Server field is a cluster-wide shard ID.
 	RefV1 = 1
+	// RefV2 marks the replicated form: the v1 encoding followed by a
+	// u8-counted list of u32 shard IDs naming every shard believed to hold
+	// a copy of the payload (DESIGN.md §D13). Ref.Server remains the
+	// primary (first-choice) shard; the list is a read-failover hint and
+	// may be stale — readers fall back to the ring successors of Ref.Key.
+	RefV2 = 2
 )
 
-// LocatedRefSize is the wire size of a v1 located ref.
+// LocatedRefSize is the wire size of a v1 located ref. A v2 ref is
+// LocatedRefSize + 1 + 4*len(Replicas) bytes; every form remains
+// length/version-disambiguated (v0 = 20 bytes exactly, v1 = 21, v2 >= 22).
 const LocatedRefSize = 1 + dm.EncodedRefSize
+
+// MaxRefReplicas caps the replica-hint list carried by a v2 ref: a
+// defensive decode limit (no hostile count may balloon memory) and far
+// above any sane replication factor.
+const MaxRefReplicas = 16
 
 // ErrBadRefVersion reports an unknown located-ref version byte.
 var ErrBadRefVersion = errors.New("dmwire: unknown located-ref version")
+
+// ErrTooManyReplicas reports a v2 ref whose replica list exceeds
+// MaxRefReplicas.
+var ErrTooManyReplicas = errors.New("dmwire: replica list exceeds MaxRefReplicas")
 
 // LocatedRef pairs a ref with its codec version. Located reports whether
 // Ref.Server is a cluster-wide shard ID (v1) rather than a
@@ -41,6 +58,9 @@ var ErrBadRefVersion = errors.New("dmwire: unknown located-ref version")
 type LocatedRef struct {
 	Version uint8
 	Ref     dm.Ref
+	// Replicas is the v2 replica-hint list: shard IDs believed to hold a
+	// copy at encode time, primary included. Nil for v0/v1.
+	Replicas []uint32
 }
 
 // Located reports whether the ref is cluster-addressed.
@@ -52,12 +72,38 @@ func (r LocatedRef) Shard() uint32 { return r.Ref.Server }
 // Locate wraps a ref whose Server field is a cluster-wide shard ID.
 func Locate(ref dm.Ref) LocatedRef { return LocatedRef{Version: RefV1, Ref: ref} }
 
+// LocateReplicated wraps a cluster-addressed ref together with its
+// replica shard set. With fewer than two distinct shards the v1 form is
+// returned (a single-copy ref needs no hint list); over-long lists are
+// truncated to MaxRefReplicas.
+func LocateReplicated(ref dm.Ref, shards []uint32) LocatedRef {
+	if len(shards) < 2 {
+		return Locate(ref)
+	}
+	if len(shards) > MaxRefReplicas {
+		shards = shards[:MaxRefReplicas]
+	}
+	cp := make([]uint32, len(shards))
+	copy(cp, shards)
+	return LocatedRef{Version: RefV2, Ref: ref, Replicas: cp}
+}
+
 // Marshal encodes the ref in its version's wire form: v0 is the bare
 // dm.Ref encoding (no version byte, for byte-compatibility with every
 // pre-pool ref ever written); v1 prefixes the version byte.
 func (r LocatedRef) Marshal() []byte {
 	if r.Version == RefV0 {
 		return r.Ref.Marshal()
+	}
+	if r.Version >= RefV2 {
+		e := rpc.NewEnc(LocatedRefSize + 1 + 4*len(r.Replicas))
+		e.U8(r.Version)
+		r.Ref.Encode(e)
+		e.U8(uint8(len(r.Replicas)))
+		for _, id := range r.Replicas {
+			e.U32(id)
+		}
+		return e.Bytes()
 	}
 	e := rpc.NewEnc(LocatedRefSize)
 	e.U8(r.Version)
@@ -79,12 +125,28 @@ func UnmarshalLocatedRef(b []byte) (LocatedRef, error) {
 	}
 	d := rpc.NewDec(b)
 	v := d.U8()
-	if v != RefV1 {
+	if v != RefV1 && v != RefV2 {
 		return LocatedRef{}, ErrBadRefVersion
 	}
 	ref := dm.DecodeRef(d)
 	if err := d.Err(); err != nil {
 		return LocatedRef{}, err
 	}
-	return LocatedRef{Version: v, Ref: ref}, nil
+	r := LocatedRef{Version: v, Ref: ref}
+	if v == RefV2 {
+		n := int(d.U8())
+		if n > MaxRefReplicas {
+			return LocatedRef{}, ErrTooManyReplicas
+		}
+		if n > 0 {
+			r.Replicas = make([]uint32, n)
+			for i := range r.Replicas {
+				r.Replicas[i] = d.U32()
+			}
+		}
+		if err := d.Err(); err != nil {
+			return LocatedRef{}, err
+		}
+	}
+	return r, nil
 }

@@ -21,7 +21,7 @@ func TestLocatedRefRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != v1 {
+	if got.Version != v1.Version || got.Ref != v1.Ref || got.Replicas != nil {
 		t.Fatalf("v1 round-trip = %+v, want %+v", got, v1)
 	}
 	if !got.Located() || got.Shard() != 1234 {
@@ -45,6 +45,103 @@ func TestLocatedRefRoundTrip(t *testing.T) {
 
 	if _, err := UnmarshalLocatedRef([]byte{9, 0, 0}); !errors.Is(err, ErrBadRefVersion) {
 		t.Fatalf("unknown version accepted: %v", err)
+	}
+}
+
+// TestReplicatedRefRoundTrip pins the v2 form: the replica shard-ID set
+// rides the wire, length disambiguates it from v0/v1, and degenerate
+// replica lists collapse to the v1 encoding.
+func TestReplicatedRefRoundTrip(t *testing.T) {
+	ref := dm.Ref{Server: 7, Key: ReplicaKeyBit | 99, Size: 1 << 16}
+	v2 := LocateReplicated(ref, []uint32{7, 3})
+	b := v2.Marshal()
+	if want := LocatedRefSize + 1 + 4*2; len(b) != want {
+		t.Fatalf("v2 wire size = %d, want %d", len(b), want)
+	}
+	got, err := UnmarshalLocatedRef(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != RefV2 || got.Ref != ref {
+		t.Fatalf("v2 round-trip = %+v", got)
+	}
+	if len(got.Replicas) != 2 || got.Replicas[0] != 7 || got.Replicas[1] != 3 {
+		t.Fatalf("v2 replica set = %v, want [7 3]", got.Replicas)
+	}
+	if !got.Located() || got.Shard() != 7 {
+		t.Fatalf("v2 ref not located to primary shard 7: %+v", got)
+	}
+
+	// Fewer than two shards: no hint list is needed, collapse to v1.
+	if r := LocateReplicated(ref, []uint32{7}); r.Version != RefV1 || r.Replicas != nil {
+		t.Fatalf("single-shard LocateReplicated = %+v, want v1", r)
+	}
+	if r := LocateReplicated(ref, nil); r.Version != RefV1 {
+		t.Fatalf("empty LocateReplicated = %+v, want v1", r)
+	}
+
+	// Over-long lists are truncated to the decode cap, so every encoder
+	// output is decodable.
+	long := make([]uint32, MaxRefReplicas+3)
+	for i := range long {
+		long[i] = uint32(i)
+	}
+	r := LocateReplicated(ref, long)
+	if len(r.Replicas) != MaxRefReplicas {
+		t.Fatalf("replica list not truncated: %d", len(r.Replicas))
+	}
+	if _, err := UnmarshalLocatedRef(r.Marshal()); err != nil {
+		t.Fatalf("truncated v2 ref does not decode: %v", err)
+	}
+
+	// A wire count above the cap is rejected before allocation.
+	bad := append([]byte{}, b...)
+	bad[LocatedRefSize] = MaxRefReplicas + 1
+	if _, err := UnmarshalLocatedRef(bad); !errors.Is(err, ErrTooManyReplicas) {
+		t.Fatalf("oversized replica count accepted: %v", err)
+	}
+}
+
+// TestEnvelopeReplicatedArg pins the flag-3 replicated argument form in
+// call and return envelopes: the replica hint set survives the round
+// trip, and an empty flag-3 list is rejected as non-canonical.
+func TestEnvelopeReplicatedArg(t *testing.T) {
+	env := CallEnvelope{
+		Method: "m",
+		Args: []CallArg{
+			{IsRef: true, Located: true, Replicas: []uint32{2, 5},
+				Ref: dm.Ref{Server: 2, Key: ReplicaKeyBit | 4, Size: 128}},
+			{Inline: []byte("tail")},
+		},
+	}
+	dec, err := UnmarshalCallEnvelope(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := dec.Args[0]
+	if !a.IsRef || !a.Located || len(a.Replicas) != 2 || a.Replicas[1] != 5 {
+		t.Fatalf("replicated arg lost its hint set: %+v", a)
+	}
+	if !bytes.Equal(dec.Marshal(), env.Marshal()) {
+		t.Fatal("envelope with replicated arg does not round-trip")
+	}
+
+	ret := ReturnEnvelope{Args: []CallArg{a}}
+	rdec, err := UnmarshalReturnEnvelope(ret.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rdec.Args[0].Replicas) != 2 {
+		t.Fatalf("return envelope lost replicas: %+v", rdec.Args[0])
+	}
+
+	// Flag 3 with a zero-length replica list is non-canonical (it would
+	// re-encode as flag 2): decoders must reject it.
+	raw := ret.Marshal()
+	// arg list count | flag | version | 20-byte ref | count
+	raw[1+1+1+20] = 0
+	if _, err := UnmarshalReturnEnvelope(raw[:1+1+1+20+1]); err == nil {
+		t.Fatal("empty flag-3 replica list accepted")
 	}
 }
 
@@ -83,7 +180,9 @@ func TestEnvelopeLocatedArg(t *testing.T) {
 func FuzzLocatedRef(f *testing.F) {
 	f.Add(Locate(dm.Ref{Server: 5, Key: 11, Size: 8192}).Marshal())
 	f.Add(dm.Ref{Server: 0, Key: 1, Size: 64}.Marshal())
+	f.Add(LocateReplicated(dm.Ref{Server: 5, Key: ReplicaKeyBit | 11, Size: 8192}, []uint32{5, 2, 9}).Marshal())
 	f.Add([]byte{RefV1})
+	f.Add([]byte{RefV2})
 	f.Fuzz(func(t *testing.T, body []byte) {
 		r, err := UnmarshalLocatedRef(body)
 		if err != nil {

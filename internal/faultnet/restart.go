@@ -1,0 +1,140 @@
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// Restartable models a crash-restartable listening process for chaos
+// tests: Crash abruptly kills the accept loop and every accepted
+// connection (peers observe resets, as with SIGKILL — never a graceful
+// shutdown), and Restart re-listens on the same address so a fresh server
+// instance can take over the endpoint. Whatever state the previous
+// instance held in memory is gone, which is exactly the failure mode
+// R-way replication (internal/pool) exists to survive; Partition, by
+// contrast, models a fabric loss where the process and its memory live
+// on.
+type Restartable struct {
+	mu      sync.Mutex
+	addr    string
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	crashed bool
+}
+
+// ErrEndpointLive reports a Restart of an endpoint that was never
+// crashed.
+var ErrEndpointLive = errors.New("faultnet: restart of a live endpoint")
+
+// NewRestartable listens on addr (use "127.0.0.1:0" for an ephemeral
+// port) and returns the endpoint plus its first listener, ready for a
+// server's Serve loop.
+func NewRestartable(addr string) (*Restartable, net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := &Restartable{addr: ln.Addr().String(), conns: make(map[net.Conn]struct{})}
+	tl := &restartListener{Listener: ln, r: r}
+	r.ln = tl
+	return r, tl, nil
+}
+
+// Addr returns the bound address; it is stable across Crash/Restart, so
+// clients that re-dial reach the restarted instance.
+func (r *Restartable) Addr() string { return r.addr }
+
+// Crash kills the endpoint abruptly: the listener closes (Serve returns)
+// and every accepted connection is reset. Idempotent.
+func (r *Restartable) Crash() {
+	r.mu.Lock()
+	ln := r.ln
+	r.ln = nil
+	r.crashed = true
+	conns := make([]net.Conn, 0, len(r.conns))
+	for c := range r.conns {
+		conns = append(conns, c)
+	}
+	r.conns = make(map[net.Conn]struct{})
+	r.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Restart re-listens on the crashed endpoint's address and returns the
+// new listener for a fresh server instance's Serve loop. Restarting an
+// endpoint that is still live fails with ErrEndpointLive.
+func (r *Restartable) Restart() (net.Listener, error) {
+	r.mu.Lock()
+	if r.ln != nil {
+		r.mu.Unlock()
+		return nil, ErrEndpointLive
+	}
+	r.mu.Unlock()
+	ln, err := net.Listen("tcp", r.addr)
+	if err != nil {
+		return nil, err
+	}
+	tl := &restartListener{Listener: ln, r: r}
+	r.mu.Lock()
+	r.ln = tl
+	r.crashed = false
+	r.mu.Unlock()
+	return tl, nil
+}
+
+// track records an accepted connection so Crash can reset it. A
+// connection that races past Accept while the endpoint is crashing is
+// closed on arrival instead of surviving the crash.
+func (r *Restartable) track(c net.Conn) bool {
+	r.mu.Lock()
+	if r.crashed {
+		r.mu.Unlock()
+		c.Close()
+		return false
+	}
+	r.conns[c] = struct{}{}
+	r.mu.Unlock()
+	return true
+}
+
+func (r *Restartable) untrack(c net.Conn) {
+	r.mu.Lock()
+	delete(r.conns, c)
+	r.mu.Unlock()
+}
+
+type restartListener struct {
+	net.Listener
+	r *Restartable
+}
+
+func (l *restartListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if !l.r.track(c) {
+		return nil, net.ErrClosed
+	}
+	return &restartConn{Conn: c, r: l.r}, nil
+}
+
+// restartConn untracks itself on Close so the conn set doesn't grow
+// without bound across a long-lived endpoint.
+type restartConn struct {
+	net.Conn
+	r    *Restartable
+	once sync.Once
+}
+
+func (c *restartConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(func() { c.r.untrack(c.Conn) })
+	return err
+}

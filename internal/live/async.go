@@ -197,6 +197,26 @@ func (cl *Client) StageRefAsync(data []byte) *AsyncRef {
 	return ar
 }
 
+// StageRefAtAsync starts a caller-keyed stage on a specific server
+// (MStageAt — the replica-placement primitive) and returns a future for
+// the ref. data must stay valid and unmodified until Wait returns.
+func (cl *Client) StageRefAtAsync(server int, key uint64, data []byte) *AsyncRef {
+	srv, pid, err := cl.server(server)
+	if err != nil {
+		return &AsyncRef{op: AsyncOp{err: err}}
+	}
+	ar := &AsyncRef{server: uint32(server), size: int64(len(data)), key: key}
+	ar.op = AsyncOp{
+		p: cl.node.CallAsync(srv, dmwire.MStageAt,
+			dmwire.StageAtReq{PID: pid, Key: key}.MarshalHdr(), data, cl.mutOpts()),
+		consume: func(resp []byte) error {
+			_, err := dmwire.UnmarshalRefKeyResp(resp)
+			return err
+		},
+	}
+	return ar
+}
+
 // Wait blocks for the staging result.
 func (ar *AsyncRef) Wait() (dm.Ref, error) {
 	if err := ar.op.Wait(); err != nil {

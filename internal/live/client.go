@@ -60,13 +60,15 @@ type Client struct {
 	ready  bool
 	rr     atomic.Uint64 // round-robin cursor for Alloc/StageRef targets
 
-	cid     uint64        // dedup token identity, stable across reconnects
-	seq     atomic.Uint64 // dedup token sequence
-	hbStop  chan struct{}
-	hbOnce  sync.Once
-	hbWG    sync.WaitGroup
-	hbFails []atomic.Int32 // per-server consecutive heartbeat failures
-	hbTotal atomic.Int64   // cumulative heartbeat failures (never resets)
+	cid      uint64        // dedup token identity, stable across reconnects
+	seq      atomic.Uint64 // dedup token sequence
+	hbStop   chan struct{}
+	hbOnce   sync.Once
+	hbWG     sync.WaitGroup
+	hbFails  []atomic.Int32 // per-server consecutive heartbeat failures
+	hbDead   []atomic.Bool  // per-server "session reaped" latch (see SessionReaped)
+	hbCancel []chan struct{} // per-server heartbeat cancel, mu-guarded (Reregister)
+	hbTotal  atomic.Int64    // cumulative heartbeat failures (never resets)
 }
 
 // conn is one multiplexed TCP connection to a DM server. All request
@@ -107,15 +109,17 @@ func DialConfig(cfg ClientConfig, addrs ...string) (*Client, error) {
 		cid = 1 // the zero token means "no dedup"
 	}
 	cl := &Client{
-		cfg:     cfg,
-		node:    NewNodeWith(cfg.Net),
-		addrs:   addrs,
-		pids:    make([]uint32, len(addrs)),
-		leases:  make([]time.Duration, len(addrs)),
-		shards:  make([]int64, len(addrs)),
-		cid:     cid,
-		hbStop:  make(chan struct{}),
-		hbFails: make([]atomic.Int32, len(addrs)),
+		cfg:      cfg,
+		node:     NewNodeWith(cfg.Net),
+		addrs:    addrs,
+		pids:     make([]uint32, len(addrs)),
+		leases:   make([]time.Duration, len(addrs)),
+		shards:   make([]int64, len(addrs)),
+		cid:      cid,
+		hbStop:   make(chan struct{}),
+		hbFails:  make([]atomic.Int32, len(addrs)),
+		hbDead:   make([]atomic.Bool, len(addrs)),
+		hbCancel: make([]chan struct{}, len(addrs)),
 	}
 	for i := range cl.shards {
 		cl.shards[i] = -1
@@ -362,73 +366,96 @@ func (c *conn) await(m rpc.Method, id uint64, ch chan response, deadline time.Ti
 // lease-renewal heartbeats; must complete before other calls.
 func (cl *Client) Register() error {
 	for i, a := range cl.addrs {
-		var pid uint32
-		var lease time.Duration
-		shard := int64(-1)
-		err := cl.node.CallConsumeOpts(a, dmwire.MRegister, nil, nil, func(resp []byte) error {
-			r, err := dmwire.UnmarshalRegisterResp(resp)
-			if err != nil {
-				return err
-			}
-			pid = r.PID
-			lease = time.Duration(r.LeaseMillis) * time.Millisecond
-			if r.HasShard {
-				shard = int64(r.Shard)
-			}
-			// Adopt the server's advertised async credit window.
-			cl.node.setPeerCredits(a, r.Credits)
-			return nil
-		}, cl.mutOpts())
-		if err != nil {
+		if err := cl.registerOne(i, a); err != nil {
 			return err
 		}
-		cl.pids[i] = pid
-		cl.leases[i] = lease
-		cl.shards[i] = shard
 	}
 	cl.mu.Lock()
 	cl.ready = true
 	cl.mu.Unlock()
-	cl.startHeartbeats()
+	for i := range cl.addrs {
+		cl.startHeartbeat(i)
+	}
 	return nil
 }
 
-// startHeartbeats spawns one renewal loop per leasing server.
-func (cl *Client) startHeartbeats() {
+// registerOne obtains a PID (and lease) from server i and records them.
+func (cl *Client) registerOne(i int, a string) error {
+	var pid uint32
+	var lease time.Duration
+	shard := int64(-1)
+	err := cl.node.CallConsumeOpts(a, dmwire.MRegister, nil, nil, func(resp []byte) error {
+		r, err := dmwire.UnmarshalRegisterResp(resp)
+		if err != nil {
+			return err
+		}
+		pid = r.PID
+		lease = time.Duration(r.LeaseMillis) * time.Millisecond
+		if r.HasShard {
+			shard = int64(r.Shard)
+		}
+		// Adopt the server's advertised async credit window.
+		cl.node.setPeerCredits(a, r.Credits)
+		return nil
+	}, cl.mutOpts())
+	if err != nil {
+		return err
+	}
+	cl.mu.Lock()
+	cl.pids[i] = pid
+	cl.leases[i] = lease
+	cl.shards[i] = shard
+	cl.mu.Unlock()
+	return nil
+}
+
+// startHeartbeat spawns the renewal loop for server i if it leases
+// sessions and heartbeats are enabled.
+func (cl *Client) startHeartbeat(i int) {
 	if cl.cfg.HeartbeatInterval < 0 {
 		return
 	}
-	for i, lease := range cl.leases {
-		if lease <= 0 {
-			continue // server does not lease sessions
-		}
-		interval := cl.cfg.HeartbeatInterval
-		if interval == 0 {
-			interval = lease / 3
-		}
-		if interval <= 0 {
-			continue
-		}
-		cl.hbWG.Add(1)
-		go cl.heartbeatLoop(i, interval)
+	cl.mu.Lock()
+	lease := cl.leases[i]
+	pid := cl.pids[i]
+	addr := cl.addrs[i]
+	cl.mu.Unlock()
+	if lease <= 0 {
+		return // server does not lease sessions
 	}
+	interval := cl.cfg.HeartbeatInterval
+	if interval == 0 {
+		interval = lease / 3
+	}
+	if interval <= 0 {
+		return
+	}
+	cancel := make(chan struct{})
+	cl.mu.Lock()
+	cl.hbCancel[i] = cancel
+	cl.mu.Unlock()
+	cl.hbWG.Add(1)
+	go cl.heartbeatLoop(i, addr, pid, interval, cancel)
 }
 
-// heartbeatLoop renews one server's lease until Close or until the
-// server reports the session gone (reaped), at which point renewing is
-// pointless — subsequent data calls surface the dead session as
-// dm.ErrBadAddress. Renewal outcomes feed the per-server consecutive
-// failure counter behind SessionHealth and the OnHeartbeatFailure hook,
-// so an expiring session is observable before data calls start failing.
-func (cl *Client) heartbeatLoop(i int, interval time.Duration) {
+// heartbeatLoop renews one server's lease until Close, Reregister
+// (cancel), or until the server reports the session gone (reaped), at
+// which point renewing is pointless — the hbDead latch is set so
+// SessionReaped observers (the pool rejoin poller) can re-register, and
+// subsequent data calls surface the dead session as dm.ErrBadAddress.
+// Renewal outcomes feed the per-server consecutive failure counter behind
+// SessionHealth and the OnHeartbeatFailure hook, so an expiring session
+// is observable before data calls start failing.
+func (cl *Client) heartbeatLoop(i int, addr string, pid uint32, interval time.Duration, cancel chan struct{}) {
 	defer cl.hbWG.Done()
-	addr := cl.addrs[i]
-	req := dmwire.HeartbeatReq{PID: cl.pids[i]}.Marshal()
+	req := dmwire.HeartbeatReq{PID: pid}.Marshal()
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
 	for {
 		select {
 		case <-cl.hbStop:
+			return
+		case <-cancel:
 			return
 		case <-tick.C:
 			opts := idemOpts()
@@ -452,10 +479,48 @@ func (cl *Client) heartbeatLoop(i int, interval time.Duration) {
 				cb(addr, int(n), err)
 			}
 			if errors.Is(err, dm.ErrBadAddress) {
+				cl.hbDead[i].Store(true)
 				return // session reaped; the counter stays nonzero
 			}
 		}
 	}
+}
+
+// SessionReaped reports whether server i declared this client's session
+// gone (heartbeat answered dm.ErrBadAddress — the server restarted or
+// reaped the lease). A reaped session never recovers by itself; call
+// Reregister to re-admit the server with a fresh PID.
+func (cl *Client) SessionReaped(i int) bool {
+	if i < 0 || i >= len(cl.hbDead) {
+		return false
+	}
+	return cl.hbDead[i].Load()
+}
+
+// Reregister re-establishes the session with server i after the server
+// reaped it (process restart or lease expiry): the dead heartbeat loop is
+// stopped, a fresh PID and lease are obtained, and renewal restarts.
+// Every resource the old PID held on that server is gone — callers (the
+// pool rejoin poller) must treat the shard as empty and re-replicate.
+func (cl *Client) Reregister(i int) error {
+	cl.mu.Lock()
+	if i < 0 || i >= len(cl.addrs) {
+		cl.mu.Unlock()
+		return dm.ErrBadAddress
+	}
+	a := cl.addrs[i]
+	if c := cl.hbCancel[i]; c != nil {
+		close(c)
+		cl.hbCancel[i] = nil
+	}
+	cl.mu.Unlock()
+	if err := cl.registerOne(i, a); err != nil {
+		return err
+	}
+	cl.hbFails[i].Store(0)
+	cl.hbDead[i].Store(false)
+	cl.startHeartbeat(i)
+	return nil
 }
 
 // SessionHealth reports the number of consecutive failed lease renewals
@@ -740,6 +805,22 @@ func (cl *Client) StageRef(data []byte) (dm.Ref, error) {
 		return dm.Ref{}, err
 	}
 	return dm.Ref{Server: uint32(idx), Key: key, Size: int64(len(data))}, nil
+}
+
+// StageRefAt stages data on a specific server under a caller-chosen key
+// (MStageAt): the replica-placement primitive behind the pool's R-way
+// replication. The key must carry dmwire.ReplicaKeyBit; a key the server
+// already holds fails with dm.ErrRefExists, which makes repair re-stages
+// idempotent.
+func (cl *Client) StageRefAt(server int, key uint64, data []byte) (dm.Ref, error) {
+	srv, pid, err := cl.server(server)
+	if err != nil {
+		return dm.Ref{}, err
+	}
+	if _, err := cl.callRefKey(srv, dmwire.MStageAt, dmwire.StageAtReq{PID: pid, Key: key}.MarshalHdr(), data); err != nil {
+		return dm.Ref{}, err
+	}
+	return dm.Ref{Server: uint32(server), Key: key, Size: int64(len(data))}, nil
 }
 
 // ReadRef reads the ref's snapshot without mapping it.

@@ -254,6 +254,9 @@ type Server struct {
 	trans   [transShardCount]transShard
 	refs    [refShardCount]refShard
 	nextKey atomic.Uint64
+	// stagePuts counts successful MStageAt operations (replica placements
+	// and repair traffic landing on this shard; dmserverd -stats).
+	stagePuts atomic.Int64
 
 	node       *Node
 	closeOnce  sync.Once
@@ -317,7 +320,7 @@ func NewServer(cfg ServerConfig) *Server {
 	for _, m := range []rpc.Method{
 		dmwire.MRegister, dmwire.MAlloc, dmwire.MFree, dmwire.MCreateRef,
 		dmwire.MMapRef, dmwire.MFreeRef, dmwire.MRead, dmwire.MWrite,
-		dmwire.MStage, dmwire.MReadRef, dmwire.MHeartbeat,
+		dmwire.MStage, dmwire.MReadRef, dmwire.MHeartbeat, dmwire.MStageAt,
 	} {
 		m := m
 		// DM operations are short and never block on other RPCs, so they
@@ -420,6 +423,8 @@ func (s *Server) handle(m rpc.Method, body []byte) ([]byte, error) {
 		return s.write(body)
 	case dmwire.MStage:
 		return s.stage(body)
+	case dmwire.MStageAt:
+		return s.stageAt(body)
 	case dmwire.MReadRef:
 		return s.readRef(body)
 	case dmwire.MHeartbeat:
@@ -955,6 +960,88 @@ func (s *Server) stage(body []byte) ([]byte, error) {
 	ps.mu.RUnlock()
 	return dmwire.RefKeyResp{Key: key}.Marshal(), nil
 }
+
+// errStageAtKeySpace rejects stage_at keys outside the pool-minted half
+// of the key space (dmwire.ReplicaKeyBit clear): such a key could collide
+// with this server's own counter-minted keys.
+var errStageAtKeySpace = errors.New("live: stage_at key outside replica key space")
+
+// stageAt is stage with a caller-chosen key: the replica-placement
+// primitive. The key must come from the pool-minted half of the key space
+// (dmwire.ReplicaKeyBit set) so it can never collide with this server's
+// own counter; staging a key the server already holds fails with
+// dm.ErrRefExists and leaves the existing ref untouched, which makes
+// repair re-stages idempotent.
+func (s *Server) stageAt(body []byte) ([]byte, error) {
+	req, err := dmwire.UnmarshalStageAtReq(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Data) == 0 {
+		return nil, dm.ErrOutOfRange
+	}
+	if req.Key&dmwire.ReplicaKeyBit == 0 {
+		return nil, errStageAtKeySpace
+	}
+	ps, err := s.pidState(req.PID)
+	if err != nil {
+		return nil, err
+	}
+	sh := s.refShardOf(req.Key)
+	// Early existence probe: don't burn frames and a bulk copy on a key
+	// that is already present (the common repair race). The authoritative
+	// check re-runs under the publish lock below.
+	sh.mu.RLock()
+	_, exists := sh.m[req.Key]
+	sh.mu.RUnlock()
+	if exists {
+		return nil, dm.ErrRefExists
+	}
+	pages := dm.PageCount(int64(len(req.Data)), s.cfg.PageSize)
+	frames := s.popFrames(pages)
+	if frames == nil {
+		return nil, dm.ErrOutOfMemory
+	}
+	for i, f := range frames {
+		lo := i * s.cfg.PageSize
+		hi := lo + s.cfg.PageSize
+		if hi > len(req.Data) {
+			hi = len(req.Data)
+		}
+		fr := s.frame(f)
+		n := copy(fr, req.Data[lo:hi])
+		clear(fr[n:])
+		s.refcnt[f].Store(1)
+	}
+	// Publish under the owner's shared lock exactly like stage(); on any
+	// failure past this point the frames roll back to the free list.
+	ps.mu.RLock()
+	if ps.gone {
+		ps.mu.RUnlock()
+		for _, f := range frames {
+			s.decRef(f)
+		}
+		return nil, dm.ErrBadAddress
+	}
+	sh.mu.Lock()
+	if _, dup := sh.m[req.Key]; dup {
+		sh.mu.Unlock()
+		ps.mu.RUnlock()
+		for _, f := range frames {
+			s.decRef(f)
+		}
+		return nil, dm.ErrRefExists
+	}
+	sh.m[req.Key] = &refEntry{frames: frames, size: int64(len(req.Data)), owner: req.PID}
+	sh.mu.Unlock()
+	ps.mu.RUnlock()
+	s.stagePuts.Add(1)
+	return dmwire.RefKeyResp{Key: req.Key}.Marshal(), nil
+}
+
+// StagePuts returns the number of caller-keyed stages (MStageAt) this
+// server has accepted: replica placements plus repair re-stages.
+func (s *Server) StagePuts() int64 { return s.stagePuts.Load() }
 
 func (s *Server) readRef(body []byte) ([]byte, error) {
 	req, err := dmwire.UnmarshalReadRefReq(body)

@@ -51,6 +51,20 @@ type LocatedDM interface {
 	LocatedRefs() bool
 }
 
+// ReplicatedDM marks a DM backend that replicates staged payloads and
+// can fail reads over across replicas: satisfied by *pool.Client at
+// ReplicaFactor > 1 (and at R=1, where the hint paths just degrade to
+// plain reads). Stage emits replicated (v2) payloads through it, and
+// Fetch/FetchLease feed a payload's carried replica hints back into the
+// failover read path — so a consumer can survive the primary's death
+// even when the ref was staged by another process.
+type ReplicatedDM interface {
+	DM
+	Replicas(ref dm.Ref) []uint32
+	ReadRefFrom(ref dm.Ref, hints []uint32, off int64, dst []byte) error
+	ReadRefLeaseFrom(ref dm.Ref, hints []uint32, off, size int64) (*live.Buf, error)
+}
+
 // BufDM marks a DM backend with a zero-copy read path: ReadRefLease
 // hands back the transport's pooled response frame as a refcounted
 // live.Buf instead of copying into a caller buffer. Satisfied by
@@ -201,6 +215,11 @@ func (c *Caller) Stage(data []byte) (Payload, error) {
 		return Payload{}, err
 	}
 	if located(c.dm) {
+		if rd, ok := c.dm.(ReplicatedDM); ok {
+			if shards := rd.Replicas(ref); len(shards) >= 2 {
+				return ByReplicated(ref, shards), nil
+			}
+		}
 		return ByLocated(ref), nil
 	}
 	return ByRef(ref), nil
@@ -512,6 +531,14 @@ func fetch(dmc DM, p Payload) ([]byte, error) {
 		return nil, err
 	}
 	buf := make([]byte, p.Size())
+	if rd, ok := dmc.(ReplicatedDM); ok && p.Located() {
+		// Failover read: the payload's carried replica hints join the
+		// backend's own view of where the copies live.
+		if err := rd.ReadRefFrom(p.Ref(), p.Replicas(), 0, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
 	if err := dmc.ReadRef(p.Ref(), 0, buf); err != nil {
 		return nil, err
 	}
@@ -528,6 +555,9 @@ func fetchLease(dmc DM, p Payload) (*live.Buf, error) {
 	}
 	if err := checkRefBackend(dmc, p); err != nil {
 		return nil, err
+	}
+	if rd, ok := dmc.(ReplicatedDM); ok && p.Located() {
+		return rd.ReadRefLeaseFrom(p.Ref(), p.Replicas(), 0, p.Size())
 	}
 	if bd, ok := dmc.(BufDM); ok {
 		return bd.ReadRefLease(p.Ref(), 0, p.Size())

@@ -13,10 +13,11 @@ import (
 // a ~21-byte Ref descriptor, materialized only where actually consumed
 // (paper §IV-B). Payloads are plain values, safe to copy.
 type Payload struct {
-	isRef   bool
-	located bool
-	ref     dm.Ref
-	inline  []byte
+	isRef    bool
+	located  bool
+	ref      dm.Ref
+	replicas []uint32 // replica-hint shard IDs (replicated located refs)
+	inline   []byte
 }
 
 // Inline builds a pass-by-value payload. The bytes are aliased, not
@@ -30,6 +31,22 @@ func ByRef(ref dm.Ref) Payload { return Payload{isRef: true, ref: ref} }
 // from a pool.Client) as a payload; it travels in dmwire's versioned v1
 // wire form, so any endpoint sharing the cluster map can resolve it.
 func ByLocated(ref dm.Ref) Payload { return Payload{isRef: true, located: true, ref: ref} }
+
+// ByReplicated wraps a cluster-addressed ref together with the shard IDs
+// believed to hold its copies (pool.Client.Replicas). It travels in
+// dmwire's v2 wire form, so a receiving endpoint can fail a read over to
+// a surviving replica even if its own cluster map lags. With fewer than
+// two shards it degrades to ByLocated.
+func ByReplicated(ref dm.Ref, shards []uint32) Payload {
+	if len(shards) < 2 {
+		return ByLocated(ref)
+	}
+	cp := shards
+	if len(cp) > dmwire.MaxRefReplicas {
+		cp = cp[:dmwire.MaxRefReplicas]
+	}
+	return Payload{isRef: true, located: true, ref: ref, replicas: append([]uint32(nil), cp...)}
+}
 
 // U64 builds an inline payload holding one big-endian uint64 — the
 // common shape of small results (counts, ids, aggregates).
@@ -59,6 +76,10 @@ func (p Payload) IsRef() bool { return p.isRef }
 // Located reports whether a ref payload is cluster-addressed.
 func (p Payload) Located() bool { return p.isRef && p.located }
 
+// Replicas returns the replica-hint shard IDs carried by a replicated
+// ref payload (nil for unreplicated payloads), aliased.
+func (p Payload) Replicas() []uint32 { return p.replicas }
+
 // Ref returns the underlying Ref; valid only when IsRef.
 func (p Payload) Ref() dm.Ref { return p.ref }
 
@@ -82,6 +103,9 @@ func (p Payload) Size() int64 {
 // envelope — the quantity pass-by-reference shrinks from megabytes to
 // tens of bytes.
 func (p Payload) WireSize() int {
+	if len(p.replicas) > 0 {
+		return 1 + dmwire.LocatedRefSize + 1 + 4*len(p.replicas)
+	}
 	if p.located {
 		return 1 + dmwire.LocatedRefSize
 	}
@@ -92,6 +116,9 @@ func (p Payload) WireSize() int {
 }
 
 func (p Payload) String() string {
+	if len(p.replicas) > 0 {
+		return fmt.Sprintf("payload(shards %v %v)", p.replicas, p.ref)
+	}
 	if p.located {
 		return fmt.Sprintf("payload(shard %d %v)", p.ref.Server, p.ref)
 	}
@@ -104,7 +131,7 @@ func (p Payload) String() string {
 // wireArg converts to the envelope codec's descriptor.
 func (p Payload) wireArg() dmwire.CallArg {
 	if p.isRef {
-		return dmwire.CallArg{IsRef: true, Located: p.located, Ref: p.ref}
+		return dmwire.CallArg{IsRef: true, Located: p.located, Ref: p.ref, Replicas: p.replicas}
 	}
 	return dmwire.CallArg{Inline: p.inline}
 }
@@ -112,7 +139,7 @@ func (p Payload) wireArg() dmwire.CallArg {
 // fromWire converts an envelope descriptor, aliasing inline bytes.
 func fromWire(a dmwire.CallArg) Payload {
 	if a.IsRef {
-		return Payload{isRef: true, located: a.Located, ref: a.Ref}
+		return Payload{isRef: true, located: a.Located, ref: a.Ref, replicas: a.Replicas}
 	}
 	return Payload{inline: a.Inline}
 }

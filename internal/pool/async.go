@@ -9,13 +9,16 @@ import (
 // surface: the pool routes up front, the shard's own client puts the
 // frame on the wire immediately, and Wait carries the shard's retry and
 // dedup semantics unchanged. Futures returned for located refs rewrite
-// Ref.Server to the shard ID at Wait time.
+// Ref.Server to the shard ID at Wait time. At ReplicaFactor > 1, stage
+// futures fan the payload out to every replica shard and by-ref read
+// futures fail over to the remaining replicas at Wait time.
 
-// AsyncRef is an in-flight StageRefAsync against a routed shard; Wait
-// must be called exactly once and yields a located ref.
+// AsyncRef is an in-flight StageRefAsync; Wait must be called exactly
+// once and yields a located ref.
 type AsyncRef struct {
 	inner *live.AsyncRef
 	shard uint32
+	rep   *repStage // replicated fan-out (replica.go); nil at R=1
 	err   error
 }
 
@@ -23,6 +26,9 @@ type AsyncRef struct {
 func (ar *AsyncRef) Wait() (dm.Ref, error) {
 	if ar.err != nil {
 		return dm.Ref{}, ar.err
+	}
+	if ar.rep != nil {
+		return ar.rep.wait()
 	}
 	ref, err := ar.inner.Wait()
 	if err != nil {
@@ -32,16 +38,23 @@ func (ar *AsyncRef) Wait() (dm.Ref, error) {
 	return ref, nil
 }
 
-// StageRefAsync starts staging data onto a ring-chosen shard and
-// returns a future for the located ref. data must stay valid and
+// StageRefAsync starts staging data onto a ring-chosen shard (or, at
+// ReplicaFactor > 1, onto every replica shard of a minted cluster key)
+// and returns a future for the located ref. data must stay valid and
 // unmodified until Wait returns.
 func (p *Client) StageRefAsync(data []byte) *AsyncRef {
+	if p.replicaFactor() > 1 {
+		return p.stageReplicatedAsync(data, 0)
+	}
 	return p.StageRefKeyedAsync(p.cursor.Add(1), data)
 }
 
 // StageRefKeyedAsync is StageRefAsync with explicit placement (see
-// StageRefKeyed).
+// StageRefKeyed; the key is ignored at ReplicaFactor > 1).
 func (p *Client) StageRefKeyedAsync(key uint64, data []byte) *AsyncRef {
+	if p.replicaFactor() > 1 {
+		return p.stageReplicatedAsync(data, 0)
+	}
 	s, err := p.route(key)
 	if err != nil {
 		return &AsyncRef{err: err}
@@ -53,6 +66,9 @@ func (p *Client) StageRefKeyedAsync(key uint64, data []byte) *AsyncRef {
 // called exactly once.
 type AsyncOp struct {
 	inner *live.AsyncOp
+	// retry, when set, runs a synchronous failover pass after the
+	// in-flight attempt fails with a failover-worthy error.
+	retry func(firstErr error) error
 	err   error
 }
 
@@ -61,19 +77,32 @@ func (op *AsyncOp) Wait() error {
 	if op.err != nil {
 		return op.err
 	}
-	return op.inner.Wait()
+	err := op.inner.Wait()
+	if err != nil && op.retry != nil && failoverWorthy(err) {
+		return op.retry(err)
+	}
+	return err
 }
 
-// ReadRefAsync starts a by-ref read from the ref's shard into dst and
-// returns a future; dst is filled when Wait returns nil.
+// ReadRefAsync starts a by-ref read from the ref's primary shard into
+// dst and returns a future; dst is filled when Wait returns nil. If the
+// primary fails, Wait falls back to the ref's remaining replicas
+// synchronously.
 func (p *Client) ReadRefAsync(ref dm.Ref, off int64, dst []byte) *AsyncOp {
 	s, err := p.byID(ref.Server)
 	if err != nil {
-		return &AsyncOp{err: err}
+		// The primary is unresolvable; a replicated ref may still be
+		// readable through its replicas.
+		return &AsyncOp{err: p.readRefFailover(ref, off, dst, ref.Server, err)}
 	}
 	local := ref
 	local.Server = 0
-	return &AsyncOp{inner: s.cl.ReadRefAsync(local, off, dst)}
+	return &AsyncOp{
+		inner: s.cl.ReadRefAsync(local, off, dst),
+		retry: func(firstErr error) error {
+			return p.readRefFailover(ref, off, dst, ref.Server, firstErr)
+		},
+	}
 }
 
 // WriteAsync starts an rwrite of src at addr on its shard and returns a

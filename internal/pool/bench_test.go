@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/dm"
 	"repro/internal/live"
@@ -12,6 +13,12 @@ import (
 
 // benchCluster spins up k in-process shards and a registered pool.
 func benchCluster(b *testing.B, k int) ([]*live.Server, *Client) {
+	return benchClusterCfg(b, k, Config{})
+}
+
+// benchClusterCfg is benchCluster with explicit pool configuration
+// (replica factor, repair pacing).
+func benchClusterCfg(b *testing.B, k int, pcfg Config) ([]*live.Server, *Client) {
 	b.Helper()
 	cfg := live.ServerConfig{NumPages: 4096, PageSize: 4096}
 	addrs := make([]string, k)
@@ -19,7 +26,8 @@ func benchCluster(b *testing.B, k int) ([]*live.Server, *Client) {
 	for i := 0; i < k; i++ {
 		srvs[i], addrs[i] = startShard(b, uint32(i), cfg)
 	}
-	p, err := Dial(Config{Shards: addrs})
+	pcfg.Shards = addrs
+	p, err := Dial(pcfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -128,4 +136,102 @@ func BenchmarkPoolReadRefThroughput(b *testing.B) {
 			wg.Wait()
 		})
 	}
+}
+
+// BenchmarkPoolReplicatedStage prices replication: stage+free cycles on
+// the same 3-shard cluster at R=1 (one copy, one round trip) and R=2
+// (two pipelined copies of every payload). The R=2 run pays double the
+// network and memory per object, so its per-op throughput bounds the
+// write-path cost of surviving a shard loss.
+func BenchmarkPoolReplicatedStage(b *testing.B) {
+	const payload = 8 << 10
+	for _, r := range []int{1, 2} {
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			_, p := benchClusterCfg(b, 3, Config{ReplicaFactor: r, RepairInterval: -1})
+			body := make([]byte, payload)
+			b.SetBytes(payload)
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < 3; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						ref, err := p.StageRef(body)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if err := p.FreeRef(ref); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkPoolRepair measures self-healing: each iteration stages a
+// population of replicated refs on 3 shards, ejects one shard, and times
+// the repairer restoring full R=2 replication on the survivors. The
+// repair-secs extra is the convergence time of the last iteration and
+// under-replicated-max the gauge's peak right after the ejection (the
+// backlog size) — both recorded to BENCH_pool.json, where a repair-path
+// regression shows up as a perf regression, not a silent behavior change.
+func BenchmarkPoolRepair(b *testing.B) {
+	const payload, objects = 8 << 10, 32
+	const victim = 2
+	_, p := benchClusterCfg(b, 3, Config{
+		ReplicaFactor:     2,
+		RepairInterval:    5 * time.Millisecond,
+		RepairBytesPerSec: -1, // measure the mechanism, not the throttle
+	})
+	body := make([]byte, payload)
+	var repairSecs, underMax float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		refs := make([]dm.Ref, objects)
+		for j := range refs {
+			ref, err := p.StageRef(body)
+			if err != nil {
+				b.Fatal(err)
+			}
+			refs[j] = ref
+		}
+		b.StartTimer()
+
+		// Eject the victim the way the health monitor would.
+		p.shards[victim].healthy.Store(false)
+		p.ring.Remove(victim)
+		start := time.Now()
+		backlog := p.UnderReplicated()
+		p.kickRepair()
+		for p.UnderReplicated() > 0 {
+			if time.Since(start) > 30*time.Second {
+				b.Fatal("repair did not converge")
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		repairSecs = time.Since(start).Seconds()
+		underMax = float64(backlog)
+
+		b.StopTimer()
+		// Readmit the shard (its copies are intact — this was a ring
+		// ejection, not a crash) and drain the population.
+		p.ring.Add(victim)
+		p.shards[victim].healthy.Store(true)
+		for _, ref := range refs {
+			if err := p.FreeRef(ref); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(repairSecs, "repair-secs")
+	b.ReportMetric(underMax, "under-replicated-max")
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/dm"
+	"repro/internal/dmwire"
 	"repro/internal/live"
 	"repro/internal/stats"
 )
@@ -38,6 +39,21 @@ type Config struct {
 	// OnTopology, when set, is called after a shard is ejected from or
 	// rejoined to the ring (healthy=false / true). It must not block.
 	OnTopology func(shard uint32, healthy bool)
+	// ReplicaFactor R places each staged payload on the R distinct ring
+	// successors of its placement point (DESIGN.md §D13), so one shard
+	// death loses nothing. <= 1 disables replication (the pre-replica
+	// behaviour); values above dmwire.MaxRefReplicas are clamped. At R>1
+	// StageRefKeyed ignores the caller's co-location key — replicated
+	// placement must be recomputable from the ref key alone.
+	ReplicaFactor int
+	// RepairBytesPerSec bounds the background repairer's copy bandwidth
+	// so repair never starves foreground traffic. 0 uses 32 MiB/s;
+	// negative removes the bound.
+	RepairBytesPerSec int64
+	// RepairInterval paces the periodic repair scan over tracked refs
+	// (0 uses 2s; negative disables the periodic scan — topology changes
+	// still kick an immediate pass).
+	RepairInterval time.Duration
 }
 
 // ErrNoShards is returned when every shard has been ejected.
@@ -49,6 +65,12 @@ type shard struct {
 	addr    string
 	cl      *live.Client
 	healthy atomic.Bool
+	// failoverServed counts reads this shard answered as a non-primary
+	// replica after the primary failed (ReplicaStats).
+	failoverServed atomic.Int64
+	// repairsIn counts replica copies the repairer re-staged onto this
+	// shard (ReplicaStats).
+	repairsIn atomic.Int64
 }
 
 // Client is a process's handle on the shard cluster: the full
@@ -61,6 +83,18 @@ type Client struct {
 	shards []*shard
 	ring   *Ring
 	cursor atomic.Uint64 // placement key for unkeyed StageRef/Alloc
+
+	// Tracked replicated refs staged by this client (replica.go): the
+	// repairer's work list, in the Kademlia republisher model — each
+	// staging client keeps its own refs fully replicated.
+	refMu sync.Mutex
+	refs  map[uint64]*refMeta
+
+	repairKick    chan struct{}
+	failoverReads atomic.Int64 // reads served by a non-primary replica
+	repairsDone   atomic.Int64 // replica copies restored by the repairer
+	repairErrors  atomic.Int64 // failed repair reads/stages
+	repairBytes   atomic.Int64 // payload bytes copied by the repairer
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -93,10 +127,15 @@ func Dial(cfg Config) (*Client, error) {
 	if cfg.RejoinPoll == 0 {
 		cfg.RejoinPoll = 500 * time.Millisecond
 	}
+	if cfg.ReplicaFactor > dmwire.MaxRefReplicas {
+		cfg.ReplicaFactor = dmwire.MaxRefReplicas
+	}
 	p := &Client{
-		cfg:  cfg,
-		ring: NewRing(cfg.Vnodes),
-		stop: make(chan struct{}),
+		cfg:        cfg,
+		ring:       NewRing(cfg.Vnodes),
+		refs:       make(map[uint64]*refMeta),
+		repairKick: make(chan struct{}, 1),
+		stop:       make(chan struct{}),
 	}
 	for i, addr := range cfg.Shards {
 		s := &shard{id: uint32(i), addr: addr}
@@ -142,6 +181,10 @@ func (p *Client) Register() error {
 		p.wg.Add(1)
 		go p.rejoinLoop()
 	}
+	if p.replicaFactor() > 1 {
+		p.wg.Add(1)
+		go p.repairLoop()
+	}
 	return nil
 }
 
@@ -172,14 +215,22 @@ func (p *Client) eject(s *shard) {
 	if cb := p.cfg.OnTopology; cb != nil {
 		cb(s.id, false)
 	}
+	// Refs with a replica on the ejected shard are now under-replicated:
+	// re-replicate them onto the shard's ring successors immediately.
+	p.kickRepair()
 }
 
-// rejoinLoop re-adds ejected shards whose heartbeats have recovered: the
-// per-server consecutive-failure counter resets to zero only on a
-// successful renewal, so a zero reading means the session is live again.
-// A session the server already reaped never renews (its heartbeat loop
-// has exited with the counter latched nonzero), so a reaped shard stays
-// out until the process builds a fresh pool client.
+// rejoinLoop re-admits ejected shards. Two recovery paths:
+//
+//   - Partition healed, session intact: the per-server consecutive-failure
+//     counter resets to zero only on a successful renewal, so a zero
+//     reading means the session (and the shard's data) is live again —
+//     plain rejoin.
+//   - Session reaped (server restart or lease expiry): the heartbeat loop
+//     has exited with the SessionReaped latch set. The shard's memory is
+//     gone, so the poller re-registers a fresh session, verifies the
+//     server still announces the expected shard ID, drops the shard from
+//     every tracked replica set, and re-admits it as a repair target.
 func (p *Client) rejoinLoop() {
 	defer p.wg.Done()
 	tick := time.NewTicker(p.cfg.RejoinPoll)
@@ -193,11 +244,27 @@ func (p *Client) rejoinLoop() {
 				if s.healthy.Load() {
 					continue
 				}
-				if s.cl.SessionHealth()[s.addr] == 0 && s.healthy.CompareAndSwap(false, true) {
+				if s.cl.SessionReaped(0) {
+					if err := s.cl.Reregister(0); err != nil {
+						continue // still down; retry next poll
+					}
+					if announced, ok := s.cl.ServerShard(0); ok && announced != s.id {
+						continue // a different server came up on the address
+					}
+					// Everything the old session held on this shard is
+					// gone: forget its replicas before readmitting it, so
+					// reads don't chase vanished copies and the repairer
+					// re-stages onto it.
+					p.invalidateShard(s.id)
+				} else if s.cl.SessionHealth()[s.addr] != 0 {
+					continue
+				}
+				if s.healthy.CompareAndSwap(false, true) {
 					p.ring.Add(s.id)
 					if cb := p.cfg.OnTopology; cb != nil {
 						cb(s.id, true)
 					}
+					p.kickRepair()
 				}
 			}
 		}
@@ -369,8 +436,13 @@ func (p *Client) MapRef(ref dm.Ref) (dm.RemoteAddr, error) {
 	return tagShard(s.id, addr), nil
 }
 
-// FreeRef drops a located ref's page hold on its shard.
+// FreeRef drops a located ref's page hold. Replicated refs (pool-minted
+// key) are freed on every replica shard; single-copy refs on their one
+// shard.
 func (p *Client) FreeRef(ref dm.Ref) error {
+	if ref.Key&dmwire.ReplicaKeyBit != 0 {
+		return p.freeReplicated(ref)
+	}
 	s, err := p.byID(ref.Server)
 	if err != nil {
 		return err
@@ -382,15 +454,27 @@ func (p *Client) FreeRef(ref dm.Ref) error {
 
 // StageRef stages data onto a ring-chosen shard and returns a located
 // ref. Placement uses an internal cursor, spreading unkeyed stages
-// uniformly; use StageRefKeyed to co-locate related data.
+// uniformly; use StageRefKeyed to co-locate related data. At
+// ReplicaFactor > 1 the payload is staged on the R ring successors of a
+// pool-minted cluster key (replica.go) and the stage succeeds once at
+// least one copy lands.
 func (p *Client) StageRef(data []byte) (dm.Ref, error) {
+	if p.replicaFactor() > 1 {
+		return p.stageReplicatedAsync(data, 0).Wait()
+	}
 	return p.StageRefKeyed(p.cursor.Add(1), data)
 }
 
 // StageRefKeyed stages data onto the shard owning key — the same key
 // always lands on the same shard (until the ring changes), which is how
-// an application co-locates the pieces of one logical object.
+// an application co-locates the pieces of one logical object. At
+// ReplicaFactor > 1 the co-location key is ignored: replicated placement
+// must be derivable from the ref key alone, so every stage follows its
+// own minted cluster key instead.
 func (p *Client) StageRefKeyed(key uint64, data []byte) (dm.Ref, error) {
+	if p.replicaFactor() > 1 {
+		return p.stageReplicatedAsync(data, 0).Wait()
+	}
 	s, err := p.route(key)
 	if err != nil {
 		return dm.Ref{}, err
@@ -403,26 +487,16 @@ func (p *Client) StageRefKeyed(key uint64, data []byte) (dm.Ref, error) {
 	return ref, nil
 }
 
-// ReadRef reads a located ref's snapshot from its shard.
+// ReadRef reads a located ref's snapshot, failing over across the ref's
+// replicas when the primary shard errors or has been ejected
+// (replica.go).
 func (p *Client) ReadRef(ref dm.Ref, off int64, dst []byte) error {
-	s, err := p.byID(ref.Server)
-	if err != nil {
-		return err
-	}
-	local := ref
-	local.Server = 0
-	return s.cl.ReadRef(local, off, dst)
+	return p.ReadRefFrom(ref, nil, off, dst)
 }
 
-// ReadRefLease reads a located ref's snapshot from its shard as a leased
-// zero-copy buffer (live.Client.ReadRefLease); the caller must Release
-// it exactly once.
+// ReadRefLease reads a located ref's snapshot as a leased zero-copy
+// buffer (live.Client.ReadRefLease), with the same replica failover as
+// ReadRef; the caller must Release it exactly once.
 func (p *Client) ReadRefLease(ref dm.Ref, off, size int64) (*live.Buf, error) {
-	s, err := p.byID(ref.Server)
-	if err != nil {
-		return nil, err
-	}
-	local := ref
-	local.Server = 0
-	return s.cl.ReadRefLease(local, off, size)
+	return p.ReadRefLeaseFrom(ref, nil, off, size)
 }

@@ -1,0 +1,659 @@
+package pool
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"repro/internal/dm"
+	"repro/internal/dmwire"
+	"repro/internal/live"
+)
+
+// R-way replication for staged payloads (DESIGN.md §D13).
+//
+// Placement invariant: a replicated ref's copies live on the R distinct
+// ring successors of its key — a pure function of (key, membership), so
+// any client holding the cluster map can locate every replica from the
+// bare 8-byte key, with no directory service. The pool mints the key
+// itself (dmwire.ReplicaKeyBit set, so it can never collide with a
+// server's own counter-minted keys) and stages the same payload under it
+// on every successor via MStageAt.
+//
+// The model is the Kademlia one (K-closest placement + republish to the
+// CURRENT closest nodes): each staging client tracks its own replicated
+// refs and keeps them fully replicated as membership changes. Read
+// failover is stateless — any reader probes the successors — but repair
+// responsibility follows the ref's producer.
+
+// refMeta is the tracked state of one replicated ref staged by this
+// client. replicas is guarded by Client.refMu.
+type refMeta struct {
+	size     int64
+	replicas []uint32 // shards believed to hold a copy
+}
+
+// replicaFactor returns the effective R (>= 1).
+func (p *Client) replicaFactor() int {
+	if p.cfg.ReplicaFactor <= 1 {
+		return 1
+	}
+	return p.cfg.ReplicaFactor
+}
+
+// mintKey mints a cluster-wide replica key: uniformly random with
+// dmwire.ReplicaKeyBit set, re-drawn on the (vanishing) chance it is
+// already tracked locally. Cross-client collisions surface as
+// dm.ErrRefExists at stage time and re-mint there.
+func (p *Client) mintKey() uint64 {
+	for {
+		k := rand.Uint64() | dmwire.ReplicaKeyBit
+		p.refMu.Lock()
+		_, dup := p.refs[k]
+		p.refMu.Unlock()
+		if !dup {
+			return k
+		}
+	}
+}
+
+// track records a freshly staged replicated ref for the repairer.
+func (p *Client) track(key uint64, size int64, replicas []uint32) {
+	cp := append([]uint32(nil), replicas...)
+	p.refMu.Lock()
+	p.refs[key] = &refMeta{size: size, replicas: cp}
+	p.refMu.Unlock()
+}
+
+// untrack forgets a ref (FreeRef).
+func (p *Client) untrack(key uint64) {
+	p.refMu.Lock()
+	delete(p.refs, key)
+	p.refMu.Unlock()
+}
+
+// addReplica records that shard id now holds a copy of key.
+func (p *Client) addReplica(key uint64, id uint32) {
+	p.refMu.Lock()
+	if m, ok := p.refs[key]; ok {
+		have := false
+		for _, r := range m.replicas {
+			if r == id {
+				have = true
+				break
+			}
+		}
+		if !have {
+			m.replicas = append(m.replicas, id)
+		}
+	}
+	p.refMu.Unlock()
+}
+
+// invalidateShard drops shard id from every tracked replica set: the
+// server restarted with a fresh session, so the copies it held are gone.
+func (p *Client) invalidateShard(id uint32) {
+	p.refMu.Lock()
+	for _, m := range p.refs {
+		kept := m.replicas[:0]
+		for _, r := range m.replicas {
+			if r != id {
+				kept = append(kept, r)
+			}
+		}
+		m.replicas = kept
+	}
+	p.refMu.Unlock()
+}
+
+// Replicas returns the shard IDs believed to hold ref, primary first
+// where known: the tracked set for refs staged by this client, else —
+// for replicated refs minted elsewhere — the current ring successors of
+// the key. Single-copy refs (server-minted key) return nil.
+func (p *Client) Replicas(ref dm.Ref) []uint32 {
+	if ref.Key&dmwire.ReplicaKeyBit == 0 {
+		return nil
+	}
+	p.refMu.Lock()
+	if m, ok := p.refs[ref.Key]; ok {
+		out := append([]uint32(nil), m.replicas...)
+		p.refMu.Unlock()
+		return out
+	}
+	p.refMu.Unlock()
+	r := p.replicaFactor()
+	if r < 2 {
+		r = 2 // a foreign replicated ref has at least 2 copies to probe
+	}
+	return p.ring.Successors(ref.Key, r)
+}
+
+// candidates builds the read-failover order for ref: the ref's own
+// Server field, then the tracked/derived replica set, then any wire
+// hints (a v2 ref's shard list, possibly stale), then the current ring
+// successors — deduplicated, healthy shards first. Unhealthy candidates
+// stay at the tail: an ejected shard may still answer (ejection is a
+// heartbeat verdict, not proof of death), and trying it last costs
+// nothing when everything else failed.
+func (p *Client) candidates(ref dm.Ref, hints []uint32) []uint32 {
+	ids := make([]uint32, 0, 8)
+	ids = append(ids, ref.Server)
+	ids = append(ids, p.Replicas(ref)...)
+	ids = append(ids, hints...)
+	if ref.Key&dmwire.ReplicaKeyBit != 0 {
+		r := p.replicaFactor()
+		if r < 2 {
+			r = 2
+		}
+		ids = append(ids, p.ring.Successors(ref.Key, r)...)
+	}
+	seen := make(map[uint32]struct{}, len(ids))
+	healthy := make([]uint32, 0, len(ids))
+	var sick []uint32
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		// Out-of-cluster IDs stay in the list (classified unhealthy) so
+		// byID can surface dm.ErrBadAddress instead of silently skipping.
+		if int(id) < len(p.shards) && p.shards[id].healthy.Load() {
+			healthy = append(healthy, id)
+		} else {
+			sick = append(sick, id)
+		}
+	}
+	return append(healthy, sick...)
+}
+
+// failoverWorthy reports whether err on one replica justifies trying the
+// next: range violations are deterministic (every replica holds the same
+// snapshot), everything else — unknown ref (restarted shard), reaped
+// session, connection loss, deadline — may be replica-local.
+func failoverWorthy(err error) bool {
+	return !errors.Is(err, dm.ErrOutOfRange)
+}
+
+// ReadRefFrom is ReadRef with explicit replica hints (e.g. the shard
+// list carried by a v2 wire ref from another process). Candidates are
+// tried in failover order; a success on any non-first candidate counts
+// as a failover read.
+func (p *Client) ReadRefFrom(ref dm.Ref, hints []uint32, off int64, dst []byte) error {
+	local := ref
+	local.Server = 0
+	var lastErr error
+	for _, id := range p.candidates(ref, hints) {
+		s, err := p.byID(id)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := s.cl.ReadRef(local, off, dst); err == nil {
+			// Served by anyone but the ref's own primary = a failover
+			// read (an ejected primary is skipped, not "tried first").
+			if id != ref.Server {
+				p.failoverReads.Add(1)
+				s.failoverServed.Add(1)
+			}
+			return nil
+		} else {
+			lastErr = err
+			if !failoverWorthy(err) {
+				return err
+			}
+		}
+	}
+	if lastErr == nil {
+		lastErr = dm.ErrBadRef
+	}
+	return lastErr
+}
+
+// readRefFailover finishes a by-ref read whose first attempt (against
+// shard `tried`) already failed with firstErr: the remaining candidates
+// are probed in failover order. Used by ReadRefAsync's Wait path.
+func (p *Client) readRefFailover(ref dm.Ref, off int64, dst []byte, tried uint32, firstErr error) error {
+	if !failoverWorthy(firstErr) {
+		return firstErr
+	}
+	local := ref
+	local.Server = 0
+	lastErr := firstErr
+	for _, id := range p.candidates(ref, nil) {
+		if id == tried {
+			continue
+		}
+		s, err := p.byID(id)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := s.cl.ReadRef(local, off, dst); err == nil {
+			p.failoverReads.Add(1)
+			s.failoverServed.Add(1)
+			return nil
+		} else {
+			lastErr = err
+			if !failoverWorthy(err) {
+				return err
+			}
+		}
+	}
+	return lastErr
+}
+
+// ReadRefLeaseFrom is ReadRefLease with explicit replica hints and the
+// same failover order as ReadRefFrom.
+func (p *Client) ReadRefLeaseFrom(ref dm.Ref, hints []uint32, off, size int64) (*live.Buf, error) {
+	local := ref
+	local.Server = 0
+	var lastErr error
+	for _, id := range p.candidates(ref, hints) {
+		s, err := p.byID(id)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		b, err := s.cl.ReadRefLease(local, off, size)
+		if err == nil {
+			if id != ref.Server {
+				p.failoverReads.Add(1)
+				s.failoverServed.Add(1)
+			}
+			return b, nil
+		}
+		lastErr = err
+		if !failoverWorthy(err) {
+			return nil, err
+		}
+	}
+	if lastErr == nil {
+		lastErr = dm.ErrBadRef
+	}
+	return nil, lastErr
+}
+
+// freeReplicated frees a replicated ref on every shard that may hold a
+// copy. Replicas the repairer already lost race-free report dm.ErrBadRef
+// and are ignored; the free succeeds when at least one copy was
+// released.
+func (p *Client) freeReplicated(ref dm.Ref) error {
+	cands := p.candidates(ref, nil)
+	p.untrack(ref.Key)
+	local := ref
+	local.Server = 0
+	freed := false
+	var lastErr error
+	for _, id := range cands {
+		s, err := p.byID(id)
+		if err != nil {
+			continue
+		}
+		switch err := s.cl.FreeRef(local); {
+		case err == nil:
+			freed = true
+		case errors.Is(err, dm.ErrBadRef):
+			// this shard never got (or already lost) its copy
+		default:
+			lastErr = err
+		}
+	}
+	if freed {
+		return nil
+	}
+	if lastErr != nil {
+		return lastErr
+	}
+	return dm.ErrBadRef
+}
+
+// --- replicated staging ---
+
+// maxStageAttempts bounds key re-mints on cross-client key collisions
+// (a random 63-bit draw matching a foreign live ref — astronomically
+// rare, but the loop must terminate).
+const maxStageAttempts = 3
+
+// repStage is an in-flight replicated stage: one minted key, one
+// pipelined MStageAt fan-out to the key's ring successors.
+type repStage struct {
+	p       *Client
+	key     uint64
+	data    []byte
+	attempt int
+	targets []uint32
+	futs    []*live.AsyncRef
+}
+
+// stageReplicatedAsync mints a cluster key and starts the fan-out; the
+// returned AsyncRef's Wait collects the copies and tracks the ref.
+func (p *Client) stageReplicatedAsync(data []byte, attempt int) *AsyncRef {
+	key := p.mintKey()
+	targets := p.ring.Successors(key, p.replicaFactor())
+	if len(targets) == 0 {
+		return &AsyncRef{err: ErrNoShards}
+	}
+	rs := &repStage{p: p, key: key, data: data, attempt: attempt, targets: targets}
+	rs.futs = make([]*live.AsyncRef, len(targets))
+	for i, id := range targets {
+		s, err := p.byID(id)
+		if err != nil {
+			continue
+		}
+		// Index 0: each shard's live client is single-address.
+		rs.futs[i] = s.cl.StageRefAtAsync(0, key, data)
+	}
+	return &AsyncRef{rep: rs}
+}
+
+// wait collects the fan-out. The stage succeeds when at least one copy
+// lands (missing replicas are handed to the repairer); a key collision
+// frees what landed and retries under a fresh key.
+func (rs *repStage) wait() (dm.Ref, error) {
+	var placed []uint32
+	var collided bool
+	var lastErr error
+	for i, f := range rs.futs {
+		if f == nil {
+			continue
+		}
+		switch _, err := f.Wait(); {
+		case err == nil:
+			placed = append(placed, rs.targets[i])
+		case errors.Is(err, dm.ErrRefExists):
+			collided = true
+		default:
+			lastErr = err
+		}
+	}
+	if collided {
+		// Another client owns this key. Roll back our copies and re-mint.
+		local := dm.Ref{Key: rs.key, Size: int64(len(rs.data))}
+		for _, id := range placed {
+			if s, err := rs.p.byID(id); err == nil {
+				s.cl.FreeRef(local)
+			}
+		}
+		if rs.attempt+1 >= maxStageAttempts {
+			return dm.Ref{}, dm.ErrRefExists
+		}
+		return rs.p.stageReplicatedAsync(rs.data, rs.attempt+1).Wait()
+	}
+	if len(placed) == 0 {
+		if lastErr == nil {
+			lastErr = ErrNoShards
+		}
+		return dm.Ref{}, lastErr
+	}
+	ref := dm.Ref{Server: placed[0], Key: rs.key, Size: int64(len(rs.data))}
+	rs.p.track(rs.key, ref.Size, placed)
+	if len(placed) < len(rs.targets) {
+		rs.p.kickRepair() // born under-replicated
+	}
+	return ref, nil
+}
+
+// --- repair ---
+
+// kickRepair schedules an immediate repair pass (coalescing with any
+// pass already pending).
+func (p *Client) kickRepair() {
+	select {
+	case p.repairKick <- struct{}{}:
+	default:
+	}
+}
+
+// repairBPS returns the effective repair bandwidth bound in bytes/sec
+// (0 = unlimited).
+func (p *Client) repairBPS() int64 {
+	switch b := p.cfg.RepairBytesPerSec; {
+	case b == 0:
+		return 32 << 20
+	case b < 0:
+		return 0
+	default:
+		return b
+	}
+}
+
+// repairLoop is the background repairer: woken by topology changes
+// (ejection and rejoin kick it) and by the periodic scan, it walks the
+// tracked refs and restores full replication.
+func (p *Client) repairLoop() {
+	defer p.wg.Done()
+	interval := p.cfg.RepairInterval
+	if interval == 0 {
+		interval = 2 * time.Second
+	}
+	var tickC <-chan time.Time
+	if interval > 0 {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		tickC = tick.C
+	}
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.repairKick:
+		case <-tickC:
+		}
+		p.repairPass()
+	}
+}
+
+// repairPass walks every tracked ref once: for each, the wanted set is
+// the CURRENT ring successors of its key (the Kademlia republish rule),
+// the repair targets are wanted shards without a copy, and the source is
+// any healthy shard that has one. Copies are paced against the
+// repair-bandwidth budget so a large backlog can't starve foreground
+// traffic. A re-stage answered with dm.ErrRefExists means another
+// repairer (or the races rejoined shard itself) beat us — that is
+// success, not failure.
+func (p *Client) repairPass() {
+	r := p.replicaFactor()
+	if r <= 1 {
+		return
+	}
+	bps := p.repairBPS()
+
+	p.refMu.Lock()
+	keys := make([]uint64, 0, len(p.refs))
+	for k := range p.refs {
+		keys = append(keys, k)
+	}
+	p.refMu.Unlock()
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	for _, key := range keys {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		p.refMu.Lock()
+		m, ok := p.refs[key]
+		var have []uint32
+		var size int64
+		if ok {
+			have = append([]uint32(nil), m.replicas...)
+			size = m.size
+		}
+		p.refMu.Unlock()
+		if !ok {
+			continue // freed since the snapshot
+		}
+
+		haveSet := make(map[uint32]struct{}, len(have))
+		var sources []uint32
+		for _, id := range have {
+			haveSet[id] = struct{}{}
+			if int(id) < len(p.shards) && p.shards[id].healthy.Load() {
+				sources = append(sources, id)
+			}
+		}
+		want := p.ring.Successors(key, r)
+		var targets []uint32
+		for _, id := range want {
+			if _, has := haveSet[id]; !has {
+				targets = append(targets, id)
+			}
+		}
+		if len(targets) == 0 || len(sources) == 0 {
+			continue // fully replicated, or nothing live to copy from
+		}
+
+		buf := make([]byte, size)
+		local := dm.Ref{Key: key, Size: size}
+		got := false
+		for _, src := range sources {
+			if err := p.shards[src].cl.ReadRef(local, 0, buf); err == nil {
+				got = true
+				break
+			}
+		}
+		if !got {
+			p.repairErrors.Add(1)
+			continue
+		}
+		copied := int64(0)
+		for _, tgt := range targets {
+			s := p.shards[tgt]
+			if !s.healthy.Load() {
+				continue
+			}
+			switch _, err := s.cl.StageRefAt(0, key, buf); {
+			case err == nil:
+				copied += size
+				p.repairBytes.Add(size)
+				fallthrough
+			case err != nil && errors.Is(err, dm.ErrRefExists):
+				p.repairsDone.Add(1)
+				s.repairsIn.Add(1)
+				p.addReplica(key, tgt)
+			default:
+				p.repairErrors.Add(1)
+			}
+		}
+		// Bandwidth budget: sleep off the bytes just copied before the
+		// next ref, bounding sustained repair throughput at ~bps.
+		if bps > 0 && copied > 0 {
+			d := time.Duration(float64(copied) / float64(bps) * float64(time.Second))
+			t := time.NewTimer(d)
+			select {
+			case <-p.stop:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+	}
+}
+
+// --- observability ---
+
+// UnderReplicated is the repair-progress gauge: the number of tracked
+// replicated refs with fewer live replicas than the target (R, or the
+// current member count when the ring has shrunk below R). It returns to
+// zero when repair has converged.
+func (p *Client) UnderReplicated() int {
+	r := p.replicaFactor()
+	if r <= 1 {
+		return 0
+	}
+	members := p.ring.Size()
+	want := r
+	if members < want {
+		want = members
+	}
+	if want == 0 {
+		return 0
+	}
+	n := 0
+	p.refMu.Lock()
+	defer p.refMu.Unlock()
+	for _, m := range p.refs {
+		alive := 0
+		for _, id := range m.replicas {
+			if int(id) < len(p.shards) && p.shards[id].healthy.Load() {
+				alive++
+			}
+		}
+		if alive < want {
+			n++
+		}
+	}
+	return n
+}
+
+// ReplicaFactorEffective returns the effective replica factor (>= 1;
+// the configured R clamped into its valid range at Dial).
+func (p *Client) ReplicaFactorEffective() int { return p.replicaFactor() }
+
+// TrackedRefs returns the number of replicated refs this client is
+// responsible for repairing.
+func (p *Client) TrackedRefs() int {
+	p.refMu.Lock()
+	defer p.refMu.Unlock()
+	return len(p.refs)
+}
+
+// FailoverReads returns how many reads were served by a non-primary
+// replica after the first-choice shard failed.
+func (p *Client) FailoverReads() int64 { return p.failoverReads.Load() }
+
+// RepairsDone returns how many replica copies the repairer has restored
+// (including re-stages another repairer won).
+func (p *Client) RepairsDone() int64 { return p.repairsDone.Load() }
+
+// RepairErrors returns how many repair reads/stages failed.
+func (p *Client) RepairErrors() int64 { return p.repairErrors.Load() }
+
+// RepairBytes returns the payload bytes the repairer has copied.
+func (p *Client) RepairBytes() int64 { return p.repairBytes.Load() }
+
+// ReplicaStat is one shard's replication counters (dmctl pool stats).
+type ReplicaStat struct {
+	Shard   uint32
+	Healthy bool
+	// RefsPrimary counts tracked refs whose first replica (the Server
+	// field handed to the application) is this shard.
+	RefsPrimary int
+	// RefsReplica counts tracked replica copies on this shard, primary
+	// included.
+	RefsReplica int
+	// FailoverReads counts reads this shard served as a fallback replica.
+	FailoverReads int64
+	// RepairsIn counts replica copies repaired onto this shard.
+	RepairsIn int64
+}
+
+// ReplicaStats snapshots per-shard replication counters, indexed by
+// shard ID.
+func (p *Client) ReplicaStats() []ReplicaStat {
+	out := make([]ReplicaStat, len(p.shards))
+	for i, s := range p.shards {
+		out[i] = ReplicaStat{
+			Shard:         s.id,
+			Healthy:       s.healthy.Load(),
+			FailoverReads: s.failoverServed.Load(),
+			RepairsIn:     s.repairsIn.Load(),
+		}
+	}
+	p.refMu.Lock()
+	for _, m := range p.refs {
+		for j, id := range m.replicas {
+			if int(id) >= len(out) {
+				continue
+			}
+			out[id].RefsReplica++
+			if j == 0 {
+				out[id].RefsPrimary++
+			}
+		}
+	}
+	p.refMu.Unlock()
+	return out
+}

@@ -8,9 +8,13 @@
 // is ejected from the ring for NEW placements while refs it already
 // holds keep resolving until the server's lease reaper reclaims them.
 //
-// What the pool does NOT provide (yet): replication and page migration.
-// A shard's pages live on that shard only — ejecting it routes new data
-// elsewhere but does not move or re-create what it held (DESIGN.md §D11).
+// With ReplicaFactor R > 1 the pool also replicates: each staged payload
+// lands on the R distinct ring successors of its placement point under
+// one pool-minted cluster key, reads fail over across replicas, and a
+// background repairer re-replicates under-replicated refs after an
+// ejection and re-homes them when a shard rejoins (replica.go,
+// DESIGN.md §D13). Page migration for Alloc'd regions remains out of
+// scope — a region's pages live on the shard that allocated them.
 package pool
 
 import (
@@ -126,6 +130,39 @@ func (r *Ring) Lookup(key uint64) (uint32, bool) {
 		i = 0 // wrap past the highest point
 	}
 	return r.points[i].shard, true
+}
+
+// Successors returns up to n distinct member shards walking clockwise
+// from the key's hash — the replica placement set (DESIGN.md §D13).
+// Successors(key, 1)[0] is exactly Lookup(key), and the set is a pure
+// function of (key, membership, vnodes), so any client sharing the
+// cluster map recomputes the same placement from a bare ref key. When
+// the ring has fewer than n members every member is returned.
+func (r *Ring) Successors(key uint64, n int) []uint32 {
+	if n <= 0 {
+		return nil
+	}
+	h := mix(key)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n > len(r.member) {
+		n = len(r.member)
+	}
+	out := make([]uint32, 0, n)
+	seen := make(map[uint32]struct{}, n)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for k := 0; k < len(r.points) && len(out) < n; k++ {
+		p := r.points[(i+k)%len(r.points)]
+		if _, dup := seen[p.shard]; dup {
+			continue // adjacent vnodes of one shard collapse to one replica
+		}
+		seen[p.shard] = struct{}{}
+		out = append(out, p.shard)
+	}
+	return out
 }
 
 // Contains reports ring membership.

@@ -97,6 +97,94 @@ func TestRingRemapFraction(t *testing.T) {
 	}
 }
 
+// TestRingSuccessors pins the replica-placement walk: Successors(key, 1)
+// agrees with Lookup on every key, Successors(key, n) returns n DISTINCT
+// shards (adjacent vnodes of one shard must collapse), asking for more
+// shards than exist returns every member, and the set is deterministic
+// across independently built rings — the property that lets any client
+// recompute a replicated ref's placement from its bare key.
+func TestRingSuccessors(t *testing.T) {
+	const shards = 5
+	a, b := NewRing(0), NewRing(0)
+	for id := uint32(0); id < shards; id++ {
+		a.Add(id)
+		b.Add(shards - 1 - id) // reverse insertion order
+	}
+	for key := uint64(0); key < 10_000; key++ {
+		one := a.Successors(key, 1)
+		if own, _ := a.Lookup(key); len(one) != 1 || one[0] != own {
+			t.Fatalf("key %d: Successors(1)=%v, Lookup=%d", key, one, own)
+		}
+		succ := a.Successors(key, 3)
+		if len(succ) != 3 {
+			t.Fatalf("key %d: got %d successors, want 3", key, len(succ))
+		}
+		seen := map[uint32]struct{}{}
+		for _, id := range succ {
+			if _, dup := seen[id]; dup {
+				t.Fatalf("key %d: duplicate shard %d in successor set %v", key, id, succ)
+			}
+			seen[id] = struct{}{}
+		}
+		if other := b.Successors(key, 3); len(other) != 3 ||
+			other[0] != succ[0] || other[1] != succ[1] || other[2] != succ[2] {
+			t.Fatalf("key %d: rings disagree: %v vs %v", key, succ, other)
+		}
+		if all := a.Successors(key, shards+3); len(all) != shards {
+			t.Fatalf("key %d: over-asking returned %d shards, want %d", key, len(all), shards)
+		}
+	}
+	if a.Successors(1, 0) != nil {
+		t.Fatal("Successors(key, 0) != nil")
+	}
+	if NewRing(8).Successors(1, 2) != nil {
+		t.Fatal("Successors on empty ring != nil")
+	}
+}
+
+// successorRemapFraction measures how many of n keys change their R-way
+// successor SET when mutate changes the ring.
+func successorRemapFraction(r *Ring, n uint64, rf int, mutate func()) float64 {
+	before := make([][]uint32, n)
+	for key := uint64(0); key < n; key++ {
+		before[key] = r.Successors(key, rf)
+	}
+	mutate()
+	moved := 0
+	for key := uint64(0); key < n; key++ {
+		after := r.Successors(key, rf)
+		same := len(after) == len(before[key])
+		for i := 0; same && i < len(after); i++ {
+			same = after[i] == before[key][i]
+		}
+		if !same {
+			moved++
+		}
+	}
+	return float64(moved) / float64(n)
+}
+
+// TestRingSuccessorSetRemap extends the stability property to replica
+// SETS: with R=2 over K shards, a membership change disturbs a key's
+// successor set only when the changed shard enters or leaves its first R
+// positions — about R/K of the keyspace, never a wholesale reshuffle.
+// Bounds allow 1.5x the ideal fraction for vnode-sampling noise.
+func TestRingSuccessorSetRemap(t *testing.T) {
+	const keys, rf = 50_000, 2
+	r := NewRing(0)
+	for id := uint32(0); id < 4; id++ {
+		r.Add(id)
+	}
+	join := successorRemapFraction(r, keys, rf, func() { r.Add(4) })
+	if join > 1.5*rf/5 || join == 0 {
+		t.Fatalf("join remapped %.1f%% of successor sets, want (0, %.1f%%]", join*100, 100*1.5*rf/5)
+	}
+	leave := successorRemapFraction(r, keys, rf, func() { r.Remove(1) })
+	if leave > 1.5*rf/5 || leave == 0 {
+		t.Fatalf("leave remapped %.1f%% of successor sets, want (0, %.1f%%]", leave*100, 100*1.5*rf/5)
+	}
+}
+
 // TestRingEmptyAndRejoin covers the edges: empty ring lookups fail,
 // and remove-then-add restores the exact prior layout.
 func TestRingEmptyAndRejoin(t *testing.T) {
