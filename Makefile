@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet check test test-short bench bench-smoke bench-live bench-liverpc bench-pool bench-transport pool-demo experiments experiments-full fuzz fuzz-smoke clean
+.PHONY: all build vet check test test-short bench bench-smoke bench-live bench-liverpc bench-pool bench-transport pool-demo load-demo load-smoke bench-load experiments experiments-full fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -17,7 +17,7 @@ vet:
 # server's concurrency — and the chaos/lease-reaping tests — are only
 # trustworthy raced).
 check: vet
-	$(GO) test -race ./internal/live/... ./internal/liverpc/... ./internal/dmwire/... ./internal/faultnet/... ./internal/pool/...
+	$(GO) test -race ./internal/live/... ./internal/liverpc/... ./internal/dmwire/... ./internal/faultnet/... ./internal/pool/... ./internal/loadgen/...
 
 # Full suite: unit, property, invariant and paper-shape tests (~4 min),
 # gated on the race-checked hot path and a brief fuzz pass over every
@@ -74,6 +74,26 @@ bench-transport:
 #   make pool-demo K=4 BASE_PORT=7800
 pool-demo: build
 	./scripts/pool-demo.sh $(or $(K),3) $(or $(BASE_PORT),7740)
+
+# Launch a K-shard cluster as real dmserverd processes, attach the dmload
+# harness (socialnet/kv/blob mixes), then run the in-process kill-a-shard
+# schedule at R=2 and require zero payload loss. Overridable:
+#   make load-demo K=4 BASE_PORT=7900 DURATION=10s
+load-demo: build
+	./scripts/dmload-demo.sh $(or $(K),3) $(or $(BASE_PORT),7860)
+
+# Two-second load-harness pass over an in-process single shard: proves
+# cmd/dmload end to end (cluster launch, socialnet + kv scenarios, JSON
+# report) — cheap enough to gate CI on.
+load-smoke: build
+	$(GO) run ./cmd/dmload -launch 1 -scenarios socialnet,kv -workers 4 \
+		-warmup 300ms -duration 2s -out /dev/null
+
+# Full load-harness record for the PR: the three scenarios against an
+# in-process 4-shard R=2 cluster, recorded to BENCH_load.json.
+bench-load: build
+	$(GO) run ./cmd/dmload -launch 4 -replicas 2 -scenarios socialnet,kv,blob \
+		-workers 8 -warmup 1s -duration 5s -out BENCH_load.json
 
 # Regenerate every figure as text tables (quick windows).
 experiments:

@@ -13,34 +13,14 @@ package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
-	"time"
+
+	"repro/internal/benchfmt"
 )
-
-// Result is one benchmark line's parsed metrics.
-type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
-	// Extra collects custom b.ReportMetric units the fixed fields don't
-	// know (e.g. "crossover-bytes" from the liverpc chain benchmark).
-	Extra map[string]float64 `json:"extra,omitempty"`
-}
-
-// Report is the whole run: environment header lines plus every result.
-type Report struct {
-	Date    string   `json:"date"`
-	Env     []string `json:"env"`
-	Results []Result `json:"results"`
-}
 
 func main() {
 	out := flag.String("out", "", "path of the JSON report to write (required)")
@@ -51,7 +31,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	report := Report{Date: time.Now().UTC().Format(time.RFC3339)}
+	report := benchfmt.NewReport()
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -111,12 +91,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	b, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+	if err := report.WriteFile(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
@@ -126,16 +101,16 @@ func main() {
 // parseLine parses one `go test -bench` result line, e.g.
 //
 //	BenchmarkLiveReadRef-8  75049  16067 ns/op  2039.43 MB/s  392 B/op  12 allocs/op
-func parseLine(line string) (Result, bool) {
+func parseLine(line string) (benchfmt.Result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 {
-		return Result{}, false
+		return benchfmt.Result{}, false
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return Result{}, false
+		return benchfmt.Result{}, false
 	}
-	r := Result{Name: fields[0], Iterations: iters}
+	r := benchfmt.Result{Name: fields[0], Iterations: iters}
 	// Remaining fields come in (value, unit) pairs.
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
@@ -159,7 +134,7 @@ func parseLine(line string) (Result, bool) {
 		}
 	}
 	if r.NsPerOp == 0 {
-		return Result{}, false
+		return benchfmt.Result{}, false
 	}
 	return r, true
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -83,8 +84,10 @@ commands:
     pool chain -hops <h> -size <n> -n <ops>
                                   chain app with every hop on its own
                                   pool session (located refs end-to-end)
-    pool stats -size <n> -n <k>   run a burst, print aggregate and
-                                  per-shard client counters`)
+    pool stats -size <n> -n <k> [-json]
+                                  run a burst, print aggregate and
+                                  per-shard client counters (-json emits
+                                  one machine-readable document)`)
 	os.Exit(2)
 }
 
@@ -347,10 +350,70 @@ func cmdPoolChain(addrs []string, args []string) {
 	}
 }
 
+// poolStatsDoc is the `pool stats -json` document: the same counters the
+// human-readable print shows, in a machine-diffable shape (latencies in
+// nanoseconds) so scripts and the load harness can consume them.
+type poolStatsDoc struct {
+	Aggregate   poolCounters    `json:"aggregate"`
+	Shards      []poolShardDoc  `json:"shards"`
+	Sessions    map[string]int  `json:"sessions"` // addr -> consecutive heartbeat failures
+	Replication *poolReplicaDoc `json:"replication,omitempty"`
+	Healthy     []uint32        `json:"healthy_shards"`
+}
+
+type poolCounters struct {
+	Calls             int64 `json:"calls"`
+	Retries           int64 `json:"retries"`
+	DedupReplays      int64 `json:"dedup_replays"`
+	Failures          int64 `json:"failures"`
+	Timeouts          int64 `json:"timeouts"`
+	TransportErrors   int64 `json:"transport_errors"`
+	HeartbeatFailures int64 `json:"heartbeat_failures"`
+	CreditWaits       int64 `json:"credit_waits"`
+	CreditSheds       int64 `json:"credit_sheds"`
+	P50Ns             int64 `json:"p50_ns"`
+	P99Ns             int64 `json:"p99_ns"`
+	P999Ns            int64 `json:"p999_ns"`
+}
+
+type poolShardDoc struct {
+	ID uint32 `json:"id"`
+	poolCounters
+}
+
+type poolReplicaDoc struct {
+	R               int                `json:"r"`
+	TrackedRefs     int                `json:"tracked_refs"`
+	UnderReplicated int                `json:"under_replicated"`
+	FailoverReads   int64              `json:"failover_reads"`
+	RepairsDone     int64              `json:"repairs_done"`
+	RepairErrors    int64              `json:"repair_errors"`
+	RepairBytes     int64              `json:"repair_bytes"`
+	Shards          []pool.ReplicaStat `json:"shards"`
+}
+
+func poolCountersOf(st live.Stats, lat stats.Summary) poolCounters {
+	return poolCounters{
+		Calls:             st.Calls,
+		Retries:           st.Retries,
+		DedupReplays:      st.DedupReplays,
+		Failures:          st.Failures,
+		Timeouts:          st.Timeouts,
+		TransportErrors:   st.TransportErrors,
+		HeartbeatFailures: st.HeartbeatFailures,
+		CreditWaits:       st.CreditWaits,
+		CreditSheds:       st.CreditSheds,
+		P50Ns:             lat.P50,
+		P99Ns:             lat.P99,
+		P999Ns:            lat.P999,
+	}
+}
+
 func cmdPoolStats(p *pool.Client, args []string) {
 	fs := flag.NewFlagSet("pool stats", flag.ExitOnError)
 	size := fs.Int("size", 32768, "payload size per op")
 	n := fs.Int("n", 200, "stage/read/free cycles to run")
+	asJSON := fs.Bool("json", false, "emit one machine-readable JSON document instead of text")
 	fs.Parse(args)
 	payload := make([]byte, *size)
 	buf := make([]byte, *size)
@@ -362,14 +425,46 @@ func cmdPoolStats(p *pool.Client, args []string) {
 	}
 	agg := p.Stats()
 	lat := p.Latency()
-	fmt.Printf("aggregate: calls=%d retries=%d dedup_replays=%d failures=%d heartbeat_failures=%d credit_waits=%d credit_sheds=%d p50=%s p99=%s\n",
-		agg.Calls, agg.Retries, agg.DedupReplays, agg.Failures, agg.HeartbeatFailures,
-		agg.CreditWaits, agg.CreditSheds, stats.Dur(lat.P50), stats.Dur(lat.P99))
 	shardLat := p.ShardLatency()
-	for id, st := range p.ShardStats() {
-		fmt.Printf("  shard %d: calls=%d retries=%d dedup_replays=%d failures=%d heartbeat_failures=%d p50=%s p99=%s\n",
-			id, st.Calls, st.Retries, st.DedupReplays, st.Failures, st.HeartbeatFailures,
-			stats.Dur(shardLat[id].P50), stats.Dur(shardLat[id].P99))
+	shardStats := p.ShardStats()
+
+	if *asJSON {
+		doc := poolStatsDoc{
+			Aggregate: poolCountersOf(agg, lat),
+			Sessions:  p.SessionHealth(),
+			Healthy:   p.Healthy(),
+		}
+		for id, st := range shardStats {
+			doc.Shards = append(doc.Shards, poolShardDoc{
+				ID:           uint32(id),
+				poolCounters: poolCountersOf(st, shardLat[id]),
+			})
+		}
+		if p.ReplicaFactorEffective() > 1 {
+			doc.Replication = &poolReplicaDoc{
+				R:               p.ReplicaFactorEffective(),
+				TrackedRefs:     p.TrackedRefs(),
+				UnderReplicated: p.UnderReplicated(),
+				FailoverReads:   p.FailoverReads(),
+				RepairsDone:     p.RepairsDone(),
+				RepairErrors:    p.RepairErrors(),
+				RepairBytes:     p.RepairBytes(),
+				Shards:          p.ReplicaStats(),
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		exitOn(enc.Encode(doc))
+		return
+	}
+
+	fmt.Printf("aggregate: calls=%d retries=%d dedup_replays=%d failures=%d timeouts=%d transport_errors=%d heartbeat_failures=%d credit_waits=%d credit_sheds=%d p50=%s p99=%s\n",
+		agg.Calls, agg.Retries, agg.DedupReplays, agg.Failures, agg.Timeouts, agg.TransportErrors,
+		agg.HeartbeatFailures, agg.CreditWaits, agg.CreditSheds, stats.Dur(lat.P50), stats.Dur(lat.P99))
+	for id, st := range shardStats {
+		fmt.Printf("  shard %d: calls=%d retries=%d dedup_replays=%d failures=%d timeouts=%d transport_errors=%d heartbeat_failures=%d p50=%s p99=%s\n",
+			id, st.Calls, st.Retries, st.DedupReplays, st.Failures, st.Timeouts, st.TransportErrors,
+			st.HeartbeatFailures, stats.Dur(shardLat[id].P50), stats.Dur(shardLat[id].P99))
 	}
 	for addr, consec := range p.SessionHealth() {
 		fmt.Printf("  session %s: consecutive heartbeat failures %d\n", addr, consec)

@@ -1,0 +1,48 @@
+// Package benchfmt defines the repo's cross-PR perf record: the JSON
+// shape cmd/benchjson distills from `go test -bench` output and
+// cmd/dmload emits directly from load-harness runs, so BENCH_*.json
+// files from either producer diff the same way across PRs.
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// Result is one measurement: a benchmark line's parsed metrics or one
+// load-harness scenario's aggregates.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra collects custom metric units the fixed fields don't know
+	// (e.g. "crossover-bytes" from the chain benchmark, "p99-ns" and
+	// "failover-reads" from the load harness).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is a whole run: environment header lines plus every result.
+type Report struct {
+	Date    string   `json:"date"`
+	Env     []string `json:"env"`
+	Results []Result `json:"results"`
+}
+
+// NewReport returns an empty report stamped with the current UTC time.
+func NewReport() Report {
+	return Report{Date: time.Now().UTC().Format(time.RFC3339)}
+}
+
+// WriteFile marshals the report (indented, trailing newline — the form
+// committed as BENCH_*.json) to path.
+func (r Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

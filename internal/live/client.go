@@ -65,8 +65,8 @@ type Client struct {
 	hbStop   chan struct{}
 	hbOnce   sync.Once
 	hbWG     sync.WaitGroup
-	hbFails  []atomic.Int32 // per-server consecutive heartbeat failures
-	hbDead   []atomic.Bool  // per-server "session reaped" latch (see SessionReaped)
+	hbFails  []atomic.Int32  // per-server consecutive heartbeat failures
+	hbDead   []atomic.Bool   // per-server "session reaped" latch (see SessionReaped)
 	hbCancel []chan struct{} // per-server heartbeat cancel, mu-guarded (Reregister)
 	hbTotal  atomic.Int64    // cumulative heartbeat failures (never resets)
 }
@@ -284,7 +284,10 @@ func (c *conn) send(m rpc.Method, hdr, payload []byte, deadline time.Time, tok d
 		// writer already did for errors it detected — fail is idempotent)
 		// so the owning Node redials on the next call.
 		c.fail(err)
-		return 0, nil, fmt.Errorf("%w: write: %v", errConnFailed, err)
+		// Double-wrap so a write that died on its deadline keeps the
+		// deadline in its chain: Stats classifies it as a timeout (slow
+		// fabric), not a transport error, while isTransient still matches.
+		return 0, nil, fmt.Errorf("%w: write: %w", errConnFailed, err)
 	}
 	return id, ch, nil
 }
@@ -559,6 +562,15 @@ type Stats struct {
 	DedupReplays int64
 	// Failures counts calls that exhausted their retry budget.
 	Failures int64
+	// Timeouts counts attempts that failed by exceeding a deadline
+	// (overall or per-attempt) — the slow-but-alive failure class.
+	// Retries lumps every transient failure; Timeouts + TransportErrors
+	// splits them by cause.
+	Timeouts int64
+	// TransportErrors counts attempts that failed at the transport —
+	// dial errors, dead/poisoned connections, failed writes — the
+	// unreachable-or-crashed failure class.
+	TransportErrors int64
 	// HeartbeatFailures counts failed lease renewals, cumulatively
 	// (SessionHealth reports the resetting per-server consecutive count).
 	HeartbeatFailures int64

@@ -570,3 +570,131 @@ func TestCloseForceReapsSessions(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStatsTimeoutVsTransportSplit pins the per-class failure counters:
+// a stalled (alive but unresponsive) server must be attributed to
+// Timeouts, while a dead endpoint (dial refused) must be attributed to
+// TransportErrors — Retries alone cannot tell the two apart, and the
+// load harness reports them separately.
+func TestStatsTimeoutVsTransportSplit(t *testing.T) {
+	// Timeout class, request path: register over a faultnet conn, stage a
+	// ref, then delay writes past every deadline (the server is alive but
+	// the fabric is too slow) — the attempt reaches its pending-wait only
+	// after its deadline has passed and dies with ErrDeadline.
+	_, addr := startServer(t, smallConfig())
+	inj := faultnet.New()
+	ccfg := DefaultClientConfig()
+	ccfg.HeartbeatInterval = -1 // keep lease renewals out of the counters
+	ccfg.Net.Dialer = injectedDialer(inj)
+	ccfg.Net.CallTimeout = 400 * time.Millisecond
+	ccfg.Net.AttemptTimeout = 100 * time.Millisecond
+	ccfg.Net.MaxRetries = 2
+	ccfg.Net.RetryBackoff = 5 * time.Millisecond
+	cl, err := DialConfig(ccfg, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register(); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := cl.StageRef(make([]byte, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cl.Stats(); st.Timeouts != 0 || st.TransportErrors != 0 {
+		t.Fatalf("healthy-path stats already classified failures: %+v", st)
+	}
+	inj.SetWriteDelay(time.Second)
+	if err := cl.ReadRef(ref, 0, make([]byte, 512)); err == nil {
+		t.Fatal("read through a stalled fabric succeeded")
+	}
+	st := cl.Stats()
+	if st.Timeouts == 0 {
+		t.Fatalf("stalled read classified no timeouts: %+v", st)
+	}
+	if st.TransportErrors != 0 {
+		t.Fatalf("stalled read misclassified as transport errors: %+v", st)
+	}
+	inj.SetWriteDelay(0)
+
+	// Timeout class, submission path: a full write stall holds queued
+	// async frames in the coalescing writer; the future's pending-wait
+	// expires and must be attributed to Timeouts too. Retries are off on
+	// this client — a sync re-send would write on the caller's goroutine
+	// and park in the stall gate instead of reaching a deadline.
+	acfg := DefaultClientConfig()
+	acfg.HeartbeatInterval = -1
+	acfg.Net.Dialer = injectedDialer(inj)
+	acfg.Net.CallTimeout = 400 * time.Millisecond
+	acfg.Net.AttemptTimeout = 100 * time.Millisecond
+	acfg.Net.MaxRetries = 0
+	acl, err := DialConfig(acfg, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acl.Register(); err != nil {
+		t.Fatal(err)
+	}
+	aref, err := acl.StageRef(make([]byte, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Stall()
+	if err := acl.ReadRefAsync(aref, 0, make([]byte, 512)).Wait(); err == nil {
+		t.Fatal("async op through a stalled fabric succeeded")
+	}
+	ast := acl.Stats()
+	inj.Unstall()
+	if ast.Timeouts == 0 {
+		t.Fatalf("write stall classified no timeouts: %+v", ast)
+	}
+	if ast.TransportErrors != 0 {
+		t.Fatalf("write stall misclassified as transport errors: %+v", ast)
+	}
+	acl.Close()
+
+	// Transport class: connect to a live server, then kill it — the
+	// poisoned conn and every refused redial fail in the transport, never
+	// reaching a deadline.
+	vsrv := NewServer(smallConfig())
+	vln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdone := make(chan struct{})
+	go func() {
+		defer close(vdone)
+		vsrv.Serve(vln)
+	}()
+	dcfg := DefaultClientConfig()
+	dcfg.HeartbeatInterval = -1
+	dcfg.Net.CallTimeout = 400 * time.Millisecond
+	dcfg.Net.AttemptTimeout = 100 * time.Millisecond
+	dcfg.Net.DialTimeout = 100 * time.Millisecond
+	dcfg.Net.MaxRetries = 1
+	dcfg.Net.RetryBackoff = 5 * time.Millisecond
+	dead, err := DialConfig(dcfg, vln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dead.Close()
+	if err := dead.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vsrv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-vdone
+	time.Sleep(50 * time.Millisecond) // let the read loop poison the conn
+	if _, err := dead.StageRef(make([]byte, 64)); err == nil {
+		t.Fatal("stage against a dead endpoint succeeded")
+	}
+	dst := dead.Stats()
+	if dst.TransportErrors == 0 {
+		t.Fatalf("dead endpoint classified no transport errors: %+v", dst)
+	}
+	if dst.Timeouts != 0 {
+		t.Fatalf("dead endpoint misclassified as timeouts: %+v", dst)
+	}
+}

@@ -112,24 +112,42 @@ func (n *Node) attemptDeadline(deadline time.Time) time.Time {
 // one increment site for every public op (sync and async). Snapshotted
 // by Client.Stats.
 type opStats struct {
-	calls        atomic.Int64
-	retries      atomic.Int64
-	tokenRetries atomic.Int64
-	failures     atomic.Int64
-	creditWaits  atomic.Int64
-	creditSheds  atomic.Int64
+	calls         atomic.Int64
+	retries       atomic.Int64
+	tokenRetries  atomic.Int64
+	failures      atomic.Int64
+	timeouts      atomic.Int64
+	transportErrs atomic.Int64
+	creditWaits   atomic.Int64
+	creditSheds   atomic.Int64
+}
+
+// classify splits one failed attempt's transient error by cause —
+// deadline expiry vs transport (dial/conn/write) failure — so operators
+// can tell a slow-but-alive server from a dead or unreachable one
+// without parsing error strings. Non-transient (application) errors are
+// deliberately uncounted here; they surface to the caller.
+func (o *opStats) classify(err error) {
+	switch {
+	case errors.Is(err, ErrDeadline) || errors.Is(err, os.ErrDeadlineExceeded):
+		o.timeouts.Add(1)
+	case errors.Is(err, errConnFailed):
+		o.transportErrs.Add(1)
+	}
 }
 
 // snapshot reads the counters into the exported Stats form (the
 // heartbeat counter lives on the Client and is filled by the caller).
 func (o *opStats) snapshot() Stats {
 	return Stats{
-		Calls:        o.calls.Load(),
-		Retries:      o.retries.Load(),
-		DedupReplays: o.tokenRetries.Load(),
-		Failures:     o.failures.Load(),
-		CreditWaits:  o.creditWaits.Load(),
-		CreditSheds:  o.creditSheds.Load(),
+		Calls:           o.calls.Load(),
+		Retries:         o.retries.Load(),
+		DedupReplays:    o.tokenRetries.Load(),
+		Failures:        o.failures.Load(),
+		Timeouts:        o.timeouts.Load(),
+		TransportErrors: o.transportErrs.Load(),
+		CreditWaits:     o.creditWaits.Load(),
+		CreditSheds:     o.creditSheds.Load(),
 	}
 }
 
@@ -155,6 +173,7 @@ func (n *Node) withRetries(opts CallOpts, deadline time.Time, first, again func(
 		if err == nil {
 			return nil
 		}
+		n.ops.classify(err)
 		f = again
 		if !canRetry || attempt >= n.cfg.MaxRetries || !isTransient(err) {
 			n.ops.failures.Add(1)

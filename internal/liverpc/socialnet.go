@@ -2,6 +2,7 @@ package liverpc
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
@@ -10,22 +11,27 @@ import (
 )
 
 // A trimmed DeathStarBench-style social network (paper §VI-F, Fig 11)
-// on real sockets: the compose-post and read-home-timeline paths through
-// a frontend data mover, with post media as size-aware payloads. On
-// compose, the media payload crosses frontend → compose → storage; with
-// pass-by-reference only the staged ref travels and storage *adopts* it
-// (re-owns the shared frames under its own DM session), so the post
-// survives the composing client's exit or crash — the ownership-handoff
-// half of the paper's argument. On read, storage returns a page of
-// posts; by-ref timelines unwind as descriptors and the reader fetches
-// media straight from the DM server, never through the service chain.
+// on real sockets: the compose-post, read-home-timeline and
+// read-user-timeline paths through a frontend data mover, with post
+// media as size-aware payloads. On compose, the media payload crosses
+// frontend → compose → storage; with pass-by-reference only the staged
+// ref travels and storage *adopts* it (re-owns the shared frames under
+// its own DM session), so the post survives the composing client's exit
+// or crash — the ownership-handoff half of the paper's argument. On
+// read, storage returns a page of posts; by-ref timelines unwind as
+// descriptors and the reader fetches media straight from the DM server,
+// never through the service chain. The user-timeline tier filters the
+// same store by author, exercising a second read path with a different
+// storage access pattern.
 
 // SocialNet method names.
 const (
-	SNCompose = "sn.compose" // client → frontend → compose
-	SNRead    = "sn.read"    // client → frontend → home
-	SNStore   = "sn.store"   // compose → storage
-	SNFetch   = "sn.fetch"   // home → storage
+	SNCompose   = "sn.compose" // client → frontend → compose
+	SNRead      = "sn.read"    // client → frontend → home
+	SNUser      = "sn.user"    // client → frontend → user-timeline
+	SNStore     = "sn.store"   // compose → storage
+	SNFetch     = "sn.fetch"   // home → storage
+	SNFetchUser = "sn.fetchu"  // user-timeline → storage
 )
 
 // snParams encodes a timeline read's (start, count) page request.
@@ -42,16 +48,41 @@ func decodeSNParams(p Payload) (uint64, uint16, error) {
 	return start, count, nil
 }
 
+// snUserParams encodes a user-timeline read's (user, start, count) page
+// request.
+func snUserParams(user, start uint64, count uint16) Payload {
+	return Inline(rpc.NewEnc(18).U64(user).U64(start).U16(count).Bytes())
+}
+
+func decodeSNUserParams(p Payload) (uint64, uint64, uint16, error) {
+	d := rpc.NewDec(p.Inline())
+	user, start, count := d.U64(), d.U64(), d.U16()
+	if p.IsRef() || d.Err() != nil {
+		return 0, 0, 0, fmt.Errorf("liverpc: malformed user-timeline params")
+	}
+	return user, start, count, nil
+}
+
 // newSNStorage deploys the post-storage service: it adopts incoming
 // media (taking ownership under its own DM session) and serves pages of
-// posts back to timeline reads.
-func newSNStorage(dmc *live.Client, cfg Config) *Service {
+// posts back to timeline reads — the whole store for home timelines,
+// one author's posts for user timelines.
+func newSNStorage(dmc DM, cfg Config) *Service {
 	s := NewService("sn-storage", dmc, cfg)
 	var mu sync.Mutex
 	var posts []Payload
+	byUser := make(map[uint64][]uint64) // author → post ids, compose order
 	s.Handle(SNStore, func(ctx *Ctx, args []Payload) ([]Payload, error) {
-		if len(args) != 1 {
-			return nil, fmt.Errorf("liverpc: sn.store wants 1 argument, got %d", len(args))
+		if len(args) != 1 && len(args) != 2 {
+			return nil, fmt.Errorf("liverpc: sn.store wants 1 or 2 arguments, got %d", len(args))
+		}
+		var user uint64
+		if len(args) == 2 {
+			u, err := args[1].AsU64()
+			if err != nil {
+				return nil, err
+			}
+			user = u
 		}
 		// Adopt before publishing: inline media is copied out of the
 		// transport buffer, ref media is re-owned via map_ref+create_ref
@@ -63,6 +94,7 @@ func newSNStorage(dmc *live.Client, cfg Config) *Service {
 		mu.Lock()
 		id := uint64(len(posts))
 		posts = append(posts, own)
+		byUser[user] = append(byUser[user], id)
 		mu.Unlock()
 		return []Payload{U64(id)}, nil
 	})
@@ -85,12 +117,32 @@ func newSNStorage(dmc *live.Client, cfg Config) *Service {
 		}
 		return page, nil
 	})
+	s.Handle(SNFetchUser, func(ctx *Ctx, args []Payload) ([]Payload, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("liverpc: sn.fetchu wants 1 argument, got %d", len(args))
+		}
+		user, start, count, err := decodeSNUserParams(args[0])
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		ids := byUser[user]
+		if len(ids) == 0 {
+			return nil, &rpc.AppError{Status: 2, Msg: "sn: user has no posts"}
+		}
+		page := make([]Payload, 0, count)
+		for i := 0; i < int(count); i++ {
+			page = append(page, posts[ids[(start+uint64(i))%uint64(len(ids))]])
+		}
+		return page, nil
+	})
 	return s
 }
 
 // newSNCompose deploys the compose-post service, a thin application tier
 // that persists the media argument in storage.
-func newSNCompose(dmc *live.Client, storage string, cfg Config) *Service {
+func newSNCompose(dmc DM, storage string, cfg Config) *Service {
 	s := NewService("sn-compose", dmc, cfg)
 	s.Handle(SNCompose, func(ctx *Ctx, args []Payload) ([]Payload, error) {
 		return ctx.Call(storage, SNStore, args...)
@@ -101,7 +153,7 @@ func newSNCompose(dmc *live.Client, storage string, cfg Config) *Service {
 // newSNHome deploys the home-timeline service: it asks storage for a
 // page of posts and forwards the result payloads unchanged — a data
 // mover on the response path.
-func newSNHome(dmc *live.Client, storage string, cfg Config) *Service {
+func newSNHome(dmc DM, storage string, cfg Config) *Service {
 	s := NewService("sn-home", dmc, cfg)
 	s.Handle(SNRead, func(ctx *Ctx, args []Payload) ([]Payload, error) {
 		return ctx.Call(storage, SNFetch, args...)
@@ -109,8 +161,18 @@ func newSNHome(dmc *live.Client, storage string, cfg Config) *Service {
 	return s
 }
 
-// newSNFrontend deploys the frontend mover routing both operations.
-func newSNFrontend(dmc *live.Client, compose, home string, cfg Config) *Service {
+// newSNUserTimeline deploys the user-timeline service: the same mover
+// shape as home, but the storage fetch filters by author.
+func newSNUserTimeline(dmc DM, storage string, cfg Config) *Service {
+	s := NewService("sn-user", dmc, cfg)
+	s.Handle(SNUser, func(ctx *Ctx, args []Payload) ([]Payload, error) {
+		return ctx.Call(storage, SNFetchUser, args...)
+	})
+	return s
+}
+
+// newSNFrontend deploys the frontend mover routing all three operations.
+func newSNFrontend(dmc DM, compose, home, user string, cfg Config) *Service {
 	s := NewService("sn-frontend", dmc, cfg)
 	s.Handle(SNCompose, func(ctx *Ctx, args []Payload) ([]Payload, error) {
 		return ctx.Call(compose, SNCompose, args...)
@@ -118,82 +180,101 @@ func newSNFrontend(dmc *live.Client, compose, home string, cfg Config) *Service 
 	s.Handle(SNRead, func(ctx *Ctx, args []Payload) ([]Payload, error) {
 		return ctx.Call(home, SNRead, args...)
 	})
+	s.Handle(SNUser, func(ctx *Ctx, args []Payload) ([]Payload, error) {
+		return ctx.Call(user, SNUser, args...)
+	})
 	return s
 }
 
-// SocialNetDeployment is the running trimmed social network: frontend,
-// compose, home-timeline and storage services on loopback TCP, each with
-// its own DM session.
+// SocialNetDeployment is the running trimmed social network: frontends,
+// compose, home-timeline, user-timeline and storage services on loopback
+// TCP, each with its own DM session.
 type SocialNetDeployment struct {
-	Frontend string // client-facing address
+	Frontend  string   // first client-facing address
+	Frontends []string // every client-facing address (load balancing)
 
 	svcs []*Service
-	dms  []*live.Client
+	dms  []io.Closer
 	lns  []net.Listener
 }
 
-// DeploySocialNet starts the four services against the DM pool at
-// dmAddrs. Callers must Close the deployment.
+// DeploySocialNet starts the services against the single-server DM pool
+// at dmAddrs with one frontend. Callers must Close the deployment.
 func DeploySocialNet(dmAddrs []string, cfg Config) (*SocialNetDeployment, error) {
-	d := &SocialNetDeployment{}
-	listen := func() (net.Listener, string, error) {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			d.Close()
-			return nil, "", err
-		}
-		d.lns = append(d.lns, ln)
-		return ln, ln.Addr().String(), nil
-	}
-	newDM := func() (*live.Client, error) {
-		if cfg.ForceInline {
-			return nil, nil
-		}
+	return DeploySocialNetWith(func() (DM, error) {
 		cl, err := live.Dial(dmAddrs...)
 		if err != nil {
-			d.Close()
 			return nil, err
 		}
 		if err := cl.Register(); err != nil {
 			cl.Close()
-			d.Close()
 			return nil, err
 		}
-		d.dms = append(d.dms, cl)
 		return cl, nil
+	}, 1, cfg)
+}
+
+// DeploySocialNetWith starts the social network with every service's DM
+// session minted by newSession — a live.Dial factory for a single
+// server, a pool.Dial factory for a sharded cluster (mirroring
+// DeployChainWith) — and frontends frontend movers sharing the same
+// compose/home/user tiers, so load generators can spread clients across
+// client-facing endpoints. newSession is not called when cfg.ForceInline
+// is set (the by-value baseline needs no DM). Callers must Close the
+// deployment.
+func DeploySocialNetWith(newSession func() (DM, error), frontends int, cfg Config) (*SocialNetDeployment, error) {
+	if frontends < 1 {
+		frontends = 1
 	}
-	serve := func(build func(dmc *live.Client) *Service) (string, error) {
-		ln, addr, err := listen()
+	d := &SocialNetDeployment{}
+	serve := func(build func(dmc DM) *Service) (string, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
+			d.Close()
 			return "", err
 		}
-		dmc, err := newDM()
-		if err != nil {
-			return "", err
+		d.lns = append(d.lns, ln)
+		var dmc DM
+		if !cfg.ForceInline {
+			dmc, err = newSession()
+			if err != nil {
+				d.Close()
+				return "", err
+			}
+			if cl, ok := dmc.(io.Closer); ok {
+				d.dms = append(d.dms, cl)
+			}
 		}
 		s := build(dmc)
 		d.svcs = append(d.svcs, s)
 		go s.Serve(ln)
-		return addr, nil
+		return ln.Addr().String(), nil
 	}
 
-	storage, err := serve(func(dmc *live.Client) *Service { return newSNStorage(dmc, cfg) })
+	storage, err := serve(func(dmc DM) *Service { return newSNStorage(dmc, cfg) })
 	if err != nil {
 		return nil, err
 	}
-	compose, err := serve(func(dmc *live.Client) *Service { return newSNCompose(dmc, storage, cfg) })
+	compose, err := serve(func(dmc DM) *Service { return newSNCompose(dmc, storage, cfg) })
 	if err != nil {
 		return nil, err
 	}
-	home, err := serve(func(dmc *live.Client) *Service { return newSNHome(dmc, storage, cfg) })
+	home, err := serve(func(dmc DM) *Service { return newSNHome(dmc, storage, cfg) })
 	if err != nil {
 		return nil, err
 	}
-	front, err := serve(func(dmc *live.Client) *Service { return newSNFrontend(dmc, compose, home, cfg) })
+	user, err := serve(func(dmc DM) *Service { return newSNUserTimeline(dmc, storage, cfg) })
 	if err != nil {
 		return nil, err
 	}
-	d.Frontend = front
+	for i := 0; i < frontends; i++ {
+		front, err := serve(func(dmc DM) *Service { return newSNFrontend(dmc, compose, home, user, cfg) })
+		if err != nil {
+			return nil, err
+		}
+		d.Frontends = append(d.Frontends, front)
+	}
+	d.Frontend = d.Frontends[0]
 	return d, nil
 }
 
@@ -216,24 +297,30 @@ type SocialNetClient struct {
 	frontend string
 }
 
-// NewSocialNetClient builds a client stub against the frontend.
-func NewSocialNetClient(dmc *live.Client, frontend string, cfg Config) *SocialNetClient {
+// NewSocialNetClient builds a client stub against the frontend. dmc is
+// any DM backend (a *live.Client session or a sharded *pool.Client).
+func NewSocialNetClient(dmc DM, frontend string, cfg Config) *SocialNetClient {
 	return &SocialNetClient{caller: NewCaller(dmc, cfg), frontend: frontend}
 }
 
 // Close tears down the client's transport.
 func (c *SocialNetClient) Close() error { return c.caller.Close() }
 
-// Compose publishes one post and returns its id. Large media is staged
-// once; storage adopts it, so the client's own ref hold is released as
-// soon as the call returns.
+// Compose publishes one post by user 0 and returns its id.
 func (c *SocialNetClient) Compose(media []byte) (uint64, error) {
+	return c.ComposeAs(0, media)
+}
+
+// ComposeAs publishes one post authored by user and returns its id.
+// Large media is staged once; storage adopts it, so the client's own ref
+// hold is released as soon as the call returns.
+func (c *SocialNetClient) ComposeAs(user uint64, media []byte) (uint64, error) {
 	arg, err := c.caller.Stage(media)
 	if err != nil {
 		return 0, err
 	}
 	defer c.caller.Release(arg)
-	res, err := c.caller.Call(c.frontend, SNCompose, arg)
+	res, err := c.caller.Call(c.frontend, SNCompose, arg, U64(user))
 	if err != nil {
 		return 0, err
 	}
@@ -251,6 +338,20 @@ func (c *SocialNetClient) ReadHome(start uint64, count uint16) ([][]byte, error)
 	if err != nil {
 		return nil, err
 	}
+	return c.fetchAll(res)
+}
+
+// ReadUser reads a page of count posts authored by user, starting at
+// the author's start-th post, and materializes each one's media.
+func (c *SocialNetClient) ReadUser(user, start uint64, count uint16) ([][]byte, error) {
+	res, err := c.caller.CallOpts(c.frontend, SNUser, CallOpts{Idempotent: true}, snUserParams(user, start, count))
+	if err != nil {
+		return nil, err
+	}
+	return c.fetchAll(res)
+}
+
+func (c *SocialNetClient) fetchAll(res []Payload) ([][]byte, error) {
 	out := make([][]byte, 0, len(res))
 	for _, p := range res {
 		buf, err := c.caller.Fetch(p)

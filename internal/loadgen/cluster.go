@@ -1,0 +1,101 @@
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/faultnet"
+	"repro/internal/live"
+)
+
+// Cluster is a K-shard in-process dmserverd cluster behind restartable
+// listeners, so fault schedules can crash and revive individual shards
+// while the harness keeps offering load.
+type Cluster struct {
+	Addrs []string
+
+	scfg live.ServerConfig
+	mu   sync.Mutex
+	rs   []*faultnet.Restartable
+	srvs []*live.Server
+}
+
+// Launch starts k shard servers on loopback ports. Each shard i serves
+// with HasShard/ShardID=i — the same identity a dmserverd -shard i
+// process would claim — behind a faultnet.Restartable listener whose
+// address survives crash/restart. Give scfg a LeaseTTL when the run
+// includes faults: leasing is what drives the client heartbeats that
+// pool failure detection (ejection, failover, repair) keys off.
+func Launch(k int, scfg live.ServerConfig) (*Cluster, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("loadgen: cluster needs at least 1 shard")
+	}
+	c := &Cluster{scfg: scfg}
+	for i := 0; i < k; i++ {
+		cfg := scfg
+		cfg.HasShard = true
+		cfg.ShardID = uint32(i)
+		srv := live.NewServer(cfg)
+		rst, ln, err := faultnet.NewRestartable("127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("loadgen: shard %d listen: %w", i, err)
+		}
+		go srv.Serve(ln)
+		c.rs = append(c.rs, rst)
+		c.srvs = append(c.srvs, srv)
+		c.Addrs = append(c.Addrs, rst.Addr())
+	}
+	return c, nil
+}
+
+// Kill crashes shard i: the listener drops new dials, established conns
+// are severed, and the server's in-memory pages are gone — a process
+// kill, not a graceful drain.
+func (c *Cluster) Kill(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.srvs) {
+		return fmt.Errorf("loadgen: no shard %d", i)
+	}
+	c.rs[i].Crash()
+	// The crash already tore the listener down, so the server's own
+	// close reports the dead listener — expected, not a failure.
+	c.srvs[i].Close()
+	return nil
+}
+
+// Restart revives shard i on its original address with a fresh, empty
+// server — recovery is the pool's job (failover reads off replicas,
+// background repair re-staging lost copies).
+func (c *Cluster) Restart(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.srvs) {
+		return fmt.Errorf("loadgen: no shard %d", i)
+	}
+	cfg := c.scfg
+	cfg.HasShard = true
+	cfg.ShardID = uint32(i)
+	srv := live.NewServer(cfg)
+	ln, err := c.rs[i].Restart()
+	if err != nil {
+		return fmt.Errorf("loadgen: shard %d restart: %w", i, err)
+	}
+	go srv.Serve(ln)
+	c.srvs[i] = srv
+	return nil
+}
+
+// Close tears the whole cluster down.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, srv := range c.srvs {
+		srv.Close()
+	}
+	for _, rst := range c.rs {
+		rst.Crash()
+	}
+	c.srvs, c.rs = nil, nil
+}

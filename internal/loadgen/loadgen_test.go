@@ -1,0 +1,214 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/live"
+	"repro/internal/pool"
+)
+
+// testServerConfig mirrors the pool chaos tests' shard tuning.
+func testServerConfig() live.ServerConfig {
+	return live.ServerConfig{NumPages: 4096, PageSize: 4096, LeaseTTL: 400 * time.Millisecond}
+}
+
+// testEnv builds a small, fast environment over the cluster.
+func testEnv(c *Cluster, replicas int) *Env {
+	env := &Env{
+		Shards:   c.Addrs,
+		Replicas: replicas,
+		Users:    8,
+		Keys:     64,
+		ZipfS:    0.99,
+		Mix:      SocialMix{Compose: 60, ReadHome: 30, ReadUser: 10},
+
+		MediaSize: 2 << 10,
+		Frontends: 2,
+		ValueSize: 1 << 10,
+		ReadFrac:  0.8,
+		BlobSizes: []int{4 << 10},
+		Hops:      2,
+	}
+	env.Pool = pool.Config{
+		UnhealthyAfter: 2,
+		RejoinPoll:     100 * time.Millisecond,
+		RepairInterval: 100 * time.Millisecond,
+	}
+	env.Pool.Client.HeartbeatInterval = 50 * time.Millisecond
+	env.Pool.Client.Net.CallTimeout = 500 * time.Millisecond
+	env.Pool.Client.Net.AttemptTimeout = 100 * time.Millisecond
+	env.Pool.Client.Net.DialTimeout = 100 * time.Millisecond
+	return env.Defaults()
+}
+
+// TestClosedLoopSocialNet drives the socialnet mix closed-loop against a
+// 2-shard cluster and checks the merged result plus its report record.
+func TestClosedLoopSocialNet(t *testing.T) {
+	c, err := Launch(2, testServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	env := testEnv(c, 1)
+	defer env.CloseSessions()
+
+	s := SocialNet()
+	if err := s.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := Run(s, env, RunConfig{
+		Workers: 4,
+		Warmup:  50 * time.Millisecond,
+		Measure: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("closed-loop run completed zero ops")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("closed-loop run had %d errors", res.Errors)
+	}
+	if res.Achieved <= 0 {
+		t.Fatalf("achieved rate %v, want > 0", res.Achieved)
+	}
+	// The 60% class must appear in a run of any length; tiny windows may
+	// legitimately miss the 10% class.
+	cr, ok := res.Classes["compose"]
+	if !ok {
+		t.Fatalf("no compose class in %v", res.Classes)
+	}
+	if cr.Latency.P50 <= 0 || cr.Latency.P99 < cr.Latency.P50 {
+		t.Fatalf("implausible compose latency summary %+v", cr.Latency)
+	}
+
+	rep := benchfmt.NewReport()
+	Append(&rep, res)
+	if len(rep.Results) < 2 {
+		t.Fatalf("report got %d results, want headline + classes", len(rep.Results))
+	}
+	if rep.Results[0].Name != "dmload/socialnet" {
+		t.Fatalf("headline result name %q", rep.Results[0].Name)
+	}
+	if rep.Results[0].Extra["thr-ops-s"] <= 0 {
+		t.Fatalf("headline throughput %v", rep.Results[0].Extra["thr-ops-s"])
+	}
+}
+
+// TestOpenLoopKV offers a fixed Poisson rate to the kv scenario and
+// checks offered-vs-achieved accounting and payload verification.
+func TestOpenLoopKV(t *testing.T) {
+	c, err := Launch(1, testServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	env := testEnv(c, 1)
+	defer env.CloseSessions()
+
+	s := KV()
+	if err := s.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := Run(s, env, RunConfig{
+		Workers: 4,
+		Rate:    200,
+		Warmup:  50 * time.Millisecond,
+		Measure: 400 * time.Millisecond,
+		Ramp:    50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("open-loop run completed zero ops")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("open-loop run had %d errors", res.Errors)
+	}
+	if res.Offered != 200 {
+		t.Fatalf("offered rate %v, want 200", res.Offered)
+	}
+	if res.Counters["payload-loss"] != 0 {
+		t.Fatalf("payload loss: %v", res.Counters["payload-loss"])
+	}
+	// Open loop on loopback at a modest rate: achieved should be within
+	// a loose band of offered (drops are accounted, not silent).
+	if res.Achieved < res.Offered/4 {
+		t.Fatalf("achieved %v far below offered %v (drops %d)", res.Achieved, res.Offered, res.Drops)
+	}
+}
+
+// TestKillShardUnderLoad crashes and revives a shard mid-run at R=2 and
+// requires every read that succeeded to have returned the right bytes —
+// the zero-payload-loss bar for replicated failover.
+func TestKillShardUnderLoad(t *testing.T) {
+	c, err := Launch(3, testServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	env := testEnv(c, 2)
+	defer env.CloseSessions()
+
+	s := KV()
+	if err := s.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const victim = 1
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(300 * time.Millisecond)
+		if err := c.Kill(victim); err != nil {
+			t.Errorf("kill shard %d: %v", victim, err)
+			return
+		}
+		time.Sleep(500 * time.Millisecond)
+		if err := c.Restart(victim); err != nil {
+			t.Errorf("restart shard %d: %v", victim, err)
+		}
+	}()
+
+	res, err := Run(s, env, RunConfig{
+		Workers: 4,
+		Warmup:  50 * time.Millisecond,
+		Measure: 1500 * time.Millisecond,
+	})
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no ops completed through the fault window")
+	}
+	if res.Counters["payload-loss"] != 0 {
+		t.Fatalf("payload loss under failover: %v", res.Counters["payload-loss"])
+	}
+	t.Logf("kill-a-shard: ops=%d errors=%d retries=%v failover-reads=%v repairs=%v free-errors=%v",
+		res.Ops, res.Errors, res.Counters["retries"], res.Counters["failover-reads"],
+		res.Counters["repairs-done"], res.Counters["free-errors"])
+}
+
+// TestEndpointPick pins and round-robins deterministically.
+func TestEndpointPick(t *testing.T) {
+	if got := RoundRobin.pick(5, 3, 99); got != 2 {
+		t.Fatalf("round-robin pick = %d, want 2", got)
+	}
+	a := Pinned.pick(0, 3, 7)
+	for i := 0; i < 4; i++ {
+		if Pinned.pick(0, 3, 7) != a {
+			t.Fatal("pinned pick not stable")
+		}
+	}
+	if RoundRobin.pick(2, 1, 0) != 0 {
+		t.Fatal("single endpoint must map to 0")
+	}
+}

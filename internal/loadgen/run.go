@@ -1,0 +1,280 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// RunConfig shapes one measured run of a scenario.
+type RunConfig struct {
+	// Workers is the number of concurrent simulated users.
+	Workers int
+	// Rate is the offered load in ops/s across all workers (open loop,
+	// Poisson arrivals). 0 runs closed-loop: every worker issues
+	// back-to-back.
+	Rate float64
+	// Warmup runs load without recording before the measure window.
+	Warmup time.Duration
+	// Measure is the recorded window.
+	Measure time.Duration
+	// Ramp linearly grows the offered rate from ~0 to Rate over this
+	// span at run start (open loop only), so connection setup and cold
+	// caches don't register as a latency cliff.
+	Ramp time.Duration
+	// MaxOutstanding bounds the open-loop arrival queue; arrivals past
+	// it are dropped and counted, exactly like workload.RunOpen's
+	// sim-side accounting (0 = 4096).
+	MaxOutstanding int
+	// Seed overrides Env.Seed for this run when nonzero.
+	Seed uint64
+}
+
+// ClassResult is one request class's measured aggregate.
+type ClassResult struct {
+	Ops     int64
+	Errors  int64
+	Bytes   int64
+	Latency stats.Summary
+}
+
+// RunResult is one scenario run's aggregate, ready for reporting.
+type RunResult struct {
+	Scenario string
+	Workers  int
+	Measure  time.Duration
+	// Offered is the configured open-loop rate (0 for closed loop);
+	// Achieved is completed ops/s over the measure window.
+	Offered  float64
+	Achieved float64
+	Ops      int64
+	Errors   int64
+	Drops    int64
+	Bytes    int64
+	Latency  stats.Summary
+	Classes  map[string]ClassResult
+	// Counters merges the scenario's own counters with the session
+	// counter deltas across the run (retries, timeouts, failover...).
+	Counters map[string]float64
+}
+
+// workerRec accumulates one worker's measurements without locks; the
+// runner merges them (stats.AtomicHistogram.Merge) after the run.
+type workerRec struct {
+	classes map[string]*classRec
+}
+
+type classRec struct {
+	hist   stats.AtomicHistogram
+	ops    int64
+	errors int64
+	bytes  int64
+}
+
+func (r *workerRec) rec(class string, lat time.Duration, bytes int64, err error) {
+	c := r.classes[class]
+	if c == nil {
+		c = &classRec{}
+		r.classes[class] = c
+	}
+	if err != nil {
+		c.errors++
+		return
+	}
+	c.ops++
+	c.bytes += bytes
+	c.hist.Record(lat.Nanoseconds())
+}
+
+// Run drives an already-Setup scenario with cfg's load shape and
+// returns the merged result. Workers are created fresh per run and
+// closed before it returns.
+func Run(s Scenario, env *Env, cfg RunConfig) (RunResult, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Measure <= 0 {
+		return RunResult{}, fmt.Errorf("loadgen: Measure must be positive")
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = env.Seed
+	}
+	workers := make([]Worker, cfg.Workers)
+	for i := range workers {
+		w, err := s.NewWorker(env, i)
+		if err != nil {
+			for _, w := range workers[:i] {
+				w.Close()
+			}
+			return RunResult{}, fmt.Errorf("loadgen: %s worker %d: %w", s.Name(), i, err)
+		}
+		workers[i] = w
+	}
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+
+	before := env.SessionTotals()
+	recs := make([]*workerRec, cfg.Workers)
+	for i := range recs {
+		recs[i] = &workerRec{classes: make(map[string]*classRec)}
+	}
+
+	start := time.Now()
+	measureFrom := start.Add(cfg.Warmup)
+	measureTo := measureFrom.Add(cfg.Measure)
+	var drops atomic.Int64
+	var wg sync.WaitGroup
+
+	if cfg.Rate > 0 {
+		// Open loop: one Poisson arrival process feeds a bounded queue;
+		// workers complete arrivals, latency runs from the arrival
+		// stamp so queueing delay is charged to the system under test.
+		maxOut := cfg.MaxOutstanding
+		if maxOut <= 0 {
+			maxOut = 4096
+		}
+		jobs := make(chan time.Time, maxOut)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(jobs)
+			rng := rand.New(rand.NewPCG(seed, seed^0x5851f42d4c957f2d))
+			for {
+				now := time.Now()
+				if !now.Before(measureTo) {
+					return
+				}
+				rate := cfg.Rate
+				if cfg.Ramp > 0 {
+					if into := now.Sub(start); into < cfg.Ramp {
+						rate = cfg.Rate * float64(into) / float64(cfg.Ramp)
+						if rate < 1 {
+							rate = 1
+						}
+					}
+				}
+				// Exponential inter-arrival for a Poisson process.
+				gap := time.Duration(-math.Log(1-rng.Float64()) * float64(time.Second) / rate)
+				time.Sleep(gap)
+				arrive := time.Now()
+				if !arrive.Before(measureTo) {
+					return
+				}
+				select {
+				case jobs <- arrive:
+				default:
+					if !arrive.Before(measureFrom) {
+						drops.Add(1)
+					}
+				}
+			}
+		}()
+		for i, w := range workers {
+			wg.Add(1)
+			go func(w Worker, rec *workerRec) {
+				defer wg.Done()
+				for arrive := range jobs {
+					class, n, err := w.Do()
+					if !arrive.Before(measureFrom) {
+						rec.rec(class, time.Since(arrive), n, err)
+					}
+				}
+			}(w, recs[i])
+		}
+	} else {
+		// Closed loop: each worker issues back-to-back; latency is pure
+		// service time.
+		for i, w := range workers {
+			wg.Add(1)
+			go func(w Worker, rec *workerRec) {
+				defer wg.Done()
+				for {
+					t0 := time.Now()
+					if !t0.Before(measureTo) {
+						return
+					}
+					class, n, err := w.Do()
+					if !t0.Before(measureFrom) {
+						rec.rec(class, time.Since(t0), n, err)
+					}
+				}
+			}(w, recs[i])
+		}
+	}
+	wg.Wait()
+
+	res := RunResult{
+		Scenario: s.Name(),
+		Workers:  cfg.Workers,
+		Measure:  cfg.Measure,
+		Offered:  cfg.Rate,
+		Drops:    drops.Load(),
+		Classes:  make(map[string]ClassResult),
+		Counters: make(map[string]float64),
+	}
+	// Merge per-worker records: histograms via AtomicHistogram.Merge,
+	// counters by summation.
+	merged := make(map[string]*classRec)
+	var total stats.AtomicHistogram
+	for _, rec := range recs {
+		for class, c := range rec.classes {
+			m := merged[class]
+			if m == nil {
+				m = &classRec{}
+				merged[class] = m
+			}
+			m.hist.Merge(&c.hist)
+			total.Merge(&c.hist)
+			m.ops += c.ops
+			m.errors += c.errors
+			m.bytes += c.bytes
+		}
+	}
+	for class, m := range merged {
+		res.Classes[class] = ClassResult{
+			Ops:     m.ops,
+			Errors:  m.errors,
+			Bytes:   m.bytes,
+			Latency: m.hist.Summarize(),
+		}
+		res.Ops += m.ops
+		res.Errors += m.errors
+		res.Bytes += m.bytes
+	}
+	res.Latency = total.Summarize()
+	res.Achieved = float64(res.Ops) / cfg.Measure.Seconds()
+
+	after := env.SessionTotals()
+	res.Counters["retries"] = float64(after.Retries - before.Retries)
+	res.Counters["timeouts"] = float64(after.Timeouts - before.Timeouts)
+	res.Counters["transport-errors"] = float64(after.TransportErrors - before.TransportErrors)
+	res.Counters["failures"] = float64(after.Failures - before.Failures)
+	res.Counters["dedup-replays"] = float64(after.DedupReplays - before.DedupReplays)
+	res.Counters["failover-reads"] = float64(after.FailoverReads - before.FailoverReads)
+	res.Counters["repairs-done"] = float64(after.RepairsDone - before.RepairsDone)
+	res.Counters["under-replicated"] = float64(after.UnderReplicated)
+	for k, v := range s.Counters() {
+		res.Counters[k] = v
+	}
+	return res, nil
+}
+
+// workerKeys builds worker w's private key generator over n keys with
+// the environment's skew, on an independent per-worker stream.
+func workerKeys(env *Env, w int, n uint64, seed uint64) workload.KeyGen {
+	ws := workload.DeriveSeed(seed, uint64(w))
+	if env.ZipfS <= 0 {
+		return workload.NewUniform(n, ws)
+	}
+	return workload.NewZipf(n, env.ZipfS, ws)
+}

@@ -1,0 +1,96 @@
+package loadgen
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/apps"
+	"repro/internal/liverpc"
+	"repro/internal/workload"
+)
+
+// blobScenario is the image-pipeline shape (paper §VI-B): each op
+// pushes one payload through an n-hop mover chain to a terminal
+// aggregator and checks the sum that unwinds back. The size sweep
+// straddles the 256 KiB crossover, so one run exercises both the
+// inline path and stage-by-ref with Adopt-free forwarding.
+type blobScenario struct {
+	dep   *liverpc.ChainDeployment
+	sizes []int
+
+	aggLoss atomic.Int64
+}
+
+// Blob builds the blob scenario.
+func Blob() Scenario { return &blobScenario{} }
+
+func (s *blobScenario) Name() string { return "blob" }
+
+func (s *blobScenario) Setup(env *Env) error {
+	dep, err := liverpc.DeployChainWith(env.Hops, env.NewSession, env.RPC)
+	if err != nil {
+		return err
+	}
+	s.dep = dep
+	s.sizes = env.BlobSizes
+	return nil
+}
+
+func (s *blobScenario) NewWorker(env *Env, w int) (Worker, error) {
+	sess, err := env.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	max := 0
+	for _, sz := range s.sizes {
+		if sz > max {
+			max = sz
+		}
+	}
+	return &blobWorker{
+		s:    s,
+		cl:   liverpc.NewChainClient(sess, s.dep.Addrs[0], env.RPC),
+		buf:  make([]byte, max),
+		next: w, // stagger the sweep start so workers don't march in phase
+		seed: workload.DeriveSeed(env.Seed, uint64(w)),
+	}, nil
+}
+
+func (s *blobScenario) Counters() map[string]float64 {
+	return map[string]float64{"agg-loss": float64(s.aggLoss.Load())}
+}
+
+func (s *blobScenario) Close() error {
+	if s.dep != nil {
+		s.dep.Close()
+	}
+	return nil
+}
+
+type blobWorker struct {
+	s    *blobScenario
+	cl   *liverpc.ChainClient
+	buf  []byte
+	next int
+	seed uint64
+}
+
+func (w *blobWorker) Do() (string, int64, error) {
+	size := w.s.sizes[w.next%len(w.s.sizes)]
+	w.next++
+	w.seed++
+	buf := w.buf[:size]
+	apps.FillPayload(buf, w.seed)
+	class := fmt.Sprintf("blob-%dk", size>>10)
+	sum, err := w.cl.Do(buf)
+	if err != nil {
+		return class, 0, err
+	}
+	if want := apps.Aggregate(buf); sum != want {
+		w.s.aggLoss.Add(1)
+		return class, 0, fmt.Errorf("loadgen: blob aggregate %d, want %d", sum, want)
+	}
+	return class, int64(size), nil
+}
+
+func (w *blobWorker) Close() error { return w.cl.Close() }

@@ -1,0 +1,119 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/apps"
+	"repro/internal/liverpc"
+	"repro/internal/workload"
+)
+
+// socialNet drives the trimmed DeathStarBench social network (paper
+// §VI-F): compose-post, read-home-timeline and read-user-timeline at a
+// configurable percentage mix, with Zipf-skewed author popularity so a
+// few hot users absorb most composes and user-timeline reads.
+type socialNet struct {
+	dep   *liverpc.SocialNetDeployment
+	users int
+}
+
+// SocialNet builds the socialnet scenario.
+func SocialNet() Scenario { return &socialNet{} }
+
+func (s *socialNet) Name() string { return "socialnet" }
+
+func (s *socialNet) Setup(env *Env) error {
+	if t := env.Mix.Compose + env.Mix.ReadHome + env.Mix.ReadUser; t != 100 {
+		return fmt.Errorf("loadgen: socialnet mix %d/%d/%d must sum to 100",
+			env.Mix.Compose, env.Mix.ReadHome, env.Mix.ReadUser)
+	}
+	dep, err := liverpc.DeploySocialNetWith(env.NewSession, env.Frontends, env.RPC)
+	if err != nil {
+		return err
+	}
+	s.dep = dep
+	// Preload one post per author so read-user never pages an empty
+	// timeline (capped: the preload is serial).
+	s.users = env.Users
+	if s.users > 1024 {
+		s.users = 1024
+	}
+	sess, err := env.NewSession()
+	if err != nil {
+		return err
+	}
+	cl := liverpc.NewSocialNetClient(sess, dep.Frontend, env.RPC)
+	defer cl.Close()
+	media := make([]byte, env.MediaSize)
+	for u := 0; u < s.users; u++ {
+		apps.FillPayload(media, uint64(u))
+		if _, err := cl.ComposeAs(uint64(u), media); err != nil {
+			return fmt.Errorf("loadgen: socialnet preload user %d: %w", u, err)
+		}
+	}
+	return nil
+}
+
+func (s *socialNet) NewWorker(env *Env, w int) (Worker, error) {
+	sess, err := env.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	ws := workload.DeriveSeed(env.Seed, uint64(w))
+	front := s.dep.Frontends[env.Endpoint.pick(w, len(s.dep.Frontends), ws)]
+	return &snWorker{
+		cl:    liverpc.NewSocialNetClient(sess, front, env.RPC),
+		rng:   rand.New(rand.NewPCG(ws, ws^0x9e3779b97f4a7c15)),
+		users: workerKeys(env, w, uint64(s.users), env.Seed),
+		mix:   env.Mix,
+		media: make([]byte, env.MediaSize),
+	}, nil
+}
+
+func (s *socialNet) Counters() map[string]float64 { return nil }
+
+func (s *socialNet) Close() error {
+	if s.dep != nil {
+		s.dep.Close()
+	}
+	return nil
+}
+
+type snWorker struct {
+	cl    *liverpc.SocialNetClient
+	rng   *rand.Rand
+	users workload.KeyGen
+	mix   SocialMix
+	media []byte
+}
+
+func (w *snWorker) Do() (string, int64, error) {
+	const page = 4
+	p := w.rng.IntN(100)
+	switch {
+	case p < w.mix.Compose:
+		// Hot authors compose most — same skew as the read side.
+		u := w.users.Next()
+		apps.FillPayload(w.media, w.rng.Uint64())
+		_, err := w.cl.ComposeAs(u, w.media)
+		return "compose", int64(len(w.media)), err
+	case p < w.mix.Compose+w.mix.ReadHome:
+		posts, err := w.cl.ReadHome(w.rng.Uint64(), page)
+		return "read-home", payloadBytes(posts), err
+	default:
+		u := w.users.Next()
+		posts, err := w.cl.ReadUser(u, w.rng.Uint64(), page)
+		return "read-user", payloadBytes(posts), err
+	}
+}
+
+func (w *snWorker) Close() error { return w.cl.Close() }
+
+func payloadBytes(bufs [][]byte) int64 {
+	var n int64
+	for _, b := range bufs {
+		n += int64(len(b))
+	}
+	return n
+}

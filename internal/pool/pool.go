@@ -321,6 +321,8 @@ func (p *Client) Stats() live.Stats {
 		sum.Retries += st.Retries
 		sum.DedupReplays += st.DedupReplays
 		sum.Failures += st.Failures
+		sum.Timeouts += st.Timeouts
+		sum.TransportErrors += st.TransportErrors
 		sum.HeartbeatFailures += st.HeartbeatFailures
 		sum.CreditWaits += st.CreditWaits
 		sum.CreditSheds += st.CreditSheds

@@ -179,7 +179,11 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(killed); ok {
-					return // engine already moved on; do not touch parked
+					// Hand control back only after the whole unwind — user
+					// defers included — has finished, so killed procs tear
+					// down one at a time and never race on shared state.
+					e.parked <- struct{}{}
+					return
 				}
 				panic(r)
 			}
@@ -219,7 +223,8 @@ func (p *Proc) yield() {
 	if p.state == procKilled || p.eng.closed {
 		p.state = procKilled
 		delete(p.eng.procs, p)
-		p.eng.parked <- struct{}{}
+		// The spawn wrapper signals parked after the unwind completes
+		// (user defers run before the engine resumes killing others).
 		panic(killed{p.name})
 	}
 	p.state = procRunning

@@ -69,6 +69,53 @@ func TestAtomicHistogramConcurrent(t *testing.T) {
 	}
 }
 
+// TestAtomicHistogramMerge: merging per-worker histograms must be
+// indistinguishable from one histogram that recorded every sample — the
+// property the load harness's report aggregation leans on.
+func TestAtomicHistogramMerge(t *testing.T) {
+	const workers = 4
+	const perWorker = 5_000
+	parts := make([]*AtomicHistogram, workers)
+	var combined AtomicHistogram
+	for w := range parts {
+		parts[w] = &AtomicHistogram{}
+		for i := 0; i < perWorker; i++ {
+			// Disjoint, worker-skewed ranges so each part has distinct
+			// extrema and quantiles.
+			v := int64((w + 1) * (i + 1))
+			parts[w].Record(v)
+			combined.Record(v)
+		}
+	}
+	var merged AtomicHistogram
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	got, want := merged.Snapshot(), combined.Snapshot()
+	if got.total != want.total || got.sum != want.sum || got.min != want.min || got.max != want.max {
+		t.Fatalf("merged totals = (n=%d sum=%d min=%d max=%d), want (n=%d sum=%d min=%d max=%d)",
+			got.total, got.sum, got.min, got.max, want.total, want.sum, want.min, want.max)
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		if g, w := got.Quantile(q), want.Quantile(q); g != w {
+			t.Fatalf("merged q%.3f = %d, want %d", q, g, w)
+		}
+	}
+
+	// Merging an empty histogram is a no-op, and merging into an empty
+	// one reproduces the source.
+	var empty, fresh AtomicHistogram
+	merged.Merge(&empty)
+	if s := merged.Snapshot(); s.total != want.total {
+		t.Fatalf("merging an empty histogram changed count to %d", s.total)
+	}
+	fresh.Merge(parts[0])
+	if g, w := fresh.Snapshot(), parts[0].Snapshot(); g.total != w.total || g.min != w.min || g.max != w.max {
+		t.Fatalf("merge into empty = (n=%d min=%d max=%d), want (n=%d min=%d max=%d)",
+			g.total, g.min, g.max, w.total, w.min, w.max)
+	}
+}
+
 // TestAtomicHistogramEmpty: an unused histogram summarizes to zeros
 // rather than garbage (mn/mx hold value+1 internally; 0 means unset).
 func TestAtomicHistogramEmpty(t *testing.T) {

@@ -215,6 +215,47 @@ func (h *AtomicHistogram) Record(v int64) {
 // Count returns the number of recorded samples.
 func (h *AtomicHistogram) Count() int64 { return h.total.Load() }
 
+// Merge adds all of other's samples into h. It is the aggregation step
+// for per-worker histograms: each worker records into its own
+// AtomicHistogram with no lock or cross-worker cache traffic on the hot
+// path, and the harness merges them once at report time. Safe to call
+// while either histogram is still being recorded into, with the same
+// cross-counter consistency caveat as Snapshot.
+func (h *AtomicHistogram) Merge(other *AtomicHistogram) {
+	if other.total.Load() == 0 {
+		return
+	}
+	for i := range h.counts {
+		if c := other.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.total.Add(other.total.Load())
+	h.sum.Add(other.sum.Load())
+	if mn := other.mn.Load(); mn != 0 {
+		for {
+			cur := h.mn.Load()
+			if cur != 0 && cur <= mn {
+				break
+			}
+			if h.mn.CompareAndSwap(cur, mn) {
+				break
+			}
+		}
+	}
+	if mx := other.mx.Load(); mx != 0 {
+		for {
+			cur := h.mx.Load()
+			if cur >= mx {
+				break
+			}
+			if h.mx.CompareAndSwap(cur, mx) {
+				break
+			}
+		}
+	}
+}
+
 // Snapshot copies the current state into a plain Histogram for quantile
 // estimation and merging.
 func (h *AtomicHistogram) Snapshot() *Histogram {

@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// KeyGen draws keys from a fixed key space [0, N). Implementations are
+// deterministic per seed — the same (seed, parameters) always yields the
+// same sequence — so a run is reproducible and two harnesses (the
+// simulator's and the live cluster's) sampling the same generator see
+// the same skew. Generators are NOT safe for concurrent use: give each
+// worker its own, seeded with DeriveSeed(seed, workerID).
+type KeyGen interface {
+	// Next returns the next key in [0, N()).
+	Next() uint64
+	// N returns the key-space size.
+	N() uint64
+}
+
+// DeriveSeed mixes a run seed with a worker index into an independent
+// per-worker seed (splitmix64 finalizer), so workers share one -seed
+// flag without sampling correlated streams.
+func DeriveSeed(seed, worker uint64) uint64 {
+	z := seed + (worker+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func newRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x6a09e667f3bcc909))
+}
+
+// Uniform draws keys uniformly from [0, n).
+type Uniform struct {
+	n   uint64
+	rng *rand.Rand
+}
+
+// NewUniform builds a deterministic uniform generator over [0, n).
+func NewUniform(n, seed uint64) *Uniform {
+	if n == 0 {
+		panic("workload: key space must be non-empty")
+	}
+	return &Uniform{n: n, rng: newRand(seed)}
+}
+
+// Next returns the next uniform key.
+func (u *Uniform) Next() uint64 { return u.rng.Uint64N(u.n) }
+
+// N returns the key-space size.
+func (u *Uniform) N() uint64 { return u.n }
+
+// Zipf draws popularity ranks from a Zipfian distribution over [0, n):
+// rank 0 is the hottest key, with P(k) ∝ 1/(k+1)^s. The YCSB-standard
+// skew is s=0.99, where the top 1% of a 1M-key space absorbs roughly a
+// third of all accesses — the "celebrity post" shape real traffic has.
+//
+// For s in (0, 1) this is Gray et al.'s rejection-free inverse-CDF
+// method (the one YCSB's ZipfianGenerator uses), which the stdlib's
+// rand.Zipf (valid only for s > 1) cannot cover; for s > 1 it delegates
+// to the stdlib sampler; s == 0 degenerates to uniform and s == 1 is
+// nudged to the nearest representable neighbourhood (the harmonic case
+// has no closed-form eta).
+type Zipf struct {
+	n   uint64
+	rng *rand.Rand
+
+	// Gray-method state (s < 1).
+	theta, zetan, eta, half float64
+	// Stdlib sampler (s > 1).
+	std *rand.Zipf
+	// uniform fallback (s == 0).
+	uni bool
+}
+
+// NewZipf builds a deterministic Zipfian generator over [0, n) with
+// exponent s >= 0.
+func NewZipf(n uint64, s float64, seed uint64) *Zipf {
+	if n == 0 {
+		panic("workload: key space must be non-empty")
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic("workload: Zipf exponent must be >= 0")
+	}
+	z := &Zipf{n: n, rng: newRand(seed)}
+	switch {
+	case s == 0:
+		z.uni = true
+	case s > 1:
+		z.std = rand.NewZipf(z.rng, s, 1, n-1)
+	default:
+		if s == 1 {
+			s = math.Nextafter(1, 0) // eta is singular exactly at 1
+		}
+		z.theta = s
+		z.zetan = zeta(n, s)
+		z.eta = (1 - math.Pow(2/float64(n), 1-s)) / (1 - zeta(2, s)/z.zetan)
+		z.half = 1 + math.Pow(0.5, s)
+	}
+	return z
+}
+
+// zeta returns the generalized harmonic number H_{n,theta}. O(n) but
+// computed once per generator; key spaces are at most a few million.
+func zeta(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next rank (0 = hottest).
+func (z *Zipf) Next() uint64 {
+	if z.uni {
+		return z.rng.Uint64N(z.n)
+	}
+	if z.std != nil {
+		return z.std.Uint64()
+	}
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.half {
+		return 1
+	}
+	k := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, 1/(1-z.theta)))
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}
+
+// N returns the key-space size.
+func (z *Zipf) N() uint64 { return z.n }
+
+// TopMass returns the expected probability mass of the hottest k ranks
+// under this generator's skew — the analytic yardstick the skew tests
+// (and capacity planning for a hot-ref cache) compare samples against.
+// Only meaningful for the Gray-method range (0 < s <= 1); for uniform it
+// is k/n.
+func (z *Zipf) TopMass(k uint64) float64 {
+	if k >= z.n {
+		return 1
+	}
+	if z.uni {
+		return float64(k) / float64(z.n)
+	}
+	return zeta(k, z.theta) / z.zetan
+}

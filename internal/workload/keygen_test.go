@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// Same seed must reproduce the identical sequence; different seeds must
+// diverge — run reproducibility depends on it.
+func TestKeyGenDeterministic(t *testing.T) {
+	gens := map[string]func(seed uint64) KeyGen{
+		"uniform":  func(seed uint64) KeyGen { return NewUniform(1000, seed) },
+		"zipf0.99": func(seed uint64) KeyGen { return NewZipf(1000, 0.99, seed) },
+		"zipf1.2":  func(seed uint64) KeyGen { return NewZipf(1000, 1.2, seed) },
+	}
+	for name, mk := range gens {
+		a, b, c := mk(42), mk(42), mk(43)
+		diverged := false
+		for i := 0; i < 1000; i++ {
+			x, y := a.Next(), b.Next()
+			if x != y {
+				t.Fatalf("%s: same seed diverged at draw %d: %d vs %d", name, i, x, y)
+			}
+			if x >= a.N() {
+				t.Fatalf("%s: draw %d out of range: %d", name, i, x)
+			}
+			if c.Next() != x {
+				diverged = true
+			}
+		}
+		if !diverged {
+			t.Errorf("%s: different seeds produced identical sequences", name)
+		}
+	}
+}
+
+func TestDeriveSeedSpreads(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for w := uint64(0); w < 1000; w++ {
+		s := DeriveSeed(7, w)
+		if seen[s] {
+			t.Fatalf("worker %d collides with an earlier worker seed", w)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(7, 0) == DeriveSeed(8, 0) {
+		t.Fatal("different run seeds map worker 0 to the same stream seed")
+	}
+}
+
+// The skew contract: the hottest 1% of ranks must absorb the analytic
+// top-1% mass (zeta(n/100)/zeta(n)) within sampling tolerance. At
+// s=0.99 over 10k keys that is ~63% of all accesses — the property the
+// whole harness exists to model.
+func TestZipfTopOnePercentMass(t *testing.T) {
+	const n = 10000
+	const draws = 200000
+	for _, s := range []float64{0.5, 0.99} {
+		z := NewZipf(n, s, 1)
+		hot := uint64(n / 100)
+		want := z.TopMass(hot)
+		var inTop int
+		for i := 0; i < draws; i++ {
+			if z.Next() < hot {
+				inTop++
+			}
+		}
+		got := float64(inTop) / draws
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("s=%v: top-1%% mass %.4f, want %.4f ±0.02", s, got, want)
+		}
+		if s == 0.99 && want < 0.5 {
+			t.Errorf("s=0.99 analytic top-1%% mass %.4f implausibly low", want)
+		}
+	}
+}
+
+// s=0 must be uniform: top 1% of ranks gets ~1% of draws.
+func TestZipfZeroIsUniform(t *testing.T) {
+	const n = 10000
+	const draws = 100000
+	z := NewZipf(n, 0, 1)
+	var inTop int
+	for i := 0; i < draws; i++ {
+		if z.Next() < n/100 {
+			inTop++
+		}
+	}
+	got := float64(inTop) / draws
+	if math.Abs(got-0.01) > 0.005 {
+		t.Errorf("s=0 top-1%% mass %.4f, want ~0.01", got)
+	}
+}
+
+// Rank 0 must be the hottest and the mass must decay with rank.
+func TestZipfRankOrdering(t *testing.T) {
+	const n = 1000
+	const draws = 100000
+	z := NewZipf(n, 0.99, 3)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[10] || counts[10] <= counts[100] {
+		t.Errorf("mass not decaying with rank: c0=%d c1=%d c10=%d c100=%d",
+			counts[0], counts[1], counts[10], counts[100])
+	}
+}
