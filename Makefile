@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet check test test-short bench bench-smoke bench-live bench-liverpc bench-pool bench-transport pool-demo load-demo load-smoke bench-load experiments experiments-full fuzz fuzz-smoke clean
+.PHONY: all build vet check test test-short bench bench-smoke bench-live bench-liverpc bench-pool bench-transport bench-diff pool-demo load-demo load-smoke bench-load experiments experiments-full fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -54,12 +54,24 @@ bench-liverpc:
 
 # Sharded-cluster scaling and replication benchmarks: weak-scaling stage
 # and by-ref read bandwidth (1 -> 2 -> 4 shards) plus the ring's remap
-# fraction, R=1 vs R=2 stage throughput, and the repair-convergence probe
-# — all recorded to BENCH_pool.json. The repair benchmark must carry its
-# repair-secs / under-replicated-max extras or the run fails, so a
-# repair-path regression cannot slip out of the record.
+# fraction, R=1 vs R=2 stage throughput, the Zipf-skewed hot-ref cache
+# probe (cache=off baseline vs cache=on), and the repair-convergence
+# probe — all recorded to BENCH_pool.json. The repair benchmark must
+# carry its repair-secs / under-replicated-max extras and the Zipf probe
+# its hit-rate / p50-ns / p99-ns extras or the run fails, so neither a
+# repair-path nor a cache-path regression can slip out of the record.
 bench-pool:
-	$(GO) test -run '^$$' -bench 'BenchmarkPool' -benchtime=2s -benchmem ./internal/pool | $(GO) run ./cmd/benchjson -require-extra 'BenchmarkPoolRepair:repair-secs,BenchmarkPoolRepair:under-replicated-max' -out BENCH_pool.json
+	$(GO) test -run '^$$' -bench 'BenchmarkPool' -benchtime=2s -benchmem ./internal/pool | $(GO) run ./cmd/benchjson -require-extra 'BenchmarkPoolRepair:repair-secs,BenchmarkPoolRepair:under-replicated-max,BenchmarkPoolZipfRead:hit-rate,BenchmarkPoolZipfRead:p50-ns,BenchmarkPoolZipfRead:p99-ns' -out BENCH_pool.json
+
+# Diff two benchfmt perf records and fail on >10% regressions in the
+# named metrics — run a fresh bench-pool to a scratch file, then compare
+# it against the checked-in baseline:
+#   make bench-diff OLD=BENCH_pool.json NEW=/tmp/BENCH_pool.json
+# The default self-compare (NEW = OLD) is the CI smoke: it proves the
+# tool still parses the committed record and its metric plumbing works.
+bench-diff:
+	$(GO) run ./cmd/benchdiff -metrics ns_per_op,mb_per_sec,hit-rate,p99-ns,repair-secs \
+		$(or $(OLD),BENCH_pool.json) $(or $(NEW),$(or $(OLD),BENCH_pool.json))
 
 # Transport latency-distribution benchmarks (eRPC-lean path): closed-loop
 # and open-loop probes plus the copy-vs-lease delivery comparison. Every
@@ -84,16 +96,21 @@ load-demo: build
 
 # Two-second load-harness pass over an in-process single shard: proves
 # cmd/dmload end to end (cluster launch, socialnet + kv scenarios, JSON
-# report) — cheap enough to gate CI on.
+# report) — cheap enough to gate CI on. The shard gets 256 MiB: composed
+# posts accumulate for the whole window (timelines retain their refs),
+# and a fast host can push ~30 MiB/s of media through compose — the
+# default 64 MiB shard OOMs mid-window and fails the smoke spuriously.
 load-smoke: build
-	$(GO) run ./cmd/dmload -launch 1 -scenarios socialnet,kv -workers 4 \
+	$(GO) run ./cmd/dmload -launch 1 -pages 65536 -scenarios socialnet,kv -workers 4 \
 		-warmup 300ms -duration 2s -out /dev/null
 
 # Full load-harness record for the PR: the three scenarios against an
-# in-process 4-shard R=2 cluster, recorded to BENCH_load.json.
+# in-process 4-shard R=2 cluster with the hot-ref cache on (4 MiB per
+# session), recorded to BENCH_load.json — cache-hit counters ride the
+# per-scenario results.
 bench-load: build
 	$(GO) run ./cmd/dmload -launch 4 -replicas 2 -scenarios socialnet,kv,blob \
-		-workers 8 -warmup 1s -duration 5s -out BENCH_load.json
+		-workers 8 -cache-bytes 4194304 -warmup 1s -duration 5s -out BENCH_load.json
 
 # Regenerate every figure as text tables (quick windows).
 experiments:

@@ -1,0 +1,144 @@
+// Command benchdiff compares two benchfmt JSON perf records (the
+// BENCH_*.json files benchjson and dmload write) and flags regressions:
+// results are matched by name, the named metrics compared, and any
+// change past the threshold in the metric's bad direction fails the run
+// with exit status 1 — so a perf record can gate CI the way a test does.
+//
+// Usage:
+//
+//	benchdiff old.json new.json
+//	benchdiff -metrics ns_per_op,mb_per_sec,hit-rate,p99-ns -threshold 0.10 old.json new.json
+//
+// Metric names are the benchfmt field tags (ns_per_op, mb_per_sec,
+// bytes_per_op, allocs_per_op) or any Extra unit (p99-ns, hit-rate,
+// repair-secs, ...). Direction is inferred from the name: throughputs
+// (mb_per_sec, hit-rate, and *ops-s* rates) are higher-better,
+// everything else — times, bytes, allocs, error counts — lower-better.
+// Results present in only one report are reported but do not fail the
+// run (benchmarks come and go across PRs); a metric listed in -metrics
+// but absent from a matched pair is skipped the same way.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	metrics := flag.String("metrics", "ns_per_op,mb_per_sec", "comma-separated metrics to compare: benchfmt field tags or Extra units")
+	threshold := flag.Float64("threshold", 0.10, "relative change in the bad direction that fails the run")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-metrics m1,m2] [-threshold 0.10] old.json new.json")
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	oldBy := byName(oldRep)
+	regressions := 0
+	for _, nr := range newRep.Results {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Printf("%-60s new result (no baseline)\n", nr.Name)
+			continue
+		}
+		delete(oldBy, nr.Name)
+		for _, m := range strings.Split(*metrics, ",") {
+			m = strings.TrimSpace(m)
+			if m == "" {
+				continue
+			}
+			ov, oOK := metric(or, m)
+			nv, nOK := metric(nr, m)
+			if !oOK || !nOK {
+				continue // metric absent on one side: nothing to compare
+			}
+			if ov == 0 {
+				continue // no meaningful relative change from a zero baseline
+			}
+			rel := (nv - ov) / ov
+			bad := rel // lower-better: an increase is the regression
+			if higherBetter(m) {
+				bad = -rel
+			}
+			verdict := "ok"
+			if bad > *threshold {
+				verdict = "REGRESSION"
+				regressions++
+			}
+			fmt.Printf("%-60s %-12s %14g -> %-14g %+7.1f%%  %s\n",
+				nr.Name, m, ov, nv, rel*100, verdict)
+		}
+	}
+	for name := range oldBy {
+		fmt.Printf("%-60s result vanished from the new report\n", name)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed past %.0f%%\n", regressions, *threshold*100)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (benchfmt.Report, error) {
+	var r benchfmt.Report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// byName indexes a report's results; on a duplicate name the last one
+// wins, matching how a reader scanning the file would resolve it.
+func byName(r benchfmt.Report) map[string]benchfmt.Result {
+	m := make(map[string]benchfmt.Result, len(r.Results))
+	for _, res := range r.Results {
+		m[res.Name] = res
+	}
+	return m
+}
+
+// metric resolves a named metric on one result: the fixed benchfmt
+// fields by their JSON tags, anything else from Extra.
+func metric(r benchfmt.Result, name string) (float64, bool) {
+	switch name {
+	case "ns_per_op":
+		return r.NsPerOp, r.NsPerOp != 0
+	case "mb_per_sec":
+		return r.MBPerSec, r.MBPerSec != 0
+	case "bytes_per_op":
+		return float64(r.BytesPerOp), r.BytesPerOp != 0
+	case "allocs_per_op":
+		return float64(r.AllocsPerOp), r.AllocsPerOp != 0
+	}
+	v, ok := r.Extra[name]
+	return v, ok
+}
+
+// higherBetter infers a metric's good direction from its name:
+// throughput-shaped metrics rise when things improve, everything else
+// (latencies, sizes, counts of bad events) falls.
+func higherBetter(name string) bool {
+	switch name {
+	case "mb_per_sec", "hit-rate":
+		return true
+	}
+	return strings.Contains(name, "ops-s") || strings.Contains(name, "ops/s")
+}

@@ -72,11 +72,13 @@ commands:
   chain     -hops <h> -size <n> -n <ops>
                                 run the liverpc chain app against the
                                 server pool by value and by ref, compare
-  pool [-replicas <R>] <subcommand>
+  pool [-replicas <R>] [-cache-bytes <B>] <subcommand>
                                 drive the sharded cluster layer; -server
                                 lists shard addresses in shard-ID order,
                                 -replicas stages R copies of every
-                                payload on its key's ring successors:
+                                payload on its key's ring successors,
+                                -cache-bytes enables the hot-ref payload
+                                cache (whole-object reads from memory):
     pool stage -text <s>          stage onto a ring-chosen shard, print
                                   the located ref and its v1 wire form
     pool read  -size <n> -n <k>   stage k objects, read each back via its
@@ -221,6 +223,7 @@ func cmdChain(dmAddrs []string, args []string) {
 func cmdPool(addrs []string, args []string) {
 	fs := flag.NewFlagSet("pool", flag.ExitOnError)
 	replicas := fs.Int("replicas", 1, "replica factor R: copies of every staged payload, placed on the R ring successors of its key")
+	cacheBytes := fs.Int64("cache-bytes", 0, "pool-level hot-ref cache budget in bytes (0 disables); whole-object reads hit memory before any shard RPC")
 	fs.Parse(args)
 	args = fs.Args()
 	if len(args) == 0 {
@@ -230,7 +233,7 @@ func cmdPool(addrs []string, args []string) {
 		cmdPoolChain(addrs, args[1:])
 		return
 	}
-	p, err := pool.Dial(pool.Config{Shards: addrs, ReplicaFactor: *replicas})
+	p, err := pool.Dial(pool.Config{Shards: addrs, ReplicaFactor: *replicas, CacheBytes: *cacheBytes})
 	exitOn(err)
 	defer p.Close()
 	exitOn(p.Register())
@@ -358,7 +361,23 @@ type poolStatsDoc struct {
 	Shards      []poolShardDoc  `json:"shards"`
 	Sessions    map[string]int  `json:"sessions"` // addr -> consecutive heartbeat failures
 	Replication *poolReplicaDoc `json:"replication,omitempty"`
+	Cache       *poolCacheDoc   `json:"cache,omitempty"`
 	Healthy     []uint32        `json:"healthy_shards"`
+}
+
+// poolCacheDoc is the pool-level hot-ref cache section (§D15), present
+// only when -cache-bytes enabled it.
+type poolCacheDoc struct {
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Admits        int64   `json:"admits"`
+	Rejects       int64   `json:"rejects"`
+	Evictions     int64   `json:"evictions"`
+	Invalidations int64   `json:"invalidations"`
+	Coalesced     int64   `json:"coalesced"`
+	Bytes         int64   `json:"bytes"`
+	Entries       int64   `json:"entries"`
+	HitRate       float64 `json:"hit_rate"`
 }
 
 type poolCounters struct {
@@ -371,6 +390,12 @@ type poolCounters struct {
 	HeartbeatFailures int64 `json:"heartbeat_failures"`
 	CreditWaits       int64 `json:"credit_waits"`
 	CreditSheds       int64 `json:"credit_sheds"`
+	CacheHits         int64 `json:"cache_hits"`
+	CacheMisses       int64 `json:"cache_misses"`
+	CacheAdmits       int64 `json:"cache_admits"`
+	CacheEvictions    int64 `json:"cache_evictions"`
+	CacheInvalidation int64 `json:"cache_invalidations"`
+	CacheCoalesced    int64 `json:"cache_coalesced"`
 	P50Ns             int64 `json:"p50_ns"`
 	P99Ns             int64 `json:"p99_ns"`
 	P999Ns            int64 `json:"p999_ns"`
@@ -403,6 +428,12 @@ func poolCountersOf(st live.Stats, lat stats.Summary) poolCounters {
 		HeartbeatFailures: st.HeartbeatFailures,
 		CreditWaits:       st.CreditWaits,
 		CreditSheds:       st.CreditSheds,
+		CacheHits:         st.CacheHits,
+		CacheMisses:       st.CacheMisses,
+		CacheAdmits:       st.CacheAdmits,
+		CacheEvictions:    st.CacheEvictions,
+		CacheInvalidation: st.CacheInvalidations,
+		CacheCoalesced:    st.CacheCoalesced,
 		P50Ns:             lat.P50,
 		P99Ns:             lat.P99,
 		P999Ns:            lat.P999,
@@ -421,6 +452,12 @@ func cmdPoolStats(p *pool.Client, args []string) {
 		ref, err := p.StageRef(payload)
 		exitOn(err)
 		exitOn(p.ReadRef(ref, 0, buf))
+		if p.CacheEnabled() {
+			// A second read of the same ref: the first populated the
+			// hot-ref cache, so this one should hit — making the cache
+			// counters below meaningful.
+			exitOn(p.ReadRef(ref, 0, buf))
+		}
 		exitOn(p.FreeRef(ref))
 	}
 	agg := p.Stats()
@@ -452,6 +489,21 @@ func cmdPoolStats(p *pool.Client, args []string) {
 				Shards:          p.ReplicaStats(),
 			}
 		}
+		if p.CacheEnabled() {
+			cs := p.CacheStats()
+			doc.Cache = &poolCacheDoc{
+				Hits:          cs.Hits,
+				Misses:        cs.Misses,
+				Admits:        cs.Admits,
+				Rejects:       cs.Rejects,
+				Evictions:     cs.Evictions,
+				Invalidations: cs.Invalidations,
+				Coalesced:     cs.Coalesced,
+				Bytes:         cs.Bytes,
+				Entries:       cs.Entries,
+				HitRate:       hitRate(cs.Hits, cs.Misses),
+			}
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		exitOn(enc.Encode(doc))
@@ -478,4 +530,18 @@ func cmdPoolStats(p *pool.Client, args []string) {
 				st.Shard, st.Healthy, st.RefsPrimary, st.RefsReplica, st.FailoverReads, st.RepairsIn)
 		}
 	}
+	if p.CacheEnabled() {
+		cs := p.CacheStats()
+		fmt.Printf("cache: hits=%d misses=%d hit_rate=%.2f admits=%d rejects=%d evictions=%d invalidations=%d coalesced=%d bytes=%d entries=%d\n",
+			cs.Hits, cs.Misses, hitRate(cs.Hits, cs.Misses),
+			cs.Admits, cs.Rejects, cs.Evictions, cs.Invalidations, cs.Coalesced, cs.Bytes, cs.Entries)
+	}
+}
+
+// hitRate is hits/(hits+misses), 0 when no lookups ran.
+func hitRate(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
 }

@@ -58,6 +58,7 @@ func main() {
 	readFrac := flag.Float64("read-frac", 0.9, "kv read fraction")
 	blobSizes := flag.String("blob-sizes", "65536,262144,1048576", "comma-separated blob payload sweep, bytes")
 	hops := flag.Int("hops", 3, "blob chain length")
+	cacheBytes := flag.Int64("cache-bytes", 0, "pool-level hot-ref cache budget in bytes for harness sessions (0 disables); hit counters land in the report")
 	heartbeat := flag.Duration("heartbeat", 0, "session heartbeat interval (0 = library default)")
 	repairEvery := flag.Duration("repair-interval", 0, "replica repair scan pacing (0 = library default)")
 	killShard := flag.Int("kill-shard", -1, "crash this shard during each run (needs -launch)")
@@ -84,6 +85,7 @@ func main() {
 	env.Pool.UnhealthyAfter = 2
 	env.Pool.RejoinPoll = 200 * time.Millisecond
 	env.Pool.RepairInterval = *repairEvery
+	env.Pool.CacheBytes = *cacheBytes
 	env.Pool.Client.HeartbeatInterval = *heartbeat
 	if env.Pool.Client.HeartbeatInterval == 0 {
 		env.Pool.Client.HeartbeatInterval = 100 * time.Millisecond
@@ -144,8 +146,8 @@ func main() {
 		fmt.Sprintf("goos: %s", runtime.GOOS),
 		fmt.Sprintf("goarch: %s", runtime.GOARCH),
 		fmt.Sprintf("cpus: %d", runtime.NumCPU()),
-		fmt.Sprintf("dmload: shards=%d replicas=%d workers=%d rate=%g duration=%s endpoint=%s seed=%d users=%d keys=%d zipf-s=%g mix=%s",
-			len(env.Shards), *replicas, *workers, *rate, *duration, *endpoint, *seed, *users, *keys, *zipfS, *mix),
+		fmt.Sprintf("dmload: shards=%d replicas=%d workers=%d rate=%g duration=%s endpoint=%s seed=%d users=%d keys=%d zipf-s=%g mix=%s cache-bytes=%d",
+			len(env.Shards), *replicas, *workers, *rate, *duration, *endpoint, *seed, *users, *keys, *zipfS, *mix, *cacheBytes),
 	}
 	if *killShard >= 0 {
 		rep.Env = append(rep.Env, fmt.Sprintf("dmload-fault: kill-shard=%d kill-at=%s restart-after=%s",

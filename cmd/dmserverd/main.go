@@ -75,8 +75,13 @@ func main() {
 		go func() {
 			for range time.Tick(*statsEvery) {
 				ws := srv.WriteStats()
-				fmt.Printf("dmserverd: free_pages=%d live_refs=%d stage_puts=%d tx_frames=%d tx_batches=%d tx_inline=%d group_commit=%.1f spin_batches=%d queue_frames=%d queue_bytes=%d tx_bytes=%d\n",
-					srv.FreePages(), srv.LiveRefs(), srv.StagePuts(), ws.Frames, ws.Batches, ws.InlineFrames,
+				// leased_bufs is the in-process zero-copy lease gauge
+				// (live.LeasedBufs); epoch is the §D15 cache-invalidation
+				// epoch piggybacked on heartbeats. leased_bufs should
+				// return to zero when in-process clients go idle.
+				fmt.Printf("dmserverd: free_pages=%d live_refs=%d stage_puts=%d leased_bufs=%d epoch=%d tx_frames=%d tx_batches=%d tx_inline=%d group_commit=%.1f spin_batches=%d queue_frames=%d queue_bytes=%d tx_bytes=%d\n",
+					srv.FreePages(), srv.LiveRefs(), srv.StagePuts(), live.LeasedBufs(), srv.Epoch(),
+					ws.Frames, ws.Batches, ws.InlineFrames,
 					ws.GroupCommitFactor, ws.SpinBatches, ws.QueueFrames, ws.QueueBytes, ws.Bytes)
 			}
 		}()

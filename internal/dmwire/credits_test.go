@@ -20,6 +20,9 @@ func TestRegisterRespCreditForms(t *testing.T) {
 		{"credits", RegisterResp{PID: 7, LeaseMillis: 15000, Credits: 256}, 17},
 		{"credits+shard", RegisterResp{PID: 9, LeaseMillis: 500, HasShard: true, Shard: 2, Credits: 64}, 17},
 		{"credits max", RegisterResp{PID: 1, LeaseMillis: 1, Credits: 1<<32 - 1}, 17},
+		{"epoch", RegisterResp{PID: 7, LeaseMillis: 15000, Epoch: 9}, 25},
+		{"credits+epoch", RegisterResp{PID: 7, LeaseMillis: 15000, Credits: 256, Epoch: 9}, 25},
+		{"credits+epoch+shard", RegisterResp{PID: 9, LeaseMillis: 500, HasShard: true, Shard: 2, Credits: 64, Epoch: 1 << 40}, 25},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			b := tc.r.Marshal()
@@ -55,6 +58,34 @@ func TestRegisterRespLegacyBytesStillDecode(t *testing.T) {
 	}
 }
 
+// TestRegisterRespEpochFoldBack: a 25-byte body whose epoch field is
+// zero is non-canonical — canonical encoders only emit the epoch form
+// when the epoch is set — so it decodes to the 8-byte base form and its
+// re-encoding is a prefix of the input, the fuzz invariant.
+func TestRegisterRespEpochFoldBack(t *testing.T) {
+	for _, flags := range []byte{registerRespExt | registerRespEpoch, registerRespExt | registerRespEpoch | 1} {
+		long := make([]byte, 0, 25)
+		long = appendU32(long, 42)   // PID
+		long = appendU32(long, 9000) // LeaseMillis
+		long = append(long, flags)
+		long = appendU32(long, 5)                   // Shard
+		long = appendU32(long, 64)                  // Credits
+		long = append(long, 0, 0, 0, 0, 0, 0, 0, 0) // epoch = 0
+		got, err := UnmarshalRegisterResp(long)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := RegisterResp{PID: 42, LeaseMillis: 9000}
+		if got != want {
+			t.Fatalf("flags %#x: fold-back decode = %+v, want %+v", flags, got, want)
+		}
+		reenc := got.Marshal()
+		if len(reenc) > len(long) || !bytes.Equal(reenc, long[:len(reenc)]) {
+			t.Fatalf("flags %#x: re-encoding is not a prefix of the long form", flags)
+		}
+	}
+}
+
 // TestHeartbeatRespCreditForms: the renewed window rides the heartbeat
 // response as a 4-byte suffix, absent when credits are off.
 func TestHeartbeatRespCreditForms(t *testing.T) {
@@ -65,6 +96,8 @@ func TestHeartbeatRespCreditForms(t *testing.T) {
 	}{
 		{"base", HeartbeatResp{LeaseMillis: 250}, 4},
 		{"credits", HeartbeatResp{LeaseMillis: 250, Credits: 128}, 8},
+		{"epoch", HeartbeatResp{LeaseMillis: 250, Epoch: 7}, 16},
+		{"credits+epoch", HeartbeatResp{LeaseMillis: 250, Credits: 128, Epoch: 1 << 40}, 16},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			b := tc.r.Marshal()
@@ -80,4 +113,40 @@ func TestHeartbeatRespCreditForms(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestHeartbeatRespEpochFoldBack: a 16-byte body carrying an explicit
+// zero epoch is non-canonical — it decodes to the shorter form and its
+// re-encoding is a prefix of the input, which is the invariant the
+// fuzz target enforces for every accepted body.
+func TestHeartbeatRespEpochFoldBack(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		r    HeartbeatResp
+	}{
+		{"zero epoch zero credits", HeartbeatResp{LeaseMillis: 300}},
+		{"zero epoch with credits", HeartbeatResp{LeaseMillis: 300, Credits: 64}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			long := make([]byte, 0, 16)
+			long = append(long, tc.r.Marshal()[:4]...)
+			long = appendU32(long, tc.r.Credits)
+			long = append(long, 0, 0, 0, 0, 0, 0, 0, 0) // epoch = 0
+			got, err := UnmarshalHeartbeatResp(long)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.r {
+				t.Fatalf("fold-back decode = %+v, want %+v", got, tc.r)
+			}
+			reenc := got.Marshal()
+			if len(reenc) > len(long) || !bytes.Equal(reenc, long[:len(reenc)]) {
+				t.Fatal("re-encoding is not a prefix of the long form")
+			}
+		})
+	}
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }

@@ -121,28 +121,49 @@ func ErrOf(status byte, msg string) error {
 // not advertise credits (pre-credit servers, or crediting disabled) and
 // the client falls back to its own configured limit.
 //
+// Epoch is the server's cache-invalidation epoch at registration (§D15):
+// the hot-ref cache's coherence baseline, so a client observing a LATER
+// epoch on a heartbeat knows something it may have cached was freed,
+// overwritten, or reaped. 0 means the server has never invalidated (or
+// predates epochs — indistinguishable, and equally safe as a baseline).
+//
 // Wire forms, disambiguated by body length:
 //
 //	8 bytes:  PID | LeaseMillis                          (base)
 //	12 bytes: PID | LeaseMillis | Shard                  (legacy shard)
 //	17 bytes: PID | LeaseMillis | flags u8 | Shard | Credits
+//	25 bytes: PID | LeaseMillis | flags u8 | Shard | Credits | Epoch
 //
-// The 17-byte form is emitted only when Credits > 0; its flags byte
-// (bit1 always set as the extended-form marker, bit0 = HasShard) can
-// never collide with a legacy 12-byte body, which is exactly 12 bytes.
+// The 17-byte form is emitted only when Credits > 0; the 25-byte form
+// only when Epoch > 0 (flags bit2 set). The flags byte (bit1 always set
+// as the extended-form marker, bit0 = HasShard, bit2 = epoch present)
+// can never collide with a legacy 12-byte body, which is exactly 12
+// bytes.
 type RegisterResp struct {
 	PID         uint32
 	LeaseMillis uint32
 	HasShard    bool
 	Shard       uint32
 	Credits     uint32
+	Epoch       uint64
 }
 
-// registerRespExt marks the extended register-response form (flags bit1).
-const registerRespExt = 0x02
+// registerRespExt marks the extended register-response form (flags bit1);
+// registerRespEpoch marks the epoch-carrying form (flags bit2).
+const (
+	registerRespExt   = 0x02
+	registerRespEpoch = 0x04
+)
 
 // Marshal encodes the response body in its shortest canonical form.
 func (r RegisterResp) Marshal() []byte {
+	if r.Epoch > 0 {
+		flags := byte(registerRespExt | registerRespEpoch)
+		if r.HasShard {
+			flags |= 1
+		}
+		return rpc.NewEnc(25).U32(r.PID).U32(r.LeaseMillis).U8(flags).U32(r.Shard).U32(r.Credits).U64(r.Epoch).Bytes()
+	}
 	if r.Credits > 0 {
 		flags := byte(registerRespExt)
 		if r.HasShard {
@@ -156,7 +177,7 @@ func (r RegisterResp) Marshal() []byte {
 	return rpc.NewEnc(12).U32(r.PID).U32(r.LeaseMillis).U32(r.Shard).Bytes()
 }
 
-// UnmarshalRegisterResp decodes the response body (any of the three
+// UnmarshalRegisterResp decodes the response body (any of the four
 // length-disambiguated forms).
 func UnmarshalRegisterResp(b []byte) (RegisterResp, error) {
 	d := rpc.NewDec(b)
@@ -165,17 +186,24 @@ func UnmarshalRegisterResp(b []byte) (RegisterResp, error) {
 		return r, err
 	}
 	rem := d.Remaining()
-	if len(rem) >= 9 && rem[0]&registerRespExt != 0 && rem[0]>>2 == 0 {
+	if len(rem) >= 9 && rem[0]&registerRespExt != 0 && rem[0]>>3 == 0 {
 		flags := d.U8()
 		r.Shard = d.U32()
 		r.Credits = d.U32()
+		if flags&registerRespEpoch != 0 {
+			r.Epoch = d.U64()
+		}
 		if err := d.Err(); err != nil {
 			return r, err
 		}
-		if r.Credits == 0 {
-			// Canonical encoders never emit the extended form with zero
-			// credits; decode it as the base form so re-encoding stays a
+		if flags&registerRespEpoch != 0 && r.Epoch == 0 {
+			// Canonical encoders never emit the epoch form with a zero
+			// epoch; decode it as the base form so re-encoding stays a
 			// prefix of the input.
+			return RegisterResp{PID: r.PID, LeaseMillis: r.LeaseMillis}, nil
+		}
+		if flags&registerRespEpoch == 0 && r.Credits == 0 {
+			// Likewise for the credit form with zero credits.
 			return RegisterResp{PID: r.PID, LeaseMillis: r.LeaseMillis}, nil
 		}
 		r.HasShard = flags&1 != 0
@@ -206,27 +234,41 @@ func UnmarshalHeartbeatReq(b []byte) (HeartbeatReq, error) {
 // HeartbeatResp is the body of a successful MHeartbeat response: the
 // renewed lease TTL in milliseconds, plus — when the server advertises
 // credit-based flow control — the refreshed per-session async credit
-// window. Credits is appended to the original 4-byte body only when
-// nonzero, so pre-credit peers interoperate in both directions.
+// window, plus — once the server has ever freed, overwritten or reaped
+// a ref — its cache-invalidation epoch (DESIGN.md §D15). Like the
+// credit extension, each field is appended only when nonzero and the
+// forms are length-disambiguated, so peers from any era interoperate:
+// 4 bytes (lease), 8 (lease+credits), 16 (lease+credits+epoch).
 type HeartbeatResp struct {
 	LeaseMillis uint32
 	Credits     uint32
+	Epoch       uint64
 }
 
 // Marshal encodes the response body in its shortest canonical form.
 func (r HeartbeatResp) Marshal() []byte {
+	if r.Epoch > 0 {
+		return rpc.NewEnc(16).U32(r.LeaseMillis).U32(r.Credits).U64(r.Epoch).Bytes()
+	}
 	if r.Credits > 0 {
 		return rpc.NewEnc(8).U32(r.LeaseMillis).U32(r.Credits).Bytes()
 	}
 	return rpc.NewEnc(4).U32(r.LeaseMillis).Bytes()
 }
 
-// UnmarshalHeartbeatResp decodes the response body.
+// UnmarshalHeartbeatResp decodes the response body, folding
+// non-canonical long forms (explicit zero epoch) back to the shorter
+// canonical value so decode∘encode is always a prefix of the input.
 func UnmarshalHeartbeatResp(b []byte) (HeartbeatResp, error) {
 	d := rpc.NewDec(b)
 	r := HeartbeatResp{LeaseMillis: d.U32()}
 	if err := d.Err(); err != nil {
 		return r, err
+	}
+	if len(d.Remaining()) >= 12 {
+		r.Credits = d.U32()
+		r.Epoch = d.U64()
+		return r, d.Err()
 	}
 	if len(d.Remaining()) >= 4 {
 		r.Credits = d.U32()

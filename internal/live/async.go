@@ -113,12 +113,19 @@ type AsyncOp struct {
 	p       *Pending
 	err     error
 	consume func(resp []byte) error
+	// complete, when set, is a pre-resolved result (a hot-ref cache hit
+	// that never touched the wire); Wait runs it exactly once, which is
+	// where the cached Buf's hold is consumed.
+	complete func() error
 }
 
 // Wait blocks for the operation's result.
 func (op *AsyncOp) Wait() error {
 	if op.err != nil {
 		return op.err
+	}
+	if op.complete != nil {
+		return op.complete()
 	}
 	return op.p.Wait(op.consume)
 }
@@ -142,8 +149,21 @@ func (cl *Client) WriteAsync(addr dm.RemoteAddr, src []byte) *AsyncOp {
 }
 
 // ReadRefAsync starts a by-ref read into dst and returns a future; dst is
-// filled when Wait returns nil and must not be read before that.
+// filled when Wait returns nil and must not be read before that. A
+// whole-object read that hits the hot-ref cache resolves without
+// touching the wire (the copy into dst is deferred to Wait); a cacheable
+// miss offers the fetched payload for admission.
 func (cl *Client) ReadRefAsync(ref dm.Ref, off int64, dst []byte) *AsyncOp {
+	cacheable := cl.refCacheable(ref, off, int64(len(dst)))
+	if cacheable {
+		if b, ok := cl.cache.Get(refCacheKey(ref)); ok {
+			return &AsyncOp{complete: func() error {
+				copy(dst, b.Bytes())
+				b.Release()
+				return nil
+			}}
+		}
+	}
 	srv, _, err := cl.server(int(ref.Server))
 	if err != nil {
 		return &AsyncOp{err: err}
@@ -159,6 +179,12 @@ func (cl *Client) ReadRefAsync(ref dm.Ref, off int64, dst []byte) *AsyncOp {
 				return fmt.Errorf("live: readref returned %d bytes, want %d", len(resp), len(dst))
 			}
 			copy(dst, resp)
+			if cacheable {
+				// Admission copies the payload (the pooled resp cannot be
+				// retained); mk runs only if the sketch admits the key.
+				cl.cache.Add(refCacheKey(ref), ref.Size, cl.cacheTTL(int(ref.Server)),
+					func() *Buf { return NewBuf(resp) })
+			}
 			return nil
 		},
 	}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/dm"
 	"repro/internal/dmwire"
+	"repro/internal/refcache"
 	"repro/internal/rpc"
 	"repro/internal/stats"
 )
@@ -33,6 +34,19 @@ type ClientConfig struct {
 	// data calls start failing. It must not block; see also
 	// Client.SessionHealth.
 	OnHeartbeatFailure func(addr string, consecutive int, err error)
+	// CacheBytes enables the client-side hot-ref payload cache
+	// (DESIGN.md §D15): full-object ReadRef/ReadRefLease/ReadRefAsync
+	// results are retained up to this many bytes, TinyLFU-admitted, and
+	// served without crossing the wire until the server's invalidation
+	// epoch advances, the entry's lease-bounded TTL lapses, or a local
+	// FreeRef/Write/Reregister drops them. 0 disables caching.
+	CacheBytes int64
+	// OnEpochAdvance, when set, is invoked from the heartbeat loop each
+	// time a server's cache-invalidation epoch is observed to advance
+	// (after the client's own cache entries for it are dropped) — the
+	// hook the pool uses to invalidate its cluster-level cache. It must
+	// not block.
+	OnEpochAdvance func(addr string, epoch uint64)
 }
 
 // DefaultClientConfig returns the production defaults.
@@ -69,6 +83,13 @@ type Client struct {
 	hbDead   []atomic.Bool   // per-server "session reaped" latch (see SessionReaped)
 	hbCancel []chan struct{} // per-server heartbeat cancel, mu-guarded (Reregister)
 	hbTotal  atomic.Int64    // cumulative heartbeat failures (never resets)
+
+	// cache is the hot-ref payload cache (nil when disabled); epochSeen
+	// tracks, per server, the last invalidation epoch a heartbeat
+	// carried (-1 until first observed) so an advance drops that
+	// server's cached entries.
+	cache     *refcache.Cache[*Buf]
+	epochSeen []atomic.Int64
 }
 
 // conn is one multiplexed TCP connection to a DM server. All request
@@ -109,20 +130,25 @@ func DialConfig(cfg ClientConfig, addrs ...string) (*Client, error) {
 		cid = 1 // the zero token means "no dedup"
 	}
 	cl := &Client{
-		cfg:      cfg,
-		node:     NewNodeWith(cfg.Net),
-		addrs:    addrs,
-		pids:     make([]uint32, len(addrs)),
-		leases:   make([]time.Duration, len(addrs)),
-		shards:   make([]int64, len(addrs)),
-		cid:      cid,
-		hbStop:   make(chan struct{}),
-		hbFails:  make([]atomic.Int32, len(addrs)),
-		hbDead:   make([]atomic.Bool, len(addrs)),
-		hbCancel: make([]chan struct{}, len(addrs)),
+		cfg:       cfg,
+		node:      NewNodeWith(cfg.Net),
+		addrs:     addrs,
+		pids:      make([]uint32, len(addrs)),
+		leases:    make([]time.Duration, len(addrs)),
+		shards:    make([]int64, len(addrs)),
+		cid:       cid,
+		hbStop:    make(chan struct{}),
+		hbFails:   make([]atomic.Int32, len(addrs)),
+		hbDead:    make([]atomic.Bool, len(addrs)),
+		hbCancel:  make([]chan struct{}, len(addrs)),
+		epochSeen: make([]atomic.Int64, len(addrs)),
 	}
 	for i := range cl.shards {
 		cl.shards[i] = -1
+		cl.epochSeen[i].Store(-1)
+	}
+	if cfg.CacheBytes > 0 {
+		cl.cache = refcache.New[*Buf](refcache.Config{MaxBytes: cfg.CacheBytes})
 	}
 	dialDeadline := time.Time{}
 	if d := cl.node.cfg.DialTimeout; d > 0 {
@@ -137,10 +163,12 @@ func DialConfig(cfg ClientConfig, addrs ...string) (*Client, error) {
 	return cl, nil
 }
 
-// Close stops the heartbeats and tears down every connection.
+// Close stops the heartbeats, releases every cached payload, and tears
+// down every connection.
 func (cl *Client) Close() error {
 	cl.hbOnce.Do(func() { close(cl.hbStop) })
 	cl.hbWG.Wait()
+	cl.cache.Flush()
 	return cl.node.Close()
 }
 
@@ -382,10 +410,16 @@ func (cl *Client) Register() error {
 	return nil
 }
 
-// registerOne obtains a PID (and lease) from server i and records them.
+// registerOne obtains a PID (and lease) from server i and records them,
+// along with the server's invalidation-epoch baseline: captured BEFORE
+// any read can populate the cache, so the first heartbeat's epoch
+// compares against registration time, not against whenever the
+// heartbeat loop happened to fire first (a free landing in that gap
+// must still invalidate, §D15).
 func (cl *Client) registerOne(i int, a string) error {
 	var pid uint32
 	var lease time.Duration
+	var epoch uint64
 	shard := int64(-1)
 	err := cl.node.CallConsumeOpts(a, dmwire.MRegister, nil, nil, func(resp []byte) error {
 		r, err := dmwire.UnmarshalRegisterResp(resp)
@@ -394,6 +428,7 @@ func (cl *Client) registerOne(i int, a string) error {
 		}
 		pid = r.PID
 		lease = time.Duration(r.LeaseMillis) * time.Millisecond
+		epoch = r.Epoch
 		if r.HasShard {
 			shard = int64(r.Shard)
 		}
@@ -404,6 +439,7 @@ func (cl *Client) registerOne(i int, a string) error {
 	if err != nil {
 		return err
 	}
+	cl.epochSeen[i].Store(int64(epoch))
 	cl.mu.Lock()
 	cl.pids[i] = pid
 	cl.leases[i] = lease
@@ -470,6 +506,7 @@ func (cl *Client) heartbeatLoop(i int, addr string, pid uint32, interval time.Du
 				}
 				// Refresh the async credit window from the renewal.
 				cl.node.setPeerCredits(addr, r.Credits)
+				cl.observeEpoch(i, addr, r.Epoch)
 				return nil
 			}, opts)
 			if err == nil {
@@ -483,9 +520,31 @@ func (cl *Client) heartbeatLoop(i int, addr string, pid uint32, interval time.Du
 			}
 			if errors.Is(err, dm.ErrBadAddress) {
 				cl.hbDead[i].Store(true)
+				// A reaped session's refs are gone server-side; cached
+				// payloads must never outlive the reap (§D15).
+				cl.cache.InvalidateServer(uint32(i))
 				return // session reaped; the counter stays nonzero
 			}
 		}
+	}
+}
+
+// observeEpoch folds one heartbeat's invalidation epoch into the
+// per-server record: the first observation is the baseline (entries
+// cached before it are covered by the one-heartbeat staleness bound),
+// any advance drops the server's cached entries and fires the
+// OnEpochAdvance hook.
+func (cl *Client) observeEpoch(i int, addr string, epoch uint64) {
+	if cl.cache == nil && cl.cfg.OnEpochAdvance == nil {
+		return
+	}
+	prev := cl.epochSeen[i].Swap(int64(epoch))
+	if prev < 0 || uint64(prev) == epoch {
+		return
+	}
+	cl.cache.InvalidateServer(uint32(i))
+	if cb := cl.cfg.OnEpochAdvance; cb != nil {
+		cb(addr, epoch)
 	}
 }
 
@@ -517,6 +576,10 @@ func (cl *Client) Reregister(i int) error {
 		cl.hbCancel[i] = nil
 	}
 	cl.mu.Unlock()
+	// The old session's server-side state is gone; drop cached payloads
+	// and re-baseline the epoch (the fresh server may start from 0).
+	cl.cache.InvalidateServer(uint32(i))
+	cl.epochSeen[i].Store(-1)
 	if err := cl.registerOne(i, a); err != nil {
 		return err
 	}
@@ -582,6 +645,17 @@ type Stats struct {
 	// the credit window stayed exhausted for their whole attempt
 	// deadline — the bounded-queueing response to a stalled server.
 	CreditSheds int64
+	// CacheHits .. CacheCoalesced mirror the hot-ref cache's counters
+	// (DESIGN.md §D15): reads served from memory, reads that went to the
+	// wire, entries admitted/evicted/invalidated, and concurrent cold
+	// reads coalesced behind another caller's fetch. All zero when
+	// ClientConfig.CacheBytes is 0.
+	CacheHits          int64
+	CacheMisses        int64
+	CacheAdmits        int64
+	CacheEvictions     int64
+	CacheInvalidations int64
+	CacheCoalesced     int64
 }
 
 // Stats snapshots the client's cumulative call counters. Counters only
@@ -589,8 +663,21 @@ type Stats struct {
 func (cl *Client) Stats() Stats {
 	s := cl.node.ops.snapshot()
 	s.HeartbeatFailures = cl.hbTotal.Load()
+	if cl.cache != nil {
+		cs := cl.cache.Stats()
+		s.CacheHits = cs.Hits
+		s.CacheMisses = cs.Misses
+		s.CacheAdmits = cs.Admits
+		s.CacheEvictions = cs.Evictions
+		s.CacheInvalidations = cs.Invalidations
+		s.CacheCoalesced = cs.Coalesced
+	}
 	return s
 }
+
+// CacheStats snapshots the hot-ref cache's own counters and gauges
+// (zero when the cache is disabled).
+func (cl *Client) CacheStats() refcache.Stats { return cl.cache.Stats() }
 
 // Latency summarizes the client's per-op latency distribution
 // (submission to completion, retries included; sync and async ops, in
@@ -600,6 +687,50 @@ func (cl *Client) Latency() stats.Summary { return cl.node.Latency() }
 // LatencyHistogram snapshots the client's per-op latency histogram, for
 // merging across clients or custom quantiles.
 func (cl *Client) LatencyHistogram() *stats.Histogram { return cl.node.LatencyHistogram() }
+
+// Lease returns the lease duration server i granted at registration
+// (0 when the server does not lease sessions or i is out of range).
+func (cl *Client) Lease(i int) time.Duration {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if i < 0 || i >= len(cl.leases) {
+		return 0
+	}
+	return cl.leases[i]
+}
+
+// refCacheable reports whether a ref read can be served from or
+// admitted to the hot-ref cache: whole-object reads of a nonempty ref
+// only — partial reads bypass so the cache never stores a fragment
+// under a whole-object key.
+func (cl *Client) refCacheable(ref dm.Ref, off, size int64) bool {
+	return cl.cache != nil && off == 0 && size > 0 && size == ref.Size
+}
+
+func refCacheKey(ref dm.Ref) refcache.Key {
+	return refcache.Key{Server: ref.Server, Ref: ref.Key}
+}
+
+// cacheTTL caps a cached entry's lifetime at server i's lease so a
+// missed invalidation can serve stale bytes for at most one TTL and an
+// entry never outlives a reap window; sessions without leasing fall
+// back to the refcache default.
+func (cl *Client) cacheTTL(i int) time.Duration {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if i >= 0 && i < len(cl.leases) {
+		return cl.leases[i] // 0 (no leasing) selects the refcache default
+	}
+	return 0
+}
+
+// cachedReadRef serves a whole-object ref read through the hot-ref
+// cache, going to the wire (once, under singleflight) on a miss. The
+// returned Buf is retained for the caller.
+func (cl *Client) cachedReadRef(ref dm.Ref) (*Buf, error) {
+	return cl.cache.GetOrLoad(refCacheKey(ref), ref.Size, cl.cacheTTL(int(ref.Server)),
+		func() (*Buf, error) { return cl.readRefLeaseWire(ref, 0, ref.Size) })
+}
 
 // server picks the pool entry for index i.
 func (cl *Client) server(i int) (string, uint32, error) {
@@ -715,8 +846,12 @@ func (cl *Client) MapRef(ref dm.Ref) (dm.RemoteAddr, error) {
 	return tagAddr(int(ref.Server), addr), nil
 }
 
-// FreeRef drops the ref's own page hold.
+// FreeRef drops the ref's own page hold. The cached payload (if any)
+// is dropped regardless of outcome: even a failed free may have
+// applied server-side (retry ambiguity), and over-invalidating only
+// costs a refetch.
 func (cl *Client) FreeRef(ref dm.Ref) error {
+	defer cl.cache.Invalidate(refCacheKey(ref))
 	srv, _, err := cl.server(int(ref.Server))
 	if err != nil {
 		return err
@@ -751,6 +886,12 @@ func (cl *Client) Write(addr dm.RemoteAddr, src []byte) error {
 	if err := checkWireRange("write", 0, int64(len(src))); err != nil {
 		return err
 	}
+	// A local write invalidates the whole server's cached entries
+	// before the next read, ahead of the epoch advance the heartbeat
+	// would deliver (§D15: write-through-own-session invalidates
+	// locally). CoW keeps existing refs byte-stable, so this is
+	// conservatism, not correctness.
+	defer cl.cache.InvalidateServer(uint32(idx))
 	return cl.node.CallConsumeOpts(srv, dmwire.MWrite, dmwire.WriteReq{PID: pid, Addr: raw}.MarshalHdr(), src, nil, idemOpts())
 }
 
@@ -835,8 +976,24 @@ func (cl *Client) StageRefAt(server int, key uint64, data []byte) (dm.Ref, error
 	return dm.Ref{Server: uint32(server), Key: key, Size: int64(len(data))}, nil
 }
 
-// ReadRef reads the ref's snapshot without mapping it.
+// ReadRef reads the ref's snapshot without mapping it. Whole-object
+// reads are served through the hot-ref cache when one is configured.
 func (cl *Client) ReadRef(ref dm.Ref, off int64, dst []byte) error {
+	if cl.refCacheable(ref, off, int64(len(dst))) {
+		b, err := cl.cachedReadRef(ref)
+		if err != nil {
+			return err
+		}
+		copy(dst, b.Bytes())
+		b.Release()
+		return nil
+	}
+	return cl.readRefWire(ref, off, dst)
+}
+
+// readRefWire is the uncached MReadRef exchange: the response body is
+// copied once, pooled buffer to dst.
+func (cl *Client) readRefWire(ref dm.Ref, off int64, dst []byte) error {
 	srv, _, err := cl.server(int(ref.Server))
 	if err != nil {
 		return err
@@ -861,7 +1018,18 @@ func (cl *Client) ReadRef(ref dm.Ref, off int64, dst []byte) error {
 // once — the bytes recycle into the transport's frame pool and are
 // invalid after. On any error (including a failed or timed-out call) no
 // Buf is leased and the transport recycles the frame itself.
+// Whole-object reads are served through the hot-ref cache when one is
+// configured; a cached Buf's bytes are shared with other readers and
+// must be treated as read-only (which leased bytes always are).
 func (cl *Client) ReadRefLease(ref dm.Ref, off, size int64) (*Buf, error) {
+	if cl.refCacheable(ref, off, size) {
+		return cl.cachedReadRef(ref)
+	}
+	return cl.readRefLeaseWire(ref, off, size)
+}
+
+// readRefLeaseWire is the uncached zero-copy MReadRef exchange.
+func (cl *Client) readRefLeaseWire(ref dm.Ref, off, size int64) (*Buf, error) {
 	srv, _, err := cl.server(int(ref.Server))
 	if err != nil {
 		return nil, err

@@ -95,6 +95,7 @@ func (s *Server) reapPID(pid uint32, ps *pidState, force bool) {
 	// Drop the refs the dead session created. Another PID that mapped one
 	// of these refs keeps its pages: map_ref took per-frame holds of its
 	// own, so only the ref entry's holds are released here.
+	swept := 0
 	for i := range s.refs {
 		sh := &s.refs[i]
 		var orphaned []*refEntry
@@ -111,5 +112,12 @@ func (s *Server) reapPID(pid uint32, ps *pidState, force bool) {
 				s.decRef(f)
 			}
 		}
+		swept += len(orphaned)
+	}
+	if swept > 0 {
+		// Reaped refs vanished without an explicit FreeRef; advance the
+		// invalidation epoch so surviving sessions drop any cached
+		// payloads for them (DESIGN.md §D15).
+		s.epoch.Add(1)
 	}
 }

@@ -257,6 +257,13 @@ type Server struct {
 	// stagePuts counts successful MStageAt operations (replica placements
 	// and repair traffic landing on this shard; dmserverd -stats).
 	stagePuts atomic.Int64
+	// epoch is the cache-invalidation epoch (DESIGN.md §D15): bumped on
+	// any operation that could make a previously read ref payload stale
+	// — FreeRef, a write (CoW makes refs immutable, but the bump keeps
+	// the contract conservative), or a lease reap sweeping refs — and
+	// piggybacked on every heartbeat so clients drop cached payloads
+	// within one heartbeat of the change.
+	epoch atomic.Uint64
 
 	node       *Node
 	closeOnce  sync.Once
@@ -523,6 +530,10 @@ func (s *Server) register() ([]byte, error) {
 		HasShard:    s.cfg.HasShard,
 		Shard:       s.cfg.ShardID,
 		Credits:     s.sessionCredits(),
+		// The invalidation-epoch baseline (§D15): anything the client
+		// caches from now on is covered by epoch advances piggybacked on
+		// its heartbeats.
+		Epoch: s.epoch.Load(),
 	}.Marshal(), nil
 }
 
@@ -545,8 +556,16 @@ func (s *Server) heartbeat(body []byte) ([]byte, error) {
 	if s.cfg.LeaseTTL > 0 {
 		ps.renewLease(s.cfg.LeaseTTL)
 	}
-	return dmwire.HeartbeatResp{LeaseMillis: s.leaseMillis(), Credits: s.sessionCredits()}.Marshal(), nil
+	return dmwire.HeartbeatResp{
+		LeaseMillis: s.leaseMillis(),
+		Credits:     s.sessionCredits(),
+		Epoch:       s.epoch.Load(),
+	}.Marshal(), nil
 }
+
+// Epoch returns the current cache-invalidation epoch (0 until the
+// first free/write/reap).
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
 
 func (s *Server) pidState(pid uint32) (*pidState, error) {
 	s.pidMu.RLock()
@@ -772,6 +791,7 @@ func (s *Server) freeRef(body []byte) ([]byte, error) {
 	for _, f := range ref.frames {
 		s.decRef(f)
 	}
+	s.epoch.Add(1)
 	return nil, nil
 }
 
@@ -867,6 +887,7 @@ func (s *Server) write(body []byte) ([]byte, error) {
 		s.decRef(f)
 		off += n
 	}
+	s.epoch.Add(1)
 	return nil, nil
 }
 

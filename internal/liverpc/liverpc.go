@@ -115,6 +115,9 @@ type Config struct {
 	InlineThreshold int
 	// ForceInline disables pass-by-reference entirely, producing the
 	// pass-by-value (eRPC-style) baseline from the same application code.
+	// It also bypasses the DM backend's hot-ref cache as a side effect:
+	// with nothing staged there are no refs to key on, so CacheBytes on
+	// the backend is inert under ForceInline.
 	ForceInline bool
 	// DM is the endpoint's default staging backend — a *live.Client or a
 	// sharded *pool.Client — used when the constructor's dmc argument is

@@ -204,6 +204,12 @@ func (e *Env) SessionTotals() SessionTotals {
 		t.HeartbeatFailures += st.HeartbeatFailures
 		t.CreditWaits += st.CreditWaits
 		t.CreditSheds += st.CreditSheds
+		t.CacheHits += st.CacheHits
+		t.CacheMisses += st.CacheMisses
+		t.CacheAdmits += st.CacheAdmits
+		t.CacheEvictions += st.CacheEvictions
+		t.CacheInvalidations += st.CacheInvalidations
+		t.CacheCoalesced += st.CacheCoalesced
 		t.FailoverReads += p.FailoverReads()
 		t.RepairsDone += p.RepairsDone()
 		t.RepairErrors += p.RepairErrors()

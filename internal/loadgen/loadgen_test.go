@@ -144,6 +144,51 @@ func TestOpenLoopKV(t *testing.T) {
 	}
 }
 
+// TestKVCacheOnVerifiesBytes runs the kv mix with the hot-ref cache
+// enabled on every harness session: the byte-for-byte read verification
+// must still pass while writes churn the key space (stage new + free
+// old), which exercises the epoch-driven invalidation path under real
+// mixed load — and the hit counters must land in the run's report.
+func TestKVCacheOnVerifiesBytes(t *testing.T) {
+	c, err := Launch(2, testServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	env := testEnv(c, 1)
+	env.Pool.CacheBytes = 1 << 20
+	defer env.CloseSessions()
+
+	s := KV()
+	if err := s.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := Run(s, env, RunConfig{
+		Workers: 4,
+		Warmup:  50 * time.Millisecond,
+		Measure: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("cache-on run completed zero ops")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("cache-on run had %d errors", res.Errors)
+	}
+	if res.Counters["payload-loss"] != 0 {
+		t.Fatalf("payload loss with cache on: %v", res.Counters["payload-loss"])
+	}
+	if res.Counters["cache-hits"] <= 0 {
+		t.Fatalf("cache-on run reported no hits: %v", res.Counters)
+	}
+	if hr := res.Counters["cache-hit-rate"]; hr <= 0 || hr > 1 {
+		t.Fatalf("implausible cache-hit-rate %v", hr)
+	}
+}
+
 // TestKillShardUnderLoad crashes and revives a shard mid-run at R=2 and
 // requires every read that succeeded to have returned the right bytes —
 // the zero-payload-loss bar for replicated failover.

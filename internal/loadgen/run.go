@@ -263,6 +263,11 @@ func Run(s Scenario, env *Env, cfg RunConfig) (RunResult, error) {
 	res.Counters["failover-reads"] = float64(after.FailoverReads - before.FailoverReads)
 	res.Counters["repairs-done"] = float64(after.RepairsDone - before.RepairsDone)
 	res.Counters["under-replicated"] = float64(after.UnderReplicated)
+	if hits, misses := after.CacheHits-before.CacheHits, after.CacheMisses-before.CacheMisses; hits+misses > 0 {
+		res.Counters["cache-hits"] = float64(hits)
+		res.Counters["cache-misses"] = float64(misses)
+		res.Counters["cache-hit-rate"] = float64(hits) / float64(hits+misses)
+	}
 	for k, v := range s.Counters() {
 		res.Counters[k] = v
 	}

@@ -1,6 +1,8 @@
 package pool
 
 import (
+	"time"
+
 	"repro/internal/dm"
 	"repro/internal/live"
 )
@@ -69,6 +71,12 @@ type AsyncOp struct {
 	// retry, when set, runs a synchronous failover pass after the
 	// in-flight attempt fails with a failover-worthy error.
 	retry func(firstErr error) error
+	// complete, when set, is a pre-resolved result (a pool-cache hit
+	// that never touched the wire); Wait runs it exactly once.
+	complete func() error
+	// admit, when set, offers the fetched payload for pool-cache
+	// admission after a successful wait.
+	admit func()
 	err   error
 }
 
@@ -77,9 +85,15 @@ func (op *AsyncOp) Wait() error {
 	if op.err != nil {
 		return op.err
 	}
+	if op.complete != nil {
+		return op.complete()
+	}
 	err := op.inner.Wait()
 	if err != nil && op.retry != nil && failoverWorthy(err) {
-		return op.retry(err)
+		err = op.retry(err)
+	}
+	if err == nil && op.admit != nil {
+		op.admit()
 	}
 	return err
 }
@@ -87,8 +101,21 @@ func (op *AsyncOp) Wait() error {
 // ReadRefAsync starts a by-ref read from the ref's primary shard into
 // dst and returns a future; dst is filled when Wait returns nil. If the
 // primary fails, Wait falls back to the ref's remaining replicas
-// synchronously.
+// synchronously. A whole-object read that hits the pool cache resolves
+// without touching the wire (the copy into dst is deferred to Wait); a
+// cacheable miss offers the fetched payload for admission after Wait
+// succeeds.
 func (p *Client) ReadRefAsync(ref dm.Ref, off int64, dst []byte) *AsyncOp {
+	cacheable := p.refCacheable(ref, off, int64(len(dst)))
+	if cacheable {
+		if b, ok := p.cache.Get(p.cacheKey(ref)); ok {
+			return &AsyncOp{complete: func() error {
+				copy(dst, b.Bytes())
+				b.Release()
+				return nil
+			}}
+		}
+	}
 	s, err := p.byID(ref.Server)
 	if err != nil {
 		// The primary is unresolvable; a replicated ref may still be
@@ -97,12 +124,21 @@ func (p *Client) ReadRefAsync(ref dm.Ref, off int64, dst []byte) *AsyncOp {
 	}
 	local := ref
 	local.Server = 0
-	return &AsyncOp{
+	op := &AsyncOp{
 		inner: s.cl.ReadRefAsync(local, off, dst),
 		retry: func(firstErr error) error {
 			return p.readRefFailover(ref, off, dst, ref.Server, firstErr)
 		},
 	}
+	if cacheable {
+		op.admit = func() {
+			// Admission copies dst (the caller's buffer cannot be
+			// retained); mk runs only if the sketch admits the key.
+			p.cache.Add(p.cacheKey(ref), ref.Size, time.Duration(p.cacheTTL.Load()),
+				func() *live.Buf { return live.NewBuf(dst) })
+		}
+	}
+	return op
 }
 
 // WriteAsync starts an rwrite of src at addr on its shard and returns a

@@ -9,6 +9,8 @@ import (
 
 	"repro/internal/dm"
 	"repro/internal/live"
+	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 // benchCluster spins up k in-process shards and a registered pool.
@@ -134,6 +136,69 @@ func BenchmarkPoolReadRefThroughput(b *testing.B) {
 				}(w)
 			}
 			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkPoolZipfRead prices the hot-ref cache under the paper's
+// skewed-popularity read pattern: 4 closed-loop readers draw from a
+// Zipf(s=1.1) distribution over a working set 8x the cache budget, so
+// the cache can only win by keeping the hot head resident (TinyLFU
+// admission) — it cannot fit the set. The cache=off run is the wire
+// baseline; cache=on must beat it on throughput by serving the head
+// from memory, and both runs report hit-rate / p50-ns / p99-ns extras
+// so BENCH_pool.json records the speedup AND the tail it comes from.
+func BenchmarkPoolZipfRead(b *testing.B) {
+	const payload = 8 << 10
+	const objects = 512 // 4 MiB working set
+	const readers = 4
+	const cacheBudget = 512 << 10 // ~64 objects: an 8x-oversubscribed cache
+	for _, cacheOn := range []bool{false, true} {
+		name, cfg := "cache=off", Config{}
+		if cacheOn {
+			name, cfg = "cache=on", Config{CacheBytes: cacheBudget}
+		}
+		b.Run(name, func(b *testing.B) {
+			_, p := benchClusterCfg(b, 2, cfg)
+			refs := make([]dm.Ref, objects)
+			for i := range refs {
+				ref, err := p.StageRef(make([]byte, payload))
+				if err != nil {
+					b.Fatal(err)
+				}
+				refs[i] = ref
+			}
+			var hist stats.AtomicHistogram
+			b.SetBytes(payload)
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < readers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					z := workload.NewZipf(objects, 1.1, workload.DeriveSeed(1, uint64(w)))
+					dst := make([]byte, payload)
+					for next.Add(1) <= int64(b.N) {
+						start := time.Now()
+						if err := p.ReadRef(refs[z.Next()], 0, dst); err != nil {
+							b.Error(err)
+							return
+						}
+						hist.Record(time.Since(start).Nanoseconds())
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			h := hist.Snapshot()
+			b.ReportMetric(float64(h.Percentile(50)), "p50-ns")
+			b.ReportMetric(float64(h.Percentile(99)), "p99-ns")
+			var hitRate float64
+			if cs := p.CacheStats(); cs.Hits+cs.Misses > 0 {
+				hitRate = float64(cs.Hits) / float64(cs.Hits+cs.Misses)
+			}
+			b.ReportMetric(hitRate, "hit-rate")
 		})
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dm"
 	"repro/internal/dmwire"
 	"repro/internal/live"
+	"repro/internal/refcache"
 	"repro/internal/stats"
 )
 
@@ -54,6 +55,15 @@ type Config struct {
 	// (0 uses 2s; negative disables the periodic scan — topology changes
 	// still kick an immediate pass).
 	RepairInterval time.Duration
+	// CacheBytes enables the cluster-level hot-ref payload cache
+	// (DESIGN.md §D15): whole-object by-ref reads are served from
+	// memory — checked before shard routing and before replica failover
+	// — up to this budget, invalidated by per-shard epoch advances,
+	// local frees/writes, ejection and session reap, and bounded by the
+	// shard lease TTL. 0 disables. The pool cache subsumes the per-shard
+	// one, so Client.CacheBytes is ignored (forced to 0) for the shard
+	// sessions the pool dials.
+	CacheBytes int64
 }
 
 // ErrNoShards is returned when every shard has been ejected.
@@ -96,6 +106,13 @@ type Client struct {
 	repairErrors  atomic.Int64 // failed repair reads/stages
 	repairBytes   atomic.Int64 // payload bytes copied by the repairer
 
+	// cache is the cluster-level hot-ref payload cache (nil when
+	// disabled), keyed by (primary shard ID, ref key) so repeat reads
+	// dedup across failover. cacheTTL caps entry lifetime at the
+	// shortest shard lease (0 when no shard leases sessions).
+	cache    *refcache.Cache[*live.Buf]
+	cacheTTL atomic.Int64 // nanoseconds; set at Register
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -137,10 +154,17 @@ func Dial(cfg Config) (*Client, error) {
 		repairKick: make(chan struct{}, 1),
 		stop:       make(chan struct{}),
 	}
+	if cfg.CacheBytes > 0 {
+		p.cache = refcache.New[*live.Buf](refcache.Config{MaxBytes: cfg.CacheBytes})
+	}
 	for i, addr := range cfg.Shards {
 		s := &shard{id: uint32(i), addr: addr}
 		s.healthy.Store(true)
 		ccfg := cfg.Client
+		// The pool-level cache sits above shard routing; a second cache
+		// inside each shard session would double the memory for the same
+		// hits, so the per-shard knob is forced off.
+		ccfg.CacheBytes = 0
 		base := ccfg.OnHeartbeatFailure
 		ccfg.OnHeartbeatFailure = func(addr string, consecutive int, err error) {
 			if base != nil {
@@ -148,6 +172,16 @@ func Dial(cfg Config) (*Client, error) {
 			}
 			if consecutive >= p.cfg.UnhealthyAfter {
 				p.eject(s)
+			}
+		}
+		baseEpoch := ccfg.OnEpochAdvance
+		ccfg.OnEpochAdvance = func(addr string, epoch uint64) {
+			// The shard's invalidation epoch advanced: something it held
+			// was freed, overwritten or reaped, so every pool-cached
+			// payload homed on it is suspect (§D15).
+			p.cache.InvalidateServer(s.id)
+			if baseEpoch != nil {
+				baseEpoch(addr, epoch)
 			}
 		}
 		cl, err := live.DialConfig(ccfg, addr)
@@ -177,6 +211,16 @@ func (p *Client) Register() error {
 				s.addr, announced, s.id)
 		}
 	}
+	// Cap cached-entry lifetime at the shortest shard lease: a missed
+	// invalidation can then serve stale bytes for at most one lease TTL
+	// and never across a reap (§D15).
+	var minLease time.Duration
+	for _, s := range p.shards {
+		if l := s.cl.Lease(0); l > 0 && (minLease == 0 || l < minLease) {
+			minLease = l
+		}
+	}
+	p.cacheTTL.Store(int64(minLease))
 	if p.cfg.RejoinPoll > 0 {
 		p.wg.Add(1)
 		go p.rejoinLoop()
@@ -188,10 +232,12 @@ func (p *Client) Register() error {
 	return nil
 }
 
-// Close stops the rejoin loop and tears down every shard session.
+// Close stops the rejoin loop, releases every cached payload, and
+// tears down every shard session.
 func (p *Client) Close() error {
 	p.stopOnce.Do(func() { close(p.stop) })
 	p.wg.Wait()
+	p.cache.Flush()
 	var first error
 	for _, s := range p.shards {
 		if s.cl == nil {
@@ -212,6 +258,9 @@ func (p *Client) eject(s *shard) {
 		return
 	}
 	p.ring.Remove(s.id)
+	// While ejected the shard's epoch is unobservable, so its cached
+	// payloads can no longer be kept coherent — drop them (§D15).
+	p.cache.InvalidateServer(s.id)
 	if cb := p.cfg.OnTopology; cb != nil {
 		cb(s.id, false)
 	}
@@ -312,7 +361,8 @@ func (p *Client) SessionHealth() map[string]int {
 	return out
 }
 
-// Stats sums the per-shard client counters (see live.Client.Stats).
+// Stats sums the per-shard client counters (see live.Client.Stats) and
+// folds in the pool-level hot-ref cache counters.
 func (p *Client) Stats() live.Stats {
 	var sum live.Stats
 	for _, s := range p.shards {
@@ -327,8 +377,22 @@ func (p *Client) Stats() live.Stats {
 		sum.CreditWaits += st.CreditWaits
 		sum.CreditSheds += st.CreditSheds
 	}
+	cs := p.cache.Stats()
+	sum.CacheHits += cs.Hits
+	sum.CacheMisses += cs.Misses
+	sum.CacheAdmits += cs.Admits
+	sum.CacheEvictions += cs.Evictions
+	sum.CacheInvalidations += cs.Invalidations
+	sum.CacheCoalesced += cs.Coalesced
 	return sum
 }
+
+// CacheStats snapshots the pool-level hot-ref cache counters (zero when
+// the cache is disabled).
+func (p *Client) CacheStats() refcache.Stats { return p.cache.Stats() }
+
+// CacheEnabled reports whether the pool-level hot-ref cache is on.
+func (p *Client) CacheEnabled() bool { return p.cache != nil }
 
 // ShardStats returns each shard's own counter snapshot, indexed by
 // shard ID.
@@ -386,13 +450,16 @@ func (p *Client) Free(addr dm.RemoteAddr) error {
 	return s.cl.Free(raw)
 }
 
-// Write stores src at addr on its shard.
+// Write stores src at addr on its shard. The shard's pool-cached
+// payloads are invalidated whether or not the write reports success —
+// a timed-out write may still have landed (§D15).
 func (p *Client) Write(addr dm.RemoteAddr, src []byte) error {
 	id, raw := splitShard(addr)
 	s, err := p.byID(id)
 	if err != nil {
 		return err
 	}
+	defer p.cache.InvalidateServer(id)
 	return s.cl.Write(raw, src)
 }
 
@@ -442,6 +509,9 @@ func (p *Client) MapRef(ref dm.Ref) (dm.RemoteAddr, error) {
 // key) are freed on every replica shard; single-copy refs on their one
 // shard.
 func (p *Client) FreeRef(ref dm.Ref) error {
+	// Drop the cached payload whether or not the free reports success: a
+	// timed-out free may still have landed on the server (§D15).
+	defer p.cache.Invalidate(p.cacheKey(ref))
 	if ref.Key&dmwire.ReplicaKeyBit != 0 {
 		return p.freeReplicated(ref)
 	}
@@ -501,4 +571,31 @@ func (p *Client) ReadRef(ref dm.Ref, off int64, dst []byte) error {
 // ReadRef; the caller must Release it exactly once.
 func (p *Client) ReadRefLease(ref dm.Ref, off, size int64) (*live.Buf, error) {
 	return p.ReadRefLeaseFrom(ref, nil, off, size)
+}
+
+// --- hot-ref cache read-through (§D15) ---
+
+// refCacheable reports whether a by-ref read can be served through the
+// pool cache: only whole-object reads, so one cached Buf satisfies
+// every repeat reader without range bookkeeping.
+func (p *Client) refCacheable(ref dm.Ref, off, size int64) bool {
+	return p.cache != nil && off == 0 && size > 0 && size == ref.Size
+}
+
+// cacheKey keys a located ref by (nominal primary shard, ref key); the
+// key stays stable across failover reads, so a payload fetched from a
+// fallback replica still dedups with primary-served reads.
+func (p *Client) cacheKey(ref dm.Ref) refcache.Key {
+	return refcache.Key{Server: ref.Server, Ref: ref.Key}
+}
+
+// cachedRead serves a whole-object read through the cache: hit returns
+// a retained cached Buf, miss runs one leased wire read (with full
+// replica failover) under singleflight and offers it for admission.
+// The caller must Release the returned Buf exactly once.
+func (p *Client) cachedRead(ref dm.Ref, hints []uint32) (*live.Buf, error) {
+	return p.cache.GetOrLoad(p.cacheKey(ref), ref.Size, time.Duration(p.cacheTTL.Load()),
+		func() (*live.Buf, error) {
+			return p.readRefLeaseFromWire(ref, hints, 0, ref.Size)
+		})
 }

@@ -93,7 +93,11 @@ func (p *Client) addReplica(key uint64, id uint32) {
 
 // invalidateShard drops shard id from every tracked replica set: the
 // server restarted with a fresh session, so the copies it held are gone.
+// Pool-cached payloads homed on it go too — the fresh session starts a
+// new epoch history, so cached entries can no longer be tied to it
+// (§D15).
 func (p *Client) invalidateShard(id uint32) {
+	p.cache.InvalidateServer(id)
 	p.refMu.Lock()
 	for _, m := range p.refs {
 		kept := m.replicas[:0]
@@ -176,10 +180,27 @@ func failoverWorthy(err error) bool {
 }
 
 // ReadRefFrom is ReadRef with explicit replica hints (e.g. the shard
-// list carried by a v2 wire ref from another process). Candidates are
-// tried in failover order; a success on any non-first candidate counts
-// as a failover read.
+// list carried by a v2 wire ref from another process). Whole-object
+// reads are served through the pool's hot-ref cache when enabled —
+// checked before shard routing, so a hit costs no RPC at all; a miss
+// runs the wire path below, which still fails over across replicas.
 func (p *Client) ReadRefFrom(ref dm.Ref, hints []uint32, off int64, dst []byte) error {
+	if p.refCacheable(ref, off, int64(len(dst))) {
+		b, err := p.cachedRead(ref, hints)
+		if err != nil {
+			return err
+		}
+		copy(dst, b.Bytes())
+		b.Release()
+		return nil
+	}
+	return p.readRefFromWire(ref, hints, off, dst)
+}
+
+// readRefFromWire is ReadRefFrom's wire path: candidates are tried in
+// failover order; a success on any non-first candidate counts as a
+// failover read.
+func (p *Client) readRefFromWire(ref dm.Ref, hints []uint32, off int64, dst []byte) error {
 	local := ref
 	local.Server = 0
 	var lastErr error
@@ -244,8 +265,19 @@ func (p *Client) readRefFailover(ref dm.Ref, off int64, dst []byte, tried uint32
 }
 
 // ReadRefLeaseFrom is ReadRefLease with explicit replica hints and the
-// same failover order as ReadRefFrom.
+// same failover order as ReadRefFrom. A whole-object read that hits the
+// pool cache returns the cached Buf retained — zero copies, zero RPCs;
+// the caller must Release it exactly once either way.
 func (p *Client) ReadRefLeaseFrom(ref dm.Ref, hints []uint32, off, size int64) (*live.Buf, error) {
+	if p.refCacheable(ref, off, size) {
+		return p.cachedRead(ref, hints)
+	}
+	return p.readRefLeaseFromWire(ref, hints, off, size)
+}
+
+// readRefLeaseFromWire is ReadRefLeaseFrom's wire path (also the cache
+// loader, which is why it must not consult the cache itself).
+func (p *Client) readRefLeaseFromWire(ref dm.Ref, hints []uint32, off, size int64) (*live.Buf, error) {
 	local := ref
 	local.Server = 0
 	var lastErr error

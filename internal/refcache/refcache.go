@@ -1,0 +1,385 @@
+// Package refcache is a size-bounded, frequency-admission payload
+// cache for located DM refs (DESIGN.md §D15). It is the client-side
+// half of the hot-ref read path: immutable staged-once payloads are
+// retained (zero-copy lease Bufs) keyed by (server, ref key), admitted
+// TinyLFU-style — an LRU victim is only evicted when a count-min
+// sketch says the candidate is accessed at least as often — and served
+// back without crossing the wire. Concurrent fetches of the same cold
+// key are coalesced through a singleflight table so N readers cost one
+// RPC.
+//
+// Coherence is the caller's contract, not the cache's: entries carry a
+// TTL (the session lease, so nothing outlives a reap) and the owner
+// invalidates on free, local write, epoch advance, and shard ejection.
+// The cache itself only promises that every value it hands out has
+// been Retain'd for the caller and that its own holds are released on
+// eviction, invalidation and Flush.
+//
+// The package deliberately knows nothing about live or pool clients —
+// values are anything refcounted — so it sits below both without an
+// import cycle.
+package refcache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Value is the refcounted payload the cache stores. The cache takes
+// one Retain for its own table hold and one per reader it serves;
+// every hold is paired with exactly one Release.
+type Value interface {
+	Retain()
+	Release()
+}
+
+// Key identifies a cached payload: the located ref's nominal home
+// server and its ref key. Replicated refs cache under the primary's ID
+// regardless of which replica actually served the bytes, so repeat
+// reads dedup across failover.
+type Key struct {
+	Server uint32
+	Ref    uint64
+}
+
+// Config sizes the cache.
+type Config struct {
+	// MaxBytes bounds the sum of cached payload sizes. <= 0 disables
+	// admission entirely (every Get misses).
+	MaxBytes int64
+	// DefaultTTL caps entry lifetime when the caller passes ttl <= 0
+	// (for example, a session with leasing disabled). 0 means
+	// DefaultTTL below.
+	DefaultTTL time.Duration
+}
+
+// DefaultTTL bounds staleness when no session lease is available to
+// derive a tighter cap from.
+const DefaultTTL = 30 * time.Second
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits          int64 // served from cache
+	Misses        int64 // not present (loader ran or caller went to the wire)
+	Admits        int64 // entries inserted
+	Rejects       int64 // candidates refused by the admission sketch
+	Evictions     int64 // entries displaced by the byte budget
+	Invalidations int64 // entries dropped by Invalidate*/Flush/TTL expiry
+	Coalesced     int64 // GetOrLoad callers served by another caller's flight
+	Bytes         int64 // current cached payload bytes (gauge)
+	Entries       int64 // current entry count (gauge)
+}
+
+type entry[V Value] struct {
+	key    Key
+	val    V
+	size   int64
+	expire time.Time // zero = no TTL
+	elem   *list.Element
+}
+
+// flight is one in-progress load. Waiters register under the cache
+// mutex before blocking on done; the loader retains the value once per
+// registered waiter before closing done, so every waiter owns exactly
+// one hold.
+type flight[V Value] struct {
+	done    chan struct{}
+	val     V
+	err     error
+	waiters int
+	// noAdmit is set when an invalidation lands while the load is in
+	// flight: the fetched bytes may predate a free, so they are handed
+	// to the waiters (who raced the free anyway) but never cached.
+	noAdmit bool
+}
+
+// Cache is the hot-ref payload cache. All methods are safe for
+// concurrent use.
+type Cache[V Value] struct {
+	mu      sync.Mutex
+	cfg     Config
+	table   map[Key]*entry[V]
+	lru     *list.List // front = most recent
+	flights map[Key]*flight[V]
+	sketch  sketch
+	bytes   int64
+	st      Stats
+}
+
+// New builds a cache. A nil *Cache is valid and always misses, so
+// callers can hold one unconditionally.
+func New[V Value](cfg Config) *Cache[V] {
+	if cfg.DefaultTTL <= 0 {
+		cfg.DefaultTTL = DefaultTTL
+	}
+	c := &Cache[V]{
+		cfg:     cfg,
+		table:   make(map[Key]*entry[V]),
+		lru:     list.New(),
+		flights: make(map[Key]*flight[V]),
+	}
+	c.sketch.init(cfg.MaxBytes)
+	return c
+}
+
+// Get returns the cached value for k, retained for the caller, or
+// (zero, false) on a miss. Every call counts toward the key's
+// admission frequency.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sketch.add(k)
+	e := c.lookup(k)
+	if e == nil {
+		c.st.Misses++
+		return zero, false
+	}
+	c.st.Hits++
+	c.lru.MoveToFront(e.elem)
+	e.val.Retain()
+	return e.val, true
+}
+
+// GetOrLoad returns the cached value for k or runs load to fetch it,
+// coalescing concurrent loads of the same key into one call. The
+// returned value is retained for the caller (one Release owed) whether
+// it came from the table, the flight, or a fresh load. size is the
+// payload size used for budget accounting; ttl caps the entry's
+// lifetime (<= 0 uses the config default). Load errors are returned to
+// every coalesced caller and never cached.
+func (c *Cache[V]) GetOrLoad(k Key, size int64, ttl time.Duration, load func() (V, error)) (V, error) {
+	var zero V
+	if c == nil {
+		return zero, errNilCache
+	}
+	c.mu.Lock()
+	c.sketch.add(k)
+	if e := c.lookup(k); e != nil {
+		c.st.Hits++
+		c.lru.MoveToFront(e.elem)
+		e.val.Retain()
+		v := e.val
+		c.mu.Unlock()
+		return v, nil
+	}
+	c.st.Misses++
+	if f := c.flights[k]; f != nil {
+		f.waiters++
+		c.st.Coalesced++
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return zero, f.err
+		}
+		return f.val, nil
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	c.flights[k] = f
+	c.mu.Unlock()
+
+	val, err := load()
+
+	c.mu.Lock()
+	delete(c.flights, k)
+	f.err = err
+	if err == nil {
+		f.val = val
+		for i := 0; i < f.waiters; i++ {
+			val.Retain()
+		}
+		if !f.noAdmit {
+			c.admit(k, val, size, ttl)
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return val, err
+}
+
+// Add offers a value for admission without a read: the async-read
+// paths use it after a wire fetch already filled the caller's buffer.
+// mk is invoked only if the sketch admits the key, so rejected offers
+// cost nothing; the cache owns the sole hold on the made value.
+func (c *Cache[V]) Add(k Key, size int64, ttl time.Duration, mk func() V) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sketch.add(k)
+	if c.lookup(k) != nil {
+		return
+	}
+	if f := c.flights[k]; f != nil && f.noAdmit {
+		return
+	}
+	if !c.wouldAdmit(k, size) {
+		c.st.Rejects++
+		return
+	}
+	// admit takes the cache's own Retain; drop the hold mk minted with
+	// so the cache ends up the sole owner.
+	v := mk()
+	c.admit(k, v, size, ttl)
+	v.Release()
+}
+
+// Invalidate drops k if cached and poisons any in-flight load of it.
+// Reports whether an entry was dropped.
+func (c *Cache[V]) Invalidate(k Key) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f := c.flights[k]; f != nil {
+		f.noAdmit = true
+	}
+	e := c.table[k]
+	if e == nil {
+		return false
+	}
+	c.drop(e)
+	c.st.Invalidations++
+	return true
+}
+
+// InvalidateServer drops every entry homed on server and poisons its
+// in-flight loads — the epoch-advance, ejection and reap path. Returns
+// the number of entries dropped.
+func (c *Cache[V]) InvalidateServer(server uint32) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, f := range c.flights {
+		if k.Server == server {
+			f.noAdmit = true
+		}
+	}
+	n := 0
+	for k, e := range c.table {
+		if k.Server == server {
+			c.drop(e)
+			n++
+		}
+	}
+	c.st.Invalidations += int64(n)
+	return n
+}
+
+// Flush drops everything and poisons all in-flight loads; Close paths
+// use it so the cache's Buf holds return to the pool.
+func (c *Cache[V]) Flush() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, f := range c.flights {
+		f.noAdmit = true
+	}
+	n := len(c.table)
+	for _, e := range c.table {
+		c.drop(e)
+	}
+	c.st.Invalidations += int64(n)
+}
+
+// Stats snapshots the counters.
+func (c *Cache[V]) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.st
+	st.Bytes = c.bytes
+	st.Entries = int64(len(c.table))
+	return st
+}
+
+// lookup returns the live entry for k, reaping it first if its TTL
+// expired. Caller holds c.mu.
+func (c *Cache[V]) lookup(k Key) *entry[V] {
+	e := c.table[k]
+	if e == nil {
+		return nil
+	}
+	if !e.expire.IsZero() && time.Now().After(e.expire) {
+		c.drop(e)
+		c.st.Invalidations++
+		return nil
+	}
+	return e
+}
+
+// wouldAdmit runs the TinyLFU contest without mutating the LRU: the
+// candidate wins only if it is at least as frequent as every victim
+// the byte budget would force out. Caller holds c.mu.
+func (c *Cache[V]) wouldAdmit(k Key, size int64) bool {
+	if size <= 0 || size > c.cfg.MaxBytes {
+		return false
+	}
+	need := c.bytes + size - c.cfg.MaxBytes
+	if need <= 0 {
+		return true
+	}
+	cf := c.sketch.estimate(k)
+	for el := c.lru.Back(); el != nil && need > 0; el = el.Prev() {
+		v := el.Value.(*entry[V])
+		if c.sketch.estimate(v.key) > cf {
+			return false
+		}
+		need -= v.size
+	}
+	return need <= 0
+}
+
+// admit inserts val (taking the cache's own Retain) if the admission
+// contest passes, evicting colder victims to fit; otherwise it counts
+// a reject and releases nothing — the caller keeps its holds either
+// way. Caller holds c.mu.
+func (c *Cache[V]) admit(k Key, val V, size int64, ttl time.Duration) {
+	if !c.wouldAdmit(k, size) {
+		c.st.Rejects++
+		return
+	}
+	for c.bytes+size > c.cfg.MaxBytes {
+		el := c.lru.Back()
+		if el == nil {
+			return
+		}
+		c.drop(el.Value.(*entry[V]))
+		c.st.Evictions++
+	}
+	if ttl <= 0 {
+		ttl = c.cfg.DefaultTTL
+	}
+	val.Retain()
+	e := &entry[V]{key: k, val: val, size: size, expire: time.Now().Add(ttl)}
+	e.elem = c.lru.PushFront(e)
+	c.table[k] = e
+	c.bytes += size
+	c.st.Admits++
+}
+
+// drop removes e and releases the cache's hold. Caller holds c.mu.
+func (c *Cache[V]) drop(e *entry[V]) {
+	delete(c.table, e.key)
+	c.lru.Remove(e.elem)
+	c.bytes -= e.size
+	e.val.Release()
+}
+
+type nilCacheError struct{}
+
+func (nilCacheError) Error() string { return "refcache: GetOrLoad on nil cache" }
+
+var errNilCache = nilCacheError{}

@@ -1,0 +1,352 @@
+package refcache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeBuf is a refcounted test value mirroring live.Buf's contract:
+// Retain/Release panic on misuse and the live count is observable.
+type fakeBuf struct {
+	refs atomic.Int32
+	live *atomic.Int64 // package-wide gauge stand-in
+}
+
+func newFake(gauge *atomic.Int64) *fakeBuf {
+	b := &fakeBuf{live: gauge}
+	b.refs.Store(1)
+	gauge.Add(1)
+	return b
+}
+
+func (b *fakeBuf) Retain() {
+	if b.refs.Add(1) <= 1 {
+		panic("refcache_test: retain on dead buf")
+	}
+}
+
+func (b *fakeBuf) Release() {
+	n := b.refs.Add(-1)
+	if n < 0 {
+		panic("refcache_test: release past zero")
+	}
+	if n == 0 {
+		b.live.Add(-1)
+	}
+}
+
+func TestGetOrLoadHitAndRefcounts(t *testing.T) {
+	var gauge atomic.Int64
+	c := New[*fakeBuf](Config{MaxBytes: 1 << 20})
+	k := Key{Server: 1, Ref: 42}
+
+	loads := 0
+	load := func() (*fakeBuf, error) { loads++; return newFake(&gauge), nil }
+
+	v1, err := c.GetOrLoad(k, 100, time.Minute, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := c.GetOrLoad(k, 100, time.Minute, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loads != 1 {
+		t.Fatalf("loads = %d, want 1", loads)
+	}
+	if v1 != v2 {
+		t.Fatal("hit returned a different value")
+	}
+	v1.Release()
+	v2.Release()
+	if gauge.Load() != 1 {
+		t.Fatalf("gauge = %d after caller releases, want 1 (cache hold)", gauge.Load())
+	}
+	c.Flush()
+	if gauge.Load() != 0 {
+		t.Fatalf("gauge = %d after Flush, want 0", gauge.Load())
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Admits != 1 || st.Invalidations != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSingleflightCoalesces(t *testing.T) {
+	var gauge atomic.Int64
+	c := New[*fakeBuf](Config{MaxBytes: 1 << 20})
+	k := Key{Server: 0, Ref: 7}
+
+	gate := make(chan struct{})
+	var loads atomic.Int32
+	load := func() (*fakeBuf, error) {
+		loads.Add(1)
+		<-gate
+		return newFake(&gauge), nil
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	vals := make([]*fakeBuf, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], errs[i] = c.GetOrLoad(k, 64, time.Minute, load)
+		}(i)
+	}
+	// Wait until one loader is in flight and the rest are queued behind
+	// it, then open the gate.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c.mu.Lock()
+		f := c.flights[k]
+		waiting := f != nil && f.waiters == n-1
+		c.mu.Unlock()
+		if waiting {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiters never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := loads.Load(); got != 1 {
+		t.Fatalf("loader ran %d times, want 1", got)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if vals[i] != vals[0] {
+			t.Fatal("coalesced waiter got a different value")
+		}
+		vals[i].Release()
+	}
+	if st := c.Stats(); st.Coalesced != n-1 {
+		t.Fatalf("coalesced = %d, want %d", st.Coalesced, n-1)
+	}
+	c.Flush()
+	if gauge.Load() != 0 {
+		t.Fatalf("gauge = %d, want 0", gauge.Load())
+	}
+}
+
+func TestLoadErrorNotCached(t *testing.T) {
+	var gauge atomic.Int64
+	c := New[*fakeBuf](Config{MaxBytes: 1 << 20})
+	k := Key{Ref: 1}
+	boom := errors.New("boom")
+	if _, err := c.GetOrLoad(k, 10, 0, func() (*fakeBuf, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Next call must run the loader again.
+	ran := false
+	v, err := c.GetOrLoad(k, 10, 0, func() (*fakeBuf, error) { ran = true; return newFake(&gauge), nil })
+	if err != nil || !ran {
+		t.Fatalf("err=%v ran=%v", err, ran)
+	}
+	v.Release()
+	c.Flush()
+}
+
+func TestAdmissionPrefersHotKeys(t *testing.T) {
+	var gauge atomic.Int64
+	// Room for exactly two 100-byte entries.
+	c := New[*fakeBuf](Config{MaxBytes: 200})
+	hot, warm, cold := Key{Ref: 1}, Key{Ref: 2}, Key{Ref: 3}
+
+	mk := func() (*fakeBuf, error) { return newFake(&gauge), nil }
+	// Make hot and warm genuinely frequent.
+	for i := 0; i < 10; i++ {
+		v, _ := c.GetOrLoad(hot, 100, time.Minute, mk)
+		v.Release()
+		v, _ = c.GetOrLoad(warm, 100, time.Minute, mk)
+		v.Release()
+	}
+	// A one-hit wonder must not displace either.
+	v, err := c.GetOrLoad(cold, 100, time.Minute, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Release()
+	h, ok := c.Get(hot)
+	if !ok {
+		t.Fatal("hot key evicted by a cold candidate")
+	}
+	h.Release()
+	st := c.Stats()
+	if st.Rejects == 0 {
+		t.Fatalf("expected admission rejects, stats = %+v", st)
+	}
+	c.Flush()
+	if gauge.Load() != 0 {
+		t.Fatalf("gauge = %d after Flush, want 0", gauge.Load())
+	}
+}
+
+func TestEvictionRespectsBudget(t *testing.T) {
+	var gauge atomic.Int64
+	c := New[*fakeBuf](Config{MaxBytes: 300})
+	mk := func() (*fakeBuf, error) { return newFake(&gauge), nil }
+	// Three entries fill the budget; a fourth (equally frequent) forces
+	// an eviction of the LRU victim.
+	for r := 0; r < 3; r++ { // equalize sketch frequencies
+		for i := uint64(1); i <= 4; i++ {
+			v, err := c.GetOrLoad(Key{Ref: i}, 100, time.Minute, mk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v.Release()
+		}
+	}
+	st := c.Stats()
+	if st.Bytes > 300 {
+		t.Fatalf("bytes = %d over budget", st.Bytes)
+	}
+	if st.Entries > 3 {
+		t.Fatalf("entries = %d, want <= 3", st.Entries)
+	}
+	if st.Evictions == 0 && st.Rejects == 0 {
+		t.Fatalf("no displacement recorded: %+v", st)
+	}
+	c.Flush()
+	if gauge.Load() != 0 {
+		t.Fatalf("gauge = %d, want 0", gauge.Load())
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	var gauge atomic.Int64
+	c := New[*fakeBuf](Config{MaxBytes: 1 << 20})
+	k := Key{Ref: 9}
+	v, err := c.GetOrLoad(k, 10, 10*time.Millisecond, func() (*fakeBuf, error) { return newFake(&gauge), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Release()
+	time.Sleep(20 * time.Millisecond)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("expired entry served")
+	}
+	if gauge.Load() != 0 {
+		t.Fatalf("gauge = %d after expiry, want 0", gauge.Load())
+	}
+}
+
+func TestInvalidateKeyAndServer(t *testing.T) {
+	var gauge atomic.Int64
+	c := New[*fakeBuf](Config{MaxBytes: 1 << 20})
+	mk := func() (*fakeBuf, error) { return newFake(&gauge), nil }
+	for s := uint32(0); s < 2; s++ {
+		for i := uint64(0); i < 3; i++ {
+			v, err := c.GetOrLoad(Key{Server: s, Ref: i}, 10, time.Minute, mk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v.Release()
+		}
+	}
+	if !c.Invalidate(Key{Server: 0, Ref: 1}) {
+		t.Fatal("Invalidate missed a cached key")
+	}
+	if n := c.InvalidateServer(1); n != 3 {
+		t.Fatalf("InvalidateServer dropped %d, want 3", n)
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Invalidations != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, ok := c.Get(Key{Server: 1, Ref: 0}); ok {
+		t.Fatal("server-invalidated entry served")
+	}
+	c.Flush()
+	if gauge.Load() != 0 {
+		t.Fatalf("gauge = %d, want 0", gauge.Load())
+	}
+}
+
+func TestInvalidateDuringFlightPoisonsAdmit(t *testing.T) {
+	var gauge atomic.Int64
+	c := New[*fakeBuf](Config{MaxBytes: 1 << 20})
+	k := Key{Server: 3, Ref: 5}
+	gate := make(chan struct{})
+	done := make(chan *fakeBuf)
+	go func() {
+		v, _ := c.GetOrLoad(k, 10, time.Minute, func() (*fakeBuf, error) {
+			<-gate
+			return newFake(&gauge), nil
+		})
+		done <- v
+	}()
+	// Wait for the flight, then invalidate mid-load.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c.mu.Lock()
+		inFlight := c.flights[k] != nil
+		c.mu.Unlock()
+		if inFlight {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flight never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.InvalidateServer(k.Server)
+	close(gate)
+	v := <-done
+	if v == nil {
+		t.Fatal("loader value lost")
+	}
+	v.Release()
+	if _, ok := c.Get(k); ok {
+		t.Fatal("poisoned flight was admitted")
+	}
+	if gauge.Load() != 0 {
+		t.Fatalf("gauge = %d, want 0 (value not cached)", gauge.Load())
+	}
+}
+
+func TestNilCacheIsSafe(t *testing.T) {
+	var c *Cache[*fakeBuf]
+	if _, ok := c.Get(Key{}); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Invalidate(Key{})
+	c.InvalidateServer(0)
+	c.Flush()
+	c.Add(Key{}, 1, 0, func() *fakeBuf { t.Fatal("mk ran"); return nil })
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAddAdmitsWithoutRead(t *testing.T) {
+	var gauge atomic.Int64
+	c := New[*fakeBuf](Config{MaxBytes: 1 << 20})
+	k := Key{Ref: 77}
+	made := false
+	c.Add(k, 10, time.Minute, func() *fakeBuf { made = true; return newFake(&gauge) })
+	if !made {
+		t.Fatal("mk not invoked on admit")
+	}
+	v, ok := c.Get(k)
+	if !ok {
+		t.Fatal("Add'ed entry not served")
+	}
+	v.Release()
+	// Oversized offers must be rejected without invoking mk.
+	c.Add(Key{Ref: 78}, 2<<20, time.Minute, func() *fakeBuf { t.Fatal("mk ran for oversized"); return nil })
+	c.Flush()
+	if gauge.Load() != 0 {
+		t.Fatalf("gauge = %d, want 0", gauge.Load())
+	}
+}

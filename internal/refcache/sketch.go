@@ -1,0 +1,83 @@
+package refcache
+
+// sketch is a 4-row count-min frequency estimator with periodic aging
+// (all counters halved once the sample window fills), the TinyLFU
+// admission filter: cheap, fixed-size, and biased to over-estimate —
+// which only ever admits too eagerly, never starves a hot key.
+type sketch struct {
+	rows   [4][]uint8
+	mask   uint64
+	adds   int
+	sample int // halve every this many adds
+}
+
+// init sizes the sketch from the byte budget: one counter slot per
+// ~4 KiB of cache, power-of-two, floor 256 — enough resolution that
+// distinct hot keys rarely collide on all four rows.
+func (s *sketch) init(maxBytes int64) {
+	slots := 256
+	for int64(slots) < maxBytes/4096 && slots < 1<<20 {
+		slots <<= 1
+	}
+	for i := range s.rows {
+		s.rows[i] = make([]uint8, slots)
+	}
+	s.mask = uint64(slots - 1)
+	s.sample = slots * 10
+}
+
+// hashes spreads the key over the four rows with splitmix64-style
+// mixing, one odd multiplier per row.
+func (s *sketch) hashes(k Key) [4]uint64 {
+	x := uint64(k.Server)<<48 ^ k.Ref
+	var h [4]uint64
+	for i, mul := range [4]uint64{
+		0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9, 0x94d049bb133111eb, 0x2545f4914f6cdd1d,
+	} {
+		v := (x ^ uint64(i)<<61) * mul
+		v ^= v >> 29
+		v *= 0xff51afd7ed558ccd
+		v ^= v >> 32
+		h[i] = v & s.mask
+	}
+	return h
+}
+
+// add counts one access, aging all rows when the window fills.
+func (s *sketch) add(k Key) {
+	h := s.hashes(k)
+	for i := range s.rows {
+		if c := s.rows[i][h[i]]; c < 255 {
+			s.rows[i][h[i]] = c + 1
+		}
+	}
+	s.adds++
+	if s.adds >= s.sample {
+		s.age()
+	}
+}
+
+// estimate returns the minimum counter across rows — the standard
+// count-min read.
+func (s *sketch) estimate(k Key) uint8 {
+	h := s.hashes(k)
+	min := s.rows[0][h[0]]
+	for i := 1; i < len(s.rows); i++ {
+		if c := s.rows[i][h[i]]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// age halves every counter so frequency estimates track the recent
+// window rather than all history.
+func (s *sketch) age() {
+	for i := range s.rows {
+		row := s.rows[i]
+		for j := range row {
+			row[j] >>= 1
+		}
+	}
+	s.adds = 0
+}
