@@ -17,7 +17,7 @@ vet:
 # server's concurrency — and the chaos/lease-reaping tests — are only
 # trustworthy raced).
 check: vet
-	$(GO) test -race ./internal/live/... ./internal/liverpc/... ./internal/dmwire/... ./internal/faultnet/... ./internal/pool/... ./internal/loadgen/...
+	$(GO) test -race ./internal/live/... ./internal/liverpc/... ./internal/dmwire/... ./internal/faultnet/... ./internal/pool/... ./internal/loadgen/... ./internal/registry/... ./internal/migrate/... ./internal/refcache/...
 
 # Full suite: unit, property, invariant and paper-shape tests (~4 min),
 # gated on the race-checked hot path and a brief fuzz pass over every
@@ -56,12 +56,14 @@ bench-liverpc:
 # and by-ref read bandwidth (1 -> 2 -> 4 shards) plus the ring's remap
 # fraction, R=1 vs R=2 stage throughput, the Zipf-skewed hot-ref cache
 # probe (cache=off baseline vs cache=on), and the repair-convergence
-# probe — all recorded to BENCH_pool.json. The repair benchmark must
-# carry its repair-secs / under-replicated-max extras and the Zipf probe
-# its hit-rate / p50-ns / p99-ns extras or the run fails, so neither a
-# repair-path nor a cache-path regression can slip out of the record.
+# probe, and the join-a-shard rebalance probe — all recorded to
+# BENCH_pool.json. The repair benchmark must carry its repair-secs /
+# under-replicated-max extras, the Zipf probe its hit-rate / p50-ns /
+# p99-ns extras, and the rebalance probe its migrate-secs / moved-bytes /
+# remap-frac-after extras, or the run fails — so neither a repair-path,
+# cache-path nor migration-path regression can slip out of the record.
 bench-pool:
-	$(GO) test -run '^$$' -bench 'BenchmarkPool' -benchtime=2s -benchmem ./internal/pool | $(GO) run ./cmd/benchjson -require-extra 'BenchmarkPoolRepair:repair-secs,BenchmarkPoolRepair:under-replicated-max,BenchmarkPoolZipfRead:hit-rate,BenchmarkPoolZipfRead:p50-ns,BenchmarkPoolZipfRead:p99-ns' -out BENCH_pool.json
+	$(GO) test -run '^$$' -bench 'BenchmarkPool' -benchtime=2s -benchmem ./internal/pool | $(GO) run ./cmd/benchjson -require-extra 'BenchmarkPoolRepair:repair-secs,BenchmarkPoolRepair:under-replicated-max,BenchmarkPoolZipfRead:hit-rate,BenchmarkPoolZipfRead:p50-ns,BenchmarkPoolZipfRead:p99-ns,BenchmarkPoolRebalance:migrate-secs,BenchmarkPoolRebalance:moved-bytes,BenchmarkPoolRebalance:remap-frac-after' -out BENCH_pool.json
 
 # Diff two benchfmt perf records and fail on >10% regressions in the
 # named metrics — run a fresh bench-pool to a scratch file, then compare
@@ -70,7 +72,7 @@ bench-pool:
 # The default self-compare (NEW = OLD) is the CI smoke: it proves the
 # tool still parses the committed record and its metric plumbing works.
 bench-diff:
-	$(GO) run ./cmd/benchdiff -metrics ns_per_op,mb_per_sec,hit-rate,p99-ns,repair-secs \
+	$(GO) run ./cmd/benchdiff -metrics ns_per_op,mb_per_sec,hit-rate,p99-ns,repair-secs,migrate-secs \
 		$(or $(OLD),BENCH_pool.json) $(or $(NEW),$(or $(OLD),BENCH_pool.json))
 
 # Transport latency-distribution benchmarks (eRPC-lean path): closed-loop
@@ -106,11 +108,14 @@ load-smoke: build
 
 # Full load-harness record for the PR: the three scenarios against an
 # in-process 4-shard R=2 cluster with the hot-ref cache on (4 MiB per
-# session), recorded to BENCH_load.json — cache-hit counters ride the
-# per-scenario results.
+# session) and the join-a-shard schedule armed — each scenario's run
+# admits one new shard mid-window, so the record carries live-migration
+# counters (migrated-refs/bytes, reclaimed-replicas) next to the
+# cache-hit counters in BENCH_load.json.
 bench-load: build
 	$(GO) run ./cmd/dmload -launch 4 -replicas 2 -scenarios socialnet,kv,blob \
-		-workers 8 -cache-bytes 4194304 -warmup 1s -duration 5s -out BENCH_load.json
+		-workers 8 -cache-bytes 4194304 -warmup 1s -duration 5s \
+		-join-shard -join-at 2s -out BENCH_load.json
 
 # Regenerate every figure as text tables (quick windows).
 experiments:

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/dm"
 	"repro/internal/dmwire"
 	"repro/internal/live"
 	"repro/internal/liverpc"
@@ -89,7 +90,17 @@ commands:
     pool stats -size <n> -n <k> [-json]
                                   run a burst, print aggregate and
                                   per-shard client counters (-json emits
-                                  one machine-readable document)`)
+                                  one machine-readable document)
+    pool rebalance [-n <k> -size <b>] [-keep] [-json]
+                                  stage an optional burst, run one
+                                  sync+rebalance pass (adopt handed-off
+                                  refs, migrate onto the ring's wanted
+                                  placement, reclaim surplus replicas),
+                                  print the result and placement audit
+    pool registry [-key <k>] [-json]
+                                  dump every shard's cluster ref
+                                  directory, or query one key across
+                                  the shards`)
 	os.Exit(2)
 }
 
@@ -224,6 +235,7 @@ func cmdPool(addrs []string, args []string) {
 	fs := flag.NewFlagSet("pool", flag.ExitOnError)
 	replicas := fs.Int("replicas", 1, "replica factor R: copies of every staged payload, placed on the R ring successors of its key")
 	cacheBytes := fs.Int64("cache-bytes", 0, "pool-level hot-ref cache budget in bytes (0 disables); whole-object reads hit memory before any shard RPC")
+	registry := fs.Bool("registry", false, "publish staged refs to the shard-side cluster registry, so they survive this session and other sessions can adopt them (DESIGN.md §D16)")
 	fs.Parse(args)
 	args = fs.Args()
 	if len(args) == 0 {
@@ -233,7 +245,10 @@ func cmdPool(addrs []string, args []string) {
 		cmdPoolChain(addrs, args[1:])
 		return
 	}
-	p, err := pool.Dial(pool.Config{Shards: addrs, ReplicaFactor: *replicas, CacheBytes: *cacheBytes})
+	// The registry and rebalance subcommands only make sense with the
+	// registry machinery on; flip it for them regardless of -registry.
+	handoff := *registry || args[0] == "registry" || args[0] == "rebalance"
+	p, err := pool.Dial(pool.Config{Shards: addrs, ReplicaFactor: *replicas, CacheBytes: *cacheBytes, RegistryHandoff: handoff})
 	exitOn(err)
 	defer p.Close()
 	exitOn(p.Register())
@@ -244,6 +259,10 @@ func cmdPool(addrs []string, args []string) {
 		cmdPoolRead(p, args[1:])
 	case "stats":
 		cmdPoolStats(p, args[1:])
+	case "rebalance":
+		cmdPoolRebalance(p, args[1:])
+	case "registry":
+		cmdPoolRegistry(p, args[1:])
 	default:
 		usage()
 	}
@@ -295,6 +314,102 @@ func cmdPoolRead(p *pool.Client, args []string) {
 		fmt.Printf("  shard %d: %d objects\n", id, perShard[id])
 	}
 	fmt.Printf("healthy shards: %v\n", p.Healthy())
+}
+
+// cmdPoolRebalance stages an optional burst, then triggers one
+// synchronous sync+rebalance pass and prints what it did: refs
+// migrated onto their wanted ring placement, surplus replicas
+// reclaimed, and the placement audit (off_placement 0 = converged).
+// With the registry machinery on, the sync half first adopts any
+// directory entries other sessions handed off to the shards.
+func cmdPoolRebalance(p *pool.Client, args []string) {
+	fs := flag.NewFlagSet("pool rebalance", flag.ExitOnError)
+	size := fs.Int("size", 32768, "payload size per staged object")
+	n := fs.Int("n", 0, "objects to stage before rebalancing (0 = rebalance what's already there)")
+	keep := fs.Bool("keep", false, "leave staged objects behind (registry handoff keeps them alive for other sessions)")
+	asJSON := fs.Bool("json", false, "emit the result as one JSON document")
+	fs.Parse(args)
+	payload := make([]byte, *size)
+	apps.FillPayload(payload, uint64(*size))
+	var staged []dm.Ref
+	for i := 0; i < *n; i++ {
+		ref, err := p.StageRef(payload)
+		exitOn(err)
+		staged = append(staged, ref)
+	}
+	res := p.Rebalance()
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		exitOn(enc.Encode(res))
+	} else {
+		fmt.Printf("rebalance: migrated_refs=%d migrated_bytes=%d reclaimed_replicas=%d repairs_done=%d errors=%d\n",
+			res.MigratedRefs, res.MigratedBytes, res.ReclaimedReplicas, res.RepairsDone, res.Errors)
+		fmt.Printf("placement: tracked_refs=%d off_placement=%d under_replicated=%d healthy=%v\n",
+			res.TrackedRefs, res.OffPlacement, p.UnderReplicated(), p.Healthy())
+	}
+	if !*keep {
+		for _, ref := range staged {
+			exitOn(p.FreeRef(ref))
+		}
+	}
+}
+
+// cmdPoolRegistry dumps the shard-side cluster ref directory — every
+// shard's authoritative slice, paged over the anti-entropy sync RPC —
+// or, with -key, queries each shard for one entry.
+func cmdPoolRegistry(p *pool.Client, args []string) {
+	fs := flag.NewFlagSet("pool registry", flag.ExitOnError)
+	key := fs.Uint64("key", 0, "query this cluster key instead of dumping everything")
+	asJSON := fs.Bool("json", false, "emit the dump as one JSON document")
+	fs.Parse(args)
+	type regRow struct {
+		Shard    uint32   `json:"shard"`
+		Key      uint64   `json:"key"`
+		Size     int64    `json:"size"`
+		Epoch    uint64   `json:"epoch"`
+		Replicas []uint32 `json:"replicas"`
+	}
+	var rows []regRow
+	for id := uint32(0); int(id) < p.Shards(); id++ {
+		if *key != 0 {
+			ent, err := p.RegistryLookup(id, *key)
+			if err != nil {
+				continue // no entry on this shard (or shard down)
+			}
+			rows = append(rows, regRow{id, ent.Key, ent.Size, ent.Epoch, ent.Replicas})
+			continue
+		}
+		after := uint64(0)
+		for {
+			page, err := p.RegistryEntries(id, after, dmwire.MaxRegSyncEntries)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dmctl: shard %d registry: %v\n", id, err)
+				break
+			}
+			for _, ent := range page {
+				rows = append(rows, regRow{id, ent.Key, ent.Size, ent.Epoch, ent.Replicas})
+			}
+			if len(page) < dmwire.MaxRegSyncEntries {
+				break
+			}
+			after = page[len(page)-1].Key
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		exitOn(enc.Encode(rows))
+		return
+	}
+	if len(rows) == 0 {
+		fmt.Println("registry: no entries")
+		return
+	}
+	for _, r := range rows {
+		fmt.Printf("shard %d: key=%#x size=%d epoch=%d replicas=%v\n",
+			r.Shard, r.Key, r.Size, r.Epoch, r.Replicas)
+	}
 }
 
 // cmdPoolChain is cmdChain with every hop holding its own POOL session:
@@ -407,14 +522,17 @@ type poolShardDoc struct {
 }
 
 type poolReplicaDoc struct {
-	R               int                `json:"r"`
-	TrackedRefs     int                `json:"tracked_refs"`
-	UnderReplicated int                `json:"under_replicated"`
-	FailoverReads   int64              `json:"failover_reads"`
-	RepairsDone     int64              `json:"repairs_done"`
-	RepairErrors    int64              `json:"repair_errors"`
-	RepairBytes     int64              `json:"repair_bytes"`
-	Shards          []pool.ReplicaStat `json:"shards"`
+	R                 int                `json:"r"`
+	TrackedRefs       int                `json:"tracked_refs"`
+	UnderReplicated   int                `json:"under_replicated"`
+	FailoverReads     int64              `json:"failover_reads"`
+	RepairsDone       int64              `json:"repairs_done"`
+	RepairErrors      int64              `json:"repair_errors"`
+	RepairBytes       int64              `json:"repair_bytes"`
+	MigratedRefs      int64              `json:"migrated_refs"`
+	MigratedBytes     int64              `json:"migrated_bytes"`
+	ReclaimedReplicas int64              `json:"reclaimed_replicas"`
+	Shards            []pool.ReplicaStat `json:"shards"`
 }
 
 func poolCountersOf(st live.Stats, lat stats.Summary) poolCounters {
@@ -479,14 +597,17 @@ func cmdPoolStats(p *pool.Client, args []string) {
 		}
 		if p.ReplicaFactorEffective() > 1 {
 			doc.Replication = &poolReplicaDoc{
-				R:               p.ReplicaFactorEffective(),
-				TrackedRefs:     p.TrackedRefs(),
-				UnderReplicated: p.UnderReplicated(),
-				FailoverReads:   p.FailoverReads(),
-				RepairsDone:     p.RepairsDone(),
-				RepairErrors:    p.RepairErrors(),
-				RepairBytes:     p.RepairBytes(),
-				Shards:          p.ReplicaStats(),
+				R:                 p.ReplicaFactorEffective(),
+				TrackedRefs:       p.TrackedRefs(),
+				UnderReplicated:   p.UnderReplicated(),
+				FailoverReads:     p.FailoverReads(),
+				RepairsDone:       p.RepairsDone(),
+				RepairErrors:      p.RepairErrors(),
+				RepairBytes:       p.RepairBytes(),
+				MigratedRefs:      p.MigratedRefs(),
+				MigratedBytes:     p.MigratedBytes(),
+				ReclaimedReplicas: p.ReclaimedReplicas(),
+				Shards:            p.ReplicaStats(),
 			}
 		}
 		if p.CacheEnabled() {
@@ -525,6 +646,8 @@ func cmdPoolStats(p *pool.Client, args []string) {
 		fmt.Printf("replication: R=%d tracked_refs=%d under_replicated=%d failover_reads=%d repairs_done=%d repair_errors=%d repair_bytes=%d\n",
 			p.ReplicaFactorEffective(), p.TrackedRefs(), p.UnderReplicated(),
 			p.FailoverReads(), p.RepairsDone(), p.RepairErrors(), p.RepairBytes())
+		fmt.Printf("migration: migrated_refs=%d migrated_bytes=%d reclaimed_replicas=%d\n",
+			p.MigratedRefs(), p.MigratedBytes(), p.ReclaimedReplicas())
 		for _, st := range p.ReplicaStats() {
 			fmt.Printf("  shard %d: healthy=%v refs_primary=%d refs_replica=%d failover_reads=%d repairs_in=%d\n",
 				st.Shard, st.Healthy, st.RefsPrimary, st.RefsReplica, st.FailoverReads, st.RepairsIn)

@@ -14,6 +14,7 @@
 //	dmload -shards host1:7640,host2:7640 -scenarios kv -workers 8
 //	dmload -launch 3 -replicas 2 -scenarios kv -kill-shard 1 \
 //	       -kill-at 2s -restart-after 3s
+//	dmload -launch 3 -replicas 2 -scenarios kv -join-shard -join-at 2s
 package main
 
 import (
@@ -64,6 +65,9 @@ func main() {
 	killShard := flag.Int("kill-shard", -1, "crash this shard during each run (needs -launch)")
 	killAt := flag.Duration("kill-at", 2*time.Second, "crash offset from run start")
 	restartAfter := flag.Duration("restart-after", 2*time.Second, "revive the shard this long after the crash (0 = stay down)")
+	joinShard := flag.Bool("join-shard", false, "grow the cluster by one shard during each run (needs -launch); implies -registry")
+	joinAt := flag.Duration("join-at", 2*time.Second, "join offset from run start")
+	registry := flag.Bool("registry", false, "publish staged refs to the shard-side registry (DESIGN.md §D16 handoff + anti-entropy)")
 	out := flag.String("out", "", "write the JSON report here (empty = stdout)")
 	flag.Parse()
 
@@ -86,6 +90,7 @@ func main() {
 	env.Pool.RejoinPoll = 200 * time.Millisecond
 	env.Pool.RepairInterval = *repairEvery
 	env.Pool.CacheBytes = *cacheBytes
+	env.Pool.RegistryHandoff = *registry || *joinShard
 	env.Pool.Client.HeartbeatInterval = *heartbeat
 	if env.Pool.Client.HeartbeatInterval == 0 {
 		env.Pool.Client.HeartbeatInterval = 100 * time.Millisecond
@@ -140,6 +145,9 @@ func main() {
 	if *killShard >= len(env.Shards) {
 		log.Fatalf("dmload: -kill-shard %d out of range (K=%d)", *killShard, len(env.Shards))
 	}
+	if *joinShard && cluster == nil {
+		log.Fatal("dmload: -join-shard needs a -launch'ed cluster")
+	}
 
 	rep := benchfmt.NewReport()
 	rep.Env = []string{
@@ -152,6 +160,9 @@ func main() {
 	if *killShard >= 0 {
 		rep.Env = append(rep.Env, fmt.Sprintf("dmload-fault: kill-shard=%d kill-at=%s restart-after=%s",
 			*killShard, *killAt, *restartAfter))
+	}
+	if *joinShard {
+		rep.Env = append(rep.Env, fmt.Sprintf("dmload-fault: join-shard join-at=%s", *joinAt))
 	}
 
 	for _, name := range strings.Split(*scenarios, ",") {
@@ -170,6 +181,10 @@ func main() {
 			log.Fatalf("dmload: %s setup: %v", s.Name(), err)
 		}
 		stop := scheduleFault(cluster, *killShard, *killAt, *restartAfter)
+		stopJoin := func() {}
+		if *joinShard {
+			stopJoin = scheduleJoin(cluster, env, *joinAt)
+		}
 		res, err := loadgen.Run(s, env, loadgen.RunConfig{
 			Workers: *workers,
 			Rate:    *rate,
@@ -179,6 +194,7 @@ func main() {
 			Seed:    *seed,
 		})
 		stop()
+		stopJoin()
 		s.Close()
 		if err != nil {
 			log.Fatalf("dmload: %s run: %v", name, err)
@@ -233,6 +249,40 @@ func scheduleFault(c *loadgen.Cluster, shard int, killAt, restartAfter time.Dura
 		}
 	}()
 	return func() { close(stop) }
+}
+
+// scheduleJoin arms the join-a-shard timer: at joinAt it grows the
+// launched cluster by one shard and admits the newcomer to every
+// running session, whose rebalancers then migrate remapped refs onto
+// it (DESIGN.md §D16). The returned stop cancels a not-yet-fired join
+// and waits the goroutine out, so env.Shards is stable again before
+// the next scenario's Setup.
+func scheduleJoin(c *loadgen.Cluster, env *loadgen.Env, joinAt time.Duration) func() {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-time.After(joinAt):
+		case <-stop:
+			return
+		}
+		i, addr, err := c.Join()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmload: join shard: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "dmload: joining shard %d at %s\n", i, addr)
+		if err := env.JoinShard(addr); err != nil {
+			fmt.Fprintf(os.Stderr, "dmload: admit shard %d: %v\n", i, err)
+			return
+		}
+		env.Shards = append(env.Shards, addr)
+	}()
+	return func() {
+		close(stop)
+		<-done
+	}
 }
 
 // printResult writes the human-readable per-scenario summary to stderr

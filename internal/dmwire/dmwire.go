@@ -39,6 +39,23 @@ const (
 	// data on any of them. Staging an already-present key fails with
 	// StatusRefExists instead of overwriting.
 	MStageAt
+	// MRegPut hands a cluster ref's registry entry (key -> replica set,
+	// size, epoch) to the shard's directory (DESIGN.md §D16). The staging
+	// client puts at epoch 1 right after a replicated stage — the handoff
+	// that lets the ref survive its producer's lease reap — and the
+	// migration engine puts at a bumped epoch to flip placement. The
+	// server merges higher-epoch-wins and always answers StatusOK.
+	MRegPut
+	// MRegGet queries one registry entry by key; StatusBadRef when the
+	// shard's directory has no entry. Last-resort located-ref resolution:
+	// a reader whose candidate shards all miss asks the key's ring
+	// successors where the payload lives now.
+	MRegGet
+	// MRegSync pages the shard's registry in ascending key order — the
+	// anti-entropy unit. Clients and shards feed the last key of each
+	// page back in until a short page; higher-epoch-wins merging on the
+	// puller's side makes the exchange convergent and restartable.
+	MRegSync
 )
 
 // ReplicaKeyBit partitions the ref-key space: keys minted by a server's

@@ -3,6 +3,8 @@ package dmwire
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/registry"
 )
 
 // FuzzUnmarshal throws arbitrary bodies at every request/response decoder
@@ -33,6 +35,13 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add(uint8(14), HeartbeatResp{LeaseMillis: 100, Epoch: 1}.Marshal())
 	f.Add(uint8(15), Token{CID: 3, Seq: 4}.Marshal())
 	f.Add(uint8(16), StageAtReq{PID: 1, Key: ReplicaKeyBit | 9, Data: []byte("hi")}.Marshal())
+	f.Add(uint8(17), RegPutReq{Entry: registry.Entry{Key: ReplicaKeyBit | 9, Size: 64, Epoch: 1, Replicas: []uint32{0, 2}}}.Marshal())
+	f.Add(uint8(18), RegGetResp{Entry: registry.Entry{Key: ReplicaKeyBit | 9, Size: 64, Epoch: 3, Replicas: []uint32{1}}}.Marshal())
+	f.Add(uint8(19), RegSyncResp{Entries: []registry.Entry{
+		{Key: ReplicaKeyBit | 9, Size: 64, Epoch: 1, Replicas: []uint32{0, 2}},
+		{Key: ReplicaKeyBit | 10, Size: 32, Epoch: 2, Replicas: []uint32{1}},
+	}}.Marshal())
+	f.Add(uint8(19), RegSyncReq{AfterKey: ReplicaKeyBit, Limit: 256}.Marshal())
 	f.Fuzz(func(t *testing.T, which uint8, body []byte) {
 		check := func(name string, reenc []byte, err error) {
 			t.Helper()
@@ -43,7 +52,7 @@ func FuzzUnmarshal(f *testing.F) {
 				t.Fatalf("%s: accepted body does not round-trip", name)
 			}
 		}
-		switch which % 17 {
+		switch which % 20 {
 		case 0:
 			r, err := UnmarshalRegisterResp(body)
 			check("RegisterResp", r.Marshal(), err)
@@ -95,6 +104,19 @@ func FuzzUnmarshal(f *testing.F) {
 		case 16:
 			r, err := UnmarshalStageAtReq(body)
 			check("StageAtReq", r.Marshal(), err)
+		case 17:
+			r, err := UnmarshalRegPutReq(body)
+			check("RegPutReq", r.Marshal(), err)
+		case 18:
+			r, err := UnmarshalRegGetResp(body)
+			check("RegGetResp", r.Marshal(), err)
+		case 19:
+			r, err := UnmarshalRegSyncResp(body)
+			check("RegSyncResp", r.Marshal(), err)
+			q, err := UnmarshalRegSyncReq(body)
+			check("RegSyncReq", q.Marshal(), err)
+			g, err := UnmarshalRegGetReq(body)
+			check("RegGetReq", g.Marshal(), err)
 		}
 	})
 }

@@ -1,0 +1,95 @@
+package dmwire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/registry"
+)
+
+func TestRegPutReqRoundTrip(t *testing.T) {
+	for _, ent := range []registry.Entry{
+		{Key: ReplicaKeyBit | 1, Size: 4096, Epoch: 1, Replicas: []uint32{0, 2}},
+		{Key: ReplicaKeyBit | 2, Size: 1, Epoch: 99, Replicas: []uint32{3}},
+		{Key: 7, Size: 0, Epoch: 0, Replicas: nil},
+	} {
+		b := RegPutReq{Entry: ent}.Marshal()
+		got, err := UnmarshalRegPutReq(b)
+		if err != nil {
+			t.Fatalf("%+v: %v", ent, err)
+		}
+		if !reflect.DeepEqual(got.Entry, ent) {
+			t.Fatalf("round trip: got %+v want %+v", got.Entry, ent)
+		}
+	}
+}
+
+func TestRegGetRoundTrip(t *testing.T) {
+	req := RegGetReq{Key: ReplicaKeyBit | 42}
+	gotReq, err := UnmarshalRegGetReq(req.Marshal())
+	if err != nil || gotReq != req {
+		t.Fatalf("req round trip: %+v, %v", gotReq, err)
+	}
+	ent := registry.Entry{Key: req.Key, Size: 128, Epoch: 2, Replicas: []uint32{1, 0}}
+	gotResp, err := UnmarshalRegGetResp(RegGetResp{Entry: ent}.Marshal())
+	if err != nil || !reflect.DeepEqual(gotResp.Entry, ent) {
+		t.Fatalf("resp round trip: %+v, %v", gotResp, err)
+	}
+}
+
+func TestRegSyncRoundTrip(t *testing.T) {
+	req := RegSyncReq{AfterKey: ReplicaKeyBit, Limit: 512}
+	gotReq, err := UnmarshalRegSyncReq(req.Marshal())
+	if err != nil || gotReq != req {
+		t.Fatalf("req round trip: %+v, %v", gotReq, err)
+	}
+	for _, ents := range [][]registry.Entry{
+		nil,
+		{{Key: ReplicaKeyBit | 1, Size: 64, Epoch: 1, Replicas: []uint32{0, 1}}},
+		{
+			{Key: ReplicaKeyBit | 1, Size: 64, Epoch: 1, Replicas: []uint32{0, 1}},
+			{Key: ReplicaKeyBit | 2, Size: 32, Epoch: 5, Replicas: []uint32{2}},
+			{Key: ReplicaKeyBit | 3, Size: 16, Epoch: 2, Replicas: nil},
+		},
+	} {
+		b := RegSyncResp{Entries: ents}.Marshal()
+		got, err := UnmarshalRegSyncResp(b)
+		if err != nil {
+			t.Fatalf("%d entries: %v", len(ents), err)
+		}
+		if len(got.Entries) != len(ents) {
+			t.Fatalf("entry count: got %d want %d", len(got.Entries), len(ents))
+		}
+		for i := range ents {
+			if !reflect.DeepEqual(got.Entries[i], ents[i]) {
+				t.Fatalf("entry %d: got %+v want %+v", i, got.Entries[i], ents[i])
+			}
+		}
+		if !bytes.Equal(got.Marshal(), b) {
+			t.Fatal("re-encode not canonical")
+		}
+	}
+}
+
+func TestRegSyncDecodeLimits(t *testing.T) {
+	// A hostile count field must be rejected, not allocated.
+	b := RegSyncResp{}.Marshal()
+	b[0], b[1], b[2], b[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := UnmarshalRegSyncResp(b); err == nil {
+		t.Fatal("oversized page count accepted")
+	}
+	// A replica count past MaxRefReplicas inside an entry likewise.
+	eb := RegPutReq{Entry: registry.Entry{Key: 1, Size: 1, Epoch: 1, Replicas: []uint32{0}}}.Marshal()
+	eb[24] = MaxRefReplicas + 1
+	if _, err := UnmarshalRegPutReq(eb); err == nil {
+		t.Fatal("oversized replica count accepted")
+	}
+	// Truncated fixed-prefix bodies error rather than panic.
+	full := RegPutReq{Entry: registry.Entry{Key: 1, Size: 1, Epoch: 1, Replicas: []uint32{0, 1}}}.Marshal()
+	for i := 0; i < regEntrySize; i++ {
+		if _, err := UnmarshalRegPutReq(full[:i]); err == nil {
+			t.Fatalf("truncated body of %d bytes accepted", i)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/dm"
 	"repro/internal/dmwire"
 	"repro/internal/refcache"
+	"repro/internal/registry"
 	"repro/internal/rpc"
 	"repro/internal/stats"
 )
@@ -974,6 +975,65 @@ func (cl *Client) StageRefAt(server int, key uint64, data []byte) (dm.Ref, error
 		return dm.Ref{}, err
 	}
 	return dm.Ref{Server: uint32(server), Key: key, Size: int64(len(data))}, nil
+}
+
+// RegPut hands a cluster ref's directory entry to server's registry
+// slice (DESIGN.md §D16): the staging client's handoff (epoch 1) or a
+// migration placement flip (bumped epoch). The server merges
+// higher-epoch-wins, so retries and races are idempotent.
+func (cl *Client) RegPut(server int, ent registry.Entry) error {
+	srv, _, err := cl.server(server)
+	if err != nil {
+		return err
+	}
+	return cl.node.CallConsumeOpts(srv, dmwire.MRegPut,
+		dmwire.RegPutReq{Entry: ent}.Marshal(), nil, nil, idemOpts())
+}
+
+// RegGet queries server's directory slice for one key; dm.ErrBadRef
+// when that shard holds no entry.
+func (cl *Client) RegGet(server int, key uint64) (registry.Entry, error) {
+	srv, _, err := cl.server(server)
+	if err != nil {
+		return registry.Entry{}, err
+	}
+	var ent registry.Entry
+	err = cl.node.CallConsumeOpts(srv, dmwire.MRegGet,
+		dmwire.RegGetReq{Key: key}.Marshal(), nil,
+		func(resp []byte) error {
+			r, err := dmwire.UnmarshalRegGetResp(resp)
+			if err != nil {
+				return err
+			}
+			ent = r.Entry
+			return nil
+		}, idemOpts())
+	return ent, err
+}
+
+// RegSync pulls one anti-entropy page of server's directory: up to
+// limit entries with keys strictly after afterKey, ascending. A short
+// page ends the scan.
+func (cl *Client) RegSync(server int, afterKey uint64, limit int) ([]registry.Entry, error) {
+	srv, _, err := cl.server(server)
+	if err != nil {
+		return nil, err
+	}
+	if limit <= 0 || limit > dmwire.MaxRegSyncEntries {
+		limit = dmwire.MaxRegSyncEntries
+	}
+	var ents []registry.Entry
+	err = cl.node.CallConsumeOpts(srv, dmwire.MRegSync,
+		dmwire.RegSyncReq{AfterKey: afterKey, Limit: uint32(limit)}.Marshal(), nil,
+		func(resp []byte) error {
+			r, err := dmwire.UnmarshalRegSyncResp(resp)
+			if err != nil {
+				return err
+			}
+			ents = r.Entries
+			return nil
+		}, idemOpts())
+	return ents, err
 }
 
 // ReadRef reads the ref's snapshot without mapping it. Whole-object

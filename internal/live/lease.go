@@ -94,7 +94,13 @@ func (s *Server) reapPID(pid uint32, ps *pidState, force bool) {
 
 	// Drop the refs the dead session created. Another PID that mapped one
 	// of these refs keeps its pages: map_ref took per-frame holds of its
-	// own, so only the ref entry's holds are released here.
+	// own, so only the ref entry's holds are released here. Refs whose
+	// key the shard's directory holds are registry-owned (DESIGN.md
+	// §D16): the staging client handed placement off to the cluster, so
+	// they survive their producer's reap and are released only by an
+	// explicit free_ref or a migration reclaim. A forced reap (server
+	// shutdown) sweeps everything — the handoff outlives sessions, not
+	// the server.
 	swept := 0
 	for i := range s.refs {
 		sh := &s.refs[i]
@@ -102,6 +108,11 @@ func (s *Server) reapPID(pid uint32, ps *pidState, force bool) {
 		sh.mu.Lock()
 		for key, ref := range sh.m {
 			if ref.owner == pid {
+				if !force {
+					if _, held := s.reg.Get(key); held {
+						continue
+					}
+				}
 				delete(sh.m, key)
 				orphaned = append(orphaned, ref)
 			}

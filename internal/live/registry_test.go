@@ -1,0 +1,160 @@
+package live
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dm"
+	"repro/internal/dmwire"
+	"repro/internal/registry"
+)
+
+// TestRegistryOps exercises the directory RPCs end to end: put, point
+// query, higher-epoch-wins merge, paged sync, and the free_ref
+// directory delete.
+func TestRegistryOps(t *testing.T) {
+	srv, addr := startServer(t, smallConfig())
+	cl := dialClient(t, addr)
+
+	key := dmwire.ReplicaKeyBit | 7
+	if _, err := cl.RegGet(0, key); !errors.Is(err, dm.ErrBadRef) {
+		t.Fatalf("RegGet on empty directory: %v, want ErrBadRef", err)
+	}
+	ent := registry.Entry{Key: key, Size: 64, Epoch: 1, Replicas: []uint32{0, 2}}
+	if err := cl.RegPut(0, ent); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.RegGet(0, key)
+	if err != nil || got.Epoch != 1 || len(got.Replicas) != 2 {
+		t.Fatalf("RegGet: %+v, %v", got, err)
+	}
+	// A stale put loses; a newer epoch flips the placement.
+	if err := cl.RegPut(0, registry.Entry{Key: key, Size: 64, Epoch: 0, Replicas: []uint32{9}}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = cl.RegGet(0, key); got.Replicas[0] != 0 {
+		t.Fatalf("stale put applied: %+v", got)
+	}
+	if err := cl.RegPut(0, registry.Entry{Key: key, Size: 64, Epoch: 2, Replicas: []uint32{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = cl.RegGet(0, key); got.Epoch != 2 || got.Replicas[0] != 1 {
+		t.Fatalf("newer put not applied: %+v", got)
+	}
+
+	// A counter-keyed put must be rejected: the directory only tracks
+	// the pool-minted half of the key space.
+	if err := cl.RegPut(0, registry.Entry{Key: 7, Size: 1, Epoch: 1, Replicas: []uint32{0}}); err == nil {
+		t.Fatal("counter-keyed RegPut accepted")
+	}
+
+	for k := uint64(1); k <= 5; k++ {
+		if err := cl.RegPut(0, registry.Entry{Key: dmwire.ReplicaKeyBit | (100 + k), Size: 8, Epoch: 1, Replicas: []uint32{0}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total int
+	after := uint64(0)
+	for {
+		page, err := cl.RegSync(0, after, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, e := range page {
+			if i > 0 && page[i-1].Key >= e.Key {
+				t.Fatalf("sync page out of order: %+v", page)
+			}
+		}
+		total += len(page)
+		if len(page) < 3 {
+			break
+		}
+		after = page[len(page)-1].Key
+	}
+	if total != 6 {
+		t.Fatalf("sync paged %d entries, want 6", total)
+	}
+
+	// free_ref is also the directory delete, and the tombstone blocks a
+	// stale re-put.
+	if err := cl.FreeRef(dm.Ref{Server: 0, Key: key, Size: 64}); !errors.Is(err, dm.ErrBadRef) {
+		t.Fatalf("free of directory-only key: %v, want ErrBadRef (no payload)", err)
+	}
+	if _, err := cl.RegGet(0, key); !errors.Is(err, dm.ErrBadRef) {
+		t.Fatal("directory entry survived free_ref")
+	}
+	if err := cl.RegPut(0, registry.Entry{Key: key, Size: 64, Epoch: 2, Replicas: []uint32{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.RegGet(0, key); !errors.Is(err, dm.ErrBadRef) {
+		t.Fatal("tombstoned entry resurrected by stale put")
+	}
+	if srv.Registry().Len() != 5 {
+		t.Fatalf("server directory size %d, want 5", srv.Registry().Len())
+	}
+}
+
+// TestRegistryHandoffSurvivesReap pins the §D16 handoff contract: a
+// staged ref whose key the shard's directory holds outlives its
+// producer's lease reap, while an unregistered ref from the same
+// session is swept as before.
+func TestRegistryHandoffSurvivesReap(t *testing.T) {
+	cfg := smallConfig()
+	cfg.LeaseTTL = 100 * time.Millisecond
+	srv, addr := startServer(t, cfg)
+
+	producer := dialClient(t, addr)
+	payload := []byte("directory-owned payload")
+	keyKept := dmwire.ReplicaKeyBit | 41
+	keySwept := dmwire.ReplicaKeyBit | 42
+	refKept, err := producer.StageRefAt(0, keyKept, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := producer.StageRefAt(0, keySwept, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Hand only keyKept off to the cluster directory.
+	if err := producer.RegPut(0, registry.Entry{Key: keyKept, Size: int64(len(payload)), Epoch: 1, Replicas: []uint32{0}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the producer's heartbeats and wait for the reap.
+	producer.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.LiveRefs() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("reap did not settle: %d live refs, want 1", srv.LiveRefs())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A second session reads the surviving ref byte-for-byte.
+	consumer := dialClient(t, addr)
+	dst := make([]byte, len(payload))
+	if err := consumer.ReadRef(dm.Ref{Server: 0, Key: refKept.Key, Size: refKept.Size}, 0, dst); err != nil {
+		t.Fatalf("read of registry-owned ref after reap: %v", err)
+	}
+	if string(dst) != string(payload) {
+		t.Fatal("payload corrupted across reap")
+	}
+	// The swept sibling is gone.
+	if err := consumer.ReadRef(dm.Ref{Server: 0, Key: keySwept, Size: int64(len(payload))}, 0, dst); !errors.Is(err, dm.ErrBadRef) {
+		t.Fatalf("unregistered ref survived reap: %v", err)
+	}
+
+	// Explicit free releases the registry-owned ref and its entry.
+	if err := consumer.FreeRef(refKept); err != nil {
+		t.Fatal(err)
+	}
+	if srv.LiveRefs() != 0 {
+		t.Fatalf("%d live refs after free", srv.LiveRefs())
+	}
+	if _, err := consumer.RegGet(0, keyKept); !errors.Is(err, dm.ErrBadRef) {
+		t.Fatal("directory entry survived explicit free")
+	}
+	if err := srv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/dm"
 	"repro/internal/dmwire"
+	"repro/internal/registry"
 	"repro/internal/rpc"
 )
 
@@ -264,6 +265,14 @@ type Server struct {
 	// piggybacked on every heartbeat so clients drop cached payloads
 	// within one heartbeat of the change.
 	epoch atomic.Uint64
+	// reg is this shard's slice of the cluster ref directory (DESIGN.md
+	// §D16): cluster-keyed refs handed off by their staging clients so
+	// placement survives the producer's lease reap, merged
+	// higher-epoch-wins via MRegPut/MRegSync. A ref with a directory
+	// entry is registry-owned: the lease reaper skips it (only an
+	// explicit free_ref — which also drops the entry — or a migration
+	// reclaim releases its pages).
+	reg *registry.Registry
 
 	node       *Node
 	closeOnce  sync.Once
@@ -312,6 +321,7 @@ func NewServer(cfg ServerConfig) *Server {
 			CoalesceBatchBytes: cfg.CoalesceBatchBytes,
 			CoalesceSpin:       cfg.CoalesceSpin,
 		}),
+		reg:        registry.New(),
 		reaperStop: make(chan struct{}),
 		reaperDone: make(chan struct{}),
 	}
@@ -328,6 +338,7 @@ func NewServer(cfg ServerConfig) *Server {
 		dmwire.MRegister, dmwire.MAlloc, dmwire.MFree, dmwire.MCreateRef,
 		dmwire.MMapRef, dmwire.MFreeRef, dmwire.MRead, dmwire.MWrite,
 		dmwire.MStage, dmwire.MReadRef, dmwire.MHeartbeat, dmwire.MStageAt,
+		dmwire.MRegPut, dmwire.MRegGet, dmwire.MRegSync,
 	} {
 		m := m
 		// DM operations are short and never block on other RPCs, so they
@@ -436,6 +447,12 @@ func (s *Server) handle(m rpc.Method, body []byte) ([]byte, error) {
 		return s.readRef(body)
 	case dmwire.MHeartbeat:
 		return s.heartbeat(body)
+	case dmwire.MRegPut:
+		return s.regPut(body)
+	case dmwire.MRegGet:
+		return s.regGet(body)
+	case dmwire.MRegSync:
+		return s.regSync(body)
 	default:
 		return nil, errNoSuchMethod
 	}
@@ -785,6 +802,16 @@ func (s *Server) freeRef(body []byte) ([]byte, error) {
 		delete(sh.m, req.Key)
 	}
 	sh.mu.Unlock()
+	// An explicit free also retires the key's directory entry (with a
+	// tombstone, so a stale anti-entropy page cannot resurrect it) —
+	// free_ref is the directory-delete op; there is no separate RegDelete
+	// on the wire. This runs even when the payload is absent, so the pool
+	// can scrub a stale entry off a shard that no longer holds a copy.
+	if req.Key&dmwire.ReplicaKeyBit != 0 {
+		if ent, held := s.reg.Get(req.Key); held {
+			s.reg.Delete(req.Key, ent.Epoch)
+		}
+	}
 	if !ok {
 		return nil, dm.ErrBadRef
 	}
@@ -1063,6 +1090,52 @@ func (s *Server) stageAt(body []byte) ([]byte, error) {
 // StagePuts returns the number of caller-keyed stages (MStageAt) this
 // server has accepted: replica placements plus repair re-stages.
 func (s *Server) StagePuts() int64 { return s.stagePuts.Load() }
+
+// regPut merges one directory entry (DESIGN.md §D16). Higher epoch
+// wins; a stale or duplicate put is a silent no-op so handoff retries
+// and anti-entropy pushes are idempotent.
+func (s *Server) regPut(body []byte) ([]byte, error) {
+	req, err := dmwire.UnmarshalRegPutReq(body)
+	if err != nil {
+		return nil, err
+	}
+	if req.Entry.Key&dmwire.ReplicaKeyBit == 0 {
+		return nil, errStageAtKeySpace
+	}
+	s.reg.Put(req.Entry)
+	return nil, nil
+}
+
+// regGet answers a directory point query; ErrBadRef when this shard's
+// slice has no entry for the key.
+func (s *Server) regGet(body []byte) ([]byte, error) {
+	req, err := dmwire.UnmarshalRegGetReq(body)
+	if err != nil {
+		return nil, err
+	}
+	ent, ok := s.reg.Get(req.Key)
+	if !ok {
+		return nil, dm.ErrBadRef
+	}
+	return dmwire.RegGetResp{Entry: ent}.Marshal(), nil
+}
+
+// regSync serves one anti-entropy page of the directory, ascending by
+// key from strictly after the cursor.
+func (s *Server) regSync(body []byte) ([]byte, error) {
+	req, err := dmwire.UnmarshalRegSyncReq(body)
+	if err != nil {
+		return nil, err
+	}
+	limit := int(req.Limit)
+	if limit <= 0 || limit > dmwire.MaxRegSyncEntries {
+		limit = dmwire.MaxRegSyncEntries
+	}
+	return dmwire.RegSyncResp{Entries: s.reg.Page(req.AfterKey, limit)}.Marshal(), nil
+}
+
+// Registry exposes the shard's directory slice (tests, invariants).
+func (s *Server) Registry() *registry.Registry { return s.reg }
 
 func (s *Server) readRef(body []byte) ([]byte, error) {
 	req, err := dmwire.UnmarshalReadRefReq(body)

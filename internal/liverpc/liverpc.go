@@ -57,7 +57,11 @@ type LocatedDM interface {
 // plain reads). Stage emits replicated (v2) payloads through it, and
 // Fetch/FetchLease feed a payload's carried replica hints back into the
 // failover read path — so a consumer can survive the primary's death
-// even when the ref was staged by another process.
+// even when the ref was staged by another process. The hints are
+// advisory, not authoritative: a migration (DESIGN.md §D16) may have
+// moved the copies since the payload was marshaled, and ReadRefFrom is
+// expected to fail over past stale hints through the backend's own
+// placement knowledge (ring successors, cluster registry).
 type ReplicatedDM interface {
 	DM
 	Replicas(ref dm.Ref) []uint32

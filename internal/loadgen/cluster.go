@@ -87,6 +87,30 @@ func (c *Cluster) Restart(i int) error {
 	return nil
 }
 
+// Join grows the cluster by one shard at the next index, started the
+// same way Launch starts the originals (announced shard ID, restartable
+// listener). It returns the newcomer's index and address; admitting it
+// to running client pools is the caller's job (Env.JoinShard), after
+// which the pools' rebalancers migrate remapped refs onto it.
+func (c *Cluster) Join() (int, string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := len(c.srvs)
+	cfg := c.scfg
+	cfg.HasShard = true
+	cfg.ShardID = uint32(i)
+	srv := live.NewServer(cfg)
+	rst, ln, err := faultnet.NewRestartable("127.0.0.1:0")
+	if err != nil {
+		return 0, "", fmt.Errorf("loadgen: joining shard %d listen: %w", i, err)
+	}
+	go srv.Serve(ln)
+	c.rs = append(c.rs, rst)
+	c.srvs = append(c.srvs, srv)
+	c.Addrs = append(c.Addrs, rst.Addr())
+	return i, rst.Addr(), nil
+}
+
 // Close tears the whole cluster down.
 func (c *Cluster) Close() {
 	c.mu.Lock()

@@ -176,16 +176,35 @@ func (e *Env) newPool() (*pool.Client, error) {
 	return p, nil
 }
 
+// JoinShard admits a freshly launched shard (Cluster.Join) to every
+// session's pool — the join-a-shard fault schedule's client half. Each
+// pool assigns the same positional shard ID and kicks its rebalancer,
+// which migrates remapped refs onto the newcomer (DESIGN.md §D16).
+func (e *Env) JoinShard(addr string) error {
+	e.mu.Lock()
+	sessions := append([]*pool.Client(nil), e.sessions...)
+	e.mu.Unlock()
+	for _, p := range sessions {
+		if _, err := p.AddShard(addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SessionTotals sums the transport counters across every session the
-// harness minted, plus the pool-level replication counters. Gauges
-// (UnderReplicated) take the max across sessions; monotonic counters
-// sum.
+// harness minted, plus the pool-level replication and migration
+// counters. Gauges (UnderReplicated) take the max across sessions;
+// monotonic counters sum.
 type SessionTotals struct {
 	live.Stats
-	FailoverReads   int64
-	RepairsDone     int64
-	RepairErrors    int64
-	UnderReplicated int64
+	FailoverReads     int64
+	RepairsDone       int64
+	RepairErrors      int64
+	UnderReplicated   int64
+	MigratedRefs      int64
+	MigratedBytes     int64
+	ReclaimedReplicas int64
 }
 
 // SessionTotals snapshots the aggregate counters at this instant.
@@ -213,6 +232,9 @@ func (e *Env) SessionTotals() SessionTotals {
 		t.FailoverReads += p.FailoverReads()
 		t.RepairsDone += p.RepairsDone()
 		t.RepairErrors += p.RepairErrors()
+		t.MigratedRefs += p.MigratedRefs()
+		t.MigratedBytes += p.MigratedBytes()
+		t.ReclaimedReplicas += p.ReclaimedReplicas()
 		if ur := int64(p.UnderReplicated()); ur > t.UnderReplicated {
 			t.UnderReplicated = ur
 		}

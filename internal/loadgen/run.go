@@ -263,6 +263,9 @@ func Run(s Scenario, env *Env, cfg RunConfig) (RunResult, error) {
 	res.Counters["failover-reads"] = float64(after.FailoverReads - before.FailoverReads)
 	res.Counters["repairs-done"] = float64(after.RepairsDone - before.RepairsDone)
 	res.Counters["under-replicated"] = float64(after.UnderReplicated)
+	res.Counters["migrated-refs"] = float64(after.MigratedRefs - before.MigratedRefs)
+	res.Counters["migrated-bytes"] = float64(after.MigratedBytes - before.MigratedBytes)
+	res.Counters["reclaimed-replicas"] = float64(after.ReclaimedReplicas - before.ReclaimedReplicas)
 	if hits, misses := after.CacheHits-before.CacheHits, after.CacheMisses-before.CacheMisses; hits+misses > 0 {
 		res.Counters["cache-hits"] = float64(hits)
 		res.Counters["cache-misses"] = float64(misses)

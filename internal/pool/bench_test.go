@@ -300,3 +300,78 @@ func BenchmarkPoolRepair(b *testing.B) {
 	b.ReportMetric(repairSecs, "repair-secs")
 	b.ReportMetric(underMax, "under-replicated-max")
 }
+
+// BenchmarkPoolRebalance measures live migration (DESIGN.md §D16): a
+// population is staged at R=2 while shard 3 sits outside the ring, then
+// the shard is readmitted — the join — and the timed section is the
+// rebalancer converging every remapped ref onto its new ring placement:
+// copy to the newcomer, registry flip, surplus reclaim. migrate-secs is
+// the last iteration's convergence time, moved-bytes the payload volume
+// it staged, and remap-frac-after the off-placement fraction left when
+// the audit settles (~0 — the acceptance gate for the zero-leak,
+// zero-loss join). All three land in BENCH_pool.json, so a migration
+// regression shows up as a perf regression.
+func BenchmarkPoolRebalance(b *testing.B) {
+	const payload, objects = 8 << 10, 64
+	const joiner = 3
+	_, p := benchClusterCfg(b, 4, Config{
+		ReplicaFactor:     2,
+		RepairInterval:    5 * time.Millisecond,
+		RepairBytesPerSec: -1, // measure the mechanism, not the throttle
+		RegistryHandoff:   true,
+	})
+	eject := func() {
+		p.shardList()[joiner].healthy.Store(false)
+		p.ring.Remove(joiner)
+	}
+	readmit := func() {
+		p.shardList()[joiner].healthy.Store(true)
+		p.ring.Add(joiner)
+		p.kickRepair()
+	}
+	eject() // the population below must be placed on shards 0-2 only
+	body := make([]byte, payload)
+	var migrateSecs, movedBytes, remapFrac float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		refs := make([]dm.Ref, objects)
+		for j := range refs {
+			ref, err := p.StageRef(body)
+			if err != nil {
+				b.Fatal(err)
+			}
+			refs[j] = ref
+		}
+		bytesBefore := p.MigratedBytes()
+		b.StartTimer()
+
+		readmit()
+		start := time.Now()
+		for {
+			total, off := p.AuditPlacement()
+			if total > 0 && off == 0 && p.UnderReplicated() == 0 {
+				remapFrac = float64(off) / float64(total)
+				break
+			}
+			if time.Since(start) > 30*time.Second {
+				b.Fatalf("rebalance did not converge: %d/%d off placement", off, total)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		migrateSecs = time.Since(start).Seconds()
+		movedBytes = float64(p.MigratedBytes() - bytesBefore)
+
+		b.StopTimer()
+		for _, ref := range refs {
+			if err := p.FreeRef(ref); err != nil {
+				b.Fatal(err)
+			}
+		}
+		eject() // next iteration stages on 3 shards again
+		b.StartTimer()
+	}
+	b.ReportMetric(migrateSecs, "migrate-secs")
+	b.ReportMetric(movedBytes, "moved-bytes")
+	b.ReportMetric(remapFrac, "remap-frac-after")
+}

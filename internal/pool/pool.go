@@ -55,6 +55,17 @@ type Config struct {
 	// (0 uses 2s; negative disables the periodic scan — topology changes
 	// still kick an immediate pass).
 	RepairInterval time.Duration
+	// RegistryHandoff hands staged replicated refs off to the cluster ref
+	// registry (DESIGN.md §D16): after a replicated stage the placement is
+	// published to each replica shard's directory, making the ref
+	// registry-owned — it survives its producer's lease reap and is
+	// released only by an explicit free or a migration reclaim. The
+	// repairer additionally anti-entropy-syncs directory pages from the
+	// shards (adopting refs staged by departed clients) and read failover
+	// falls back to a directory lookup when every placement-derived
+	// candidate misses. Off by default: without it the pool behaves as
+	// before (refs die with their producer's session).
+	RegistryHandoff bool
 	// CacheBytes enables the cluster-level hot-ref payload cache
 	// (DESIGN.md §D15): whole-object by-ref reads are served from
 	// memory — checked before shard routing and before replica failover
@@ -89,8 +100,14 @@ type shard struct {
 // address tag byte carry the shard ID instead of a dial-order index.
 // Methods are safe for concurrent use.
 type Client struct {
-	cfg    Config
-	shards []*shard
+	cfg Config
+	// shards is copy-on-write: AddShard swaps in a grown copy under
+	// shardsMu, so readers snapshot the slice once (shardList) and index
+	// it freely without holding a lock on the hot path.
+	shardsMu sync.RWMutex
+	shards   []*shard
+	// addMu serializes AddShard (dial + register happen outside shardsMu).
+	addMu  sync.Mutex
 	ring   *Ring
 	cursor atomic.Uint64 // placement key for unkeyed StageRef/Alloc
 
@@ -105,6 +122,18 @@ type Client struct {
 	repairsDone   atomic.Int64 // replica copies restored by the repairer
 	repairErrors  atomic.Int64 // failed repair reads/stages
 	repairBytes   atomic.Int64 // payload bytes copied by the repairer
+
+	// Migration counters (DESIGN.md §D16): a "migration" is a rebalance
+	// pass moving a ref onto its wanted ring successors AND reclaiming a
+	// surplus copy; a bare reclaim (surplus freed with no copy needed)
+	// still counts reclaimedReplicas.
+	migratedRefs      atomic.Int64 // refs moved onto their wanted placement
+	migratedBytes     atomic.Int64 // payload bytes staged by those moves
+	reclaimedReplicas atomic.Int64 // surplus replica copies freed
+
+	// syncCursors tracks the per-shard anti-entropy page cursor
+	// (RegistryHandoff); guarded by refMu alongside the refs it feeds.
+	syncCursors map[uint32]uint64
 
 	// cache is the cluster-level hot-ref payload cache (nil when
 	// disabled), keyed by (primary shard ID, ref key) so repeat reads
@@ -148,52 +177,120 @@ func Dial(cfg Config) (*Client, error) {
 		cfg.ReplicaFactor = dmwire.MaxRefReplicas
 	}
 	p := &Client{
-		cfg:        cfg,
-		ring:       NewRing(cfg.Vnodes),
-		refs:       make(map[uint64]*refMeta),
-		repairKick: make(chan struct{}, 1),
-		stop:       make(chan struct{}),
+		cfg:         cfg,
+		ring:        NewRing(cfg.Vnodes),
+		refs:        make(map[uint64]*refMeta),
+		syncCursors: make(map[uint32]uint64),
+		repairKick:  make(chan struct{}, 1),
+		stop:        make(chan struct{}),
 	}
 	if cfg.CacheBytes > 0 {
 		p.cache = refcache.New[*live.Buf](refcache.Config{MaxBytes: cfg.CacheBytes})
 	}
 	for i, addr := range cfg.Shards {
-		s := &shard{id: uint32(i), addr: addr}
-		s.healthy.Store(true)
-		ccfg := cfg.Client
-		// The pool-level cache sits above shard routing; a second cache
-		// inside each shard session would double the memory for the same
-		// hits, so the per-shard knob is forced off.
-		ccfg.CacheBytes = 0
-		base := ccfg.OnHeartbeatFailure
-		ccfg.OnHeartbeatFailure = func(addr string, consecutive int, err error) {
-			if base != nil {
-				base(addr, consecutive, err)
-			}
-			if consecutive >= p.cfg.UnhealthyAfter {
-				p.eject(s)
-			}
-		}
-		baseEpoch := ccfg.OnEpochAdvance
-		ccfg.OnEpochAdvance = func(addr string, epoch uint64) {
-			// The shard's invalidation epoch advanced: something it held
-			// was freed, overwritten or reaped, so every pool-cached
-			// payload homed on it is suspect (§D15).
-			p.cache.InvalidateServer(s.id)
-			if baseEpoch != nil {
-				baseEpoch(addr, epoch)
-			}
-		}
-		cl, err := live.DialConfig(ccfg, addr)
+		s, err := p.newShard(uint32(i), addr)
 		if err != nil {
 			p.Close()
-			return nil, fmt.Errorf("pool: shard %d (%s): %w", i, addr, err)
+			return nil, err
 		}
-		s.cl = cl
 		p.shards = append(p.shards, s)
 		p.ring.Add(s.id)
 	}
 	return p, nil
+}
+
+// newShard dials one member server's dedicated live session, wiring the
+// pool's ejection and cache-invalidation hooks around the caller's.
+func (p *Client) newShard(id uint32, addr string) (*shard, error) {
+	s := &shard{id: id, addr: addr}
+	s.healthy.Store(true)
+	ccfg := p.cfg.Client
+	// The pool-level cache sits above shard routing; a second cache
+	// inside each shard session would double the memory for the same
+	// hits, so the per-shard knob is forced off.
+	ccfg.CacheBytes = 0
+	base := ccfg.OnHeartbeatFailure
+	ccfg.OnHeartbeatFailure = func(addr string, consecutive int, err error) {
+		if base != nil {
+			base(addr, consecutive, err)
+		}
+		if consecutive >= p.cfg.UnhealthyAfter {
+			p.eject(s)
+		}
+	}
+	baseEpoch := ccfg.OnEpochAdvance
+	ccfg.OnEpochAdvance = func(addr string, epoch uint64) {
+		// The shard's invalidation epoch advanced: something it held
+		// was freed, overwritten or reaped, so every pool-cached
+		// payload homed on it is suspect (§D15).
+		p.cache.InvalidateServer(s.id)
+		if baseEpoch != nil {
+			baseEpoch(addr, epoch)
+		}
+	}
+	cl, err := live.DialConfig(ccfg, addr)
+	if err != nil {
+		return nil, fmt.Errorf("pool: shard %d (%s): %w", id, addr, err)
+	}
+	s.cl = cl
+	return s, nil
+}
+
+// shardList snapshots the shard slice. The returned slice is immutable
+// (AddShard replaces, never appends in place), so callers may index it
+// without further locking.
+func (p *Client) shardList() []*shard {
+	p.shardsMu.RLock()
+	s := p.shards
+	p.shardsMu.RUnlock()
+	return s
+}
+
+// AddShard grows the cluster by one member at the next shard ID: it
+// dials and registers a session on addr, verifies any announced shard
+// ID matches, admits the shard to the ring, and kicks the repairer —
+// which now sees every tracked ref whose wanted placement moved onto
+// the newcomer and migrates it there (copy, registry flip, surplus
+// reclaim; DESIGN.md §D16). Reads keep failing over through both old
+// and new locations while the rebalance drains, so the join is safe
+// under load. Call after Register; every process sharing the cluster
+// map must observe joins in the same order, since the assigned ID is
+// positional.
+func (p *Client) AddShard(addr string) (uint32, error) {
+	p.addMu.Lock()
+	defer p.addMu.Unlock()
+	id := uint32(len(p.shardList()))
+	s, err := p.newShard(id, addr)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.cl.Register(); err != nil {
+		s.cl.Close()
+		return 0, fmt.Errorf("pool: joining shard %d (%s): %w", id, addr, err)
+	}
+	if announced, ok := s.cl.ServerShard(0); ok && announced != id {
+		s.cl.Close()
+		return 0, fmt.Errorf("pool: server %s announces shard %d but joins as shard %d",
+			addr, announced, id)
+	}
+	// A shorter lease on the newcomer tightens the cache-staleness cap.
+	if l := s.cl.Lease(0); l > 0 {
+		if cur := time.Duration(p.cacheTTL.Load()); cur == 0 || l < cur {
+			p.cacheTTL.Store(int64(l))
+		}
+	}
+	p.shardsMu.Lock()
+	grown := make([]*shard, len(p.shards)+1)
+	copy(grown, p.shards)
+	grown[id] = s
+	p.shards = grown
+	p.shardsMu.Unlock()
+	p.ring.Add(id)
+	if cb := p.cfg.OnTopology; cb != nil {
+		cb(id, true)
+	}
+	p.kickRepair()
+	return id, nil
 }
 
 // Register obtains a session on every shard and starts the heartbeat
@@ -202,7 +299,7 @@ func Dial(cfg Config) (*Client, error) {
 // position in Config.Shards, catching a shuffled or stale server list
 // before any ref is minted with the wrong location.
 func (p *Client) Register() error {
-	for _, s := range p.shards {
+	for _, s := range p.shardList() {
 		if err := s.cl.Register(); err != nil {
 			return fmt.Errorf("pool: shard %d (%s): %w", s.id, s.addr, err)
 		}
@@ -215,7 +312,7 @@ func (p *Client) Register() error {
 	// invalidation can then serve stale bytes for at most one lease TTL
 	// and never across a reap (§D15).
 	var minLease time.Duration
-	for _, s := range p.shards {
+	for _, s := range p.shardList() {
 		if l := s.cl.Lease(0); l > 0 && (minLease == 0 || l < minLease) {
 			minLease = l
 		}
@@ -239,7 +336,7 @@ func (p *Client) Close() error {
 	p.wg.Wait()
 	p.cache.Flush()
 	var first error
-	for _, s := range p.shards {
+	for _, s := range p.shardList() {
 		if s.cl == nil {
 			continue
 		}
@@ -289,7 +386,7 @@ func (p *Client) rejoinLoop() {
 		case <-p.stop:
 			return
 		case <-tick.C:
-			for _, s := range p.shards {
+			for _, s := range p.shardList() {
 				if s.healthy.Load() {
 					continue
 				}
@@ -326,18 +423,23 @@ func (p *Client) route(key uint64) (*shard, error) {
 	if !ok {
 		return nil, ErrNoShards
 	}
-	return p.shards[id], nil
+	shards := p.shardList()
+	if int(id) >= len(shards) {
+		return nil, ErrNoShards // ring raced ahead of the shard list
+	}
+	return shards[id], nil
 }
 
 // byID resolves a shard by its cluster-wide ID — the consume-side path,
 // deliberately NOT ring-based so refs and addresses minted before an
 // ejection keep resolving to the shard that stores their pages.
 func (p *Client) byID(id uint32) (*shard, error) {
-	if int(id) >= len(p.shards) {
+	shards := p.shardList()
+	if int(id) >= len(shards) {
 		return nil, fmt.Errorf("pool: ref names shard %d outside the %d-shard cluster: %w",
-			id, len(p.shards), dm.ErrBadAddress)
+			id, len(shards), dm.ErrBadAddress)
 	}
-	return p.shards[id], nil
+	return shards[id], nil
 }
 
 // LocatedRefs marks this backend's refs as cluster-addressed: Ref.Server
@@ -346,7 +448,7 @@ func (p *Client) byID(id uint32) (*shard, error) {
 func (p *Client) LocatedRefs() bool { return true }
 
 // Shards returns the cluster size.
-func (p *Client) Shards() int { return len(p.shards) }
+func (p *Client) Shards() int { return len(p.shardList()) }
 
 // Healthy returns the shard IDs currently in the ring, sorted.
 func (p *Client) Healthy() []uint32 { return p.ring.Members() }
@@ -354,8 +456,9 @@ func (p *Client) Healthy() []uint32 { return p.ring.Members() }
 // SessionHealth merges every shard's consecutive heartbeat-failure
 // count, keyed by server address (see live.Client.SessionHealth).
 func (p *Client) SessionHealth() map[string]int {
-	out := make(map[string]int, len(p.shards))
-	for _, s := range p.shards {
+	shards := p.shardList()
+	out := make(map[string]int, len(shards))
+	for _, s := range shards {
 		out[s.addr] = s.cl.SessionHealth()[s.addr]
 	}
 	return out
@@ -365,7 +468,7 @@ func (p *Client) SessionHealth() map[string]int {
 // folds in the pool-level hot-ref cache counters.
 func (p *Client) Stats() live.Stats {
 	var sum live.Stats
-	for _, s := range p.shards {
+	for _, s := range p.shardList() {
 		st := s.cl.Stats()
 		sum.Calls += st.Calls
 		sum.Retries += st.Retries
@@ -397,8 +500,9 @@ func (p *Client) CacheEnabled() bool { return p.cache != nil }
 // ShardStats returns each shard's own counter snapshot, indexed by
 // shard ID.
 func (p *Client) ShardStats() []live.Stats {
-	out := make([]live.Stats, len(p.shards))
-	for i, s := range p.shards {
+	shards := p.shardList()
+	out := make([]live.Stats, len(shards))
+	for i, s := range shards {
 		out[i] = s.cl.Stats()
 	}
 	return out
@@ -408,7 +512,7 @@ func (p *Client) ShardStats() []live.Stats {
 // cluster-wide percentile summary (nanoseconds).
 func (p *Client) Latency() stats.Summary {
 	merged := &stats.Histogram{}
-	for _, s := range p.shards {
+	for _, s := range p.shardList() {
 		merged.Merge(s.cl.LatencyHistogram())
 	}
 	return merged.Summarize()
@@ -417,8 +521,9 @@ func (p *Client) Latency() stats.Summary {
 // ShardLatency returns each shard's own per-op latency summary, indexed
 // by shard ID (dmctl pool stats prints these).
 func (p *Client) ShardLatency() []stats.Summary {
-	out := make([]stats.Summary, len(p.shards))
-	for i, s := range p.shards {
+	shards := p.shardList()
+	out := make([]stats.Summary, len(shards))
+	for i, s := range shards {
 		out[i] = s.cl.Latency()
 	}
 	return out
@@ -509,9 +614,16 @@ func (p *Client) MapRef(ref dm.Ref) (dm.RemoteAddr, error) {
 // key) are freed on every replica shard; single-copy refs on their one
 // shard.
 func (p *Client) FreeRef(ref dm.Ref) error {
-	// Drop the cached payload whether or not the free reports success: a
-	// timed-out free may still have landed on the server (§D15).
-	defer p.cache.Invalidate(p.cacheKey(ref))
+	// Drop the cached payload whether or not the free reports success (a
+	// timed-out free may still have landed on the server, §D15), then
+	// tombstone the key so failover reads of the dead ref short-circuit
+	// instead of probing every replica (§D16). The epoch watcher clears
+	// the tombstone if the shard's key population changes.
+	defer func() {
+		k := p.cacheKey(ref)
+		p.cache.Invalidate(k)
+		p.cache.Deny(k, time.Duration(p.cacheTTL.Load()))
+	}()
 	if ref.Key&dmwire.ReplicaKeyBit != 0 {
 		return p.freeReplicated(ref)
 	}

@@ -9,6 +9,8 @@ import (
 	"repro/internal/dm"
 	"repro/internal/dmwire"
 	"repro/internal/live"
+	"repro/internal/migrate"
+	"repro/internal/registry"
 )
 
 // R-way replication for staged payloads (DESIGN.md §D13).
@@ -32,6 +34,10 @@ import (
 type refMeta struct {
 	size     int64
 	replicas []uint32 // shards believed to hold a copy
+	// epoch is the ref's placement version (DESIGN.md §D16): 1 at stage,
+	// bumped by each migration flip so directory merges are
+	// last-writer-wins.
+	epoch uint64
 }
 
 // replicaFactor returns the effective R (>= 1).
@@ -62,7 +68,49 @@ func (p *Client) mintKey() uint64 {
 func (p *Client) track(key uint64, size int64, replicas []uint32) {
 	cp := append([]uint32(nil), replicas...)
 	p.refMu.Lock()
-	p.refs[key] = &refMeta{size: size, replicas: cp}
+	p.refs[key] = &refMeta{size: size, replicas: cp, epoch: 1}
+	p.refMu.Unlock()
+}
+
+// adopt merges a directory entry learned via anti-entropy sync into the
+// tracked set (§D16): unknown refs are added, and a higher placement
+// epoch overrides the local belief. Reports whether anything changed.
+func (p *Client) adopt(ent registry.Entry) bool {
+	p.refMu.Lock()
+	defer p.refMu.Unlock()
+	m, ok := p.refs[ent.Key]
+	if ok && ent.Epoch <= m.epoch {
+		return false
+	}
+	p.refs[ent.Key] = &refMeta{
+		size:     ent.Size,
+		replicas: append([]uint32(nil), ent.Replicas...),
+		epoch:    ent.Epoch,
+	}
+	return true
+}
+
+// dropReplica forgets shard id's copy of key (a migration reclaim).
+func (p *Client) dropReplica(key uint64, id uint32) {
+	p.refMu.Lock()
+	if m, ok := p.refs[key]; ok {
+		kept := m.replicas[:0]
+		for _, r := range m.replicas {
+			if r != id {
+				kept = append(kept, r)
+			}
+		}
+		m.replicas = kept
+	}
+	p.refMu.Unlock()
+}
+
+// setEpoch records a migration flip's new placement version.
+func (p *Client) setEpoch(key, epoch uint64) {
+	p.refMu.Lock()
+	if m, ok := p.refs[key]; ok && epoch > m.epoch {
+		m.epoch = epoch
+	}
 	p.refMu.Unlock()
 }
 
@@ -155,6 +203,7 @@ func (p *Client) candidates(ref dm.Ref, hints []uint32) []uint32 {
 	seen := make(map[uint32]struct{}, len(ids))
 	healthy := make([]uint32, 0, len(ids))
 	var sick []uint32
+	shards := p.shardList()
 	for _, id := range ids {
 		if _, dup := seen[id]; dup {
 			continue
@@ -162,7 +211,7 @@ func (p *Client) candidates(ref dm.Ref, hints []uint32) []uint32 {
 		seen[id] = struct{}{}
 		// Out-of-cluster IDs stay in the list (classified unhealthy) so
 		// byID can surface dm.ErrBadAddress instead of silently skipping.
-		if int(id) < len(p.shards) && p.shards[id].healthy.Load() {
+		if int(id) < len(shards) && shards[id].healthy.Load() {
 			healthy = append(healthy, id)
 		} else {
 			sick = append(sick, id)
@@ -185,6 +234,11 @@ func failoverWorthy(err error) bool {
 // checked before shard routing, so a hit costs no RPC at all; a miss
 // runs the wire path below, which still fails over across replicas.
 func (p *Client) ReadRefFrom(ref dm.Ref, hints []uint32, off int64, dst []byte) error {
+	// A freed-ref tombstone fails the read in one map lookup instead of
+	// probing every replica (§D16).
+	if p.cache.Denied(p.cacheKey(ref)) {
+		return dm.ErrBadRef
+	}
 	if p.refCacheable(ref, off, int64(len(dst))) {
 		b, err := p.cachedRead(ref, hints)
 		if err != nil {
@@ -197,6 +251,42 @@ func (p *Client) ReadRefFrom(ref dm.Ref, hints []uint32, off int64, dst []byte) 
 	return p.readRefFromWire(ref, hints, off, dst)
 }
 
+// registryLocate is the last-resort resolution for a located ref that
+// no placement-derived candidate could serve (§D16): ask the key's
+// ring successors' directories where the copies live now. The freshest
+// entry found is adopted into the tracked set, so the next read goes
+// straight there. Only meaningful under RegistryHandoff — without it
+// the directories are empty and the lookups would be wasted RPCs.
+func (p *Client) registryLocate(key uint64) []uint32 {
+	if !p.cfg.RegistryHandoff || key&dmwire.ReplicaKeyBit == 0 {
+		return nil
+	}
+	r := p.replicaFactor()
+	if r < 2 {
+		r = 2
+	}
+	shards := p.shardList()
+	var best registry.Entry
+	found := false
+	for _, id := range p.ring.Successors(key, r) {
+		if int(id) >= len(shards) || !shards[id].healthy.Load() {
+			continue
+		}
+		ent, err := shards[id].cl.RegGet(0, key)
+		if err != nil {
+			continue
+		}
+		if !found || ent.Epoch > best.Epoch {
+			best, found = ent, true
+		}
+	}
+	if !found {
+		return nil
+	}
+	p.adopt(best)
+	return append([]uint32(nil), best.Replicas...)
+}
+
 // readRefFromWire is ReadRefFrom's wire path: candidates are tried in
 // failover order; a success on any non-first candidate counts as a
 // failover read.
@@ -204,7 +294,9 @@ func (p *Client) readRefFromWire(ref dm.Ref, hints []uint32, off int64, dst []by
 	local := ref
 	local.Server = 0
 	var lastErr error
+	tried := make(map[uint32]struct{}, 8)
 	for _, id := range p.candidates(ref, hints) {
+		tried[id] = struct{}{}
 		s, err := p.byID(id)
 		if err != nil {
 			lastErr = err
@@ -225,6 +317,22 @@ func (p *Client) readRefFromWire(ref dm.Ref, hints []uint32, off int64, dst []by
 			}
 		}
 	}
+	// Every placement-derived candidate missed: the ref may have been
+	// migrated by a client with a different view — ask the directory.
+	for _, id := range p.registryLocate(ref.Key) {
+		if _, dup := tried[id]; dup {
+			continue
+		}
+		s, err := p.byID(id)
+		if err != nil {
+			continue
+		}
+		if err := s.cl.ReadRef(local, off, dst); err == nil {
+			p.failoverReads.Add(1)
+			s.failoverServed.Add(1)
+			return nil
+		}
+	}
 	if lastErr == nil {
 		lastErr = dm.ErrBadRef
 	}
@@ -237,6 +345,9 @@ func (p *Client) readRefFromWire(ref dm.Ref, hints []uint32, off int64, dst []by
 func (p *Client) readRefFailover(ref dm.Ref, off int64, dst []byte, tried uint32, firstErr error) error {
 	if !failoverWorthy(firstErr) {
 		return firstErr
+	}
+	if p.cache.Denied(p.cacheKey(ref)) {
+		return dm.ErrBadRef
 	}
 	local := ref
 	local.Server = 0
@@ -269,6 +380,9 @@ func (p *Client) readRefFailover(ref dm.Ref, off int64, dst []byte, tried uint32
 // pool cache returns the cached Buf retained — zero copies, zero RPCs;
 // the caller must Release it exactly once either way.
 func (p *Client) ReadRefLeaseFrom(ref dm.Ref, hints []uint32, off, size int64) (*live.Buf, error) {
+	if p.cache.Denied(p.cacheKey(ref)) {
+		return nil, dm.ErrBadRef
+	}
 	if p.refCacheable(ref, off, size) {
 		return p.cachedRead(ref, hints)
 	}
@@ -281,7 +395,9 @@ func (p *Client) readRefLeaseFromWire(ref dm.Ref, hints []uint32, off, size int6
 	local := ref
 	local.Server = 0
 	var lastErr error
+	tried := make(map[uint32]struct{}, 8)
 	for _, id := range p.candidates(ref, hints) {
+		tried[id] = struct{}{}
 		s, err := p.byID(id)
 		if err != nil {
 			lastErr = err
@@ -298,6 +414,20 @@ func (p *Client) readRefLeaseFromWire(ref dm.Ref, hints []uint32, off, size int6
 		lastErr = err
 		if !failoverWorthy(err) {
 			return nil, err
+		}
+	}
+	for _, id := range p.registryLocate(ref.Key) {
+		if _, dup := tried[id]; dup {
+			continue
+		}
+		s, err := p.byID(id)
+		if err != nil {
+			continue
+		}
+		if b, err := s.cl.ReadRefLease(local, off, size); err == nil {
+			p.failoverReads.Add(1)
+			s.failoverServed.Add(1)
+			return b, nil
 		}
 	}
 	if lastErr == nil {
@@ -420,10 +550,26 @@ func (rs *repStage) wait() (dm.Ref, error) {
 	}
 	ref := dm.Ref{Server: placed[0], Key: rs.key, Size: int64(len(rs.data))}
 	rs.p.track(rs.key, ref.Size, placed)
+	// Registry handoff (§D16): publish the placement to each replica
+	// shard's directory, making the ref cluster-owned — it now survives
+	// this producer's lease reap and any client can repair or migrate it.
+	if rs.p.cfg.RegistryHandoff {
+		rs.p.regPublish(registry.Entry{Key: rs.key, Size: ref.Size, Epoch: 1, Replicas: placed})
+	}
 	if len(placed) < len(rs.targets) {
 		rs.p.kickRepair() // born under-replicated
 	}
 	return ref, nil
+}
+
+// regPublish merges ent into the directory of every shard it names
+// (best-effort: a missed shard converges later via anti-entropy sync).
+func (p *Client) regPublish(ent registry.Entry) {
+	for _, id := range ent.Replicas {
+		if s, err := p.byID(id); err == nil && s.healthy.Load() {
+			s.cl.RegPut(0, ent)
+		}
+	}
 }
 
 // --- repair ---
@@ -472,116 +618,250 @@ func (p *Client) repairLoop() {
 		case <-p.repairKick:
 		case <-tickC:
 		}
+		if p.cfg.RegistryHandoff {
+			p.syncPass()
+		}
 		p.repairPass()
 	}
 }
 
-// repairPass walks every tracked ref once: for each, the wanted set is
-// the CURRENT ring successors of its key (the Kademlia republish rule),
-// the repair targets are wanted shards without a copy, and the source is
-// any healthy shard that has one. Copies are paced against the
-// repair-bandwidth budget so a large backlog can't starve foreground
-// traffic. A re-stage answered with dm.ErrRefExists means another
-// repairer (or the races rejoined shard itself) beat us — that is
-// success, not failure.
+// poolShardOps adapts the pool client to the migration engine's
+// cluster view (migrate.ShardOps): shard-to-shard copies run as a read
+// from the source followed by a staged re-put on the target, all over
+// this client's per-shard sessions.
+type poolShardOps struct{ p *Client }
+
+func (o poolShardOps) Healthy(id uint32) bool {
+	shards := o.p.shardList()
+	return int(id) < len(shards) && shards[id].healthy.Load()
+}
+
+func (o poolShardOps) ReadRef(id uint32, key uint64, size, off int64, dst []byte) error {
+	s, err := o.p.byID(id)
+	if err != nil {
+		return err
+	}
+	return s.cl.ReadRef(dm.Ref{Key: key, Size: size}, off, dst)
+}
+
+func (o poolShardOps) StageAt(id uint32, key uint64, data []byte) error {
+	s, err := o.p.byID(id)
+	if err != nil {
+		return err
+	}
+	_, err = s.cl.StageRefAt(0, key, data)
+	return err
+}
+
+func (o poolShardOps) FreeRef(id uint32, key uint64) error {
+	s, err := o.p.byID(id)
+	if err != nil {
+		return err
+	}
+	return s.cl.FreeRef(dm.Ref{Key: key})
+}
+
+func (o poolShardOps) RegPut(id uint32, ent registry.Entry) error {
+	s, err := o.p.byID(id)
+	if err != nil {
+		return err
+	}
+	return s.cl.RegPut(0, ent)
+}
+
+// placements snapshots the tracked refs as planner input, sorted by key
+// for deterministic chunking.
+func (p *Client) placements() []migrate.Placement {
+	p.refMu.Lock()
+	out := make([]migrate.Placement, 0, len(p.refs))
+	for k, m := range p.refs {
+		out = append(out, migrate.Placement{
+			Key:   k,
+			Size:  m.size,
+			Epoch: m.epoch,
+			Have:  append([]uint32(nil), m.replicas...),
+		})
+	}
+	p.refMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// repairPass is the unified repair/rebalance pass (DESIGN.md §D13,
+// §D16): the planner diffs every tracked ref's believed placement
+// against the CURRENT ring successors of its key (the Kademlia
+// republish rule) and the executor converges them — re-staging missing
+// copies exactly as the old repairer did, and additionally migrating
+// refs whose wanted placement moved (a joined or rejoined shard, a
+// ReplicaFactor change): copy to the newcomers, flip the directory
+// entry, then reclaim the surplus copies the repair-only model used to
+// leak. Copies are paced against the repair-bandwidth budget; a
+// re-stage answered with dm.ErrRefExists means another repairer beat
+// us — success, not failure.
 func (p *Client) repairPass() {
 	r := p.replicaFactor()
 	if r <= 1 {
 		return
 	}
-	bps := p.repairBPS()
-
-	p.refMu.Lock()
-	keys := make([]uint64, 0, len(p.refs))
-	for k := range p.refs {
-		keys = append(keys, k)
+	moves := migrate.Plan(p.placements(), func(key uint64) []uint32 {
+		return p.ring.Successors(key, r)
+	}, migrate.Limits{})
+	if len(moves) == 0 {
+		return
 	}
-	p.refMu.Unlock()
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	movedKeys := make(map[uint64]struct{}, len(moves))
+	ex := &migrate.Executor{
+		Ops:         poolShardOps{p},
+		BytesPerSec: p.repairBPS(),
+		Stop:        p.stop,
+		Registry:    p.cfg.RegistryHandoff,
+		// The plan is a snapshot; a ref freed since planning must not be
+		// resurrected by a stale copy.
+		Skip: func(key uint64) bool {
+			p.refMu.Lock()
+			_, ok := p.refs[key]
+			p.refMu.Unlock()
+			return !ok
+		},
+		OnCopied: func(key uint64, id uint32, size int64, fresh bool) {
+			if fresh {
+				p.repairBytes.Add(size)
+			}
+			p.repairsDone.Add(1)
+			if s, err := p.byID(id); err == nil {
+				s.repairsIn.Add(1)
+			}
+			p.addReplica(key, id)
+		},
+		OnDropped: func(key uint64, id uint32) {
+			p.dropReplica(key, id)
+			p.reclaimedReplicas.Add(1)
+			movedKeys[key] = struct{}{}
+		},
+		OnFlip: func(key, epoch uint64, want []uint32) {
+			p.setEpoch(key, epoch)
+		},
+		OnUnreadable: func(key uint64) {
+			// Every believed copy is provably gone. If the directory has no
+			// entry either, the ref was freed by another client after we
+			// learned of it (an anti-entropy ghost) — stop tracking it, or
+			// the pass would chase it forever.
+			if p.cfg.RegistryHandoff && len(p.registryLocate(key)) == 0 {
+				p.untrack(key)
+			}
+		},
+	}
+	res := ex.Run(moves)
+	p.repairErrors.Add(int64(res.Errors))
+	p.migratedRefs.Add(int64(res.MovedRefs))
+	p.migratedBytes.Add(int64(res.MovedBytes))
+}
 
-	for _, key := range keys {
+// syncPass is the anti-entropy half of the registry handoff (§D16): it
+// pages each healthy shard's directory (resuming from a per-shard
+// cursor) and adopts entries this client does not track — refs staged
+// by clients that have since departed. Adoption puts them on this
+// client's repair work list, so the cluster keeps them replicated and
+// migrates them like its own.
+func (p *Client) syncPass() {
+	const pageLimit = dmwire.MaxRegSyncEntries
+	for _, s := range p.shardList() {
 		select {
 		case <-p.stop:
 			return
 		default:
 		}
+		if !s.healthy.Load() {
+			continue
+		}
 		p.refMu.Lock()
-		m, ok := p.refs[key]
-		var have []uint32
-		var size int64
-		if ok {
-			have = append([]uint32(nil), m.replicas...)
-			size = m.size
+		after := p.syncCursors[s.id]
+		p.refMu.Unlock()
+		page, err := s.cl.RegSync(0, after, pageLimit)
+		if err != nil {
+			continue // partitioned mid-sync; retry next pass
+		}
+		for _, ent := range page {
+			p.adopt(ent)
+		}
+		p.refMu.Lock()
+		if len(page) < pageLimit {
+			p.syncCursors[s.id] = 0 // wrapped: restart from the top next pass
+		} else {
+			p.syncCursors[s.id] = page[len(page)-1].Key
 		}
 		p.refMu.Unlock()
-		if !ok {
-			continue // freed since the snapshot
-		}
+	}
+}
 
-		haveSet := make(map[uint32]struct{}, len(have))
-		var sources []uint32
-		for _, id := range have {
-			haveSet[id] = struct{}{}
-			if int(id) < len(p.shards) && p.shards[id].healthy.Load() {
-				sources = append(sources, id)
-			}
+// Rebalance runs one synchronous repair/rebalance pass (plus an
+// anti-entropy sync under RegistryHandoff) and reports what it did —
+// the dmctl `pool rebalance` entry point. The background repairer runs
+// the same pass; this just gives operators a deliberate trigger and a
+// result to look at.
+func (p *Client) Rebalance() RebalanceResult {
+	before := RebalanceResult{
+		MigratedRefs:      p.migratedRefs.Load(),
+		MigratedBytes:     p.migratedBytes.Load(),
+		ReclaimedReplicas: p.reclaimedReplicas.Load(),
+		RepairsDone:       p.repairsDone.Load(),
+		Errors:            p.repairErrors.Load(),
+	}
+	if p.cfg.RegistryHandoff {
+		p.syncPass()
+	}
+	p.repairPass()
+	res := RebalanceResult{
+		MigratedRefs:      p.migratedRefs.Load() - before.MigratedRefs,
+		MigratedBytes:     p.migratedBytes.Load() - before.MigratedBytes,
+		ReclaimedReplicas: p.reclaimedReplicas.Load() - before.ReclaimedReplicas,
+		RepairsDone:       p.repairsDone.Load() - before.RepairsDone,
+		Errors:            p.repairErrors.Load() - before.Errors,
+	}
+	res.TrackedRefs, res.OffPlacement = p.AuditPlacement()
+	return res
+}
+
+// RebalanceResult is one Rebalance call's delta plus a placement audit.
+type RebalanceResult struct {
+	MigratedRefs      int64 `json:"migrated_refs"`
+	MigratedBytes     int64 `json:"migrated_bytes"`
+	ReclaimedReplicas int64 `json:"reclaimed_replicas"`
+	RepairsDone       int64 `json:"repairs_done"`
+	Errors            int64 `json:"errors"`
+	TrackedRefs       int   `json:"tracked_refs"`
+	OffPlacement      int   `json:"off_placement"`
+}
+
+// AuditPlacement counts tracked refs whose believed replica set is not
+// exactly the ring's wanted placement (the off-ring fraction dmload and
+// BenchmarkPoolRebalance report). Zero off-placement means migration
+// has fully converged.
+func (p *Client) AuditPlacement() (total, offPlacement int) {
+	r := p.replicaFactor()
+	for _, pl := range p.placements() {
+		total++
+		want := p.ring.Successors(pl.Key, r)
+		if len(want) != len(pl.Have) {
+			offPlacement++
+			continue
 		}
-		want := p.ring.Successors(key, r)
-		var targets []uint32
+		wantSet := make(map[uint32]struct{}, len(want))
 		for _, id := range want {
-			if _, has := haveSet[id]; !has {
-				targets = append(targets, id)
-			}
+			wantSet[id] = struct{}{}
 		}
-		if len(targets) == 0 || len(sources) == 0 {
-			continue // fully replicated, or nothing live to copy from
-		}
-
-		buf := make([]byte, size)
-		local := dm.Ref{Key: key, Size: size}
-		got := false
-		for _, src := range sources {
-			if err := p.shards[src].cl.ReadRef(local, 0, buf); err == nil {
-				got = true
+		ok := true
+		for _, id := range pl.Have {
+			if _, in := wantSet[id]; !in {
+				ok = false
 				break
 			}
 		}
-		if !got {
-			p.repairErrors.Add(1)
-			continue
-		}
-		copied := int64(0)
-		for _, tgt := range targets {
-			s := p.shards[tgt]
-			if !s.healthy.Load() {
-				continue
-			}
-			switch _, err := s.cl.StageRefAt(0, key, buf); {
-			case err == nil:
-				copied += size
-				p.repairBytes.Add(size)
-				fallthrough
-			case err != nil && errors.Is(err, dm.ErrRefExists):
-				p.repairsDone.Add(1)
-				s.repairsIn.Add(1)
-				p.addReplica(key, tgt)
-			default:
-				p.repairErrors.Add(1)
-			}
-		}
-		// Bandwidth budget: sleep off the bytes just copied before the
-		// next ref, bounding sustained repair throughput at ~bps.
-		if bps > 0 && copied > 0 {
-			d := time.Duration(float64(copied) / float64(bps) * float64(time.Second))
-			t := time.NewTimer(d)
-			select {
-			case <-p.stop:
-				t.Stop()
-				return
-			case <-t.C:
-			}
+		if !ok {
+			offPlacement++
 		}
 	}
+	return total, offPlacement
 }
 
 // --- observability ---
@@ -604,12 +884,13 @@ func (p *Client) UnderReplicated() int {
 		return 0
 	}
 	n := 0
+	shards := p.shardList()
 	p.refMu.Lock()
 	defer p.refMu.Unlock()
 	for _, m := range p.refs {
 		alive := 0
 		for _, id := range m.replicas {
-			if int(id) < len(p.shards) && p.shards[id].healthy.Load() {
+			if int(id) < len(shards) && shards[id].healthy.Load() {
 				alive++
 			}
 		}
@@ -646,6 +927,39 @@ func (p *Client) RepairErrors() int64 { return p.repairErrors.Load() }
 // RepairBytes returns the payload bytes the repairer has copied.
 func (p *Client) RepairBytes() int64 { return p.repairBytes.Load() }
 
+// MigratedRefs returns how many refs the rebalancer has moved onto
+// their wanted ring placement (copy + flip + reclaim; §D16).
+func (p *Client) MigratedRefs() int64 { return p.migratedRefs.Load() }
+
+// MigratedBytes returns the payload bytes staged by those migrations.
+func (p *Client) MigratedBytes() int64 { return p.migratedBytes.Load() }
+
+// ReclaimedReplicas returns how many surplus replica copies the
+// rebalancer has freed — the copies the repair-only model leaked.
+func (p *Client) ReclaimedReplicas() int64 { return p.reclaimedReplicas.Load() }
+
+// RegistryEntries pages one shard's authoritative directory: up to
+// limit entries with Key > afterKey in key order (the server caps a
+// page at dmwire.MaxRegSyncEntries). It is the raw anti-entropy read
+// that syncPass and dmctl's `pool registry` dump are built on.
+func (p *Client) RegistryEntries(shard uint32, afterKey uint64, limit int) ([]registry.Entry, error) {
+	s, err := p.byID(shard)
+	if err != nil {
+		return nil, err
+	}
+	return s.cl.RegSync(0, afterKey, limit)
+}
+
+// RegistryLookup queries one shard's directory for a single key;
+// dm.ErrBadRef means that shard holds no entry for it.
+func (p *Client) RegistryLookup(shard uint32, key uint64) (registry.Entry, error) {
+	s, err := p.byID(shard)
+	if err != nil {
+		return registry.Entry{}, err
+	}
+	return s.cl.RegGet(0, key)
+}
+
 // ReplicaStat is one shard's replication counters (dmctl pool stats).
 type ReplicaStat struct {
 	Shard   uint32
@@ -665,8 +979,9 @@ type ReplicaStat struct {
 // ReplicaStats snapshots per-shard replication counters, indexed by
 // shard ID.
 func (p *Client) ReplicaStats() []ReplicaStat {
-	out := make([]ReplicaStat, len(p.shards))
-	for i, s := range p.shards {
+	shards := p.shardList()
+	out := make([]ReplicaStat, len(shards))
+	for i, s := range shards {
 		out[i] = ReplicaStat{
 			Shard:         s.id,
 			Healthy:       s.healthy.Load(),

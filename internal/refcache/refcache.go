@@ -69,7 +69,14 @@ type Stats struct {
 	Coalesced     int64 // GetOrLoad callers served by another caller's flight
 	Bytes         int64 // current cached payload bytes (gauge)
 	Entries       int64 // current entry count (gauge)
+	NegHits       int64 // reads short-circuited by a freed-ref tombstone
+	NegAdds       int64 // tombstones recorded by Deny
+	NegEntries    int64 // current tombstone count (gauge)
 }
+
+// MaxNegEntries bounds the freed-ref tombstone set; when full, the
+// tombstone closest to expiry is shed first.
+const MaxNegEntries = 1024
 
 type entry[V Value] struct {
 	key    Key
@@ -105,6 +112,14 @@ type Cache[V Value] struct {
 	sketch  sketch
 	bytes   int64
 	st      Stats
+	// neg is the freed-ref tombstone set (DESIGN.md §D16): Deny records
+	// that a key was freed, and Denied lets read paths short-circuit the
+	// replica failover walk for it — a probe storm against a dead key
+	// costs one map lookup instead of R wire errors. Tombstones expire
+	// by TTL and are cleared per-server by InvalidateServer (the epoch
+	// watcher), since an epoch advance means the server's key population
+	// changed and the denial may be stale.
+	neg map[Key]time.Time
 }
 
 // New builds a cache. A nil *Cache is valid and always misses, so
@@ -118,6 +133,7 @@ func New[V Value](cfg Config) *Cache[V] {
 		table:   make(map[Key]*entry[V]),
 		lru:     list.New(),
 		flights: make(map[Key]*flight[V]),
+		neg:     make(map[Key]time.Time),
 	}
 	c.sketch.init(cfg.MaxBytes)
 	return c
@@ -229,8 +245,66 @@ func (c *Cache[V]) Add(k Key, size int64, ttl time.Duration, mk func() V) {
 	v.Release()
 }
 
+// Deny records a freed-ref tombstone for k: until it expires (ttl <= 0
+// uses the config default) Denied(k) reports true, letting read paths
+// fail a dead key fast instead of probing every replica. Deny also
+// drops any cached payload for k and poisons in-flight loads — a freed
+// ref must never serve cached bytes. The tombstone set is bounded by
+// MaxNegEntries; when full, the entry closest to expiry is shed.
+func (c *Cache[V]) Deny(k Key, ttl time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f := c.flights[k]; f != nil {
+		f.noAdmit = true
+	}
+	if e := c.table[k]; e != nil {
+		c.drop(e)
+		c.st.Invalidations++
+	}
+	if ttl <= 0 {
+		ttl = c.cfg.DefaultTTL
+	}
+	if _, have := c.neg[k]; !have && len(c.neg) >= MaxNegEntries {
+		var victim Key
+		var soonest time.Time
+		for nk, exp := range c.neg {
+			if soonest.IsZero() || exp.Before(soonest) {
+				victim, soonest = nk, exp
+			}
+		}
+		delete(c.neg, victim)
+	}
+	c.neg[k] = time.Now().Add(ttl)
+	c.st.NegAdds++
+}
+
+// Denied reports whether k carries a live freed-ref tombstone. A true
+// return counts as a negative hit.
+func (c *Cache[V]) Denied(k Key) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	exp, ok := c.neg[k]
+	if !ok {
+		return false
+	}
+	if time.Now().After(exp) {
+		delete(c.neg, k)
+		return false
+	}
+	c.st.NegHits++
+	return true
+}
+
 // Invalidate drops k if cached and poisons any in-flight load of it.
-// Reports whether an entry was dropped.
+// Reports whether an entry was dropped. Tombstones are untouched —
+// invalidation means "refetch", denial means "gone", and a free path
+// that wants both calls Invalidate then Deny.
 func (c *Cache[V]) Invalidate(k Key) bool {
 	if c == nil {
 		return false
@@ -270,6 +344,13 @@ func (c *Cache[V]) InvalidateServer(server uint32) int {
 			n++
 		}
 	}
+	// An epoch advance means the server's key population changed, so its
+	// tombstones may deny keys that exist again — clear them (§D16).
+	for k := range c.neg {
+		if k.Server == server {
+			delete(c.neg, k)
+		}
+	}
 	c.st.Invalidations += int64(n)
 	return n
 }
@@ -289,6 +370,7 @@ func (c *Cache[V]) Flush() {
 	for _, e := range c.table {
 		c.drop(e)
 	}
+	clear(c.neg)
 	c.st.Invalidations += int64(n)
 }
 
@@ -302,6 +384,7 @@ func (c *Cache[V]) Stats() Stats {
 	st := c.st
 	st.Bytes = c.bytes
 	st.Entries = int64(len(c.table))
+	st.NegEntries = int64(len(c.neg))
 	return st
 }
 

@@ -350,3 +350,82 @@ func TestAddAdmitsWithoutRead(t *testing.T) {
 		t.Fatalf("gauge = %d, want 0", gauge.Load())
 	}
 }
+
+// TestDenyShortCircuits: a freed-ref tombstone denies the key, drops
+// any cached payload, and expires by TTL.
+func TestDenyShortCircuits(t *testing.T) {
+	var gauge atomic.Int64
+	c := New[*fakeBuf](Config{MaxBytes: 1 << 20})
+	k := Key{Server: 2, Ref: 99}
+	v, err := c.GetOrLoad(k, 10, time.Minute, func() (*fakeBuf, error) { return newFake(&gauge), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Release()
+
+	c.Deny(k, 50*time.Millisecond)
+	if !c.Denied(k) {
+		t.Fatal("freshly denied key not denied")
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("denied key still served a cached payload")
+	}
+	st := c.Stats()
+	if st.NegAdds != 1 || st.NegHits != 1 || st.NegEntries != 1 {
+		t.Fatalf("neg stats: %+v", st)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if c.Denied(k) {
+		t.Fatal("tombstone survived its TTL")
+	}
+}
+
+// TestDenyClearedByEpochWatcher: InvalidateServer (the epoch-advance
+// path) clears that server's tombstones and no others.
+func TestDenyClearedByEpochWatcher(t *testing.T) {
+	c := New[*fakeBuf](Config{MaxBytes: 1 << 20})
+	kA := Key{Server: 1, Ref: 7}
+	kB := Key{Server: 2, Ref: 7}
+	c.Deny(kA, time.Minute)
+	c.Deny(kB, time.Minute)
+	c.InvalidateServer(1)
+	if c.Denied(kA) {
+		t.Fatal("epoch advance did not clear the server's tombstone")
+	}
+	if !c.Denied(kB) {
+		t.Fatal("epoch advance cleared an unrelated server's tombstone")
+	}
+	c.Flush()
+	if c.Denied(kB) {
+		t.Fatal("Flush left a tombstone behind")
+	}
+}
+
+// TestDenyBounded: the tombstone set caps at MaxNegEntries, shedding
+// the entry closest to expiry.
+func TestDenyBounded(t *testing.T) {
+	c := New[*fakeBuf](Config{MaxBytes: 1 << 20})
+	short := Key{Server: 0, Ref: 1}
+	c.Deny(short, time.Second) // closest to expiry -> first shed
+	for i := 0; i < MaxNegEntries; i++ {
+		c.Deny(Key{Server: 0, Ref: uint64(100 + i)}, time.Hour)
+	}
+	if got := c.Stats().NegEntries; got != MaxNegEntries {
+		t.Fatalf("tombstone set grew to %d, cap %d", got, MaxNegEntries)
+	}
+	if c.Denied(short) {
+		t.Fatal("soonest-expiring tombstone not shed at cap")
+	}
+	if !c.Denied(Key{Server: 0, Ref: 100}) {
+		t.Fatal("long-TTL tombstone shed instead")
+	}
+}
+
+// TestDeniedNilCache: nil-cache Denied/Deny are safe no-ops.
+func TestDeniedNilCache(t *testing.T) {
+	var c *Cache[*fakeBuf]
+	c.Deny(Key{Server: 1, Ref: 1}, time.Minute)
+	if c.Denied(Key{Server: 1, Ref: 1}) {
+		t.Fatal("nil cache denied a key")
+	}
+}

@@ -1,0 +1,174 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func entry(key uint64, epoch uint64, reps ...uint32) Entry {
+	return Entry{Key: key, Size: 64, Epoch: epoch, Replicas: reps}
+}
+
+func TestPutEpochWins(t *testing.T) {
+	r := New()
+	if !r.Put(entry(1, 1, 0, 1)) {
+		t.Fatal("first put rejected")
+	}
+	if r.Put(entry(1, 1, 2)) {
+		t.Fatal("equal-epoch put should be idempotent (first writer stays)")
+	}
+	if e, _ := r.Get(1); len(e.Replicas) != 2 {
+		t.Fatalf("equal-epoch put overwrote: %+v", e)
+	}
+	if r.Put(entry(1, 0, 2)) {
+		t.Fatal("lower-epoch put accepted")
+	}
+	if !r.Put(entry(1, 2, 2)) {
+		t.Fatal("higher-epoch put rejected")
+	}
+	e, ok := r.Get(1)
+	if !ok || e.Epoch != 2 || len(e.Replicas) != 1 || e.Replicas[0] != 2 {
+		t.Fatalf("higher-epoch put not applied: %+v ok=%v", e, ok)
+	}
+}
+
+func TestPutRejectsInvalid(t *testing.T) {
+	r := New()
+	if r.Put(Entry{Key: 0, Epoch: 1, Replicas: []uint32{0}}) {
+		t.Fatal("zero key accepted")
+	}
+	if r.Put(Entry{Key: 1, Epoch: 1}) {
+		t.Fatal("empty replica set accepted")
+	}
+}
+
+func TestGetCopies(t *testing.T) {
+	r := New()
+	r.Put(entry(1, 1, 0, 1))
+	e, _ := r.Get(1)
+	e.Replicas[0] = 99
+	e2, _ := r.Get(1)
+	if e2.Replicas[0] != 0 {
+		t.Fatal("Get aliased the stored replica slice")
+	}
+}
+
+func TestDeleteTombstones(t *testing.T) {
+	r := New()
+	r.Put(entry(1, 3, 0))
+	if !r.Delete(1, 3) {
+		t.Fatal("delete of live entry reported nothing removed")
+	}
+	if _, ok := r.Get(1); ok {
+		t.Fatal("entry survived delete")
+	}
+	// A stale sync page (epoch <= tombstone) must not resurrect the key.
+	if r.Put(entry(1, 3, 0)) {
+		t.Fatal("tombstoned key resurrected at equal epoch")
+	}
+	if r.Put(entry(1, 2, 0)) {
+		t.Fatal("tombstoned key resurrected at lower epoch")
+	}
+	// A genuinely newer placement (re-staged key) wins through.
+	if !r.Put(entry(1, 4, 1)) {
+		t.Fatal("newer epoch blocked by tombstone")
+	}
+	if e, ok := r.Get(1); !ok || e.Epoch != 4 {
+		t.Fatalf("re-put entry wrong: %+v ok=%v", e, ok)
+	}
+}
+
+func TestDeleteStaleEpochIgnored(t *testing.T) {
+	r := New()
+	r.Put(entry(1, 5, 0))
+	if r.Delete(1, 4) {
+		t.Fatal("stale delete removed a newer entry")
+	}
+	if _, ok := r.Get(1); !ok {
+		t.Fatal("entry lost to stale delete")
+	}
+}
+
+func TestTombstoneCap(t *testing.T) {
+	r := New()
+	r.maxTombstones = 8
+	for k := uint64(1); k <= 64; k++ {
+		r.Put(entry(k, k, 0))
+		r.Delete(k, k)
+	}
+	if len(r.tombs) > r.maxTombstones+1 {
+		t.Fatalf("tombstone set unbounded: %d", len(r.tombs))
+	}
+	// The newest tombstone must survive every shed.
+	if _, ok := r.tombs[64]; !ok {
+		t.Fatal("newest tombstone shed")
+	}
+}
+
+func TestPage(t *testing.T) {
+	r := New()
+	for k := uint64(1); k <= 10; k++ {
+		r.Put(entry(k, 1, uint32(k%3)))
+	}
+	var got []uint64
+	after := uint64(0)
+	for {
+		page := r.Page(after, 3)
+		for i, e := range page {
+			if i > 0 && page[i-1].Key >= e.Key {
+				t.Fatalf("page out of order: %v", page)
+			}
+			got = append(got, e.Key)
+		}
+		if len(page) < 3 {
+			break
+		}
+		after = page[len(page)-1].Key
+	}
+	if len(got) != 10 {
+		t.Fatalf("paged %d entries, want 10: %v", len(got), got)
+	}
+	for i, k := range got {
+		if k != uint64(i+1) {
+			t.Fatalf("page sequence wrong at %d: %v", i, got)
+		}
+	}
+	if r.Page(0, 0) != nil {
+		t.Fatal("limit 0 returned entries")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := uint64(i%50 + 1)
+				r.Put(entry(k, uint64(g*200+i+1), uint32(g)))
+				r.Get(k)
+				if i%17 == 0 {
+					r.Delete(k, uint64(g*200+i+1))
+				}
+				r.Page(0, 16)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := r.Len(); n < 0 || n > 50 {
+		t.Fatalf("unexpected entry count %d", n)
+	}
+}
+
+func BenchmarkRegistryPut(b *testing.B) {
+	r := New()
+	reps := []uint32{0, 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Put(Entry{Key: uint64(i%4096 + 1), Size: 64, Epoch: uint64(i + 1), Replicas: reps})
+	}
+	_ = fmt.Sprint(r.Len())
+}
